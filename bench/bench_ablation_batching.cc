@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: dynamic batching in the server scenario. Sec. VI-B
+ * attributes throughput-degradation differences to "a hardware
+ * architecture optimized for low batch size or more-effective
+ * dynamic batching in the inference engine" — this bench sweeps the
+ * SUT's batching window and cap on a deep-batching GPU profile and
+ * reports the achieved server metric.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "report/table.h"
+#include "sut/system_zoo.h"
+
+using namespace mlperf;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Ablation: dynamic batching vs. the server-scenario metric "
+        "(dc-gpu-a, ResNet-50)").c_str());
+
+    const sut::HardwareProfile *profile = nullptr;
+    for (const auto &p : sut::systemZoo()) {
+        if (p.systemName == "dc-gpu-a")
+            profile = &p;
+    }
+    const auto task = models::TaskType::ImageClassificationHeavy;
+
+    harness::ExperimentOptions base;
+    base.scale = 0.1;
+    base.search.runsPerDecision = 3;
+
+    const auto offline = harness::runOffline(*profile, task, base);
+    std::printf("Offline throughput (upper bound): %.0f samples/s\n\n",
+                offline.metric);
+
+    report::Table table({"Batch window", "Server QPS",
+                         "Fraction of offline", ""});
+    for (double window_ms : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+        harness::ExperimentOptions options = base;
+        options.serverBatchWindowNs = static_cast<sim::Tick>(
+            window_ms * static_cast<double>(sim::kNsPerMs));
+        const auto server = harness::runServer(*profile, task, options);
+        const double frac =
+            offline.metric > 0 ? server.metric / offline.metric : 0;
+        table.addRow({report::fmt(window_ms, 1) + " ms",
+                      report::fmt(server.metric, 0),
+                      report::fmt(frac, 2),
+                      report::bar(frac, 1.0, 30)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nNo batching (window 0) leaves the wide MAC array "
+                "underutilized at batch ~1; widening\nthe window "
+                "recovers throughput until the added queueing delay "
+                "eats the latency budget —\nthe dynamic-batching "
+                "tension behind Figure 6's per-system differences.\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Exercises the Sec. V-B result-review suite: runs TEST01/TEST04/
+ * TEST05 against an honest submission, a caching submission, and a
+ * seed-specialized submission, and prints the verdicts — the
+ * machinery that let "only about three engineers ... comb through
+ * the submissions" and reject ~40 of ~180 closed-division results.
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "audit/audit.h"
+#include "loadgen/loadgen.h"
+#include "report/table.h"
+#include "sim/virtual_executor.h"
+
+using namespace mlperf;
+using sim::kNsPerMs;
+
+namespace {
+
+class BenchQsl : public loadgen::QuerySampleLibrary
+{
+  public:
+    std::string name() const override { return "audit-bench-qsl"; }
+    uint64_t totalSampleCount() const override { return 256; }
+    uint64_t performanceSampleCount() const override { return 128; }
+    void loadSamplesToRam(
+        const std::vector<loadgen::QuerySampleIndex> &) override
+    {
+    }
+    void unloadSamplesFromRam(
+        const std::vector<loadgen::QuerySampleIndex> &) override
+    {
+    }
+};
+
+enum class Behaviour { Honest, Caching, SeedTuned, Inconsistent };
+
+class BenchSut : public loadgen::SystemUnderTest
+{
+  public:
+    BenchSut(sim::Executor &executor, Behaviour behaviour,
+             bool official_seed)
+        : executor_(executor), behaviour_(behaviour),
+          officialSeed_(official_seed)
+    {
+    }
+
+    std::string name() const override { return "bench-sut"; }
+
+    void
+    issueQuery(const std::vector<loadgen::QuerySample> &samples,
+               loadgen::ResponseDelegate &delegate) override
+    {
+        for (const auto &sample : samples) {
+            sim::Tick latency = 4 * kNsPerMs;
+            if (behaviour_ == Behaviour::Caching &&
+                !seen_.insert(sample.index).second) {
+                latency = 1000;  // cache hit
+            }
+            if (behaviour_ == Behaviour::SeedTuned && officialSeed_)
+                latency = 2 * kNsPerMs;  // fast path for the seed
+            std::string data = "r" + std::to_string(sample.index);
+            if (behaviour_ == Behaviour::Inconsistent)
+                data += "?" + std::to_string(counter_++ % 7);
+            loadgen::QuerySampleResponse response{sample.id, data};
+            executor_.scheduleAfter(latency, [&delegate, response] {
+                delegate.querySamplesComplete({response});
+            });
+        }
+    }
+
+    void flushQueries() override {}
+
+  private:
+    sim::Executor &executor_;
+    Behaviour behaviour_;
+    bool officialSeed_;
+    std::set<loadgen::QuerySampleIndex> seen_;
+    uint64_t counter_ = 0;
+};
+
+audit::Runner
+makeRunner(Behaviour behaviour)
+{
+    return [behaviour](const loadgen::TestSettings &settings) {
+        sim::VirtualExecutor executor;
+        BenchSut sut(executor, behaviour,
+                     settings.sampleIndexSeed == 0xA5A5);
+        BenchQsl qsl;
+        loadgen::LoadGen lg(executor);
+        return lg.startTest(sut, qsl, settings);
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Sec. V-B: result-review validation suite").c_str());
+
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(
+            loadgen::Scenario::SingleStream);
+    settings.maxQueryCount = 500;
+
+    struct Case
+    {
+        const char *label;
+        Behaviour behaviour;
+    };
+    const Case cases[] = {
+        {"honest submission", Behaviour::Honest},
+        {"query-caching submission", Behaviour::Caching},
+        {"seed-tuned submission", Behaviour::SeedTuned},
+        {"inconsistent-results submission", Behaviour::Inconsistent},
+    };
+
+    report::Table table({"Submission", "TEST01 accuracy",
+                         "TEST04 caching", "TEST05 alt-seed",
+                         "Overall"});
+    for (const auto &c : cases) {
+        const auto runner = makeRunner(c.behaviour);
+        const auto t01 =
+            audit::accuracyVerificationTest(runner, settings);
+        const auto t04 = audit::cachingDetectionTest(runner, settings);
+        const auto t05 = audit::alternateSeedTest(runner, settings);
+        const bool all = t01.pass && t04.pass && t05.pass;
+        table.addRow({c.label, t01.pass ? "PASS" : "FAIL",
+                      t04.pass ? "PASS" : "FAIL",
+                      t05.pass ? "PASS" : "FAIL",
+                      all ? "CLEARED" : "REJECTED"});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nPaper: 595 of 600+ submissions cleared; ~40 "
+                "closed-division issues found, largely\n"
+                "automatically, by these checkers.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Regenerates Figure 1: the accuracy-vs-complexity Pareto frontier of
+ * image classifiers. The paper's figure (from Bianco et al.) shows a
+ * ~50x GOPs range with Top-1 from 55% to 83% and no single optimal
+ * model; here a width/depth/architecture family of proxy classifiers
+ * is measured on the synthetic ImageNet.
+ */
+
+#include <cstdio>
+
+#include "models/classifier.h"
+#include "report/table.h"
+
+using namespace mlperf;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Figure 1: accuracy vs. computational complexity for "
+        "classifier variants").c_str());
+
+    data::ClassificationDataset dataset;
+    struct Variant
+    {
+        const char *name;
+        models::ClassifierArch arch;
+    };
+    std::vector<Variant> variants;
+    auto make = [](const char *name, int64_t width, int64_t blocks,
+                   bool depthwise) {
+        models::ClassifierArch arch;
+        arch.name = name;
+        arch.stemWidth = width;
+        arch.blocks = blocks;
+        arch.depthwise = depthwise;
+        arch.weightSeed = depthwise ? 0x2222 : 0x5E5E50;
+        return Variant{name, arch};
+    };
+    variants.push_back(make("tiny-dw-0.25x", 4, 2, true));
+    variants.push_back(make("small-dw-0.5x", 8, 4, true));
+    variants.push_back(make("mobilenet-1.0x", 16, 4, true));
+    variants.push_back(make("mobilenet-2.0x", 32, 4, true));
+    variants.push_back(make("resnet-0.25x", 4, 4, false));
+    variants.push_back(make("resnet-0.5x", 8, 4, false));
+    variants.push_back(make("resnet-1.0x", 16, 4, false));
+    variants.push_back(make("resnet-deep", 16, 6, false));
+    variants.push_back(make("resnet-2.0x", 32, 4, false));
+
+    struct Point
+    {
+        std::string name;
+        double mops;
+        double accuracy;
+        uint64_t params;
+    };
+    std::vector<Point> points;
+    for (const auto &variant : variants) {
+        models::ImageClassifier model(variant.arch, dataset);
+        points.push_back(
+            {variant.name,
+             static_cast<double>(model.flopsPerInput()) / 1e6,
+             model.evaluateAccuracy(dataset, 400),
+             model.paramCount()});
+    }
+
+    double max_acc = 0.0;
+    for (const auto &p : points)
+        max_acc = std::max(max_acc, p.accuracy);
+
+    report::Table table({"Model", "MOPs/input", "Params",
+                         "Top-1 accuracy", "", "Pareto-optimal"});
+    for (const auto &p : points) {
+        // Pareto-optimal: no variant is both cheaper and better.
+        bool dominated = false;
+        for (const auto &q : points) {
+            if (q.mops < p.mops && q.accuracy > p.accuracy) {
+                dominated = true;
+                break;
+            }
+        }
+        table.addRow({p.name, report::fmt(p.mops, 2),
+                      report::fmtCompact(
+                          static_cast<double>(p.params)),
+                      report::fmt(100 * p.accuracy, 1) + "%",
+                      report::bar(p.accuracy, max_acc, 30),
+                      dominated ? "" : "yes"});
+    }
+    std::printf("%s", table.str().c_str());
+
+    double min_mops = 1e300, max_mops = 0, min_acc = 1.0;
+    for (const auto &p : points) {
+        min_mops = std::min(min_mops, p.mops);
+        max_mops = std::max(max_mops, p.mops);
+        min_acc = std::min(min_acc, p.accuracy);
+    }
+    std::printf("\nComplexity range %.0fx; accuracy range %.1f%% .. "
+                "%.1f%%. The paper's Figure 1 shape:\n"
+                "a broad Pareto frontier (50x GOPs range) with no "
+                "single optimal model.\n",
+                max_mops / min_mops, 100 * min_acc, 100 * max_acc);
+    return 0;
+}

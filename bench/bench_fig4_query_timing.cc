@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Regenerates Figure 4: timing and number of queries from the
+ * LoadGen under each scenario, by recording real query timelines and
+ * printing the first several issue times per scenario.
+ */
+
+#include <cstdio>
+
+#include "loadgen/loadgen.h"
+#include "report/table.h"
+#include "sim/virtual_executor.h"
+#include "sut/model_cost.h"
+#include "sut/simulated_sut.h"
+#include "sut/system_zoo.h"
+
+using namespace mlperf;
+using loadgen::Scenario;
+using loadgen::TestSettings;
+
+namespace {
+
+loadgen::TestResult
+runScenarioTrace(Scenario scenario)
+{
+    sim::VirtualExecutor executor;
+    const auto &profile = sut::systemZoo()[20];  // a dc-class system
+    sut::SimulatedSut system(
+        executor, profile,
+        sut::modelCostFor(models::TaskType::ImageClassificationHeavy));
+
+    class Qsl : public loadgen::QuerySampleLibrary
+    {
+      public:
+        std::string name() const override { return "trace-qsl"; }
+        uint64_t totalSampleCount() const override { return 1024; }
+        uint64_t performanceSampleCount() const override
+        {
+            return 256;
+        }
+        void loadSamplesToRam(
+            const std::vector<loadgen::QuerySampleIndex> &) override
+        {
+        }
+        void unloadSamplesFromRam(
+            const std::vector<loadgen::QuerySampleIndex> &) override
+        {
+        }
+    } qsl;
+
+    TestSettings settings = TestSettings::forScenario(scenario);
+    settings.recordTimeline = true;
+    settings.maxQueryCount = 12;
+    settings.serverTargetQps = 150.0;
+    settings.multiStreamSamplesPerQuery = 4;
+    settings.offlineSampleCount = 24576;
+    loadgen::LoadGen lg(executor);
+    return lg.startTest(system, qsl, settings);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Figure 4: timing and number of queries from the LoadGen"
+        ).c_str());
+
+    for (Scenario scenario :
+         {Scenario::SingleStream, Scenario::MultiStream,
+          Scenario::Server, Scenario::Offline}) {
+        const auto result = runScenarioTrace(scenario);
+        std::printf("\n--- %s (samples/query = %lu) ---\n",
+                    loadgen::scenarioName(scenario).c_str(),
+                    static_cast<unsigned long>(
+                        result.samplesPerQuery));
+        report::Table table({"Query", "Scheduled (ms)", "Issued (ms)",
+                             "Completed (ms)", "Gap to prev issue"});
+        const size_t n = std::min<size_t>(result.timeline.size(), 8);
+        for (size_t i = 0; i < n; ++i) {
+            const auto &q = result.timeline[i];
+            const double gap =
+                i ? static_cast<double>(
+                        q.issued - result.timeline[i - 1].issued) /
+                        1e6
+                  : 0.0;
+            table.addRow({std::to_string(i),
+                          report::fmt(q.scheduled / 1e6, 3),
+                          report::fmt(q.issued / 1e6, 3),
+                          report::fmt(q.completed / 1e6, 3),
+                          i ? report::fmt(gap, 3) + " ms" : "-"});
+        }
+        std::printf("%s", table.str().c_str());
+        switch (scenario) {
+          case Scenario::SingleStream:
+            std::printf("(next query issues when the previous "
+                        "completes: gaps track processing time)\n");
+            break;
+          case Scenario::MultiStream:
+            std::printf("(fixed arrival interval; t constant per "
+                        "benchmark)\n");
+            break;
+          case Scenario::Server:
+            std::printf("(Poisson arrivals: t0, t1, t2 ... ~ "
+                        "Exp(lambda); gaps vary)\n");
+            break;
+          case Scenario::Offline:
+            std::printf("(a single query carrying every sample at "
+                        "t=0)\n");
+            break;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates Figure 5: distribution of closed-division results
+ * across the five models. The paper's shape: a fairly uniform pie
+ * with ResNet-50 v1.5 the largest slice (32.5%) at just under 3x
+ * GNMT, the smallest (11.4%).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/population.h"
+#include "report/table.h"
+
+using namespace mlperf;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Figure 5: results from the closed division, by model "
+        "(simulated population)").c_str());
+
+    const auto population = bench::submissionPopulation();
+    std::map<models::TaskType, int> counts;
+    for (const auto &submission : population)
+        counts[submission.task]++;
+
+    const int total = static_cast<int>(population.size());
+    int max_count = 0;
+    for (const auto &[task, n] : counts)
+        max_count = std::max(max_count, n);
+
+    report::Table table({"Model", "Results", "Share", ""});
+    for (models::TaskType task : models::allTasks()) {
+        const int n = counts[task];
+        table.addRow({models::taskModelName(task), std::to_string(n),
+                      report::fmt(100.0 * n / total, 1) + "%",
+                      report::bar(n, max_count, 32)});
+    }
+    table.addRule();
+    table.addRow({"TOTAL", std::to_string(total), "100%", ""});
+    std::printf("%s", table.str().c_str());
+
+    int min_count = total;
+    for (const auto &[task, n] : counts)
+        min_count = std::min(min_count, n);
+    std::printf("\nSpread max/min = %.2fx (paper: ResNet-50 \"just "
+                "under three times as popular as GNMT\").\n",
+                static_cast<double>(max_count) / min_count);
+    return 0;
+}

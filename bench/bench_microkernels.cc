@@ -1,0 +1,143 @@
+/**
+ * @file
+ * DeepBench-style microbenchmarks (google-benchmark) of the compute
+ * kernels underlying the proxy models: FP32 GEMM, im2col
+ * convolution, depthwise convolution, INT8 GEMM, and the LSTM cell —
+ * "kernel-level operations ... important for performance in
+ * production models" (Sec. VIII's discussion of DeepBench).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/rnn.h"
+#include "quant/quant.h"
+#include "tensor/conv.h"
+#include "tensor/gemm.h"
+
+using namespace mlperf;
+using tensor::Conv2dParams;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+Tensor
+randomTensor(Shape shape, uint64_t seed)
+{
+    Tensor t(std::move(shape));
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
+void
+BM_GemmFp32(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Tensor a = randomTensor(Shape{n, n}, 1);
+    Tensor b = randomTensor(Shape{n, n}, 2);
+    Tensor c(Shape{n, n});
+    for (auto _ : state) {
+        tensor::gemm(a.data(), b.data(), c.data(), n, n, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmFp32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmInt8(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    std::vector<int8_t> a(n * n), b(n * n);
+    std::vector<int32_t> c(n * n);
+    Rng rng(3);
+    for (auto &v : a)
+        v = static_cast<int8_t>(rng.nextInRange(-127, 127));
+    for (auto &v : b)
+        v = static_cast<int8_t>(rng.nextInRange(-127, 127));
+    for (auto _ : state) {
+        quant::gemmInt8(a.data(), b.data(), c.data(), n, n, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Conv2d(benchmark::State &state)
+{
+    const int64_t channels = state.range(0);
+    Tensor input = randomTensor(Shape{1, channels, 32, 32}, 4);
+    Tensor weight =
+        randomTensor(Shape{channels, channels, 3, 3}, 5);
+    Conv2dParams p;
+    for (auto _ : state) {
+        Tensor out = tensor::conv2d(input, weight, nullptr, p);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * channels *
+                            channels * 9 * 32 * 32);
+}
+BENCHMARK(BM_Conv2d)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_DepthwiseConv2d(benchmark::State &state)
+{
+    const int64_t channels = state.range(0);
+    Tensor input = randomTensor(Shape{1, channels, 32, 32}, 6);
+    Tensor weight = randomTensor(Shape{channels, 1, 3, 3}, 7);
+    Conv2dParams p;
+    for (auto _ : state) {
+        Tensor out =
+            tensor::depthwiseConv2d(input, weight, nullptr, p);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * channels * 9 *
+                            32 * 32);
+}
+BENCHMARK(BM_DepthwiseConv2d)->Arg(16)->Arg(64);
+
+void
+BM_LstmCellStep(benchmark::State &state)
+{
+    const int64_t hidden = state.range(0);
+    Rng rng(8);
+    nn::LSTMCell cell(
+        nn::heNormal(Shape{4 * hidden, hidden}, hidden, rng),
+        nn::heNormal(Shape{4 * hidden, hidden}, hidden, rng),
+        nn::zeroBias(4 * hidden));
+    auto cell_state = cell.initialState(1);
+    Tensor x = randomTensor(Shape{1, hidden}, 9);
+    for (auto _ : state) {
+        cell.step(x, cell_state);
+        benchmark::DoNotOptimize(cell_state.h.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(cell.flopsPerStep()));
+}
+BENCHMARK(BM_LstmCellStep)->Arg(32)->Arg(128);
+
+void
+BM_QuantizeBuffer(benchmark::State &state)
+{
+    const int64_t n = 1 << 16;
+    Tensor src = randomTensor(Shape{n}, 10);
+    std::vector<int8_t> dst(n);
+    const quant::QuantParams p =
+        quant::chooseQuantParams(-4.0f, 4.0f, 8, false);
+    for (auto _ : state) {
+        quant::quantizeBuffer(src.data(), dst.data(), n, p);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuantizeBuffer);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Power/efficiency view of the population (paper Sec. I: systems
+ * "span at least three orders of magnitude in power consumption and
+ * five orders of magnitude in performance"). Measures offline
+ * ResNet-50 throughput and average power (idle + dynamic energy /
+ * run time) for every zoo system and reports samples/s/W.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "loadgen/loadgen.h"
+#include "report/table.h"
+#include "sim/virtual_executor.h"
+#include "sut/simulated_sut.h"
+#include "sut/system_zoo.h"
+
+using namespace mlperf;
+
+namespace {
+
+class Qsl : public loadgen::QuerySampleLibrary
+{
+  public:
+    std::string name() const override { return "pw-qsl"; }
+    uint64_t totalSampleCount() const override { return 1024; }
+    uint64_t performanceSampleCount() const override { return 256; }
+    void loadSamplesToRam(
+        const std::vector<loadgen::QuerySampleIndex> &) override
+    {
+    }
+    void unloadSamplesFromRam(
+        const std::vector<loadgen::QuerySampleIndex> &) override
+    {
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Performance and power across the population (offline "
+        "ResNet-50)").c_str());
+
+    const auto task = models::TaskType::ImageClassificationHeavy;
+
+    struct Row
+    {
+        std::string name;
+        double qps;
+        double watts;
+    };
+    std::vector<Row> rows;
+    for (const auto &profile : sut::systemZoo()) {
+        sim::VirtualExecutor ex;
+        sut::SimulatedSut system(ex, profile,
+                                 sut::modelCostFor(task));
+        Qsl qsl;
+        loadgen::TestSettings settings =
+            loadgen::TestSettings::forScenario(
+                loadgen::Scenario::Offline);
+        loadgen::LoadGen lg(ex);
+        const auto result = lg.startTest(system, qsl, settings);
+        const double seconds =
+            static_cast<double>(result.durationNs) / 1e9;
+        const double watts =
+            profile.idleWatts +
+            (seconds > 0 ? system.dynamicEnergyJoules() / seconds
+                         : 0.0);
+        rows.push_back({profile.systemName, result.completedQps,
+                        watts});
+    }
+
+    double min_qps = 1e300, max_qps = 0, min_w = 1e300, max_w = 0;
+    for (const auto &row : rows) {
+        min_qps = std::min(min_qps, row.qps);
+        max_qps = std::max(max_qps, row.qps);
+        min_w = std::min(min_w, row.watts);
+        max_w = std::max(max_w, row.watts);
+    }
+
+    report::Table table({"System", "Offline samples/s", "Avg power",
+                         "Samples/s/W", "Perf (log scale)"});
+    for (const auto &row : rows) {
+        table.addRow({row.name, report::fmtCompact(row.qps),
+                      report::fmt(row.watts, 2) + " W",
+                      report::fmt(row.qps / row.watts, 2),
+                      report::logBar(row.qps / min_qps,
+                                     max_qps / min_qps, 36)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nPerformance range %.0fx; power range %.0fx "
+                "(paper: five and three orders of magnitude).\n",
+                max_qps / min_qps, max_w / min_w);
+    return 0;
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Regenerates the Sec. III-B / IV-A quantization study: per model,
+ * FP32 quality vs. INT8 under different flows (calibrated
+ * per-channel, per-tensor weights, no calibration, INT4), checked
+ * against the Table I quality targets. Reproduces the paper's
+ * narrative: ~1% loss is easy for ResNet-class models, while
+ * MobileNet without quantization-friendly weights loses unacceptable
+ * accuracy — the reason its window was widened to 2% and retrained
+ * weights were provided.
+ */
+
+#include <cstdio>
+
+#include "metrics/accuracy.h"
+#include "models/classifier.h"
+#include "models/detector.h"
+#include "models/translator.h"
+#include "report/table.h"
+
+using namespace mlperf;
+
+namespace {
+
+std::string
+verdict(double measured, double fp32, double target)
+{
+    return metrics::meetsTarget(measured, fp32, target)
+               ? report::fmt(measured, 3) + "  (meets)"
+               : report::fmt(measured, 3) + "  (FAILS)";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Sec. III-B: quantization flows vs. quality targets").c_str());
+
+    data::ClassificationDataset imagenet;
+    data::DetectionDataset coco;
+    data::TranslationDataset wmt;
+    const int64_t eval = 600;
+
+    // ---------------------------------------------------- classifiers
+    {
+        report::Table table({"Model / flow", "Quality (Top-1)",
+                             "Relative to FP32", "Target"});
+
+        auto evaluate = [&](const char *label,
+                            models::ImageClassifier model,
+                            double fp32, double target) {
+            const double acc =
+                model.evaluateAccuracy(imagenet, eval);
+            table.addRow({label, verdict(acc, fp32, target),
+                          report::fmt(100.0 * acc / fp32, 1) + "%",
+                          report::fmt(100.0 * target, 0) + "%"});
+        };
+
+        auto resnet = models::ImageClassifier::resnet50Proxy(imagenet);
+        const double resnet_fp32 =
+            resnet.evaluateAccuracy(imagenet, eval);
+        table.addRow({"ResNet-50 proxy FP32",
+                      report::fmt(resnet_fp32, 3), "100.0%", "-"});
+        {
+            auto int8 =
+                models::ImageClassifier::resnet50Proxy(imagenet);
+            int8.quantize(imagenet);
+            evaluate("  INT8 calibrated", std::move(int8),
+                     resnet_fp32, 0.99);
+        }
+        {
+            auto int4 =
+                models::ImageClassifier::resnet50Proxy(imagenet);
+            quant::QuantizeOptions o;
+            o.bits = 4;
+            int4.quantize(imagenet, o);
+            evaluate("  INT4 calibrated", std::move(int4),
+                     resnet_fp32, 0.99);
+        }
+        {
+            auto blind =
+                models::ImageClassifier::resnet50Proxy(imagenet);
+            quant::QuantizeOptions o;
+            o.calibrate = false;
+            o.nominalRange = 64.0f;
+            // A blind flow has no calibration data and no layer
+            // sensitivity information either.
+            o.keepLastLayerFp32 = false;
+            blind.quantize(imagenet, o);
+            evaluate("  INT8 uncalibrated", std::move(blind),
+                     resnet_fp32, 0.99);
+        }
+        table.addRule();
+
+        auto mobilenet =
+            models::ImageClassifier::mobilenetProxy(imagenet);
+        const double mobilenet_fp32 =
+            mobilenet.evaluateAccuracy(imagenet, eval);
+        table.addRow({"MobileNet proxy FP32 (quant-friendly weights)",
+                      report::fmt(mobilenet_fp32, 3), "100.0%", "-"});
+        {
+            auto int8 =
+                models::ImageClassifier::mobilenetProxy(imagenet);
+            int8.quantize(imagenet);
+            evaluate("  INT8 calibrated", std::move(int8),
+                     mobilenet_fp32, 0.98);
+        }
+        table.addRule();
+
+        auto naive =
+            models::ImageClassifier::mobilenetProxyNaive(imagenet);
+        const double naive_fp32 =
+            naive.evaluateAccuracy(imagenet, eval);
+        table.addRow({"MobileNet proxy FP32 (naive weights)",
+                      report::fmt(naive_fp32, 3), "100.0%", "-"});
+        {
+            auto pt =
+                models::ImageClassifier::mobilenetProxyNaive(imagenet);
+            quant::QuantizeOptions o;
+            o.perChannelWeights = false;
+            pt.quantize(imagenet, o);
+            evaluate("  INT8 per-tensor weights", std::move(pt),
+                     naive_fp32, 0.98);
+        }
+        {
+            auto pc =
+                models::ImageClassifier::mobilenetProxyNaive(imagenet);
+            pc.quantize(imagenet);
+            evaluate("  INT8 per-channel weights", std::move(pc),
+                     naive_fp32, 0.98);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    // ------------------------------------------------------ detectors
+    {
+        report::Table table(
+            {"Model / flow", "Quality (mAP)", "Relative", "Target"});
+        auto heavy = models::ObjectDetector::ssdResnet34Proxy(coco);
+        const double heavy_fp32 = heavy.evaluateMap(coco, 200);
+        table.addRow({"SSD-ResNet-34 proxy FP32",
+                      report::fmt(heavy_fp32, 3), "100.0%", "-"});
+        auto heavy_int8 =
+            models::ObjectDetector::ssdResnet34Proxy(coco);
+        heavy_int8.quantize(coco);
+        const double heavy_q = heavy_int8.evaluateMap(coco, 200);
+        table.addRow({"  INT8 calibrated",
+                      verdict(heavy_q, heavy_fp32, 0.99),
+                      report::fmt(100.0 * heavy_q / heavy_fp32, 1) +
+                          "%",
+                      "99%"});
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    // ----------------------------------------------------- translator
+    {
+        report::Table table({"Model / flow", "Quality (BLEU)",
+                             "Relative", "Target"});
+        auto gnmt = models::Translator::gnmtProxy(wmt);
+        const double fp32 = gnmt.evaluateBleu(wmt, 300);
+        table.addRow({"GNMT proxy FP32", report::fmt(fp32, 2),
+                      "100.0%", "-"});
+        auto int8 = models::Translator::gnmtProxy(wmt);
+        int8.quantize(wmt);
+        const double q = int8.evaluateBleu(wmt, 300);
+        table.addRow({"  INT8 projection",
+                      verdict(q, fp32, 0.99),
+                      report::fmt(100.0 * q / fp32, 1) + "%", "99%"});
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    std::printf("Paper narrative reproduced: the ~1%% relative "
+                "target is \"easily achievable without\nretraining\" "
+                "for ResNet-class models; MobileNet's naive weights "
+                "lose unacceptable\naccuracy under the early "
+                "per-tensor flow, so MLPerf shipped "
+                "quantization-friendly\nweights and a 2%% window; "
+                "calibration (the provided data set) is what makes "
+                "INT8 work.\n");
+    return 0;
+}

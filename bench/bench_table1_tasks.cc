@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regenerates Table I: ML tasks, reference models, data sets, and
+ * quality targets — with the paper's reference figures side by side
+ * with this repository's proxy models and their measured FP32
+ * quality.
+ */
+
+#include <cstdio>
+
+#include "models/classifier.h"
+#include "models/model_info.h"
+#include "models/detector.h"
+#include "models/translator.h"
+#include "report/table.h"
+
+using namespace mlperf;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Table I: ML tasks in MLPerf Inference v0.5 "
+        "(paper reference vs. proxy)").c_str());
+
+    data::ClassificationDataset imagenet;
+    data::DetectionDataset coco;
+    data::TranslationDataset wmt;
+
+    const auto resnet = models::ImageClassifier::resnet50Proxy(imagenet);
+    const auto mobilenet =
+        models::ImageClassifier::mobilenetProxy(imagenet);
+    const auto ssd_heavy =
+        models::ObjectDetector::ssdResnet34Proxy(coco);
+    const auto ssd_light =
+        models::ObjectDetector::ssdMobilenetProxy(coco);
+    const auto gnmt = models::Translator::gnmtProxy(wmt);
+
+    report::Table table({"Area", "Task", "Reference model",
+                         "Data set", "Paper params",
+                         "Paper GOPs", "Proxy params", "Proxy MOPs",
+                         "FP32 quality (proxy)", "Quality target"});
+
+    auto add = [&](models::TaskType task, uint64_t proxy_params,
+                   uint64_t proxy_flops, double measured,
+                   const std::string &measured_label) {
+        const auto &info = models::modelInfo(task);
+        table.addRow({
+            models::taskArea(task),
+            models::taskModelName(task),
+            info.modelName,
+            info.proxyDataset,
+            report::fmt(info.paperParamsMillions, 1) + "M",
+            info.paperGopsPerInput > 0
+                ? report::fmt(info.paperGopsPerInput, 2)
+                : "-",
+            report::fmtCompact(static_cast<double>(proxy_params)),
+            report::fmt(static_cast<double>(proxy_flops) / 1e6, 1),
+            measured_label + " " + report::fmt(measured, 3),
+            report::fmt(100.0 * info.relativeQualityTarget, 0) +
+                "% of FP32",
+        });
+    };
+
+    const int64_t eval = 400;
+    add(models::TaskType::ImageClassificationHeavy,
+        resnet.paramCount(), resnet.flopsPerInput(),
+        resnet.evaluateAccuracy(imagenet, eval), "Top-1");
+    add(models::TaskType::ImageClassificationLight,
+        mobilenet.paramCount(), mobilenet.flopsPerInput(),
+        mobilenet.evaluateAccuracy(imagenet, eval), "Top-1");
+    add(models::TaskType::ObjectDetectionHeavy,
+        ssd_heavy.paramCount(), ssd_heavy.flopsPerInput(),
+        ssd_heavy.evaluateMap(coco, 120), "mAP");
+    add(models::TaskType::ObjectDetectionLight,
+        ssd_light.paramCount(), ssd_light.flopsPerInput(),
+        ssd_light.evaluateMap(coco, 120), "mAP");
+    add(models::TaskType::MachineTranslation, gnmt.paramCount(),
+        gnmt.flopsPerSentence(10), gnmt.evaluateBleu(wmt, 120),
+        "SacreBLEU");
+
+    std::printf("%s", table.str().c_str());
+    std::printf("\nPaper Table I quality references: ResNet-50 "
+                "76.456%% Top-1, MobileNet 71.676%% Top-1,\n"
+                "SSD-R34 0.20 mAP, SSD-MNv1 0.22 mAP, GNMT 23.9 "
+                "SacreBLEU (absolute values differ on the\n"
+                "synthetic datasets; the quality-target machinery is "
+                "relative to FP32, as in the paper).\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regenerates Table III: multistream arrival times and server QoS
+ * constraints per task, from the model registry.
+ */
+
+#include <cstdio>
+
+#include "models/model_info.h"
+#include "report/table.h"
+
+using namespace mlperf;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Table III: latency constraints in the multistream and "
+        "server scenarios").c_str());
+
+    report::Table table({"Task", "Multistream arrival time",
+                         "Server QoS constraint",
+                         "Over-latency allowance"});
+    for (const auto &info : models::referenceModels()) {
+        table.addRow({
+            info.modelName,
+            report::fmt(info.multistreamArrivalMs, 0) + " ms",
+            report::fmt(info.serverQosMs, 0) + " ms",
+            info.task == models::TaskType::MachineTranslation
+                ? "3%"
+                : "1%",
+        });
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Table V: number of queries and samples per query for
+ * each task and scenario, derived from the same machinery the
+ * LoadGen uses at run time (settingsForTask).
+ */
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "report/table.h"
+
+using namespace mlperf;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Table V: number of queries / samples per query per task "
+        "and scenario").c_str());
+
+    harness::ExperimentOptions options;  // full-scale settings
+    report::Table table({"Model", "Single-stream", "Multistream",
+                         "Server", "Offline"});
+    for (const auto &info : models::referenceModels()) {
+        const auto ss = harness::settingsForTask(
+            info.task, loadgen::Scenario::SingleStream, options);
+        const auto ms = harness::settingsForTask(
+            info.task, loadgen::Scenario::MultiStream, options);
+        const auto server = harness::settingsForTask(
+            info.task, loadgen::Scenario::Server, options);
+        const auto off = harness::settingsForTask(
+            info.task, loadgen::Scenario::Offline, options);
+        table.addRow({
+            info.modelName,
+            withThousands(ss.minQueryCount) + " / 1",
+            withThousands(ms.minQueryCount) + " / N",
+            withThousands(server.minQueryCount) + " / 1",
+            withThousands(off.minQueryCount) + " / " +
+                withThousands(off.offlineSampleCount),
+        });
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nPaper row check: vision tasks 1K/270K/270K/24K, "
+                "translation 1K/90K/90K/24K.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates Table VII: framework versus hardware architecture — the
+ * X-matrix of which software stacks ran on which processor types in
+ * the (simulated) submission pool.
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "report/table.h"
+#include "sut/system_zoo.h"
+
+using namespace mlperf;
+using sut::ProcessorType;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Table VII: framework vs. hardware architecture").c_str());
+
+    const ProcessorType processors[] = {
+        ProcessorType::ASIC, ProcessorType::CPU, ProcessorType::DSP,
+        ProcessorType::FPGA, ProcessorType::GPU};
+
+    std::map<std::string, std::set<ProcessorType>> matrix;
+    for (const auto &[framework, processor] :
+         sut::frameworkProcessorMatrix()) {
+        matrix[framework].insert(processor);
+    }
+
+    report::Table table(
+        {"Framework", "ASIC", "CPU", "DSP", "FPGA", "GPU"});
+    int cpu_frameworks = 0;
+    for (const auto &[framework, procs] : matrix) {
+        std::vector<std::string> row = {framework};
+        for (ProcessorType p : processors)
+            row.push_back(procs.count(p) ? "X" : "");
+        if (procs.count(ProcessorType::CPU))
+            ++cpu_frameworks;
+        table.addRow(std::move(row));
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nPaper observations to match: CPUs have the most "
+                "framework diversity (%d here) and\n"
+                "TensorFlow spans the most architectures (%zu "
+                "processor types here).\n",
+                cpu_frameworks, matrix["TensorFlow"].size());
+    return 0;
+}

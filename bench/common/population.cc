@@ -1,0 +1,138 @@
+#include "common/population.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "sut/system_zoo.h"
+
+namespace mlperf {
+namespace bench {
+
+namespace {
+
+using loadgen::Scenario;
+using models::TaskType;
+
+bool
+startsWith(const std::string &name, const std::string &prefix)
+{
+    return name.rfind(prefix, 0) == 0;
+}
+
+/** Tier-specific interests: tasks and scenarios a system submits. */
+struct Interest
+{
+    std::vector<TaskType> tasks;
+    std::vector<Scenario> scenarios;
+    double keepProbability;  //!< per (task, scenario) entry
+};
+
+Interest
+interestFor(const sut::HardwareProfile &profile)
+{
+    const std::string &name = profile.systemName;
+    if (startsWith(name, "iot") || startsWith(name, "embedded")) {
+        return {{TaskType::ImageClassificationLight,
+                 TaskType::ObjectDetectionLight},
+                {Scenario::SingleStream, Scenario::Offline},
+                0.75};
+    }
+    if (startsWith(name, "phone")) {
+        return {{TaskType::ImageClassificationLight,
+                 TaskType::ImageClassificationHeavy,
+                 TaskType::ObjectDetectionLight},
+                {Scenario::SingleStream, Scenario::Offline},
+                0.70};
+    }
+    if (startsWith(name, "edge")) {
+        return {{TaskType::ImageClassificationLight,
+                 TaskType::ImageClassificationHeavy,
+                 TaskType::ObjectDetectionLight,
+                 TaskType::ObjectDetectionHeavy},
+                {Scenario::SingleStream, Scenario::MultiStream,
+                 Scenario::Offline},
+                0.55};
+    }
+    if (startsWith(name, "desktop")) {
+        return {{TaskType::ImageClassificationHeavy,
+                 TaskType::ImageClassificationLight,
+                 TaskType::ObjectDetectionHeavy},
+                {Scenario::SingleStream, Scenario::Server,
+                 Scenario::Offline},
+                0.55};
+    }
+    if (startsWith(name, "dc-cpu")) {
+        return {{TaskType::ImageClassificationHeavy,
+                 TaskType::ImageClassificationLight,
+                 TaskType::MachineTranslation},
+                {Scenario::SingleStream, Scenario::Server,
+                 Scenario::Offline},
+                0.65};
+    }
+    if (startsWith(name, "dc-gpu")) {
+        return {{TaskType::ImageClassificationHeavy,
+                 TaskType::ImageClassificationLight,
+                 TaskType::ObjectDetectionHeavy,
+                 TaskType::ObjectDetectionLight,
+                 TaskType::MachineTranslation},
+                {Scenario::Server, Scenario::Offline,
+                 Scenario::SingleStream},
+                0.60};
+    }
+    if (startsWith(name, "dc-asic")) {
+        return {{TaskType::ImageClassificationHeavy,
+                 TaskType::ObjectDetectionHeavy,
+                 TaskType::MachineTranslation},
+                {Scenario::Server, Scenario::Offline},
+                0.80};
+    }
+    if (startsWith(name, "dc-fpga")) {
+        return {{TaskType::ImageClassificationHeavy,
+                 TaskType::ObjectDetectionLight},
+                {Scenario::SingleStream, Scenario::MultiStream,
+                 Scenario::Offline},
+                0.60};
+    }
+    // RDO and anything else: a single headline result.
+    return {{TaskType::ImageClassificationHeavy},
+            {Scenario::SingleStream, Scenario::Offline},
+            0.80};
+}
+
+} // namespace
+
+std::vector<Submission>
+submissionPopulation()
+{
+    std::vector<Submission> population;
+    Rng rng(0x5B1155);  // fixed: the population is part of the study
+    for (const auto &profile : sut::systemZoo()) {
+        const Interest interest = interestFor(profile);
+        for (TaskType task : interest.tasks) {
+            for (Scenario scenario : interest.scenarios) {
+                // Rule: GNMT's constant arrival interval is
+                // unrealistic (Sec. VI-B) -> no MS submissions.
+                if (task == TaskType::MachineTranslation &&
+                    scenario == Scenario::MultiStream) {
+                    continue;
+                }
+                // Model-popularity skew: ResNet-50 is the industry's
+                // default performance-claim network (most submitted);
+                // MobileNet trails slightly.
+                double keep = interest.keepProbability;
+                if (task == TaskType::ImageClassificationHeavy)
+                    keep = std::min(1.0, keep * 1.3);
+                else if (task == TaskType::ImageClassificationLight)
+                    keep *= 0.85;
+                if (rng.nextDouble() > keep)
+                    continue;
+                population.push_back({profile, task, scenario});
+            }
+        }
+    }
+    return population;
+}
+
+} // namespace bench
+} // namespace mlperf

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The simulated submission population behind the paper's evaluation
+ * figures (Sec. VI): which system submitted which task in which
+ * scenario. Deterministically derived from the system zoo with
+ * tier-specific interest rules that reproduce the qualitative shape
+ * of Table VI (offline most popular, multistream least, GNMT with no
+ * multistream submissions, ResNet-50 the most-submitted model).
+ */
+
+#ifndef MLPERF_BENCH_COMMON_POPULATION_H
+#define MLPERF_BENCH_COMMON_POPULATION_H
+
+#include <vector>
+
+#include "loadgen/types.h"
+#include "models/model_info.h"
+#include "sut/hardware_profile.h"
+
+namespace mlperf {
+namespace bench {
+
+struct Submission
+{
+    sut::HardwareProfile profile;
+    models::TaskType task;
+    loadgen::Scenario scenario;
+};
+
+/** The full closed-division submission list. */
+std::vector<Submission> submissionPopulation();
+
+} // namespace bench
+} // namespace mlperf
+
+#endif // MLPERF_BENCH_COMMON_POPULATION_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: benchmark a (simulated) inference system under two
+ * LoadGen scenarios in a few dozen lines.
+ *
+ *   $ ./examples/quickstart
+ *
+ * Walks the core API: pick an executor, wrap your system as a
+ * SystemUnderTest, describe your data as a QuerySampleLibrary,
+ * configure TestSettings, and call LoadGen::startTest.
+ */
+
+#include <cstdio>
+
+#include "loadgen/loadgen.h"
+#include "sim/virtual_executor.h"
+#include "sut/model_cost.h"
+#include "sut/simulated_sut.h"
+
+using namespace mlperf;
+
+/** Your dataset adapter: here, a stub with 1,024 samples. */
+class MyDataset : public loadgen::QuerySampleLibrary
+{
+  public:
+    std::string name() const override { return "my-dataset"; }
+    uint64_t totalSampleCount() const override { return 1024; }
+    uint64_t performanceSampleCount() const override { return 256; }
+    void loadSamplesToRam(
+        const std::vector<loadgen::QuerySampleIndex> &) override
+    {
+    }
+    void unloadSamplesFromRam(
+        const std::vector<loadgen::QuerySampleIndex> &) override
+    {
+    }
+};
+
+int
+main()
+{
+    // 1. An executor supplies time and events. VirtualExecutor runs
+    //    whole benchmarks in milliseconds of host time; swap in
+    //    sim::RealExecutor to measure a real system on the wall clock.
+    sim::VirtualExecutor executor;
+
+    // 2. The system under test. Here: a simulated edge GPU running a
+    //    ResNet-50-class workload. Wrap your own engine by
+    //    implementing loadgen::SystemUnderTest instead.
+    sut::HardwareProfile profile;
+    profile.systemName = "quickstart-edge-gpu";
+    profile.peakMacsPerSec = 5e12;
+    profile.batchOneEfficiency = 0.3;
+    profile.maxBatch = 16;
+    sut::SimulatedSut system(
+        executor, profile,
+        sut::modelCostFor(models::TaskType::ImageClassificationHeavy));
+
+    MyDataset dataset;
+    loadgen::LoadGen loadgen(executor);
+
+    // 3. Single-stream: sequential queries, 90th-percentile latency.
+    {
+        loadgen::TestSettings settings =
+            loadgen::TestSettings::forScenario(
+                loadgen::Scenario::SingleStream);
+        const auto result =
+            loadgen.startTest(system, dataset, settings);
+        std::printf("%s\n", result.summary().c_str());
+    }
+
+    // 4. Server: Poisson arrivals at a target QPS under a 15 ms QoS
+    //    bound; the run is VALID only if the 99th-percentile latency
+    //    holds and the duration/query floors are met.
+    {
+        loadgen::TestSettings settings =
+            loadgen::TestSettings::forScenario(
+                loadgen::Scenario::Server);
+        settings.serverTargetQps = 200.0;
+        settings.targetLatencyNs = 15 * sim::kNsPerMs;
+        const auto result =
+            loadgen.startTest(system, dataset, settings);
+        std::printf("%s\n", result.summary().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A complete closed-division submission flow against a REAL model:
+ * the proxy ResNet-50 classifier runs under the LoadGen in accuracy
+ * mode (checked by the accuracy script against the Table I quality
+ * target), then in performance mode on the wall clock, and finally
+ * through the Sec. V-B audit suite — the full life of an MLPerf
+ * submission in one executable.
+ *
+ *   $ ./examples/submission_flow
+ */
+
+#include <cstdio>
+
+#include "audit/audit.h"
+#include "harness/accuracy_script.h"
+#include "loadgen/loadgen.h"
+#include "metrics/accuracy.h"
+#include "models/classifier.h"
+#include "models/model_info.h"
+#include "sim/real_executor.h"
+#include "sut/nn_sut.h"
+
+using namespace mlperf;
+
+int
+main()
+{
+    std::printf("=== MLPerf-style submission flow: "
+                "resnet50-v1.5-proxy, single-stream ===\n\n");
+
+    // ---- Submitter side: dataset, model, SUT.
+    data::ClassificationConfig config;
+    config.samplesPerClass = 5;  // 200-image validation set: quick
+    data::ClassificationDataset dataset(config);
+    models::ImageClassifier model =
+        models::ImageClassifier::resnet50Proxy(dataset);
+
+    // INT8 deployment with the provided calibration set (Sec. IV-A).
+    models::ImageClassifier deployed =
+        models::ImageClassifier::resnet50Proxy(dataset);
+    deployed.quantize(dataset);
+
+    sut::ClassificationQsl qsl(dataset, 64);
+    sut::ClassifierSut sut(deployed, qsl);
+
+    // ---- Step 1: accuracy mode. The LoadGen sweeps the entire
+    //      data set; the accuracy script scores the log.
+    double int8_accuracy = 0.0;
+    {
+        sim::RealExecutor executor;
+        loadgen::TestSettings settings =
+            loadgen::TestSettings::forScenario(
+                loadgen::Scenario::SingleStream);
+        settings.mode = loadgen::TestMode::AccuracyOnly;
+        loadgen::LoadGen loadgen(executor);
+        const auto result = loadgen.startTest(sut, qsl, settings);
+        int8_accuracy = harness::classificationTop1(
+            result.accuracyLog, dataset);
+    }
+    const double fp32_accuracy =
+        model.evaluateAccuracy(dataset, dataset.size());
+    const auto &info =
+        models::modelInfo(models::TaskType::ImageClassificationHeavy);
+    const bool quality_ok = metrics::meetsTarget(
+        int8_accuracy, fp32_accuracy, info.relativeQualityTarget);
+    std::printf("Accuracy run: INT8 Top-1 %.4f vs FP32 %.4f "
+                "(target %.0f%% of FP32): %s\n\n",
+                int8_accuracy, fp32_accuracy,
+                100.0 * info.relativeQualityTarget,
+                quality_ok ? "MEETS TARGET" : "FAILS TARGET");
+
+    // ---- Step 2: performance mode on the wall clock.
+    {
+        sim::RealExecutor executor;
+        loadgen::TestSettings settings =
+            loadgen::TestSettings::forScenario(
+                loadgen::Scenario::SingleStream);
+        // Shortened for an example; a submission run uses the full
+        // 1,024-query / 60 s floors.
+        settings.maxQueryCount = 200;
+        loadgen::LoadGen loadgen(executor);
+        const auto result = loadgen.startTest(sut, qsl, settings);
+        std::printf("%s\n", result.summary().c_str());
+    }
+
+    // ---- Step 3: the result-review audits (Sec. V-B).
+    audit::Runner runner =
+        [&](const loadgen::TestSettings &settings) {
+            sim::RealExecutor executor;
+            sut::ClassificationQsl audit_qsl(dataset, 64);
+            sut::ClassifierSut audit_sut(deployed, audit_qsl);
+            loadgen::LoadGen loadgen(executor);
+            return loadgen.startTest(audit_sut, audit_qsl, settings);
+        };
+    loadgen::TestSettings audit_settings =
+        loadgen::TestSettings::forScenario(
+            loadgen::Scenario::SingleStream);
+    audit_settings.maxQueryCount = 120;
+    const auto verdict =
+        audit::runAllAudits(runner, audit_settings);
+    std::printf("Audit suite: %s\n  %s\n",
+                verdict.pass ? "CLEARED" : "REJECTED",
+                verdict.detail.c_str());
+    return verdict.pass && quality_ok ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Rebuild everything, run the full test suite, and regenerate every
+# paper table/figure plus the ablations (EXPERIMENTS.md's evidence).
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+    [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,196 @@
+#include "audit/audit.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace mlperf {
+namespace audit {
+
+AuditVerdict
+accuracyVerificationTest(const Runner &runner,
+                         loadgen::TestSettings settings,
+                         double log_fraction)
+{
+    AuditVerdict verdict;
+    verdict.testName = "TEST01-AccuracyVerification";
+
+    // Performance run with sampled response logging.
+    loadgen::TestSettings perf = settings;
+    perf.mode = loadgen::TestMode::PerformanceOnly;
+    perf.accuracyLogFraction = log_fraction;
+    const loadgen::TestResult perf_result = runner(perf);
+
+    if (perf_result.accuracyLog.empty()) {
+        verdict.pass = false;
+        verdict.detail = "no responses were logged in performance "
+                         "mode; cannot verify accuracy";
+        return verdict;
+    }
+
+    // Reference accuracy run.
+    loadgen::TestSettings acc = settings;
+    acc.mode = loadgen::TestMode::AccuracyOnly;
+    const loadgen::TestResult acc_result = runner(acc);
+
+    std::map<loadgen::QuerySampleIndex, std::string> reference;
+    for (const auto &record : acc_result.accuracyLog)
+        reference[record.sampleIndex] = record.data;
+
+    uint64_t checked = 0, mismatched = 0;
+    for (const auto &record : perf_result.accuracyLog) {
+        const auto it = reference.find(record.sampleIndex);
+        if (it == reference.end())
+            continue;  // sample outside the accuracy sweep (unlikely)
+        ++checked;
+        if (record.data != it->second)
+            ++mismatched;
+    }
+    verdict.pass = checked > 0 && mismatched == 0;
+    verdict.detail = strprintf(
+        "checked %llu sampled responses against the accuracy run; "
+        "%llu mismatched",
+        static_cast<unsigned long long>(checked),
+        static_cast<unsigned long long>(mismatched));
+    return verdict;
+}
+
+AuditVerdict
+cachingDetectionTest(const Runner &runner,
+                     loadgen::TestSettings settings, double tolerance)
+{
+    AuditVerdict verdict;
+    verdict.testName = "TEST04-CachingDetection";
+
+    loadgen::TestSettings unique = settings;
+    unique.mode = loadgen::TestMode::PerformanceOnly;
+    unique.sampleIndexMode =
+        loadgen::TestSettings::SampleIndexMode::UniqueSweep;
+    const loadgen::TestResult unique_result = runner(unique);
+
+    loadgen::TestSettings duplicate = settings;
+    duplicate.mode = loadgen::TestMode::PerformanceOnly;
+    duplicate.sampleIndexMode =
+        loadgen::TestSettings::SampleIndexMode::SameIndex;
+    const loadgen::TestResult duplicate_result = runner(duplicate);
+
+    if (unique_result.completedQps <= 0.0) {
+        verdict.pass = false;
+        verdict.detail = "unique-index run produced no throughput";
+        return verdict;
+    }
+    const double speedup =
+        duplicate_result.completedQps / unique_result.completedQps;
+    verdict.pass = speedup <= tolerance;
+    verdict.detail = strprintf(
+        "duplicate-index throughput is %.3fx the unique-index "
+        "throughput (tolerance %.2fx)",
+        speedup, tolerance);
+    return verdict;
+}
+
+AuditVerdict
+alternateSeedTest(const Runner &runner, loadgen::TestSettings settings,
+                  uint64_t alternate_seed, double tolerance)
+{
+    AuditVerdict verdict;
+    verdict.testName = "TEST05-AlternateRandomSeed";
+
+    loadgen::TestSettings official = settings;
+    official.mode = loadgen::TestMode::PerformanceOnly;
+    const loadgen::TestResult official_result = runner(official);
+
+    loadgen::TestSettings alternate = official;
+    alternate.sampleIndexSeed = alternate_seed;
+    alternate.scheduleSeed = alternate_seed ^ 0xFFFF;
+    const loadgen::TestResult alternate_result = runner(alternate);
+
+    if (official_result.completedQps <= 0.0) {
+        verdict.pass = false;
+        verdict.detail = "official-seed run produced no throughput";
+        return verdict;
+    }
+    const double delta =
+        std::abs(alternate_result.completedQps -
+                 official_result.completedQps) /
+        official_result.completedQps;
+    verdict.pass = delta <= tolerance;
+    verdict.detail = strprintf(
+        "alternate-seed throughput differs by %.2f%% "
+        "(tolerance %.0f%%)",
+        100.0 * delta, 100.0 * tolerance);
+    return verdict;
+}
+
+AuditVerdict
+customDatasetTest(
+    const Runner &official, const Runner &custom,
+    const std::function<double(const loadgen::TestResult &)>
+        &official_quality,
+    const std::function<double(const loadgen::TestResult &)>
+        &custom_quality,
+    loadgen::TestSettings settings, double quality_tolerance,
+    double perf_tolerance)
+{
+    AuditVerdict verdict;
+    verdict.testName = "CustomDataset";
+
+    // Quality on both datasets via accuracy-mode runs.
+    loadgen::TestSettings acc = settings;
+    acc.mode = loadgen::TestMode::AccuracyOnly;
+    const double q_official = official_quality(official(acc));
+    const double q_custom = custom_quality(custom(acc));
+
+    // Performance on both datasets.
+    loadgen::TestSettings perf = settings;
+    perf.mode = loadgen::TestMode::PerformanceOnly;
+    const loadgen::TestResult perf_official = official(perf);
+    const loadgen::TestResult perf_custom = custom(perf);
+
+    if (q_official <= 0.0 || perf_official.completedQps <= 0.0) {
+        verdict.pass = false;
+        verdict.detail = "reference run produced no quality or "
+                         "throughput to compare against";
+        return verdict;
+    }
+    const double quality_drop = 1.0 - q_custom / q_official;
+    const double perf_delta =
+        std::abs(perf_custom.completedQps -
+                 perf_official.completedQps) /
+        perf_official.completedQps;
+    verdict.pass = quality_drop <= quality_tolerance &&
+                   perf_delta <= perf_tolerance;
+    verdict.detail = strprintf(
+        "custom-data quality %.4f vs reference %.4f (drop %.1f%%, "
+        "tolerance %.0f%%); throughput delta %.1f%% (tolerance "
+        "%.0f%%)",
+        q_custom, q_official, 100.0 * quality_drop,
+        100.0 * quality_tolerance, 100.0 * perf_delta,
+        100.0 * perf_tolerance);
+    return verdict;
+}
+
+AuditVerdict
+runAllAudits(const Runner &runner,
+             const loadgen::TestSettings &settings)
+{
+    AuditVerdict combined;
+    combined.testName = "AllAudits";
+    combined.pass = true;
+    for (const AuditVerdict &verdict :
+         {accuracyVerificationTest(runner, settings),
+          cachingDetectionTest(runner, settings),
+          alternateSeedTest(runner, settings)}) {
+        combined.pass = combined.pass && verdict.pass;
+        if (!combined.detail.empty())
+            combined.detail += "; ";
+        combined.detail += verdict.testName + ": " +
+                           (verdict.pass ? "PASS" : "FAIL") + " (" +
+                           verdict.detail + ")";
+    }
+    return combined;
+}
+
+} // namespace audit
+} // namespace mlperf

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Result-review validation suite (paper Sec. V-B).
+ *
+ * These are the audit experiments that peer review runs against a
+ * submission to detect rule violations without access to proprietary
+ * SUT internals:
+ *
+ *  - TEST01 accuracy verification: sample-log responses during a
+ *    performance run and check them against the accuracy run.
+ *  - TEST04 on-the-fly caching detection: compare performance with
+ *    unique vs duplicate sample indices.
+ *  - TEST05 alternate-random-seed testing: replace the official seeds
+ *    and compare performance.
+ *
+ * Each test drives the submission through a caller-provided runner so
+ * the same audits apply to simulated and real SUTs.
+ */
+
+#ifndef MLPERF_AUDIT_AUDIT_H
+#define MLPERF_AUDIT_AUDIT_H
+
+#include <functional>
+#include <string>
+
+#include "loadgen/results.h"
+#include "loadgen/test_settings.h"
+
+namespace mlperf {
+namespace audit {
+
+/**
+ * Runs one LoadGen test for the submission under audit. Must build a
+ * fresh executor/SUT for every call so runs are independent.
+ */
+using Runner =
+    std::function<loadgen::TestResult(const loadgen::TestSettings &)>;
+
+struct AuditVerdict
+{
+    bool pass = false;
+    std::string testName;
+    std::string detail;  //!< human-readable explanation
+};
+
+/**
+ * TEST01: run performance mode with a fraction of responses logged
+ * and verify each logged result matches the accuracy-mode result for
+ * the same sample index. Requires a deterministic SUT (MLPerf rules
+ * require run-to-run consistent results for the same sample).
+ */
+AuditVerdict accuracyVerificationTest(const Runner &runner,
+                                      loadgen::TestSettings settings,
+                                      double log_fraction = 0.10);
+
+/**
+ * TEST04: measure performance with unique sample indices, then with a
+ * single repeated index. A caching SUT runs significantly faster on
+ * duplicates. @p tolerance is the allowed speedup ratio (default:
+ * duplicates may be at most 10% faster).
+ */
+AuditVerdict cachingDetectionTest(const Runner &runner,
+                                  loadgen::TestSettings settings,
+                                  double tolerance = 1.10);
+
+/**
+ * TEST05: re-run with alternate schedule/sample seeds; performance
+ * must stay within @p tolerance (relative) of the official-seed run,
+ * catching optimizations tuned to the fixed seed.
+ */
+AuditVerdict alternateSeedTest(const Runner &runner,
+                               loadgen::TestSettings settings,
+                               uint64_t alternate_seed = 0xA17E55EE,
+                               double tolerance = 0.10);
+
+/**
+ * Custom-dataset testing (Sec. V-B: "we use custom data sets to
+ * detect result caching ... replacing the reference data set with a
+ * custom data set" and comparing quality and performance).
+ *
+ * @param official runner bound to the reference dataset
+ * @param custom runner bound to a custom dataset of the same shape
+ * @param quality_of evaluates task quality from a finished accuracy
+ *        run (the accuracy script, partially applied to the matching
+ *        dataset)
+ * @param quality_tolerance max allowed relative quality drop on the
+ *        custom data (a memorizing SUT collapses here)
+ * @param perf_tolerance max allowed relative throughput difference
+ */
+AuditVerdict customDatasetTest(
+    const Runner &official, const Runner &custom,
+    const std::function<double(const loadgen::TestResult &)>
+        &official_quality,
+    const std::function<double(const loadgen::TestResult &)>
+        &custom_quality,
+    loadgen::TestSettings settings, double quality_tolerance = 0.05,
+    double perf_tolerance = 0.10);
+
+/** Run all audits and AND the verdicts (details concatenated). */
+AuditVerdict runAllAudits(const Runner &runner,
+                          const loadgen::TestSettings &settings);
+
+} // namespace audit
+} // namespace mlperf
+
+#endif // MLPERF_AUDIT_AUDIT_H

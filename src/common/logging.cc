@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace mlperf {
+
+namespace {
+
+std::mutex g_mutex;
+// Libraries default to quiet: applications opt into Info/Debug.
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+Logger::Sink &
+sinkRef()
+{
+    static Logger::Sink sink = defaultSink;
+    return sink;
+}
+
+} // namespace
+
+Logger::Sink
+Logger::setSink(Sink sink)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    Sink old = sinkRef();
+    sinkRef() = std::move(sink);
+    return old;
+}
+
+void
+Logger::setLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+Logger::level()
+{
+    return g_level;
+}
+
+void
+Logger::write(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level))
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (sinkRef())
+        sinkRef()(level, msg);
+}
+
+} // namespace mlperf

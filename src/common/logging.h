@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal leveled logging for the benchmark infrastructure.
+ *
+ * The real MLPerf LoadGen ships an async trace logger; here we keep a
+ * simple synchronous sink that the LoadGen and harness use for run
+ * summaries and diagnostics. Tests can swap the sink to capture output.
+ */
+
+#ifndef MLPERF_COMMON_LOGGING_H
+#define MLPERF_COMMON_LOGGING_H
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace mlperf {
+
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Global logging configuration; process-wide, not thread-safe to mutate
+ *  while logging is in flight (set once at startup or per test). */
+class Logger
+{
+  public:
+    using Sink = std::function<void(LogLevel, const std::string &)>;
+
+    /** Replace the sink; returns the previous one. */
+    static Sink setSink(Sink sink);
+
+    /** Messages below this level are dropped. */
+    static void setLevel(LogLevel level);
+    static LogLevel level();
+
+    static void write(LogLevel level, const std::string &msg);
+};
+
+namespace detail {
+
+/** Stream-style one-shot message builder used by the LOG macro. */
+class LogMessage
+{
+  public:
+    explicit LogMessage(LogLevel level) : level_(level) {}
+    ~LogMessage() { Logger::write(level_, stream_.str()); }
+
+    template <typename T>
+    LogMessage &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace mlperf
+
+#define MLPERF_LOG(level) \
+    ::mlperf::detail::LogMessage(::mlperf::LogLevel::level)
+
+#endif // MLPERF_COMMON_LOGGING_H

@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mlperf {
+
+namespace {
+
+/** splitmix64 step; used only for seed expansion. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random bits into [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Rejection sampling over the largest multiple of bound.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    uint64_t value;
+    do {
+        value = next();
+    } while (value >= limit);
+    return value % bound;
+}
+
+int64_t
+Rng::nextInRange(int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(
+        nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextGaussian()
+{
+    // Box-Muller; regenerate u1 until nonzero so log() is finite.
+    double u1;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextExponential(double rate)
+{
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace mlperf

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The LoadGen's reproducibility guarantees (Sec. IV-B of the paper) rest
+ * on all query traffic being derived from explicit seeds. We use a
+ * xoshiro256** generator seeded through splitmix64, which gives
+ * high-quality streams, cheap construction, and bit-exact behaviour
+ * across platforms (unlike std::mt19937 distributions, whose outputs are
+ * not standardized for floating point).
+ */
+
+#ifndef MLPERF_COMMON_RNG_H
+#define MLPERF_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mlperf {
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding.
+ *
+ * All randomness in the repository (query sampling, Poisson arrivals,
+ * synthetic data generation, simulated-hardware jitter) flows through
+ * this class so runs are reproducible from the seeds recorded in the
+ * test settings.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; expands via splitmix64. */
+    explicit Rng(uint64_t seed = kDefaultSeed);
+
+    /** Default seed, mirroring the "official seed" of an MLPerf round. */
+    static constexpr uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, bound) using rejection to avoid bias. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextInRange(int64_t lo, int64_t hi);
+
+    /** Standard normal variate (Box-Muller, no cached spare). */
+    double nextGaussian();
+
+    /**
+     * Exponential variate with the given rate (events per unit time).
+     * Used to generate Poisson-process interarrival gaps for the
+     * server scenario.
+     */
+    double nextExponential(double rate);
+
+    /** Fork a stream that is statistically independent of this one. */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+/**
+ * Fisher-Yates shuffle driven by an Rng.
+ *
+ * std::shuffle's use of the URBG is implementation-defined; we need a
+ * portable, seed-stable shuffle for sample-index permutations.
+ */
+template <typename T>
+void
+shuffle(std::vector<T> &v, Rng &rng)
+{
+    for (size_t i = v.size(); i > 1; --i) {
+        size_t j = rng.nextBelow(i);
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+} // namespace mlperf
+
+#endif // MLPERF_COMMON_RNG_H

@@ -1,0 +1,75 @@
+#include "data/classification.h"
+
+#include <cassert>
+
+namespace mlperf {
+namespace data {
+
+namespace {
+
+/** Stream tags keeping validation, train, and calibration disjoint. */
+constexpr uint64_t kValStream = 1;
+constexpr uint64_t kTrainStream = 2;
+
+} // namespace
+
+ClassificationDataset::ClassificationDataset(ClassificationConfig config)
+    : config_(config)
+{
+    prototypes_.reserve(static_cast<size_t>(config_.numClasses));
+    for (int64_t c = 0; c < config_.numClasses; ++c) {
+        Rng rng(mixSeed(config_.seed, /*prototype stream*/ 0,
+                        static_cast<uint64_t>(c)));
+        prototypes_.push_back(smoothPattern(
+            config_.channels, config_.height, config_.width, 4, rng));
+    }
+}
+
+tensor::Tensor
+ClassificationDataset::makeSample(int64_t cls, uint64_t stream,
+                                  uint64_t index) const
+{
+    Rng rng(mixSeed(config_.seed, stream,
+                    static_cast<uint64_t>(cls) * 1000003 + index));
+    tensor::Tensor img = prototypes_[static_cast<size_t>(cls)];
+    const double contrast =
+        config_.contrastMin +
+        (config_.contrastMax - config_.contrastMin) * rng.nextDouble();
+    scaleContrast(img, contrast);
+    addNoise(img, config_.noiseStddev, rng);
+    // Return as a batch of one: [1, C, H, W].
+    return img.reshaped(tensor::Shape{1, config_.channels,
+                                      config_.height, config_.width});
+}
+
+tensor::Tensor
+ClassificationDataset::image(int64_t i) const
+{
+    assert(i >= 0 && i < size());
+    return makeSample(label(i), kValStream,
+                      static_cast<uint64_t>(i / config_.numClasses));
+}
+
+tensor::Tensor
+ClassificationDataset::trainImage(int64_t cls, int64_t j) const
+{
+    assert(cls >= 0 && cls < config_.numClasses);
+    return makeSample(cls, kTrainStream, static_cast<uint64_t>(j));
+}
+
+std::vector<tensor::Tensor>
+ClassificationDataset::calibrationSet() const
+{
+    // A fixed, documented slice of the training stream; never overlaps
+    // validation indices.
+    std::vector<tensor::Tensor> out;
+    out.reserve(static_cast<size_t>(config_.calibrationCount));
+    for (int64_t i = 0; i < config_.calibrationCount; ++i) {
+        out.push_back(trainImage(i % config_.numClasses,
+                                 config_.trainPerClass + i));
+    }
+    return out;
+}
+
+} // namespace data
+} // namespace mlperf

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic image-classification dataset (ImageNet stand-in).
+ *
+ * Each class has a fixed smooth prototype pattern; a sample is its
+ * class prototype under random contrast plus Gaussian noise. The
+ * noise level sets the Bayes-achievable accuracy, which lets the model
+ * zoo hit FP32 accuracies near the paper's Table I values.
+ */
+
+#ifndef MLPERF_DATA_CLASSIFICATION_H
+#define MLPERF_DATA_CLASSIFICATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synth.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace data {
+
+struct ClassificationConfig
+{
+    int64_t numClasses = 40;
+    int64_t channels = 3;
+    int64_t height = 32;
+    int64_t width = 32;
+    int64_t samplesPerClass = 25;   //!< validation samples per class
+    int64_t trainPerClass = 4;      //!< used to fit classifier heads
+    int64_t calibrationCount = 16;  //!< fixed calibration set size
+    double noiseStddev = 1.15;
+    double contrastMin = 0.7;
+    double contrastMax = 1.3;
+    uint64_t seed = 0x11001;
+};
+
+/**
+ * Deterministic on-demand dataset: sample(i) is a pure function of the
+ * config seed and i, so no pixel data is stored.
+ */
+class ClassificationDataset
+{
+  public:
+    explicit ClassificationDataset(ClassificationConfig config = {});
+
+    int64_t size() const
+    {
+        return config_.numClasses * config_.samplesPerClass;
+    }
+    int64_t numClasses() const { return config_.numClasses; }
+    const ClassificationConfig &config() const { return config_; }
+
+    /** Validation image i as [1, C, H, W] (batch of one). */
+    tensor::Tensor image(int64_t i) const;
+
+    /** Ground-truth class of validation image i. */
+    int64_t label(int64_t i) const { return i % config_.numClasses; }
+
+    /** Training image j of class c (for closed-form head fitting). */
+    tensor::Tensor trainImage(int64_t cls, int64_t j) const;
+
+    /** The fixed calibration set (Sec. IV-A): drawn from train data. */
+    std::vector<tensor::Tensor> calibrationSet() const;
+
+    /** Class prototype (noise-free); exposed for tests. */
+    const tensor::Tensor &prototype(int64_t cls) const
+    {
+        return prototypes_[static_cast<size_t>(cls)];
+    }
+
+  private:
+    tensor::Tensor makeSample(int64_t cls, uint64_t stream,
+                              uint64_t index) const;
+
+    ClassificationConfig config_;
+    std::vector<tensor::Tensor> prototypes_;
+};
+
+} // namespace data
+} // namespace mlperf
+
+#endif // MLPERF_DATA_CLASSIFICATION_H

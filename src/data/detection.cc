@@ -1,0 +1,142 @@
+#include "data/detection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlperf {
+namespace data {
+
+namespace {
+
+constexpr uint64_t kProtoStream = 10;
+constexpr uint64_t kValStream = 11;
+constexpr uint64_t kCalibStream = 12;
+
+} // namespace
+
+double
+iou(const Box &a, const Box &b)
+{
+    const double ix0 = std::max(a.x0, b.x0);
+    const double iy0 = std::max(a.y0, b.y0);
+    const double ix1 = std::min(a.x1, b.x1);
+    const double iy1 = std::min(a.y1, b.y1);
+    const double iw = std::max(0.0, ix1 - ix0);
+    const double ih = std::max(0.0, iy1 - iy0);
+    const double inter = iw * ih;
+    const double uni = a.area() + b.area() - inter;
+    return uni > 0.0 ? inter / uni : 0.0;
+}
+
+DetectionDataset::DetectionDataset(DetectionConfig config)
+    : config_(config)
+{
+    prototypes_.reserve(static_cast<size_t>(config_.numClasses));
+    for (int64_t c = 0; c < config_.numClasses; ++c) {
+        Rng rng(mixSeed(config_.seed, kProtoStream,
+                        static_cast<uint64_t>(c)));
+        tensor::Tensor patch =
+            smoothPattern(config_.channels, config_.objectSize,
+                          config_.objectSize, 6, rng);
+        scaleContrast(patch, config_.objectGain);
+        prototypes_.push_back(std::move(patch));
+    }
+}
+
+DetectionDataset::Placement
+DetectionDataset::placements(int64_t i, uint64_t stream) const
+{
+    Rng rng(mixSeed(config_.seed, stream, static_cast<uint64_t>(i)));
+    Placement p;
+    const int64_t count =
+        1 + static_cast<int64_t>(
+                rng.nextBelow(static_cast<uint64_t>(config_.maxObjects)));
+    const int64_t s = config_.objectSize;
+    const int64_t max_x = config_.width - s;
+    const int64_t max_y = config_.height - s;
+    for (int64_t k = 0; k < count; ++k) {
+        // Rejection-sample a slot that does not overlap placed boxes;
+        // give up after a bounded number of tries (scene stays valid
+        // with fewer objects).
+        for (int attempt = 0; attempt < 20; ++attempt) {
+            const double x0 = static_cast<double>(
+                rng.nextBelow(static_cast<uint64_t>(max_x + 1)));
+            const double y0 = static_cast<double>(
+                rng.nextBelow(static_cast<uint64_t>(max_y + 1)));
+            Box box{x0, y0, x0 + static_cast<double>(s),
+                    y0 + static_cast<double>(s)};
+            bool overlaps = false;
+            for (const auto &existing : p.objects) {
+                if (iou(existing.box, box) > 0.0) {
+                    overlaps = true;
+                    break;
+                }
+            }
+            if (!overlaps) {
+                GroundTruthObject obj;
+                obj.cls = static_cast<int64_t>(rng.nextBelow(
+                    static_cast<uint64_t>(config_.numClasses)));
+                obj.box = box;
+                p.objects.push_back(obj);
+                break;
+            }
+        }
+    }
+    return p;
+}
+
+tensor::Tensor
+DetectionDataset::render(const Placement &p, uint64_t noise_seed) const
+{
+    Rng rng(noise_seed);
+    tensor::Tensor img(tensor::Shape{1, config_.channels,
+                                     config_.height, config_.width});
+    addNoise(img, config_.noiseStddev, rng);
+    const int64_t s = config_.objectSize;
+    for (const auto &obj : p.objects) {
+        const auto &patch = prototypes_[static_cast<size_t>(obj.cls)];
+        const int64_t px = static_cast<int64_t>(obj.box.x0);
+        const int64_t py = static_cast<int64_t>(obj.box.y0);
+        for (int64_t c = 0; c < config_.channels; ++c) {
+            for (int64_t y = 0; y < s; ++y) {
+                for (int64_t x = 0; x < s; ++x) {
+                    img.at(0, c, py + y, px + x) +=
+                        patch[(c * s + y) * s + x];
+                }
+            }
+        }
+    }
+    return img;
+}
+
+tensor::Tensor
+DetectionDataset::image(int64_t i) const
+{
+    assert(i >= 0 && i < size());
+    return render(placements(i, kValStream),
+                  mixSeed(config_.seed, kValStream + 100,
+                          static_cast<uint64_t>(i)));
+}
+
+std::vector<GroundTruthObject>
+DetectionDataset::groundTruth(int64_t i) const
+{
+    assert(i >= 0 && i < size());
+    return placements(i, kValStream).objects;
+}
+
+std::vector<tensor::Tensor>
+DetectionDataset::calibrationSet() const
+{
+    std::vector<tensor::Tensor> out;
+    out.reserve(static_cast<size_t>(config_.calibrationCount));
+    for (int64_t i = 0; i < config_.calibrationCount; ++i) {
+        out.push_back(render(placements(i, kCalibStream),
+                             mixSeed(config_.seed, kCalibStream + 100,
+                                     static_cast<uint64_t>(i))));
+    }
+    return out;
+}
+
+} // namespace data
+} // namespace mlperf

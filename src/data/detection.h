@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic object-detection dataset (COCO stand-in).
+ *
+ * Scenes are noisy backgrounds with 1..maxObjects class-prototype
+ * patches pasted at random non-overlapping positions. Ground truth is
+ * the exact set of pasted boxes, so mAP is computable without human
+ * annotation. Two configurations mirror the paper's small (300x300
+ * proxy) and large (1200x1200 proxy) detection inputs.
+ */
+
+#ifndef MLPERF_DATA_DETECTION_H
+#define MLPERF_DATA_DETECTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synth.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace data {
+
+/** Axis-aligned box in pixel coordinates (x0,y0 inclusive top-left). */
+struct Box
+{
+    double x0 = 0.0;
+    double y0 = 0.0;
+    double x1 = 0.0;
+    double y1 = 0.0;
+
+    double area() const { return (x1 - x0) * (y1 - y0); }
+};
+
+/** Intersection-over-union of two boxes. */
+double iou(const Box &a, const Box &b);
+
+/** A ground-truth object instance. */
+struct GroundTruthObject
+{
+    int64_t cls = 0;
+    Box box;
+};
+
+struct DetectionConfig
+{
+    int64_t numClasses = 12;
+    int64_t channels = 3;
+    int64_t height = 48;
+    int64_t width = 48;
+    int64_t objectSize = 12;     //!< square object patch side
+    int64_t maxObjects = 3;
+    int64_t sampleCount = 800;
+    int64_t calibrationCount = 16;
+    double noiseStddev = 2.5;
+    double objectGain = 0.8;     //!< object intensity over background
+    uint64_t seed = 0x22002;
+};
+
+class DetectionDataset
+{
+  public:
+    explicit DetectionDataset(DetectionConfig config = {});
+
+    int64_t size() const { return config_.sampleCount; }
+    int64_t numClasses() const { return config_.numClasses; }
+    const DetectionConfig &config() const { return config_; }
+
+    /** Scene image i as [1, C, H, W]. */
+    tensor::Tensor image(int64_t i) const;
+
+    /** Exact ground truth for scene i. */
+    std::vector<GroundTruthObject> groundTruth(int64_t i) const;
+
+    /** Fixed calibration scenes (disjoint index stream). */
+    std::vector<tensor::Tensor> calibrationSet() const;
+
+    /** Object prototype patch for a class; exposed for the detector. */
+    const tensor::Tensor &prototype(int64_t cls) const
+    {
+        return prototypes_[static_cast<size_t>(cls)];
+    }
+
+  private:
+    struct Placement
+    {
+        std::vector<GroundTruthObject> objects;
+    };
+    Placement placements(int64_t i, uint64_t stream) const;
+    tensor::Tensor render(const Placement &p, uint64_t noise_seed) const;
+
+    DetectionConfig config_;
+    std::vector<tensor::Tensor> prototypes_;  //!< [C, S, S] each
+};
+
+} // namespace data
+} // namespace mlperf
+
+#endif // MLPERF_DATA_DETECTION_H

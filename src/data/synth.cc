@@ -1,0 +1,74 @@
+#include "data/synth.h"
+
+#include <cmath>
+
+namespace mlperf {
+namespace data {
+
+uint64_t
+mixSeed(uint64_t seed, uint64_t a, uint64_t b)
+{
+    // splitmix64-style avalanche over the concatenated words.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (a + 1) +
+                 0xbf58476d1ce4e5b9ULL * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+tensor::Tensor
+smoothPattern(int64_t channels, int64_t height, int64_t width,
+              int64_t grid, Rng &rng)
+{
+    tensor::Tensor out(tensor::Shape{channels, height, width});
+    std::vector<float> coarse(
+        static_cast<size_t>(channels * grid * grid));
+    for (auto &v : coarse)
+        v = static_cast<float>(rng.nextGaussian());
+
+    for (int64_t c = 0; c < channels; ++c) {
+        const float *g = coarse.data() + c * grid * grid;
+        for (int64_t y = 0; y < height; ++y) {
+            // Map pixel to coarse-grid coordinates.
+            const double gy = static_cast<double>(y) /
+                              static_cast<double>(height) *
+                              static_cast<double>(grid - 1);
+            const int64_t y0 = static_cast<int64_t>(gy);
+            const int64_t y1 = std::min(y0 + 1, grid - 1);
+            const double fy = gy - static_cast<double>(y0);
+            for (int64_t x = 0; x < width; ++x) {
+                const double gx = static_cast<double>(x) /
+                                  static_cast<double>(width) *
+                                  static_cast<double>(grid - 1);
+                const int64_t x0 = static_cast<int64_t>(gx);
+                const int64_t x1 = std::min(x0 + 1, grid - 1);
+                const double fx = gx - static_cast<double>(x0);
+                const double v =
+                    (1 - fy) * ((1 - fx) * g[y0 * grid + x0] +
+                                fx * g[y0 * grid + x1]) +
+                    fy * ((1 - fx) * g[y1 * grid + x0] +
+                          fx * g[y1 * grid + x1]);
+                out[(c * height + y) * width + x] =
+                    static_cast<float>(v);
+            }
+        }
+    }
+    return out;
+}
+
+void
+addNoise(tensor::Tensor &t, double stddev, Rng &rng)
+{
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] += static_cast<float>(stddev * rng.nextGaussian());
+}
+
+void
+scaleContrast(tensor::Tensor &t, double factor)
+{
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] *= static_cast<float>(factor);
+}
+
+} // namespace data
+} // namespace mlperf

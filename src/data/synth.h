@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared synthetic-image machinery.
+ *
+ * The paper benchmarks on ImageNet/COCO/WMT, which are not available
+ * here; DESIGN.md records the substitution. Every dataset in this
+ * module is procedurally generated from a seed: sample i is a pure
+ * function of (seed, i), so datasets need no storage, are bit-stable
+ * across runs (the reproducibility property MLPerf gets from fixed
+ * reference data), and come with exact ground truth.
+ */
+
+#ifndef MLPERF_DATA_SYNTH_H
+#define MLPERF_DATA_SYNTH_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace data {
+
+/** Stable 64-bit mix of a seed and stream identifiers. */
+uint64_t mixSeed(uint64_t seed, uint64_t a, uint64_t b = 0);
+
+/**
+ * Smooth random pattern: a coarse random grid bilinearly upsampled to
+ * the target size. Smoothness makes class prototypes distinguishable
+ * by small convolutional filters, standing in for natural-image
+ * structure.
+ *
+ * @param grid coarse resolution (e.g. 4 gives a 4x4 control grid)
+ */
+tensor::Tensor smoothPattern(int64_t channels, int64_t height,
+                             int64_t width, int64_t grid, Rng &rng);
+
+/** Add IID Gaussian noise of the given stddev. */
+void addNoise(tensor::Tensor &t, double stddev, Rng &rng);
+
+/** Scale all values by a contrast factor. */
+void scaleContrast(tensor::Tensor &t, double factor);
+
+} // namespace data
+} // namespace mlperf
+
+#endif // MLPERF_DATA_SYNTH_H

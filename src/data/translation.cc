@@ -1,0 +1,95 @@
+#include "data/translation.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "data/synth.h"
+
+namespace mlperf {
+namespace data {
+
+namespace {
+
+constexpr uint64_t kValStream = 20;
+constexpr uint64_t kCalibStream = 21;
+
+} // namespace
+
+TranslationDataset::TranslationDataset(TranslationConfig config)
+    : config_(config)
+{
+    assert(config_.vocabSize > kFirstWordToken + 1);
+    // Random bijection over the word tokens, fixed by the seed.
+    const int64_t words = config_.vocabSize - kFirstWordToken;
+    std::vector<int64_t> perm(static_cast<size_t>(words));
+    std::iota(perm.begin(), perm.end(), kFirstWordToken);
+    Rng rng(mixSeed(config_.seed, 0, 0));
+    shuffle(perm, rng);
+    lexicon_.assign(static_cast<size_t>(config_.vocabSize), kPadToken);
+    for (int64_t w = 0; w < words; ++w)
+        lexicon_[static_cast<size_t>(kFirstWordToken + w)] =
+            perm[static_cast<size_t>(w)];
+}
+
+std::vector<int64_t>
+TranslationDataset::makeSource(uint64_t stream, int64_t i) const
+{
+    Rng rng(mixSeed(config_.seed, stream, static_cast<uint64_t>(i)));
+    const int64_t len =
+        config_.minLength +
+        static_cast<int64_t>(rng.nextBelow(static_cast<uint64_t>(
+            config_.maxLength - config_.minLength + 1)));
+    std::vector<int64_t> tokens;
+    tokens.reserve(static_cast<size_t>(len + 1));
+    const uint64_t words =
+        static_cast<uint64_t>(config_.vocabSize - kFirstWordToken);
+    for (int64_t t = 0; t < len; ++t)
+        tokens.push_back(kFirstWordToken +
+                         static_cast<int64_t>(rng.nextBelow(words)));
+    tokens.push_back(kEosToken);
+    return tokens;
+}
+
+std::vector<int64_t>
+TranslationDataset::source(int64_t i) const
+{
+    assert(i >= 0 && i < size());
+    return makeSource(kValStream, i);
+}
+
+std::vector<int64_t>
+TranslationDataset::reference(int64_t i) const
+{
+    std::vector<int64_t> src = source(i);
+    std::vector<int64_t> out;
+    out.reserve(src.size());
+    for (int64_t tok : src) {
+        if (tok == kEosToken) {
+            out.push_back(kEosToken);
+            break;
+        }
+        out.push_back(translateWord(tok));
+    }
+    return out;
+}
+
+int64_t
+TranslationDataset::translateWord(int64_t source_token) const
+{
+    assert(source_token >= 0 &&
+           source_token < static_cast<int64_t>(lexicon_.size()));
+    return lexicon_[static_cast<size_t>(source_token)];
+}
+
+std::vector<std::vector<int64_t>>
+TranslationDataset::calibrationSet() const
+{
+    std::vector<std::vector<int64_t>> out;
+    out.reserve(static_cast<size_t>(config_.calibrationCount));
+    for (int64_t i = 0; i < config_.calibrationCount; ++i)
+        out.push_back(makeSource(kCalibStream, i));
+    return out;
+}
+
+} // namespace data
+} // namespace mlperf

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic machine-translation dataset (WMT16 EN-DE stand-in).
+ *
+ * The "language" is a token vocabulary with a hidden bijective lexicon:
+ * the reference translation of a source sentence is the tokenwise
+ * lexicon image followed by EOS. This gives exact references for BLEU
+ * while the GNMT proxy has to genuinely recover the lexicon through
+ * its embedding/attention pipeline.
+ */
+
+#ifndef MLPERF_DATA_TRANSLATION_H
+#define MLPERF_DATA_TRANSLATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlperf {
+namespace data {
+
+/** Reserved token ids shared by source and target vocabularies. */
+constexpr int64_t kPadToken = 0;
+constexpr int64_t kBosToken = 1;
+constexpr int64_t kEosToken = 2;
+constexpr int64_t kFirstWordToken = 3;
+
+struct TranslationConfig
+{
+    int64_t vocabSize = 64;    //!< includes the reserved tokens
+    int64_t minLength = 4;     //!< source words (excl. EOS)
+    int64_t maxLength = 16;
+    int64_t sampleCount = 600;
+    int64_t calibrationCount = 16;
+    uint64_t seed = 0x33003;
+};
+
+class TranslationDataset
+{
+  public:
+    explicit TranslationDataset(TranslationConfig config = {});
+
+    int64_t size() const { return config_.sampleCount; }
+    const TranslationConfig &config() const { return config_; }
+
+    /** Source sentence i: word tokens terminated by EOS. */
+    std::vector<int64_t> source(int64_t i) const;
+
+    /** Reference translation of sentence i (ends with EOS). */
+    std::vector<int64_t> reference(int64_t i) const;
+
+    /** Lexicon: target word for each source word token. */
+    int64_t translateWord(int64_t source_token) const;
+
+    /** Fixed calibration sentences (disjoint index stream). */
+    std::vector<std::vector<int64_t>> calibrationSet() const;
+
+  private:
+    std::vector<int64_t> makeSource(uint64_t stream, int64_t i) const;
+
+    TranslationConfig config_;
+    std::vector<int64_t> lexicon_;  //!< source word -> target word
+};
+
+} // namespace data
+} // namespace mlperf
+
+#endif // MLPERF_DATA_TRANSLATION_H

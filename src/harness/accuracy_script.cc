@@ -1,0 +1,65 @@
+#include "harness/accuracy_script.h"
+
+#include "metrics/accuracy.h"
+#include "metrics/bleu.h"
+#include "metrics/map.h"
+#include "sut/nn_sut.h"
+
+namespace mlperf {
+namespace harness {
+
+double
+classificationTop1(const std::vector<loadgen::AccuracyRecord> &log,
+                   const data::ClassificationDataset &dataset)
+{
+    std::vector<int64_t> predictions;
+    std::vector<int64_t> labels;
+    predictions.reserve(log.size());
+    labels.reserve(log.size());
+    for (const auto &record : log) {
+        predictions.push_back(
+            sut::decodeClassification(record.data));
+        labels.push_back(
+            dataset.label(static_cast<int64_t>(record.sampleIndex)));
+    }
+    return metrics::top1Accuracy(predictions, labels);
+}
+
+double
+detectionMap(const std::vector<loadgen::AccuracyRecord> &log,
+             const data::DetectionDataset &dataset)
+{
+    std::vector<metrics::Detection> detections;
+    std::vector<metrics::ImageGroundTruth> truth;
+    truth.reserve(log.size());
+    for (const auto &record : log) {
+        const int64_t image_id =
+            static_cast<int64_t>(record.sampleIndex);
+        const auto decoded =
+            sut::decodeDetections(record.data, image_id);
+        detections.insert(detections.end(), decoded.begin(),
+                          decoded.end());
+        truth.push_back({image_id, dataset.groundTruth(image_id)});
+    }
+    return metrics::meanAveragePrecision(detections, truth,
+                                         dataset.numClasses());
+}
+
+double
+translationBleu(const std::vector<loadgen::AccuracyRecord> &log,
+                const data::TranslationDataset &dataset)
+{
+    std::vector<metrics::TokenSeq> hypotheses;
+    std::vector<metrics::TokenSeq> references;
+    hypotheses.reserve(log.size());
+    references.reserve(log.size());
+    for (const auto &record : log) {
+        hypotheses.push_back(sut::decodeTokens(record.data));
+        references.push_back(dataset.reference(
+            static_cast<int64_t>(record.sampleIndex)));
+    }
+    return metrics::bleuScore(hypotheses, references);
+}
+
+} // namespace harness
+} // namespace mlperf

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The accuracy script (paper Sec. IV, Fig. 3 step 7): consumes the
+ * LoadGen's accuracy-mode log and the dataset ground truth, decodes
+ * the SUT's serialized results, and computes the task quality metric,
+ * which is then compared against the Table I target.
+ */
+
+#ifndef MLPERF_HARNESS_ACCURACY_SCRIPT_H
+#define MLPERF_HARNESS_ACCURACY_SCRIPT_H
+
+#include <vector>
+
+#include "data/classification.h"
+#include "data/detection.h"
+#include "data/translation.h"
+#include "loadgen/results.h"
+
+namespace mlperf {
+namespace harness {
+
+/** Top-1 accuracy from a classification accuracy log. */
+double classificationTop1(
+    const std::vector<loadgen::AccuracyRecord> &log,
+    const data::ClassificationDataset &dataset);
+
+/** mAP@0.5 from a detection accuracy log. */
+double detectionMap(const std::vector<loadgen::AccuracyRecord> &log,
+                    const data::DetectionDataset &dataset);
+
+/** Corpus SacreBLEU from a translation accuracy log. */
+double translationBleu(
+    const std::vector<loadgen::AccuracyRecord> &log,
+    const data::TranslationDataset &dataset);
+
+} // namespace harness
+} // namespace mlperf
+
+#endif // MLPERF_HARNESS_ACCURACY_SCRIPT_H

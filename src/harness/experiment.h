@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment drivers: run a (task, scenario) pair against a simulated
+ * system and report the scenario's headline metric — the machinery
+ * behind every population figure/table bench (Figures 5-8, Table VI).
+ */
+
+#ifndef MLPERF_HARNESS_EXPERIMENT_H
+#define MLPERF_HARNESS_EXPERIMENT_H
+
+#include <string>
+
+#include "harness/search.h"
+#include "loadgen/loadgen.h"
+#include "models/model_info.h"
+#include "sut/hardware_profile.h"
+#include "report/submission.h"
+#include "sut/simulated_sut.h"
+
+namespace mlperf {
+namespace harness {
+
+struct ExperimentOptions
+{
+    /**
+     * Scales the paper's query floors and minimum duration; 1.0 runs
+     * the full 270,336-query protocol, smaller values keep wide
+     * population sweeps fast while preserving behaviour shapes.
+     */
+    double scale = 1.0;
+    SearchOptions search;
+    uint64_t sutSeed = 0xDEC0DE;
+    /** Dynamic batching window for the server scenario (SUT-side). */
+    sim::Tick serverBatchWindowNs = 2 * sim::kNsPerMs;
+};
+
+/**
+ * Table III/IV/V settings for a task-scenario pair, scaled by
+ * options.scale.
+ */
+loadgen::TestSettings settingsForTask(models::TaskType task,
+                                      loadgen::Scenario scenario,
+                                      const ExperimentOptions &options);
+
+/** Outcome of one task-scenario measurement on one system. */
+struct ScenarioOutcome
+{
+    models::TaskType task;
+    loadgen::Scenario scenario;
+    std::string systemName;
+    double metric = 0.0;  //!< TestResult::scenarioMetric semantics
+    bool valid = false;
+    loadgen::TestResult result;
+};
+
+/** 90th-percentile latency of sequential single-sample queries. */
+ScenarioOutcome runSingleStream(const sut::HardwareProfile &profile,
+                                models::TaskType task,
+                                const ExperimentOptions &options = {});
+
+/** Batch throughput on one query of >= 24,576 samples. */
+ScenarioOutcome runOffline(const sut::HardwareProfile &profile,
+                           models::TaskType task,
+                           const ExperimentOptions &options = {});
+
+/** Max Poisson QPS subject to the Table III QoS bound. */
+ScenarioOutcome runServer(const sut::HardwareProfile &profile,
+                          models::TaskType task,
+                          const ExperimentOptions &options = {});
+
+/** Max streams N subject to the interval bound. */
+ScenarioOutcome runMultiStream(const sut::HardwareProfile &profile,
+                               models::TaskType task,
+                               const ExperimentOptions &options = {});
+
+/** Dispatch on scenario. */
+ScenarioOutcome runScenario(const sut::HardwareProfile &profile,
+                            models::TaskType task,
+                            loadgen::Scenario scenario,
+                            const ExperimentOptions &options = {});
+
+/**
+ * A complete submission for one task on one system: all four
+ * scenarios, packaged as result-page records with the system
+ * description filled in from the profile (Sec. V-A).
+ */
+std::vector<report::SubmissionResult> runSubmission(
+    const sut::HardwareProfile &profile, models::TaskType task,
+    const ExperimentOptions &options = {});
+
+} // namespace harness
+} // namespace mlperf
+
+#endif // MLPERF_HARNESS_EXPERIMENT_H

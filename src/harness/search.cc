@@ -1,0 +1,132 @@
+#include "harness/search.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlperf {
+namespace harness {
+
+namespace {
+
+/** All runsPerDecision seeds must produce a valid run. */
+template <typename Probe, typename Load>
+bool
+allRunsValid(const Probe &probe, Load load,
+             const SearchOptions &options, int &probes,
+             loadgen::TestResult *last_valid)
+{
+    loadgen::TestResult result;
+    for (int r = 0; r < options.runsPerDecision; ++r) {
+        result = probe(load, options.seedBase + static_cast<uint64_t>(r));
+        ++probes;
+        if (!result.valid)
+            return false;
+    }
+    if (last_valid)
+        *last_valid = result;
+    return true;
+}
+
+} // namespace
+
+QpsSearchResult
+findMaxQps(const QpsProbe &probe, double hi, const SearchOptions &options)
+{
+    assert(hi > 0.0);
+    QpsSearchResult out;
+
+    // Shrink geometrically until we find a passing lower bracket.
+    double lo = hi;
+    int shrinks = 0;
+    while (!allRunsValid(probe, lo, options, out.probes,
+                         &out.lastValid)) {
+        lo /= 2.0;
+        if (++shrinks > 24)
+            return out;  // nothing passes; maxQps stays 0
+    }
+    if (lo == hi) {
+        out.maxQps = hi;  // the bound itself passes
+        return out;
+    }
+
+    // Bisect (lo passes, hi fails).
+    for (int i = 0; i < options.iterations; ++i) {
+        if ((hi - lo) / hi < options.relativeTolerance)
+            break;
+        const double mid = 0.5 * (lo + hi);
+        loadgen::TestResult candidate;
+        if (allRunsValid(probe, mid, options, out.probes,
+                         &candidate)) {
+            lo = mid;
+            out.lastValid = candidate;
+        } else {
+            hi = mid;
+        }
+    }
+    out.maxQps = lo;
+    return out;
+}
+
+StreamsSearchResult
+findMaxStreams(const StreamsProbe &probe, uint64_t hi,
+               const SearchOptions &options)
+{
+    assert(hi >= 1);
+    StreamsSearchResult out;
+
+    // N=1 failing means no valid configuration.
+    loadgen::TestResult at_one;
+    if (!allRunsValid(probe, static_cast<uint64_t>(1), options,
+                      out.probes, &at_one)) {
+        return out;
+    }
+    out.maxStreams = 1;
+    out.lastValid = at_one;
+
+    uint64_t lo = 1;
+    // Find a failing upper bracket by doubling (capped at hi).
+    uint64_t upper = std::min<uint64_t>(2, hi);
+    while (upper < hi) {
+        loadgen::TestResult candidate;
+        if (allRunsValid(probe, upper, options, out.probes,
+                         &candidate)) {
+            lo = upper;
+            out.maxStreams = upper;
+            out.lastValid = candidate;
+            upper = std::min(hi, upper * 2);
+        } else {
+            break;
+        }
+    }
+    uint64_t failing = upper;
+    // If even hi passes, the answer is hi.
+    if (lo == hi)
+        return out;
+    {
+        loadgen::TestResult candidate;
+        if (failing == hi &&
+            allRunsValid(probe, hi, options, out.probes, &candidate)) {
+            out.maxStreams = hi;
+            out.lastValid = candidate;
+            return out;
+        }
+    }
+
+    // Integer bisection: lo passes, failing fails.
+    while (failing - lo > 1) {
+        const uint64_t mid = lo + (failing - lo) / 2;
+        loadgen::TestResult candidate;
+        if (allRunsValid(probe, mid, options, out.probes,
+                         &candidate)) {
+            lo = mid;
+            out.maxStreams = mid;
+            out.lastValid = candidate;
+        } else {
+            failing = mid;
+        }
+    }
+    return out;
+}
+
+} // namespace harness
+} // namespace mlperf

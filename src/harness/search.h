@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Latency-bounded-throughput searches.
+ *
+ * The server and multistream metrics are defined as the largest load
+ * the SUT sustains while meeting the QoS constraint (paper Table II).
+ * The LoadGen only passes/fails a given load; finding the maximum is
+ * the submitter's job, reproduced here as deterministic searches over
+ * repeated LoadGen runs. The server scenario follows the paper's
+ * repeatability rule: each candidate load is validated over several
+ * runs with distinct seeds and must pass all of them ("we require
+ * five runs for the server scenario, with the result being the
+ * minimum of these five").
+ */
+
+#ifndef MLPERF_HARNESS_SEARCH_H
+#define MLPERF_HARNESS_SEARCH_H
+
+#include <cstdint>
+#include <functional>
+
+#include "loadgen/results.h"
+
+namespace mlperf {
+namespace harness {
+
+/** A candidate evaluation: run the LoadGen at a load with a seed. */
+using QpsProbe =
+    std::function<loadgen::TestResult(double qps, uint64_t seed)>;
+using StreamsProbe =
+    std::function<loadgen::TestResult(uint64_t n, uint64_t seed)>;
+
+struct SearchOptions
+{
+    int iterations = 12;     //!< bisection refinement steps
+    int runsPerDecision = 5; //!< paper: five server runs
+    uint64_t seedBase = 0x5EED;
+    double relativeTolerance = 0.01;  //!< stop when bracket this tight
+};
+
+struct QpsSearchResult
+{
+    double maxQps = 0.0;              //!< highest validated load
+    loadgen::TestResult lastValid;    //!< result at maxQps
+    int probes = 0;                   //!< LoadGen runs consumed
+};
+
+struct StreamsSearchResult
+{
+    uint64_t maxStreams = 0;
+    loadgen::TestResult lastValid;
+    int probes = 0;
+};
+
+/**
+ * Largest QPS in (0, hi] for which all runsPerDecision runs are
+ * valid. @p hi should be an analytical upper bound (e.g. the SUT
+ * roofline); the search first shrinks it geometrically if invalid.
+ * Returns maxQps == 0 when even tiny loads fail.
+ */
+QpsSearchResult findMaxQps(const QpsProbe &probe, double hi,
+                           const SearchOptions &options = {});
+
+/**
+ * Largest integer N >= 1 for which the multistream run is valid, or
+ * 0 when even N=1 fails. @p hi bounds the search.
+ */
+StreamsSearchResult findMaxStreams(const StreamsProbe &probe,
+                                   uint64_t hi,
+                                   const SearchOptions &options = {});
+
+} // namespace harness
+} // namespace mlperf
+
+#endif // MLPERF_HARNESS_SEARCH_H

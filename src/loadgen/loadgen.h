@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The LoadGen: MLPerf Inference's traffic generator (paper Sec. IV-B).
+ *
+ * Drives a SystemUnderTest through one of the four scenarios over an
+ * abstract Executor, records per-query latencies, enforces the
+ * run-length floors and latency constraints, and reports a TestResult
+ * with validity determination — the paper's separation of
+ * "performance-measurement code outside of submitter code".
+ *
+ * The same scenario logic runs in virtual time (discrete-event, for
+ * the population studies) and wall-clock time (for real NN SUTs);
+ * see src/sim.
+ */
+
+#ifndef MLPERF_LOADGEN_LOADGEN_H
+#define MLPERF_LOADGEN_LOADGEN_H
+
+#include "loadgen/qsl.h"
+#include "loadgen/results.h"
+#include "loadgen/sut.h"
+#include "loadgen/test_settings.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace loadgen {
+
+class LoadGen
+{
+  public:
+    /**
+     * @param executor event/time source shared with the SUT; the
+     *        LoadGen never calls std::chrono directly.
+     */
+    explicit LoadGen(sim::Executor &executor) : executor_(executor) {}
+
+    /**
+     * Run one test to completion and return its results. Blocks until
+     * the scenario finishes (in virtual time this returns as fast as
+     * events can be processed).
+     */
+    TestResult startTest(SystemUnderTest &sut, QuerySampleLibrary &qsl,
+                         const TestSettings &settings);
+
+    /** One tenant of a multi-tenant test. */
+    struct Tenant
+    {
+        SystemUnderTest *sut = nullptr;
+        QuerySampleLibrary *qsl = nullptr;
+        TestSettings settings;
+    };
+
+    /**
+     * Multitenancy mode (the LoadGen extension named in Sec. IV-B):
+     * run several tests concurrently on this executor — typically
+     * different models sharing one physical system — and return one
+     * TestResult per tenant. Each tenant's validity is judged
+     * independently under its own settings while the others generate
+     * background load.
+     */
+    std::vector<TestResult> startMultiTenantTest(
+        const std::vector<Tenant> &tenants);
+
+  private:
+    sim::Executor &executor_;
+};
+
+} // namespace loadgen
+} // namespace mlperf
+
+#endif // MLPERF_LOADGEN_LOADGEN_H

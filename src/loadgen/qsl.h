@@ -1,0 +1,51 @@
+/**
+ * @file
+ * QuerySampleLibrary: the LoadGen's window onto the data set.
+ *
+ * Mirrors the real LoadGen interface: the LoadGen asks the SUT side
+ * to stage samples in memory before the timed portion begins (untimed
+ * preprocessing, Sec. IV-A), then issues queries that reference
+ * samples by index only.
+ */
+
+#ifndef MLPERF_LOADGEN_QSL_H
+#define MLPERF_LOADGEN_QSL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/types.h"
+
+namespace mlperf {
+namespace loadgen {
+
+class QuerySampleLibrary
+{
+  public:
+    virtual ~QuerySampleLibrary() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Total samples in the data set (accuracy mode sweeps them all). */
+    virtual uint64_t totalSampleCount() const = 0;
+
+    /**
+     * How many samples fit in memory at once; performance mode draws
+     * only from this many staged samples.
+     */
+    virtual uint64_t performanceSampleCount() const = 0;
+
+    /** Stage the given samples in memory (untimed). */
+    virtual void loadSamplesToRam(
+        const std::vector<QuerySampleIndex> &indices) = 0;
+
+    /** Release previously staged samples (untimed). */
+    virtual void unloadSamplesFromRam(
+        const std::vector<QuerySampleIndex> &indices) = 0;
+};
+
+} // namespace loadgen
+} // namespace mlperf
+
+#endif // MLPERF_LOADGEN_QSL_H

@@ -1,0 +1,119 @@
+#include "loadgen/schedule.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mlperf {
+namespace loadgen {
+
+std::vector<QuerySampleIndex>
+generateSampleIndices(uint64_t count, uint64_t population,
+                      uint64_t seed, TestSettings::SampleIndexMode mode)
+{
+    assert(population > 0);
+    std::vector<QuerySampleIndex> out;
+    out.reserve(count);
+    Rng rng(seed);
+    if (mode == TestSettings::SampleIndexMode::SameIndex) {
+        // TEST04-B: every query references the same sample; a caching
+        // SUT would short-circuit these.
+        const QuerySampleIndex idx = rng.nextBelow(population);
+        out.assign(count, idx);
+    } else if (mode == TestSettings::SampleIndexMode::UniqueSweep) {
+        // Repeated shuffled sweeps: every index is unique within a
+        // sweep; duplicates only recur across sweeps.
+        std::vector<QuerySampleIndex> perm(population);
+        std::iota(perm.begin(), perm.end(), 0);
+        while (out.size() < count) {
+            shuffle(perm, rng);
+            for (QuerySampleIndex idx : perm) {
+                if (out.size() == count)
+                    break;
+                out.push_back(idx);
+            }
+        }
+    } else {
+        for (uint64_t i = 0; i < count; ++i)
+            out.push_back(rng.nextBelow(population));
+    }
+    return out;
+}
+
+std::vector<QuerySampleIndex>
+accuracySweepIndices(uint64_t total)
+{
+    std::vector<QuerySampleIndex> out(total);
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+}
+
+std::vector<sim::Tick>
+generatePoissonArrivals(uint64_t count, double qps, uint64_t seed)
+{
+    assert(qps > 0.0);
+    std::vector<sim::Tick> out;
+    out.reserve(count);
+    Rng rng(seed);
+    double t = 0.0;
+    for (uint64_t i = 0; i < count; ++i) {
+        t += rng.nextExponential(qps) *
+             static_cast<double>(sim::kNsPerSec);
+        out.push_back(static_cast<sim::Tick>(t));
+    }
+    return out;
+}
+
+std::vector<sim::Tick>
+generateBurstyArrivals(uint64_t count, double qps, double burst_factor,
+                       uint64_t seed)
+{
+    assert(qps > 0.0);
+    assert(burst_factor > 1.0 && burst_factor < 4.0);
+    constexpr double kDuty = 0.25;  // fraction of time in a burst
+    const double rate_on = burst_factor * qps;
+    // Solve duty*rate_on + (1-duty)*rate_off == qps.
+    const double rate_off =
+        qps * (1.0 - kDuty * burst_factor) / (1.0 - kDuty);
+    const double mean_phase_s = 50.0 / qps;
+
+    std::vector<sim::Tick> out;
+    out.reserve(count);
+    Rng rng(seed);
+    double t = 0.0;
+    bool in_burst = false;
+    double phase_end = rng.nextExponential(1.0 / mean_phase_s);
+    while (out.size() < count) {
+        const double rate = in_burst ? rate_on : rate_off;
+        const double gap = rng.nextExponential(rate);
+        if (t + gap > phase_end) {
+            // Cross into the next phase; restart the draw there (the
+            // exponential's memorylessness makes this exact).
+            t = phase_end;
+            in_burst = !in_burst;
+            const double mean =
+                in_burst ? mean_phase_s * kDuty / (1.0 - kDuty)
+                         : mean_phase_s;
+            phase_end = t + rng.nextExponential(1.0 / mean);
+            continue;
+        }
+        t += gap;
+        out.push_back(static_cast<sim::Tick>(
+            t * static_cast<double>(sim::kNsPerSec)));
+    }
+    return out;
+}
+
+std::vector<sim::Tick>
+generateFixedArrivals(uint64_t count, sim::Tick interval)
+{
+    std::vector<sim::Tick> out;
+    out.reserve(count);
+    for (uint64_t i = 0; i < count; ++i)
+        out.push_back(i * interval);
+    return out;
+}
+
+} // namespace loadgen
+} // namespace mlperf

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic query-traffic generation.
+ *
+ * All traffic is derived from explicit seeds in the TestSettings
+ * (Sec. IV-A: "the traffic pattern is predetermined by the
+ * pseudorandom-number-generator seed"), which both enables
+ * reproducible runs and powers the alternate-seed audit (TEST05).
+ */
+
+#ifndef MLPERF_LOADGEN_SCHEDULE_H
+#define MLPERF_LOADGEN_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "loadgen/test_settings.h"
+#include "loadgen/types.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace loadgen {
+
+/**
+ * Sample indices for a performance-mode run: @p count draws from
+ * [0, population) with replacement (the real LoadGen's behaviour), a
+ * repeated shuffled permutation (TEST04-A unique phase), or a single
+ * repeated index (TEST04-B duplicate phase).
+ */
+std::vector<QuerySampleIndex> generateSampleIndices(
+    uint64_t count, uint64_t population, uint64_t seed,
+    TestSettings::SampleIndexMode mode);
+
+/**
+ * Accuracy-mode indices: one sweep over the full library, in order.
+ */
+std::vector<QuerySampleIndex> accuracySweepIndices(uint64_t total);
+
+/**
+ * Poisson-process arrival offsets for the server scenario: @p count
+ * exponential interarrival gaps at @p qps, accumulated to absolute
+ * ticks starting at 0.
+ */
+std::vector<sim::Tick> generatePoissonArrivals(uint64_t count,
+                                               double qps,
+                                               uint64_t seed);
+
+/**
+ * Burst-mode arrivals: a Markov-modulated Poisson process that
+ * alternates burst phases (rate = burst_factor x qps, 25% of the
+ * time) with quiet phases, keeping the long-run mean at @p qps.
+ * Phase lengths are exponential with a mean of ~50 interarrival
+ * times. Requires 1 < burst_factor < 4.
+ */
+std::vector<sim::Tick> generateBurstyArrivals(uint64_t count,
+                                              double qps,
+                                              double burst_factor,
+                                              uint64_t seed);
+
+/** Fixed-interval arrivals for the multistream scenario. */
+std::vector<sim::Tick> generateFixedArrivals(uint64_t count,
+                                             sim::Tick interval);
+
+} // namespace loadgen
+} // namespace mlperf
+
+#endif // MLPERF_LOADGEN_SCHEDULE_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SystemUnderTest interface and the completion delegate.
+ *
+ * The SUT is entirely submitter-owned (paper Sec. IV-A); the LoadGen
+ * only issues queries and receives completions. Queries may complete
+ * asynchronously from any thread, or synchronously from within
+ * issueQuery().
+ */
+
+#ifndef MLPERF_LOADGEN_SUT_H
+#define MLPERF_LOADGEN_SUT_H
+
+#include <string>
+#include <vector>
+
+#include "loadgen/types.h"
+
+namespace mlperf {
+namespace loadgen {
+
+/** Sink for completed samples; implemented by the LoadGen. */
+class ResponseDelegate
+{
+  public:
+    virtual ~ResponseDelegate() = default;
+
+    /**
+     * Report completed samples. Thread-safe; may be called from
+     * inside issueQuery() or from SUT worker threads/events.
+     */
+    virtual void querySamplesComplete(
+        const std::vector<QuerySampleResponse> &responses) = 0;
+};
+
+class SystemUnderTest
+{
+  public:
+    virtual ~SystemUnderTest() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Start inference on a query. Must not block on inference in
+     * scenarios with concurrent queries; respond via @p delegate when
+     * samples finish.
+     */
+    virtual void issueQuery(const std::vector<QuerySample> &samples,
+                            ResponseDelegate &delegate) = 0;
+
+    /** Hint that no further queries are coming (end of run). */
+    virtual void flushQueries() = 0;
+};
+
+} // namespace loadgen
+} // namespace mlperf
+
+#endif // MLPERF_LOADGEN_SUT_H

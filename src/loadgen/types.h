@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Core LoadGen types (paper Sec. IV).
+ *
+ * A *sample* is one unit of inference work (an image, a sentence); a
+ * *query* is a request for inference on one or more samples. The
+ * LoadGen issues queries to the System Under Test (SUT) according to
+ * the active scenario and records per-query completion latencies.
+ */
+
+#ifndef MLPERF_LOADGEN_TYPES_H
+#define MLPERF_LOADGEN_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlperf {
+namespace loadgen {
+
+/** The four evaluation scenarios (paper Table II). */
+enum class Scenario
+{
+    SingleStream,
+    MultiStream,
+    Server,
+    Offline,
+};
+
+/** Scenario name, e.g. "Server". */
+std::string scenarioName(Scenario scenario);
+
+/** LoadGen operating modes (Sec. IV-B). */
+enum class TestMode
+{
+    PerformanceOnly,
+    AccuracyOnly,
+};
+
+std::string testModeName(TestMode mode);
+
+/** Index of a sample within the QuerySampleLibrary. */
+using QuerySampleIndex = uint64_t;
+
+/** Opaque id identifying one in-flight sample issue. */
+using ResponseId = uint64_t;
+
+/** One sample of a query as handed to the SUT. */
+struct QuerySample
+{
+    ResponseId id = 0;
+    QuerySampleIndex index = 0;
+};
+
+/**
+ * Completion record the SUT returns. @c data carries the inference
+ * result opaquely; it is logged in accuracy mode and handed to the
+ * accuracy script, never interpreted by the LoadGen itself (the
+ * benchmark/metric decoupling of Sec. IV-B).
+ */
+struct QuerySampleResponse
+{
+    ResponseId id = 0;
+    std::string data;
+};
+
+} // namespace loadgen
+} // namespace mlperf
+
+#endif // MLPERF_LOADGEN_TYPES_H

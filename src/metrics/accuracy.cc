@@ -1,0 +1,39 @@
+#include "metrics/accuracy.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace mlperf {
+namespace metrics {
+
+double
+top1Accuracy(const std::vector<int64_t> &predictions,
+             const std::vector<int64_t> &labels)
+{
+    assert(predictions.size() == labels.size());
+    if (predictions.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < predictions.size(); ++i) {
+        if (predictions[i] == labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(predictions.size());
+}
+
+double
+qualityTarget(double fp32_reference, double relative_target)
+{
+    return fp32_reference * relative_target;
+}
+
+bool
+meetsTarget(double measured, double fp32_reference,
+            double relative_target)
+{
+    return measured >= qualityTarget(fp32_reference, relative_target);
+}
+
+} // namespace metrics
+} // namespace mlperf

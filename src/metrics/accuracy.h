@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Top-1 accuracy and the relative quality-target rule.
+ *
+ * The paper fixes per-model quality targets as a fraction of the FP32
+ * reference accuracy (99% for most models, 98% for the quantization-
+ * sensitive MobileNets; Table I and Sec. III-B). qualityTarget() and
+ * meetsTarget() implement that rule for any metric.
+ */
+
+#ifndef MLPERF_METRICS_ACCURACY_H
+#define MLPERF_METRICS_ACCURACY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mlperf {
+namespace metrics {
+
+/** Fraction of predictions equal to labels. */
+double top1Accuracy(const std::vector<int64_t> &predictions,
+                    const std::vector<int64_t> &labels);
+
+/** Absolute target = relative_target * fp32_reference. */
+double qualityTarget(double fp32_reference, double relative_target);
+
+/** True when measured >= relative_target * fp32_reference. */
+bool meetsTarget(double measured, double fp32_reference,
+                 double relative_target);
+
+} // namespace metrics
+} // namespace mlperf
+
+#endif // MLPERF_METRICS_ACCURACY_H

@@ -1,0 +1,95 @@
+#include "metrics/bleu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace mlperf {
+namespace metrics {
+
+namespace {
+
+/** Count n-grams of a sequence into a map keyed by the token window. */
+std::map<std::vector<int64_t>, int64_t>
+ngramCounts(const TokenSeq &seq, size_t n)
+{
+    std::map<std::vector<int64_t>, int64_t> counts;
+    if (seq.size() < n)
+        return counts;
+    for (size_t i = 0; i + n <= seq.size(); ++i) {
+        std::vector<int64_t> gram(seq.begin() + static_cast<long>(i),
+                                  seq.begin() + static_cast<long>(i + n));
+        ++counts[gram];
+    }
+    return counts;
+}
+
+} // namespace
+
+BleuResult
+corpusBleu(const std::vector<TokenSeq> &hypotheses,
+           const std::vector<TokenSeq> &references)
+{
+    assert(hypotheses.size() == references.size());
+    BleuResult result;
+
+    int64_t matches[4] = {0, 0, 0, 0};
+    int64_t totals[4] = {0, 0, 0, 0};
+    for (size_t s = 0; s < hypotheses.size(); ++s) {
+        const TokenSeq &hyp = hypotheses[s];
+        const TokenSeq &ref = references[s];
+        result.hypothesisLength += static_cast<int64_t>(hyp.size());
+        result.referenceLength += static_cast<int64_t>(ref.size());
+        for (size_t n = 1; n <= 4; ++n) {
+            const auto hyp_counts = ngramCounts(hyp, n);
+            const auto ref_counts = ngramCounts(ref, n);
+            for (const auto &[gram, count] : hyp_counts) {
+                totals[n - 1] += count;
+                const auto it = ref_counts.find(gram);
+                if (it != ref_counts.end())
+                    matches[n - 1] += std::min(count, it->second);
+            }
+        }
+    }
+
+    double log_sum = 0.0;
+    bool any_zero = false;
+    for (int n = 0; n < 4; ++n) {
+        result.precisions[n] =
+            totals[n] > 0 ? static_cast<double>(matches[n]) /
+                                static_cast<double>(totals[n])
+                          : 0.0;
+        if (result.precisions[n] <= 0.0)
+            any_zero = true;
+        else
+            log_sum += std::log(result.precisions[n]);
+    }
+
+    if (result.hypothesisLength == 0) {
+        result.brevityPenalty = 0.0;
+        result.bleu = 0.0;
+        return result;
+    }
+    result.brevityPenalty =
+        result.hypothesisLength >= result.referenceLength
+            ? 1.0
+            : std::exp(1.0 - static_cast<double>(result.referenceLength) /
+                                 static_cast<double>(
+                                     result.hypothesisLength));
+    result.bleu = any_zero
+                      ? 0.0
+                      : 100.0 * result.brevityPenalty *
+                            std::exp(log_sum / 4.0);
+    return result;
+}
+
+double
+bleuScore(const std::vector<TokenSeq> &hypotheses,
+          const std::vector<TokenSeq> &references)
+{
+    return corpusBleu(hypotheses, references).bleu;
+}
+
+} // namespace metrics
+} // namespace mlperf

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Corpus BLEU in the SacreBLEU style (paper Sec. III-A: translation
+ * quality is "BLEU implemented using SacreBLEU").
+ *
+ * Corpus-level modified n-gram precisions for n=1..4, geometric mean,
+ * brevity penalty, reported on the 0-100 scale. Operates on integer
+ * token sequences (our synthetic language is already tokenized, which
+ * sidesteps SacreBLEU's tokenizer — exactly its role of removing
+ * tokenization ambiguity).
+ */
+
+#ifndef MLPERF_METRICS_BLEU_H
+#define MLPERF_METRICS_BLEU_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mlperf {
+namespace metrics {
+
+using TokenSeq = std::vector<int64_t>;
+
+/** Detailed corpus BLEU decomposition. */
+struct BleuResult
+{
+    double bleu = 0.0;               //!< 0..100
+    double precisions[4] = {0, 0, 0, 0};
+    double brevityPenalty = 1.0;
+    int64_t hypothesisLength = 0;
+    int64_t referenceLength = 0;
+};
+
+/**
+ * Corpus BLEU of hypotheses against single references.
+ * Sequences must align index-by-index.
+ */
+BleuResult corpusBleu(const std::vector<TokenSeq> &hypotheses,
+                      const std::vector<TokenSeq> &references);
+
+/** Convenience: just the 0-100 score. */
+double bleuScore(const std::vector<TokenSeq> &hypotheses,
+                 const std::vector<TokenSeq> &references);
+
+} // namespace metrics
+} // namespace mlperf
+
+#endif // MLPERF_METRICS_BLEU_H

@@ -1,0 +1,144 @@
+#include "metrics/map.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mlperf {
+namespace metrics {
+
+double
+averagePrecision(const std::vector<Detection> &detections,
+                 const std::vector<ImageGroundTruth> &truth,
+                 int64_t cls, double iou_threshold)
+{
+    // Gather this class's ground truth per image.
+    std::map<int64_t, std::vector<data::Box>> gt_boxes;
+    int64_t total_gt = 0;
+    for (const auto &img : truth) {
+        for (const auto &obj : img.objects) {
+            if (obj.cls == cls) {
+                gt_boxes[img.imageId].push_back(obj.box);
+                ++total_gt;
+            }
+        }
+    }
+    if (total_gt == 0)
+        return 0.0;
+
+    // This class's detections, best score first.
+    std::vector<const Detection *> dets;
+    for (const auto &d : detections) {
+        if (d.cls == cls)
+            dets.push_back(&d);
+    }
+    std::stable_sort(dets.begin(), dets.end(),
+                     [](const Detection *a, const Detection *b) {
+                         return a->score > b->score;
+                     });
+
+    // Greedy matching: each ground-truth box may match once.
+    std::map<int64_t, std::vector<bool>> used;
+    for (const auto &[id, boxes] : gt_boxes)
+        used[id].assign(boxes.size(), false);
+
+    std::vector<bool> is_tp(dets.size(), false);
+    for (size_t i = 0; i < dets.size(); ++i) {
+        const Detection &d = *dets[i];
+        auto it = gt_boxes.find(d.imageId);
+        if (it == gt_boxes.end())
+            continue;
+        double best_iou = 0.0;
+        size_t best_j = 0;
+        for (size_t j = 0; j < it->second.size(); ++j) {
+            const double v = data::iou(d.box, it->second[j]);
+            if (v > best_iou) {
+                best_iou = v;
+                best_j = j;
+            }
+        }
+        if (best_iou >= iou_threshold && !used[d.imageId][best_j]) {
+            used[d.imageId][best_j] = true;
+            is_tp[i] = true;
+        }
+    }
+
+    // Precision-recall curve, then 101-point interpolated AP.
+    std::vector<double> precision(dets.size());
+    std::vector<double> recall(dets.size());
+    int64_t tp = 0;
+    for (size_t i = 0; i < dets.size(); ++i) {
+        if (is_tp[i])
+            ++tp;
+        precision[i] = static_cast<double>(tp) /
+                       static_cast<double>(i + 1);
+        recall[i] = static_cast<double>(tp) /
+                    static_cast<double>(total_gt);
+    }
+
+    double ap = 0.0;
+    for (int r = 0; r <= 100; ++r) {
+        const double r_level = static_cast<double>(r) / 100.0;
+        double best_p = 0.0;
+        for (size_t i = 0; i < dets.size(); ++i) {
+            if (recall[i] >= r_level)
+                best_p = std::max(best_p, precision[i]);
+        }
+        ap += best_p;
+    }
+    return ap / 101.0;
+}
+
+double
+meanAveragePrecision(const std::vector<Detection> &detections,
+                     const std::vector<ImageGroundTruth> &truth,
+                     int64_t num_classes, double iou_threshold)
+{
+    if (num_classes == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (int64_t c = 0; c < num_classes; ++c)
+        sum += averagePrecision(detections, truth, c, iou_threshold);
+    return sum / static_cast<double>(num_classes);
+}
+
+double
+cocoMeanAveragePrecision(const std::vector<Detection> &detections,
+                         const std::vector<ImageGroundTruth> &truth,
+                         int64_t num_classes)
+{
+    double sum = 0.0;
+    int count = 0;
+    for (double threshold = 0.50; threshold < 0.96;
+         threshold += 0.05) {
+        sum += meanAveragePrecision(detections, truth, num_classes,
+                                    threshold);
+        ++count;
+    }
+    return sum / count;
+}
+
+std::vector<Detection>
+nonMaxSuppression(std::vector<Detection> detections, double iou_threshold)
+{
+    std::stable_sort(detections.begin(), detections.end(),
+                     [](const Detection &a, const Detection &b) {
+                         return a.score > b.score;
+                     });
+    std::vector<Detection> kept;
+    for (const auto &d : detections) {
+        bool suppressed = false;
+        for (const auto &k : kept) {
+            if (k.imageId == d.imageId && k.cls == d.cls &&
+                data::iou(k.box, d.box) > iou_threshold) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(d);
+    }
+    return kept;
+}
+
+} // namespace metrics
+} // namespace mlperf

@@ -1,0 +1,285 @@
+#include "models/classifier.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+
+namespace mlperf {
+namespace models {
+
+using tensor::Conv2dParams;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::unique_ptr<nn::Conv2dLayer>
+conv(int64_t in_c, int64_t out_c, int64_t k, int64_t stride, bool relu,
+     Rng &rng)
+{
+    Conv2dParams p{k, k, stride, stride, k / 2, k / 2};
+    return std::make_unique<nn::Conv2dLayer>(
+        nn::heNormal(Shape{out_c, in_c, k, k}, in_c * k * k, rng),
+        nn::zeroBias(out_c), p, relu);
+}
+
+std::unique_ptr<nn::DepthwiseConv2dLayer>
+dwconv(int64_t channels, int64_t stride, double gain_spread, Rng &rng)
+{
+    Conv2dParams p{3, 3, stride, stride, 1, 1};
+    // Identity-biased init: a centre tap plus random perturbation.
+    // Pure random depthwise filters scramble the spatial structure the
+    // closed-form head depends on; trained depthwise filters are
+    // likewise dominated by smooth low-pass/identity-like shapes.
+    tensor::Tensor w = nn::heNormal(Shape{channels, 1, 3, 3}, 9, rng);
+    for (int64_t c = 0; c < channels; ++c)
+        w[c * 9 + 4] += 1.0f;
+    (void)gain_spread;  // applied by the caller together with the
+                        // compensating pointwise scale
+    return std::make_unique<nn::DepthwiseConv2dLayer>(
+        std::move(w), nn::zeroBias(channels), p, /*fuse_relu=*/false);
+}
+
+/**
+ * Stage widths/strides: width doubles (with stride 2) on every odd
+ * stage, so a 3-block net runs W, 2W(s2), 2W — loosely following the
+ * halve-resolution-double-width convention of ResNet/MobileNet.
+ */
+struct StagePlan
+{
+    int64_t inWidth;
+    int64_t outWidth;
+    int64_t stride;
+};
+
+std::vector<StagePlan>
+planStages(int64_t stem_width, int64_t blocks)
+{
+    std::vector<StagePlan> plan;
+    int64_t width = stem_width;
+    for (int64_t i = 0; i < blocks; ++i) {
+        if (i % 2 == 1)
+            plan.push_back({width, width * 2, 2});
+        else
+            plan.push_back({width, width, 1});
+        width = plan.back().outWidth;
+    }
+    return plan;
+}
+
+} // namespace
+
+ImageClassifier::ImageClassifier(
+    const ClassifierArch &arch,
+    const data::ClassificationDataset &dataset)
+    : network_(arch.name),
+      inputShape_({1, dataset.config().channels,
+                   dataset.config().height, dataset.config().width})
+{
+    Rng rng(arch.weightSeed);
+    const int64_t in_c = dataset.config().channels;
+
+    // Backbone.
+    network_.add(conv(in_c, arch.stemWidth, 3, 1, true, rng));
+    network_.add(std::make_unique<nn::MaxPoolLayer>(2, 2));
+    for (const auto &stage : planStages(arch.stemWidth, arch.blocks)) {
+        if (arch.depthwise) {
+            // MobileNet block: depthwise (carries the stride) then
+            // pointwise 1x1 expansion. The per-channel gains g_c on
+            // the depthwise filters are exactly undone by dividing the
+            // pointwise weights, so the FP32 function is independent
+            // of dwGainSpread — but the quantizer sees BN-fold-style
+            // per-channel weight/activation range spread, reproducing
+            // MobileNet's INT8 sensitivity (Sec. III-B).
+            std::vector<float> gains(
+                static_cast<size_t>(stage.inWidth));
+            for (auto &g : gains) {
+                g = static_cast<float>(std::pow(
+                    arch.dwGainSpread, rng.nextDouble() - 0.5));
+            }
+            auto dw = dwconv(stage.inWidth, stage.stride,
+                             arch.dwGainSpread, rng);
+            auto pw = conv(stage.inWidth, stage.outWidth, 1, 1, true,
+                           rng);
+            {
+                tensor::Tensor dww = dw->weight();
+                for (int64_t c = 0; c < stage.inWidth; ++c) {
+                    for (int64_t i = 0; i < 9; ++i)
+                        dww[c * 9 + i] *=
+                            gains[static_cast<size_t>(c)];
+                }
+                dw = std::make_unique<nn::DepthwiseConv2dLayer>(
+                    std::move(dww), nn::zeroBias(stage.inWidth),
+                    dw->params(), /*fuse_relu=*/false);
+                tensor::Tensor pww = pw->weight();
+                for (int64_t o = 0; o < stage.outWidth; ++o) {
+                    for (int64_t c = 0; c < stage.inWidth; ++c) {
+                        pww[o * stage.inWidth + c] /=
+                            gains[static_cast<size_t>(c)];
+                    }
+                }
+                pw = std::make_unique<nn::Conv2dLayer>(
+                    std::move(pww), nn::zeroBias(stage.outWidth),
+                    pw->params(), /*fuse_relu=*/true);
+            }
+            network_.add(std::move(dw));
+            network_.add(std::move(pw));
+        } else {
+            // ResNet v1.5 block: stride on the first 3x3; projection
+            // on the skip when shape changes.
+            auto c1 = conv(stage.inWidth, stage.outWidth, 3,
+                           stage.stride, true, rng);
+            auto c2 = conv(stage.outWidth, stage.outWidth, 3, 1,
+                           /*relu=*/false, rng);
+            std::unique_ptr<nn::Conv2dLayer> proj;
+            if (stage.stride != 1 || stage.inWidth != stage.outWidth) {
+                proj = conv(stage.inWidth, stage.outWidth, 1,
+                            stage.stride, /*relu=*/false, rng);
+            }
+            network_.add(std::make_unique<nn::ResidualBlock>(
+                std::move(c1), std::move(c2), std::move(proj)));
+        }
+    }
+    // Coarse spatial pooling (2x2 regions) rather than a full global
+    // average: the class prototypes are spatial patterns, so keeping
+    // coarse layout information is what makes the closed-form head
+    // separable.
+    network_.add(std::make_unique<nn::AvgPoolLayer>(2, 2));
+    network_.add(std::make_unique<nn::FlattenLayer>());
+
+    // Closed-form head: diagonal-LDA over backbone features. Class
+    // means and per-feature variances are estimated from the training
+    // stream; argmax_c sum_f mu_cf x_f / var_f - ||mu_c||_var^2 / 2 is
+    // the Gaussian nearest-class-mean rule with whitened features,
+    // which makes FP32 accuracy invariant to per-channel gain scale.
+    const auto &cfg = dataset.config();
+    const int64_t feat_dim = network_.outputShape(inputShape_).dim(1);
+    std::vector<std::vector<double>> mean(
+        static_cast<size_t>(cfg.numClasses),
+        std::vector<double>(static_cast<size_t>(feat_dim), 0.0));
+    std::vector<double> var(static_cast<size_t>(feat_dim), 0.0);
+    double grand_count = 0.0;
+    std::vector<double> grand_mean(static_cast<size_t>(feat_dim), 0.0);
+    for (int64_t c = 0; c < cfg.numClasses; ++c) {
+        for (int64_t j = 0; j < cfg.trainPerClass; ++j) {
+            const Tensor feat =
+                network_.forward(dataset.trainImage(c, j));
+            for (int64_t f = 0; f < feat_dim; ++f) {
+                const double v = feat[f];
+                mean[static_cast<size_t>(c)][static_cast<size_t>(f)] +=
+                    v;
+                grand_mean[static_cast<size_t>(f)] += v;
+                var[static_cast<size_t>(f)] += v * v;
+                grand_count += f == 0 ? 1.0 : 0.0;
+            }
+        }
+    }
+    for (int64_t f = 0; f < feat_dim; ++f) {
+        const double m = grand_mean[static_cast<size_t>(f)] /
+                         grand_count;
+        var[static_cast<size_t>(f)] =
+            var[static_cast<size_t>(f)] / grand_count - m * m + 1e-6;
+    }
+
+    Tensor head_w(Shape{cfg.numClasses, feat_dim});
+    std::vector<float> head_b(static_cast<size_t>(cfg.numClasses));
+    for (int64_t c = 0; c < cfg.numClasses; ++c) {
+        double norm_sq = 0.0;
+        for (int64_t f = 0; f < feat_dim; ++f) {
+            const double m =
+                mean[static_cast<size_t>(c)][static_cast<size_t>(f)] /
+                static_cast<double>(cfg.trainPerClass);
+            const double w = m / var[static_cast<size_t>(f)];
+            head_w.at(c, f) = static_cast<float>(w);
+            norm_sq += m * w;
+        }
+        head_b[static_cast<size_t>(c)] =
+            static_cast<float>(-0.5 * norm_sq);
+    }
+    network_.add(std::make_unique<nn::DenseLayer>(
+        std::move(head_w), std::move(head_b), /*fuse_relu=*/false));
+}
+
+ImageClassifier
+ImageClassifier::resnet50Proxy(const data::ClassificationDataset &dataset)
+{
+    ClassifierArch arch;
+    arch.name = "resnet50-v1.5-proxy";
+    arch.stemWidth = 16;
+    arch.blocks = 4;
+    arch.depthwise = false;
+    arch.weightSeed = 0x5E5E50;
+    return ImageClassifier(arch, dataset);
+}
+
+ImageClassifier
+ImageClassifier::mobilenetProxy(const data::ClassificationDataset &dataset)
+{
+    ClassifierArch arch;
+    arch.name = "mobilenet-v1-proxy";
+    arch.stemWidth = 16;
+    arch.blocks = 4;
+    arch.depthwise = true;
+    arch.dwGainSpread = 1.0;   // quantization-friendly reference weights
+    arch.weightSeed = 0x2222;
+    return ImageClassifier(arch, dataset);
+}
+
+ImageClassifier
+ImageClassifier::mobilenetProxyNaive(
+    const data::ClassificationDataset &dataset)
+{
+    ClassifierArch arch;
+    arch.name = "mobilenet-v1-proxy-naive";
+    arch.stemWidth = 16;
+    arch.blocks = 4;
+    arch.depthwise = true;
+    arch.dwGainSpread = 50.0;  // BN-fold-style per-channel spread
+    arch.weightSeed = 0x2222;
+    return ImageClassifier(arch, dataset);
+}
+
+int64_t
+ImageClassifier::classify(const Tensor &image) const
+{
+    return classifyBatch(image)[0];
+}
+
+std::vector<int64_t>
+ImageClassifier::classifyBatch(const Tensor &batch) const
+{
+    return nn::argmaxRows(network_.forward(batch));
+}
+
+double
+ImageClassifier::evaluateAccuracy(
+    const data::ClassificationDataset &dataset, int64_t count) const
+{
+    assert(count <= dataset.size());
+    int64_t correct = 0;
+    for (int64_t i = 0; i < count; ++i) {
+        if (classify(dataset.image(i)) == dataset.label(i))
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+int
+ImageClassifier::quantize(const data::ClassificationDataset &dataset,
+                          const quant::QuantizeOptions &options)
+{
+    return quant::quantizeSequential(network_, dataset.calibrationSet(),
+                                     options);
+}
+
+uint64_t
+ImageClassifier::flopsPerInput() const
+{
+    return network_.flops(inputShape_);
+}
+
+} // namespace models
+} // namespace mlperf

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Image-classifier proxy models (ResNet-50 v1.5 and MobileNet-v1
+ * stand-ins) plus a width/depth family used to reproduce Figure 1.
+ *
+ * Construction mirrors the paper's reference-weights discipline with a
+ * closed-form "training" step: a fixed-seed convolutional backbone
+ * extracts features, and the final dense layer is fit as a
+ * nearest-class-mean linear classifier over a small training stream of
+ * the synthetic dataset. No gradient descent, fully deterministic —
+ * the same weights on every run, like MLPerf's distributed reference
+ * models (substitution recorded in DESIGN.md).
+ */
+
+#ifndef MLPERF_MODELS_CLASSIFIER_H
+#define MLPERF_MODELS_CLASSIFIER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/classification.h"
+#include "nn/sequential.h"
+#include "quant/quantize_model.h"
+
+namespace mlperf {
+namespace models {
+
+/** Architecture knobs for the classifier family (Figure 1 sweeps). */
+struct ClassifierArch
+{
+    std::string name = "classifier";
+    int64_t stemWidth = 16;      //!< channels after the stem conv
+    int64_t blocks = 3;          //!< residual / dw-separable stages
+    bool depthwise = false;      //!< MobileNet-style when true
+    /**
+     * Log-uniform spread of per-channel depthwise filter gains,
+     * emulating the wide BN-folded weight ranges that make trained
+     * MobileNets quantization-sensitive (paper Sec. III-B). 1.0 means
+     * uniform gains, i.e. "quantization-friendly" weights.
+     */
+    double dwGainSpread = 1.0;
+    uint64_t weightSeed = 0xC0FFEE;
+};
+
+class ImageClassifier
+{
+  public:
+    /** Build from an architecture and fit the head on the dataset. */
+    ImageClassifier(const ClassifierArch &arch,
+                    const data::ClassificationDataset &dataset);
+
+    /** The paper's heavyweight classifier proxy. */
+    static ImageClassifier resnet50Proxy(
+        const data::ClassificationDataset &dataset);
+
+    /** The paper's lightweight classifier proxy. */
+    static ImageClassifier mobilenetProxy(
+        const data::ClassificationDataset &dataset);
+
+    /**
+     * MobileNet proxy with naive (pre-quantization-aware) weights:
+     * identical FP32 function, but BN-fold-style per-channel range
+     * spread makes INT8 lose unacceptable accuracy — the reason the
+     * paper narrowed MobileNet's window to 2% and shipped retrained,
+     * quantization-friendly weights (Sec. III-B). mobilenetProxy() is
+     * the quantization-friendly version.
+     */
+    static ImageClassifier mobilenetProxyNaive(
+        const data::ClassificationDataset &dataset);
+
+    /** Predicted class for one [1, C, H, W] image. */
+    int64_t classify(const tensor::Tensor &image) const;
+
+    /** Predicted classes for a [N, C, H, W] batch. */
+    std::vector<int64_t> classifyBatch(const tensor::Tensor &batch) const;
+
+    /** Top-1 accuracy over dataset indices [0, count). */
+    double evaluateAccuracy(const data::ClassificationDataset &dataset,
+                            int64_t count) const;
+
+    /**
+     * Post-training quantization using the dataset's fixed
+     * calibration set (Sec. IV-A flow). Returns quantized layer count.
+     */
+    int quantize(const data::ClassificationDataset &dataset,
+                 const quant::QuantizeOptions &options = {});
+
+    const std::string &name() const { return network_.name(); }
+    uint64_t paramCount() const { return network_.paramCount(); }
+    uint64_t flopsPerInput() const;
+    nn::Sequential &network() { return network_; }
+
+  private:
+    nn::Sequential network_;
+    tensor::Shape inputShape_;
+};
+
+} // namespace models
+} // namespace mlperf
+
+#endif // MLPERF_MODELS_CLASSIFIER_H

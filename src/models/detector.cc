@@ -1,0 +1,228 @@
+#include "models/detector.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/layers.h"
+
+namespace mlperf {
+namespace models {
+
+using tensor::Conv2dParams;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/** Per-channel Gaussian blur (3x3), optionally strided for downsampling. */
+std::unique_ptr<nn::DepthwiseConv2dLayer>
+blurStem(int64_t channels, int64_t stride)
+{
+    Tensor w(Shape{channels, 1, 3, 3});
+    static const float kKernel[9] = {
+        1.f / 16, 2.f / 16, 1.f / 16,
+        2.f / 16, 4.f / 16, 2.f / 16,
+        1.f / 16, 2.f / 16, 1.f / 16,
+    };
+    for (int64_t c = 0; c < channels; ++c) {
+        for (int64_t i = 0; i < 9; ++i)
+            w[c * 9 + i] = kKernel[i];
+    }
+    Conv2dParams p{3, 3, stride, stride, 1, 1};
+    return std::make_unique<nn::DepthwiseConv2dLayer>(
+        std::move(w), std::vector<float>(), p, /*fuse_relu=*/false);
+}
+
+/** 2x2 block-average a [C, S, S] prototype down to [C, S/2, S/2]. */
+Tensor
+downsamplePrototype(const Tensor &proto, int64_t channels, int64_t s)
+{
+    const int64_t hs = s / 2;
+    Tensor out(Shape{channels, hs, hs});
+    for (int64_t c = 0; c < channels; ++c) {
+        for (int64_t y = 0; y < hs; ++y) {
+            for (int64_t x = 0; x < hs; ++x) {
+                const float sum =
+                    proto[(c * s + 2 * y) * s + 2 * x] +
+                    proto[(c * s + 2 * y) * s + 2 * x + 1] +
+                    proto[(c * s + 2 * y + 1) * s + 2 * x] +
+                    proto[(c * s + 2 * y + 1) * s + 2 * x + 1];
+                out[(c * hs + y) * hs + x] = sum / 4.0f;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ObjectDetector::ObjectDetector(const DetectorArch &arch,
+                               const data::DetectionDataset &dataset)
+    : network_(arch.name),
+      inputShape_({1, dataset.config().channels,
+                   dataset.config().height, dataset.config().width}),
+      arch_(arch),
+      numClasses_(dataset.numClasses()),
+      objectSize_(dataset.config().objectSize)
+{
+    const auto &cfg = dataset.config();
+    const int64_t ds = arch.downsample;
+    assert(ds == 1 || ds == 2);
+
+    if (arch.denoiseStem)
+        network_.add(blurStem(cfg.channels, 1));
+    if (ds == 2)
+        network_.add(blurStem(cfg.channels, 2));
+
+    // Matched-filter head: one filter per class, kernel = prototype at
+    // the working resolution, bias = -||p||^2/2 so the peak response
+    // approximates (contrast - 1/2) * ||p||^2.
+    const int64_t k = objectSize_ / ds;
+    Tensor head(Shape{numClasses_, cfg.channels, k, k});
+    std::vector<float> bias(static_cast<size_t>(numClasses_));
+    double mean_energy = 0.0;
+    for (int64_t c = 0; c < numClasses_; ++c) {
+        Tensor proto = dataset.prototype(c);
+        if (ds == 2)
+            proto = downsamplePrototype(proto, cfg.channels,
+                                        objectSize_);
+        // Energies are computed at the working resolution, so the
+        // bias and score normalization stay self-consistent for both
+        // the full-res and downsampled variants.
+        double energy = 0.0;
+        for (int64_t i = 0; i < proto.numel(); ++i) {
+            head[c * proto.numel() + i] = proto[i];
+            energy += static_cast<double>(proto[i]) * proto[i];
+        }
+        bias[static_cast<size_t>(c)] =
+            static_cast<float>(-0.5 * energy);
+        mean_energy += energy;
+    }
+    mean_energy /= static_cast<double>(numClasses_);
+    scoreScale_ = 1.0 / (0.5 * mean_energy);
+    threshold_ = arch.scoreThreshold;
+
+    Conv2dParams p{k, k, 1, 1, 0, 0};  // valid convolution
+    network_.add(std::make_unique<nn::Conv2dLayer>(
+        std::move(head), std::move(bias), p, /*fuse_relu=*/false));
+}
+
+ObjectDetector
+ObjectDetector::ssdResnet34Proxy(const data::DetectionDataset &dataset)
+{
+    DetectorArch arch;
+    arch.name = "ssd-resnet34-proxy";
+    arch.downsample = 1;
+    arch.denoiseStem = true;
+    arch.scoreThreshold = 0.25;
+    return ObjectDetector(arch, dataset);
+}
+
+ObjectDetector
+ObjectDetector::ssdMobilenetProxy(const data::DetectionDataset &dataset)
+{
+    DetectorArch arch;
+    arch.name = "ssd-mobilenet-v1-proxy";
+    arch.downsample = 2;
+    arch.denoiseStem = false;
+    arch.scoreThreshold = 0.25;
+    return ObjectDetector(arch, dataset);
+}
+
+std::vector<metrics::Detection>
+ObjectDetector::detect(const Tensor &image, int64_t image_id) const
+{
+    const Tensor maps = network_.forward(image);
+    assert(maps.shape().rank() == 4);
+    const int64_t classes = maps.shape().dim(1);
+    const int64_t oh = maps.shape().dim(2);
+    const int64_t ow = maps.shape().dim(3);
+    const int64_t ds = arch_.downsample;
+
+    std::vector<metrics::Detection> candidates;
+    for (int64_t c = 0; c < classes; ++c) {
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t x = 0; x < ow; ++x) {
+                const float v = maps.at(0, c, y, x);
+                const double score = v * scoreScale_;
+                if (score < threshold_)
+                    continue;
+                // 3x3 local maximum within the class map.
+                bool is_peak = true;
+                for (int64_t dy = -1; dy <= 1 && is_peak; ++dy) {
+                    for (int64_t dx = -1; dx <= 1; ++dx) {
+                        const int64_t ny = y + dy, nx = x + dx;
+                        if (ny < 0 || ny >= oh || nx < 0 || nx >= ow)
+                            continue;
+                        if (maps.at(0, c, ny, nx) > v) {
+                            is_peak = false;
+                            break;
+                        }
+                    }
+                }
+                if (!is_peak)
+                    continue;
+                metrics::Detection d;
+                d.imageId = image_id;
+                d.cls = c;
+                d.score = score;
+                d.box.x0 = static_cast<double>(x * ds);
+                d.box.y0 = static_cast<double>(y * ds);
+                d.box.x1 = d.box.x0 + static_cast<double>(objectSize_);
+                d.box.y1 = d.box.y0 + static_cast<double>(objectSize_);
+                candidates.push_back(d);
+            }
+        }
+    }
+    return metrics::nonMaxSuppression(std::move(candidates),
+                                      arch_.nmsIou);
+}
+
+double
+ObjectDetector::evaluateMap(const data::DetectionDataset &dataset,
+                            int64_t count) const
+{
+    assert(count <= dataset.size());
+    std::vector<metrics::Detection> detections;
+    std::vector<metrics::ImageGroundTruth> truth;
+    for (int64_t i = 0; i < count; ++i) {
+        auto dets = detect(dataset.image(i), i);
+        detections.insert(detections.end(), dets.begin(), dets.end());
+        truth.push_back({i, dataset.groundTruth(i)});
+    }
+    return metrics::meanAveragePrecision(detections, truth,
+                                         numClasses_);
+}
+
+double
+ObjectDetector::evaluateCocoMap(const data::DetectionDataset &dataset,
+                                int64_t count) const
+{
+    assert(count <= dataset.size());
+    std::vector<metrics::Detection> detections;
+    std::vector<metrics::ImageGroundTruth> truth;
+    for (int64_t i = 0; i < count; ++i) {
+        auto dets = detect(dataset.image(i), i);
+        detections.insert(detections.end(), dets.begin(), dets.end());
+        truth.push_back({i, dataset.groundTruth(i)});
+    }
+    return metrics::cocoMeanAveragePrecision(detections, truth,
+                                             numClasses_);
+}
+
+int
+ObjectDetector::quantize(const data::DetectionDataset &dataset,
+                         const quant::QuantizeOptions &options)
+{
+    return quant::quantizeSequential(network_, dataset.calibrationSet(),
+                                     options);
+}
+
+uint64_t
+ObjectDetector::flopsPerInput() const
+{
+    return network_.flops(inputShape_);
+}
+
+} // namespace models
+} // namespace mlperf

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Object-detector proxy models (SSD-ResNet-34 and SSD-MobileNet-v1
+ * stand-ins).
+ *
+ * The detector is a genuine single-shot pipeline on the NN substrate:
+ * an optional denoising stem, a convolutional detection head whose
+ * filters are the class prototypes (matched filtering — the
+ * closed-form analogue of a trained SSD head), local-maximum peak
+ * extraction, and class-aware NMS. The heavy variant runs at full
+ * resolution with a denoising stem; the light variant runs on a 2x
+ * downsampled image, trading mAP for a fraction of the FLOPs, exactly
+ * the heavy/light split of paper Table I.
+ */
+
+#ifndef MLPERF_MODELS_DETECTOR_H
+#define MLPERF_MODELS_DETECTOR_H
+
+#include <string>
+#include <vector>
+
+#include "data/detection.h"
+#include "metrics/map.h"
+#include "nn/sequential.h"
+#include "quant/quantize_model.h"
+
+namespace mlperf {
+namespace models {
+
+struct DetectorArch
+{
+    std::string name = "detector";
+    int64_t downsample = 1;     //!< 1 = full res, 2 = half res
+    bool denoiseStem = false;   //!< Gaussian-blur stem (heavy variant)
+    double scoreThreshold = 0.25;  //!< fraction of prototype energy
+    double nmsIou = 0.3;
+};
+
+class ObjectDetector
+{
+  public:
+    ObjectDetector(const DetectorArch &arch,
+                   const data::DetectionDataset &dataset);
+
+    /** Heavyweight SSD proxy (full resolution + denoise stem). */
+    static ObjectDetector ssdResnet34Proxy(
+        const data::DetectionDataset &dataset);
+
+    /** Lightweight SSD proxy (2x downsampled input). */
+    static ObjectDetector ssdMobilenetProxy(
+        const data::DetectionDataset &dataset);
+
+    /** Detect objects in one [1, C, H, W] scene. */
+    std::vector<metrics::Detection> detect(const tensor::Tensor &image,
+                                           int64_t image_id) const;
+
+    /** mAP@0.5 over dataset indices [0, count). */
+    double evaluateMap(const data::DetectionDataset &dataset,
+                       int64_t count) const;
+
+    /** COCO-style mAP@[.50:.05:.95] (stricter than mAP@0.5). */
+    double evaluateCocoMap(const data::DetectionDataset &dataset,
+                           int64_t count) const;
+
+    /** Post-training quantization via the fixed calibration set. */
+    int quantize(const data::DetectionDataset &dataset,
+                 const quant::QuantizeOptions &options = {});
+
+    const std::string &name() const { return network_.name(); }
+    uint64_t paramCount() const { return network_.paramCount(); }
+    uint64_t flopsPerInput() const;
+    nn::Sequential &network() { return network_; }
+
+  private:
+    nn::Sequential network_;
+    tensor::Shape inputShape_;
+    DetectorArch arch_;
+    int64_t numClasses_;
+    int64_t objectSize_;        //!< full-resolution object side
+    double scoreScale_;         //!< normalizes peak scores to ~[0, 1]
+    double threshold_;          //!< absolute score threshold
+};
+
+} // namespace models
+} // namespace mlperf
+
+#endif // MLPERF_MODELS_DETECTOR_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Task and reference-model registry (paper Tables I and III).
+ *
+ * Each entry carries the paper-reported reference figures (parameters,
+ * GOPs/input, quality metric, relative quality target, scenario latency
+ * constraints) alongside the actual figures of the proxy model built in
+ * this repository. Benches print both so the substitution is explicit.
+ */
+
+#ifndef MLPERF_MODELS_MODEL_INFO_H
+#define MLPERF_MODELS_MODEL_INFO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlperf {
+namespace models {
+
+/** The five MLPerf Inference v0.5 tasks (Table I). */
+enum class TaskType
+{
+    ImageClassificationHeavy,  //!< ResNet-50 v1.5 / ImageNet
+    ImageClassificationLight,  //!< MobileNet-v1 / ImageNet
+    ObjectDetectionHeavy,      //!< SSD-ResNet-34 / COCO 1200x1200
+    ObjectDetectionLight,      //!< SSD-MobileNet-v1 / COCO 300x300
+    MachineTranslation,        //!< GNMT / WMT16 EN-DE
+};
+
+/** All tasks, in Table I order. */
+const std::vector<TaskType> &allTasks();
+
+/** Short name, e.g. "ResNet-50 v1.5". */
+std::string taskModelName(TaskType task);
+
+/** Task area, "Vision" or "Language". */
+std::string taskArea(TaskType task);
+
+/** Static description of one Table I row plus Table III constraints. */
+struct ModelInfo
+{
+    TaskType task;
+    std::string modelName;       //!< reference model name
+    std::string datasetName;     //!< paper data set
+    std::string proxyDataset;    //!< this repo's synthetic stand-in
+    std::string qualityMetric;   //!< "Top-1", "mAP", "SacreBLEU"
+    double relativeQualityTarget;  //!< 0.99 / 0.98 of FP32 (Sec. III-B)
+
+    // Paper-reported reference complexity (Table I).
+    double paperParamsMillions;
+    double paperGopsPerInput;
+    double paperFp32Quality;     //!< e.g. 0.76456 Top-1
+
+    // Table III latency constraints.
+    double multistreamArrivalMs;
+    double serverQosMs;
+
+    // Tail-latency percentile for constrained scenarios (Sec. III-D):
+    // 99th for vision, 97th for translation.
+    double tailPercentile;
+
+    // Per-query sample floor for the offline scenario.
+    uint64_t offlineMinSamples;
+};
+
+/** Table I + Table III registry, in paper order. */
+const std::vector<ModelInfo> &referenceModels();
+
+/** Registry lookup by task. */
+const ModelInfo &modelInfo(TaskType task);
+
+} // namespace models
+} // namespace mlperf
+
+#endif // MLPERF_MODELS_MODEL_INFO_H

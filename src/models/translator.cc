@@ -1,0 +1,222 @@
+#include "models/translator.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "metrics/bleu.h"
+#include "nn/activations.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+
+namespace mlperf {
+namespace models {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/** Unit-variance random embedding table [vocab, dim]. */
+Tensor
+makeEmbeddingTable(int64_t vocab, int64_t dim, Rng &rng)
+{
+    Tensor t(Shape{vocab, dim});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = scale * static_cast<float>(rng.nextGaussian());
+    // Normalize each row to unit length so inner products are a clean
+    // match signal.
+    for (int64_t v = 0; v < vocab; ++v) {
+        double norm = 0.0;
+        for (int64_t d = 0; d < dim; ++d)
+            norm += static_cast<double>(t.at(v, d)) * t.at(v, d);
+        const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+        for (int64_t d = 0; d < dim; ++d)
+            t.at(v, d) *= inv;
+    }
+    return t;
+}
+
+nn::LSTMCell
+makeCell(int64_t input, int64_t hidden, Rng &rng)
+{
+    return nn::LSTMCell(
+        nn::heNormal(Shape{4 * hidden, input}, input, rng),
+        nn::heNormal(Shape{4 * hidden, hidden}, hidden, rng),
+        nn::zeroBias(4 * hidden));
+}
+
+} // namespace
+
+Translator::Translator(const TranslatorArch &arch,
+                       const data::TranslationDataset &dataset)
+    : arch_(arch),
+      vocab_(dataset.config().vocabSize),
+      embed_([&] {
+          Rng rng(arch.weightSeed);
+          return nn::Embedding(
+              makeEmbeddingTable(vocab_, arch.embedDim, rng));
+      }()),
+      posEnc_([&] {
+          Rng rng(arch.weightSeed + 1);
+          return makeEmbeddingTable(dataset.config().maxLength + 2,
+                                    arch.embedDim, rng);
+      }()),
+      encoderCell_([&] {
+          Rng rng(arch.weightSeed + 2);
+          return makeCell(arch.embedDim, arch.embedDim, rng);
+      }()),
+      decoderCell_([&] {
+          Rng rng(arch.weightSeed + 3);
+          return makeCell(arch.embedDim, arch.embedDim, rng);
+      }()),
+      outputProj_("gnmt-output-projection"),
+      maxSteps_(dataset.config().maxLength + 2)
+{
+    // Output projection: row v is the embedding of the source word
+    // whose lexicon image is v, so logits peak at the correct target.
+    Tensor w(Shape{vocab_, arch_.embedDim});
+    std::vector<float> bias(static_cast<size_t>(vocab_), 0.0f);
+    std::vector<int64_t> preimage(static_cast<size_t>(vocab_), -1);
+    for (int64_t s = data::kFirstWordToken; s < vocab_; ++s)
+        preimage[static_cast<size_t>(dataset.translateWord(s))] = s;
+    preimage[data::kEosToken] = data::kEosToken;
+    Tensor table = embed_.forward([&] {
+        std::vector<int64_t> all(static_cast<size_t>(vocab_));
+        for (int64_t v = 0; v < vocab_; ++v)
+            all[static_cast<size_t>(v)] = v;
+        return all;
+    }());
+    for (int64_t v = 0; v < vocab_; ++v) {
+        const int64_t pre = preimage[static_cast<size_t>(v)];
+        if (pre < 0) {
+            // PAD/BOS are never valid outputs.
+            bias[static_cast<size_t>(v)] = -100.0f;
+            continue;
+        }
+        for (int64_t d = 0; d < arch_.embedDim; ++d)
+            w.at(v, d) = table.at(pre, d);
+    }
+    outputProj_.add(std::make_unique<nn::DenseLayer>(
+        std::move(w), std::move(bias), /*fuse_relu=*/false));
+}
+
+Translator
+Translator::gnmtProxy(const data::TranslationDataset &dataset)
+{
+    return Translator(TranslatorArch{}, dataset);
+}
+
+std::vector<int64_t>
+Translator::translateInternal(const std::vector<int64_t> &source,
+                              std::vector<Tensor> *contexts) const
+{
+    assert(!source.empty());
+    const int64_t steps = std::min(
+        static_cast<int64_t>(source.size()), maxSteps_);
+    const int64_t dim = arch_.embedDim;
+
+    // ---- Encoder: embedding + position + mixed-in LSTM state.
+    Tensor enc_states(Shape{steps, dim});
+    auto enc_state = encoderCell_.initialState(1);
+    for (int64_t t = 0; t < steps; ++t) {
+        const Tensor e = embed_.forward(
+            {source[static_cast<size_t>(t)]});
+        encoderCell_.step(e, enc_state);
+        for (int64_t d = 0; d < dim; ++d) {
+            enc_states.at(t, d) =
+                e[d] + posEnc_.at(t, d) +
+                static_cast<float>(arch_.lstmMix) * enc_state.h[d];
+        }
+    }
+
+    // ---- Decoder: position-queried attention + output projection.
+    std::vector<int64_t> output;
+    auto dec_state = decoderCell_.initialState(1);
+    int64_t prev = data::kBosToken;
+    for (int64_t t = 0; t < steps; ++t) {
+        const Tensor pe = embed_.forward({prev});
+        decoderCell_.step(pe, dec_state);
+        Tensor query(Shape{1, dim});
+        for (int64_t d = 0; d < dim; ++d) {
+            query[d] = static_cast<float>(arch_.queryGain) *
+                           posEnc_.at(t, d) +
+                       static_cast<float>(arch_.lstmMix) *
+                           dec_state.h[d];
+        }
+        Tensor ctx = nn::dotAttention(enc_states, query);
+        if (contexts)
+            contexts->push_back(ctx);
+        const Tensor logits = outputProj_.forward(ctx);
+        const int64_t token = nn::argmaxRows(logits)[0];
+        output.push_back(token);
+        if (token == data::kEosToken)
+            break;
+        prev = token;
+    }
+    return output;
+}
+
+std::vector<int64_t>
+Translator::translate(const std::vector<int64_t> &source) const
+{
+    return translateInternal(source, nullptr);
+}
+
+double
+Translator::evaluateBleu(const data::TranslationDataset &dataset,
+                         int64_t count) const
+{
+    assert(count <= dataset.size());
+    std::vector<metrics::TokenSeq> hyps, refs;
+    hyps.reserve(static_cast<size_t>(count));
+    refs.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+        hyps.push_back(translate(dataset.source(i)));
+        refs.push_back(dataset.reference(i));
+    }
+    return metrics::bleuScore(hyps, refs);
+}
+
+int
+Translator::quantize(const data::TranslationDataset &dataset,
+                     const quant::QuantizeOptions &options)
+{
+    // Calibrate the projection on attention contexts from the fixed
+    // calibration sentences.
+    std::vector<Tensor> contexts;
+    for (const auto &sentence : dataset.calibrationSet())
+        translateInternal(sentence, &contexts);
+    // The projection is the one (and last) layer of this submodel and
+    // is precisely the stage being quantized, so the mixed-precision
+    // keep-last default does not apply here.
+    quant::QuantizeOptions proj_options = options;
+    proj_options.keepLastLayerFp32 = false;
+    return quant::quantizeSequential(outputProj_, contexts,
+                                     proj_options);
+}
+
+uint64_t
+Translator::paramCount() const
+{
+    return embed_.paramCount() +
+           static_cast<uint64_t>(posEnc_.numel()) +
+           encoderCell_.paramCount() + decoderCell_.paramCount() +
+           outputProj_.paramCount();
+}
+
+uint64_t
+Translator::flopsPerSentence(int64_t source_length) const
+{
+    const uint64_t dim = static_cast<uint64_t>(arch_.embedDim);
+    const uint64_t len = static_cast<uint64_t>(source_length);
+    const uint64_t lstm =
+        encoderCell_.flopsPerStep() + decoderCell_.flopsPerStep();
+    const uint64_t attention = 2 * len * dim * 2;  // scores + blend
+    const uint64_t projection =
+        2 * static_cast<uint64_t>(vocab_) * dim;
+    return len * (lstm + attention + projection);
+}
+
+} // namespace models
+} // namespace mlperf

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * GNMT proxy model: embedding -> LSTM encoder -> positional dot
+ * attention -> LSTM decoder -> dense output projection.
+ *
+ * The compute motif matches GNMT (recurrent cells, attention, large
+ * output projection — the RNN motif the paper added the task for).
+ * Correctness is carried by a closed-form construction: word
+ * embeddings are near-orthogonal random vectors, encoder states carry
+ * embedding + position, the decoder queries by position, and the
+ * output projection rows are the embeddings of each target word's
+ * lexicon preimage, so the argmax recovers the hidden lexicon. The
+ * real LSTM states are mixed in with a small weight, acting as the
+ * structured "model noise" that keeps BLEU below 100 and responsive
+ * to quantization (substitution recorded in DESIGN.md).
+ */
+
+#ifndef MLPERF_MODELS_TRANSLATOR_H
+#define MLPERF_MODELS_TRANSLATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/translation.h"
+#include "nn/rnn.h"
+#include "nn/sequential.h"
+#include "quant/quantize_model.h"
+
+namespace mlperf {
+namespace models {
+
+struct TranslatorArch
+{
+    std::string name = "gnmt-proxy";
+    int64_t embedDim = 32;
+    double lstmMix = 0.20;   //!< weight of LSTM state in enc/dec paths
+    double queryGain = 4.0;  //!< position-query sharpness
+    uint64_t weightSeed = 0x6E347;
+};
+
+class Translator
+{
+  public:
+    Translator(const TranslatorArch &arch,
+               const data::TranslationDataset &dataset);
+
+    static Translator gnmtProxy(const data::TranslationDataset &dataset);
+
+    /** Translate one source sentence (tokens ending in EOS). */
+    std::vector<int64_t> translate(
+        const std::vector<int64_t> &source) const;
+
+    /** Corpus BLEU over dataset indices [0, count). */
+    double evaluateBleu(const data::TranslationDataset &dataset,
+                        int64_t count) const;
+
+    /**
+     * Quantize the output projection (the GEMM-heavy stage real INT8
+     * deployments quantize first) using contexts gathered from the
+     * dataset's calibration sentences.
+     */
+    int quantize(const data::TranslationDataset &dataset,
+                 const quant::QuantizeOptions &options = {});
+
+    const std::string &name() const { return arch_.name; }
+    uint64_t paramCount() const;
+
+    /** Per-sentence FLOPs for a source of the given length. */
+    uint64_t flopsPerSentence(int64_t source_length) const;
+
+  private:
+    /** Shared inference path; optionally records attention contexts. */
+    std::vector<int64_t> translateInternal(
+        const std::vector<int64_t> &source,
+        std::vector<tensor::Tensor> *contexts) const;
+
+    TranslatorArch arch_;
+    int64_t vocab_;
+    nn::Embedding embed_;
+    tensor::Tensor posEnc_;     //!< [maxSteps, embedDim]
+    nn::LSTMCell encoderCell_;
+    nn::LSTMCell decoderCell_;
+    nn::Sequential outputProj_; //!< single DenseLayer, quantizable
+    int64_t maxSteps_;
+};
+
+} // namespace models
+} // namespace mlperf
+
+#endif // MLPERF_MODELS_TRANSLATOR_H

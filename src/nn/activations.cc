@@ -1,0 +1,81 @@
+#include "nn/activations.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mlperf {
+namespace nn {
+
+void
+reluInplace(tensor::Tensor &t)
+{
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+}
+
+void
+sigmoidInplace(tensor::Tensor &t)
+{
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+}
+
+void
+tanhInplace(tensor::Tensor &t)
+{
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = std::tanh(p[i]);
+}
+
+tensor::Tensor
+softmax(const tensor::Tensor &logits)
+{
+    assert(logits.shape().rank() == 2);
+    const int64_t batch = logits.shape().dim(0);
+    const int64_t classes = logits.shape().dim(1);
+    tensor::Tensor out(logits.shape());
+    for (int64_t b = 0; b < batch; ++b) {
+        const float *in_row = logits.data() + b * classes;
+        float *out_row = out.data() + b * classes;
+        float max_v = in_row[0];
+        for (int64_t c = 1; c < classes; ++c)
+            max_v = std::max(max_v, in_row[c]);
+        double sum = 0.0;
+        for (int64_t c = 0; c < classes; ++c) {
+            out_row[c] = std::exp(in_row[c] - max_v);
+            sum += out_row[c];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int64_t c = 0; c < classes; ++c)
+            out_row[c] *= inv;
+    }
+    return out;
+}
+
+std::vector<int64_t>
+argmaxRows(const tensor::Tensor &t)
+{
+    assert(t.shape().rank() == 2);
+    const int64_t batch = t.shape().dim(0);
+    const int64_t classes = t.shape().dim(1);
+    std::vector<int64_t> out(static_cast<size_t>(batch));
+    for (int64_t b = 0; b < batch; ++b) {
+        const float *row = t.data() + b * classes;
+        int64_t best = 0;
+        for (int64_t c = 1; c < classes; ++c) {
+            if (row[c] > row[best])
+                best = c;
+        }
+        out[static_cast<size_t>(b)] = best;
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace mlperf

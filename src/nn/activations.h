@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Activation functions for the inference engine.
+ */
+
+#ifndef MLPERF_NN_ACTIVATIONS_H
+#define MLPERF_NN_ACTIVATIONS_H
+
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace nn {
+
+/** max(0, x) elementwise, in place. */
+void reluInplace(tensor::Tensor &t);
+
+/** Logistic sigmoid, in place. */
+void sigmoidInplace(tensor::Tensor &t);
+
+/** tanh, in place. */
+void tanhInplace(tensor::Tensor &t);
+
+/**
+ * Row-wise softmax over the last dimension of a rank-2 tensor
+ * [batch, classes]; numerically stabilized by max subtraction.
+ */
+tensor::Tensor softmax(const tensor::Tensor &logits);
+
+/** Index of the maximum element in each row of [batch, classes]. */
+std::vector<int64_t> argmaxRows(const tensor::Tensor &t);
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_ACTIVATIONS_H

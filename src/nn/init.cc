@@ -1,0 +1,44 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace mlperf {
+namespace nn {
+
+tensor::Tensor
+heNormal(tensor::Shape shape, int64_t fan_in, Rng &rng)
+{
+    tensor::Tensor t(std::move(shape));
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = stddev * static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
+tensor::Tensor
+uniformInit(tensor::Shape shape, float limit, Rng &rng)
+{
+    tensor::Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = limit * (2.0f * static_cast<float>(rng.nextDouble()) - 1.0f);
+    return t;
+}
+
+std::vector<float>
+zeroBias(int64_t n)
+{
+    return std::vector<float>(static_cast<size_t>(n), 0.0f);
+}
+
+std::vector<float>
+randomBias(int64_t n, float scale, Rng &rng)
+{
+    std::vector<float> b(static_cast<size_t>(n));
+    for (auto &v : b)
+        v = scale * static_cast<float>(rng.nextGaussian());
+    return b;
+}
+
+} // namespace nn
+} // namespace mlperf

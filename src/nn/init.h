@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Deterministic weight initialization.
+ *
+ * The proxy models are not trained by gradient descent; their "weights"
+ * are constructed deterministically from a seed (plus task-specific
+ * structure injected by src/models) so every run of the benchmark sees
+ * bit-identical models — the property the paper gets from distributing
+ * fixed reference weights.
+ */
+
+#ifndef MLPERF_NN_INIT_H
+#define MLPERF_NN_INIT_H
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace nn {
+
+/** He-normal initialization: N(0, sqrt(2 / fan_in)). */
+tensor::Tensor heNormal(tensor::Shape shape, int64_t fan_in, Rng &rng);
+
+/** Uniform initialization in [-limit, limit]. */
+tensor::Tensor uniformInit(tensor::Shape shape, float limit, Rng &rng);
+
+/** Zero-filled bias vector. */
+std::vector<float> zeroBias(int64_t n);
+
+/** Small random bias vector (scale * N(0,1)). */
+std::vector<float> randomBias(int64_t n, float scale, Rng &rng);
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_INIT_H

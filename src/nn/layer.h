@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Layer interface for the inference engine.
+ *
+ * Layers are immutable after construction (inference only) and expose
+ * parameter and FLOP counts so the model zoo can report the complexity
+ * metadata the paper uses (Table I parameters/GOPs, Figure 1 Pareto).
+ */
+
+#ifndef MLPERF_NN_LAYER_H
+#define MLPERF_NN_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace nn {
+
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Run inference on a batch; input layout is layer specific. */
+    virtual tensor::Tensor forward(const tensor::Tensor &input) const = 0;
+
+    /** Shape produced for a given input shape (used for FLOP chains). */
+    virtual tensor::Shape
+    outputShape(const tensor::Shape &input) const = 0;
+
+    /** Trainable parameter count. */
+    virtual uint64_t paramCount() const { return 0; }
+
+    /**
+     * Multiply-accumulate-dominated operation count for ONE sample of
+     * the given input shape, counting a MAC as 2 ops (the convention
+     * behind the paper's GOPS/input column).
+     */
+    virtual uint64_t flops(const tensor::Shape &input) const
+    {
+        (void)input;
+        return 0;
+    }
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_LAYER_H

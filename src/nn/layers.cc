@@ -1,0 +1,292 @@
+#include "nn/layers.h"
+
+#include <cassert>
+
+#include "nn/activations.h"
+#include "tensor/gemm.h"
+
+namespace mlperf {
+namespace nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2dLayer::Conv2dLayer(Tensor weight, std::vector<float> bias,
+                         tensor::Conv2dParams params, bool fuse_relu)
+    : weight_(std::move(weight)), bias_(std::move(bias)),
+      params_(params), fuseRelu_(fuse_relu)
+{
+    assert(weight_.shape().rank() == 4);
+    assert(bias_.empty() ||
+           static_cast<int64_t>(bias_.size()) == weight_.shape().dim(0));
+}
+
+Tensor
+Conv2dLayer::forward(const Tensor &input) const
+{
+    Tensor out = tensor::conv2d(
+        input, weight_, bias_.empty() ? nullptr : bias_.data(), params_);
+    if (fuseRelu_)
+        reluInplace(out);
+    return out;
+}
+
+Shape
+Conv2dLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), weight_.shape().dim(0),
+                 params_.outH(input.dim(2)), params_.outW(input.dim(3))};
+}
+
+uint64_t
+Conv2dLayer::paramCount() const
+{
+    return static_cast<uint64_t>(weight_.numel()) + bias_.size();
+}
+
+uint64_t
+Conv2dLayer::flops(const Shape &input) const
+{
+    const Shape out = outputShape(input);
+    const uint64_t macs_per_pixel = static_cast<uint64_t>(
+        weight_.shape().dim(1) * params_.kernelH * params_.kernelW);
+    return 2 * macs_per_pixel *
+           static_cast<uint64_t>(out.dim(1) * out.dim(2) * out.dim(3));
+}
+
+// ------------------------------------------------------- DepthwiseConv2d
+
+DepthwiseConv2dLayer::DepthwiseConv2dLayer(Tensor weight,
+                                           std::vector<float> bias,
+                                           tensor::Conv2dParams params,
+                                           bool fuse_relu)
+    : weight_(std::move(weight)), bias_(std::move(bias)),
+      params_(params), fuseRelu_(fuse_relu)
+{
+    assert(weight_.shape().rank() == 4);
+    assert(weight_.shape().dim(1) == 1);
+}
+
+Tensor
+DepthwiseConv2dLayer::forward(const Tensor &input) const
+{
+    Tensor out = tensor::depthwiseConv2d(
+        input, weight_, bias_.empty() ? nullptr : bias_.data(), params_);
+    if (fuseRelu_)
+        reluInplace(out);
+    return out;
+}
+
+Shape
+DepthwiseConv2dLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), input.dim(1),
+                 params_.outH(input.dim(2)), params_.outW(input.dim(3))};
+}
+
+uint64_t
+DepthwiseConv2dLayer::paramCount() const
+{
+    return static_cast<uint64_t>(weight_.numel()) + bias_.size();
+}
+
+uint64_t
+DepthwiseConv2dLayer::flops(const Shape &input) const
+{
+    const Shape out = outputShape(input);
+    return 2 * static_cast<uint64_t>(params_.kernelH * params_.kernelW) *
+           static_cast<uint64_t>(out.dim(1) * out.dim(2) * out.dim(3));
+}
+
+// ----------------------------------------------------------------- Dense
+
+DenseLayer::DenseLayer(Tensor weight, std::vector<float> bias,
+                       bool fuse_relu)
+    : weight_(std::move(weight)), bias_(std::move(bias)),
+      fuseRelu_(fuse_relu)
+{
+    assert(weight_.shape().rank() == 2);
+    assert(bias_.empty() ||
+           static_cast<int64_t>(bias_.size()) == weight_.shape().dim(0));
+}
+
+Tensor
+DenseLayer::forward(const Tensor &input) const
+{
+    assert(input.shape().rank() == 2);
+    const int64_t batch = input.shape().dim(0);
+    const int64_t in = input.shape().dim(1);
+    const int64_t out = weight_.shape().dim(0);
+    assert(weight_.shape().dim(1) == in);
+    Tensor y(Shape{batch, out});
+    tensor::denseForward(weight_.data(),
+                         bias_.empty() ? nullptr : bias_.data(),
+                         input.data(), y.data(), batch, in, out);
+    if (fuseRelu_)
+        reluInplace(y);
+    return y;
+}
+
+Shape
+DenseLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), weight_.shape().dim(0)};
+}
+
+uint64_t
+DenseLayer::paramCount() const
+{
+    return static_cast<uint64_t>(weight_.numel()) + bias_.size();
+}
+
+uint64_t
+DenseLayer::flops(const Shape &input) const
+{
+    (void)input;
+    return 2 * static_cast<uint64_t>(weight_.numel());
+}
+
+// --------------------------------------------------------------- Pooling
+
+Tensor
+MaxPoolLayer::forward(const Tensor &input) const
+{
+    return tensor::maxPool2d(input, kernel_, stride_);
+}
+
+Shape
+MaxPoolLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), input.dim(1),
+                 (input.dim(2) - kernel_) / stride_ + 1,
+                 (input.dim(3) - kernel_) / stride_ + 1};
+}
+
+Tensor
+AvgPoolLayer::forward(const Tensor &input) const
+{
+    assert(input.shape().rank() == 4);
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const Shape out_shape = outputShape(input.shape());
+    const int64_t out_h = out_shape.dim(2);
+    const int64_t out_w = out_shape.dim(3);
+    const float inv =
+        1.0f / static_cast<float>(kernel_ * kernel_);
+    Tensor output(out_shape);
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < c; ++ci) {
+            const float *chan = input.data() + (ni * c + ci) * h * w;
+            float *out =
+                output.data() + (ni * c + ci) * out_h * out_w;
+            for (int64_t oh = 0; oh < out_h; ++oh) {
+                for (int64_t ow = 0; ow < out_w; ++ow) {
+                    float sum = 0.0f;
+                    for (int64_t kh = 0; kh < kernel_; ++kh) {
+                        for (int64_t kw = 0; kw < kernel_; ++kw) {
+                            sum += chan[(oh * stride_ + kh) * w +
+                                        ow * stride_ + kw];
+                        }
+                    }
+                    out[oh * out_w + ow] = sum * inv;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Shape
+AvgPoolLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), input.dim(1),
+                 (input.dim(2) - kernel_) / stride_ + 1,
+                 (input.dim(3) - kernel_) / stride_ + 1};
+}
+
+Tensor
+GlobalAvgPoolLayer::forward(const Tensor &input) const
+{
+    return tensor::globalAvgPool(input);
+}
+
+Shape
+GlobalAvgPoolLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), input.dim(1)};
+}
+
+Tensor
+FlattenLayer::forward(const Tensor &input) const
+{
+    return input.reshaped(outputShape(input.shape()));
+}
+
+Shape
+FlattenLayer::outputShape(const Shape &input) const
+{
+    int64_t rest = 1;
+    for (int64_t i = 1; i < input.rank(); ++i)
+        rest *= input.dim(i);
+    return Shape{input.dim(0), rest};
+}
+
+// -------------------------------------------------------- ResidualBlock
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Conv2dLayer> conv1,
+                             std::unique_ptr<Conv2dLayer> conv2,
+                             std::unique_ptr<Conv2dLayer> projection)
+    : conv1_(std::move(conv1)), conv2_(std::move(conv2)),
+      projection_(std::move(projection))
+{
+}
+
+Tensor
+ResidualBlock::forward(const Tensor &input) const
+{
+    Tensor main = conv2_->forward(conv1_->forward(input));
+    const Tensor skip =
+        projection_ ? projection_->forward(input) : input;
+    assert(main.shape() == skip.shape());
+    float *p = main.data();
+    const float *s = skip.data();
+    const int64_t n = main.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        p[i] += s[i];
+        if (p[i] < 0.0f)
+            p[i] = 0.0f;  // post-add ReLU
+    }
+    return main;
+}
+
+Shape
+ResidualBlock::outputShape(const Shape &input) const
+{
+    return conv2_->outputShape(conv1_->outputShape(input));
+}
+
+uint64_t
+ResidualBlock::paramCount() const
+{
+    uint64_t n = conv1_->paramCount() + conv2_->paramCount();
+    if (projection_)
+        n += projection_->paramCount();
+    return n;
+}
+
+uint64_t
+ResidualBlock::flops(const Shape &input) const
+{
+    uint64_t n = conv1_->flops(input) +
+                 conv2_->flops(conv1_->outputShape(input));
+    if (projection_)
+        n += projection_->flops(input);
+    return n;
+}
+
+} // namespace nn
+} // namespace mlperf

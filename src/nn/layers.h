@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Concrete layers: convolutions, dense, pooling, activations, and the
+ * residual block used by the ResNet-style proxy models.
+ */
+
+#ifndef MLPERF_NN_LAYERS_H
+#define MLPERF_NN_LAYERS_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/conv.h"
+
+namespace mlperf {
+namespace nn {
+
+/** Standard convolution with optional fused ReLU. */
+class Conv2dLayer : public Layer
+{
+  public:
+    /**
+     * @param weight [outC, inC, kh, kw]
+     * @param bias   [outC] (may be empty for no bias)
+     */
+    Conv2dLayer(tensor::Tensor weight, std::vector<float> bias,
+                tensor::Conv2dParams params, bool fuse_relu = true);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "conv2d"; }
+
+    const tensor::Tensor &weight() const { return weight_; }
+    const std::vector<float> &bias() const { return bias_; }
+    const tensor::Conv2dParams &params() const { return params_; }
+    bool fusedRelu() const { return fuseRelu_; }
+
+  private:
+    tensor::Tensor weight_;
+    std::vector<float> bias_;
+    tensor::Conv2dParams params_;
+    bool fuseRelu_;
+};
+
+/** Depthwise convolution (MobileNet building block). */
+class DepthwiseConv2dLayer : public Layer
+{
+  public:
+    /** @param weight [C, 1, kh, kw] */
+    DepthwiseConv2dLayer(tensor::Tensor weight, std::vector<float> bias,
+                         tensor::Conv2dParams params,
+                         bool fuse_relu = true);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "dwconv2d"; }
+
+    const tensor::Tensor &weight() const { return weight_; }
+    const std::vector<float> &bias() const { return bias_; }
+    const tensor::Conv2dParams &params() const { return params_; }
+    bool fusedRelu() const { return fuseRelu_; }
+
+  private:
+    tensor::Tensor weight_;
+    std::vector<float> bias_;
+    tensor::Conv2dParams params_;
+    bool fuseRelu_;
+};
+
+/** Fully connected layer on [batch, in] inputs. */
+class DenseLayer : public Layer
+{
+  public:
+    /** @param weight [out, in] */
+    DenseLayer(tensor::Tensor weight, std::vector<float> bias,
+               bool fuse_relu = false);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "dense"; }
+
+    const tensor::Tensor &weight() const { return weight_; }
+    const std::vector<float> &bias() const { return bias_; }
+    bool fusedRelu() const { return fuseRelu_; }
+
+  private:
+    tensor::Tensor weight_;
+    std::vector<float> bias_;
+    bool fuseRelu_;
+};
+
+/** Max pooling, square kernel, no padding. */
+class MaxPoolLayer : public Layer
+{
+  public:
+    MaxPoolLayer(int64_t kernel, int64_t stride)
+        : kernel_(kernel), stride_(stride)
+    {
+    }
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    std::string name() const override { return "maxpool"; }
+
+  private:
+    int64_t kernel_;
+    int64_t stride_;
+};
+
+/** Average pooling, square kernel, no padding. */
+class AvgPoolLayer : public Layer
+{
+  public:
+    AvgPoolLayer(int64_t kernel, int64_t stride)
+        : kernel_(kernel), stride_(stride)
+    {
+    }
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    std::string name() const override { return "avgpool"; }
+
+  private:
+    int64_t kernel_;
+    int64_t stride_;
+};
+
+/** Global average pooling [N,C,H,W] -> [N,C]. */
+class GlobalAvgPoolLayer : public Layer
+{
+  public:
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    std::string name() const override { return "gap"; }
+};
+
+/** Flatten to [N, rest]. */
+class FlattenLayer : public Layer
+{
+  public:
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    std::string name() const override { return "flatten"; }
+};
+
+/**
+ * ResNet v1.5-style residual block: conv(3x3, stride s) -> relu ->
+ * conv(3x3) -> add skip -> relu, with a 1x1 projection on the skip
+ * path when shape changes (stride-on-the-3x3 is specifically the v1.5
+ * variant the paper standardizes on).
+ */
+class ResidualBlock : public Layer
+{
+  public:
+    ResidualBlock(std::unique_ptr<Conv2dLayer> conv1,
+                  std::unique_ptr<Conv2dLayer> conv2,
+                  std::unique_ptr<Conv2dLayer> projection);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "residual"; }
+
+    /** Sub-layer access for the quantization pass. */
+    const Conv2dLayer &conv1() const { return *conv1_; }
+    const Conv2dLayer &conv2() const { return *conv2_; }
+    const Conv2dLayer *projection() const { return projection_.get(); }
+
+  private:
+    std::unique_ptr<Conv2dLayer> conv1_;
+    std::unique_ptr<Conv2dLayer> conv2_;
+    std::unique_ptr<Conv2dLayer> projection_;  //!< null for identity skip
+};
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_LAYERS_H

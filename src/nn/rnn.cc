@@ -1,0 +1,135 @@
+#include "nn/rnn.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/gemm.h"
+
+namespace mlperf {
+namespace nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Embedding::Embedding(Tensor table) : table_(std::move(table))
+{
+    assert(table_.shape().rank() == 2);
+}
+
+Tensor
+Embedding::forward(const std::vector<int64_t> &tokens) const
+{
+    const int64_t dim = this->dim();
+    Tensor out(Shape{static_cast<int64_t>(tokens.size()), dim});
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const int64_t tok = tokens[i];
+        assert(tok >= 0 && tok < vocabSize());
+        std::memcpy(out.data() + static_cast<int64_t>(i) * dim,
+                    table_.data() + tok * dim,
+                    static_cast<size_t>(dim) * sizeof(float));
+    }
+    return out;
+}
+
+LSTMCell::LSTMCell(Tensor w_x, Tensor w_h, std::vector<float> bias)
+    : wX_(std::move(w_x)), wH_(std::move(w_h)), bias_(std::move(bias))
+{
+    assert(wX_.shape().rank() == 2 && wH_.shape().rank() == 2);
+    assert(wX_.shape().dim(0) == wH_.shape().dim(0));
+    assert(wX_.shape().dim(0) == 4 * wH_.shape().dim(1));
+    assert(static_cast<int64_t>(bias_.size()) == wX_.shape().dim(0));
+}
+
+LSTMCell::State
+LSTMCell::initialState(int64_t batch) const
+{
+    return State{Tensor(Shape{batch, hiddenSize()}),
+                 Tensor(Shape{batch, hiddenSize()})};
+}
+
+void
+LSTMCell::step(const Tensor &x, State &state) const
+{
+    const int64_t batch = x.shape().dim(0);
+    const int64_t hidden = hiddenSize();
+    assert(x.shape().dim(1) == inputSize());
+    assert(state.h.shape().dim(0) == batch);
+
+    // gates = W_x x + W_h h + b : [batch, 4*hidden]
+    Tensor gates(Shape{batch, 4 * hidden});
+    tensor::denseForward(wX_.data(), bias_.data(), x.data(),
+                         gates.data(), batch, inputSize(), 4 * hidden);
+    Tensor rec(Shape{batch, 4 * hidden});
+    tensor::denseForward(wH_.data(), nullptr, state.h.data(),
+                         rec.data(), batch, hidden, 4 * hidden);
+    for (int64_t i = 0; i < gates.numel(); ++i)
+        gates[i] += rec[i];
+
+    auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+    for (int64_t b = 0; b < batch; ++b) {
+        const float *g = gates.data() + b * 4 * hidden;
+        float *h = state.h.data() + b * hidden;
+        float *c = state.c.data() + b * hidden;
+        for (int64_t j = 0; j < hidden; ++j) {
+            const float i_g = sigmoid(g[j]);
+            const float f_g = sigmoid(g[hidden + j]);
+            const float g_g = std::tanh(g[2 * hidden + j]);
+            const float o_g = sigmoid(g[3 * hidden + j]);
+            c[j] = f_g * c[j] + i_g * g_g;
+            h[j] = o_g * std::tanh(c[j]);
+        }
+    }
+}
+
+uint64_t
+LSTMCell::paramCount() const
+{
+    return static_cast<uint64_t>(wX_.numel() + wH_.numel()) +
+           bias_.size();
+}
+
+uint64_t
+LSTMCell::flopsPerStep() const
+{
+    return 2 * static_cast<uint64_t>(wX_.numel() + wH_.numel());
+}
+
+Tensor
+dotAttention(const Tensor &encoder_states, const Tensor &query)
+{
+    assert(encoder_states.shape().rank() == 2);
+    assert(query.shape().rank() == 2 && query.shape().dim(0) == 1);
+    const int64_t steps = encoder_states.shape().dim(0);
+    const int64_t hidden = encoder_states.shape().dim(1);
+    assert(query.shape().dim(1) == hidden);
+
+    // Scores, max-stabilized softmax, and weighted sum.
+    std::vector<double> scores(static_cast<size_t>(steps));
+    double max_score = -1e300;
+    for (int64_t t = 0; t < steps; ++t) {
+        double s = 0.0;
+        const float *enc = encoder_states.data() + t * hidden;
+        for (int64_t j = 0; j < hidden; ++j)
+            s += static_cast<double>(enc[j]) * query[j];
+        scores[static_cast<size_t>(t)] = s;
+        max_score = std::max(max_score, s);
+    }
+    double denom = 0.0;
+    for (auto &s : scores) {
+        s = std::exp(s - max_score);
+        denom += s;
+    }
+    Tensor context(Shape{1, hidden});
+    for (int64_t t = 0; t < steps; ++t) {
+        const float w =
+            static_cast<float>(scores[static_cast<size_t>(t)] / denom);
+        const float *enc = encoder_states.data() + t * hidden;
+        for (int64_t j = 0; j < hidden; ++j)
+            context[j] += w * enc[j];
+    }
+    return context;
+}
+
+} // namespace nn
+} // namespace mlperf

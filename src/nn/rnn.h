@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Recurrent primitives for the GNMT proxy model: token embedding and
+ * an LSTM cell. The paper includes GNMT specifically so the suite
+ * "captures a variety of compute motifs" (RNNs alongside CNNs); these
+ * primitives provide that motif in the model zoo.
+ */
+
+#ifndef MLPERF_NN_RNN_H
+#define MLPERF_NN_RNN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace nn {
+
+/** Token-id -> dense vector lookup table. */
+class Embedding
+{
+  public:
+    /** @param table [vocab, dim] */
+    explicit Embedding(tensor::Tensor table);
+
+    /** Look up a batch of token ids -> [batch, dim]. */
+    tensor::Tensor forward(const std::vector<int64_t> &tokens) const;
+
+    int64_t vocabSize() const { return table_.shape().dim(0); }
+    int64_t dim() const { return table_.shape().dim(1); }
+    uint64_t paramCount() const
+    {
+        return static_cast<uint64_t>(table_.numel());
+    }
+
+  private:
+    tensor::Tensor table_;
+};
+
+/**
+ * Single LSTM cell. Gate layout in the packed weight matrices is
+ * [i; f; g; o] (input, forget, cell, output), each of size hidden.
+ */
+class LSTMCell
+{
+  public:
+    /**
+     * @param w_x [4*hidden, input]
+     * @param w_h [4*hidden, hidden]
+     * @param bias [4*hidden]
+     */
+    LSTMCell(tensor::Tensor w_x, tensor::Tensor w_h,
+             std::vector<float> bias);
+
+    struct State
+    {
+        tensor::Tensor h;  //!< [batch, hidden]
+        tensor::Tensor c;  //!< [batch, hidden]
+    };
+
+    /** Zero-initialized state for a batch. */
+    State initialState(int64_t batch) const;
+
+    /** One step: consumes x [batch, input], updates state in place. */
+    void step(const tensor::Tensor &x, State &state) const;
+
+    int64_t inputSize() const { return wX_.shape().dim(1); }
+    int64_t hiddenSize() const { return wH_.shape().dim(1); }
+    uint64_t paramCount() const;
+
+    /** MAC-dominated op count (x2) for one step at batch 1. */
+    uint64_t flopsPerStep() const;
+
+  private:
+    tensor::Tensor wX_;
+    tensor::Tensor wH_;
+    std::vector<float> bias_;
+};
+
+/**
+ * Dot-product attention: scores = decoder_state . encoder_states[t],
+ * context = sum_t softmax(scores)_t * encoder_states[t].
+ *
+ * @param encoder_states [steps, hidden]
+ * @param query [1, hidden]
+ * @return context [1, hidden]
+ */
+tensor::Tensor dotAttention(const tensor::Tensor &encoder_states,
+                            const tensor::Tensor &query);
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_RNN_H

@@ -1,0 +1,62 @@
+#include "nn/sequential.h"
+
+#include <cassert>
+
+namespace mlperf {
+namespace nn {
+
+Sequential &
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+tensor::Tensor
+Sequential::forward(const tensor::Tensor &input) const
+{
+    tensor::Tensor x = input;
+    for (const auto &layer : layers_)
+        x = layer->forward(x);
+    return x;
+}
+
+tensor::Shape
+Sequential::outputShape(const tensor::Shape &input) const
+{
+    tensor::Shape s = input;
+    for (const auto &layer : layers_)
+        s = layer->outputShape(s);
+    return s;
+}
+
+uint64_t
+Sequential::paramCount() const
+{
+    uint64_t n = 0;
+    for (const auto &layer : layers_)
+        n += layer->paramCount();
+    return n;
+}
+
+uint64_t
+Sequential::flops(const tensor::Shape &input) const
+{
+    uint64_t n = 0;
+    tensor::Shape s = input;
+    for (const auto &layer : layers_) {
+        n += layer->flops(s);
+        s = layer->outputShape(s);
+    }
+    return n;
+}
+
+void
+Sequential::replaceLayer(size_t i, std::unique_ptr<Layer> layer)
+{
+    assert(i < layers_.size());
+    layers_[i] = std::move(layer);
+}
+
+} // namespace nn
+} // namespace mlperf

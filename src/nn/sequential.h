@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sequential model container.
+ */
+
+#ifndef MLPERF_NN_SEQUENTIAL_H
+#define MLPERF_NN_SEQUENTIAL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mlperf {
+namespace nn {
+
+/**
+ * A feed-forward chain of layers. Residual topologies are handled by
+ * composite layers (ResidualBlock), so a Sequential is sufficient for
+ * all the CNN proxy models.
+ */
+class Sequential
+{
+  public:
+    explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+    /** Append a layer; returns *this for chaining. */
+    Sequential &add(std::unique_ptr<Layer> layer);
+
+    /** Run all layers in order. */
+    tensor::Tensor forward(const tensor::Tensor &input) const;
+
+    /** Final output shape for a given input shape. */
+    tensor::Shape outputShape(const tensor::Shape &input) const;
+
+    /** Total trainable parameters. */
+    uint64_t paramCount() const;
+
+    /** Total per-sample FLOPs for the given input shape. */
+    uint64_t flops(const tensor::Shape &input) const;
+
+    const std::string &name() const { return name_; }
+    size_t layerCount() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_[i]; }
+    const Layer &layer(size_t i) const { return *layers_[i]; }
+
+    /**
+     * Replace layer @p i (used by the quantization pass to swap FP32
+     * layers for their INT8 counterparts).
+     */
+    void replaceLayer(size_t i, std::unique_ptr<Layer> layer);
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_SEQUENTIAL_H

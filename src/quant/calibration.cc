@@ -1,0 +1,48 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlperf {
+namespace quant {
+
+void
+RangeTracker::observe(const tensor::Tensor &t)
+{
+    assert(t.numel() > 0);
+    const float lo = t.minValue();
+    const float hi = t.maxValue();
+    if (batches_ == 0) {
+        min_ = lo;
+        max_ = hi;
+    } else {
+        min_ = std::min(min_, lo);
+        max_ = std::max(max_, hi);
+    }
+    minSum_ += lo;
+    maxSum_ += hi;
+    ++batches_;
+}
+
+float
+RangeTracker::calibratedMin() const
+{
+    assert(batches_ > 0);
+    if (method_ == CalibrationMethod::AveragedMinMax)
+        return static_cast<float>(minSum_ /
+                                  static_cast<double>(batches_));
+    return min_;
+}
+
+float
+RangeTracker::calibratedMax() const
+{
+    assert(batches_ > 0);
+    if (method_ == CalibrationMethod::AveragedMinMax)
+        return static_cast<float>(maxSum_ /
+                                  static_cast<double>(batches_));
+    return max_;
+}
+
+} // namespace quant
+} // namespace mlperf

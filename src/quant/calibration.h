@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Activation-range calibration.
+ *
+ * MLPerf provides "a small, fixed data set that can be used to calibrate
+ * a quantized network" (Sec. IV-A). Calibration here runs that set
+ * through the FP32 model and tracks per-layer input ranges. Two
+ * observers are provided: exact min/max, and an averaged min/max that
+ * discounts outliers (as production calibrators do); their accuracy
+ * difference is measured by the quantization bench.
+ */
+
+#ifndef MLPERF_QUANT_CALIBRATION_H
+#define MLPERF_QUANT_CALIBRATION_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace quant {
+
+/** How activation ranges are reduced to a quantization interval. */
+enum class CalibrationMethod
+{
+    MinMax,          //!< exact observed min/max over all batches
+    AveragedMinMax,  //!< mean of per-batch min/max; robust to outliers
+};
+
+/** Streaming range tracker for one tensor position in the network. */
+class RangeTracker
+{
+  public:
+    explicit RangeTracker(CalibrationMethod method =
+                              CalibrationMethod::MinMax)
+        : method_(method)
+    {
+    }
+
+    /** Fold one batch's values into the tracked range. */
+    void observe(const tensor::Tensor &t);
+
+    /** Calibrated [min, max] after all observations. */
+    float calibratedMin() const;
+    float calibratedMax() const;
+    bool hasObservations() const { return batches_ > 0; }
+
+  private:
+    CalibrationMethod method_;
+    float min_ = 0.0f;
+    float max_ = 0.0f;
+    double minSum_ = 0.0;   //!< sum of per-batch minima
+    double maxSum_ = 0.0;   //!< sum of per-batch maxima
+    uint64_t batches_ = 0;
+};
+
+} // namespace quant
+} // namespace mlperf
+
+#endif // MLPERF_QUANT_CALIBRATION_H

@@ -1,0 +1,191 @@
+#include "quant/quant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace mlperf {
+namespace quant {
+
+std::string
+formatName(NumericFormat fmt)
+{
+    switch (fmt) {
+      case NumericFormat::INT4:   return "INT4";
+      case NumericFormat::INT8:   return "INT8";
+      case NumericFormat::INT16:  return "INT16";
+      case NumericFormat::UINT8:  return "UINT8";
+      case NumericFormat::UINT16: return "UINT16";
+      case NumericFormat::FP11:   return "FP11";
+      case NumericFormat::FP16:   return "FP16";
+      case NumericFormat::BF16:   return "bfloat16";
+      case NumericFormat::FP32:   return "FP32";
+    }
+    return "?";
+}
+
+int
+formatBits(NumericFormat fmt)
+{
+    switch (fmt) {
+      case NumericFormat::INT4:   return 4;
+      case NumericFormat::INT8:   return 8;
+      case NumericFormat::INT16:  return 16;
+      case NumericFormat::UINT8:  return 8;
+      case NumericFormat::UINT16: return 16;
+      case NumericFormat::FP11:   return 11;
+      case NumericFormat::FP16:   return 16;
+      case NumericFormat::BF16:   return 16;
+      case NumericFormat::FP32:   return 32;
+    }
+    return 0;
+}
+
+bool
+isIntegerFormat(NumericFormat fmt)
+{
+    switch (fmt) {
+      case NumericFormat::INT4:
+      case NumericFormat::INT8:
+      case NumericFormat::INT16:
+      case NumericFormat::UINT8:
+      case NumericFormat::UINT16:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int32_t
+QuantParams::quantize(float x) const
+{
+    const int32_t q =
+        static_cast<int32_t>(std::lround(x / scale)) + zeroPoint;
+    return std::clamp(q, qmin, qmax);
+}
+
+QuantParams
+chooseQuantParams(float min_v, float max_v, int bits, bool symmetric)
+{
+    assert(bits >= 2 && bits <= 16);
+    // The representable range must include zero so that zero padding
+    // and ReLU zeros are exactly representable.
+    min_v = std::min(min_v, 0.0f);
+    max_v = std::max(max_v, 0.0f);
+
+    QuantParams p;
+    if (symmetric) {
+        const int32_t qmax = (1 << (bits - 1)) - 1;
+        p.qmin = -qmax;  // symmetric: drop the extra negative code
+        p.qmax = qmax;
+        const float bound = std::max(std::abs(min_v), std::abs(max_v));
+        p.scale = bound > 0.0f ? bound / static_cast<float>(qmax)
+                               : 1.0f;
+        p.zeroPoint = 0;
+    } else {
+        p.qmin = -(1 << (bits - 1));
+        p.qmax = (1 << (bits - 1)) - 1;
+        const float range = max_v - min_v;
+        p.scale = range > 0.0f
+                      ? range / static_cast<float>(p.qmax - p.qmin)
+                      : 1.0f;
+        // Nudge the zero point so that real 0.0 maps exactly.
+        const float zp = static_cast<float>(p.qmin) - min_v / p.scale;
+        p.zeroPoint = std::clamp(
+            static_cast<int32_t>(std::lround(zp)), p.qmin, p.qmax);
+    }
+    return p;
+}
+
+void
+quantizeBuffer(const float *src, int8_t *dst, int64_t n,
+               const QuantParams &p)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = static_cast<int8_t>(p.quantize(src[i]));
+}
+
+void
+dequantizeBuffer(const int8_t *src, float *dst, int64_t n,
+                 const QuantParams &p)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = p.dequantize(src[i]);
+}
+
+namespace {
+
+/**
+ * Round-trip through a float format with the given exponent/mantissa
+ * widths by masking mantissa bits (round-to-nearest-even on the kept
+ * bits) and clamping the exponent range.
+ */
+float
+reducedFloat(float x, int exp_bits, int man_bits)
+{
+    if (std::isnan(x) || std::isinf(x))
+        return x;
+    uint32_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    const int drop = 23 - man_bits;
+    // Round to nearest even at the kept precision.
+    const uint32_t half = 1u << (drop - 1);
+    const uint32_t lsb = (bits >> drop) & 1u;
+    bits += half - 1 + lsb;
+    bits &= ~((1u << drop) - 1);
+    float y;
+    std::memcpy(&y, &bits, sizeof(y));
+    // Clamp to the max finite magnitude of the reduced format.
+    const int max_exp = (1 << (exp_bits - 1)) - 1;
+    const float max_mag =
+        std::ldexp(2.0f - std::ldexp(1.0f, -man_bits), max_exp);
+    const float min_normal = std::ldexp(1.0f, 2 - (1 << (exp_bits - 1)));
+    if (std::abs(y) > max_mag)
+        y = std::copysign(max_mag, y);
+    if (y != 0.0f && std::abs(y) < min_normal)
+        y = 0.0f;  // flush subnormals
+    return y;
+}
+
+} // namespace
+
+float
+castThroughFloat(float x, NumericFormat fmt)
+{
+    switch (fmt) {
+      case NumericFormat::FP32:
+        return x;
+      case NumericFormat::FP16:
+        return reducedFloat(x, 5, 10);
+      case NumericFormat::BF16:
+        return reducedFloat(x, 8, 7);
+      case NumericFormat::FP11:
+        // Paper: 1-bit sign, 5-bit exponent, 5-bit mantissa.
+        return reducedFloat(x, 5, 5);
+      default:
+        assert(false && "castThroughFloat only handles float formats");
+        return x;
+    }
+}
+
+void
+gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
+         int64_t m, int64_t n, int64_t k)
+{
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(int32_t));
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const int32_t a_ik = a[i * k + kk];
+            if (a_ik == 0)
+                continue;
+            const int8_t *b_row = b + kk * n;
+            int32_t *c_row = c + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                c_row[j] += a_ik * b_row[j];
+        }
+    }
+}
+
+} // namespace quant
+} // namespace mlperf

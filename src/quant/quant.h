@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Numeric formats and affine quantization primitives.
+ *
+ * The paper's closed division approves a fixed list of numerics —
+ * INT4, INT8, INT16, UINT8, UINT16, FP11, FP16, bfloat16, FP32 — and
+ * requires calibration (not retraining) to reach the quality targets
+ * (Sec. IV-A). This module provides the format registry, affine
+ * quantize/dequantize, and reduced-precision float emulation used by
+ * the quantized model pass.
+ */
+
+#ifndef MLPERF_QUANT_QUANT_H
+#define MLPERF_QUANT_QUANT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlperf {
+namespace quant {
+
+/** The paper's approved numeric formats (Sec. IV-A). */
+enum class NumericFormat
+{
+    INT4,
+    INT8,
+    INT16,
+    UINT8,
+    UINT16,
+    FP11,
+    FP16,
+    BF16,
+    FP32,
+};
+
+/** Human-readable name, e.g. "INT8". */
+std::string formatName(NumericFormat fmt);
+
+/** Bit width of the format. */
+int formatBits(NumericFormat fmt);
+
+/** True for the integer (affine-quantized) formats. */
+bool isIntegerFormat(NumericFormat fmt);
+
+/**
+ * Affine quantization parameters: real = scale * (q - zeroPoint).
+ * Symmetric schemes use zeroPoint == 0.
+ */
+struct QuantParams
+{
+    float scale = 1.0f;
+    int32_t zeroPoint = 0;
+    int32_t qmin = -128;
+    int32_t qmax = 127;
+
+    int32_t quantize(float x) const;
+    float dequantize(int32_t q) const { return scale * (q - zeroPoint); }
+};
+
+/**
+ * Choose parameters covering [min, max].
+ *
+ * @param symmetric zero-point fixed at 0 and the range symmetrized;
+ *        used for weights so the int8 GEMM needs only one zero-point
+ *        correction term.
+ * @param bits 2..16
+ */
+QuantParams chooseQuantParams(float min_v, float max_v, int bits,
+                              bool symmetric);
+
+/** Vector quantize into int8 storage (works for any bits <= 8). */
+void quantizeBuffer(const float *src, int8_t *dst, int64_t n,
+                    const QuantParams &p);
+
+/** Vector dequantize from int8 storage. */
+void dequantizeBuffer(const int8_t *src, float *dst, int64_t n,
+                      const QuantParams &p);
+
+/**
+ * Round-trip a value through a reduced-precision float format
+ * (FP16 / BF16 / FP11), emulating the precision loss.
+ */
+float castThroughFloat(float x, NumericFormat fmt);
+
+/**
+ * Int8 x int8 -> int32 matrix multiply: c[m][n] = sum_k a[m][k]*b[k][n].
+ * The quantized conv and dense layers lower to this kernel.
+ */
+void gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
+              int64_t m, int64_t n, int64_t k);
+
+} // namespace quant
+} // namespace mlperf
+
+#endif // MLPERF_QUANT_QUANT_H

@@ -1,0 +1,112 @@
+#include "quant/quantize_model.h"
+
+#include <memory>
+
+#include "quant/quantized_layers.h"
+
+namespace mlperf {
+namespace quant {
+
+int
+quantizeSequential(nn::Sequential &model,
+                   const std::vector<tensor::Tensor>
+                       &calibration_inputs,
+                   const QuantizeOptions &options)
+{
+    const size_t n_layers = model.layerCount();
+    std::vector<RangeTracker> input_range(
+        n_layers, RangeTracker(options.method));
+    // Residual blocks need the range of conv1's output as well.
+    std::vector<RangeTracker> mid_range(
+        n_layers, RangeTracker(options.method));
+
+    if (options.calibrate) {
+        for (const auto &input : calibration_inputs) {
+            tensor::Tensor x = input;
+            for (size_t i = 0; i < n_layers; ++i) {
+                input_range[i].observe(x);
+                if (auto *block =
+                        dynamic_cast<const nn::ResidualBlock *>(
+                            &model.layer(i))) {
+                    mid_range[i].observe(block->conv1().forward(x));
+                }
+                x = model.layer(i).forward(x);
+            }
+        }
+    }
+
+    // Identify the first/last quantizable layers for the mixed-
+    // precision skip options.
+    auto eligible = [&](size_t i) {
+        const nn::Layer &layer = model.layer(i);
+        return dynamic_cast<const nn::Conv2dLayer *>(&layer) ||
+               dynamic_cast<const nn::DenseLayer *>(&layer) ||
+               dynamic_cast<const nn::DepthwiseConv2dLayer *>(&layer) ||
+               dynamic_cast<const nn::ResidualBlock *>(&layer);
+    };
+    size_t first_eligible = n_layers, last_eligible = n_layers;
+    for (size_t i = 0; i < n_layers; ++i) {
+        if (eligible(i)) {
+            if (first_eligible == n_layers)
+                first_eligible = i;
+            last_eligible = i;
+        }
+    }
+
+    int quantized = 0;
+    for (size_t i = 0; i < n_layers; ++i) {
+        if (options.keepFirstLayerFp32 && i == first_eligible)
+            continue;
+        if (options.keepLastLayerFp32 && i == last_eligible)
+            continue;
+        float lo, hi;
+        if (options.calibrate && input_range[i].hasObservations()) {
+            lo = input_range[i].calibratedMin();
+            hi = input_range[i].calibratedMax();
+        } else {
+            lo = -options.nominalRange;
+            hi = options.nominalRange;
+        }
+        if (auto *conv =
+                dynamic_cast<const nn::Conv2dLayer *>(&model.layer(i))) {
+            model.replaceLayer(i, std::make_unique<QuantizedConv2dLayer>(
+                                      *conv, lo, hi, options.bits,
+                                      options.perChannelWeights));
+            ++quantized;
+        } else if (auto *dense = dynamic_cast<const nn::DenseLayer *>(
+                       &model.layer(i))) {
+            model.replaceLayer(i, std::make_unique<QuantizedDenseLayer>(
+                                      *dense, lo, hi, options.bits,
+                                      options.perChannelWeights));
+            ++quantized;
+        } else if (auto *dw =
+                       dynamic_cast<const nn::DepthwiseConv2dLayer *>(
+                           &model.layer(i))) {
+            model.replaceLayer(
+                i, std::make_unique<QuantizedDepthwiseConv2dLayer>(
+                       *dw, lo, hi, options.bits,
+                       options.perChannelWeights));
+            ++quantized;
+        } else if (auto *block =
+                       dynamic_cast<const nn::ResidualBlock *>(
+                           &model.layer(i))) {
+            float mid_lo, mid_hi;
+            if (options.calibrate && mid_range[i].hasObservations()) {
+                mid_lo = mid_range[i].calibratedMin();
+                mid_hi = mid_range[i].calibratedMax();
+            } else {
+                mid_lo = -options.nominalRange;
+                mid_hi = options.nominalRange;
+            }
+            model.replaceLayer(
+                i, std::make_unique<QuantizedResidualBlock>(
+                       *block, lo, hi, mid_lo, mid_hi, options.bits,
+                       options.perChannelWeights));
+            ++quantized;
+        }
+    }
+    return quantized;
+}
+
+} // namespace quant
+} // namespace mlperf

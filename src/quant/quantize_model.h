@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-model post-training quantization.
+ *
+ * Mirrors the paper's closed-division flow: take the fixed FP32
+ * reference weights, run the provided calibration set to collect
+ * activation ranges, and emit an INT8 model — retraining is disallowed
+ * (Sec. IV-A), so accuracy rests entirely on calibration quality.
+ */
+
+#ifndef MLPERF_QUANT_QUANTIZE_MODEL_H
+#define MLPERF_QUANT_QUANTIZE_MODEL_H
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "quant/calibration.h"
+
+namespace mlperf {
+namespace quant {
+
+struct QuantizeOptions
+{
+    int bits = 8;
+    CalibrationMethod method = CalibrationMethod::MinMax;
+    /**
+     * When false, quantization runs "blind" with a fixed nominal
+     * activation range instead of calibrated ranges — the ablation the
+     * quantization bench uses to show why MLPerf ships a calibration
+     * data set.
+     */
+    bool calibrate = true;
+    float nominalRange = 8.0f;  //!< used when calibrate == false
+    /**
+     * Keep the first/last quantizable layer in FP32 — the standard
+     * mixed-precision deployment trick (input statistics are wide and
+     * the classifier head is precision-sensitive).
+     */
+    bool keepFirstLayerFp32 = false;
+    bool keepLastLayerFp32 = true;
+    /**
+     * Per-output-channel weight scales (the modern flow). Disabling
+     * this reproduces the early per-tensor flow under which trained
+     * MobileNets lose unacceptable accuracy (Sec. III-B).
+     */
+    bool perChannelWeights = true;
+};
+
+/**
+ * Quantize every Conv2dLayer and DenseLayer of @p model in place,
+ * using @p calibration_inputs (each a single forward-able tensor) to
+ * calibrate activation ranges. Other layer types (pooling, flatten,
+ * residual blocks) are left in FP32, as typical mixed deployments do.
+ *
+ * @return number of layers quantized.
+ */
+int quantizeSequential(nn::Sequential &model,
+                       const std::vector<tensor::Tensor>
+                           &calibration_inputs,
+                       const QuantizeOptions &options = {});
+
+} // namespace quant
+} // namespace mlperf
+
+#endif // MLPERF_QUANT_QUANTIZE_MODEL_H

@@ -1,0 +1,402 @@
+#include "quant/quantized_layers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mlperf {
+namespace quant {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+QuantizedWeights
+QuantizedWeights::quantize(const Tensor &w, int bits, bool per_channel)
+{
+    QuantizedWeights q;
+    q.channels = w.shape().dim(0);
+    q.perChannel = w.numel() / q.channels;
+    q.data.resize(static_cast<size_t>(w.numel()));
+    q.scales.resize(static_cast<size_t>(q.channels));
+    q.rowSums.resize(static_cast<size_t>(q.channels));
+    QuantParams tensor_params;
+    if (!per_channel) {
+        tensor_params = chooseQuantParams(w.minValue(), w.maxValue(),
+                                          bits, /*symmetric=*/true);
+    }
+    for (int64_t c = 0; c < q.channels; ++c) {
+        const float *row = w.data() + c * q.perChannel;
+        float lo = row[0], hi = row[0];
+        for (int64_t i = 1; i < q.perChannel; ++i) {
+            lo = std::min(lo, row[i]);
+            hi = std::max(hi, row[i]);
+        }
+        const QuantParams p =
+            per_channel
+                ? chooseQuantParams(lo, hi, bits, /*symmetric=*/true)
+                : tensor_params;
+        q.scales[static_cast<size_t>(c)] = p.scale;
+        int32_t sum = 0;
+        for (int64_t i = 0; i < q.perChannel; ++i) {
+            const int8_t code =
+                static_cast<int8_t>(p.quantize(row[i]));
+            q.data[static_cast<size_t>(c * q.perChannel + i)] = code;
+            sum += code;
+        }
+        q.rowSums[static_cast<size_t>(c)] = sum;
+    }
+    return q;
+}
+
+namespace {
+
+/** im2col over quantized codes; padding is the activation zero point. */
+void
+im2colInt8(const int8_t *input, int64_t channels, int64_t h, int64_t w,
+           const tensor::Conv2dParams &p, int8_t pad_code, int8_t *col)
+{
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    const int64_t out_hw = out_h * out_w;
+    int64_t row = 0;
+    for (int64_t c = 0; c < channels; ++c) {
+        const int8_t *chan = input + c * h * w;
+        for (int64_t kh = 0; kh < p.kernelH; ++kh) {
+            for (int64_t kw = 0; kw < p.kernelW; ++kw, ++row) {
+                int8_t *dst = col + row * out_hw;
+                for (int64_t oh = 0; oh < out_h; ++oh) {
+                    const int64_t ih = oh * p.strideH - p.padH + kh;
+                    for (int64_t ow = 0; ow < out_w; ++ow) {
+                        const int64_t iw = ow * p.strideW - p.padW + kw;
+                        dst[oh * out_w + ow] =
+                            (ih < 0 || ih >= h || iw < 0 || iw >= w)
+                                ? pad_code
+                                : chan[ih * w + iw];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------ QuantizedDense
+
+QuantizedDenseLayer::QuantizedDenseLayer(const nn::DenseLayer &fp32,
+                                         float act_min, float act_max,
+                                         int bits, bool per_channel)
+    : weights_(QuantizedWeights::quantize(fp32.weight(), bits,
+                                          per_channel)),
+      bias_(fp32.bias()),
+      actParams_(chooseQuantParams(act_min, act_max, bits,
+                                   /*symmetric=*/false)),
+      fuseRelu_(fp32.fusedRelu()),
+      in_(fp32.weight().shape().dim(1)),
+      out_(fp32.weight().shape().dim(0))
+{
+}
+
+Tensor
+QuantizedDenseLayer::forward(const Tensor &input) const
+{
+    assert(input.shape().rank() == 2);
+    assert(input.shape().dim(1) == in_);
+    const int64_t batch = input.shape().dim(0);
+
+    std::vector<int8_t> qx(static_cast<size_t>(input.numel()));
+    quantizeBuffer(input.data(), qx.data(), input.numel(), actParams_);
+
+    Tensor y(Shape{batch, out_});
+    for (int64_t b = 0; b < batch; ++b) {
+        const int8_t *x_row = qx.data() + b * in_;
+        float *y_row = y.data() + b * out_;
+        for (int64_t o = 0; o < out_; ++o) {
+            const int8_t *w_row = weights_.data.data() + o * in_;
+            int32_t acc = 0;
+            for (int64_t i = 0; i < in_; ++i)
+                acc += static_cast<int32_t>(x_row[i]) * w_row[i];
+            acc -= actParams_.zeroPoint *
+                   weights_.rowSums[static_cast<size_t>(o)];
+            float v = weights_.scales[static_cast<size_t>(o)] *
+                          actParams_.scale * static_cast<float>(acc) +
+                      (bias_.empty() ? 0.0f
+                                     : bias_[static_cast<size_t>(o)]);
+            if (fuseRelu_ && v < 0.0f)
+                v = 0.0f;
+            y_row[o] = v;
+        }
+    }
+    return y;
+}
+
+Shape
+QuantizedDenseLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), out_};
+}
+
+uint64_t
+QuantizedDenseLayer::paramCount() const
+{
+    return static_cast<uint64_t>(in_ * out_) + bias_.size();
+}
+
+uint64_t
+QuantizedDenseLayer::flops(const Shape &input) const
+{
+    (void)input;
+    return 2 * static_cast<uint64_t>(in_ * out_);
+}
+
+// ----------------------------------------------------- QuantizedConv2d
+
+QuantizedConv2dLayer::QuantizedConv2dLayer(const nn::Conv2dLayer &fp32,
+                                           float act_min, float act_max,
+                                           int bits, bool per_channel)
+    : weights_(QuantizedWeights::quantize(fp32.weight(), bits,
+                                          per_channel)),
+      bias_(fp32.bias()),
+      actParams_(chooseQuantParams(act_min, act_max, bits,
+                                   /*symmetric=*/false)),
+      convParams_(fp32.params()),
+      fuseRelu_(fp32.fusedRelu()),
+      inC_(fp32.weight().shape().dim(1)),
+      outC_(fp32.weight().shape().dim(0))
+{
+}
+
+Tensor
+QuantizedConv2dLayer::forward(const Tensor &input) const
+{
+    assert(input.shape().rank() == 4);
+    assert(input.shape().dim(1) == inC_);
+    const int64_t n = input.shape().dim(0);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const int64_t out_h = convParams_.outH(h);
+    const int64_t out_w = convParams_.outW(w);
+    const int64_t out_hw = out_h * out_w;
+    const int64_t patch = inC_ * convParams_.kernelH * convParams_.kernelW;
+
+    std::vector<int8_t> qx(static_cast<size_t>(inC_ * h * w));
+    std::vector<int8_t> col(static_cast<size_t>(patch * out_hw));
+    std::vector<int32_t> acc(static_cast<size_t>(outC_ * out_hw));
+    const int8_t pad_code =
+        static_cast<int8_t>(actParams_.quantize(0.0f));
+
+    Tensor output(Shape{n, outC_, out_h, out_w});
+    for (int64_t ni = 0; ni < n; ++ni) {
+        const float *img = input.data() + ni * inC_ * h * w;
+        quantizeBuffer(img, qx.data(), inC_ * h * w, actParams_);
+        im2colInt8(qx.data(), inC_, h, w, convParams_, pad_code,
+                   col.data());
+        gemmInt8(weights_.data.data(), col.data(), acc.data(), outC_,
+                 out_hw, patch);
+        float *out = output.data() + ni * outC_ * out_hw;
+        for (int64_t o = 0; o < outC_; ++o) {
+            const float scale =
+                weights_.scales[static_cast<size_t>(o)] *
+                actParams_.scale;
+            const int32_t corr =
+                actParams_.zeroPoint *
+                weights_.rowSums[static_cast<size_t>(o)];
+            const float b =
+                bias_.empty() ? 0.0f : bias_[static_cast<size_t>(o)];
+            float *row = out + o * out_hw;
+            const int32_t *acc_row = acc.data() + o * out_hw;
+            for (int64_t i = 0; i < out_hw; ++i) {
+                float v =
+                    scale * static_cast<float>(acc_row[i] - corr) + b;
+                if (fuseRelu_ && v < 0.0f)
+                    v = 0.0f;
+                row[i] = v;
+            }
+        }
+    }
+    return output;
+}
+
+Shape
+QuantizedConv2dLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), outC_, convParams_.outH(input.dim(2)),
+                 convParams_.outW(input.dim(3))};
+}
+
+uint64_t
+QuantizedConv2dLayer::paramCount() const
+{
+    return static_cast<uint64_t>(weights_.data.size()) + bias_.size();
+}
+
+uint64_t
+QuantizedConv2dLayer::flops(const Shape &input) const
+{
+    const Shape out = outputShape(input);
+    const uint64_t macs = static_cast<uint64_t>(
+        inC_ * convParams_.kernelH * convParams_.kernelW);
+    return 2 * macs *
+           static_cast<uint64_t>(out.dim(1) * out.dim(2) * out.dim(3));
+}
+
+// ----------------------------------------------- QuantizedResidualBlock
+
+QuantizedResidualBlock::QuantizedResidualBlock(
+    const nn::ResidualBlock &fp32, float input_min, float input_max,
+    float mid_min, float mid_max, int bits, bool per_channel)
+    : conv1_(fp32.conv1(), input_min, input_max, bits, per_channel),
+      conv2_(fp32.conv2(), mid_min, mid_max, bits, per_channel)
+{
+    if (fp32.projection()) {
+        projection_ = std::make_unique<QuantizedConv2dLayer>(
+            *fp32.projection(), input_min, input_max, bits,
+            per_channel);
+    }
+}
+
+Tensor
+QuantizedResidualBlock::forward(const Tensor &input) const
+{
+    Tensor main = conv2_.forward(conv1_.forward(input));
+    const Tensor skip =
+        projection_ ? projection_->forward(input) : input;
+    assert(main.shape() == skip.shape());
+    float *p = main.data();
+    const float *s = skip.data();
+    const int64_t n = main.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        p[i] += s[i];
+        if (p[i] < 0.0f)
+            p[i] = 0.0f;
+    }
+    return main;
+}
+
+Shape
+QuantizedResidualBlock::outputShape(const Shape &input) const
+{
+    return conv2_.outputShape(conv1_.outputShape(input));
+}
+
+uint64_t
+QuantizedResidualBlock::paramCount() const
+{
+    uint64_t n = conv1_.paramCount() + conv2_.paramCount();
+    if (projection_)
+        n += projection_->paramCount();
+    return n;
+}
+
+uint64_t
+QuantizedResidualBlock::flops(const Shape &input) const
+{
+    uint64_t n = conv1_.flops(input) +
+                 conv2_.flops(conv1_.outputShape(input));
+    if (projection_)
+        n += projection_->flops(input);
+    return n;
+}
+
+// -------------------------------------------- QuantizedDepthwiseConv2d
+
+QuantizedDepthwiseConv2dLayer::QuantizedDepthwiseConv2dLayer(
+    const nn::DepthwiseConv2dLayer &fp32, float act_min, float act_max,
+    int bits, bool per_channel)
+    : weights_(QuantizedWeights::quantize(fp32.weight(), bits,
+                                          per_channel)),
+      bias_(fp32.bias()),
+      actParams_(chooseQuantParams(act_min, act_max, bits,
+                                   /*symmetric=*/false)),
+      convParams_(fp32.params()),
+      fuseRelu_(fp32.fusedRelu()),
+      channels_(fp32.weight().shape().dim(0))
+{
+}
+
+Tensor
+QuantizedDepthwiseConv2dLayer::forward(const Tensor &input) const
+{
+    assert(input.shape().rank() == 4);
+    assert(input.shape().dim(1) == channels_);
+    const int64_t n = input.shape().dim(0);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const int64_t out_h = convParams_.outH(h);
+    const int64_t out_w = convParams_.outW(w);
+    const int64_t kh = convParams_.kernelH;
+    const int64_t kw = convParams_.kernelW;
+    const int32_t zp = actParams_.zeroPoint;
+
+    std::vector<int8_t> qx(static_cast<size_t>(h * w));
+    Tensor output(Shape{n, channels_, out_h, out_w});
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t c = 0; c < channels_; ++c) {
+            const float *chan =
+                input.data() + (ni * channels_ + c) * h * w;
+            quantizeBuffer(chan, qx.data(), h * w, actParams_);
+            const int8_t *filt =
+                weights_.data.data() + c * kh * kw;
+            const float scale =
+                weights_.scales[static_cast<size_t>(c)] *
+                actParams_.scale;
+            const float b =
+                bias_.empty() ? 0.0f : bias_[static_cast<size_t>(c)];
+            float *out =
+                output.data() + (ni * channels_ + c) * out_h * out_w;
+            for (int64_t oh = 0; oh < out_h; ++oh) {
+                for (int64_t ow = 0; ow < out_w; ++ow) {
+                    int32_t acc = 0;
+                    for (int64_t y = 0; y < kh; ++y) {
+                        const int64_t ih =
+                            oh * convParams_.strideH -
+                            convParams_.padH + y;
+                        for (int64_t x = 0; x < kw; ++x) {
+                            const int64_t iw =
+                                ow * convParams_.strideW -
+                                convParams_.padW + x;
+                            // Padding contributes the zero point,
+                            // i.e. real 0, via the correction below.
+                            const int32_t code =
+                                (ih < 0 || ih >= h || iw < 0 ||
+                                 iw >= w)
+                                    ? zp
+                                    : qx[ih * w + iw];
+                            acc += (code - zp) * filt[y * kw + x];
+                        }
+                    }
+                    float v = scale * static_cast<float>(acc) + b;
+                    if (fuseRelu_ && v < 0.0f)
+                        v = 0.0f;
+                    out[oh * out_w + ow] = v;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Shape
+QuantizedDepthwiseConv2dLayer::outputShape(const Shape &input) const
+{
+    return Shape{input.dim(0), channels_, convParams_.outH(input.dim(2)),
+                 convParams_.outW(input.dim(3))};
+}
+
+uint64_t
+QuantizedDepthwiseConv2dLayer::paramCount() const
+{
+    return static_cast<uint64_t>(weights_.data.size()) + bias_.size();
+}
+
+uint64_t
+QuantizedDepthwiseConv2dLayer::flops(const Shape &input) const
+{
+    const Shape out = outputShape(input);
+    return 2 *
+           static_cast<uint64_t>(convParams_.kernelH *
+                                 convParams_.kernelW) *
+           static_cast<uint64_t>(out.dim(1) * out.dim(2) * out.dim(3));
+}
+
+} // namespace quant
+} // namespace mlperf

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * INT8 inference layers.
+ *
+ * Weights are quantized symmetrically per output channel; activations
+ * are quantized per tensor with an asymmetric zero point calibrated
+ * offline. The arithmetic is genuine int8 x int8 -> int32 with a
+ * single zero-point correction term (possible because weight zero
+ * points are 0), matching how real INT8 inference engines execute.
+ */
+
+#ifndef MLPERF_QUANT_QUANTIZED_LAYERS_H
+#define MLPERF_QUANT_QUANTIZED_LAYERS_H
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "quant/quant.h"
+
+namespace mlperf {
+namespace quant {
+
+/** Per-output-channel symmetric weight quantization of a 2-D+ tensor
+ *  whose first dimension is the output channel. */
+struct QuantizedWeights
+{
+    std::vector<int8_t> data;
+    std::vector<float> scales;      //!< one per output channel
+    std::vector<int32_t> rowSums;   //!< sum of codes per channel
+    int64_t channels = 0;
+    int64_t perChannel = 0;         //!< elements per channel
+
+    /**
+     * @param per_channel one scale per output channel (modern flow);
+     *        false uses a single tensor-wide scale (the early flow
+     *        that made MobileNets lose unacceptable accuracy).
+     */
+    static QuantizedWeights quantize(const tensor::Tensor &w, int bits,
+                                     bool per_channel = true);
+};
+
+/** INT8 dense layer built from a calibrated FP32 DenseLayer. */
+class QuantizedDenseLayer : public nn::Layer
+{
+  public:
+    QuantizedDenseLayer(const nn::DenseLayer &fp32, float act_min,
+                        float act_max, int bits = 8,
+                        bool per_channel = true);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "q_dense"; }
+
+  private:
+    QuantizedWeights weights_;
+    std::vector<float> bias_;
+    QuantParams actParams_;
+    bool fuseRelu_;
+    int64_t in_;
+    int64_t out_;
+};
+
+/** INT8 standard convolution (im2col + int8 GEMM). */
+class QuantizedConv2dLayer : public nn::Layer
+{
+  public:
+    QuantizedConv2dLayer(const nn::Conv2dLayer &fp32, float act_min,
+                         float act_max, int bits = 8,
+                         bool per_channel = true);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "q_conv2d"; }
+
+  private:
+    QuantizedWeights weights_;
+    std::vector<float> bias_;
+    QuantParams actParams_;
+    tensor::Conv2dParams convParams_;
+    bool fuseRelu_;
+    int64_t inC_;
+    int64_t outC_;
+};
+
+/**
+ * Residual block with INT8 convolutions. The skip addition and the
+ * post-add ReLU stay in float, as real INT8 residual deployments keep
+ * a higher-precision accumulation path for the skip connection.
+ */
+class QuantizedResidualBlock : public nn::Layer
+{
+  public:
+    /**
+     * @param input_min/max  calibrated range of the block input (feeds
+     *                       conv1 and the projection)
+     * @param mid_min/max    calibrated range of conv1's output (feeds
+     *                       conv2)
+     */
+    QuantizedResidualBlock(const nn::ResidualBlock &fp32,
+                           float input_min, float input_max,
+                           float mid_min, float mid_max, int bits = 8,
+                           bool per_channel = true);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "q_residual"; }
+
+  private:
+    QuantizedConv2dLayer conv1_;
+    QuantizedConv2dLayer conv2_;
+    std::unique_ptr<QuantizedConv2dLayer> projection_;
+};
+
+/** INT8 depthwise convolution (direct int32 accumulation). */
+class QuantizedDepthwiseConv2dLayer : public nn::Layer
+{
+  public:
+    QuantizedDepthwiseConv2dLayer(const nn::DepthwiseConv2dLayer &fp32,
+                                  float act_min, float act_max,
+                                  int bits = 8,
+                                  bool per_channel = true);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override;
+    uint64_t paramCount() const override;
+    uint64_t flops(const tensor::Shape &input) const override;
+    std::string name() const override { return "q_dwconv2d"; }
+
+  private:
+    QuantizedWeights weights_;
+    std::vector<float> bias_;
+    QuantParams actParams_;
+    tensor::Conv2dParams convParams_;
+    bool fuseRelu_;
+    int64_t channels_;
+};
+
+} // namespace quant
+} // namespace mlperf
+
+#endif // MLPERF_QUANT_QUANTIZED_LAYERS_H

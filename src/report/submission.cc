@@ -1,0 +1,80 @@
+#include "report/submission.h"
+
+#include <stdexcept>
+
+#include "report/table.h"
+
+namespace mlperf {
+namespace report {
+
+std::string
+divisionName(Division division)
+{
+    return division == Division::Closed ? "closed" : "open";
+}
+
+std::string
+renderResultsPage(const std::vector<SubmissionResult> &results)
+{
+    for (const auto &result : results) {
+        if (result.division == Division::Open &&
+            result.openDeviations.empty()) {
+            throw std::invalid_argument(
+                "open-division submission for " +
+                result.system.systemName +
+                " must document its deviations");
+        }
+    }
+
+    std::string out;
+    for (Division division : {Division::Closed, Division::Open}) {
+        bool any = false;
+        Table table(division == Division::Closed
+                        ? std::vector<std::string>{
+                              "System", "Submitter", "Processor",
+                              "Accel.", "Framework", "Category",
+                              "Benchmark", "Scenario", "Metric",
+                              "Result"}
+                        : std::vector<std::string>{
+                              "System", "Submitter", "Benchmark",
+                              "Scenario", "Metric", "Result",
+                              "Deviations"});
+        for (const auto &r : results) {
+            if (r.division != division)
+                continue;
+            any = true;
+            if (division == Division::Closed) {
+                table.addRow({r.system.systemName,
+                              r.system.submitter,
+                              r.system.processor,
+                              std::to_string(
+                                  r.system.acceleratorCount),
+                              r.system.framework, r.system.category,
+                              r.benchmark, r.scenario,
+                              fmtCompact(r.metric) + " " +
+                                  r.metricLabel,
+                              r.valid ? "VALID" : "INVALID"});
+            } else {
+                table.addRow({r.system.systemName,
+                              r.system.submitter, r.benchmark,
+                              r.scenario,
+                              fmtCompact(r.metric) + " " +
+                                  r.metricLabel,
+                              r.valid ? "VALID" : "INVALID",
+                              r.openDeviations});
+            }
+        }
+        if (!any)
+            continue;
+        out += banner("MLPerf Inference results - " +
+                      divisionName(division) + " division");
+        out += table.str();
+        out += "\n";
+    }
+    out += "No summary score is provided: weighting tasks is a "
+           "customer-specific judgement\n(Sec. V-C).\n";
+    return out;
+}
+
+} // namespace report
+} // namespace mlperf

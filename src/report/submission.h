@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Result submission records and the results-page renderer
+ * (paper Sec. V-A / V-C).
+ *
+ * A submission carries a system description ("accelerator count, CPU
+ * count, software release"), a division (closed/open), an
+ * availability category, and per-benchmark results. Rendering follows
+ * the paper's reporting rules: results grouped by division, open
+ * entries list their deviations, and there is deliberately NO summary
+ * score ("MLPerf Inference provides no 'summary score'").
+ */
+
+#ifndef MLPERF_REPORT_SUBMISSION_H
+#define MLPERF_REPORT_SUBMISSION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlperf {
+namespace report {
+
+enum class Division { Closed, Open };
+
+std::string divisionName(Division division);
+
+/** The system-description file of a submission (Sec. V-A). */
+struct SystemDescription
+{
+    std::string systemName;
+    std::string submitter = "anonymous";
+    std::string processor;        //!< e.g. "GPU"
+    int64_t acceleratorCount = 1;
+    std::string framework;        //!< software release
+    std::string category;         //!< available / preview / rdo
+};
+
+/** One benchmark result within a submission. */
+struct SubmissionResult
+{
+    SystemDescription system;
+    Division division = Division::Closed;
+    std::string benchmark;        //!< model name
+    std::string scenario;         //!< SingleStream / ...
+    double metric = 0.0;
+    std::string metricLabel;
+    bool valid = false;
+    /** Open division: required documentation of deviations. */
+    std::string openDeviations;
+};
+
+/**
+ * Render the results page: closed division first, then open; invalid
+ * results are listed but marked (the paper released only valid ones —
+ * the caller filters if desired). Throws std::invalid_argument if an
+ * open-division entry lacks its deviation documentation.
+ */
+std::string renderResultsPage(
+    const std::vector<SubmissionResult> &results);
+
+} // namespace report
+} // namespace mlperf
+
+#endif // MLPERF_REPORT_SUBMISSION_H

@@ -1,0 +1,125 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mlperf {
+namespace report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            if (c)
+                line += "  ";
+            line += padRight(c < cells.size() ? cells[c] : "",
+                             widths[c]);
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            rule += "  ";
+        rule += std::string(widths[c], '-');
+    }
+    rule += "\n";
+
+    std::string out = renderRow(headers_);
+    out += rule;
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += rule;
+        else
+            out += renderRow(row);
+    }
+    return out;
+}
+
+std::string
+banner(const std::string &title)
+{
+    const std::string line(64, '=');
+    return line + "\n" + title + "\n" + line + "\n";
+}
+
+std::string
+fmt(double value, int precision)
+{
+    return strprintf("%.*f", precision, value);
+}
+
+std::string
+fmtCompact(double value)
+{
+    const double mag = std::abs(value);
+    if (mag >= 1e6 || (mag > 0 && mag < 1e-2))
+        return strprintf("%.3g", value);
+    if (mag >= 1000)
+        return strprintf("%.0f", value);
+    return strprintf("%.2f", value);
+}
+
+std::string
+bar(double value, double max_value, int width)
+{
+    if (max_value <= 0.0)
+        return "";
+    const int n = static_cast<int>(
+        std::round(value / max_value * width));
+    return std::string(static_cast<size_t>(std::clamp(n, 0, width)),
+                       '#');
+}
+
+std::string
+logBar(double value, double max_value, int width)
+{
+    if (value <= 0.0 || max_value <= 0.0)
+        return "";
+    // Map [1, max] logarithmically onto [1, width].
+    const double log_max = std::log10(max_value);
+    if (log_max <= 0.0)
+        return "#";
+    const double t = std::log10(std::max(1.0, value)) / log_max;
+    const int n =
+        1 + static_cast<int>(std::round(t * (width - 1)));
+    return std::string(static_cast<size_t>(std::clamp(n, 1, width)),
+                       '#');
+}
+
+} // namespace report
+} // namespace mlperf

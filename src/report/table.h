@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-width table and ASCII-chart emitters used by the benches to
+ * print paper tables and figures.
+ */
+
+#ifndef MLPERF_REPORT_TABLE_H
+#define MLPERF_REPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace mlperf {
+namespace report {
+
+/** Column-aligned text table with a header rule. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /** A horizontal rule row (printed as dashes). */
+    void addRule();
+
+    /** Render with columns sized to the widest cell. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  //!< empty = rule
+};
+
+/** Title banner matching the benches' output style. */
+std::string banner(const std::string &title);
+
+/** Format a double with the given precision, trimming wide values. */
+std::string fmt(double value, int precision = 2);
+
+/** Scientific-style compact formatting for wide-range values. */
+std::string fmtCompact(double value);
+
+/**
+ * Horizontal ASCII bar scaled so @p max_value fills @p width
+ * characters (for figure-style output).
+ */
+std::string bar(double value, double max_value, int width = 40);
+
+/**
+ * Log-scale ASCII bar for values spanning orders of magnitude
+ * (Figure 8 style); both values must be positive.
+ */
+std::string logBar(double value, double max_value, int width = 40);
+
+} // namespace report
+} // namespace mlperf
+
+#endif // MLPERF_REPORT_TABLE_H

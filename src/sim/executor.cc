@@ -1,0 +1,13 @@
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace sim {
+
+void
+Executor::scheduleAfter(Tick delay, Task task)
+{
+    schedule(now() + delay, std::move(task));
+}
+
+} // namespace sim
+} // namespace mlperf

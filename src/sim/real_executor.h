@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Wall-clock executor backed by a timer thread.
+ */
+
+#ifndef MLPERF_SIM_REAL_EXECUTOR_H
+#define MLPERF_SIM_REAL_EXECUTOR_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace sim {
+
+/**
+ * Executor whose tick counter is wall-clock nanoseconds since run()
+ * started. Events fire on the thread that called run(); schedule() may
+ * be called from any thread (e.g. SUT inference workers completing
+ * queries).
+ *
+ * Unlike VirtualExecutor, run() does not return when the queue drains —
+ * a wall-clock scenario is still in flight while queries are pending —
+ * it returns only on stop().
+ */
+class RealExecutor : public Executor
+{
+  public:
+    Tick now() const override;
+    void schedule(Tick when, Task task) override;
+    void run() override;
+    void stop() override;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        Task task;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Clock::time_point epoch_ = Clock::now();
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    uint64_t nextSeq_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace sim
+} // namespace mlperf
+
+#endif // MLPERF_SIM_REAL_EXECUTOR_H

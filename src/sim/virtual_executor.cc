@@ -1,0 +1,41 @@
+#include "sim/virtual_executor.h"
+
+#include <cassert>
+
+namespace mlperf {
+namespace sim {
+
+void
+VirtualExecutor::schedule(Tick when, Task task)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Events "in the past" run now; virtual time never goes backwards.
+    if (when < now_)
+        when = now_;
+    queue_.push(Event{when, nextSeq_++, std::move(task)});
+}
+
+void
+VirtualExecutor::run()
+{
+    stopped_ = false;
+    while (!stopped_) {
+        Task task;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.empty())
+                break;
+            // priority_queue::top() is const; the task must be moved
+            // out, so we copy the POD fields and const_cast the task.
+            const Event &top = queue_.top();
+            now_ = top.when;
+            task = std::move(const_cast<Event &>(top).task);
+            queue_.pop();
+        }
+        ++eventsProcessed_;
+        task();
+    }
+}
+
+} // namespace sim
+} // namespace mlperf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic single-threaded discrete-event executor.
+ */
+
+#ifndef MLPERF_SIM_VIRTUAL_EXECUTOR_H
+#define MLPERF_SIM_VIRTUAL_EXECUTOR_H
+
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace sim {
+
+/**
+ * Discrete-event simulator: run() pops events in (time, insertion)
+ * order and advances virtual time instantaneously. Equal-time events
+ * run in FIFO order, which makes whole LoadGen runs bit-reproducible.
+ *
+ * schedule() is thread-safe so code written for RealExecutor works
+ * unchanged, but in practice all virtual-mode work happens on the
+ * single thread calling run().
+ */
+class VirtualExecutor : public Executor
+{
+  public:
+    Tick now() const override { return now_; }
+    void schedule(Tick when, Task task) override;
+    void run() override;
+    void stop() override { stopped_ = true; }
+
+    /** Number of events executed so far (for tests/diagnostics). */
+    uint64_t eventsProcessed() const { return eventsProcessed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        Task task;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::mutex mutex_;
+    Tick now_ = 0;
+    uint64_t nextSeq_ = 0;
+    uint64_t eventsProcessed_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace sim
+} // namespace mlperf
+
+#endif // MLPERF_SIM_VIRTUAL_EXECUTOR_H

@@ -1,0 +1,104 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mlperf {
+namespace stats {
+
+LogHistogram::LogHistogram(uint64_t min_value, uint64_t max_value,
+                           int buckets_per_decade)
+    : minValue_(std::max<uint64_t>(1, min_value)), maxValue_(max_value)
+{
+    assert(maxValue_ > minValue_);
+    logMin_ = std::log10(static_cast<double>(minValue_));
+    const double log_max = std::log10(static_cast<double>(maxValue_));
+    scale_ = buckets_per_decade;
+    const size_t n = static_cast<size_t>(
+        std::ceil((log_max - logMin_) * scale_)) + 2;
+    buckets_.assign(n, 0);
+}
+
+size_t
+LogHistogram::bucketFor(uint64_t value) const
+{
+    if (value <= minValue_)
+        return 0;
+    if (value >= maxValue_)
+        return buckets_.size() - 1;
+    const double log_v = std::log10(static_cast<double>(value));
+    size_t idx = static_cast<size_t>((log_v - logMin_) * scale_) + 1;
+    return std::min(idx, buckets_.size() - 1);
+}
+
+uint64_t
+LogHistogram::bucketUpperBound(size_t idx) const
+{
+    if (idx == 0)
+        return minValue_;
+    const double log_v = logMin_ + static_cast<double>(idx) / scale_;
+    return static_cast<uint64_t>(std::pow(10.0, log_v));
+}
+
+void
+LogHistogram::record(uint64_t value)
+{
+    buckets_[bucketFor(value)]++;
+    if (count_ == 0) {
+        observedMin_ = observedMax_ = value;
+    } else {
+        observedMin_ = std::min(observedMin_, value);
+        observedMax_ = std::max(observedMax_, value);
+    }
+    ++count_;
+    sum_ += static_cast<double>(value);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    assert(buckets_.size() == other.buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (other.count_) {
+        if (count_ == 0) {
+            observedMin_ = other.observedMin_;
+            observedMax_ = other.observedMax_;
+        } else {
+            observedMin_ = std::min(observedMin_, other.observedMin_);
+            observedMax_ = std::max(observedMax_, other.observedMax_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+uint64_t
+LogHistogram::percentile(double p) const
+{
+    assert(p > 0.0 && p <= 1.0);
+    if (count_ == 0)
+        return 0;
+    const uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            // Clamp to the observed range so tails stay honest.
+            return std::min(std::max(bucketUpperBound(i), observedMin_),
+                            observedMax_);
+        }
+    }
+    return observedMax_;
+}
+
+} // namespace stats
+} // namespace mlperf

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Log-scale latency histogram for streaming percentile estimates.
+ *
+ * The full LoadGen keeps every latency sample (needed for exact
+ * validity checks), but simulated population sweeps over the system
+ * zoo generate hundreds of millions of samples; this histogram gives
+ * bounded-memory percentile estimates with <1% relative error by using
+ * logarithmically spaced buckets (HdrHistogram-style).
+ */
+
+#ifndef MLPERF_STATS_HISTOGRAM_H
+#define MLPERF_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mlperf {
+namespace stats {
+
+class LogHistogram
+{
+  public:
+    /**
+     * @param min_value smallest distinguishable value (ns)
+     * @param max_value largest recordable value (ns); larger values clamp
+     * @param buckets_per_decade resolution (default ~1% relative error)
+     */
+    LogHistogram(uint64_t min_value = 100,
+                 uint64_t max_value = 3600ULL * 1000 * 1000 * 1000,
+                 int buckets_per_decade = 256);
+
+    void record(uint64_t value);
+    void merge(const LogHistogram &other);
+
+    uint64_t count() const { return count_; }
+    uint64_t min() const { return count_ ? observedMin_ : 0; }
+    uint64_t max() const { return count_ ? observedMax_ : 0; }
+    double mean() const;
+
+    /** Estimated nearest-rank percentile, p in (0, 1]. */
+    uint64_t percentile(double p) const;
+
+  private:
+    size_t bucketFor(uint64_t value) const;
+    uint64_t bucketUpperBound(size_t idx) const;
+
+    uint64_t minValue_;
+    uint64_t maxValue_;
+    double logMin_;
+    double scale_;               //!< buckets per log-unit
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t observedMin_ = 0;
+    uint64_t observedMax_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace stats
+} // namespace mlperf
+
+#endif // MLPERF_STATS_HISTOGRAM_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Standard normal distribution functions.
+ *
+ * The paper's query-count requirement (Sec. III-D, Eq. 2) is
+ *
+ *   NumQueries = NormsInv((1 - Confidence) / 2)^2
+ *                * TailLatency * (1 - TailLatency) / Margin^2
+ *
+ * so we need a high-accuracy inverse normal CDF. We implement Acklam's
+ * rational approximation refined with one Halley step against the
+ * complementary error function, which is accurate to ~1e-15 over the
+ * full open interval (0, 1).
+ */
+
+#ifndef MLPERF_STATS_NORMAL_H
+#define MLPERF_STATS_NORMAL_H
+
+namespace mlperf {
+namespace stats {
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double x);
+
+/**
+ * Inverse of the standard normal CDF (quantile function).
+ *
+ * @param p probability in the open interval (0, 1).
+ * @return x such that normalCdf(x) == p.
+ */
+double normalQuantile(double p);
+
+} // namespace stats
+} // namespace mlperf
+
+#endif // MLPERF_STATS_NORMAL_H

@@ -1,0 +1,68 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mlperf {
+namespace stats {
+
+uint64_t
+percentileSorted(const std::vector<uint64_t> &sorted, double p)
+{
+    assert(!sorted.empty());
+    assert(p > 0.0 && p <= 1.0);
+    // Nearest-rank: index ceil(p * N) in 1-based terms.
+    const size_t rank = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    const size_t idx = (rank == 0 ? 0 : rank - 1);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+uint64_t
+percentile(const std::vector<uint64_t> &samples, double p)
+{
+    std::vector<uint64_t> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    return percentileSorted(sorted, p);
+}
+
+LatencySummary
+LatencySummary::from(const std::vector<uint64_t> &samples)
+{
+    LatencySummary s;
+    if (samples.empty())
+        return s;
+    std::vector<uint64_t> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.minNs = sorted.front();
+    s.maxNs = sorted.back();
+    double sum = 0.0;
+    for (uint64_t v : sorted)
+        sum += static_cast<double>(v);
+    s.meanNs = sum / static_cast<double>(sorted.size());
+    s.p50 = percentileSorted(sorted, 0.50);
+    s.p90 = percentileSorted(sorted, 0.90);
+    s.p95 = percentileSorted(sorted, 0.95);
+    s.p97 = percentileSorted(sorted, 0.97);
+    s.p99 = percentileSorted(sorted, 0.99);
+    s.p999 = percentileSorted(sorted, 0.999);
+    return s;
+}
+
+double
+fractionOver(const std::vector<uint64_t> &samples, uint64_t bound)
+{
+    if (samples.empty())
+        return 0.0;
+    size_t over = 0;
+    for (uint64_t v : samples) {
+        if (v > bound)
+            ++over;
+    }
+    return static_cast<double>(over) / static_cast<double>(samples.size());
+}
+
+} // namespace stats
+} // namespace mlperf

@@ -1,0 +1,57 @@
+#include "stats/sample_size.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace mlperf {
+namespace stats {
+
+double
+marginForTail(double tail_latency)
+{
+    return (1.0 - tail_latency) / 20.0;
+}
+
+double
+numQueries(double tail_latency, double confidence, double margin)
+{
+    // Two-sided z value: NormsInv((1 - confidence) / 2). The square
+    // removes the sign, matching the paper's Eq. 2 exactly.
+    const double z = normalQuantile((1.0 - confidence) / 2.0);
+    return z * z * tail_latency * (1.0 - tail_latency) / (margin * margin);
+}
+
+uint64_t
+roundUpTo8k(uint64_t queries)
+{
+    constexpr uint64_t kChunk = 1ULL << 13;
+    return (queries + kChunk - 1) / kChunk * kChunk;
+}
+
+double
+marginAt(double tail_latency, double confidence, uint64_t queries)
+{
+    const double z = normalQuantile((1.0 - confidence) / 2.0);
+    return std::sqrt(z * z * tail_latency * (1.0 - tail_latency) /
+                     static_cast<double>(queries));
+}
+
+QueryRequirement
+queryRequirement(double tail_latency, double confidence)
+{
+    QueryRequirement req;
+    req.tailLatency = tail_latency;
+    req.confidence = confidence;
+    req.margin = marginForTail(tail_latency);
+    // The paper reports round-to-nearest values (e.g. 50425.2 -> 50,425);
+    // the subsequent round-up-to-2^13 provides the safety slack.
+    req.exactQueries = static_cast<uint64_t>(
+        std::llround(numQueries(tail_latency, confidence, req.margin)));
+    req.roundedQueries = roundUpTo8k(req.exactQueries);
+    req.multipleOf8k = req.roundedQueries >> 13;
+    return req;
+}
+
+} // namespace stats
+} // namespace mlperf

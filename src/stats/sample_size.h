@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Statistically-confident query-count requirements (paper Sec. III-D).
+ *
+ * Implements Equations 1 and 2 and the rounding rule ("rounded up to the
+ * nearest multiple of 2^13") that together produce Table IV, and the
+ * per-task per-scenario query matrix of Table V.
+ */
+
+#ifndef MLPERF_STATS_SAMPLE_SIZE_H
+#define MLPERF_STATS_SAMPLE_SIZE_H
+
+#include <cstdint>
+
+namespace mlperf {
+namespace stats {
+
+/** Result of the Table IV computation for one tail-latency percentile. */
+struct QueryRequirement
+{
+    double tailLatency;        //!< e.g. 0.90, 0.95, 0.99
+    double confidence;         //!< e.g. 0.99
+    double margin;             //!< Eq. 1: (1 - tail) / 20
+    uint64_t exactQueries;     //!< Eq. 2, rounded up to an integer
+    uint64_t roundedQueries;   //!< rounded up to a multiple of 2^13
+    uint64_t multipleOf8k;     //!< roundedQueries / 2^13
+};
+
+/** Eq. 1: margin is one-twentieth of the distance from the tail to 1. */
+double marginForTail(double tail_latency);
+
+/**
+ * Eq. 2: queries needed so that, with probability @p confidence, the
+ * measured tail is within @p margin of the true tail. Identical to the
+ * electoral-poll sample-size formula.
+ */
+double numQueries(double tail_latency, double confidence, double margin);
+
+/**
+ * Full Table IV row for a tail percentile at the paper's fixed 99%
+ * confidence and Eq. 1 margin.
+ */
+QueryRequirement queryRequirement(double tail_latency,
+                                  double confidence = 0.99);
+
+/** Round up to the nearest multiple of 2^13 = 8,192. */
+uint64_t roundUpTo8k(uint64_t queries);
+
+/**
+ * Inverse of Eq. 2: the error margin on a measured tail-latency
+ * percentile given @p queries samples at @p confidence — how much a
+ * reported result could move on a re-run. Used to sanity-check that
+ * scaled-down experiments still resolve the tail they bound.
+ */
+double marginAt(double tail_latency, double confidence,
+                uint64_t queries);
+
+/** Paper constants shared by the LoadGen defaults. */
+constexpr uint64_t kSingleStreamMinQueries = 1024;
+constexpr uint64_t kOfflineMinSamples = 24576;       // 3 * 2^13
+constexpr uint64_t kMinDurationNs = 60ULL * 1000 * 1000 * 1000;
+
+} // namespace stats
+} // namespace mlperf
+
+#endif // MLPERF_STATS_SAMPLE_SIZE_H

@@ -1,0 +1,66 @@
+#include "sut/hardware_profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlperf {
+namespace sut {
+
+std::string
+processorName(ProcessorType type)
+{
+    switch (type) {
+      case ProcessorType::CPU:  return "CPU";
+      case ProcessorType::GPU:  return "GPU";
+      case ProcessorType::DSP:  return "DSP";
+      case ProcessorType::FPGA: return "FPGA";
+      case ProcessorType::ASIC: return "ASIC";
+    }
+    return "?";
+}
+
+std::string
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::Available: return "available";
+      case Category::Preview:   return "preview";
+      case Category::RDO:       return "rdo";
+    }
+    return "?";
+}
+
+double
+HardwareProfile::efficiencyAt(int64_t batch) const
+{
+    assert(batch >= 1);
+    if (batch >= saturationBatch)
+        return 1.0;
+    // B / (B + c) with eff(1) = batchOneEfficiency.
+    const double c =
+        (1.0 - batchOneEfficiency) / batchOneEfficiency;
+    const double b = static_cast<double>(batch);
+    return std::min(1.0, b / (b + c));
+}
+
+double
+HardwareProfile::batchSeconds(double macs, int64_t batch) const
+{
+    return overheadNs * 1e-9 +
+           macs / (peakMacsPerSec * efficiencyAt(batch));
+}
+
+double
+HardwareProfile::dvfsFactorAt(sim::Tick now) const
+{
+    if (dvfsWarmupSeconds <= 0.0 || dvfsColdFactor <= 1.0)
+        return 1.0;
+    const double t = static_cast<double>(now) /
+                     static_cast<double>(sim::kNsPerSec);
+    const double progress =
+        std::min(1.0, t / dvfsWarmupSeconds);
+    return 1.0 + (dvfsColdFactor - 1.0) * (1.0 - progress);
+}
+
+} // namespace sut
+} // namespace mlperf

@@ -1,0 +1,154 @@
+#include "sut/multi_model_sut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mlperf {
+namespace sut {
+
+MultiModelSut::MultiModelSut(sim::Executor &executor,
+                             HardwareProfile profile,
+                             std::vector<ModelCost> models,
+                             uint64_t seed)
+    : executor_(executor), profile_(std::move(profile)),
+      models_(std::move(models)), rng_(seed)
+{
+    assert(!models_.empty());
+    facades_.reserve(models_.size());
+    queues_.resize(models_.size());
+    for (size_t i = 0; i < models_.size(); ++i)
+        facades_.emplace_back(*this, i);
+}
+
+loadgen::SystemUnderTest &
+MultiModelSut::tenantSut(size_t model_index)
+{
+    assert(model_index < facades_.size());
+    return facades_[model_index];
+}
+
+std::string
+MultiModelSut::TenantFacade::name() const
+{
+    return owner_.profile_.systemName + "/model-" +
+           std::to_string(index_);
+}
+
+void
+MultiModelSut::TenantFacade::issueQuery(
+    const std::vector<loadgen::QuerySample> &samples,
+    loadgen::ResponseDelegate &delegate)
+{
+    owner_.enqueue(index_, samples, delegate);
+}
+
+double
+MultiModelSut::drawSampleMacs(const ModelCost &cost)
+{
+    double macs = cost.macsPerSample * cost.structureDiscount;
+    if (cost.workCv > 0.0) {
+        const double sigma =
+            std::sqrt(std::log(1.0 + cost.workCv * cost.workCv));
+        macs *= std::exp(sigma * rng_.nextGaussian() -
+                         sigma * sigma / 2.0);
+    }
+    return macs;
+}
+
+void
+MultiModelSut::enqueue(size_t model,
+                       const std::vector<loadgen::QuerySample> &samples,
+                       loadgen::ResponseDelegate &delegate)
+{
+    auto &queue = queues_[model];
+    for (const auto &sample : samples) {
+        queue.push_back({sample.id, &delegate,
+                         drawSampleMacs(models_[model])});
+    }
+    dispatch();
+}
+
+void
+MultiModelSut::dispatch()
+{
+    const int64_t max_batch = std::max<int64_t>(1, profile_.maxBatch);
+    while (busyEngines_ < profile_.acceleratorCount) {
+        // Round-robin over model queues for fairness.
+        size_t chosen = queues_.size();
+        for (size_t probe = 0; probe < queues_.size(); ++probe) {
+            const size_t idx =
+                (nextQueue_ + probe) % queues_.size();
+            if (!queues_[idx].empty()) {
+                chosen = idx;
+                break;
+            }
+        }
+        if (chosen == queues_.size())
+            return;  // nothing pending
+        nextQueue_ = (chosen + 1) % queues_.size();
+
+        auto &queue = queues_[chosen];
+        const int64_t take = std::min<int64_t>(
+            max_batch, static_cast<int64_t>(queue.size()));
+        std::vector<PendingSample> batch;
+        batch.reserve(static_cast<size_t>(take));
+        for (int64_t i = 0; i < take; ++i) {
+            batch.push_back(queue.front());
+            queue.pop_front();
+        }
+        startBatch(chosen, std::move(batch));
+    }
+}
+
+void
+MultiModelSut::startBatch(size_t model,
+                          std::vector<PendingSample> batch)
+{
+    ++busyEngines_;
+    ++batchesDispatched_;
+
+    const auto &cost = models_[model];
+    const int64_t batch_size = static_cast<int64_t>(batch.size());
+    double macs = 0.0;
+    if (cost.paddedBatching) {
+        double longest = 0.0;
+        for (const auto &sample : batch)
+            longest = std::max(longest, sample.macs);
+        macs = longest * static_cast<double>(batch_size);
+    } else {
+        for (const auto &sample : batch)
+            macs += sample.macs;
+    }
+
+    double seconds = profile_.batchSeconds(macs, batch_size);
+    seconds *= profile_.dvfsFactorAt(executor_.now());
+    if (profile_.jitterFraction > 0.0) {
+        seconds *= std::exp(profile_.jitterFraction *
+                            rng_.nextGaussian());
+    }
+    const sim::Tick latency = static_cast<sim::Tick>(
+        seconds * static_cast<double>(sim::kNsPerSec));
+
+    executor_.scheduleAfter(
+        latency, [this, batch = std::move(batch)] {
+            std::vector<loadgen::QuerySampleResponse> responses;
+            responses.reserve(batch.size());
+            loadgen::ResponseDelegate *delegate = nullptr;
+            for (const auto &sample : batch) {
+                if (delegate && sample.delegate != delegate) {
+                    delegate->querySamplesComplete(responses);
+                    responses.clear();
+                }
+                delegate = sample.delegate;
+                responses.push_back({sample.id, ""});
+            }
+            if (delegate && !responses.empty())
+                delegate->querySamplesComplete(responses);
+            --busyEngines_;
+            dispatch();
+        });
+}
+
+} // namespace sut
+} // namespace mlperf

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A simulated system serving several models concurrently — the SUT
+ * side of the multitenancy extension (paper Sec. IV-B). One shared
+ * pool of inference engines; per-model batchers (different models
+ * cannot share a batch); round-robin dispatch between model queues so
+ * a heavy tenant cannot starve a light one.
+ */
+
+#ifndef MLPERF_SUT_MULTI_MODEL_SUT_H
+#define MLPERF_SUT_MULTI_MODEL_SUT_H
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "loadgen/sut.h"
+#include "sim/executor.h"
+#include "sut/hardware_profile.h"
+#include "sut/model_cost.h"
+
+namespace mlperf {
+namespace sut {
+
+class MultiModelSut
+{
+  public:
+    MultiModelSut(sim::Executor &executor, HardwareProfile profile,
+                  std::vector<ModelCost> models,
+                  uint64_t seed = 0xC0DE2);
+
+    /**
+     * The per-model SystemUnderTest facade to hand to the LoadGen;
+     * valid for the lifetime of this object.
+     */
+    loadgen::SystemUnderTest &tenantSut(size_t model_index);
+
+    uint64_t batchesDispatched() const { return batchesDispatched_; }
+    const HardwareProfile &profile() const { return profile_; }
+
+  private:
+    struct PendingSample
+    {
+        loadgen::ResponseId id;
+        loadgen::ResponseDelegate *delegate;
+        double macs;
+    };
+
+    /** Facade implementing SystemUnderTest for one model index. */
+    class TenantFacade : public loadgen::SystemUnderTest
+    {
+      public:
+        TenantFacade(MultiModelSut &owner, size_t index)
+            : owner_(owner), index_(index)
+        {
+        }
+        std::string name() const override;
+        void issueQuery(const std::vector<loadgen::QuerySample> &s,
+                        loadgen::ResponseDelegate &d) override;
+        void flushQueries() override {}
+
+      private:
+        MultiModelSut &owner_;
+        size_t index_;
+    };
+
+    void enqueue(size_t model, const std::vector<loadgen::QuerySample> &,
+                 loadgen::ResponseDelegate &);
+    void dispatch();
+    void startBatch(size_t model, std::vector<PendingSample> batch);
+    double drawSampleMacs(const ModelCost &cost);
+
+    sim::Executor &executor_;
+    HardwareProfile profile_;
+    std::vector<ModelCost> models_;
+    Rng rng_;
+
+    std::vector<TenantFacade> facades_;
+    std::vector<std::deque<PendingSample>> queues_;  //!< per model
+    size_t nextQueue_ = 0;  //!< round-robin cursor
+    int64_t busyEngines_ = 0;
+    uint64_t batchesDispatched_ = 0;
+};
+
+} // namespace sut
+} // namespace mlperf
+
+#endif // MLPERF_SUT_MULTI_MODEL_SUT_H

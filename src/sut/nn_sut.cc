@@ -1,0 +1,262 @@
+#include "sut/nn_sut.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mlperf {
+namespace sut {
+
+// ------------------------------------------------------------- QSLs
+
+ClassificationQsl::ClassificationQsl(
+    const data::ClassificationDataset &dataset,
+    uint64_t performance_count)
+    : dataset_(dataset), performanceCount_(performance_count)
+{
+}
+
+uint64_t
+ClassificationQsl::totalSampleCount() const
+{
+    return static_cast<uint64_t>(dataset_.size());
+}
+
+uint64_t
+ClassificationQsl::performanceSampleCount() const
+{
+    return std::min<uint64_t>(performanceCount_, totalSampleCount());
+}
+
+void
+ClassificationQsl::loadSamplesToRam(
+    const std::vector<loadgen::QuerySampleIndex> &idx)
+{
+    for (loadgen::QuerySampleIndex i : idx)
+        staged_.emplace(i, dataset_.image(static_cast<int64_t>(i)));
+}
+
+void
+ClassificationQsl::unloadSamplesFromRam(
+    const std::vector<loadgen::QuerySampleIndex> &idx)
+{
+    for (loadgen::QuerySampleIndex i : idx)
+        staged_.erase(i);
+}
+
+const tensor::Tensor &
+ClassificationQsl::sample(loadgen::QuerySampleIndex index) const
+{
+    const auto it = staged_.find(index);
+    assert(it != staged_.end() && "sample not staged");
+    return it->second;
+}
+
+DetectionQsl::DetectionQsl(const data::DetectionDataset &dataset,
+                           uint64_t performance_count)
+    : dataset_(dataset), performanceCount_(performance_count)
+{
+}
+
+uint64_t
+DetectionQsl::totalSampleCount() const
+{
+    return static_cast<uint64_t>(dataset_.size());
+}
+
+uint64_t
+DetectionQsl::performanceSampleCount() const
+{
+    return std::min<uint64_t>(performanceCount_, totalSampleCount());
+}
+
+void
+DetectionQsl::loadSamplesToRam(
+    const std::vector<loadgen::QuerySampleIndex> &idx)
+{
+    for (loadgen::QuerySampleIndex i : idx)
+        staged_.emplace(i, dataset_.image(static_cast<int64_t>(i)));
+}
+
+void
+DetectionQsl::unloadSamplesFromRam(
+    const std::vector<loadgen::QuerySampleIndex> &idx)
+{
+    for (loadgen::QuerySampleIndex i : idx)
+        staged_.erase(i);
+}
+
+const tensor::Tensor &
+DetectionQsl::sample(loadgen::QuerySampleIndex index) const
+{
+    const auto it = staged_.find(index);
+    assert(it != staged_.end() && "sample not staged");
+    return it->second;
+}
+
+TranslationQsl::TranslationQsl(const data::TranslationDataset &dataset,
+                               uint64_t performance_count)
+    : dataset_(dataset), performanceCount_(performance_count)
+{
+}
+
+uint64_t
+TranslationQsl::totalSampleCount() const
+{
+    return static_cast<uint64_t>(dataset_.size());
+}
+
+uint64_t
+TranslationQsl::performanceSampleCount() const
+{
+    return std::min<uint64_t>(performanceCount_, totalSampleCount());
+}
+
+void
+TranslationQsl::loadSamplesToRam(
+    const std::vector<loadgen::QuerySampleIndex> &idx)
+{
+    for (loadgen::QuerySampleIndex i : idx)
+        staged_.emplace(i, dataset_.source(static_cast<int64_t>(i)));
+}
+
+void
+TranslationQsl::unloadSamplesFromRam(
+    const std::vector<loadgen::QuerySampleIndex> &idx)
+{
+    for (loadgen::QuerySampleIndex i : idx)
+        staged_.erase(i);
+}
+
+const std::vector<int64_t> &
+TranslationQsl::sample(loadgen::QuerySampleIndex index) const
+{
+    const auto it = staged_.find(index);
+    assert(it != staged_.end() && "sample not staged");
+    return it->second;
+}
+
+// ------------------------------------------------- result encoding
+
+std::string
+encodeClassification(int64_t predicted_class)
+{
+    return std::to_string(predicted_class);
+}
+
+int64_t
+decodeClassification(const std::string &data)
+{
+    return std::stoll(data);
+}
+
+std::string
+encodeDetections(const std::vector<metrics::Detection> &detections)
+{
+    std::string out;
+    for (const auto &d : detections) {
+        if (!out.empty())
+            out += ";";
+        out += strprintf("%ld,%.6f,%.3f,%.3f,%.3f,%.3f",
+                         static_cast<long>(d.cls), d.score, d.box.x0,
+                         d.box.y0, d.box.x1, d.box.y1);
+    }
+    return out;
+}
+
+std::vector<metrics::Detection>
+decodeDetections(const std::string &data, int64_t image_id)
+{
+    std::vector<metrics::Detection> out;
+    if (data.empty())
+        return out;
+    for (const std::string &record : split(data, ';')) {
+        const auto fields = split(record, ',');
+        assert(fields.size() == 6);
+        metrics::Detection d;
+        d.imageId = image_id;
+        d.cls = std::stoll(fields[0]);
+        d.score = std::stod(fields[1]);
+        d.box.x0 = std::stod(fields[2]);
+        d.box.y0 = std::stod(fields[3]);
+        d.box.x1 = std::stod(fields[4]);
+        d.box.y1 = std::stod(fields[5]);
+        out.push_back(d);
+    }
+    return out;
+}
+
+std::string
+encodeTokens(const std::vector<int64_t> &tokens)
+{
+    std::string out;
+    for (int64_t tok : tokens) {
+        if (!out.empty())
+            out += " ";
+        out += std::to_string(tok);
+    }
+    return out;
+}
+
+std::vector<int64_t>
+decodeTokens(const std::string &data)
+{
+    std::vector<int64_t> out;
+    std::istringstream stream(data);
+    int64_t tok;
+    while (stream >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+// -------------------------------------------------------------- SUTs
+
+void
+ClassifierSut::issueQuery(
+    const std::vector<loadgen::QuerySample> &samples,
+    loadgen::ResponseDelegate &delegate)
+{
+    std::vector<loadgen::QuerySampleResponse> responses;
+    responses.reserve(samples.size());
+    for (const auto &sample : samples) {
+        const int64_t predicted =
+            model_.classify(qsl_.sample(sample.index));
+        responses.push_back({sample.id,
+                             encodeClassification(predicted)});
+    }
+    delegate.querySamplesComplete(responses);
+}
+
+void
+DetectorSut::issueQuery(const std::vector<loadgen::QuerySample> &samples,
+                        loadgen::ResponseDelegate &delegate)
+{
+    std::vector<loadgen::QuerySampleResponse> responses;
+    responses.reserve(samples.size());
+    for (const auto &sample : samples) {
+        const auto detections =
+            model_.detect(qsl_.sample(sample.index),
+                          static_cast<int64_t>(sample.index));
+        responses.push_back({sample.id, encodeDetections(detections)});
+    }
+    delegate.querySamplesComplete(responses);
+}
+
+void
+TranslatorSut::issueQuery(
+    const std::vector<loadgen::QuerySample> &samples,
+    loadgen::ResponseDelegate &delegate)
+{
+    std::vector<loadgen::QuerySampleResponse> responses;
+    responses.reserve(samples.size());
+    for (const auto &sample : samples) {
+        const auto tokens =
+            model_.translate(qsl_.sample(sample.index));
+        responses.push_back({sample.id, encodeTokens(tokens)});
+    }
+    delegate.querySamplesComplete(responses);
+}
+
+} // namespace sut
+} // namespace mlperf

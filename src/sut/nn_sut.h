@@ -1,0 +1,186 @@
+/**
+ * @file
+ * SUT and QSL adapters that run the real NN proxy models under the
+ * LoadGen — used with the wall-clock executor and for accuracy-mode
+ * runs whose logs feed the accuracy script.
+ *
+ * Result serialization is part of the submission contract: the SUT
+ * writes task-specific result strings into QuerySampleResponse::data,
+ * and the accuracy script (src/harness/accuracy_script.h) decodes
+ * them against the dataset ground truth.
+ */
+
+#ifndef MLPERF_SUT_NN_SUT_H
+#define MLPERF_SUT_NN_SUT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loadgen/qsl.h"
+#include "loadgen/sut.h"
+#include "models/classifier.h"
+#include "models/detector.h"
+#include "models/translator.h"
+
+namespace mlperf {
+namespace sut {
+
+// ------------------------------------------------------------- QSLs
+
+/** QSL over the synthetic classification dataset. */
+class ClassificationQsl : public loadgen::QuerySampleLibrary
+{
+  public:
+    explicit ClassificationQsl(
+        const data::ClassificationDataset &dataset,
+        uint64_t performance_count = 256);
+
+    std::string name() const override { return "synthetic-imagenet"; }
+    uint64_t totalSampleCount() const override;
+    uint64_t performanceSampleCount() const override;
+    void loadSamplesToRam(
+        const std::vector<loadgen::QuerySampleIndex> &idx) override;
+    void unloadSamplesFromRam(
+        const std::vector<loadgen::QuerySampleIndex> &idx) override;
+
+    /** Staged sample access; asserts the sample is loaded. */
+    const tensor::Tensor &
+    sample(loadgen::QuerySampleIndex index) const;
+
+  private:
+    const data::ClassificationDataset &dataset_;
+    uint64_t performanceCount_;
+    std::map<loadgen::QuerySampleIndex, tensor::Tensor> staged_;
+};
+
+/** QSL over the synthetic detection dataset. */
+class DetectionQsl : public loadgen::QuerySampleLibrary
+{
+  public:
+    explicit DetectionQsl(const data::DetectionDataset &dataset,
+                          uint64_t performance_count = 256);
+
+    std::string name() const override { return "synthetic-coco"; }
+    uint64_t totalSampleCount() const override;
+    uint64_t performanceSampleCount() const override;
+    void loadSamplesToRam(
+        const std::vector<loadgen::QuerySampleIndex> &idx) override;
+    void unloadSamplesFromRam(
+        const std::vector<loadgen::QuerySampleIndex> &idx) override;
+
+    const tensor::Tensor &
+    sample(loadgen::QuerySampleIndex index) const;
+
+  private:
+    const data::DetectionDataset &dataset_;
+    uint64_t performanceCount_;
+    std::map<loadgen::QuerySampleIndex, tensor::Tensor> staged_;
+};
+
+/** QSL over the synthetic translation dataset. */
+class TranslationQsl : public loadgen::QuerySampleLibrary
+{
+  public:
+    explicit TranslationQsl(const data::TranslationDataset &dataset,
+                            uint64_t performance_count = 256);
+
+    std::string name() const override { return "synthetic-wmt"; }
+    uint64_t totalSampleCount() const override;
+    uint64_t performanceSampleCount() const override;
+    void loadSamplesToRam(
+        const std::vector<loadgen::QuerySampleIndex> &idx) override;
+    void unloadSamplesFromRam(
+        const std::vector<loadgen::QuerySampleIndex> &idx) override;
+
+    const std::vector<int64_t> &
+    sample(loadgen::QuerySampleIndex index) const;
+
+  private:
+    const data::TranslationDataset &dataset_;
+    uint64_t performanceCount_;
+    std::map<loadgen::QuerySampleIndex, std::vector<int64_t>> staged_;
+};
+
+// ------------------------------------------------- result encoding
+
+/** Classification result <-> response data. */
+std::string encodeClassification(int64_t predicted_class);
+int64_t decodeClassification(const std::string &data);
+
+/** Detection results <-> response data. */
+std::string encodeDetections(
+    const std::vector<metrics::Detection> &detections);
+std::vector<metrics::Detection> decodeDetections(
+    const std::string &data, int64_t image_id);
+
+/** Translation result <-> response data. */
+std::string encodeTokens(const std::vector<int64_t> &tokens);
+std::vector<int64_t> decodeTokens(const std::string &data);
+
+// -------------------------------------------------------------- SUTs
+
+/** Runs the real classifier synchronously inside issueQuery. */
+class ClassifierSut : public loadgen::SystemUnderTest
+{
+  public:
+    ClassifierSut(const models::ImageClassifier &model,
+                  const ClassificationQsl &qsl)
+        : model_(model), qsl_(qsl)
+    {
+    }
+
+    std::string name() const override { return model_.name(); }
+    void issueQuery(const std::vector<loadgen::QuerySample> &samples,
+                    loadgen::ResponseDelegate &delegate) override;
+    void flushQueries() override {}
+
+  private:
+    const models::ImageClassifier &model_;
+    const ClassificationQsl &qsl_;
+};
+
+/** Runs the real detector synchronously inside issueQuery. */
+class DetectorSut : public loadgen::SystemUnderTest
+{
+  public:
+    DetectorSut(const models::ObjectDetector &model,
+                const DetectionQsl &qsl)
+        : model_(model), qsl_(qsl)
+    {
+    }
+
+    std::string name() const override { return model_.name(); }
+    void issueQuery(const std::vector<loadgen::QuerySample> &samples,
+                    loadgen::ResponseDelegate &delegate) override;
+    void flushQueries() override {}
+
+  private:
+    const models::ObjectDetector &model_;
+    const DetectionQsl &qsl_;
+};
+
+/** Runs the real translator synchronously inside issueQuery. */
+class TranslatorSut : public loadgen::SystemUnderTest
+{
+  public:
+    TranslatorSut(const models::Translator &model,
+                  const TranslationQsl &qsl)
+        : model_(model), qsl_(qsl)
+    {
+    }
+
+    std::string name() const override { return model_.name(); }
+    void issueQuery(const std::vector<loadgen::QuerySample> &samples,
+                    loadgen::ResponseDelegate &delegate) override;
+    void flushQueries() override {}
+
+  private:
+    const models::Translator &model_;
+    const TranslationQsl &qsl_;
+};
+
+} // namespace sut
+} // namespace mlperf
+
+#endif // MLPERF_SUT_NN_SUT_H

@@ -1,0 +1,222 @@
+#include "sut/system_zoo.h"
+
+#include <set>
+#include <string>
+
+namespace mlperf {
+namespace sut {
+
+namespace {
+
+bool startsWith(const std::string &name, const std::string &prefix);
+
+HardwareProfile
+make(const std::string &name, ProcessorType proc,
+     const std::string &framework, Category category, double peak_macs,
+     double eff1, int64_t sat_batch, int64_t accelerators,
+     double overhead_us, int64_t max_batch, double dvfs_warmup_s,
+     double dvfs_cold)
+{
+    HardwareProfile p;
+    p.systemName = name;
+    p.processor = proc;
+    p.framework = framework;
+    p.category = category;
+    p.peakMacsPerSec = peak_macs;
+    p.batchOneEfficiency = eff1;
+    p.saturationBatch = sat_batch;
+    p.acceleratorCount = accelerators;
+    p.overheadNs = overhead_us * 1e3;
+    p.maxBatch = max_batch;
+    p.dvfsWarmupSeconds = dvfs_warmup_s;
+    p.dvfsColdFactor = dvfs_cold;
+    return p;
+}
+
+std::vector<HardwareProfile>
+buildZoo()
+{
+    using P = ProcessorType;
+    using C = Category;
+    std::vector<HardwareProfile> zoo;
+
+    // ---- IoT / deeply embedded (CPU-class, no batching).
+    zoo.push_back(make("iot-mcu-a", P::CPU, "TensorFlow Lite",
+                       C::Available, 2.0e9, 0.85, 1, 1, 500, 1, 0, 1));
+    zoo.push_back(make("iot-mcu-b", P::CPU, "ONNX", C::RDO, 4.5e9,
+                       0.85, 1, 1, 400, 1, 0, 1));
+    zoo.push_back(make("embedded-cpu-a", P::CPU, "TensorFlow Lite",
+                       C::Available, 1.2e10, 0.8, 2, 1, 300, 2, 0, 1));
+    zoo.push_back(make("embedded-npu-a", P::ASIC, "Hailo SDK",
+                       C::Available, 2.6e11, 0.7, 4, 1, 150, 4, 0, 1));
+    zoo.push_back(make("embedded-npu-b", P::ASIC, "FuriosaAI",
+                       C::Preview, 4.0e11, 0.6, 8, 1, 120, 8, 0, 1));
+
+    // ---- Smartphones (DVFS-heavy: Sec. III-D's 60 s rationale).
+    zoo.push_back(make("phone-dsp-a", P::DSP, "SNPE", C::Available,
+                       3.5e11, 0.75, 2, 1, 200, 2, 8.0, 1.6));
+    zoo.push_back(make("phone-dsp-b", P::DSP, "SNPE", C::Available,
+                       6.0e11, 0.75, 2, 1, 180, 2, 10.0, 1.7));
+    zoo.push_back(make("phone-cpu-a", P::CPU, "TensorFlow Lite",
+                       C::Available, 6.0e10, 0.85, 1, 1, 250, 1, 6.0,
+                       1.4));
+    zoo.push_back(make("phone-gpu-a", P::GPU, "ARM NN", C::Available,
+                       2.2e11, 0.6, 4, 1, 350, 4, 8.0, 1.5));
+    zoo.push_back(make("phone-npu-a", P::ASIC, "Synapse", C::Preview,
+                       1.1e12, 0.6, 4, 1, 220, 4, 8.0, 1.5));
+
+    // ---- Edge boxes / dev kits.
+    zoo.push_back(make("edge-gpu-a", P::GPU, "TensorRT", C::Available,
+                       2.4e12, 0.35, 16, 1, 120, 16, 0, 1));
+    zoo.push_back(make("edge-gpu-b", P::GPU, "TensorRT", C::Available,
+                       5.5e12, 0.3, 16, 1, 110, 16, 0, 1));
+    zoo.push_back(make("edge-asic-a", P::ASIC, "FuriosaAI",
+                       C::Preview, 4.2e12, 0.55, 8, 1, 90, 8, 0, 1));
+    zoo.push_back(make("edge-fpga-a", P::FPGA, "ONNX", C::Available,
+                       1.6e12, 0.8, 2, 1, 100, 2, 0, 1));
+    zoo.push_back(make("edge-fpga-b", P::FPGA, "ONNX", C::Available,
+                       3.3e12, 0.78, 2, 1, 95, 2, 0, 1));
+
+    // ---- Workstation / desktop.
+    zoo.push_back(make("desktop-cpu-a", P::CPU, "OpenVINO",
+                       C::Available, 9.0e11, 0.6, 8, 1, 80, 8, 0, 1));
+    zoo.push_back(make("desktop-cpu-b", P::CPU, "PyTorch",
+                       C::Available, 6.5e11, 0.5, 8, 1, 130, 8, 0, 1));
+    zoo.push_back(make("desktop-gpu-a", P::GPU, "TensorRT",
+                       C::Available, 1.4e13, 0.2, 512, 1, 90, 128, 0,
+                       1));
+
+    // ---- Data-center CPUs.
+    zoo.push_back(make("dc-cpu-a", P::CPU, "OpenVINO", C::Available,
+                       3.4e12, 0.55, 16, 1, 70, 16, 0, 1));
+    zoo.push_back(make("dc-cpu-b", P::CPU, "TensorFlow", C::Available,
+                       2.6e12, 0.45, 16, 1, 90, 16, 0, 1));
+    zoo.push_back(make("dc-cpu-c", P::CPU, "ONNX", C::Available,
+                       5.2e12, 0.5, 16, 2, 75, 16, 0, 1));
+
+    // ---- Data-center GPUs (deep batching; big server/offline gap).
+    zoo.push_back(make("dc-gpu-a", P::GPU, "TensorRT", C::Available,
+                       3.2e13, 0.12, 512, 1, 60, 256, 0, 1));
+    zoo.push_back(make("dc-gpu-b", P::GPU, "TensorRT", C::Available,
+                       6.0e13, 0.1, 512, 2, 60, 256, 0, 1));
+    zoo.push_back(make("dc-gpu-c", P::GPU, "TensorRT", C::Available,
+                       6.5e13, 0.1, 512, 4, 55, 256, 0, 1));
+    zoo.push_back(make("dc-gpu-d", P::GPU, "TensorFlow", C::Available,
+                       4.5e13, 0.15, 512, 1, 100, 256, 0, 1));
+
+    // ---- Data-center accelerators (TPU-class ASICs, FPGA cards).
+    zoo.push_back(make("dc-asic-a", P::ASIC, "TensorFlow",
+                       C::Available, 1.8e14, 0.25, 512, 1, 50, 128, 0,
+                       1));
+    zoo.push_back(make("dc-asic-b", P::ASIC, "TensorFlow",
+                       C::Available, 3.6e14, 0.22, 512, 2, 50, 128, 0,
+                       1));
+    zoo.push_back(make("dc-asic-c", P::ASIC, "HanGuang AI",
+                       C::Preview, 4.2e14, 0.35, 512, 1, 45, 128, 0,
+                       1));
+    zoo.push_back(make("dc-asic-d", P::ASIC, "Habana Synapse",
+                       C::Available, 2.2e14, 0.4, 48, 1, 55, 48, 0,
+                       1));
+    zoo.push_back(make("dc-fpga-a", P::FPGA, "ONNX", C::Available,
+                       2.8e13, 0.7, 4, 2, 65, 4, 0, 1));
+    zoo.push_back(make("dc-fpga-b", P::FPGA, "ONNX", C::Preview,
+                       5.6e13, 0.65, 4, 4, 65, 4, 0, 1));
+
+    // ---- Research / other.
+    zoo.push_back(make("rdo-analog-a", P::ASIC, "ONNX", C::RDO,
+                       8.0e12, 0.9, 2, 1, 140, 2, 0, 1));
+    zoo.push_back(make("rdo-asic-a", P::ASIC, "PyTorch", C::RDO,
+                       6.4e13, 0.3, 32, 1, 85, 32, 0, 1));
+
+    // ---- Energy model per tier: the population spans "three orders
+    //      of magnitude in power consumption" (Sec. I).
+    for (auto &p : zoo) {
+        const std::string &n = p.systemName;
+        if (startsWith(n, "iot")) {
+            p.idleWatts = 0.05;
+            p.picojoulesPerMac = 5.0;
+        } else if (startsWith(n, "embedded")) {
+            p.idleWatts = 0.4;
+            p.picojoulesPerMac = 2.5;
+        } else if (startsWith(n, "phone")) {
+            p.idleWatts = 0.8;
+            p.picojoulesPerMac = 3.0;
+        } else if (startsWith(n, "edge")) {
+            p.idleWatts = 8.0;
+            p.picojoulesPerMac = 2.0;
+        } else if (startsWith(n, "desktop-cpu") ||
+                   startsWith(n, "dc-cpu")) {
+            p.idleWatts = 90.0;
+            p.picojoulesPerMac = 12.0;  // general-purpose overhead
+        } else if (startsWith(n, "desktop-gpu") ||
+                   startsWith(n, "dc-gpu")) {
+            p.idleWatts = 60.0;
+            p.picojoulesPerMac = 1.8;
+        } else if (startsWith(n, "dc-asic")) {
+            p.idleWatts = 75.0;
+            p.picojoulesPerMac = 0.7;
+        } else if (startsWith(n, "dc-fpga")) {
+            p.idleWatts = 30.0;
+            p.picojoulesPerMac = 1.2;
+        } else {  // rdo
+            p.idleWatts = 20.0;
+            p.picojoulesPerMac = 0.4;  // analog/research claims
+        }
+        p.idleWatts *= static_cast<double>(p.acceleratorCount);
+    }
+
+    return zoo;
+}
+
+bool
+startsWith(const std::string &name, const std::string &prefix)
+{
+    return name.rfind(prefix, 0) == 0;
+}
+
+} // namespace
+
+const std::vector<HardwareProfile> &
+systemZoo()
+{
+    static const std::vector<HardwareProfile> zoo = buildZoo();
+    return zoo;
+}
+
+std::vector<HardwareProfile>
+figureSixSystems()
+{
+    // Eleven diverse systems labelled A..K in the Figure 6 bench.
+    static const char *names[] = {
+        "dc-gpu-a",    "dc-gpu-c",   "dc-asic-a",   "dc-asic-c",
+        "dc-cpu-a",    "dc-cpu-c",   "dc-fpga-a",   "edge-gpu-b",
+        "desktop-gpu-a", "dc-gpu-d", "dc-asic-d",
+    };
+    std::vector<HardwareProfile> out;
+    for (const char *name : names) {
+        for (const auto &profile : systemZoo()) {
+            if (profile.systemName == name) {
+                out.push_back(profile);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, ProcessorType>>
+frameworkProcessorMatrix()
+{
+    std::set<std::pair<std::string, int>> seen;
+    std::vector<std::pair<std::string, ProcessorType>> out;
+    for (const auto &profile : systemZoo()) {
+        const auto key = std::make_pair(
+            profile.framework, static_cast<int>(profile.processor));
+        if (seen.insert(key).second)
+            out.emplace_back(profile.framework, profile.processor);
+    }
+    return out;
+}
+
+} // namespace sut
+} // namespace mlperf

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The simulated submission population ("system zoo").
+ *
+ * Thirty-plus hardware profiles spanning IoT endpoints to multi-
+ * accelerator data-center systems — the four-orders-of-magnitude
+ * performance range of the paper's Sec. VI-D — with processor types
+ * and software frameworks matching the Table VII matrix.
+ */
+
+#ifndef MLPERF_SUT_SYSTEM_ZOO_H
+#define MLPERF_SUT_SYSTEM_ZOO_H
+
+#include <vector>
+
+#include "sut/hardware_profile.h"
+
+namespace mlperf {
+namespace sut {
+
+/** The full population, ordered roughly by peak compute. */
+const std::vector<HardwareProfile> &systemZoo();
+
+/** Eleven diverse systems used for the Figure 6 study (A..K). */
+std::vector<HardwareProfile> figureSixSystems();
+
+/** Framework x processor pairs present in the zoo (Table VII). */
+std::vector<std::pair<std::string, ProcessorType>>
+frameworkProcessorMatrix();
+
+} // namespace sut
+} // namespace mlperf
+
+#endif // MLPERF_SUT_SYSTEM_ZOO_H

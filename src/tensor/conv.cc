@@ -1,0 +1,189 @@
+#include "tensor/conv.h"
+
+#include <cassert>
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace mlperf {
+namespace tensor {
+
+void
+im2col(const float *input, int64_t channels, int64_t h, int64_t w,
+       const Conv2dParams &p, float *col)
+{
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    const int64_t out_hw = out_h * out_w;
+
+    int64_t row = 0;
+    for (int64_t c = 0; c < channels; ++c) {
+        const float *chan = input + c * h * w;
+        for (int64_t kh = 0; kh < p.kernelH; ++kh) {
+            for (int64_t kw = 0; kw < p.kernelW; ++kw, ++row) {
+                float *dst = col + row * out_hw;
+                for (int64_t oh = 0; oh < out_h; ++oh) {
+                    const int64_t ih = oh * p.strideH - p.padH + kh;
+                    if (ih < 0 || ih >= h) {
+                        for (int64_t ow = 0; ow < out_w; ++ow)
+                            dst[oh * out_w + ow] = 0.0f;
+                        continue;
+                    }
+                    for (int64_t ow = 0; ow < out_w; ++ow) {
+                        const int64_t iw = ow * p.strideW - p.padW + kw;
+                        dst[oh * out_w + ow] =
+                            (iw < 0 || iw >= w) ? 0.0f
+                                                : chan[ih * w + iw];
+                    }
+                }
+            }
+        }
+    }
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const float *bias,
+       const Conv2dParams &p)
+{
+    assert(input.shape().rank() == 4);
+    assert(weight.shape().rank() == 4);
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const int64_t o = weight.shape().dim(0);
+    assert(weight.shape().dim(1) == c);
+    assert(weight.shape().dim(2) == p.kernelH);
+    assert(weight.shape().dim(3) == p.kernelW);
+
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    const int64_t out_hw = out_h * out_w;
+    const int64_t patch = c * p.kernelH * p.kernelW;
+
+    Tensor output(Shape{n, o, out_h, out_w});
+    std::vector<float> col(static_cast<size_t>(patch * out_hw));
+
+    for (int64_t ni = 0; ni < n; ++ni) {
+        im2col(input.data() + ni * c * h * w, c, h, w, p, col.data());
+        float *out = output.data() + ni * o * out_hw;
+        // weight [O, patch] * col [patch, out_hw] -> out [O, out_hw]
+        gemm(weight.data(), col.data(), out, o, out_hw, patch);
+        if (bias) {
+            for (int64_t oi = 0; oi < o; ++oi) {
+                float *row = out + oi * out_hw;
+                for (int64_t i = 0; i < out_hw; ++i)
+                    row[i] += bias[oi];
+            }
+        }
+    }
+    return output;
+}
+
+Tensor
+depthwiseConv2d(const Tensor &input, const Tensor &weight,
+                const float *bias, const Conv2dParams &p)
+{
+    assert(input.shape().rank() == 4);
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    assert(weight.shape().dim(0) == c);
+    assert(weight.shape().dim(1) == 1);
+
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    Tensor output(Shape{n, c, out_h, out_w});
+
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < c; ++ci) {
+            const float *chan = input.data() + (ni * c + ci) * h * w;
+            const float *filt =
+                weight.data() + ci * p.kernelH * p.kernelW;
+            float *out = output.data() + (ni * c + ci) * out_h * out_w;
+            const float b = bias ? bias[ci] : 0.0f;
+            for (int64_t oh = 0; oh < out_h; ++oh) {
+                for (int64_t ow = 0; ow < out_w; ++ow) {
+                    float acc = b;
+                    for (int64_t kh = 0; kh < p.kernelH; ++kh) {
+                        const int64_t ih = oh * p.strideH - p.padH + kh;
+                        if (ih < 0 || ih >= h)
+                            continue;
+                        for (int64_t kw = 0; kw < p.kernelW; ++kw) {
+                            const int64_t iw =
+                                ow * p.strideW - p.padW + kw;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            acc += chan[ih * w + iw] *
+                                   filt[kh * p.kernelW + kw];
+                        }
+                    }
+                    out[oh * out_w + ow] = acc;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor
+maxPool2d(const Tensor &input, int64_t kernel, int64_t stride)
+{
+    assert(input.shape().rank() == 4);
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const int64_t out_h = (h - kernel) / stride + 1;
+    const int64_t out_w = (w - kernel) / stride + 1;
+    assert(out_h > 0 && out_w > 0);
+
+    Tensor output(Shape{n, c, out_h, out_w});
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < c; ++ci) {
+            const float *chan = input.data() + (ni * c + ci) * h * w;
+            float *out = output.data() + (ni * c + ci) * out_h * out_w;
+            for (int64_t oh = 0; oh < out_h; ++oh) {
+                for (int64_t ow = 0; ow < out_w; ++ow) {
+                    float best = chan[(oh * stride) * w + ow * stride];
+                    for (int64_t kh = 0; kh < kernel; ++kh) {
+                        for (int64_t kw = 0; kw < kernel; ++kw) {
+                            const float v =
+                                chan[(oh * stride + kh) * w +
+                                     (ow * stride + kw)];
+                            if (v > best)
+                                best = v;
+                        }
+                    }
+                    out[oh * out_w + ow] = best;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor
+globalAvgPool(const Tensor &input)
+{
+    assert(input.shape().rank() == 4);
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t hw = input.shape().dim(2) * input.shape().dim(3);
+    Tensor output(Shape{n, c});
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < c; ++ci) {
+            const float *chan = input.data() + (ni * c + ci) * hw;
+            double sum = 0.0;
+            for (int64_t i = 0; i < hw; ++i)
+                sum += chan[i];
+            output.at(ni, ci) =
+                static_cast<float>(sum / static_cast<double>(hw));
+        }
+    }
+    return output;
+}
+
+} // namespace tensor
+} // namespace mlperf

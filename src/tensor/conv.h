@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Convolution kernels (standard and depthwise) over NCHW tensors.
+ *
+ * Standard convolution lowers to im2col + GEMM; depthwise convolution —
+ * the defining operation of MobileNet-v1 (paper Sec. III-A) — uses a
+ * direct kernel since its arithmetic intensity is too low for im2col
+ * to pay off.
+ */
+
+#ifndef MLPERF_TENSOR_CONV_H
+#define MLPERF_TENSOR_CONV_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace tensor {
+
+/** Static parameters of a 2-D convolution. */
+struct Conv2dParams
+{
+    int64_t kernelH = 3;
+    int64_t kernelW = 3;
+    int64_t strideH = 1;
+    int64_t strideW = 1;
+    int64_t padH = 1;
+    int64_t padW = 1;
+
+    /** Output spatial size for an input of the given size. */
+    int64_t outH(int64_t in_h) const
+    {
+        return (in_h + 2 * padH - kernelH) / strideH + 1;
+    }
+    int64_t outW(int64_t in_w) const
+    {
+        return (in_w + 2 * padW - kernelW) / strideW + 1;
+    }
+};
+
+/**
+ * Unfold input patches into a [C*kh*kw, outH*outW] matrix so that
+ * convolution becomes weight[O, C*kh*kw] * patches.
+ *
+ * @param input single image [C, H, W] (pointer into an NCHW tensor)
+ * @param col   output buffer of size C*kh*kw*outH*outW
+ */
+void im2col(const float *input, int64_t channels, int64_t h, int64_t w,
+            const Conv2dParams &p, float *col);
+
+/**
+ * Standard convolution. input [N, C, H, W], weight [O, C, kh, kw],
+ * bias [O] or null. Returns [N, O, outH, outW].
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight,
+              const float *bias, const Conv2dParams &p);
+
+/**
+ * Depthwise convolution: one filter per channel. weight [C, 1, kh, kw].
+ * Returns [N, C, outH, outW].
+ */
+Tensor depthwiseConv2d(const Tensor &input, const Tensor &weight,
+                       const float *bias, const Conv2dParams &p);
+
+/** 2x2/3x3/... max pooling with stride; no padding. */
+Tensor maxPool2d(const Tensor &input, int64_t kernel, int64_t stride);
+
+/** Global average pooling: [N, C, H, W] -> [N, C]. */
+Tensor globalAvgPool(const Tensor &input);
+
+} // namespace tensor
+} // namespace mlperf
+
+#endif // MLPERF_TENSOR_CONV_H

@@ -1,0 +1,79 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mlperf {
+namespace tensor {
+
+namespace {
+
+/** Cache-blocking tile sizes; modest values chosen for L1 residency. */
+constexpr int64_t kTileM = 64;
+constexpr int64_t kTileN = 64;
+constexpr int64_t kTileK = 64;
+
+} // namespace
+
+void
+gemm(const float *a, const float *b, float *c,
+     int64_t m, int64_t n, int64_t k, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+
+    for (int64_t i0 = 0; i0 < m; i0 += kTileM) {
+        const int64_t i_end = std::min(i0 + kTileM, m);
+        for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
+            const int64_t k_end = std::min(k0 + kTileK, k);
+            for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
+                const int64_t j_end = std::min(j0 + kTileN, n);
+                for (int64_t i = i0; i < i_end; ++i) {
+                    for (int64_t kk = k0; kk < k_end; ++kk) {
+                        const float a_ik = a[i * k + kk];
+                        const float *b_row = b + kk * n;
+                        float *c_row = c + i * n;
+                        for (int64_t j = j0; j < j_end; ++j)
+                            c_row[j] += a_ik * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    assert(a.shape().rank() == 2 && b.shape().rank() == 2);
+    const int64_t m = a.shape().dim(0);
+    const int64_t k = a.shape().dim(1);
+    assert(b.shape().dim(0) == k);
+    const int64_t n = b.shape().dim(1);
+    Tensor c(Shape{m, n});
+    gemm(a.data(), b.data(), c.data(), m, n, k);
+    return c;
+}
+
+void
+denseForward(const float *w, const float *bias, const float *x,
+             float *y, int64_t batch, int64_t in, int64_t out)
+{
+    // y[b][o] = dot(x[b], w[o]) + bias[o]; w rows are contiguous, so
+    // the inner loop streams both operands.
+    for (int64_t bi = 0; bi < batch; ++bi) {
+        float *y_row = y + bi * out;
+        const float *x_row = x + bi * in;
+        for (int64_t o = 0; o < out; ++o) {
+            const float *w_row = w + o * in;
+            float acc = bias ? bias[o] : 0.0f;
+            for (int64_t i = 0; i < in; ++i)
+                acc += x_row[i] * w_row[i];
+            y_row[o] = acc;
+        }
+    }
+}
+
+} // namespace tensor
+} // namespace mlperf

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * General matrix multiplication.
+ *
+ * All dense and convolutional layers lower to this kernel (conv via
+ * im2col), mirroring how production inference stacks structure their
+ * compute. A register-blocked microkernel keeps the proxy models fast
+ * enough for wall-clock LoadGen runs in the examples.
+ */
+
+#ifndef MLPERF_TENSOR_GEMM_H
+#define MLPERF_TENSOR_GEMM_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace tensor {
+
+/**
+ * C = A * B (+ C if accumulate), row-major.
+ *
+ * @param a M x K
+ * @param b K x N
+ * @param c M x N output
+ */
+void gemm(const float *a, const float *b, float *c,
+          int64_t m, int64_t n, int64_t k, bool accumulate = false);
+
+/** Tensor-level matmul for rank-2 tensors. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * y = W * x + bias for a dense layer: W is [out, in] row-major, x is
+ * [batch, in], y is [batch, out]. Note the weight is used transposed
+ * relative to gemm (x * W^T), matching typical framework layouts.
+ */
+void denseForward(const float *w, const float *bias, const float *x,
+                  float *y, int64_t batch, int64_t in, int64_t out);
+
+} // namespace tensor
+} // namespace mlperf
+
+#endif // MLPERF_TENSOR_GEMM_H

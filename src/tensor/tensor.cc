@@ -1,0 +1,115 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mlperf {
+namespace tensor {
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::str() const
+{
+    std::string out = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.numel()), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    assert(static_cast<int64_t>(data_.size()) == shape_.numel());
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+float &
+Tensor::at(int64_t r, int64_t c)
+{
+    assert(shape_.rank() == 2);
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+}
+
+float
+Tensor::at(int64_t r, int64_t c) const
+{
+    return const_cast<Tensor *>(this)->at(r, c);
+}
+
+float &
+Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w)
+{
+    assert(shape_.rank() == 4);
+    const int64_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+float
+Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const
+{
+    return const_cast<Tensor *>(this)->at(n, c, h, w);
+}
+
+Tensor
+Tensor::reshaped(Shape shape) const
+{
+    assert(shape.numel() == shape_.numel());
+    return Tensor(std::move(shape), data_);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+float
+Tensor::minValue() const
+{
+    assert(!data_.empty());
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float
+Tensor::maxValue() const
+{
+    assert(!data_.empty());
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+} // namespace tensor
+} // namespace mlperf

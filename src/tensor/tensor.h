@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Dense float tensors.
+ *
+ * The NN inference engine (src/nn) executes real arithmetic so that the
+ * accuracy machinery of the benchmark — quality targets, quantization
+ * calibration, the accuracy-mode LoadGen run, and the audit scripts —
+ * operates on genuine numbers rather than canned results. Tensors are
+ * row-major, NCHW for images, and always float32; quantized kernels in
+ * src/quant carry their own integer buffers.
+ */
+
+#ifndef MLPERF_TENSOR_TENSOR_H
+#define MLPERF_TENSOR_TENSOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mlperf {
+namespace tensor {
+
+/** Tensor shape: up to 4 dimensions in practice, arbitrary in principle. */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+    int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+    int64_t dim(int64_t i) const { return dims_[static_cast<size_t>(i)]; }
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+    /** Total element count (1 for rank-0). */
+    int64_t numel() const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Human-readable form, e.g. "[1, 3, 224, 224]". */
+    std::string str() const;
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+/** Row-major dense float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+    explicit Tensor(Shape shape);
+    Tensor(Shape shape, std::vector<float> data);
+
+    static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+    static Tensor full(Shape shape, float value);
+
+    const Shape &shape() const { return shape_; }
+    int64_t numel() const { return shape_.numel(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float operator[](int64_t i) const
+    {
+        return data_[static_cast<size_t>(i)];
+    }
+
+    /** 2-D accessor (row, col); asserts rank 2. */
+    float &at(int64_t r, int64_t c);
+    float at(int64_t r, int64_t c) const;
+
+    /** 4-D accessor (n, c, h, w); asserts rank 4. */
+    float &at(int64_t n, int64_t c, int64_t h, int64_t w);
+    float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+    /** Reinterpret as a different shape with the same element count. */
+    Tensor reshaped(Shape shape) const;
+
+    /** Elementwise helpers used throughout the NN engine. */
+    void fill(float value);
+    float minValue() const;
+    float maxValue() const;
+    double sum() const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace tensor
+} // namespace mlperf
+
+#endif // MLPERF_TENSOR_TENSOR_H

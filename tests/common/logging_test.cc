@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the logging sink and level filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mlperf {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        old_ = Logger::setSink(
+            [this](LogLevel level, const std::string &msg) {
+                records_.emplace_back(level, msg);
+            });
+        oldLevel_ = Logger::level();
+        Logger::setLevel(LogLevel::Debug);
+    }
+
+    void
+    TearDown() override
+    {
+        Logger::setSink(old_);
+        Logger::setLevel(oldLevel_);
+    }
+
+    std::vector<std::pair<LogLevel, std::string>> records_;
+    Logger::Sink old_;
+    LogLevel oldLevel_;
+};
+
+TEST_F(LoggingTest, MessagesReachSink)
+{
+    MLPERF_LOG(Info) << "hello " << 42;
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_EQ(records_[0].first, LogLevel::Info);
+    EXPECT_EQ(records_[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, LevelFilterDropsBelow)
+{
+    Logger::setLevel(LogLevel::Warn);
+    MLPERF_LOG(Debug) << "nope";
+    MLPERF_LOG(Info) << "nope";
+    MLPERF_LOG(Warn) << "yes";
+    MLPERF_LOG(Error) << "also";
+    ASSERT_EQ(records_.size(), 2u);
+    EXPECT_EQ(records_[0].second, "yes");
+    EXPECT_EQ(records_[1].second, "also");
+}
+
+TEST_F(LoggingTest, StreamFormatting)
+{
+    MLPERF_LOG(Error) << "qps=" << 12.5 << " valid=" << true;
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_EQ(records_[0].second, "qps=12.5 valid=1");
+}
+
+} // namespace
+} // namespace mlperf

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlperf {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(3);
+    for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowZeroAndOneReturnZero)
+{
+    Rng rng(5);
+    EXPECT_EQ(rng.nextBelow(0), 0u);
+    EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(9);
+    const uint64_t bound = 10;
+    std::vector<int> counts(bound, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.nextBelow(bound)]++;
+    for (uint64_t v = 0; v < bound; ++v)
+        EXPECT_NEAR(counts[v], n / static_cast<int>(bound), 600);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal)
+{
+    Rng rng(17);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.01);
+    EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate)
+{
+    Rng rng(19);
+    for (double rate : {0.5, 1.0, 100.0}) {
+        const int n = 100000;
+        double sum = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const double x = rng.nextExponential(rate);
+            EXPECT_GT(x, 0.0);
+            sum += x;
+        }
+        EXPECT_NEAR(sum / n, 1.0 / rate, 0.02 / rate);
+    }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(23);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (parent.next() == child.next())
+            ++equal;
+    }
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    shuffle(v, rng);
+    std::set<int> s(v.begin(), v.end());
+    EXPECT_EQ(s.size(), 100u);
+    EXPECT_EQ(*s.begin(), 0);
+    EXPECT_EQ(*s.rbegin(), 99);
+}
+
+TEST(Rng, ShuffleDeterministicForSeed)
+{
+    std::vector<int> a(50), b(50);
+    for (int i = 0; i < 50; ++i)
+        a[i] = b[i] = i;
+    Rng r1(31), r2(31);
+    shuffle(a, r1);
+    shuffle(b, r2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleActuallyMoves)
+{
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    Rng rng(37);
+    shuffle(v, rng);
+    int fixed = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (v[i] == i)
+            ++fixed;
+    }
+    // Expected number of fixed points of a random permutation is 1.
+    EXPECT_LT(fixed, 10);
+}
+
+} // namespace
+} // namespace mlperf

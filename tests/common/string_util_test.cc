@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace mlperf {
+namespace {
+
+TEST(StrPrintf, BasicFormatting)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(StrPrintf, LongStringsNotTruncated)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Split, PreservesEmptyFields)
+{
+    auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, NoDelimiterGivesWholeString)
+{
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Join, RoundTripsSplit)
+{
+    std::vector<std::string> v = {"x", "y", "z"};
+    EXPECT_EQ(join(v, "/"), "x/y/z");
+    EXPECT_EQ(split(join(v, ","), ','), v);
+}
+
+TEST(Pad, LeftAndRight)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(WithThousands, PaperStyleCounts)
+{
+    EXPECT_EQ(withThousands(0), "0");
+    EXPECT_EQ(withThousands(999), "999");
+    EXPECT_EQ(withThousands(24576), "24,576");
+    EXPECT_EQ(withThousands(270336), "270,336");
+    EXPECT_EQ(withThousands(1234567890), "1,234,567,890");
+}
+
+TEST(FormatDuration, UnitSelection)
+{
+    EXPECT_EQ(formatDuration(500), "500 ns");
+    EXPECT_EQ(formatDuration(1500), "1.50 us");
+    EXPECT_EQ(formatDuration(2500000), "2.50 ms");
+    EXPECT_EQ(formatDuration(3000000000ULL), "3.00 s");
+}
+
+} // namespace
+} // namespace mlperf

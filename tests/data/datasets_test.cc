@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the synthetic datasets: determinism, ground-truth sanity,
+ * and the statistical properties the model zoo relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/classification.h"
+#include "data/detection.h"
+#include "data/translation.h"
+
+namespace mlperf {
+namespace data {
+namespace {
+
+// ------------------------------------------------------------ synth
+
+TEST(MixSeed, DistinctStreamsDistinctSeeds)
+{
+    std::set<uint64_t> seen;
+    for (uint64_t a = 0; a < 10; ++a) {
+        for (uint64_t b = 0; b < 10; ++b)
+            seen.insert(mixSeed(42, a, b));
+    }
+    EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SmoothPattern, IsSpatiallySmooth)
+{
+    Rng rng(1);
+    tensor::Tensor p = smoothPattern(1, 32, 32, 4, rng);
+    // Neighboring pixels should differ far less than the overall range.
+    const float range = p.maxValue() - p.minValue();
+    float max_step = 0.0f;
+    for (int64_t y = 0; y < 32; ++y) {
+        for (int64_t x = 1; x < 32; ++x) {
+            max_step = std::max(
+                max_step, std::abs(p[y * 32 + x] - p[y * 32 + x - 1]));
+        }
+    }
+    EXPECT_LT(max_step, range * 0.25f);
+}
+
+// --------------------------------------------------- classification
+
+TEST(ClassificationDataset, DeterministicSamples)
+{
+    ClassificationDataset a, b;
+    for (int64_t i : {0, 7, 123}) {
+        tensor::Tensor x = a.image(i), y = b.image(i);
+        ASSERT_EQ(x.shape(), y.shape());
+        for (int64_t j = 0; j < x.numel(); ++j)
+            EXPECT_EQ(x[j], y[j]);
+    }
+}
+
+TEST(ClassificationDataset, LabelsCycleThroughClasses)
+{
+    ClassificationDataset ds;
+    EXPECT_EQ(ds.label(0), 0);
+    EXPECT_EQ(ds.label(1), 1);
+    EXPECT_EQ(ds.label(ds.numClasses()), 0);
+    EXPECT_EQ(ds.size(),
+              ds.config().numClasses * ds.config().samplesPerClass);
+}
+
+TEST(ClassificationDataset, SamplesCorrelateWithOwnPrototype)
+{
+    // A sample must be closer (in correlation) to its own class
+    // prototype than to the average other prototype: this is the
+    // signal the proxy models decode.
+    ClassificationDataset ds;
+    int wins = 0;
+    const int trials = 60;
+    for (int i = 0; i < trials; ++i) {
+        tensor::Tensor x = ds.image(i);
+        const int64_t cls = ds.label(i);
+        double own = 0.0, best_other = -1e300;
+        for (int64_t c = 0; c < ds.numClasses(); ++c) {
+            const auto &proto = ds.prototype(c);
+            double dot = 0.0;
+            for (int64_t j = 0; j < proto.numel(); ++j)
+                dot += static_cast<double>(x[j]) * proto[j];
+            if (c == cls)
+                own = dot;
+            else
+                best_other = std::max(best_other, dot);
+        }
+        if (own > best_other)
+            ++wins;
+    }
+    // Matched filtering should beat all other classes most of the time.
+    EXPECT_GT(wins, trials * 2 / 3);
+}
+
+TEST(ClassificationDataset, TrainValCalibrationDisjointStreams)
+{
+    ClassificationDataset ds;
+    tensor::Tensor val = ds.image(0);
+    tensor::Tensor train = ds.trainImage(0, 0);
+    // Same class, different stream: contents must differ.
+    bool differs = false;
+    for (int64_t j = 0; j < val.numel() && !differs; ++j)
+        differs = val[j] != train[j];
+    EXPECT_TRUE(differs);
+    const auto calib = ds.calibrationSet();
+    EXPECT_EQ(static_cast<int64_t>(calib.size()),
+              ds.config().calibrationCount);
+}
+
+// -------------------------------------------------------- detection
+
+TEST(Iou, KnownValues)
+{
+    Box a{0, 0, 10, 10};
+    EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+    Box b{10, 10, 20, 20};
+    EXPECT_DOUBLE_EQ(iou(a, b), 0.0);
+    Box c{5, 0, 15, 10};  // half overlap
+    EXPECT_NEAR(iou(a, c), 50.0 / 150.0, 1e-12);
+}
+
+TEST(DetectionDataset, GroundTruthMatchesRenderedScene)
+{
+    DetectionDataset ds;
+    for (int64_t i = 0; i < 20; ++i) {
+        const auto gt = ds.groundTruth(i);
+        ASSERT_GE(gt.size(), 1u);
+        ASSERT_LE(gt.size(),
+                  static_cast<size_t>(ds.config().maxObjects));
+        for (const auto &obj : gt) {
+            EXPECT_GE(obj.cls, 0);
+            EXPECT_LT(obj.cls, ds.numClasses());
+            EXPECT_GE(obj.box.x0, 0.0);
+            EXPECT_LE(obj.box.x1,
+                      static_cast<double>(ds.config().width));
+            EXPECT_LE(obj.box.y1,
+                      static_cast<double>(ds.config().height));
+        }
+        // Boxes never overlap by construction.
+        for (size_t a = 0; a < gt.size(); ++a) {
+            for (size_t b = a + 1; b < gt.size(); ++b)
+                EXPECT_DOUBLE_EQ(iou(gt[a].box, gt[b].box), 0.0);
+        }
+    }
+}
+
+TEST(DetectionDataset, ObjectsCorrelateWithTheirPrototype)
+{
+    // The detectable signal: correlating the scene with a class
+    // prototype must respond more strongly at the object's location
+    // than at the opposite corner (background).
+    DetectionDataset ds;
+    const int64_t s = ds.config().objectSize;
+    int wins = 0, total = 0;
+    for (int64_t i = 0; i < 20; ++i) {
+        tensor::Tensor img = ds.image(i);
+        for (const auto &obj : ds.groundTruth(i)) {
+            const auto &proto = ds.prototype(obj.cls);
+            auto correlate = [&](int64_t px, int64_t py) {
+                double acc = 0.0;
+                for (int64_t c = 0; c < ds.config().channels; ++c) {
+                    for (int64_t y = 0; y < s; ++y) {
+                        for (int64_t x = 0; x < s; ++x) {
+                            acc += static_cast<double>(
+                                       img.at(0, c, py + y, px + x)) *
+                                   proto[(c * s + y) * s + x];
+                        }
+                    }
+                }
+                return acc;
+            };
+            const int64_t ox = static_cast<int64_t>(obj.box.x0);
+            const int64_t oy = static_cast<int64_t>(obj.box.y0);
+            // Opposite corner as a background probe.
+            const int64_t bx = ox < ds.config().width / 2
+                                   ? ds.config().width - s
+                                   : 0;
+            const int64_t by = oy < ds.config().height / 2
+                                   ? ds.config().height - s
+                                   : 0;
+            if (correlate(ox, oy) > correlate(bx, by))
+                ++wins;
+            ++total;
+        }
+    }
+    // Matched filtering must beat background most of the time.
+    EXPECT_GT(wins, total * 3 / 4);
+}
+
+TEST(DetectionDataset, Deterministic)
+{
+    DetectionDataset a, b;
+    tensor::Tensor x = a.image(5), y = b.image(5);
+    for (int64_t j = 0; j < x.numel(); ++j)
+        EXPECT_EQ(x[j], y[j]);
+    const auto ga = a.groundTruth(5), gb = b.groundTruth(5);
+    ASSERT_EQ(ga.size(), gb.size());
+    for (size_t k = 0; k < ga.size(); ++k) {
+        EXPECT_EQ(ga[k].cls, gb[k].cls);
+        EXPECT_DOUBLE_EQ(ga[k].box.x0, gb[k].box.x0);
+    }
+}
+
+// ------------------------------------------------------ translation
+
+TEST(TranslationDataset, LexiconIsABijection)
+{
+    TranslationDataset ds;
+    std::set<int64_t> images;
+    for (int64_t w = kFirstWordToken; w < ds.config().vocabSize; ++w) {
+        const int64_t t = ds.translateWord(w);
+        EXPECT_GE(t, kFirstWordToken);
+        EXPECT_LT(t, ds.config().vocabSize);
+        images.insert(t);
+    }
+    EXPECT_EQ(static_cast<int64_t>(images.size()),
+              ds.config().vocabSize - kFirstWordToken);
+}
+
+TEST(TranslationDataset, SourcesEndWithEosAndRespectLengths)
+{
+    TranslationDataset ds;
+    for (int64_t i = 0; i < 50; ++i) {
+        const auto src = ds.source(i);
+        EXPECT_EQ(src.back(), kEosToken);
+        const int64_t words = static_cast<int64_t>(src.size()) - 1;
+        EXPECT_GE(words, ds.config().minLength);
+        EXPECT_LE(words, ds.config().maxLength);
+        for (size_t t = 0; t + 1 < src.size(); ++t)
+            EXPECT_GE(src[t], kFirstWordToken);
+    }
+}
+
+TEST(TranslationDataset, ReferenceIsTokenwiseLexiconImage)
+{
+    TranslationDataset ds;
+    const auto src = ds.source(7);
+    const auto ref = ds.reference(7);
+    ASSERT_EQ(src.size(), ref.size());
+    for (size_t t = 0; t + 1 < src.size(); ++t)
+        EXPECT_EQ(ref[t], ds.translateWord(src[t]));
+    EXPECT_EQ(ref.back(), kEosToken);
+}
+
+TEST(TranslationDataset, DeterministicAndDistinctSentences)
+{
+    TranslationDataset a, b;
+    EXPECT_EQ(a.source(3), b.source(3));
+    EXPECT_NE(a.source(3), a.source(4));
+    EXPECT_EQ(static_cast<int64_t>(a.calibrationSet().size()),
+              a.config().calibrationCount);
+}
+
+} // namespace
+} // namespace data
+} // namespace mlperf

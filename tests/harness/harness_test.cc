@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the accuracy script, throughput searches, and experiment
+ * drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/accuracy_script.h"
+#include "harness/experiment.h"
+#include "harness/search.h"
+#include "models/detector.h"
+#include "sut/nn_sut.h"
+#include "sut/system_zoo.h"
+
+namespace mlperf {
+namespace harness {
+namespace {
+
+using sim::kNsPerMs;
+
+// ----------------------------------------------------- accuracy script
+
+TEST(AccuracyScript, ClassificationMatchesDirectEvaluation)
+{
+    data::ClassificationConfig cfg;
+    cfg.samplesPerClass = 3;  // 120 samples
+    data::ClassificationDataset dataset(cfg);
+    models::ImageClassifier model =
+        models::ImageClassifier::resnet50Proxy(dataset);
+
+    std::vector<loadgen::AccuracyRecord> log;
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+        log.push_back({static_cast<loadgen::QuerySampleIndex>(i),
+                       sut::encodeClassification(
+                           model.classify(dataset.image(i)))});
+    }
+    EXPECT_NEAR(classificationTop1(log, dataset),
+                model.evaluateAccuracy(dataset, dataset.size()),
+                1e-12);
+}
+
+TEST(AccuracyScript, DetectionMatchesDirectEvaluation)
+{
+    data::DetectionConfig cfg;
+    cfg.sampleCount = 40;
+    data::DetectionDataset dataset(cfg);
+    models::ObjectDetector model =
+        models::ObjectDetector::ssdResnet34Proxy(dataset);
+
+    std::vector<loadgen::AccuracyRecord> log;
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+        log.push_back({static_cast<loadgen::QuerySampleIndex>(i),
+                       sut::encodeDetections(
+                           model.detect(dataset.image(i), i))});
+    }
+    EXPECT_NEAR(detectionMap(log, dataset),
+                model.evaluateMap(dataset, dataset.size()), 1e-6);
+}
+
+TEST(AccuracyScript, TranslationMatchesDirectEvaluation)
+{
+    data::TranslationConfig cfg;
+    cfg.sampleCount = 40;
+    data::TranslationDataset dataset(cfg);
+    models::Translator model = models::Translator::gnmtProxy(dataset);
+
+    std::vector<loadgen::AccuracyRecord> log;
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+        log.push_back({static_cast<loadgen::QuerySampleIndex>(i),
+                       sut::encodeTokens(
+                           model.translate(dataset.source(i)))});
+    }
+    EXPECT_NEAR(translationBleu(log, dataset),
+                model.evaluateBleu(dataset, dataset.size()), 1e-9);
+}
+
+// ------------------------------------------------------------- search
+
+/** Synthetic probe: valid iff qps <= capacity (with slight seed dependence). */
+QpsProbe
+syntheticQpsProbe(double capacity, double seed_spread = 0.0)
+{
+    return [capacity, seed_spread](double qps, uint64_t seed) {
+        loadgen::TestResult r;
+        const double effective =
+            capacity *
+            (1.0 - seed_spread * static_cast<double>(seed % 5) / 5.0);
+        r.valid = qps <= effective;
+        r.scheduledQps = qps;
+        return r;
+    };
+}
+
+TEST(FindMaxQps, ConvergesToCapacity)
+{
+    SearchOptions options;
+    options.iterations = 30;
+    options.relativeTolerance = 1e-4;
+    const auto result =
+        findMaxQps(syntheticQpsProbe(123.0), 1000.0, options);
+    EXPECT_NEAR(result.maxQps, 123.0, 0.1);
+    EXPECT_GT(result.probes, 0);
+}
+
+TEST(FindMaxQps, WorstSeedGoverns)
+{
+    // With five runs per decision the lowest-capacity seed decides:
+    // the paper's "minimum of these five" rule.
+    SearchOptions options;
+    options.iterations = 30;
+    options.relativeTolerance = 1e-4;
+    options.runsPerDecision = 5;
+    const auto result =
+        findMaxQps(syntheticQpsProbe(100.0, 0.2), 1000.0, options);
+    // Seeds reduce capacity by up to 16% (4/5 * 0.2).
+    EXPECT_NEAR(result.maxQps, 84.0, 0.5);
+}
+
+TEST(FindMaxQps, ReturnsZeroWhenNothingPasses)
+{
+    const auto result =
+        findMaxQps([](double, uint64_t) {
+            loadgen::TestResult r;
+            r.valid = false;
+            return r;
+        },
+                   100.0);
+    EXPECT_DOUBLE_EQ(result.maxQps, 0.0);
+}
+
+TEST(FindMaxQps, BoundItselfCanPass)
+{
+    const auto result =
+        findMaxQps(syntheticQpsProbe(1e9), 500.0);
+    EXPECT_DOUBLE_EQ(result.maxQps, 500.0);
+}
+
+TEST(FindMaxStreams, ExactIntegerAnswer)
+{
+    const StreamsProbe probe = [](uint64_t n, uint64_t) {
+        loadgen::TestResult r;
+        r.valid = n <= 37;
+        return r;
+    };
+    const auto result = findMaxStreams(probe, 1000);
+    EXPECT_EQ(result.maxStreams, 37u);
+}
+
+TEST(FindMaxStreams, ZeroWhenOneFails)
+{
+    const StreamsProbe probe = [](uint64_t, uint64_t) {
+        loadgen::TestResult r;
+        r.valid = false;
+        return r;
+    };
+    EXPECT_EQ(findMaxStreams(probe, 100).maxStreams, 0u);
+}
+
+TEST(FindMaxStreams, HandlesBoundPassing)
+{
+    const StreamsProbe probe = [](uint64_t, uint64_t) {
+        loadgen::TestResult r;
+        r.valid = true;
+        return r;
+    };
+    EXPECT_EQ(findMaxStreams(probe, 64).maxStreams, 64u);
+}
+
+// -------------------------------------------------------- experiments
+
+ExperimentOptions
+fastOptions()
+{
+    ExperimentOptions options;
+    options.scale = 0.02;
+    options.search.runsPerDecision = 2;
+    options.search.iterations = 8;
+    return options;
+}
+
+const sut::HardwareProfile &
+zooSystem(const std::string &name)
+{
+    for (const auto &p : sut::systemZoo()) {
+        if (p.systemName == name)
+            return p;
+    }
+    ADD_FAILURE() << "no system " << name;
+    return sut::systemZoo().front();
+}
+
+TEST(Experiment, SettingsFollowTableThree)
+{
+    ExperimentOptions options;  // full scale
+    const auto server = settingsForTask(
+        models::TaskType::ImageClassificationHeavy,
+        loadgen::Scenario::Server, options);
+    EXPECT_EQ(server.targetLatencyNs, 15u * kNsPerMs);
+    EXPECT_EQ(server.minQueryCount, 270336u);
+    EXPECT_DOUBLE_EQ(server.maxOverLatencyFraction, 0.01);
+
+    const auto nmt = settingsForTask(
+        models::TaskType::MachineTranslation,
+        loadgen::Scenario::Server, options);
+    EXPECT_EQ(nmt.targetLatencyNs, 250u * kNsPerMs);
+    EXPECT_EQ(nmt.minQueryCount, 90112u);  // 97th pct -> 11 * 2^13
+    EXPECT_DOUBLE_EQ(nmt.maxOverLatencyFraction, 0.03);
+
+    const auto ms = settingsForTask(
+        models::TaskType::ObjectDetectionHeavy,
+        loadgen::Scenario::MultiStream, options);
+    EXPECT_EQ(ms.multiStreamArrivalNs, 66u * kNsPerMs);
+}
+
+TEST(Experiment, SingleStreamLatencyOrdersSystems)
+{
+    const auto fast = runSingleStream(
+        zooSystem("dc-asic-c"),
+        models::TaskType::ImageClassificationHeavy, fastOptions());
+    const auto slow = runSingleStream(
+        zooSystem("iot-mcu-a"),
+        models::TaskType::ImageClassificationHeavy, fastOptions());
+    EXPECT_TRUE(fast.valid);
+    EXPECT_TRUE(slow.valid);
+    // Four-orders-of-magnitude-style separation.
+    EXPECT_GT(slow.metric / fast.metric, 1e3);
+}
+
+TEST(Experiment, OfflineThroughputScalesWithCompute)
+{
+    const auto big = runOffline(
+        zooSystem("dc-asic-b"),
+        models::TaskType::ImageClassificationHeavy, fastOptions());
+    const auto small = runOffline(
+        zooSystem("embedded-npu-a"),
+        models::TaskType::ImageClassificationHeavy, fastOptions());
+    EXPECT_TRUE(big.valid);
+    EXPECT_GT(big.metric, 100.0 * small.metric);
+}
+
+TEST(Experiment, ServerBelowOfflineThroughput)
+{
+    // Figure 6's core claim: "all systems deliver less throughput for
+    // the server scenario than for the offline scenario."
+    ExperimentOptions options = fastOptions();
+    options.scale = 0.05;
+    const auto &profile = zooSystem("dc-gpu-a");
+    const auto task = models::TaskType::ImageClassificationHeavy;
+    const auto offline = runOffline(profile, task, options);
+    const auto server = runServer(profile, task, options);
+    EXPECT_TRUE(server.valid);
+    EXPECT_LT(server.metric, offline.metric * 1.02);
+    EXPECT_GT(server.metric, 0.2 * offline.metric);
+}
+
+TEST(Experiment, MultiStreamFindsStreams)
+{
+    const auto outcome = runMultiStream(
+        zooSystem("dc-fpga-a"),
+        models::TaskType::ObjectDetectionLight, fastOptions());
+    EXPECT_TRUE(outcome.valid);
+    EXPECT_GE(outcome.metric, 1.0);
+    // The found N must itself be a valid run.
+    EXPECT_TRUE(outcome.result.valid);
+}
+
+TEST(Experiment, WeakSystemCannotServeTightBound)
+{
+    // iot-mcu-a takes seconds per ResNet inference; the 15 ms server
+    // QoS bound is unreachable.
+    const auto outcome = runServer(
+        zooSystem("iot-mcu-a"),
+        models::TaskType::ImageClassificationHeavy, fastOptions());
+    EXPECT_FALSE(outcome.valid);
+    EXPECT_DOUBLE_EQ(outcome.metric, 0.0);
+}
+
+TEST(Experiment, RunSubmissionProducesResultPage)
+{
+    const auto results = runSubmission(
+        zooSystem("dc-cpu-a"),
+        models::TaskType::ImageClassificationLight, fastOptions());
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &r : results) {
+        EXPECT_EQ(r.system.systemName, "dc-cpu-a");
+        EXPECT_EQ(r.system.processor, "CPU");
+        EXPECT_EQ(r.benchmark, "MobileNet-v1");
+        EXPECT_EQ(r.division, report::Division::Closed);
+    }
+    // The records render without throwing.
+    const std::string page = report::renderResultsPage(results);
+    EXPECT_NE(page.find("dc-cpu-a"), std::string::npos);
+    EXPECT_NE(page.find("MobileNet-v1"), std::string::npos);
+}
+
+TEST(Experiment, RunScenarioDispatches)
+{
+    const auto &profile = zooSystem("dc-cpu-a");
+    const auto task = models::TaskType::ImageClassificationLight;
+    for (auto scenario :
+         {loadgen::Scenario::SingleStream, loadgen::Scenario::Offline}) {
+        const auto outcome =
+            runScenario(profile, task, scenario, fastOptions());
+        EXPECT_EQ(outcome.scenario, scenario);
+        EXPECT_EQ(outcome.systemName, "dc-cpu-a");
+        EXPECT_TRUE(outcome.valid);
+    }
+}
+
+} // namespace
+} // namespace harness
+} // namespace mlperf

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Cross-module integration tests: full submission matrices on
+ * simulated systems, accuracy-mode flows over all three real model
+ * families, cross-scenario metric consistency, and a threaded
+ * wall-clock SUT exercising the concurrent completion path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "harness/accuracy_script.h"
+#include "harness/experiment.h"
+#include "metrics/accuracy.h"
+#include "models/detector.h"
+#include "models/translator.h"
+#include "sim/real_executor.h"
+#include "sim/virtual_executor.h"
+#include "sut/nn_sut.h"
+#include "sut/system_zoo.h"
+
+namespace mlperf {
+namespace {
+
+using loadgen::Scenario;
+using models::TaskType;
+
+const sut::HardwareProfile &
+zooSystem(const std::string &name)
+{
+    for (const auto &profile : sut::systemZoo()) {
+        if (profile.systemName == name)
+            return profile;
+    }
+    ADD_FAILURE() << "missing system " << name;
+    return sut::systemZoo().front();
+}
+
+// ------------------------------------------ cross-scenario consistency
+
+class ScenarioConsistency : public ::testing::Test
+{
+  protected:
+    static harness::ExperimentOptions
+    options()
+    {
+        harness::ExperimentOptions o;
+        o.scale = 0.03;
+        o.search.runsPerDecision = 2;
+        o.search.iterations = 8;
+        return o;
+    }
+};
+
+TEST_F(ScenarioConsistency, ServerNeverExceedsOffline)
+{
+    // Figure 6's invariant, checked across diverse systems.
+    const auto task = TaskType::ImageClassificationHeavy;
+    for (const char *name : {"dc-cpu-a", "dc-gpu-a", "dc-asic-d"}) {
+        const auto &profile = zooSystem(name);
+        const auto offline =
+            harness::runOffline(profile, task, options());
+        const auto server =
+            harness::runServer(profile, task, options());
+        EXPECT_LE(server.metric, offline.metric * 1.05)
+            << name;  // 5% search slack
+    }
+}
+
+TEST_F(ScenarioConsistency, SingleStreamLatencyBoundsServerRate)
+{
+    // A system cannot serve more than ~1/ss_latency x engines x
+    // batching gain; sanity-bound the relationship.
+    const auto task = TaskType::ImageClassificationLight;
+    const auto &profile = zooSystem("dc-cpu-a");
+    const auto ss = harness::runSingleStream(profile, task, options());
+    const auto server = harness::runServer(profile, task, options());
+    const double ss_rate = 1e9 / ss.metric;  // queries/s at batch 1
+    const double max_gain =
+        static_cast<double>(profile.maxBatch *
+                            profile.acceleratorCount) /
+        profile.batchOneEfficiency;
+    EXPECT_LT(server.metric, ss_rate * max_gain);
+    EXPECT_GT(server.metric, 0.0);
+}
+
+TEST_F(ScenarioConsistency, MultiStreamMatchesThroughputBudget)
+{
+    // N streams every interval must fit within offline throughput:
+    // N / interval <= offline samples/s.
+    const auto task = TaskType::ObjectDetectionLight;
+    const auto &profile = zooSystem("edge-gpu-a");
+    const auto ms =
+        harness::runMultiStream(profile, task, options());
+    const auto offline =
+        harness::runOffline(profile, task, options());
+    const auto settings = harness::settingsForTask(
+        task, Scenario::MultiStream, options());
+    const double interval_s =
+        static_cast<double>(settings.multiStreamArrivalNs) / 1e9;
+    EXPECT_LE(ms.metric / interval_s, offline.metric * 1.05);
+    EXPECT_GE(ms.metric, 1.0);
+}
+
+TEST_F(ScenarioConsistency, FasterHardwareDominatesEverywhere)
+{
+    // A strictly better system must win every scenario metric.
+    const auto task = TaskType::ImageClassificationHeavy;
+    const auto &slow = zooSystem("edge-gpu-a");
+    const auto &fast = zooSystem("dc-gpu-b");
+    EXPECT_LT(harness::runSingleStream(fast, task, options()).metric,
+              harness::runSingleStream(slow, task, options()).metric);
+    EXPECT_GT(harness::runOffline(fast, task, options()).metric,
+              harness::runOffline(slow, task, options()).metric);
+    EXPECT_GT(harness::runServer(fast, task, options()).metric,
+              harness::runServer(slow, task, options()).metric);
+}
+
+// --------------------------------- accuracy flows for all three tasks
+
+TEST(AccuracyFlow, DetectorThroughLoadGenMatchesDirectMap)
+{
+    data::DetectionConfig cfg;
+    cfg.sampleCount = 60;
+    data::DetectionDataset dataset(cfg);
+    models::ObjectDetector model =
+        models::ObjectDetector::ssdMobilenetProxy(dataset);
+    sut::DetectionQsl qsl(dataset, 32);
+    sut::DetectorSut sut(model, qsl);
+
+    sim::VirtualExecutor ex;
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(Scenario::Offline);
+    settings.mode = loadgen::TestMode::AccuracyOnly;
+    loadgen::LoadGen lg(ex);
+    const auto result = lg.startTest(sut, qsl, settings);
+    ASSERT_EQ(result.accuracyLog.size(), 60u);
+    EXPECT_NEAR(harness::detectionMap(result.accuracyLog, dataset),
+                model.evaluateMap(dataset, 60), 1e-9);
+}
+
+TEST(AccuracyFlow, TranslatorThroughLoadGenMatchesDirectBleu)
+{
+    data::TranslationConfig cfg;
+    cfg.sampleCount = 60;
+    data::TranslationDataset dataset(cfg);
+    models::Translator model = models::Translator::gnmtProxy(dataset);
+    sut::TranslationQsl qsl(dataset, 32);
+    sut::TranslatorSut sut(model, qsl);
+
+    sim::VirtualExecutor ex;
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(Scenario::SingleStream);
+    settings.mode = loadgen::TestMode::AccuracyOnly;
+    loadgen::LoadGen lg(ex);
+    const auto result = lg.startTest(sut, qsl, settings);
+    ASSERT_EQ(result.accuracyLog.size(), 60u);
+    EXPECT_NEAR(
+        harness::translationBleu(result.accuracyLog, dataset),
+        model.evaluateBleu(dataset, 60), 1e-9);
+}
+
+TEST(AccuracyFlow, Int8SubmissionMeetsTargetEndToEnd)
+{
+    // The complete closed-division quality check: INT8 model through
+    // the LoadGen, scored by the accuracy script, compared with the
+    // registered target.
+    data::ClassificationConfig cfg;
+    cfg.samplesPerClass = 3;
+    data::ClassificationDataset dataset(cfg);
+    models::ImageClassifier fp32 =
+        models::ImageClassifier::resnet50Proxy(dataset);
+    models::ImageClassifier int8 =
+        models::ImageClassifier::resnet50Proxy(dataset);
+    int8.quantize(dataset);
+    sut::ClassificationQsl qsl(dataset, 32);
+    sut::ClassifierSut sut(int8, qsl);
+
+    sim::VirtualExecutor ex;
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(Scenario::SingleStream);
+    settings.mode = loadgen::TestMode::AccuracyOnly;
+    loadgen::LoadGen lg(ex);
+    const auto result = lg.startTest(sut, qsl, settings);
+    const double int8_top1 =
+        harness::classificationTop1(result.accuracyLog, dataset);
+    const double fp32_top1 =
+        fp32.evaluateAccuracy(dataset, dataset.size());
+    EXPECT_TRUE(metrics::meetsTarget(
+        int8_top1, fp32_top1,
+        models::modelInfo(TaskType::ImageClassificationHeavy)
+            .relativeQualityTarget))
+        << int8_top1 << " vs " << fp32_top1;
+}
+
+// ------------------------------------------- threaded wall-clock SUT
+
+/**
+ * SUT with a real worker thread: completions arrive from a foreign
+ * thread, exercising the LoadGen's cross-thread delegate path under
+ * the wall-clock executor.
+ */
+class ThreadedSut : public loadgen::SystemUnderTest
+{
+  public:
+    ThreadedSut() : worker_([this] { workerLoop(); }) {}
+
+    ~ThreadedSut() override
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        worker_.join();
+    }
+
+    std::string name() const override { return "threaded-sut"; }
+
+    void
+    issueQuery(const std::vector<loadgen::QuerySample> &samples,
+               loadgen::ResponseDelegate &delegate) override
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const auto &s : samples)
+                jobs_.push({s, &delegate});
+        }
+        cv_.notify_one();
+    }
+
+    void flushQueries() override {}
+
+  private:
+    struct Job
+    {
+        loadgen::QuerySample sample;
+        loadgen::ResponseDelegate *delegate;
+    };
+
+    void
+    workerLoop()
+    {
+        while (true) {
+            Job job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [this] { return stop_ || !jobs_.empty(); });
+                if (stop_ && jobs_.empty())
+                    return;
+                job = jobs_.front();
+                jobs_.pop();
+            }
+            // Simulated work off the executor thread.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+            job.delegate->querySamplesComplete(
+                {{job.sample.id,
+                  std::to_string(job.sample.index)}});
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::queue<Job> jobs_;
+    bool stop_ = false;
+    std::thread worker_;
+};
+
+TEST(ThreadedSutTest, WallClockSingleStreamCompletes)
+{
+    sim::RealExecutor ex;
+    ThreadedSut sut;
+    class Qsl : public loadgen::QuerySampleLibrary
+    {
+      public:
+        std::string name() const override { return "t-qsl"; }
+        uint64_t totalSampleCount() const override { return 64; }
+        uint64_t performanceSampleCount() const override
+        {
+            return 32;
+        }
+        void loadSamplesToRam(
+            const std::vector<loadgen::QuerySampleIndex> &) override
+        {
+        }
+        void unloadSamplesFromRam(
+            const std::vector<loadgen::QuerySampleIndex> &) override
+        {
+        }
+    } qsl;
+
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(Scenario::SingleStream);
+    settings.maxQueryCount = 100;
+    loadgen::LoadGen lg(ex);
+    const auto result = lg.startTest(sut, qsl, settings);
+    EXPECT_EQ(result.queryCount, 100u);
+    EXPECT_EQ(result.droppedQueries, 0u);
+    EXPECT_TRUE(result.valid);
+    EXPECT_GE(result.latency.minNs, 200u * 1000);  // >= worker sleep
+}
+
+TEST(ThreadedSutTest, WallClockServerSurvivesConcurrency)
+{
+    sim::RealExecutor ex;
+    ThreadedSut sut;
+    class Qsl : public loadgen::QuerySampleLibrary
+    {
+      public:
+        std::string name() const override { return "t-qsl"; }
+        uint64_t totalSampleCount() const override { return 64; }
+        uint64_t performanceSampleCount() const override
+        {
+            return 32;
+        }
+        void loadSamplesToRam(
+            const std::vector<loadgen::QuerySampleIndex> &) override
+        {
+        }
+        void unloadSamplesFromRam(
+            const std::vector<loadgen::QuerySampleIndex> &) override
+        {
+        }
+    } qsl;
+
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(Scenario::Server);
+    settings.serverTargetQps = 500.0;
+    settings.targetLatencyNs = 100 * sim::kNsPerMs;
+    settings.maxQueryCount = 300;
+    loadgen::LoadGen lg(ex);
+    const auto result = lg.startTest(sut, qsl, settings);
+    EXPECT_EQ(result.queryCount, 300u);
+    EXPECT_EQ(result.droppedQueries, 0u);
+}
+
+} // namespace
+} // namespace mlperf

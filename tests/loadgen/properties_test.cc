@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the LoadGen: invariants
+ * that must hold for every scenario x SUT-shape x load combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "loadgen/loadgen.h"
+#include "sim/virtual_executor.h"
+#include "test_doubles.h"
+
+namespace mlperf {
+namespace loadgen {
+namespace {
+
+using sim::kNsPerMs;
+using testing::FakeQsl;
+using testing::ParallelSut;
+using testing::SerialSut;
+
+enum class SutKind { Parallel, Serial };
+
+struct SweepCase
+{
+    Scenario scenario;
+    SutKind sut;
+    uint64_t latencyMs;     //!< service/latency per query
+    uint64_t maxQueries;
+    uint64_t samplesPerQuery;
+};
+
+class LoadGenInvariants : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(LoadGenInvariants, HoldForEveryConfiguration)
+{
+    const SweepCase c = GetParam();
+    sim::VirtualExecutor ex;
+    ParallelSut parallel(ex, c.latencyMs * kNsPerMs);
+    SerialSut serial(ex, c.latencyMs * kNsPerMs);
+    SystemUnderTest &sut =
+        c.sut == SutKind::Parallel
+            ? static_cast<SystemUnderTest &>(parallel)
+            : static_cast<SystemUnderTest &>(serial);
+    FakeQsl qsl(1000, 128);
+
+    TestSettings s = TestSettings::forScenario(c.scenario);
+    s.maxQueryCount = c.maxQueries;
+    s.multiStreamSamplesPerQuery = c.samplesPerQuery;
+    s.offlineSampleCount = 512;
+    s.serverTargetQps = 100.0;
+    s.targetLatencyNs = 200 * kNsPerMs;
+    s.recordTimeline = true;
+    LoadGen lg(ex);
+    const TestResult r = lg.startTest(sut, qsl, s);
+
+    // --- Conservation: every issued sample completes.
+    EXPECT_EQ(r.droppedQueries, 0u);
+    const uint64_t expected_samples =
+        c.scenario == Scenario::Offline
+            ? 512
+            : c.maxQueries * (c.scenario == Scenario::MultiStream
+                                  ? c.samplesPerQuery
+                                  : 1);
+    EXPECT_EQ(r.sampleCount, expected_samples);
+
+    // --- Latency summary ordering.
+    EXPECT_LE(r.latency.minNs, r.latency.p50);
+    EXPECT_LE(r.latency.p50, r.latency.p90);
+    EXPECT_LE(r.latency.p90, r.latency.p95);
+    EXPECT_LE(r.latency.p95, r.latency.p99);
+    EXPECT_LE(r.latency.p99, r.latency.maxNs);
+    EXPECT_GE(r.latency.meanNs,
+              static_cast<double>(r.latency.minNs));
+    EXPECT_LE(r.latency.meanNs,
+              static_cast<double>(r.latency.maxNs));
+
+    // --- Latency floor: nothing completes faster than the SUT model.
+    EXPECT_GE(r.latency.minNs, c.latencyMs * kNsPerMs);
+
+    // --- Timeline sanity: monotone nonnegative intervals.
+    ASSERT_EQ(r.timeline.size(), r.queryCount);
+    for (const auto &q : r.timeline) {
+        EXPECT_GE(q.issued, q.scheduled);
+        EXPECT_GE(q.completed, q.issued);
+    }
+    // Issue order follows schedule order.
+    for (size_t i = 1; i < r.timeline.size(); ++i)
+        EXPECT_GE(r.timeline[i].scheduled,
+                  r.timeline[i - 1].scheduled);
+
+    // --- Throughput consistency: completedQps derived from counts.
+    if (r.durationNs > 0) {
+        EXPECT_NEAR(r.completedQps,
+                    static_cast<double>(r.sampleCount) * 1e9 /
+                        static_cast<double>(r.durationNs),
+                    1e-6 * r.completedQps + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoadGenInvariants,
+    ::testing::Values(
+        SweepCase{Scenario::SingleStream, SutKind::Parallel, 1, 64, 1},
+        SweepCase{Scenario::SingleStream, SutKind::Serial, 7, 33, 1},
+        SweepCase{Scenario::Server, SutKind::Parallel, 3, 200, 1},
+        SweepCase{Scenario::Server, SutKind::Serial, 2, 150, 1},
+        SweepCase{Scenario::MultiStream, SutKind::Parallel, 10, 40, 4},
+        SweepCase{Scenario::MultiStream, SutKind::Parallel, 10, 25, 1},
+        SweepCase{Scenario::MultiStream, SutKind::Serial, 5, 30, 2},
+        SweepCase{Scenario::Offline, SutKind::Parallel, 50, 1, 1},
+        SweepCase{Scenario::Offline, SutKind::Serial, 1, 1, 1}),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        const auto &c = info.param;
+        return scenarioName(c.scenario) +
+               (c.sut == SutKind::Parallel ? "Par" : "Ser") + "L" +
+               std::to_string(c.latencyMs) + "Q" +
+               std::to_string(c.maxQueries) + "N" +
+               std::to_string(c.samplesPerQuery);
+    });
+
+/** Determinism: identical settings + SUT model => identical results. */
+class LoadGenDeterminism
+    : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(LoadGenDeterminism, BitIdenticalAcrossRuns)
+{
+    auto run = [&] {
+        sim::VirtualExecutor ex;
+        ParallelSut sut(ex, 4 * kNsPerMs);
+        FakeQsl qsl(512, 128);
+        TestSettings s = TestSettings::forScenario(GetParam());
+        s.maxQueryCount = 100;
+        s.offlineSampleCount = 300;
+        s.serverTargetQps = 150.0;
+        s.recordTimeline = true;
+        LoadGen lg(ex);
+        return lg.startTest(sut, qsl, s);
+    };
+    const TestResult a = run();
+    const TestResult b = run();
+    EXPECT_EQ(a.queryCount, b.queryCount);
+    EXPECT_EQ(a.durationNs, b.durationNs);
+    EXPECT_EQ(a.latency.p90, b.latency.p90);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].scheduled, b.timeline[i].scheduled);
+        EXPECT_EQ(a.timeline[i].completed, b.timeline[i].completed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, LoadGenDeterminism,
+                         ::testing::Values(Scenario::SingleStream,
+                                           Scenario::MultiStream,
+                                           Scenario::Server,
+                                           Scenario::Offline),
+                         [](const auto &info) {
+                             return scenarioName(info.param);
+                         });
+
+} // namespace
+} // namespace loadgen
+} // namespace mlperf

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Test doubles: a trivial QSL and configurable virtual-time SUTs used
+ * by the LoadGen scenario tests.
+ */
+
+#ifndef MLPERF_TESTS_LOADGEN_TEST_DOUBLES_H
+#define MLPERF_TESTS_LOADGEN_TEST_DOUBLES_H
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "loadgen/qsl.h"
+#include "loadgen/sut.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace loadgen {
+namespace testing {
+
+/** In-memory QSL with configurable sizes. */
+class FakeQsl : public QuerySampleLibrary
+{
+  public:
+    FakeQsl(uint64_t total, uint64_t performance)
+        : total_(total), performance_(performance)
+    {
+    }
+
+    std::string name() const override { return "fake-qsl"; }
+    uint64_t totalSampleCount() const override { return total_; }
+    uint64_t
+    performanceSampleCount() const override
+    {
+        return performance_;
+    }
+
+    void
+    loadSamplesToRam(const std::vector<QuerySampleIndex> &idx) override
+    {
+        loadedCount_ += idx.size();
+        lastLoaded_ = idx;
+    }
+
+    void
+    unloadSamplesFromRam(
+        const std::vector<QuerySampleIndex> &idx) override
+    {
+        unloadedCount_ += idx.size();
+    }
+
+    uint64_t loadedCount_ = 0;
+    uint64_t unloadedCount_ = 0;
+    std::vector<QuerySampleIndex> lastLoaded_;
+
+  private:
+    uint64_t total_;
+    uint64_t performance_;
+};
+
+/**
+ * SUT with unlimited concurrency: every query completes a fixed
+ * latency after issue, regardless of load.
+ */
+class ParallelSut : public SystemUnderTest
+{
+  public:
+    ParallelSut(sim::Executor &executor, sim::Tick latency)
+        : executor_(executor), latency_(latency)
+    {
+    }
+
+    std::string name() const override { return "parallel-sut"; }
+
+    void
+    issueQuery(const std::vector<QuerySample> &samples,
+               ResponseDelegate &delegate) override
+    {
+        ++queriesSeen_;
+        samplesSeen_ += samples.size();
+        maxQuerySize_ = std::max(maxQuerySize_, samples.size());
+        for (const auto &s : samples)
+            indices_.push_back(s.index);
+        std::vector<QuerySampleResponse> responses;
+        responses.reserve(samples.size());
+        for (const auto &s : samples)
+            responses.push_back({s.id, std::to_string(s.index)});
+        executor_.scheduleAfter(latency_, [&delegate, responses] {
+            delegate.querySamplesComplete(responses);
+        });
+    }
+
+    void flushQueries() override { flushed_ = true; }
+
+    uint64_t queriesSeen_ = 0;
+    uint64_t samplesSeen_ = 0;
+    size_t maxQuerySize_ = 0;
+    bool flushed_ = false;
+    std::vector<QuerySampleIndex> indices_;
+
+  private:
+    sim::Executor &executor_;
+    sim::Tick latency_;
+};
+
+/**
+ * SUT that processes queries one at a time with a fixed service time
+ * (an M/D/1-style server): concurrent arrivals queue up, creating the
+ * latency-vs-throughput tension the server scenario probes.
+ */
+class SerialSut : public SystemUnderTest
+{
+  public:
+    SerialSut(sim::Executor &executor, sim::Tick service_time)
+        : executor_(executor), serviceTime_(service_time)
+    {
+    }
+
+    std::string name() const override { return "serial-sut"; }
+
+    void
+    issueQuery(const std::vector<QuerySample> &samples,
+               ResponseDelegate &delegate) override
+    {
+        ++queriesSeen_;
+        concurrent_ = std::max(concurrent_, pending_.size() + 1);
+        pending_.push_back({samples, &delegate});
+        if (!busy_) {
+            busy_ = true;
+            serveNext();
+        }
+    }
+
+    void flushQueries() override {}
+
+    uint64_t queriesSeen_ = 0;
+    size_t concurrent_ = 0;
+
+  private:
+    struct Pending
+    {
+        std::vector<QuerySample> samples;
+        ResponseDelegate *delegate;
+    };
+
+    void
+    serveNext()
+    {
+        if (pending_.empty()) {
+            busy_ = false;
+            return;
+        }
+        Pending job = std::move(pending_.front());
+        pending_.pop_front();
+        executor_.scheduleAfter(serviceTime_, [this, job] {
+            std::vector<QuerySampleResponse> responses;
+            responses.reserve(job.samples.size());
+            for (const auto &s : job.samples)
+                responses.push_back({s.id, ""});
+            job.delegate->querySamplesComplete(responses);
+            serveNext();
+        });
+    }
+
+    sim::Executor &executor_;
+    sim::Tick serviceTime_;
+    std::deque<Pending> pending_;
+    bool busy_ = false;
+};
+
+} // namespace testing
+} // namespace loadgen
+} // namespace mlperf
+
+#endif // MLPERF_TESTS_LOADGEN_TEST_DOUBLES_H

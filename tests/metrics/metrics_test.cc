@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for Top-1 accuracy, mAP, NMS, and BLEU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/accuracy.h"
+#include "metrics/bleu.h"
+#include "metrics/map.h"
+
+namespace mlperf {
+namespace metrics {
+namespace {
+
+// ---------------------------------------------------------- accuracy
+
+TEST(Top1, BasicFractions)
+{
+    EXPECT_DOUBLE_EQ(top1Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(top1Accuracy({1, 2, 3}, {1, 2, 4}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(top1Accuracy({}, {}), 0.0);
+}
+
+TEST(QualityTarget, PaperResNetExample)
+{
+    // Sec. III-B: ResNet-50 reference 76.46%, target >= 75.70%.
+    EXPECT_NEAR(qualityTarget(0.76456, 0.99), 0.7569, 1e-4);
+    EXPECT_TRUE(meetsTarget(0.7570, 0.76456, 0.99));
+    EXPECT_FALSE(meetsTarget(0.7560, 0.76456, 0.99));
+}
+
+// --------------------------------------------------------------- mAP
+
+Detection
+det(int64_t img, int64_t cls, double score, double x0, double y0,
+    double x1, double y1)
+{
+    return Detection{img, cls, score, data::Box{x0, y0, x1, y1}};
+}
+
+ImageGroundTruth
+gt(int64_t img, std::vector<data::GroundTruthObject> objs)
+{
+    return ImageGroundTruth{img, std::move(objs)};
+}
+
+TEST(AveragePrecision, PerfectDetectorScoresOne)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}, {0, {20, 20, 30, 30}}}),
+    };
+    std::vector<Detection> dets = {
+        det(0, 0, 0.9, 0, 0, 10, 10),
+        det(0, 0, 0.8, 20, 20, 30, 30),
+    };
+    EXPECT_NEAR(averagePrecision(dets, truth, 0, 0.5), 1.0, 1e-9);
+}
+
+TEST(AveragePrecision, MissedObjectLowersRecall)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}, {0, {20, 20, 30, 30}}}),
+    };
+    std::vector<Detection> dets = {det(0, 0, 0.9, 0, 0, 10, 10)};
+    // Recall caps at 0.5: AP ~ 51/101 with 101-pt interpolation.
+    EXPECT_NEAR(averagePrecision(dets, truth, 0, 0.5), 51.0 / 101.0,
+                1e-9);
+}
+
+TEST(AveragePrecision, FalsePositiveLowersPrecision)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}}),
+    };
+    std::vector<Detection> dets = {
+        det(0, 0, 0.9, 40, 40, 45, 45),  // FP ranked first
+        det(0, 0, 0.8, 0, 0, 10, 10),    // TP second
+    };
+    // Max precision at full recall is 0.5.
+    EXPECT_NEAR(averagePrecision(dets, truth, 0, 0.5), 0.5 * 101 / 101,
+                1e-6);
+}
+
+TEST(AveragePrecision, DuplicateDetectionCountsOnce)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}}),
+    };
+    std::vector<Detection> dets = {
+        det(0, 0, 0.9, 0, 0, 10, 10),
+        det(0, 0, 0.8, 1, 1, 11, 11),  // duplicate of same object
+    };
+    const double ap = averagePrecision(dets, truth, 0, 0.5);
+    EXPECT_NEAR(ap, 1.0, 1e-9);  // recall 1 reached at precision 1
+}
+
+TEST(AveragePrecision, IouThresholdMatters)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}}),
+    };
+    // Detection overlaps ~47%: passes at 0.3, fails at 0.5.
+    std::vector<Detection> dets = {det(0, 0, 0.9, 4, 0, 14, 10)};
+    EXPECT_GT(averagePrecision(dets, truth, 0, 0.3), 0.9);
+    EXPECT_NEAR(averagePrecision(dets, truth, 0, 0.5), 0.0, 1e-9);
+}
+
+TEST(MeanAveragePrecision, AveragesOverClasses)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}, {1, {20, 20, 30, 30}}}),
+    };
+    std::vector<Detection> dets = {
+        det(0, 0, 0.9, 0, 0, 10, 10),  // class 0 perfect
+        // class 1 undetected
+    };
+    EXPECT_NEAR(meanAveragePrecision(dets, truth, 2), 0.5, 1e-9);
+}
+
+TEST(Nms, SuppressesOverlappingSameClass)
+{
+    std::vector<Detection> dets = {
+        det(0, 0, 0.9, 0, 0, 10, 10),
+        det(0, 0, 0.8, 1, 1, 11, 11),   // overlaps first, same class
+        det(0, 1, 0.7, 1, 1, 11, 11),   // different class: kept
+        det(0, 0, 0.6, 30, 30, 40, 40), // far away: kept
+        det(1, 0, 0.5, 0, 0, 10, 10),   // different image: kept
+    };
+    const auto kept = nonMaxSuppression(dets, 0.5);
+    ASSERT_EQ(kept.size(), 4u);
+    EXPECT_DOUBLE_EQ(kept[0].score, 0.9);
+}
+
+TEST(CocoMap, AveragesOverIouThresholds)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}}),
+    };
+    // Detection with IoU ~0.68: counts at thresholds .50-.65, fails
+    // .70+ -> COCO mAP is the fraction of passing thresholds.
+    std::vector<Detection> dets = {det(0, 0, 0.9, 0, 0, 10, 8.1)};
+    const double iou_value = data::iou({0, 0, 10, 10},
+                                       {0, 0, 10, 8.1});
+    ASSERT_NEAR(iou_value, 0.81, 0.01);
+    const double coco = cocoMeanAveragePrecision(dets, truth, 1);
+    // Passes .50..0.80 (7 of 10 thresholds).
+    EXPECT_NEAR(coco, 0.7, 1e-9);
+}
+
+TEST(CocoMap, PerfectBoxesScoreOneEverywhere)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {2, 2, 12, 12}}}),
+    };
+    std::vector<Detection> dets = {det(0, 0, 0.9, 2, 2, 12, 12)};
+    EXPECT_NEAR(cocoMeanAveragePrecision(dets, truth, 1), 1.0, 1e-9);
+}
+
+TEST(CocoMap, StricterThanMapAtPointFive)
+{
+    std::vector<ImageGroundTruth> truth = {
+        gt(0, {{0, {0, 0, 10, 10}}}),
+    };
+    std::vector<Detection> dets = {det(0, 0, 0.9, 1, 1, 11, 11)};
+    EXPECT_LE(cocoMeanAveragePrecision(dets, truth, 1),
+              meanAveragePrecision(dets, truth, 1, 0.5));
+}
+
+// -------------------------------------------------------------- BLEU
+
+TEST(Bleu, PerfectMatchIsHundred)
+{
+    std::vector<TokenSeq> refs = {{1, 2, 3, 4, 5}, {6, 7, 8, 9}};
+    EXPECT_NEAR(bleuScore(refs, refs), 100.0, 1e-9);
+}
+
+TEST(Bleu, EmptyHypothesisIsZero)
+{
+    EXPECT_DOUBLE_EQ(bleuScore({{}}, {{1, 2, 3, 4}}), 0.0);
+}
+
+TEST(Bleu, NoFourGramOverlapIsZero)
+{
+    // Shared unigrams but no shared 4-gram -> BLEU 0.
+    std::vector<TokenSeq> hyp = {{1, 9, 2, 9, 3, 9}};
+    std::vector<TokenSeq> ref = {{1, 2, 3, 4, 5, 6}};
+    EXPECT_DOUBLE_EQ(bleuScore(hyp, ref), 0.0);
+}
+
+TEST(Bleu, BrevityPenaltyAppliedToShortOutput)
+{
+    // Hypothesis is a perfect prefix at half the reference length.
+    std::vector<TokenSeq> hyp = {{1, 2, 3, 4, 5}};
+    std::vector<TokenSeq> ref = {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+    const BleuResult r = corpusBleu(hyp, ref);
+    EXPECT_DOUBLE_EQ(r.precisions[0], 1.0);
+    EXPECT_NEAR(r.brevityPenalty, std::exp(1.0 - 2.0), 1e-12);
+    EXPECT_NEAR(r.bleu, 100.0 * std::exp(-1.0), 1e-6);
+}
+
+TEST(Bleu, NoPenaltyForLongOutput)
+{
+    std::vector<TokenSeq> hyp = {{1, 2, 3, 4, 5, 6, 7, 8}};
+    std::vector<TokenSeq> ref = {{1, 2, 3, 4, 5}};
+    EXPECT_DOUBLE_EQ(corpusBleu(hyp, ref).brevityPenalty, 1.0);
+}
+
+TEST(Bleu, ModifiedPrecisionClipsRepeats)
+{
+    // Hypothesis repeats a reference word: clipped at ref count.
+    std::vector<TokenSeq> hyp = {{7, 7, 7, 7}};
+    std::vector<TokenSeq> ref = {{7, 8, 9, 10}};
+    const BleuResult r = corpusBleu(hyp, ref);
+    EXPECT_DOUBLE_EQ(r.precisions[0], 0.25);
+}
+
+TEST(Bleu, CorpusLevelAggregation)
+{
+    // One perfect and one useless sentence; corpus BLEU is computed
+    // from pooled counts, not averaged per-sentence scores.
+    std::vector<TokenSeq> hyp = {{1, 2, 3, 4, 5}, {9, 9, 9, 9, 9}};
+    std::vector<TokenSeq> ref = {{1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}};
+    const BleuResult r = corpusBleu(hyp, ref);
+    EXPECT_NEAR(r.precisions[0], 0.5, 1e-12);
+    EXPECT_NEAR(r.precisions[3], 2.0 / 4.0, 1e-12);
+    EXPECT_GT(r.bleu, 0.0);
+    EXPECT_LT(r.bleu, 100.0);
+}
+
+TEST(Bleu, MoreErrorsMeanLowerScore)
+{
+    std::vector<TokenSeq> ref = {{1, 2, 3, 4, 5, 6, 7, 8}};
+    std::vector<TokenSeq> one_err = {{1, 2, 3, 4, 5, 6, 7, 99}};
+    std::vector<TokenSeq> two_err = {{1, 2, 3, 99, 5, 6, 7, 99}};
+    EXPECT_GT(bleuScore(one_err, ref), bleuScore(two_err, ref));
+}
+
+} // namespace
+} // namespace metrics
+} // namespace mlperf

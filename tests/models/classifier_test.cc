@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the classifier proxies: accuracy levels, quality targets,
+ * complexity metadata, and the Sec. III-B quantization behaviours.
+ *
+ * Model construction is relatively expensive, so shared fixtures build
+ * each model once per suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metrics/accuracy.h"
+#include "models/classifier.h"
+#include "models/model_info.h"
+
+namespace mlperf {
+namespace models {
+namespace {
+
+constexpr int64_t kEvalCount = 400;
+
+class ClassifierModels : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dataset_ = new data::ClassificationDataset();
+        resnet_ = new ImageClassifier(
+            ImageClassifier::resnet50Proxy(*dataset_));
+        mobilenet_ = new ImageClassifier(
+            ImageClassifier::mobilenetProxy(*dataset_));
+        resnetAcc_ = resnet_->evaluateAccuracy(*dataset_, kEvalCount);
+        mobilenetAcc_ =
+            mobilenet_->evaluateAccuracy(*dataset_, kEvalCount);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete resnet_;
+        delete mobilenet_;
+        delete dataset_;
+        resnet_ = mobilenet_ = nullptr;
+        dataset_ = nullptr;
+    }
+
+    static data::ClassificationDataset *dataset_;
+    static ImageClassifier *resnet_;
+    static ImageClassifier *mobilenet_;
+    static double resnetAcc_;
+    static double mobilenetAcc_;
+};
+
+data::ClassificationDataset *ClassifierModels::dataset_ = nullptr;
+ImageClassifier *ClassifierModels::resnet_ = nullptr;
+ImageClassifier *ClassifierModels::mobilenet_ = nullptr;
+double ClassifierModels::resnetAcc_ = 0.0;
+double ClassifierModels::mobilenetAcc_ = 0.0;
+
+TEST_F(ClassifierModels, ResNetAccuracyNearPaperLevel)
+{
+    // Paper Table I: ResNet-50 v1.5 hits 76.46% Top-1; the proxy is
+    // tuned to the same regime.
+    EXPECT_GT(resnetAcc_, 0.65);
+    EXPECT_LT(resnetAcc_, 0.85);
+}
+
+TEST_F(ClassifierModels, MobileNetBelowResNetLikePaper)
+{
+    // MobileNet trades accuracy for ~7x fewer ops (71.68% vs 76.46%).
+    EXPECT_LT(mobilenetAcc_, resnetAcc_);
+    EXPECT_GT(mobilenetAcc_, 0.75 * resnetAcc_);
+}
+
+TEST_F(ClassifierModels, ComplexityRatioMatchesPaperRegime)
+{
+    // Paper: MobileNet reduces ops 6.8x and parameters 6.1x vs
+    // ResNet-50 v1.5. The proxies preserve the ops ratio regime.
+    const double flops_ratio =
+        static_cast<double>(resnet_->flopsPerInput()) /
+        static_cast<double>(mobilenet_->flopsPerInput());
+    EXPECT_GT(flops_ratio, 4.0);
+    EXPECT_LT(flops_ratio, 12.0);
+    EXPECT_GT(resnet_->paramCount(), mobilenet_->paramCount());
+}
+
+TEST_F(ClassifierModels, DeterministicConstruction)
+{
+    ImageClassifier again = ImageClassifier::resnet50Proxy(*dataset_);
+    for (int64_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(again.classify(dataset_->image(i)),
+                  resnet_->classify(dataset_->image(i)));
+    }
+}
+
+TEST_F(ClassifierModels, BatchMatchesSingle)
+{
+    // Build a batch of 4 and compare with per-image classification.
+    const auto &cfg = dataset_->config();
+    tensor::Tensor batch(tensor::Shape{
+        4, cfg.channels, cfg.height, cfg.width});
+    for (int64_t i = 0; i < 4; ++i) {
+        tensor::Tensor img = dataset_->image(i);
+        for (int64_t j = 0; j < img.numel(); ++j)
+            batch[i * img.numel() + j] = img[j];
+    }
+    const auto batched = resnet_->classifyBatch(batch);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(batched[static_cast<size_t>(i)],
+                  resnet_->classify(dataset_->image(i)));
+}
+
+TEST_F(ClassifierModels, ResNetInt8MeetsNinetyNinePercentTarget)
+{
+    // Sec. III-B: "for 8-bit integer arithmetic ... the ~1% relative-
+    // accuracy target was easily achievable without retraining."
+    ImageClassifier q = ImageClassifier::resnet50Proxy(*dataset_);
+    EXPECT_GT(q.quantize(*dataset_), 0);
+    const double int8_acc = q.evaluateAccuracy(*dataset_, kEvalCount);
+    EXPECT_TRUE(metrics::meetsTarget(int8_acc, resnetAcc_, 0.99))
+        << "int8=" << int8_acc << " fp32=" << resnetAcc_;
+}
+
+TEST_F(ClassifierModels, MobileNetInt8MeetsNinetyEightPercentTarget)
+{
+    // The quantization-friendly MobileNet weights meet the narrowed
+    // 2% window (Sec. III-B).
+    ImageClassifier q = ImageClassifier::mobilenetProxy(*dataset_);
+    EXPECT_GT(q.quantize(*dataset_), 0);
+    const double int8_acc = q.evaluateAccuracy(*dataset_, kEvalCount);
+    EXPECT_TRUE(metrics::meetsTarget(int8_acc, mobilenetAcc_, 0.98))
+        << "int8=" << int8_acc << " fp32=" << mobilenetAcc_;
+}
+
+TEST_F(ClassifierModels, NaiveMobileNetInt8LossIsUnacceptable)
+{
+    // Sec. III-B: without quantization-friendly weights "the accuracy
+    // loss was unacceptable". The naive variant has the identical
+    // FP32 function but BN-fold-style ranges; per-tensor INT8
+    // collapses.
+    ImageClassifier naive =
+        ImageClassifier::mobilenetProxyNaive(*dataset_);
+    const double fp32 = naive.evaluateAccuracy(*dataset_, kEvalCount);
+    EXPECT_NEAR(fp32, mobilenetAcc_, 0.03);  // same function
+
+    ImageClassifier q = ImageClassifier::mobilenetProxyNaive(*dataset_);
+    quant::QuantizeOptions per_tensor;
+    per_tensor.perChannelWeights = false;
+    q.quantize(*dataset_, per_tensor);
+    const double int8_acc = q.evaluateAccuracy(*dataset_, kEvalCount);
+    EXPECT_FALSE(metrics::meetsTarget(int8_acc, fp32, 0.98))
+        << "int8=" << int8_acc << " fp32=" << fp32;
+    EXPECT_LT(int8_acc, 0.9 * fp32);
+}
+
+TEST_F(ClassifierModels, PerChannelWeightsRecoverNaiveMobileNet)
+{
+    // Per-channel weight scales (the modern flow) recover most of the
+    // naive variant's INT8 loss relative to per-tensor.
+    ImageClassifier pc = ImageClassifier::mobilenetProxyNaive(*dataset_);
+    ImageClassifier pt = ImageClassifier::mobilenetProxyNaive(*dataset_);
+    quant::QuantizeOptions per_channel;  // default
+    quant::QuantizeOptions per_tensor;
+    per_tensor.perChannelWeights = false;
+    pc.quantize(*dataset_, per_channel);
+    pt.quantize(*dataset_, per_tensor);
+    EXPECT_GT(pc.evaluateAccuracy(*dataset_, kEvalCount),
+              pt.evaluateAccuracy(*dataset_, kEvalCount));
+}
+
+TEST_F(ClassifierModels, Int4LosesMoreThanInt8)
+{
+    // INT4 is on the approved-numerics list; it trades accuracy.
+    ImageClassifier q8 = ImageClassifier::resnet50Proxy(*dataset_);
+    ImageClassifier q4 = ImageClassifier::resnet50Proxy(*dataset_);
+    quant::QuantizeOptions o8, o4;
+    o4.bits = 4;
+    q8.quantize(*dataset_, o8);
+    q4.quantize(*dataset_, o4);
+    EXPECT_GE(q8.evaluateAccuracy(*dataset_, kEvalCount),
+              q4.evaluateAccuracy(*dataset_, kEvalCount));
+}
+
+TEST(ClassifierFamily, AccuracyGrowsWithWidth)
+{
+    // The Figure 1 premise: larger models trace an accuracy/complexity
+    // frontier. Width sweep must produce monotone-ish complexity and
+    // generally increasing accuracy.
+    data::ClassificationDataset dataset;
+    double prev_flops = 0.0;
+    double tiny_acc = 0.0, big_acc = 0.0;
+    for (int64_t width : {4, 16, 32}) {
+        ClassifierArch arch;
+        arch.name = "fam";
+        arch.stemWidth = width;
+        arch.blocks = 4;
+        arch.weightSeed = 0x5E5E50;
+        ImageClassifier model(arch, dataset);
+        EXPECT_GT(static_cast<double>(model.flopsPerInput()),
+                  prev_flops);
+        prev_flops = static_cast<double>(model.flopsPerInput());
+        const double acc = model.evaluateAccuracy(dataset, 200);
+        if (width == 4)
+            tiny_acc = acc;
+        if (width == 32)
+            big_acc = acc;
+    }
+    EXPECT_GT(big_acc, tiny_acc);
+}
+
+TEST(ModelInfoRegistry, TableOneContents)
+{
+    EXPECT_EQ(referenceModels().size(), 5u);
+    const auto &rn = modelInfo(TaskType::ImageClassificationHeavy);
+    EXPECT_EQ(rn.modelName, "ResNet-50 v1.5");
+    EXPECT_DOUBLE_EQ(rn.paperParamsMillions, 25.6);
+    EXPECT_DOUBLE_EQ(rn.paperGopsPerInput, 8.2);
+    EXPECT_DOUBLE_EQ(rn.relativeQualityTarget, 0.99);
+    EXPECT_DOUBLE_EQ(rn.serverQosMs, 15.0);
+    EXPECT_DOUBLE_EQ(rn.multistreamArrivalMs, 50.0);
+    EXPECT_DOUBLE_EQ(rn.tailPercentile, 0.99);
+
+    const auto &mb = modelInfo(TaskType::ImageClassificationLight);
+    EXPECT_DOUBLE_EQ(mb.relativeQualityTarget, 0.98);
+    EXPECT_DOUBLE_EQ(mb.serverQosMs, 10.0);
+
+    const auto &nmt = modelInfo(TaskType::MachineTranslation);
+    EXPECT_DOUBLE_EQ(nmt.tailPercentile, 0.97);
+    EXPECT_DOUBLE_EQ(nmt.serverQosMs, 250.0);
+    EXPECT_DOUBLE_EQ(nmt.multistreamArrivalMs, 100.0);
+    EXPECT_EQ(taskArea(nmt.task), "Language");
+    EXPECT_EQ(taskArea(rn.task), "Vision");
+}
+
+TEST(ModelInfoRegistry, PaperComplexityRatios)
+{
+    // Sec. III-A: MobileNet "reduces the parameters by 6.1x and the
+    // operations by 6.8x compared with ResNet-50 v1.5."
+    const auto &rn = modelInfo(TaskType::ImageClassificationHeavy);
+    const auto &mb = modelInfo(TaskType::ImageClassificationLight);
+    EXPECT_NEAR(rn.paperParamsMillions / mb.paperParamsMillions, 6.1,
+                0.05);
+    // (Table I's raw GOPs give 7.2x; the text rounds to 6.8x.)
+    EXPECT_NEAR(rn.paperGopsPerInput / mb.paperGopsPerInput, 7.0, 0.5);
+    // Sec. VII-D: SSD-R34 needs ~175x the ops of SSD-MobileNet.
+    const auto &sh = modelInfo(TaskType::ObjectDetectionHeavy);
+    const auto &sl = modelInfo(TaskType::ObjectDetectionLight);
+    EXPECT_NEAR(sh.paperGopsPerInput / sl.paperGopsPerInput, 175.0,
+                3.0);
+}
+
+} // namespace
+} // namespace models
+} // namespace mlperf

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the detector proxies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/accuracy.h"
+#include "models/detector.h"
+
+namespace mlperf {
+namespace models {
+namespace {
+
+constexpr int64_t kEvalCount = 120;
+
+class DetectorModels : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dataset_ = new data::DetectionDataset();
+        heavy_ = new ObjectDetector(
+            ObjectDetector::ssdResnet34Proxy(*dataset_));
+        light_ = new ObjectDetector(
+            ObjectDetector::ssdMobilenetProxy(*dataset_));
+        heavyMap_ = heavy_->evaluateMap(*dataset_, kEvalCount);
+        lightMap_ = light_->evaluateMap(*dataset_, kEvalCount);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete heavy_;
+        delete light_;
+        delete dataset_;
+        heavy_ = light_ = nullptr;
+        dataset_ = nullptr;
+    }
+
+    static data::DetectionDataset *dataset_;
+    static ObjectDetector *heavy_;
+    static ObjectDetector *light_;
+    static double heavyMap_;
+    static double lightMap_;
+};
+
+data::DetectionDataset *DetectorModels::dataset_ = nullptr;
+ObjectDetector *DetectorModels::heavy_ = nullptr;
+ObjectDetector *DetectorModels::light_ = nullptr;
+double DetectorModels::heavyMap_ = 0.0;
+double DetectorModels::lightMap_ = 0.0;
+
+TEST_F(DetectorModels, BothDetectorsAreUseful)
+{
+    // Far above chance, below perfect: mAP responds to modelling
+    // choices rather than saturating.
+    EXPECT_GT(heavyMap_, 0.35);
+    EXPECT_LT(heavyMap_, 0.95);
+    EXPECT_GT(lightMap_, 0.30);
+    EXPECT_LT(lightMap_, 0.95);
+}
+
+TEST_F(DetectorModels, HeavyBeatsLight)
+{
+    // Full-resolution + denoising stem buys accuracy, mirroring the
+    // heavy/light split of Table I.
+    EXPECT_GT(heavyMap_, lightMap_);
+}
+
+TEST_F(DetectorModels, HeavyCostsFarMoreCompute)
+{
+    // Sec. VII-D studies the heavy/light ops gap; the proxies keep a
+    // large (an order of magnitude) FLOP separation.
+    EXPECT_GT(static_cast<double>(heavy_->flopsPerInput()),
+              8.0 * static_cast<double>(light_->flopsPerInput()));
+}
+
+TEST_F(DetectorModels, DetectionsAreWellFormed)
+{
+    for (int64_t i = 0; i < 10; ++i) {
+        const auto dets = heavy_->detect(dataset_->image(i), i);
+        for (const auto &d : dets) {
+            EXPECT_EQ(d.imageId, i);
+            EXPECT_GE(d.cls, 0);
+            EXPECT_LT(d.cls, dataset_->numClasses());
+            EXPECT_GE(d.box.x0, 0.0);
+            EXPECT_LE(d.box.x1,
+                      static_cast<double>(dataset_->config().width));
+            EXPECT_GT(d.score, 0.0);
+        }
+        // NMS guarantees no same-class overlapping duplicates.
+        for (size_t a = 0; a < dets.size(); ++a) {
+            for (size_t b = a + 1; b < dets.size(); ++b) {
+                if (dets[a].cls == dets[b].cls) {
+                    EXPECT_LT(data::iou(dets[a].box, dets[b].box),
+                              0.5);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(DetectorModels, DetectsMostPlantedObjects)
+{
+    int64_t found = 0, total = 0;
+    for (int64_t i = 0; i < 30; ++i) {
+        const auto dets = heavy_->detect(dataset_->image(i), i);
+        for (const auto &obj : dataset_->groundTruth(i)) {
+            ++total;
+            for (const auto &d : dets) {
+                if (d.cls == obj.cls &&
+                    data::iou(d.box, obj.box) >= 0.5) {
+                    ++found;
+                    break;
+                }
+            }
+        }
+    }
+    EXPECT_GT(found, total / 2);
+}
+
+TEST_F(DetectorModels, CocoMapStricterThanMapAtPointFive)
+{
+    const double coco = heavy_->evaluateCocoMap(*dataset_, 60);
+    const double at_half = heavy_->evaluateMap(*dataset_, 60);
+    EXPECT_LE(coco, at_half);
+    EXPECT_GT(coco, 0.0);
+}
+
+TEST_F(DetectorModels, Int8MeetsQualityTarget)
+{
+    // Table I: object detection targets 99% of FP32 mAP.
+    ObjectDetector q = ObjectDetector::ssdResnet34Proxy(*dataset_);
+    EXPECT_GT(q.quantize(*dataset_), 0);
+    const double int8_map = q.evaluateMap(*dataset_, kEvalCount);
+    EXPECT_TRUE(metrics::meetsTarget(int8_map, heavyMap_, 0.99))
+        << "int8=" << int8_map << " fp32=" << heavyMap_;
+}
+
+TEST_F(DetectorModels, DeterministicDetections)
+{
+    const auto a = heavy_->detect(dataset_->image(5), 5);
+    const auto b = heavy_->detect(dataset_->image(5), 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cls, b[i].cls);
+        EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+        EXPECT_DOUBLE_EQ(a[i].box.x0, b[i].box.x0);
+    }
+}
+
+} // namespace
+} // namespace models
+} // namespace mlperf

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the GNMT proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/translation.h"
+#include "metrics/accuracy.h"
+#include "models/translator.h"
+
+namespace mlperf {
+namespace models {
+namespace {
+
+class TranslatorModel : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dataset_ = new data::TranslationDataset();
+        model_ = new Translator(Translator::gnmtProxy(*dataset_));
+        bleu_ = model_->evaluateBleu(*dataset_, 120);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        delete dataset_;
+        model_ = nullptr;
+        dataset_ = nullptr;
+    }
+
+    static data::TranslationDataset *dataset_;
+    static Translator *model_;
+    static double bleu_;
+};
+
+data::TranslationDataset *TranslatorModel::dataset_ = nullptr;
+Translator *TranslatorModel::model_ = nullptr;
+double TranslatorModel::bleu_ = 0.0;
+
+TEST_F(TranslatorModel, BleuIsHighButImperfect)
+{
+    EXPECT_GT(bleu_, 60.0);
+    EXPECT_LT(bleu_, 99.5);
+}
+
+TEST_F(TranslatorModel, TranslationsEndWithEosAndUseWordTokens)
+{
+    for (int64_t i = 0; i < 20; ++i) {
+        const auto out = model_->translate(dataset_->source(i));
+        ASSERT_FALSE(out.empty());
+        for (size_t t = 0; t + 1 < out.size(); ++t) {
+            EXPECT_NE(out[t], data::kPadToken);
+            EXPECT_NE(out[t], data::kBosToken);
+        }
+        // Output never exceeds the source length (tokenwise task).
+        EXPECT_LE(out.size(), dataset_->source(i).size());
+    }
+}
+
+TEST_F(TranslatorModel, MostTokensFollowTheLexicon)
+{
+    int64_t correct = 0, total = 0;
+    for (int64_t i = 0; i < 30; ++i) {
+        const auto src = dataset_->source(i);
+        const auto out = model_->translate(src);
+        const size_t n = std::min(out.size(), src.size());
+        for (size_t t = 0; t + 1 < n; ++t) {
+            ++total;
+            if (out[t] == dataset_->translateWord(src[t]))
+                ++correct;
+        }
+    }
+    EXPECT_GT(correct, total * 3 / 5);
+}
+
+TEST_F(TranslatorModel, DeterministicTranslations)
+{
+    Translator again = Translator::gnmtProxy(*dataset_);
+    for (int64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(again.translate(dataset_->source(i)),
+                  model_->translate(dataset_->source(i)));
+}
+
+TEST_F(TranslatorModel, Int8ProjectionMeetsQualityTarget)
+{
+    // Table I: GNMT targets 99% of the FP32 SacreBLEU score.
+    Translator q = Translator::gnmtProxy(*dataset_);
+    EXPECT_GT(q.quantize(*dataset_), 0);
+    const double int8_bleu = q.evaluateBleu(*dataset_, 120);
+    EXPECT_TRUE(metrics::meetsTarget(int8_bleu, bleu_, 0.99))
+        << "int8=" << int8_bleu << " fp32=" << bleu_;
+}
+
+TEST_F(TranslatorModel, FlopsScaleWithSentenceLength)
+{
+    EXPECT_GT(model_->flopsPerSentence(20),
+              1.9 * static_cast<double>(model_->flopsPerSentence(10)));
+    EXPECT_GT(model_->paramCount(), 0u);
+}
+
+TEST_F(TranslatorModel, RnnMotifCostDiffersFromCnns)
+{
+    // GNMT exists in the suite to cover the RNN compute motif: its
+    // cost is per-token, unlike the fixed per-image CNN cost.
+    const uint64_t f4 = model_->flopsPerSentence(4);
+    const uint64_t f16 = model_->flopsPerSentence(16);
+    EXPECT_NEAR(static_cast<double>(f16) / static_cast<double>(f4),
+                4.0, 0.5);
+}
+
+} // namespace
+} // namespace models
+} // namespace mlperf

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for activation functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace mlperf {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Relu, ClampsNegatives)
+{
+    Tensor t(Shape{4}, {-1.0f, 0.0f, 2.0f, -0.5f});
+    reluInplace(t);
+    EXPECT_FLOAT_EQ(t[0], 0.0f);
+    EXPECT_FLOAT_EQ(t[1], 0.0f);
+    EXPECT_FLOAT_EQ(t[2], 2.0f);
+    EXPECT_FLOAT_EQ(t[3], 0.0f);
+}
+
+TEST(Sigmoid, KnownValues)
+{
+    Tensor t(Shape{3}, {0.0f, 100.0f, -100.0f});
+    sigmoidInplace(t);
+    EXPECT_FLOAT_EQ(t[0], 0.5f);
+    EXPECT_NEAR(t[1], 1.0f, 1e-6);
+    EXPECT_NEAR(t[2], 0.0f, 1e-6);
+}
+
+TEST(Tanh, KnownValues)
+{
+    Tensor t(Shape{2}, {0.0f, 1.0f});
+    tanhInplace(t);
+    EXPECT_FLOAT_EQ(t[0], 0.0f);
+    EXPECT_NEAR(t[1], std::tanh(1.0f), 1e-6);
+}
+
+TEST(Softmax, RowsSumToOne)
+{
+    Tensor logits(Shape{2, 3}, {1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f});
+    Tensor p = softmax(logits);
+    for (int64_t b = 0; b < 2; ++b) {
+        double sum = 0.0;
+        for (int64_t c = 0; c < 3; ++c) {
+            EXPECT_GT(p.at(b, c), 0.0f);
+            sum += p.at(b, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+}
+
+TEST(Softmax, PreservesOrdering)
+{
+    Tensor logits(Shape{1, 3}, {1.0f, 3.0f, 2.0f});
+    Tensor p = softmax(logits);
+    EXPECT_GT(p[1], p[2]);
+    EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits)
+{
+    Tensor logits(Shape{1, 2}, {10000.0f, 9999.0f});
+    Tensor p = softmax(logits);
+    EXPECT_FALSE(std::isnan(p[0]));
+    EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-6);
+    EXPECT_GT(p[0], p[1]);
+}
+
+TEST(ArgmaxRows, PicksMaxPerRow)
+{
+    Tensor t(Shape{3, 4},
+             {0, 1, 2, 3,
+              9, 1, 2, 3,
+              0, 5, 5, 0});
+    auto idx = argmaxRows(t);
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[0], 3);
+    EXPECT_EQ(idx[1], 0);
+    EXPECT_EQ(idx[2], 1);  // ties break to the first
+}
+
+} // namespace
+} // namespace nn
+} // namespace mlperf

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for layers, the sequential container, and FLOP accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace mlperf {
+namespace nn {
+namespace {
+
+using tensor::Conv2dParams;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::unique_ptr<Conv2dLayer>
+makeConv(int64_t in_c, int64_t out_c, int64_t k, int64_t stride,
+         bool relu, uint64_t seed)
+{
+    Rng rng(seed);
+    Conv2dParams p{k, k, stride, stride, k / 2, k / 2};
+    return std::make_unique<Conv2dLayer>(
+        heNormal(Shape{out_c, in_c, k, k}, in_c * k * k, rng),
+        zeroBias(out_c), p, relu);
+}
+
+TEST(Conv2dLayer, FusedReluClampsOutput)
+{
+    // All-negative weights on positive input -> zero after ReLU.
+    Tensor w = Tensor::full(Shape{1, 1, 1, 1}, -1.0f);
+    Conv2dLayer layer(std::move(w), {}, Conv2dParams{1, 1, 1, 1, 0, 0},
+                      /*fuse_relu=*/true);
+    Tensor input = Tensor::full(Shape{1, 1, 2, 2}, 3.0f);
+    Tensor out = layer.forward(input);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_FLOAT_EQ(out[i], 0.0f);
+}
+
+TEST(Conv2dLayer, ShapesAndCounts)
+{
+    auto layer = makeConv(3, 8, 3, 2, true, 1);
+    const Shape in{1, 3, 16, 16};
+    EXPECT_EQ(layer->outputShape(in), Shape({1, 8, 8, 8}));
+    EXPECT_EQ(layer->paramCount(), 8u * 3 * 3 * 3 + 8);
+    // 2 * (3*3*3) MACs per output pixel * 8*8*8 outputs.
+    EXPECT_EQ(layer->flops(in), 2u * 27 * 8 * 8 * 8);
+}
+
+TEST(DenseLayer, ForwardAndCounts)
+{
+    Tensor w(Shape{2, 3}, {1, 1, 1, 2, 2, 2});
+    DenseLayer layer(std::move(w), {0.0f, 1.0f});
+    Tensor x(Shape{1, 3}, {1, 2, 3});
+    Tensor y = layer.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 6.0f);
+    EXPECT_FLOAT_EQ(y[1], 13.0f);
+    EXPECT_EQ(layer.paramCount(), 8u);
+    EXPECT_EQ(layer.flops(Shape{1, 3}), 12u);
+}
+
+TEST(DenseLayer, OptionalRelu)
+{
+    Tensor w(Shape{1, 1}, {-1.0f});
+    DenseLayer with_relu(Tensor(w.shape(), {-1.0f}), {}, true);
+    DenseLayer without(Tensor(w.shape(), {-1.0f}), {}, false);
+    Tensor x(Shape{1, 1}, {5.0f});
+    EXPECT_FLOAT_EQ(with_relu.forward(x)[0], 0.0f);
+    EXPECT_FLOAT_EQ(without.forward(x)[0], -5.0f);
+}
+
+TEST(ResidualBlock, IdentitySkipAddsInput)
+{
+    // Zero conv weights (no relu on conv2): output = relu(skip) = input.
+    auto conv1 = std::make_unique<Conv2dLayer>(
+        Tensor(Shape{2, 2, 3, 3}), zeroBias(2), Conv2dParams{}, true);
+    auto conv2 = std::make_unique<Conv2dLayer>(
+        Tensor(Shape{2, 2, 3, 3}), zeroBias(2), Conv2dParams{}, false);
+    ResidualBlock block(std::move(conv1), std::move(conv2), nullptr);
+    Tensor input = Tensor::full(Shape{1, 2, 4, 4}, 1.5f);
+    Tensor out = block.forward(input);
+    ASSERT_EQ(out.shape(), input.shape());
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_FLOAT_EQ(out[i], 1.5f);
+}
+
+TEST(ResidualBlock, ProjectionHandlesShapeChange)
+{
+    auto conv1 = makeConv(2, 4, 3, 2, true, 10);
+    auto conv2 = makeConv(4, 4, 3, 1, false, 11);
+    auto proj = makeConv(2, 4, 1, 2, false, 12);
+    ResidualBlock block(std::move(conv1), std::move(conv2),
+                        std::move(proj));
+    const Shape in{1, 2, 8, 8};
+    EXPECT_EQ(block.outputShape(in), Shape({1, 4, 4, 4}));
+    Tensor out = block.forward(Tensor::full(in, 0.5f));
+    EXPECT_EQ(out.shape(), Shape({1, 4, 4, 4}));
+    // Post-add ReLU: no negatives.
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_GE(out[i], 0.0f);
+}
+
+TEST(Sequential, ChainsLayersAndShapes)
+{
+    Sequential model("tiny");
+    model.add(makeConv(1, 4, 3, 1, true, 2))
+         .add(std::make_unique<MaxPoolLayer>(2, 2))
+         .add(std::make_unique<GlobalAvgPoolLayer>());
+    const Shape in{2, 1, 8, 8};
+    EXPECT_EQ(model.outputShape(in), Shape({2, 4}));
+    Tensor out = model.forward(Tensor::full(in, 1.0f));
+    EXPECT_EQ(out.shape(), Shape({2, 4}));
+}
+
+TEST(Sequential, FlopsAccumulateAcrossLayers)
+{
+    Sequential model("flops");
+    model.add(makeConv(1, 2, 3, 1, true, 3));
+    const Shape in{1, 1, 4, 4};
+    const uint64_t conv_flops = model.flops(in);
+    EXPECT_GT(conv_flops, 0u);
+    Rng rng(4);
+    model.add(std::make_unique<FlattenLayer>());
+    model.add(std::make_unique<DenseLayer>(
+        heNormal(Shape{10, 32}, 32, rng), zeroBias(10)));
+    EXPECT_EQ(model.flops(in), conv_flops + 2u * 10 * 32);
+    EXPECT_EQ(model.paramCount(), 2u * 9 + 2 + 10 * 32 + 10);
+}
+
+TEST(Sequential, ReplaceLayerSwapsBehaviour)
+{
+    Sequential model("swap");
+    Rng rng(5);
+    model.add(std::make_unique<DenseLayer>(
+        Tensor(Shape{1, 1}, {1.0f}), zeroBias(1)));
+    Tensor x(Shape{1, 1}, {2.0f});
+    EXPECT_FLOAT_EQ(model.forward(x)[0], 2.0f);
+    model.replaceLayer(0, std::make_unique<DenseLayer>(
+        Tensor(Shape{1, 1}, {10.0f}), zeroBias(1)));
+    EXPECT_FLOAT_EQ(model.forward(x)[0], 20.0f);
+}
+
+TEST(DepthwiseLayer, CountsReflectDepthwiseSavings)
+{
+    // Depthwise 3x3 over C channels: params C*9, flops 2*9*C*H*W --
+    // a factor C cheaper than standard conv (the MobileNet trick).
+    Rng rng(6);
+    DepthwiseConv2dLayer dw(heNormal(Shape{8, 1, 3, 3}, 9, rng),
+                            zeroBias(8), Conv2dParams{});
+    const Shape in{1, 8, 10, 10};
+    EXPECT_EQ(dw.paramCount(), 8u * 9 + 8);
+    EXPECT_EQ(dw.flops(in), 2u * 9 * 8 * 10 * 10);
+    EXPECT_EQ(dw.outputShape(in), in);
+}
+
+} // namespace
+} // namespace nn
+} // namespace mlperf

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for embedding, LSTM cell, and attention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/rnn.h"
+
+namespace mlperf {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Embedding, LooksUpRows)
+{
+    Tensor table(Shape{3, 2}, {0, 1, 10, 11, 20, 21});
+    Embedding emb(std::move(table));
+    EXPECT_EQ(emb.vocabSize(), 3);
+    EXPECT_EQ(emb.dim(), 2);
+    Tensor out = emb.forward({2, 0, 2});
+    EXPECT_EQ(out.shape(), Shape({3, 2}));
+    EXPECT_FLOAT_EQ(out.at(0, 0), 20);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 1);
+    EXPECT_FLOAT_EQ(out.at(2, 0), 20);
+}
+
+LSTMCell
+makeCell(int64_t input, int64_t hidden, uint64_t seed)
+{
+    Rng rng(seed);
+    return LSTMCell(heNormal(Shape{4 * hidden, input}, input, rng),
+                    heNormal(Shape{4 * hidden, hidden}, hidden, rng),
+                    zeroBias(4 * hidden));
+}
+
+TEST(LSTMCell, StateShapesAndBounds)
+{
+    LSTMCell cell = makeCell(3, 5, 1);
+    auto state = cell.initialState(2);
+    EXPECT_EQ(state.h.shape(), Shape({2, 5}));
+    Tensor x = Tensor::full(Shape{2, 3}, 0.7f);
+    for (int step = 0; step < 10; ++step) {
+        cell.step(x, state);
+        // h = o * tanh(c) is bounded by (-1, 1).
+        for (int64_t i = 0; i < state.h.numel(); ++i) {
+            EXPECT_GT(state.h[i], -1.0f);
+            EXPECT_LT(state.h[i], 1.0f);
+        }
+    }
+}
+
+TEST(LSTMCell, ZeroWeightsKeepZeroState)
+{
+    LSTMCell cell(Tensor(Shape{8, 1}), Tensor(Shape{8, 2}),
+                  zeroBias(8));
+    auto state = cell.initialState(1);
+    cell.step(Tensor(Shape{1, 1}), state);
+    // All gates sigmoid(0)=0.5, g=tanh(0)=0 -> c=0, h=0.
+    EXPECT_FLOAT_EQ(state.c[0], 0.0f);
+    EXPECT_FLOAT_EQ(state.h[0], 0.0f);
+}
+
+TEST(LSTMCell, RemembersThroughForgetGate)
+{
+    // Hand-crafted cell: input gate and forget gate saturated open,
+    // output gate open; cell accumulates tanh(x-ish) each step.
+    const int64_t hidden = 1, input = 1;
+    Tensor w_x(Shape{4 * hidden, input}, {0, 0, 1, 0});
+    Tensor w_h(Shape{4 * hidden, hidden}, {0, 0, 0, 0});
+    std::vector<float> bias = {100, 100, 0, 100};  // i,f,o wide open
+    LSTMCell cell(std::move(w_x), std::move(w_h), std::move(bias));
+    auto state = cell.initialState(1);
+    Tensor x(Shape{1, 1}, {1.0f});
+    cell.step(x, state);
+    const float c1 = state.c[0];
+    EXPECT_NEAR(c1, std::tanh(1.0f), 1e-4);
+    cell.step(x, state);
+    // Perfect remembering: c2 = c1 + tanh(1).
+    EXPECT_NEAR(state.c[0], 2 * std::tanh(1.0f), 1e-3);
+}
+
+TEST(LSTMCell, CountsMatchFormula)
+{
+    LSTMCell cell = makeCell(16, 32, 2);
+    EXPECT_EQ(cell.paramCount(),
+              4u * 32 * 16 + 4u * 32 * 32 + 4u * 32);
+    EXPECT_EQ(cell.flopsPerStep(), 2u * (4 * 32 * 16 + 4 * 32 * 32));
+}
+
+TEST(DotAttention, UniformStatesGiveAverage)
+{
+    Tensor enc(Shape{4, 2},
+               {1, 0,
+                0, 1,
+                1, 0,
+                0, 1});
+    Tensor query(Shape{1, 2}, {0, 0});  // zero query: uniform weights
+    Tensor ctx = dotAttention(enc, query);
+    EXPECT_NEAR(ctx[0], 0.5f, 1e-6);
+    EXPECT_NEAR(ctx[1], 0.5f, 1e-6);
+}
+
+TEST(DotAttention, FocusesOnAlignedState)
+{
+    Tensor enc(Shape{2, 2},
+               {10, 0,
+                0, 10});
+    Tensor query(Shape{1, 2}, {1, 0});  // aligned with state 0
+    Tensor ctx = dotAttention(enc, query);
+    EXPECT_GT(ctx[0], 9.9f);
+    EXPECT_LT(ctx[1], 0.1f);
+}
+
+TEST(DotAttention, StableForLargeScores)
+{
+    Tensor enc(Shape{2, 2}, {1000, 0, 0, 1000});
+    Tensor query(Shape{1, 2}, {1000, 0});
+    Tensor ctx = dotAttention(enc, query);
+    EXPECT_FALSE(std::isnan(ctx[0]));
+    EXPECT_NEAR(ctx[0], 1000.0f, 1e-3);
+}
+
+} // namespace
+} // namespace nn
+} // namespace mlperf

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for quantization primitives and format emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/quant.h"
+
+namespace mlperf {
+namespace quant {
+namespace {
+
+TEST(FormatRegistry, NamesAndBits)
+{
+    EXPECT_EQ(formatName(NumericFormat::INT8), "INT8");
+    EXPECT_EQ(formatName(NumericFormat::BF16), "bfloat16");
+    EXPECT_EQ(formatBits(NumericFormat::INT4), 4);
+    EXPECT_EQ(formatBits(NumericFormat::FP11), 11);
+    EXPECT_EQ(formatBits(NumericFormat::FP32), 32);
+    EXPECT_TRUE(isIntegerFormat(NumericFormat::UINT16));
+    EXPECT_FALSE(isIntegerFormat(NumericFormat::FP16));
+}
+
+TEST(ChooseQuantParams, SymmetricHasZeroZeroPoint)
+{
+    const QuantParams p = chooseQuantParams(-3.0f, 5.0f, 8, true);
+    EXPECT_EQ(p.zeroPoint, 0);
+    EXPECT_EQ(p.qmax, 127);
+    EXPECT_EQ(p.qmin, -127);
+    // Range must cover the larger magnitude.
+    EXPECT_NEAR(p.scale * 127, 5.0f, 1e-5);
+}
+
+TEST(ChooseQuantParams, AsymmetricMapsZeroExactly)
+{
+    const QuantParams p = chooseQuantParams(-0.5f, 7.5f, 8, false);
+    // Real 0 must map to an exact integer code (for zero padding).
+    const int32_t zero_code = p.quantize(0.0f);
+    EXPECT_NEAR(p.dequantize(zero_code), 0.0f, 1e-6);
+}
+
+TEST(ChooseQuantParams, DegenerateRangeStillValid)
+{
+    const QuantParams p = chooseQuantParams(0.0f, 0.0f, 8, false);
+    EXPECT_GT(p.scale, 0.0f);
+    EXPECT_EQ(p.quantize(0.0f), p.zeroPoint);
+}
+
+TEST(QuantParams, ClampsOutOfRange)
+{
+    const QuantParams p = chooseQuantParams(-1.0f, 1.0f, 8, true);
+    EXPECT_EQ(p.quantize(100.0f), 127);
+    EXPECT_EQ(p.quantize(-100.0f), -127);
+}
+
+TEST(QuantizeRoundTrip, ErrorBoundedByHalfScale)
+{
+    Rng rng(11);
+    const QuantParams p = chooseQuantParams(-4.0f, 4.0f, 8, false);
+    for (int i = 0; i < 10000; ++i) {
+        const float x =
+            8.0f * static_cast<float>(rng.nextDouble()) - 4.0f;
+        const float back = p.dequantize(p.quantize(x));
+        EXPECT_LE(std::abs(back - x), p.scale * 0.5f + 1e-6f);
+    }
+}
+
+TEST(QuantizeBuffer, VectorRoundTrip)
+{
+    const QuantParams p = chooseQuantParams(-2.0f, 2.0f, 8, true);
+    std::vector<float> src = {-2.0f, -1.0f, 0.0f, 1.0f, 2.0f};
+    std::vector<int8_t> q(src.size());
+    std::vector<float> back(src.size());
+    quantizeBuffer(src.data(), q.data(), 5, p);
+    dequantizeBuffer(q.data(), back.data(), 5, p);
+    EXPECT_EQ(q[2], 0);
+    for (size_t i = 0; i < src.size(); ++i)
+        EXPECT_NEAR(back[i], src[i], p.scale);
+}
+
+TEST(FourBitQuantization, CoarserThanEightBit)
+{
+    const QuantParams p8 = chooseQuantParams(-1.0f, 1.0f, 8, true);
+    const QuantParams p4 = chooseQuantParams(-1.0f, 1.0f, 4, true);
+    EXPECT_EQ(p4.qmax, 7);
+    EXPECT_GT(p4.scale, p8.scale);
+}
+
+TEST(CastThroughFloat, Fp32IsIdentity)
+{
+    EXPECT_EQ(castThroughFloat(1.2345678f, NumericFormat::FP32),
+              1.2345678f);
+}
+
+TEST(CastThroughFloat, Fp16PreservesSmallIntegers)
+{
+    for (float v : {0.0f, 1.0f, -2.0f, 1024.0f})
+        EXPECT_EQ(castThroughFloat(v, NumericFormat::FP16), v);
+}
+
+TEST(CastThroughFloat, Fp16RelativeErrorBounded)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const float x = static_cast<float>(rng.nextGaussian()) * 100.0f;
+        const float y = castThroughFloat(x, NumericFormat::FP16);
+        if (x != 0.0f) {
+            EXPECT_LE(std::abs(y - x) / std::abs(x), 1.0f / 1024.0f);
+        }
+    }
+}
+
+TEST(CastThroughFloat, PrecisionOrderingFp16Fp11Bf16)
+{
+    // Mantissa bits: FP16=10, FP11=5, BF16=7 -> error ordering.
+    const float x = 1.0f + 1.0f / 300.0f;
+    const float e16 = std::abs(castThroughFloat(x, NumericFormat::FP16) - x);
+    const float e11 = std::abs(castThroughFloat(x, NumericFormat::FP11) - x);
+    const float ebf = std::abs(castThroughFloat(x, NumericFormat::BF16) - x);
+    EXPECT_LE(e16, ebf);
+    EXPECT_LE(ebf, e11);
+}
+
+TEST(CastThroughFloat, Fp16ClampsToMaxMagnitude)
+{
+    const float y = castThroughFloat(1e6f, NumericFormat::FP16);
+    EXPECT_NEAR(y, 65504.0f, 1.0f);
+    EXPECT_EQ(castThroughFloat(-1e6f, NumericFormat::FP16), -y);
+}
+
+TEST(GemmInt8, MatchesWideArithmetic)
+{
+    Rng rng(17);
+    const int64_t m = 5, n = 7, k = 9;
+    std::vector<int8_t> a(m * k), b(k * n);
+    for (auto &v : a)
+        v = static_cast<int8_t>(rng.nextInRange(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int8_t>(rng.nextInRange(-128, 127));
+    std::vector<int32_t> c(m * n);
+    gemmInt8(a.data(), b.data(), c.data(), m, n, k);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            int64_t ref = 0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                ref += static_cast<int64_t>(a[i * k + kk]) *
+                       b[kk * n + j];
+            EXPECT_EQ(c[i * n + j], ref);
+        }
+    }
+}
+
+} // namespace
+} // namespace quant
+} // namespace mlperf

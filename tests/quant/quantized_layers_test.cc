@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for INT8 layers and the whole-model quantization pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/sequential.h"
+#include "quant/calibration.h"
+#include "quant/quantize_model.h"
+#include "quant/quantized_layers.h"
+
+namespace mlperf {
+namespace quant {
+namespace {
+
+using tensor::Conv2dParams;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor
+randomTensor(Shape shape, uint64_t seed, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = scale * static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
+TEST(RangeTracker, MinMaxTracksExtremes)
+{
+    RangeTracker tr;
+    tr.observe(Tensor(Shape{2}, {1.0f, 3.0f}));
+    tr.observe(Tensor(Shape{2}, {-2.0f, 0.5f}));
+    EXPECT_FLOAT_EQ(tr.calibratedMin(), -2.0f);
+    EXPECT_FLOAT_EQ(tr.calibratedMax(), 3.0f);
+}
+
+TEST(RangeTracker, AveragedMinMaxDiscountsOutliers)
+{
+    RangeTracker tr(CalibrationMethod::AveragedMinMax);
+    for (int i = 0; i < 9; ++i)
+        tr.observe(Tensor(Shape{2}, {-1.0f, 1.0f}));
+    tr.observe(Tensor(Shape{2}, {-100.0f, 100.0f}));  // outlier batch
+    EXPECT_NEAR(tr.calibratedMax(), 10.9f, 1e-4);
+    EXPECT_NEAR(tr.calibratedMin(), -10.9f, 1e-4);
+}
+
+TEST(QuantizedWeights, PerChannelScales)
+{
+    // Channel 0 in [-1,1], channel 1 in [-10,10]: scales differ 10x.
+    Tensor w(Shape{2, 4}, {1, -1, 0.5f, -0.5f, 10, -10, 5, -5});
+    const auto q = QuantizedWeights::quantize(w, 8);
+    EXPECT_EQ(q.channels, 2);
+    EXPECT_EQ(q.perChannel, 4);
+    EXPECT_NEAR(q.scales[1] / q.scales[0], 10.0f, 1e-4);
+    // Codes at range edges hit +-127.
+    EXPECT_EQ(q.data[0], 127);
+    EXPECT_EQ(q.data[1], -127);
+    EXPECT_EQ(q.rowSums[0], 127 - 127 + 64 - 64);
+}
+
+TEST(QuantizedDense, CloseToFp32Reference)
+{
+    Rng rng(21);
+    const int64_t in = 32, out = 16;
+    nn::DenseLayer fp32(nn::heNormal(Shape{out, in}, in, rng),
+                        nn::randomBias(out, 0.1f, rng), false);
+    QuantizedDenseLayer q(fp32, -3.0f, 3.0f);
+
+    Tensor x = randomTensor(Shape{4, in}, 22);
+    Tensor y_ref = fp32.forward(x);
+    Tensor y_q = q.forward(x);
+    ASSERT_EQ(y_q.shape(), y_ref.shape());
+    const float range =
+        y_ref.maxValue() - y_ref.minValue();
+    for (int64_t i = 0; i < y_ref.numel(); ++i)
+        EXPECT_NEAR(y_q[i], y_ref[i], 0.05f * range) << "i=" << i;
+}
+
+TEST(QuantizedDense, ReluFusionPreserved)
+{
+    Rng rng(23);
+    nn::DenseLayer fp32(nn::heNormal(Shape{8, 8}, 8, rng),
+                        nn::zeroBias(8), /*fuse_relu=*/true);
+    QuantizedDenseLayer q(fp32, -3.0f, 3.0f);
+    Tensor y = q.forward(randomTensor(Shape{2, 8}, 24));
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_GE(y[i], 0.0f);
+}
+
+TEST(QuantizedConv, CloseToFp32Reference)
+{
+    Rng rng(25);
+    Conv2dParams p;  // 3x3 s1 p1
+    nn::Conv2dLayer fp32(
+        nn::heNormal(Shape{8, 4, 3, 3}, 36, rng), nn::zeroBias(8), p,
+        /*fuse_relu=*/false);
+    QuantizedConv2dLayer q(fp32, -3.0f, 3.0f);
+
+    Tensor x = randomTensor(Shape{1, 4, 8, 8}, 26);
+    Tensor y_ref = fp32.forward(x);
+    Tensor y_q = q.forward(x);
+    ASSERT_EQ(y_q.shape(), y_ref.shape());
+    const float range = y_ref.maxValue() - y_ref.minValue();
+    for (int64_t i = 0; i < y_ref.numel(); ++i)
+        EXPECT_NEAR(y_q[i], y_ref[i], 0.05f * range);
+}
+
+TEST(QuantizedConv, ZeroPaddingExact)
+{
+    // A conv whose input is all zeros must produce exactly bias, even
+    // with an asymmetric activation zero point.
+    Rng rng(27);
+    Conv2dParams p;
+    nn::Conv2dLayer fp32(nn::heNormal(Shape{2, 1, 3, 3}, 9, rng),
+                         {0.25f, -0.75f}, p, false);
+    QuantizedConv2dLayer q(fp32, -1.0f, 5.0f);  // asymmetric range
+    Tensor y = q.forward(Tensor(Shape{1, 1, 4, 4}));
+    for (int64_t i = 0; i < 16; ++i) {
+        EXPECT_NEAR(y[i], 0.25f, 1e-2);
+        EXPECT_NEAR(y[16 + i], -0.75f, 1e-2);
+    }
+}
+
+TEST(QuantizedLayers, CountsMatchFp32)
+{
+    Rng rng(29);
+    nn::DenseLayer fp32(nn::heNormal(Shape{8, 4}, 4, rng),
+                        nn::zeroBias(8), false);
+    QuantizedDenseLayer q(fp32, -1.0f, 1.0f);
+    EXPECT_EQ(q.paramCount(), fp32.paramCount());
+    EXPECT_EQ(q.flops(Shape{1, 4}), fp32.flops(Shape{1, 4}));
+}
+
+TEST(QuantizedDepthwise, CloseToFp32Reference)
+{
+    Rng rng(41);
+    Conv2dParams p;  // 3x3 s1 p1
+    nn::DepthwiseConv2dLayer fp32(
+        nn::heNormal(Shape{6, 1, 3, 3}, 9, rng), nn::zeroBias(6), p,
+        /*fuse_relu=*/false);
+    QuantizedDepthwiseConv2dLayer q(fp32, -3.0f, 3.0f);
+    Tensor x = randomTensor(Shape{1, 6, 8, 8}, 42);
+    Tensor y_ref = fp32.forward(x);
+    Tensor y_q = q.forward(x);
+    ASSERT_EQ(y_q.shape(), y_ref.shape());
+    const float range = y_ref.maxValue() - y_ref.minValue();
+    for (int64_t i = 0; i < y_ref.numel(); ++i)
+        EXPECT_NEAR(y_q[i], y_ref[i], 0.05f * range);
+    EXPECT_EQ(q.paramCount(), fp32.paramCount());
+    EXPECT_EQ(q.flops(x.shape()), fp32.flops(x.shape()));
+}
+
+TEST(QuantizedDepthwise, PaddingContributesZero)
+{
+    // All-ones filter on all-zero input: output must be ~0 even with
+    // an asymmetric activation range (padding = zero point).
+    nn::DepthwiseConv2dLayer fp32(
+        Tensor::full(Shape{1, 1, 3, 3}, 1.0f), nn::zeroBias(1),
+        Conv2dParams{}, false);
+    QuantizedDepthwiseConv2dLayer q(fp32, -1.0f, 7.0f);
+    Tensor y = q.forward(Tensor(Shape{1, 1, 4, 4}));
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], 0.0f, 1e-2);
+}
+
+TEST(QuantizedResidual, MatchesFp32Block)
+{
+    Rng rng(43);
+    Conv2dParams p;
+    auto c1 = std::make_unique<nn::Conv2dLayer>(
+        nn::heNormal(Shape{4, 4, 3, 3}, 36, rng), nn::zeroBias(4), p,
+        true);
+    auto c2 = std::make_unique<nn::Conv2dLayer>(
+        nn::heNormal(Shape{4, 4, 3, 3}, 36, rng), nn::zeroBias(4), p,
+        false);
+    nn::ResidualBlock fp32(std::move(c1), std::move(c2), nullptr);
+
+    // Calibrate the mid range from an actual pass.
+    Tensor x = randomTensor(Shape{1, 4, 6, 6}, 44);
+    Tensor mid = fp32.conv1().forward(x);
+    QuantizedResidualBlock q(fp32, x.minValue(), x.maxValue(),
+                             mid.minValue(), mid.maxValue());
+    Tensor y_ref = fp32.forward(x);
+    Tensor y_q = q.forward(x);
+    ASSERT_EQ(y_q.shape(), y_ref.shape());
+    const float range = y_ref.maxValue() - y_ref.minValue();
+    for (int64_t i = 0; i < y_ref.numel(); ++i)
+        EXPECT_NEAR(y_q[i], y_ref[i], 0.08f * range);
+    // Post-add ReLU preserved.
+    for (int64_t i = 0; i < y_q.numel(); ++i)
+        EXPECT_GE(y_q[i], 0.0f);
+    EXPECT_EQ(q.paramCount(), fp32.paramCount());
+    EXPECT_EQ(q.flops(x.shape()), fp32.flops(x.shape()));
+}
+
+nn::Sequential
+makeTinyCnn(uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Sequential model("tiny_cnn");
+    Conv2dParams p;
+    model.add(std::make_unique<nn::Conv2dLayer>(
+        nn::heNormal(Shape{4, 1, 3, 3}, 9, rng), nn::zeroBias(4), p,
+        true));
+    model.add(std::make_unique<nn::MaxPoolLayer>(2, 2));
+    model.add(std::make_unique<nn::FlattenLayer>());
+    model.add(std::make_unique<nn::DenseLayer>(
+        nn::heNormal(Shape{3, 4 * 4 * 4}, 64, rng), nn::zeroBias(3),
+        false));
+    return model;
+}
+
+TEST(QuantizeSequential, ReplacesEligibleLayers)
+{
+    nn::Sequential model = makeTinyCnn(31);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 4; ++i)
+        calib.push_back(randomTensor(Shape{1, 1, 8, 8}, 100 + i));
+    QuantizeOptions all;
+    all.keepLastLayerFp32 = false;
+    const int n = quantizeSequential(model, calib, all);
+    EXPECT_EQ(n, 2);  // conv + dense; pool and flatten untouched
+    EXPECT_EQ(model.layer(0).name(), "q_conv2d");
+    EXPECT_EQ(model.layer(3).name(), "q_dense");
+    EXPECT_EQ(model.layer(1).name(), "maxpool");
+}
+
+TEST(QuantizeSequential, OutputsTrackFp32Model)
+{
+    nn::Sequential fp32 = makeTinyCnn(33);
+    nn::Sequential int8 = makeTinyCnn(33);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 8; ++i)
+        calib.push_back(randomTensor(Shape{1, 1, 8, 8}, 200 + i));
+    QuantizeOptions all;
+    all.keepLastLayerFp32 = false;
+    quantizeSequential(int8, calib, all);
+
+    Tensor x = randomTensor(Shape{1, 1, 8, 8}, 300);
+    Tensor y_ref = fp32.forward(x);
+    Tensor y_q = int8.forward(x);
+    const float range = y_ref.maxValue() - y_ref.minValue();
+    for (int64_t i = 0; i < y_ref.numel(); ++i)
+        EXPECT_NEAR(y_q[i], y_ref[i], 0.1f * range);
+}
+
+TEST(QuantizeSequential, UncalibratedIsWorseThanCalibrated)
+{
+    // The core lesson of Sec. IV-A: quantization without a calibration
+    // set produces larger error.
+    nn::Sequential fp32 = makeTinyCnn(35);
+    nn::Sequential calibrated = makeTinyCnn(35);
+    nn::Sequential blind = makeTinyCnn(35);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 8; ++i)
+        calib.push_back(randomTensor(Shape{1, 1, 8, 8}, 400 + i));
+    QuantizeOptions all;
+    all.keepLastLayerFp32 = false;
+    quantizeSequential(calibrated, calib, all);
+    QuantizeOptions no_calib;
+    no_calib.keepLastLayerFp32 = false;
+    no_calib.calibrate = false;
+    no_calib.nominalRange = 64.0f;  // badly mismatched range
+    quantizeSequential(blind, calib, no_calib);
+
+    double err_cal = 0.0, err_blind = 0.0;
+    for (int trial = 0; trial < 8; ++trial) {
+        Tensor x = randomTensor(Shape{1, 1, 8, 8}, 500 + trial);
+        Tensor y_ref = fp32.forward(x);
+        Tensor y_c = calibrated.forward(x);
+        Tensor y_b = blind.forward(x);
+        for (int64_t i = 0; i < y_ref.numel(); ++i) {
+            err_cal += std::abs(y_c[i] - y_ref[i]);
+            err_blind += std::abs(y_b[i] - y_ref[i]);
+        }
+    }
+    EXPECT_LT(err_cal, err_blind);
+}
+
+TEST(QuantizeSequential, FourBitLosesMoreThanEightBit)
+{
+    nn::Sequential fp32 = makeTinyCnn(37);
+    nn::Sequential q8 = makeTinyCnn(37);
+    nn::Sequential q4 = makeTinyCnn(37);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 8; ++i)
+        calib.push_back(randomTensor(Shape{1, 1, 8, 8}, 600 + i));
+    QuantizeOptions opt8;
+    opt8.keepLastLayerFp32 = false;
+    quantizeSequential(q8, calib, opt8);
+    QuantizeOptions opt4;
+    opt4.keepLastLayerFp32 = false;
+    opt4.bits = 4;
+    quantizeSequential(q4, calib, opt4);
+
+    double err8 = 0.0, err4 = 0.0;
+    for (int trial = 0; trial < 8; ++trial) {
+        Tensor x = randomTensor(Shape{1, 1, 8, 8}, 700 + trial);
+        Tensor y_ref = fp32.forward(x);
+        Tensor y8 = q8.forward(x);
+        Tensor y4 = q4.forward(x);
+        for (int64_t i = 0; i < y_ref.numel(); ++i) {
+            err8 += std::abs(y8[i] - y_ref[i]);
+            err4 += std::abs(y4[i] - y_ref[i]);
+        }
+    }
+    EXPECT_LT(err8, err4);
+}
+
+} // namespace
+} // namespace quant
+} // namespace mlperf

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for submission records, the results page, and the timeline
+ * CSV detail log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "loadgen/loadgen.h"
+#include "report/submission.h"
+#include "sim/virtual_executor.h"
+
+namespace mlperf {
+namespace report {
+namespace {
+
+SubmissionResult
+makeResult(Division division, const std::string &deviations = "")
+{
+    SubmissionResult r;
+    r.system = {"sys-1", "acme", "GPU", 2, "TensorRT", "available"};
+    r.division = division;
+    r.benchmark = "ResNet-50 v1.5";
+    r.scenario = "Server";
+    r.metric = 1234.5;
+    r.metricLabel = "qps";
+    r.valid = true;
+    r.openDeviations = deviations;
+    return r;
+}
+
+TEST(ResultsPage, ClosedDivisionFields)
+{
+    const std::string page = renderResultsPage(
+        {makeResult(Division::Closed)});
+    EXPECT_NE(page.find("closed division"), std::string::npos);
+    EXPECT_NE(page.find("sys-1"), std::string::npos);
+    EXPECT_NE(page.find("acme"), std::string::npos);
+    EXPECT_NE(page.find("TensorRT"), std::string::npos);
+    EXPECT_NE(page.find("ResNet-50 v1.5"), std::string::npos);
+    EXPECT_NE(page.find("VALID"), std::string::npos);
+    // Sec. V-C: no summary score, ever.
+    EXPECT_NE(page.find("No summary score"), std::string::npos);
+    EXPECT_EQ(page.find("open division"), std::string::npos);
+}
+
+TEST(ResultsPage, OpenRequiresDeviationDocs)
+{
+    EXPECT_THROW(renderResultsPage({makeResult(Division::Open)}),
+                 std::invalid_argument);
+    const std::string page = renderResultsPage(
+        {makeResult(Division::Open, "INT4 weights")});
+    EXPECT_NE(page.find("open division"), std::string::npos);
+    EXPECT_NE(page.find("INT4 weights"), std::string::npos);
+}
+
+TEST(ResultsPage, BothDivisionsRendered)
+{
+    const std::string page = renderResultsPage(
+        {makeResult(Division::Closed),
+         makeResult(Division::Open, "custom model")});
+    EXPECT_LT(page.find("closed division"),
+              page.find("open division"));
+}
+
+TEST(ResultsPage, InvalidResultsMarked)
+{
+    auto r = makeResult(Division::Closed);
+    r.valid = false;
+    const std::string page = renderResultsPage({r});
+    EXPECT_NE(page.find("INVALID"), std::string::npos);
+}
+
+TEST(TimelineCsv, RowsMatchTimeline)
+{
+    loadgen::TestResult r;
+    r.scenario = loadgen::Scenario::SingleStream;
+    r.timeline = {{0, 0, 100}, {100, 100, 250}};
+    const std::string csv = r.timelineCsv();
+    EXPECT_NE(csv.find("query,scheduled_ns,issued_ns,completed_ns,"
+                       "latency_ns"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0,0,0,100,100"), std::string::npos);
+    EXPECT_NE(csv.find("1,100,100,250,150"), std::string::npos);
+}
+
+TEST(TimelineCsv, ServerLatencyFromScheduled)
+{
+    loadgen::TestResult r;
+    r.scenario = loadgen::Scenario::Server;
+    r.timeline = {{50, 60, 200}};  // issued late; latency from 50
+    EXPECT_NE(r.timelineCsv().find("0,50,60,200,150"),
+              std::string::npos);
+}
+
+TEST(TimelineCsv, EmptyWithoutRecording)
+{
+    loadgen::TestResult r;
+    EXPECT_EQ(r.timelineCsv(),
+              "query,scheduled_ns,issued_ns,completed_ns,latency_ns\n");
+}
+
+} // namespace
+} // namespace report
+} // namespace mlperf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for table/figure formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace mlperf {
+namespace report {
+namespace {
+
+TEST(TableFmt, AlignsColumns)
+{
+    Table t({"A", "Long header"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("A       Long header"), std::string::npos);
+    EXPECT_NE(out.find("x       1"), std::string::npos);
+    EXPECT_NE(out.find("longer  2"), std::string::npos);
+    EXPECT_NE(out.find("------  -----------"), std::string::npos);
+}
+
+TEST(TableFmt, RuleRows)
+{
+    Table t({"A"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string out = t.str();
+    // Header rule + inner rule.
+    size_t count = 0, pos = 0;
+    while ((pos = out.find("-\n", pos)) != std::string::npos) {
+        ++count;
+        ++pos;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(TableFmt, MissingCellsPadded)
+{
+    Table t({"A", "B"});
+    t.addRow({"only"});
+    EXPECT_NE(t.str().find("only"), std::string::npos);
+}
+
+TEST(Formatting, FmtAndCompact)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmtCompact(1234.5), "1234");  // %.0f rounds half-to-even
+    EXPECT_EQ(fmtCompact(12.345), "12.35");
+    EXPECT_EQ(fmtCompact(1.5e7), "1.5e+07");
+}
+
+TEST(Bars, LinearBar)
+{
+    EXPECT_EQ(bar(5, 10, 10), "#####");
+    EXPECT_EQ(bar(10, 10, 10).size(), 10u);
+    EXPECT_EQ(bar(0, 10, 10), "");
+    EXPECT_EQ(bar(20, 10, 10).size(), 10u);  // clamped
+}
+
+TEST(Bars, LogBarSpansDecades)
+{
+    // 1 -> single '#', max -> full width, 10x steps even.
+    EXPECT_EQ(logBar(1, 10000, 40), "#");
+    EXPECT_EQ(logBar(10000, 10000, 40).size(), 40u);
+    const size_t mid = logBar(100, 10000, 40).size();
+    EXPECT_GT(mid, 10u);
+    EXPECT_LT(mid, 30u);
+}
+
+TEST(Banner, ContainsTitle)
+{
+    const std::string b = banner("Table IV");
+    EXPECT_NE(b.find("Table IV"), std::string::npos);
+    EXPECT_NE(b.find("===="), std::string::npos);
+}
+
+} // namespace
+} // namespace report
+} // namespace mlperf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the log-scale latency histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/percentile.h"
+
+namespace mlperf {
+namespace stats {
+namespace {
+
+TEST(LogHistogram, EmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(LogHistogram, SingleValue)
+{
+    LogHistogram h;
+    h.record(123456);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 123456u);
+    EXPECT_EQ(h.max(), 123456u);
+    EXPECT_EQ(h.percentile(0.5), 123456u);
+    EXPECT_DOUBLE_EQ(h.mean(), 123456.0);
+}
+
+TEST(LogHistogram, PercentileWithinOnePercentOfExact)
+{
+    Rng rng(55);
+    LogHistogram h;
+    std::vector<uint64_t> exact;
+    for (int i = 0; i < 100000; ++i) {
+        // Latencies spanning ~4 decades, like the system zoo.
+        const uint64_t v = 1000 + rng.nextBelow(10000000);
+        h.record(v);
+        exact.push_back(v);
+    }
+    for (double p : {0.5, 0.9, 0.95, 0.99}) {
+        const double est = static_cast<double>(h.percentile(p));
+        const double ref = static_cast<double>(percentile(exact, p));
+        EXPECT_NEAR(est / ref, 1.0, 0.02) << "p=" << p;
+    }
+}
+
+TEST(LogHistogram, MeanIsExact)
+{
+    LogHistogram h;
+    double sum = 0.0;
+    for (uint64_t v = 1000; v <= 100000; v += 1000) {
+        h.record(v);
+        sum += static_cast<double>(v);
+    }
+    EXPECT_DOUBLE_EQ(h.mean(), sum / 100.0);
+}
+
+TEST(LogHistogram, ValuesOutsideRangeClamp)
+{
+    LogHistogram h(1000, 1000000);
+    h.record(1);            // below min bucket
+    h.record(1ULL << 62);   // above max bucket
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1ULL << 62);
+}
+
+TEST(LogHistogram, MergeEqualsCombinedRecording)
+{
+    Rng rng(77);
+    LogHistogram a, b, combined;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = 500 + rng.nextBelow(5000000);
+        if (i % 2 == 0)
+            a.record(v);
+        else
+            b.record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    for (double p : {0.5, 0.9, 0.99})
+        EXPECT_EQ(a.percentile(p), combined.percentile(p));
+}
+
+TEST(LogHistogram, MergeIntoEmpty)
+{
+    LogHistogram a, b;
+    b.record(5000);
+    b.record(7000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 5000u);
+    EXPECT_EQ(a.max(), 7000u);
+}
+
+} // namespace
+} // namespace stats
+} // namespace mlperf

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the normal CDF and quantile function.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace mlperf {
+namespace stats {
+namespace {
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(normalCdf(-1.0), 0.15865525393145707, 1e-10);
+    EXPECT_NEAR(normalCdf(1.959963984540054), 0.975, 1e-10);
+    EXPECT_NEAR(normalCdf(2.5758293035489004), 0.995, 1e-10);
+}
+
+TEST(NormalQuantile, KnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963984540054, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.995), 2.5758293035489004, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.005), -2.5758293035489004, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.84134474606854293), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, ExtremeTails)
+{
+    EXPECT_NEAR(normalQuantile(1e-10), -6.361340902404056, 1e-6);
+    EXPECT_NEAR(normalQuantile(1.0 - 1e-10), 6.361340902404056, 1e-6);
+}
+
+class NormalRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTrip, QuantileInvertsCdf)
+{
+    const double p = GetParam();
+    EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-12)
+        << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Probabilities, NormalRoundTrip,
+    ::testing::Values(1e-8, 1e-4, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5,
+                      0.75, 0.9, 0.95, 0.99, 0.995, 0.9999, 1 - 1e-8));
+
+TEST(NormalQuantile, Monotonic)
+{
+    double prev = normalQuantile(0.001);
+    for (double p = 0.002; p < 1.0; p += 0.001) {
+        const double q = normalQuantile(p);
+        EXPECT_GT(q, prev);
+        prev = q;
+    }
+}
+
+} // namespace
+} // namespace stats
+} // namespace mlperf

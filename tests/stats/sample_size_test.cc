@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests reproducing Table IV of the paper exactly from Equations 1-2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/sample_size.h"
+
+namespace mlperf {
+namespace stats {
+namespace {
+
+TEST(Margin, IsOneTwentiethOfTailGap)
+{
+    EXPECT_NEAR(marginForTail(0.90), 0.005, 1e-15);
+    EXPECT_NEAR(marginForTail(0.95), 0.0025, 1e-15);
+    EXPECT_NEAR(marginForTail(0.99), 0.0005, 1e-15);
+    EXPECT_NEAR(marginForTail(0.97), 0.0015, 1e-15);
+}
+
+TEST(RoundUpTo8k, Boundaries)
+{
+    EXPECT_EQ(roundUpTo8k(0), 0u);
+    EXPECT_EQ(roundUpTo8k(1), 8192u);
+    EXPECT_EQ(roundUpTo8k(8192), 8192u);
+    EXPECT_EQ(roundUpTo8k(8193), 16384u);
+    EXPECT_EQ(roundUpTo8k(24576), 24576u);
+}
+
+/** Table IV, row by row: percentile -> (inferences, rounded, multiple). */
+struct TableIvRow
+{
+    double tail;
+    uint64_t inferences;
+    uint64_t rounded;
+    uint64_t multiple;
+};
+
+class TableIv : public ::testing::TestWithParam<TableIvRow> {};
+
+TEST_P(TableIv, MatchesPaper)
+{
+    const auto &row = GetParam();
+    const QueryRequirement req = queryRequirement(row.tail);
+    EXPECT_EQ(req.exactQueries, row.inferences);
+    EXPECT_EQ(req.roundedQueries, row.rounded);
+    EXPECT_EQ(req.multipleOf8k, row.multiple);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableIv,
+    ::testing::Values(TableIvRow{0.90, 23886, 24576, 3},
+                      TableIvRow{0.95, 50425, 57344, 7},
+                      TableIvRow{0.99, 262742, 270336, 33}));
+
+TEST(QueryRequirement, TranslationNinetySeventhPercentile)
+{
+    // Sec. III-D: "Machine translation has a 97th-percentile latency
+    // guarantee and requires only 90K queries."
+    const QueryRequirement req = queryRequirement(0.97);
+    EXPECT_EQ(req.roundedQueries, 90112u);     // 11 * 2^13
+    EXPECT_EQ(req.multipleOf8k, 11u);
+}
+
+TEST(QueryRequirement, MoreStringentTailNeedsMoreQueries)
+{
+    // "benchmarks with more-stringent latency constraints require more
+    // queries in a highly nonlinear fashion."
+    const auto q90 = queryRequirement(0.90);
+    const auto q95 = queryRequirement(0.95);
+    const auto q99 = queryRequirement(0.99);
+    EXPECT_LT(q90.exactQueries, q95.exactQueries);
+    EXPECT_LT(q95.exactQueries, q99.exactQueries);
+    // Nonlinearity: 99% needs ~11x the queries of 90%.
+    EXPECT_GT(q99.exactQueries, 10 * q90.exactQueries);
+}
+
+TEST(NumQueries, HigherConfidenceNeedsMoreQueries)
+{
+    const double m = marginForTail(0.90);
+    EXPECT_LT(numQueries(0.90, 0.95, m), numQueries(0.90, 0.99, m));
+    EXPECT_LT(numQueries(0.90, 0.99, m), numQueries(0.90, 0.999, m));
+}
+
+TEST(NumQueries, WiderMarginNeedsFewerQueries)
+{
+    EXPECT_GT(numQueries(0.90, 0.99, 0.001),
+              numQueries(0.90, 0.99, 0.01));
+}
+
+TEST(MarginAt, InvertsNumQueries)
+{
+    // At the Table IV query counts, the achievable margin equals the
+    // Eq. 1 margin (round-trip through Eq. 2).
+    for (double tail : {0.90, 0.95, 0.99}) {
+        const auto req = queryRequirement(tail);
+        EXPECT_NEAR(marginAt(tail, 0.99, req.exactQueries),
+                    req.margin, req.margin * 0.001);
+    }
+}
+
+TEST(MarginAt, ShrinksWithMoreQueries)
+{
+    EXPECT_GT(marginAt(0.99, 0.99, 1000),
+              marginAt(0.99, 0.99, 100000));
+    // A 1/16-scaled 99th-percentile run has a 4x wider margin.
+    EXPECT_NEAR(marginAt(0.99, 0.99, 270336 / 16) /
+                    marginAt(0.99, 0.99, 270336),
+                4.0, 0.01);
+}
+
+TEST(PaperConstants, MatchSectionIIID)
+{
+    EXPECT_EQ(kSingleStreamMinQueries, 1024u);
+    EXPECT_EQ(kOfflineMinSamples, 24576u);  // "1 query with >= 24,576"
+    EXPECT_EQ(kMinDurationNs, 60ULL * 1000 * 1000 * 1000);
+}
+
+} // namespace
+} // namespace stats
+} // namespace mlperf

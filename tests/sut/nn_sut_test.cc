@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the real-model SUT/QSL adapters and result encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "loadgen/loadgen.h"
+#include "sim/virtual_executor.h"
+#include "sut/nn_sut.h"
+
+namespace mlperf {
+namespace sut {
+namespace {
+
+TEST(ResultEncoding, ClassificationRoundTrip)
+{
+    EXPECT_EQ(decodeClassification(encodeClassification(17)), 17);
+    EXPECT_EQ(decodeClassification(encodeClassification(0)), 0);
+}
+
+TEST(ResultEncoding, DetectionsRoundTrip)
+{
+    std::vector<metrics::Detection> dets = {
+        {0, 3, 0.75, {1.0, 2.0, 13.0, 14.0}},
+        {0, 0, 0.5, {0.0, 0.0, 12.0, 12.0}},
+    };
+    const auto decoded = decodeDetections(encodeDetections(dets), 9);
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0].imageId, 9);
+    EXPECT_EQ(decoded[0].cls, 3);
+    EXPECT_NEAR(decoded[0].score, 0.75, 1e-6);
+    EXPECT_NEAR(decoded[0].box.x1, 13.0, 1e-3);
+    EXPECT_EQ(decoded[1].cls, 0);
+}
+
+TEST(ResultEncoding, EmptyDetections)
+{
+    EXPECT_EQ(encodeDetections({}), "");
+    EXPECT_TRUE(decodeDetections("", 1).empty());
+}
+
+TEST(ResultEncoding, TokensRoundTrip)
+{
+    const std::vector<int64_t> tokens = {5, 3, 2};
+    EXPECT_EQ(decodeTokens(encodeTokens(tokens)), tokens);
+    EXPECT_TRUE(decodeTokens("").empty());
+}
+
+TEST(ClassificationQslTest, StagesAndServesSamples)
+{
+    data::ClassificationConfig cfg;
+    cfg.samplesPerClass = 2;  // small dataset
+    data::ClassificationDataset dataset(cfg);
+    ClassificationQsl qsl(dataset, 16);
+    EXPECT_EQ(qsl.totalSampleCount(),
+              static_cast<uint64_t>(dataset.size()));
+    EXPECT_EQ(qsl.performanceSampleCount(), 16u);
+
+    qsl.loadSamplesToRam({0, 5});
+    const tensor::Tensor &t = qsl.sample(5);
+    tensor::Tensor direct = dataset.image(5);
+    for (int64_t i = 0; i < direct.numel(); ++i)
+        EXPECT_EQ(t[i], direct[i]);
+    qsl.unloadSamplesFromRam({0, 5});
+}
+
+TEST(ClassifierSutTest, EndToEndAccuracyRunUnderLoadGen)
+{
+    // A complete accuracy-mode LoadGen run over the real classifier:
+    // the responses echo its predictions.
+    data::ClassificationConfig cfg;
+    cfg.samplesPerClass = 2;  // 80 samples: fast
+    data::ClassificationDataset dataset(cfg);
+    models::ImageClassifier model =
+        models::ImageClassifier::resnet50Proxy(dataset);
+    ClassificationQsl qsl(dataset, 16);
+    ClassifierSut sut(model, qsl);
+
+    sim::VirtualExecutor ex;
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(
+            loadgen::Scenario::SingleStream);
+    settings.mode = loadgen::TestMode::AccuracyOnly;
+    loadgen::LoadGen lg(ex);
+    const auto result = lg.startTest(sut, qsl, settings);
+
+    ASSERT_EQ(result.accuracyLog.size(),
+              static_cast<size_t>(dataset.size()));
+    for (const auto &record : result.accuracyLog) {
+        const int64_t pred = decodeClassification(record.data);
+        EXPECT_EQ(pred,
+                  model.classify(dataset.image(
+                      static_cast<int64_t>(record.sampleIndex))));
+    }
+}
+
+TEST(TranslatorSutTest, ProducesTokenResponses)
+{
+    data::TranslationConfig cfg;
+    cfg.sampleCount = 20;
+    data::TranslationDataset dataset(cfg);
+    models::Translator model = models::Translator::gnmtProxy(dataset);
+    TranslationQsl qsl(dataset, 20);
+    TranslatorSut sut(model, qsl);
+
+    sim::VirtualExecutor ex;
+    loadgen::TestSettings settings =
+        loadgen::TestSettings::forScenario(
+            loadgen::Scenario::SingleStream);
+    settings.mode = loadgen::TestMode::AccuracyOnly;
+    loadgen::LoadGen lg(ex);
+    const auto result = lg.startTest(sut, qsl, settings);
+    ASSERT_EQ(result.accuracyLog.size(), 20u);
+    for (const auto &record : result.accuracyLog) {
+        const auto tokens = decodeTokens(record.data);
+        EXPECT_FALSE(tokens.empty());
+    }
+}
+
+} // namespace
+} // namespace sut
+} // namespace mlperf

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for convolution, pooling, and im2col.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/conv.h"
+
+namespace mlperf {
+namespace tensor {
+namespace {
+
+/** Direct (quadruple-loop) convolution used as the reference. */
+Tensor
+naiveConv2d(const Tensor &input, const Tensor &weight, const float *bias,
+            const Conv2dParams &p)
+{
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const int64_t o = weight.shape().dim(0);
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    Tensor out(Shape{n, o, out_h, out_w});
+    for (int64_t ni = 0; ni < n; ++ni)
+    for (int64_t oi = 0; oi < o; ++oi)
+    for (int64_t oh = 0; oh < out_h; ++oh)
+    for (int64_t ow = 0; ow < out_w; ++ow) {
+        double acc = bias ? bias[oi] : 0.0;
+        for (int64_t ci = 0; ci < c; ++ci)
+        for (int64_t kh = 0; kh < p.kernelH; ++kh)
+        for (int64_t kw = 0; kw < p.kernelW; ++kw) {
+            const int64_t ih = oh * p.strideH - p.padH + kh;
+            const int64_t iw = ow * p.strideW - p.padW + kw;
+            if (ih < 0 || ih >= h || iw < 0 || iw >= w)
+                continue;
+            acc += static_cast<double>(input.at(ni, ci, ih, iw)) *
+                   weight.at(oi, ci, kh, kw);
+        }
+        out.at(ni, oi, oh, ow) = static_cast<float>(acc);
+    }
+    return out;
+}
+
+Tensor
+randomTensor(Shape shape, uint64_t seed)
+{
+    Tensor t(shape);
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
+TEST(Conv2dParams, OutputSizeFormula)
+{
+    Conv2dParams p;  // 3x3, stride 1, pad 1: "same" convolution
+    EXPECT_EQ(p.outH(224), 224);
+    p.strideH = 2;
+    EXPECT_EQ(p.outH(224), 112);
+    Conv2dParams q{7, 7, 2, 2, 3, 3};
+    EXPECT_EQ(q.outH(224), 112);  // ResNet stem
+}
+
+TEST(Im2col, IdentityKernelCopiesInput)
+{
+    // 1x1 kernel, stride 1, no pad: col matrix equals the input.
+    const float input[] = {1, 2, 3, 4};
+    Conv2dParams p{1, 1, 1, 1, 0, 0};
+    std::vector<float> col(4);
+    im2col(input, 1, 2, 2, p, col.data());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(col[i], input[i]);
+}
+
+TEST(Im2col, PaddingProducesZeros)
+{
+    const float input[] = {5};
+    Conv2dParams p{3, 3, 1, 1, 1, 1};
+    std::vector<float> col(9);
+    im2col(input, 1, 1, 1, p, col.data());
+    // Only the center tap sees the pixel.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FLOAT_EQ(col[i], i == 4 ? 5.0f : 0.0f);
+}
+
+TEST(Conv2d, KnownSmallCase)
+{
+    // 2x2 input, 2x2 kernel of ones, no pad: output = sum of inputs.
+    Tensor input(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor weight = Tensor::full(Shape{1, 1, 2, 2}, 1.0f);
+    Conv2dParams p{2, 2, 1, 1, 0, 0};
+    Tensor out = conv2d(input, weight, nullptr, p);
+    EXPECT_EQ(out.shape(), Shape({1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], 10.0f);
+}
+
+struct ConvCase
+{
+    int64_t n, c, h, w, o, k, stride, pad;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, MatchesNaive)
+{
+    const auto t = GetParam();
+    Tensor input = randomTensor(Shape{t.n, t.c, t.h, t.w}, 42);
+    Tensor weight = randomTensor(Shape{t.o, t.c, t.k, t.k}, 43);
+    std::vector<float> bias(static_cast<size_t>(t.o));
+    Rng rng(44);
+    for (auto &b : bias)
+        b = static_cast<float>(rng.nextGaussian());
+    Conv2dParams p{t.k, t.k, t.stride, t.stride, t.pad, t.pad};
+    Tensor fast = conv2d(input, weight, bias.data(), p);
+    Tensor ref = naiveConv2d(input, weight, bias.data(), p);
+    ASSERT_EQ(fast.shape(), ref.shape());
+    for (int64_t i = 0; i < fast.numel(); ++i)
+        EXPECT_NEAR(fast[i], ref[i], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 1},
+                      ConvCase{1, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{2, 3, 9, 7, 2, 3, 2, 1},
+                      ConvCase{1, 4, 6, 6, 8, 1, 1, 0},
+                      ConvCase{1, 2, 12, 12, 3, 5, 2, 2},
+                      ConvCase{2, 8, 7, 7, 16, 3, 2, 1}));
+
+TEST(DepthwiseConv2d, MatchesPerChannelConv)
+{
+    // Depthwise = standard conv computed channel by channel.
+    Tensor input = randomTensor(Shape{1, 3, 6, 6}, 7);
+    Tensor weight = randomTensor(Shape{3, 1, 3, 3}, 8);
+    Conv2dParams p;  // 3x3 s1 p1
+    Tensor dw = depthwiseConv2d(input, weight, nullptr, p);
+    ASSERT_EQ(dw.shape(), Shape({1, 3, 6, 6}));
+    for (int64_t c = 0; c < 3; ++c) {
+        Tensor chan_in(Shape{1, 1, 6, 6});
+        for (int64_t i = 0; i < 36; ++i)
+            chan_in[i] = input[c * 36 + i];
+        Tensor chan_w(Shape{1, 1, 3, 3});
+        for (int64_t i = 0; i < 9; ++i)
+            chan_w[i] = weight[c * 9 + i];
+        Tensor ref = naiveConv2d(chan_in, chan_w, nullptr, p);
+        for (int64_t i = 0; i < 36; ++i)
+            EXPECT_NEAR(dw[c * 36 + i], ref[i], 1e-4);
+    }
+}
+
+TEST(DepthwiseConv2d, BiasApplied)
+{
+    Tensor input = Tensor::full(Shape{1, 2, 3, 3}, 0.0f);
+    Tensor weight = Tensor::full(Shape{2, 1, 3, 3}, 1.0f);
+    const float bias[] = {1.5f, -2.5f};
+    Tensor out = depthwiseConv2d(input, weight, bias, Conv2dParams{});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 1.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1, 1), -2.5f);
+}
+
+TEST(MaxPool2d, TwoByTwo)
+{
+    Tensor input(Shape{1, 1, 4, 4},
+                 {1, 2, 3, 4,
+                  5, 6, 7, 8,
+                  9, 10, 11, 12,
+                  13, 14, 15, 16});
+    Tensor out = maxPool2d(input, 2, 2);
+    EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(out[0], 6);
+    EXPECT_FLOAT_EQ(out[1], 8);
+    EXPECT_FLOAT_EQ(out[2], 14);
+    EXPECT_FLOAT_EQ(out[3], 16);
+}
+
+TEST(MaxPool2d, NegativeValuesHandled)
+{
+    Tensor input = Tensor::full(Shape{1, 1, 2, 2}, -3.0f);
+    input[2] = -1.0f;
+    Tensor out = maxPool2d(input, 2, 2);
+    EXPECT_FLOAT_EQ(out[0], -1.0f);
+}
+
+TEST(GlobalAvgPool, AveragesSpatialDims)
+{
+    Tensor input(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+    Tensor out = globalAvgPool(input);
+    EXPECT_EQ(out.shape(), Shape({1, 2}));
+    EXPECT_FLOAT_EQ(out.at(0, 0), 2.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 25.0f);
+}
+
+} // namespace
+} // namespace tensor
+} // namespace mlperf

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for GEMM and dense-layer kernels, including a property sweep
+ * against a naive reference across odd sizes (to exercise tile edges).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace mlperf {
+namespace tensor {
+namespace {
+
+void
+naiveGemm(const float *a, const float *b, float *c,
+          int64_t m, int64_t n, int64_t k)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+            c[i * n + j] = static_cast<float>(acc);
+        }
+    }
+}
+
+TEST(Gemm, TwoByTwoKnownResult)
+{
+    const float a[] = {1, 2, 3, 4};
+    const float b[] = {5, 6, 7, 8};
+    float c[4];
+    gemm(a, b, c, 2, 2, 2);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, IdentityLeavesMatrixUnchanged)
+{
+    const int64_t n = 17;
+    std::vector<float> eye(n * n, 0.0f), b(n * n), c(n * n);
+    Rng rng(1);
+    for (int64_t i = 0; i < n; ++i)
+        eye[i * n + i] = 1.0f;
+    for (auto &v : b)
+        v = static_cast<float>(rng.nextGaussian());
+    gemm(eye.data(), b.data(), c.data(), n, n, n);
+    for (int64_t i = 0; i < n * n; ++i)
+        EXPECT_FLOAT_EQ(c[i], b[i]);
+}
+
+TEST(Gemm, AccumulateAddsToExisting)
+{
+    const float a[] = {1, 0, 0, 1};
+    const float b[] = {1, 2, 3, 4};
+    float c[] = {10, 10, 10, 10};
+    gemm(a, b, c, 2, 2, 2, /*accumulate=*/true);
+    EXPECT_FLOAT_EQ(c[0], 11);
+    EXPECT_FLOAT_EQ(c[3], 14);
+}
+
+/** Parameterized sweep over (m, n, k) including tile-boundary sizes. */
+class GemmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmSweep, MatchesNaiveReference)
+{
+    const auto [m, n, k] = GetParam();
+    Rng rng(static_cast<uint64_t>(m * 10007 + n * 101 + k));
+    std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.nextGaussian());
+    for (auto &v : b)
+        v = static_cast<float>(rng.nextGaussian());
+    gemm(a.data(), b.data(), c.data(), m, n, k);
+    naiveGemm(a.data(), b.data(), ref.data(), m, n, k);
+    for (int64_t i = 0; i < m * n; ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-3) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1),
+                      std::make_tuple(1, 65, 1),
+                      std::make_tuple(3, 5, 7),
+                      std::make_tuple(63, 64, 65),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 63, 64),
+                      std::make_tuple(128, 1, 128),
+                      std::make_tuple(100, 130, 70)));
+
+TEST(Matmul, ShapesAndValues)
+{
+    Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b(Shape{3, 1}, {1, 1, 1});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), Shape({2, 1}));
+    EXPECT_FLOAT_EQ(c[0], 6);
+    EXPECT_FLOAT_EQ(c[1], 15);
+}
+
+TEST(DenseForward, MatchesManualComputation)
+{
+    // 2 outputs, 3 inputs, batch 2.
+    const float w[] = {1, 0, -1,   // out 0
+                       2, 1, 0};   // out 1
+    const float bias[] = {0.5f, -0.5f};
+    const float x[] = {1, 2, 3,
+                       0, 1, 0};
+    float y[4];
+    denseForward(w, bias, x, y, 2, 3, 2);
+    EXPECT_FLOAT_EQ(y[0], 1 * 1 + 0 * 2 + -1 * 3 + 0.5f);
+    EXPECT_FLOAT_EQ(y[1], 2 * 1 + 1 * 2 + 0 * 3 - 0.5f);
+    EXPECT_FLOAT_EQ(y[2], 0.5f);
+    EXPECT_FLOAT_EQ(y[3], 0.5f);
+}
+
+TEST(DenseForward, NullBiasMeansZero)
+{
+    const float w[] = {2, 3};
+    const float x[] = {1, 1};
+    float y[1];
+    denseForward(w, nullptr, x, y, 1, 2, 1);
+    EXPECT_FLOAT_EQ(y[0], 5);
+}
+
+} // namespace
+} // namespace tensor
+} // namespace mlperf

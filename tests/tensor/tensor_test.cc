@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the Tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace tensor {
+namespace {
+
+TEST(Shape, NumelAndAccessors)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(s.dim(2), 4);
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyShapeIsScalar)
+{
+    Shape s;
+    EXPECT_EQ(s.rank(), 0);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+    EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+    EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape{3, 3});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill)
+{
+    Tensor t = Tensor::full(Shape{2, 2}, 7.0f);
+    EXPECT_EQ(t[0], 7.0f);
+    EXPECT_EQ(t[3], 7.0f);
+    t.fill(-1.0f);
+    EXPECT_EQ(t[2], -1.0f);
+}
+
+TEST(Tensor, TwoDimAccessorRowMajor)
+{
+    Tensor t(Shape{2, 3});
+    t.at(1, 2) = 5.0f;
+    EXPECT_EQ(t[5], 5.0f);
+    t.at(0, 1) = 2.0f;
+    EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, FourDimAccessorNCHW)
+{
+    Tensor t(Shape{2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 9.0f;
+    // ((1*3+2)*4+3)*5+4 = 119
+    EXPECT_EQ(t[119], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape{2, 6});
+    for (int64_t i = 0; i < 12; ++i)
+        t[i] = static_cast<float>(i);
+    Tensor r = t.reshaped(Shape{3, 4});
+    EXPECT_EQ(r.shape(), Shape({3, 4}));
+    for (int64_t i = 0; i < 12; ++i)
+        EXPECT_EQ(r[i], static_cast<float>(i));
+}
+
+TEST(Tensor, MinMaxSum)
+{
+    Tensor t(Shape{4}, {1.0f, -2.0f, 3.0f, 0.5f});
+    EXPECT_EQ(t.minValue(), -2.0f);
+    EXPECT_EQ(t.maxValue(), 3.0f);
+    EXPECT_DOUBLE_EQ(t.sum(), 2.5);
+}
+
+} // namespace
+} // namespace tensor
+} // namespace mlperf
