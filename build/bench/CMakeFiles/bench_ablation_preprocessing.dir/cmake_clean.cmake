@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preprocessing.dir/bench_ablation_preprocessing.cc.o"
+  "CMakeFiles/bench_ablation_preprocessing.dir/bench_ablation_preprocessing.cc.o.d"
+  "bench_ablation_preprocessing"
+  "bench_ablation_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

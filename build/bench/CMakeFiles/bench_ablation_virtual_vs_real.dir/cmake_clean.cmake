@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_virtual_vs_real.dir/bench_ablation_virtual_vs_real.cc.o"
+  "CMakeFiles/bench_ablation_virtual_vs_real.dir/bench_ablation_virtual_vs_real.cc.o.d"
+  "bench_ablation_virtual_vs_real"
+  "bench_ablation_virtual_vs_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_virtual_vs_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

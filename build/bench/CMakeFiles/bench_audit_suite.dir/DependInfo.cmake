@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_audit_suite.cc" "bench/CMakeFiles/bench_audit_suite.dir/bench_audit_suite.cc.o" "gcc" "bench/CMakeFiles/bench_audit_suite.dir/bench_audit_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/audit/CMakeFiles/mlperf_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/mlperf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/mlperf_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_audit_suite.dir/bench_audit_suite.cc.o"
+  "CMakeFiles/bench_audit_suite.dir/bench_audit_suite.cc.o.d"
+  "bench_audit_suite"
+  "bench_audit_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_audit_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_pareto.cc" "bench/CMakeFiles/bench_fig1_pareto.dir/bench_fig1_pareto.cc.o" "gcc" "bench/CMakeFiles/bench_fig1_pareto.dir/bench_fig1_pareto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/mlperf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/mlperf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mlperf_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mlperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mlperf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mlperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

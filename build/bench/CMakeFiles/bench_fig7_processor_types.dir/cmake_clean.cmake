@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_processor_types.dir/bench_fig7_processor_types.cc.o"
+  "CMakeFiles/bench_fig7_processor_types.dir/bench_fig7_processor_types.cc.o.d"
+  "bench_fig7_processor_types"
+  "bench_fig7_processor_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_processor_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_matrix.dir/bench_full_matrix.cc.o"
+  "CMakeFiles/bench_full_matrix.dir/bench_full_matrix.cc.o.d"
+  "bench_full_matrix"
+  "bench_full_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modeled_vs_measured.dir/bench_modeled_vs_measured.cc.o"
+  "CMakeFiles/bench_modeled_vs_measured.dir/bench_modeled_vs_measured.cc.o.d"
+  "bench_modeled_vs_measured"
+  "bench_modeled_vs_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modeled_vs_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

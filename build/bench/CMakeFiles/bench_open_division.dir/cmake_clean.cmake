@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open_division.dir/bench_open_division.cc.o"
+  "CMakeFiles/bench_open_division.dir/bench_open_division.cc.o.d"
+  "bench_open_division"
+  "bench_open_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantization_accuracy.dir/bench_quantization_accuracy.cc.o"
+  "CMakeFiles/bench_quantization_accuracy.dir/bench_quantization_accuracy.cc.o.d"
+  "bench_quantization_accuracy"
+  "bench_quantization_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantization_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

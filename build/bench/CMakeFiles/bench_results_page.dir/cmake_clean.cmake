@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_results_page.dir/bench_results_page.cc.o"
+  "CMakeFiles/bench_results_page.dir/bench_results_page.cc.o.d"
+  "bench_results_page"
+  "bench_results_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_results_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

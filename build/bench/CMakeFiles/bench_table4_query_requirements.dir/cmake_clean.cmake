@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_query_requirements.dir/bench_table4_query_requirements.cc.o"
+  "CMakeFiles/bench_table4_query_requirements.dir/bench_table4_query_requirements.cc.o.d"
+  "bench_table4_query_requirements"
+  "bench_table4_query_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_query_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

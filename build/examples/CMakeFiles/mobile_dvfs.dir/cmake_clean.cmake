@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_dvfs.dir/mobile_dvfs.cpp.o"
+  "CMakeFiles/mobile_dvfs.dir/mobile_dvfs.cpp.o.d"
+  "mobile_dvfs"
+  "mobile_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

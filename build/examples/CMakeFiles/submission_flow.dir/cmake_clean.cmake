@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submission_flow.dir/submission_flow.cpp.o"
+  "CMakeFiles/submission_flow.dir/submission_flow.cpp.o.d"
+  "submission_flow"
+  "submission_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submission_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_capacity.dir/translation_capacity.cpp.o"
+  "CMakeFiles/translation_capacity.dir/translation_capacity.cpp.o.d"
+  "translation_capacity"
+  "translation_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

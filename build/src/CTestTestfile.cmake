@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("tensor")
+subdirs("nn")
+subdirs("quant")
+subdirs("data")
+subdirs("metrics")
+subdirs("models")
+subdirs("loadgen")
+subdirs("sut")
+subdirs("harness")
+subdirs("audit")
+subdirs("report")

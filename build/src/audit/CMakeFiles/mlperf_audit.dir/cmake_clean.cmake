@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_audit.dir/audit.cc.o"
+  "CMakeFiles/mlperf_audit.dir/audit.cc.o.d"
+  "libmlperf_audit.a"
+  "libmlperf_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

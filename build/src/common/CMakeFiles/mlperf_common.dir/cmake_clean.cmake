@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_common.dir/logging.cc.o"
+  "CMakeFiles/mlperf_common.dir/logging.cc.o.d"
+  "CMakeFiles/mlperf_common.dir/rng.cc.o"
+  "CMakeFiles/mlperf_common.dir/rng.cc.o.d"
+  "CMakeFiles/mlperf_common.dir/string_util.cc.o"
+  "CMakeFiles/mlperf_common.dir/string_util.cc.o.d"
+  "libmlperf_common.a"
+  "libmlperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/classification.cc" "src/data/CMakeFiles/mlperf_data.dir/classification.cc.o" "gcc" "src/data/CMakeFiles/mlperf_data.dir/classification.cc.o.d"
+  "/root/repo/src/data/detection.cc" "src/data/CMakeFiles/mlperf_data.dir/detection.cc.o" "gcc" "src/data/CMakeFiles/mlperf_data.dir/detection.cc.o.d"
+  "/root/repo/src/data/synth.cc" "src/data/CMakeFiles/mlperf_data.dir/synth.cc.o" "gcc" "src/data/CMakeFiles/mlperf_data.dir/synth.cc.o.d"
+  "/root/repo/src/data/translation.cc" "src/data/CMakeFiles/mlperf_data.dir/translation.cc.o" "gcc" "src/data/CMakeFiles/mlperf_data.dir/translation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mlperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_data.dir/classification.cc.o"
+  "CMakeFiles/mlperf_data.dir/classification.cc.o.d"
+  "CMakeFiles/mlperf_data.dir/detection.cc.o"
+  "CMakeFiles/mlperf_data.dir/detection.cc.o.d"
+  "CMakeFiles/mlperf_data.dir/synth.cc.o"
+  "CMakeFiles/mlperf_data.dir/synth.cc.o.d"
+  "CMakeFiles/mlperf_data.dir/translation.cc.o"
+  "CMakeFiles/mlperf_data.dir/translation.cc.o.d"
+  "libmlperf_data.a"
+  "libmlperf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

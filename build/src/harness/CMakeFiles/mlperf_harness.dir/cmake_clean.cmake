@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_harness.dir/accuracy_script.cc.o"
+  "CMakeFiles/mlperf_harness.dir/accuracy_script.cc.o.d"
+  "CMakeFiles/mlperf_harness.dir/experiment.cc.o"
+  "CMakeFiles/mlperf_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/mlperf_harness.dir/search.cc.o"
+  "CMakeFiles/mlperf_harness.dir/search.cc.o.d"
+  "libmlperf_harness.a"
+  "libmlperf_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

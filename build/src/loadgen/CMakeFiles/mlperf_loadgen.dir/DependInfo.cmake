@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadgen/loadgen.cc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/loadgen.cc.o" "gcc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/loadgen.cc.o.d"
+  "/root/repo/src/loadgen/results.cc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/results.cc.o" "gcc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/results.cc.o.d"
+  "/root/repo/src/loadgen/schedule.cc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/schedule.cc.o" "gcc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/schedule.cc.o.d"
+  "/root/repo/src/loadgen/test_settings.cc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/test_settings.cc.o" "gcc" "src/loadgen/CMakeFiles/mlperf_loadgen.dir/test_settings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlperf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

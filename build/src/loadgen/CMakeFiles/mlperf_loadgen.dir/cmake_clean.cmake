@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_loadgen.dir/loadgen.cc.o"
+  "CMakeFiles/mlperf_loadgen.dir/loadgen.cc.o.d"
+  "CMakeFiles/mlperf_loadgen.dir/results.cc.o"
+  "CMakeFiles/mlperf_loadgen.dir/results.cc.o.d"
+  "CMakeFiles/mlperf_loadgen.dir/schedule.cc.o"
+  "CMakeFiles/mlperf_loadgen.dir/schedule.cc.o.d"
+  "CMakeFiles/mlperf_loadgen.dir/test_settings.cc.o"
+  "CMakeFiles/mlperf_loadgen.dir/test_settings.cc.o.d"
+  "libmlperf_loadgen.a"
+  "libmlperf_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_metrics.dir/accuracy.cc.o"
+  "CMakeFiles/mlperf_metrics.dir/accuracy.cc.o.d"
+  "CMakeFiles/mlperf_metrics.dir/bleu.cc.o"
+  "CMakeFiles/mlperf_metrics.dir/bleu.cc.o.d"
+  "CMakeFiles/mlperf_metrics.dir/map.cc.o"
+  "CMakeFiles/mlperf_metrics.dir/map.cc.o.d"
+  "libmlperf_metrics.a"
+  "libmlperf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

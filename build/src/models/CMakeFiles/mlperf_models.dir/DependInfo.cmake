@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/classifier.cc" "src/models/CMakeFiles/mlperf_models.dir/classifier.cc.o" "gcc" "src/models/CMakeFiles/mlperf_models.dir/classifier.cc.o.d"
+  "/root/repo/src/models/detector.cc" "src/models/CMakeFiles/mlperf_models.dir/detector.cc.o" "gcc" "src/models/CMakeFiles/mlperf_models.dir/detector.cc.o.d"
+  "/root/repo/src/models/model_info.cc" "src/models/CMakeFiles/mlperf_models.dir/model_info.cc.o" "gcc" "src/models/CMakeFiles/mlperf_models.dir/model_info.cc.o.d"
+  "/root/repo/src/models/translator.cc" "src/models/CMakeFiles/mlperf_models.dir/translator.cc.o" "gcc" "src/models/CMakeFiles/mlperf_models.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mlperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mlperf_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mlperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mlperf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

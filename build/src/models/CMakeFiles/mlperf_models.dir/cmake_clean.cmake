@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_models.dir/classifier.cc.o"
+  "CMakeFiles/mlperf_models.dir/classifier.cc.o.d"
+  "CMakeFiles/mlperf_models.dir/detector.cc.o"
+  "CMakeFiles/mlperf_models.dir/detector.cc.o.d"
+  "CMakeFiles/mlperf_models.dir/model_info.cc.o"
+  "CMakeFiles/mlperf_models.dir/model_info.cc.o.d"
+  "CMakeFiles/mlperf_models.dir/translator.cc.o"
+  "CMakeFiles/mlperf_models.dir/translator.cc.o.d"
+  "libmlperf_models.a"
+  "libmlperf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/mlperf_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/mlperf_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/mlperf_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/mlperf_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/mlperf_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/mlperf_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/mlperf_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/mlperf_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/mlperf_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/mlperf_nn.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mlperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_nn.dir/activations.cc.o"
+  "CMakeFiles/mlperf_nn.dir/activations.cc.o.d"
+  "CMakeFiles/mlperf_nn.dir/init.cc.o"
+  "CMakeFiles/mlperf_nn.dir/init.cc.o.d"
+  "CMakeFiles/mlperf_nn.dir/layers.cc.o"
+  "CMakeFiles/mlperf_nn.dir/layers.cc.o.d"
+  "CMakeFiles/mlperf_nn.dir/rnn.cc.o"
+  "CMakeFiles/mlperf_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/mlperf_nn.dir/sequential.cc.o"
+  "CMakeFiles/mlperf_nn.dir/sequential.cc.o.d"
+  "libmlperf_nn.a"
+  "libmlperf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlperf_nn.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/calibration.cc" "src/quant/CMakeFiles/mlperf_quant.dir/calibration.cc.o" "gcc" "src/quant/CMakeFiles/mlperf_quant.dir/calibration.cc.o.d"
+  "/root/repo/src/quant/quant.cc" "src/quant/CMakeFiles/mlperf_quant.dir/quant.cc.o" "gcc" "src/quant/CMakeFiles/mlperf_quant.dir/quant.cc.o.d"
+  "/root/repo/src/quant/quantize_model.cc" "src/quant/CMakeFiles/mlperf_quant.dir/quantize_model.cc.o" "gcc" "src/quant/CMakeFiles/mlperf_quant.dir/quantize_model.cc.o.d"
+  "/root/repo/src/quant/quantized_layers.cc" "src/quant/CMakeFiles/mlperf_quant.dir/quantized_layers.cc.o" "gcc" "src/quant/CMakeFiles/mlperf_quant.dir/quantized_layers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mlperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_quant.dir/calibration.cc.o"
+  "CMakeFiles/mlperf_quant.dir/calibration.cc.o.d"
+  "CMakeFiles/mlperf_quant.dir/quant.cc.o"
+  "CMakeFiles/mlperf_quant.dir/quant.cc.o.d"
+  "CMakeFiles/mlperf_quant.dir/quantize_model.cc.o"
+  "CMakeFiles/mlperf_quant.dir/quantize_model.cc.o.d"
+  "CMakeFiles/mlperf_quant.dir/quantized_layers.cc.o"
+  "CMakeFiles/mlperf_quant.dir/quantized_layers.cc.o.d"
+  "libmlperf_quant.a"
+  "libmlperf_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

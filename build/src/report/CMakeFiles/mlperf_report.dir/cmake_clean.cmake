@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_report.dir/submission.cc.o"
+  "CMakeFiles/mlperf_report.dir/submission.cc.o.d"
+  "CMakeFiles/mlperf_report.dir/table.cc.o"
+  "CMakeFiles/mlperf_report.dir/table.cc.o.d"
+  "libmlperf_report.a"
+  "libmlperf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_sim.dir/executor.cc.o"
+  "CMakeFiles/mlperf_sim.dir/executor.cc.o.d"
+  "CMakeFiles/mlperf_sim.dir/real_executor.cc.o"
+  "CMakeFiles/mlperf_sim.dir/real_executor.cc.o.d"
+  "CMakeFiles/mlperf_sim.dir/virtual_executor.cc.o"
+  "CMakeFiles/mlperf_sim.dir/virtual_executor.cc.o.d"
+  "libmlperf_sim.a"
+  "libmlperf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_stats.dir/histogram.cc.o"
+  "CMakeFiles/mlperf_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/mlperf_stats.dir/normal.cc.o"
+  "CMakeFiles/mlperf_stats.dir/normal.cc.o.d"
+  "CMakeFiles/mlperf_stats.dir/percentile.cc.o"
+  "CMakeFiles/mlperf_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/mlperf_stats.dir/sample_size.cc.o"
+  "CMakeFiles/mlperf_stats.dir/sample_size.cc.o.d"
+  "libmlperf_stats.a"
+  "libmlperf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sut/hardware_profile.cc" "src/sut/CMakeFiles/mlperf_sut.dir/hardware_profile.cc.o" "gcc" "src/sut/CMakeFiles/mlperf_sut.dir/hardware_profile.cc.o.d"
+  "/root/repo/src/sut/model_cost.cc" "src/sut/CMakeFiles/mlperf_sut.dir/model_cost.cc.o" "gcc" "src/sut/CMakeFiles/mlperf_sut.dir/model_cost.cc.o.d"
+  "/root/repo/src/sut/multi_model_sut.cc" "src/sut/CMakeFiles/mlperf_sut.dir/multi_model_sut.cc.o" "gcc" "src/sut/CMakeFiles/mlperf_sut.dir/multi_model_sut.cc.o.d"
+  "/root/repo/src/sut/nn_sut.cc" "src/sut/CMakeFiles/mlperf_sut.dir/nn_sut.cc.o" "gcc" "src/sut/CMakeFiles/mlperf_sut.dir/nn_sut.cc.o.d"
+  "/root/repo/src/sut/simulated_sut.cc" "src/sut/CMakeFiles/mlperf_sut.dir/simulated_sut.cc.o" "gcc" "src/sut/CMakeFiles/mlperf_sut.dir/simulated_sut.cc.o.d"
+  "/root/repo/src/sut/system_zoo.cc" "src/sut/CMakeFiles/mlperf_sut.dir/system_zoo.cc.o" "gcc" "src/sut/CMakeFiles/mlperf_sut.dir/system_zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loadgen/CMakeFiles/mlperf_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mlperf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mlperf_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mlperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mlperf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mlperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_sut.dir/hardware_profile.cc.o"
+  "CMakeFiles/mlperf_sut.dir/hardware_profile.cc.o.d"
+  "CMakeFiles/mlperf_sut.dir/model_cost.cc.o"
+  "CMakeFiles/mlperf_sut.dir/model_cost.cc.o.d"
+  "CMakeFiles/mlperf_sut.dir/multi_model_sut.cc.o"
+  "CMakeFiles/mlperf_sut.dir/multi_model_sut.cc.o.d"
+  "CMakeFiles/mlperf_sut.dir/nn_sut.cc.o"
+  "CMakeFiles/mlperf_sut.dir/nn_sut.cc.o.d"
+  "CMakeFiles/mlperf_sut.dir/simulated_sut.cc.o"
+  "CMakeFiles/mlperf_sut.dir/simulated_sut.cc.o.d"
+  "CMakeFiles/mlperf_sut.dir/system_zoo.cc.o"
+  "CMakeFiles/mlperf_sut.dir/system_zoo.cc.o.d"
+  "libmlperf_sut.a"
+  "libmlperf_sut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_sut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

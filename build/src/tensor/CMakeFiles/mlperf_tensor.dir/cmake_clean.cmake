@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_tensor.dir/conv.cc.o"
+  "CMakeFiles/mlperf_tensor.dir/conv.cc.o.d"
+  "CMakeFiles/mlperf_tensor.dir/gemm.cc.o"
+  "CMakeFiles/mlperf_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/mlperf_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mlperf_tensor.dir/tensor.cc.o.d"
+  "libmlperf_tensor.a"
+  "libmlperf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quant/quant_test.cc" "tests/CMakeFiles/test_quant.dir/quant/quant_test.cc.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/quant_test.cc.o.d"
+  "/root/repo/tests/quant/quantized_layers_test.cc" "tests/CMakeFiles/test_quant.dir/quant/quantized_layers_test.cc.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/quantized_layers_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/mlperf_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mlperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mlperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/quant/quant_test.cc.o"
+  "CMakeFiles/test_quant.dir/quant/quant_test.cc.o.d"
+  "CMakeFiles/test_quant.dir/quant/quantized_layers_test.cc.o"
+  "CMakeFiles/test_quant.dir/quant/quantized_layers_test.cc.o.d"
+  "test_quant"
+  "test_quant.pdb"
+  "test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sut.dir/sut/nn_sut_test.cc.o"
+  "CMakeFiles/test_sut.dir/sut/nn_sut_test.cc.o.d"
+  "CMakeFiles/test_sut.dir/sut/simulated_sut_test.cc.o"
+  "CMakeFiles/test_sut.dir/sut/simulated_sut_test.cc.o.d"
+  "test_sut"
+  "test_sut.pdb"
+  "test_sut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
