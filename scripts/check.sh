@@ -1,0 +1,49 @@
+#!/bin/sh
+# Sanitizer gate for the concurrent code paths. Builds the tree twice
+# (ThreadSanitizer, then AddressSanitizer) into dedicated build
+# directories and runs the suites that exercise real threads: the
+# serving runtime (worker pool, dynamic batcher, bounded queue), the
+# LoadGen (asynchronous completion / run teardown), the executors,
+# and the logging concurrency test.
+#
+# Usage: scripts/check.sh [tsan|asan|all]   (default: all)
+set -e
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+case "$MODE" in
+    tsan|asan|all) ;;
+    *) echo "usage: scripts/check.sh [tsan|asan|all]" >&2; exit 2 ;;
+esac
+GENERATOR=""
+command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
+
+run_suite() {
+    build_dir="$1"
+    ctest --test-dir "$build_dir" --output-on-failure \
+          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging'
+}
+
+if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
+    echo "==> ThreadSanitizer build"
+    cmake -B build-tsan $GENERATOR \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+          -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    cmake --build build-tsan --target \
+          test_serving test_loadgen test_sim test_common
+    TSAN_OPTIONS="halt_on_error=1" run_suite build-tsan
+fi
+
+if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
+    echo "==> AddressSanitizer build"
+    cmake -B build-asan $GENERATOR \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+          -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+    cmake --build build-asan --target \
+          test_serving test_loadgen test_sim test_common
+    run_suite build-asan
+fi
+
+echo "check.sh: OK ($MODE)"

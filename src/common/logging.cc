@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
@@ -7,9 +8,13 @@ namespace mlperf {
 
 namespace {
 
+// g_mutex guards the sink (swap and invocation); the level is atomic
+// so the hot-path filter in write() never takes the lock. Worker
+// threads of concurrent SUTs log through here, so every access to
+// shared state must be synchronized.
 std::mutex g_mutex;
 // Libraries default to quiet: applications opt into Info/Debug.
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char *
 levelName(LogLevel level)
@@ -50,19 +55,20 @@ Logger::setSink(Sink sink)
 void
 Logger::setLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 Logger::level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 Logger::write(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_level))
+    if (static_cast<int>(level) <
+        static_cast<int>(g_level.load(std::memory_order_relaxed)))
         return;
     std::lock_guard<std::mutex> lock(g_mutex);
     if (sinkRef())

@@ -18,8 +18,12 @@ namespace mlperf {
 
 enum class LogLevel { Debug, Info, Warn, Error };
 
-/** Global logging configuration; process-wide, not thread-safe to mutate
- *  while logging is in flight (set once at startup or per test). */
+/**
+ * Global logging configuration; process-wide and thread-safe: the
+ * sink is swapped and invoked under a mutex and the level is atomic,
+ * so SUT worker threads may log while a test harness reconfigures
+ * the logger.
+ */
 class Logger
 {
   public:

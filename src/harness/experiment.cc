@@ -5,6 +5,7 @@
 
 #include "sim/virtual_executor.h"
 #include "stats/sample_size.h"
+#include "sut/serving_adapters.h"
 
 namespace mlperf {
 namespace harness {
@@ -163,6 +164,42 @@ runServer(const sut::HardwareProfile &profile, models::TaskType task,
     outcome.valid = search.maxQps > 0.0;
     outcome.result = search.lastValid;
     return outcome;
+}
+
+ServingOutcome
+runServerServing(const sut::HardwareProfile &profile,
+                 models::TaskType task, double qps,
+                 const ExperimentOptions &options,
+                 serving::ServingOptions serving_options)
+{
+    if (serving_options.workers <= 0)
+        serving_options.workers = profile.acceleratorCount;
+    if (serving_options.maxBatch <= 0)
+        serving_options.maxBatch =
+            std::max<int64_t>(1, profile.maxBatch);
+    serving_options.mode = serving::WorkerMode::Events;
+
+    sim::VirtualExecutor executor;
+    sut::ProfileBatchInference inference(
+        profile, sut::modelCostFor(task), options.sutSeed);
+    serving::ServingSut system(executor, inference, serving_options);
+    SyntheticQsl qsl;
+    loadgen::TestSettings settings = settingsForTask(
+        task, loadgen::Scenario::Server, options);
+    settings.serverTargetQps = qps;
+    loadgen::LoadGen lg(executor);
+
+    ServingOutcome out;
+    out.outcome.task = task;
+    out.outcome.scenario = loadgen::Scenario::Server;
+    out.outcome.systemName = system.name();
+    out.outcome.result = lg.startTest(system, qsl, settings);
+    out.outcome.metric = out.outcome.result.scenarioMetric();
+    out.outcome.valid = out.outcome.result.valid;
+    system.shutdown();
+    out.serving = system.stats();
+    out.elapsedNs = out.outcome.result.durationNs;
+    return out;
 }
 
 ScenarioOutcome

@@ -13,6 +13,7 @@
 #include "harness/search.h"
 #include "loadgen/loadgen.h"
 #include "models/model_info.h"
+#include "serving/serving_sut.h"
 #include "sut/hardware_profile.h"
 #include "report/submission.h"
 #include "sut/simulated_sut.h"
@@ -78,6 +79,31 @@ ScenarioOutcome runScenario(const sut::HardwareProfile &profile,
                             models::TaskType task,
                             loadgen::Scenario scenario,
                             const ExperimentOptions &options = {});
+
+/**
+ * Outcome of a server run through the concurrent serving runtime:
+ * the LoadGen verdict plus the per-stage serving counters that make
+ * batching ablations first-class experiments (rendered by
+ * report::renderServingSummary).
+ */
+struct ServingOutcome
+{
+    ScenarioOutcome outcome;
+    serving::StatsSnapshot serving;
+    sim::Tick elapsedNs = 0;
+};
+
+/**
+ * Run the server scenario at a fixed Poisson rate @p qps through
+ * ServingSut (event workers in virtual time) wrapping the profile's
+ * analytical cost model. In @p serving_options, workers <= 0 and
+ * maxBatch <= 0 default to the profile's accelerator count and max
+ * batch respectively.
+ */
+ServingOutcome runServerServing(
+    const sut::HardwareProfile &profile, models::TaskType task,
+    double qps, const ExperimentOptions &options = {},
+    serving::ServingOptions serving_options = {});
 
 /**
  * A complete submission for one task on one system: all four

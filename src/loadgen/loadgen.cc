@@ -344,6 +344,19 @@ class Run : public ResponseDelegate
     onQueryComplete(uint64_t q)
     {
         (void)q;
+        // Asynchronous SUTs deliver querySamplesComplete from worker
+        // threads; the one that completed the final sample may still
+        // be inside its critical section when this event runs. The
+        // counters must be read under the mutex — both for coherence
+        // and so the finish path below (which can unwind into ~Run)
+        // cannot start until every completer has left the delegate.
+        bool idle;
+        uint64_t issued;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            idle = outstandingQueries_ == 0;
+            issued = issuedQueries_;
+        }
         switch (settings_.scenario) {
           case Scenario::SingleStream: {
             if (singleStreamDone()) {
@@ -354,7 +367,7 @@ class Run : public ResponseDelegate
             break;
           }
           case Scenario::Server: {
-            if (pendingArrivals_ == 0 && outstandingQueries_ == 0) {
+            if (pendingArrivals_ == 0 && idle) {
                 if (serverFloorsMet()) {
                     finish();
                 } else {
@@ -384,14 +397,13 @@ class Run : public ResponseDelegate
             break;
           }
           case Scenario::MultiStream: {
-            if (issuedQueries_ >= multistreamTarget() &&
-                outstandingQueries_ == 0) {
+            if (issued >= multistreamTarget() && idle) {
                 finish();
             }
             break;
           }
           case Scenario::Offline: {
-            if (outstandingQueries_ == 0)
+            if (idle)
                 finish();
             break;
           }

@@ -1,0 +1,121 @@
+#include "report/serving_report.h"
+
+#include "common/string_util.h"
+#include "report/table.h"
+
+namespace mlperf {
+namespace report {
+
+namespace {
+
+/** One histogram row: count, mean, p50/p90/p99, max. */
+std::vector<std::string>
+histogramRow(const std::string &label,
+             const stats::LogHistogram &histogram, bool duration)
+{
+    auto value = [duration](uint64_t v) {
+        return duration ? formatDuration(v) : withThousands(v);
+    };
+    return {label,
+            withThousands(histogram.count()),
+            duration ? formatDuration(
+                           static_cast<uint64_t>(histogram.mean()))
+                     : fmt(histogram.mean(), 2),
+            histogram.count() ? value(histogram.percentile(0.50)) : "-",
+            histogram.count() ? value(histogram.percentile(0.90)) : "-",
+            histogram.count() ? value(histogram.percentile(0.99)) : "-",
+            histogram.count() ? value(histogram.max()) : "-"};
+}
+
+std::string
+histogramJson(const stats::LogHistogram &histogram)
+{
+    if (histogram.count() == 0)
+        return "{\"count\":0}";
+    return strprintf(
+        "{\"count\":%llu,\"mean\":%.2f,\"p50\":%llu,\"p90\":%llu,"
+        "\"p99\":%llu,\"max\":%llu}",
+        static_cast<unsigned long long>(histogram.count()),
+        histogram.mean(),
+        static_cast<unsigned long long>(histogram.percentile(0.50)),
+        static_cast<unsigned long long>(histogram.percentile(0.90)),
+        static_cast<unsigned long long>(histogram.percentile(0.99)),
+        static_cast<unsigned long long>(histogram.max()));
+}
+
+} // namespace
+
+std::string
+renderServingSummary(const serving::StatsSnapshot &snapshot,
+                     sim::Tick elapsed_ns)
+{
+    std::string out;
+    out += "Serving runtime statistics\n";
+    out += strprintf(
+        "  samples: issued %s, completed %s, shed %s\n",
+        withThousands(snapshot.samplesIssued).c_str(),
+        withThousands(snapshot.samplesCompleted).c_str(),
+        withThousands(snapshot.samplesShed).c_str());
+    out += strprintf(
+        "  batches: %s formed (%s size / %s timeout / %s drain), "
+        "%s shed, avg size %.2f\n",
+        withThousands(snapshot.batchesFormed).c_str(),
+        withThousands(snapshot.sizeFlushes).c_str(),
+        withThousands(snapshot.timeoutFlushes).c_str(),
+        withThousands(snapshot.drainFlushes).c_str(),
+        withThousands(snapshot.batchesShed).c_str(),
+        snapshot.averageBatchSize());
+    out += strprintf(
+        "  workers: %lld, utilization %.1f%% over %s\n",
+        static_cast<long long>(snapshot.workers),
+        100.0 * snapshot.utilization(elapsed_ns),
+        formatDuration(elapsed_ns).c_str());
+
+    Table table({"Stage", "Count", "Mean", "p50", "p90", "p99", "Max"});
+    table.addRow(histogramRow("Queue depth (samples)",
+                              snapshot.queueDepth, false));
+    table.addRow(histogramRow("Batch size", snapshot.batchSize, false));
+    table.addRow(histogramRow("Time in queue", snapshot.timeInQueueNs,
+                              true));
+    table.addRow(histogramRow("Service time", snapshot.serviceTimeNs,
+                              true));
+    out += table.str();
+    return out;
+}
+
+std::string
+servingSnapshotJson(const serving::StatsSnapshot &snapshot,
+                    sim::Tick elapsed_ns)
+{
+    std::string out = "{";
+    out += strprintf(
+        "\"samples_issued\":%llu,\"samples_completed\":%llu,"
+        "\"samples_shed\":%llu,\"batches_formed\":%llu,"
+        "\"batches_shed\":%llu,\"size_flushes\":%llu,"
+        "\"timeout_flushes\":%llu,\"drain_flushes\":%llu,"
+        "\"avg_batch_size\":%.3f,\"workers\":%lld,"
+        "\"utilization\":%.4f,\"elapsed_ns\":%llu,",
+        static_cast<unsigned long long>(snapshot.samplesIssued),
+        static_cast<unsigned long long>(snapshot.samplesCompleted),
+        static_cast<unsigned long long>(snapshot.samplesShed),
+        static_cast<unsigned long long>(snapshot.batchesFormed),
+        static_cast<unsigned long long>(snapshot.batchesShed),
+        static_cast<unsigned long long>(snapshot.sizeFlushes),
+        static_cast<unsigned long long>(snapshot.timeoutFlushes),
+        static_cast<unsigned long long>(snapshot.drainFlushes),
+        snapshot.averageBatchSize(),
+        static_cast<long long>(snapshot.workers),
+        snapshot.utilization(elapsed_ns),
+        static_cast<unsigned long long>(elapsed_ns));
+    out += "\"queue_depth\":" + histogramJson(snapshot.queueDepth);
+    out += ",\"batch_size\":" + histogramJson(snapshot.batchSize);
+    out += ",\"time_in_queue_ns\":" +
+           histogramJson(snapshot.timeInQueueNs);
+    out += ",\"service_time_ns\":" +
+           histogramJson(snapshot.serviceTimeNs);
+    out += "}";
+    return out;
+}
+
+} // namespace report
+} // namespace mlperf

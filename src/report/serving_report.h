@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Run-summary rendering for the serving runtime's stage counters.
+ *
+ * Makes batching ablations first-class experiments: every
+ * ServingSut run can print (or emit as JSON) its queue-depth,
+ * time-in-queue, batch-size, utilization, and shed statistics next
+ * to the LoadGen's TestResult summary.
+ */
+
+#ifndef MLPERF_REPORT_SERVING_REPORT_H
+#define MLPERF_REPORT_SERVING_REPORT_H
+
+#include <string>
+
+#include "serving/serving_stats.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace report {
+
+/**
+ * mlperf_log_summary-style block of the serving counters.
+ * @param elapsed_ns run duration used for worker utilization.
+ */
+std::string renderServingSummary(
+    const serving::StatsSnapshot &snapshot, sim::Tick elapsed_ns);
+
+/**
+ * The same counters as a single JSON object (machine-readable bench
+ * output). Histograms are reduced to mean/p50/p90/p99/max.
+ */
+std::string servingSnapshotJson(
+    const serving::StatsSnapshot &snapshot, sim::Tick elapsed_ns);
+
+} // namespace report
+} // namespace mlperf
+
+#endif // MLPERF_REPORT_SERVING_REPORT_H

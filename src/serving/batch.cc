@@ -1,0 +1,31 @@
+#include "serving/batch.h"
+
+#include <cassert>
+
+namespace mlperf {
+namespace serving {
+
+void
+completeBatch(const Batch &batch,
+              const std::vector<loadgen::QuerySampleResponse> &responses)
+{
+    assert(batch.items.size() == responses.size() &&
+           "runBatch must return one response per sample");
+    std::vector<loadgen::QuerySampleResponse> group;
+    group.reserve(responses.size());
+    loadgen::ResponseDelegate *delegate = nullptr;
+    for (size_t i = 0; i < batch.items.size(); ++i) {
+        loadgen::ResponseDelegate *owner = batch.items[i].delegate;
+        if (delegate && owner != delegate) {
+            delegate->querySamplesComplete(group);
+            group.clear();
+        }
+        delegate = owner;
+        group.push_back(responses[i]);
+    }
+    if (delegate && !group.empty())
+        delegate->querySamplesComplete(group);
+}
+
+} // namespace serving
+} // namespace mlperf

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared value types of the serving runtime: the unit of work handed
+ * from the dynamic batcher to a worker pool.
+ *
+ * The paper's server scenario exists to stress "multiple users
+ * submitting concurrent, independent queries"; this runtime is the
+ * SUT-side answer — samples from independent queries are merged into
+ * batches, so one Batch may carry samples owned by different
+ * ResponseDelegates (e.g. under multitenancy).
+ */
+
+#ifndef MLPERF_SERVING_BATCH_H
+#define MLPERF_SERVING_BATCH_H
+
+#include <vector>
+
+#include "loadgen/sut.h"
+#include "loadgen/types.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+/** One sample waiting for (or undergoing) inference. */
+struct BatchItem
+{
+    loadgen::QuerySample sample;
+    loadgen::ResponseDelegate *delegate = nullptr;
+    sim::Tick enqueuedAt = 0;  //!< when issueQuery handed it over
+};
+
+/** Why the batcher emitted a batch. */
+enum class FlushReason
+{
+    Size,     //!< reached the max batch size
+    Timeout,  //!< batching-window deadline expired
+    Drain,    //!< explicit flush (flushQueries / end of run)
+};
+
+/** A formed batch travelling from batcher to worker. */
+struct Batch
+{
+    std::vector<BatchItem> items;
+    sim::Tick formedAt = 0;
+    FlushReason reason = FlushReason::Size;
+};
+
+/**
+ * Complete every item of @p batch through its delegate, preserving
+ * issue order and grouping consecutive items that share a delegate
+ * into one querySamplesComplete call. @p responses must be aligned
+ * with batch.items (the contract of BatchInference::runBatch).
+ */
+void completeBatch(
+    const Batch &batch,
+    const std::vector<loadgen::QuerySampleResponse> &responses);
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_BATCH_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The pluggable inner inference functor of the serving runtime.
+ *
+ * ServingSut owns queueing, batching, and worker scheduling; what a
+ * batch *costs* and what it *answers* is delegated to this interface
+ * so the same runtime serves both the real NN engine (thread workers,
+ * wall-clock time) and the simulated hardware profiles (event
+ * workers, virtual time). Adapters live in src/sut/serving_adapters.h.
+ */
+
+#ifndef MLPERF_SERVING_BATCH_INFERENCE_H
+#define MLPERF_SERVING_BATCH_INFERENCE_H
+
+#include <string>
+#include <vector>
+
+#include "loadgen/types.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+class BatchInference
+{
+  public:
+    virtual ~BatchInference() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Run inference on one batch and return one response per sample,
+     * aligned with @p samples. MUST be thread-safe: thread workers
+     * call this concurrently from multiple pool threads.
+     */
+    virtual std::vector<loadgen::QuerySampleResponse> runBatch(
+        const std::vector<loadgen::QuerySample> &samples) = 0;
+
+    /**
+     * Modeled service time of the batch, used by event workers to
+     * advance virtual time (runBatch itself is instantaneous in
+     * host time there). @p now is the dispatch time, letting models
+     * apply time-varying effects (DVFS warm-up). Only ever called
+     * from the executor thread, so implementations may keep
+     * unsynchronized RNG state for jitter.
+     *
+     * The default of 0 suits thread workers, where real compute time
+     * is measured rather than modeled.
+     */
+    virtual sim::Tick
+    serviceTimeNs(const std::vector<loadgen::QuerySample> &samples,
+                  sim::Tick now)
+    {
+        (void)samples;
+        (void)now;
+        return 0;
+    }
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_BATCH_INFERENCE_H

@@ -1,0 +1,127 @@
+#include "serving/batcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mlperf {
+namespace serving {
+
+DynamicBatcher::DynamicBatcher(sim::Executor &executor,
+                               int64_t max_batch, sim::Tick timeout_ns,
+                               EmitFn emit)
+    : executor_(executor), maxBatch_(std::max<int64_t>(1, max_batch)),
+      timeoutNs_(timeout_ns), emit_(std::move(emit))
+{
+    assert(emit_ && "batcher needs an emit callback");
+}
+
+Batch
+DynamicBatcher::takeBatch(size_t count, FlushReason reason)
+{
+    Batch batch;
+    batch.formedAt = executor_.now();
+    batch.reason = reason;
+    batch.items.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        batch.items.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+    }
+    return batch;
+}
+
+void
+DynamicBatcher::emitAll(std::vector<Batch> &batches)
+{
+    for (Batch &batch : batches)
+        emit_(std::move(batch));
+}
+
+void
+DynamicBatcher::armDeadline(sim::Tick now)
+{
+    (void)now;
+    deadlineArmed_ = true;
+    const uint64_t generation = generation_;
+    executor_.scheduleAfter(timeoutNs_, [this, generation] {
+        onDeadline(generation);
+    });
+}
+
+void
+DynamicBatcher::enqueue(const std::vector<loadgen::QuerySample> &samples,
+                        loadgen::ResponseDelegate &delegate)
+{
+    std::vector<Batch> formed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const sim::Tick now = executor_.now();
+        for (const auto &sample : samples)
+            pending_.push_back({sample, &delegate, now});
+
+        while (static_cast<int64_t>(pending_.size()) >= maxBatch_) {
+            formed.push_back(takeBatch(
+                static_cast<size_t>(maxBatch_), FlushReason::Size));
+        }
+        if (!pending_.empty()) {
+            if (timeoutNs_ == 0) {
+                // No batching window: a zero-length deadline expires
+                // immediately, so dispatch the remainder in-line.
+                formed.push_back(takeBatch(pending_.size(),
+                                           FlushReason::Timeout));
+            } else if (!deadlineArmed_) {
+                armDeadline(now);
+            }
+        }
+        if (pending_.empty()) {
+            ++generation_;  // any armed deadline is now stale
+            deadlineArmed_ = false;
+        }
+    }
+    emitAll(formed);
+}
+
+void
+DynamicBatcher::onDeadline(uint64_t generation)
+{
+    std::vector<Batch> formed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (generation != generation_)
+            return;  // batch already left by size flush or drain
+        deadlineArmed_ = false;
+        if (!pending_.empty()) {
+            formed.push_back(
+                takeBatch(pending_.size(), FlushReason::Timeout));
+            ++generation_;
+        }
+    }
+    emitAll(formed);
+}
+
+void
+DynamicBatcher::flush()
+{
+    std::vector<Batch> formed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (!pending_.empty()) {
+            const size_t take = std::min<size_t>(
+                pending_.size(), static_cast<size_t>(maxBatch_));
+            formed.push_back(takeBatch(take, FlushReason::Drain));
+        }
+        ++generation_;
+        deadlineArmed_ = false;
+    }
+    emitAll(formed);
+}
+
+size_t
+DynamicBatcher::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+}
+
+} // namespace serving
+} // namespace mlperf

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dynamic batcher: merges samples from independent queries into
+ * batches, flushing on whichever comes first — max batch size or a
+ * batching-window deadline.
+ *
+ * The deadline is scheduled through sim::Executor, so the batcher
+ * behaves identically under VirtualExecutor (deterministic virtual
+ * time) and RealExecutor (wall clock). This is the SUT-side knob
+ * behind Figure 6's server-vs-offline gap: a wider window forms
+ * fuller batches (throughput) at the cost of queueing delay
+ * (latency) — see bench_serving_batching.
+ */
+
+#ifndef MLPERF_SERVING_BATCHER_H
+#define MLPERF_SERVING_BATCHER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serving/batch.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+class DynamicBatcher
+{
+  public:
+    /** Receives each formed batch (called with no locks held). */
+    using EmitFn = std::function<void(Batch &&)>;
+
+    /**
+     * @param max_batch largest batch formed (>= 1)
+     * @param timeout_ns how long a partial batch may wait for more
+     *        samples; 0 dispatches on every enqueue (no batching
+     *        window)
+     */
+    DynamicBatcher(sim::Executor &executor, int64_t max_batch,
+                   sim::Tick timeout_ns, EmitFn emit);
+
+    /** Add a query's samples; may emit one or more full batches. */
+    void enqueue(const std::vector<loadgen::QuerySample> &samples,
+                 loadgen::ResponseDelegate &delegate);
+
+    /** Emit everything pending immediately (FlushReason::Drain). */
+    void flush();
+
+    /** Samples currently awaiting batch formation. */
+    size_t pending() const;
+
+  private:
+    /** Pop up to max_batch pending items into a batch (lock held). */
+    Batch takeBatch(size_t count, FlushReason reason);
+    void emitAll(std::vector<Batch> &batches);
+    void armDeadline(sim::Tick now);
+    void onDeadline(uint64_t generation);
+
+    sim::Executor &executor_;
+    const int64_t maxBatch_;
+    const sim::Tick timeoutNs_;
+    EmitFn emit_;
+
+    mutable std::mutex mutex_;
+    std::deque<BatchItem> pending_;
+    bool deadlineArmed_ = false;
+    /** Bumped whenever pending_ empties; stale deadlines no-op. */
+    uint64_t generation_ = 0;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_BATCHER_H

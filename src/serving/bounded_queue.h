@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue with backpressure.
+ *
+ * The hand-off point between the dynamic batcher and the thread
+ * worker pool, mirroring the run-queue/background-worker split of
+ * production serving stacks (RedisAI-style). A full queue is the
+ * backpressure signal: tryPush() fails instead of growing without
+ * bound, and the caller decides whether to shed or stall.
+ */
+
+#ifndef MLPERF_SERVING_BOUNDED_QUEUE_H
+#define MLPERF_SERVING_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mlperf {
+namespace serving {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity maximum queued items; 0 means unbounded. */
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Enqueue without blocking. Returns false — leaving @p value
+     * untouched — when the queue is full or closed.
+     */
+    bool
+    tryPush(T &value)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || full())
+                return false;
+            items_.push_back(std::move(value));
+        }
+        consumerCv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue, blocking while the queue is full. Returns false only
+     * if the queue is (or becomes) closed.
+     */
+    bool
+    push(T value)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            producerCv_.wait(lock,
+                             [this] { return closed_ || !full(); });
+            if (closed_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        consumerCv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue, blocking while the queue is empty. Returns nullopt
+     * once the queue is closed AND drained — the worker shutdown
+     * signal.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::optional<T> out;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            consumerCv_.wait(
+                lock, [this] { return closed_ || !items_.empty(); });
+            if (items_.empty())
+                return std::nullopt;
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        producerCv_.notify_one();
+        return out;
+    }
+
+    /** Non-blocking dequeue. */
+    std::optional<T>
+    tryPop()
+    {
+        std::optional<T> out;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (items_.empty())
+                return std::nullopt;
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        producerCv_.notify_one();
+        return out;
+    }
+
+    /** Reject new work; consumers drain what remains, then stop. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        producerCv_.notify_all();
+        consumerCv_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    bool full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable producerCv_;
+    std::condition_variable consumerCv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_BOUNDED_QUEUE_H

@@ -1,0 +1,70 @@
+#include "serving/serving_stats.h"
+
+namespace mlperf {
+namespace serving {
+
+void
+ServingStats::recordIssued(uint64_t samples, uint64_t depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.samplesIssued += samples;
+    counters_.queueDepth.record(depth);
+}
+
+void
+ServingStats::recordBatchFormed(const Batch &batch)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.batchesFormed;
+    counters_.batchSize.record(batch.items.size());
+    switch (batch.reason) {
+      case FlushReason::Size: ++counters_.sizeFlushes; break;
+      case FlushReason::Timeout: ++counters_.timeoutFlushes; break;
+      case FlushReason::Drain: ++counters_.drainFlushes; break;
+    }
+}
+
+void
+ServingStats::recordDispatch(const Batch &batch, sim::Tick now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const BatchItem &item : batch.items) {
+        counters_.timeInQueueNs.record(
+            now >= item.enqueuedAt ? now - item.enqueuedAt : 0);
+    }
+}
+
+void
+ServingStats::recordBatchDone(uint64_t samples, sim::Tick busyNs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.batchesCompleted;
+    counters_.samplesCompleted += samples;
+    counters_.workerBusyNs += busyNs;
+    counters_.serviceTimeNs.record(busyNs);
+}
+
+void
+ServingStats::recordShed(uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.batchesShed;
+    counters_.samplesShed += samples;
+}
+
+void
+ServingStats::setWorkers(int64_t workers)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.workers = workers;
+}
+
+StatsSnapshot
+ServingStats::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace serving
+} // namespace mlperf

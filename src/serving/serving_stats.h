@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Instrumentation for every stage of the serving runtime.
+ *
+ * Queue depth, time-in-queue, batch size, service time, worker busy
+ * time, and shed counts — the counters batching ablations need to be
+ * first-class experiments (surfaced through src/report). All record
+ * methods are thread-safe; thread workers call them concurrently.
+ */
+
+#ifndef MLPERF_SERVING_SERVING_STATS_H
+#define MLPERF_SERVING_SERVING_STATS_H
+
+#include <cstdint>
+#include <mutex>
+
+#include "serving/batch.h"
+#include "sim/executor.h"
+#include "stats/histogram.h"
+
+namespace mlperf {
+namespace serving {
+
+/** Point-in-time copy of all serving-runtime counters. */
+struct StatsSnapshot
+{
+    uint64_t samplesIssued = 0;     //!< handed to issueQuery
+    uint64_t samplesCompleted = 0;  //!< responded through delegates
+    uint64_t samplesShed = 0;       //!< fast-failed by backpressure
+
+    uint64_t batchesFormed = 0;
+    uint64_t batchesCompleted = 0;
+    uint64_t batchesShed = 0;
+    uint64_t sizeFlushes = 0;     //!< batches closed by max size
+    uint64_t timeoutFlushes = 0;  //!< batches closed by the deadline
+    uint64_t drainFlushes = 0;    //!< batches closed by flush()
+
+    int64_t workers = 0;        //!< pool size (for utilization)
+    uint64_t workerBusyNs = 0;  //!< busy time summed over workers
+
+    stats::LogHistogram queueDepth{1, 1 << 20, 64};
+    stats::LogHistogram batchSize{1, 1 << 20, 64};
+    stats::LogHistogram timeInQueueNs;  //!< enqueue -> worker start
+    stats::LogHistogram serviceTimeNs;  //!< worker start -> done
+
+    double
+    averageBatchSize() const
+    {
+        return batchesCompleted == 0
+                   ? 0.0
+                   : static_cast<double>(samplesCompleted) /
+                         static_cast<double>(batchesCompleted);
+    }
+
+    /** Busy fraction of the pool over @p elapsed ns of run time. */
+    double
+    utilization(sim::Tick elapsedNs) const
+    {
+        if (workers <= 0 || elapsedNs == 0)
+            return 0.0;
+        return static_cast<double>(workerBusyNs) /
+               (static_cast<double>(workers) *
+                static_cast<double>(elapsedNs));
+    }
+};
+
+class ServingStats
+{
+  public:
+    /** Samples arrived at issueQuery; @p depth = batcher+queue load. */
+    void recordIssued(uint64_t samples, uint64_t depth);
+
+    /** The batcher emitted @p batch (before queue admission). */
+    void recordBatchFormed(const Batch &batch);
+
+    /** A worker picked @p batch up at @p now. */
+    void recordDispatch(const Batch &batch, sim::Tick now);
+
+    /** A worker finished a batch of @p samples after @p busyNs. */
+    void recordBatchDone(uint64_t samples, sim::Tick busyNs);
+
+    /** Backpressure rejected a whole batch of @p samples. */
+    void recordShed(uint64_t samples);
+
+    void setWorkers(int64_t workers);
+
+    StatsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    StatsSnapshot counters_;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_SERVING_STATS_H

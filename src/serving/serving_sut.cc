@@ -1,0 +1,89 @@
+#include "serving/serving_sut.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mlperf {
+namespace serving {
+
+ServingSut::ServingSut(sim::Executor &executor,
+                       BatchInference &inference, ServingOptions options)
+    : executor_(executor), inference_(inference), options_(options)
+{
+    mode_ = options_.mode;
+    if (mode_ == WorkerMode::Auto) {
+        mode_ = executor_.virtualTime() ? WorkerMode::Events
+                                        : WorkerMode::Threads;
+    }
+    if (mode_ == WorkerMode::Threads) {
+        pool_ = std::make_unique<ThreadWorkerPool>(
+            executor_, inference_, stats_, options_.workers,
+            options_.queueCapacityBatches);
+    } else {
+        pool_ = std::make_unique<EventWorkerPool>(
+            executor_, inference_, stats_, options_.workers,
+            options_.queueCapacityBatches);
+    }
+    batcher_ = std::make_unique<DynamicBatcher>(
+        executor_, options_.maxBatch, options_.batchTimeoutNs,
+        [this](Batch &&batch) { onBatchFormed(std::move(batch)); });
+}
+
+ServingSut::~ServingSut()
+{
+    shutdown();
+}
+
+std::string
+ServingSut::name() const
+{
+    return inference_.name() + "+serving";
+}
+
+void
+ServingSut::issueQuery(const std::vector<loadgen::QuerySample> &samples,
+                       loadgen::ResponseDelegate &delegate)
+{
+    const uint64_t depth = batcher_->pending() +
+                           pool_->queuedSamples() + samples.size();
+    stats_.recordIssued(samples.size(), depth);
+    batcher_->enqueue(samples, delegate);
+}
+
+void
+ServingSut::flushQueries()
+{
+    batcher_->flush();
+}
+
+void
+ServingSut::shutdown()
+{
+    batcher_->flush();
+    pool_->shutdown();
+}
+
+void
+ServingSut::onBatchFormed(Batch &&batch)
+{
+    stats_.recordBatchFormed(batch);
+    if (!pool_->submit(batch))
+        shedBatch(batch);
+}
+
+void
+ServingSut::shedBatch(const Batch &batch)
+{
+    stats_.recordShed(batch.items.size());
+    MLPERF_LOG(Warn) << name() << ": worker queue full, shedding "
+                     << batch.items.size() << " sample(s)";
+    std::vector<loadgen::QuerySampleResponse> responses;
+    responses.reserve(batch.items.size());
+    for (const BatchItem &item : batch.items)
+        responses.push_back({item.sample.id, ""});
+    completeBatch(batch, responses);
+}
+
+} // namespace serving
+} // namespace mlperf

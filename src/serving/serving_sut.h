@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ServingSut: the concurrent serving runtime packaged as a
+ * loadgen::SystemUnderTest.
+ *
+ * Pipeline:  issueQuery -> DynamicBatcher -> bounded queue ->
+ * WorkerPool -> BatchInference -> ResponseDelegate (async).
+ *
+ * The paper's server scenario measures how a SUT copes with
+ * "multiple users submitting concurrent, independent queries"
+ * (Sec. III); every inline SUT in this repository answered on the
+ * issuing thread, leaving nothing concurrent to measure. ServingSut
+ * wraps any per-batch inference functor — the real NN engine or a
+ * simulated hardware profile — behind a worker pool plus dynamic
+ * batcher, completing responses asynchronously and instrumenting
+ * every stage (queue depth, time-in-queue, batch size, utilization,
+ * shed queries).
+ *
+ * Overload policy: when the worker queue is full the whole batch is
+ * *shed* — each sample is completed immediately with an empty
+ * payload (a fast-fail, like an HTTP 503). Shed samples count as
+ * wrong answers in accuracy mode and as suspiciously-fast responses
+ * in performance mode, and are surfaced in StatsSnapshot; they never
+ * leave the LoadGen waiting on a response that will not come.
+ */
+
+#ifndef MLPERF_SERVING_SERVING_SUT_H
+#define MLPERF_SERVING_SERVING_SUT_H
+
+#include <memory>
+#include <string>
+
+#include "loadgen/sut.h"
+#include "serving/batch_inference.h"
+#include "serving/batcher.h"
+#include "serving/serving_stats.h"
+#include "serving/worker_pool.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+/** Which worker-pool flavor backs the runtime. */
+enum class WorkerMode
+{
+    /** Events under virtual time, threads under wall-clock time. */
+    Auto,
+    Threads,
+    Events,
+};
+
+struct ServingOptions
+{
+    /** Largest formed batch. */
+    int64_t maxBatch = 8;
+    /**
+     * How long the batcher may hold a partial batch; 0 dispatches
+     * on every enqueue.
+     */
+    sim::Tick batchTimeoutNs = 2 * sim::kNsPerMs;
+    /** Worker pool size (threads or logical engines). */
+    int64_t workers = 4;
+    /**
+     * Worker-queue capacity in batches; 0 = unbounded. A full queue
+     * sheds (fast-fails) incoming batches — the backpressure signal.
+     */
+    size_t queueCapacityBatches = 64;
+    WorkerMode mode = WorkerMode::Auto;
+};
+
+class ServingSut : public loadgen::SystemUnderTest
+{
+  public:
+    ServingSut(sim::Executor &executor, BatchInference &inference,
+               ServingOptions options = {});
+    ~ServingSut() override;
+
+    std::string name() const override;
+    void issueQuery(const std::vector<loadgen::QuerySample> &samples,
+                    loadgen::ResponseDelegate &delegate) override;
+    void flushQueries() override;
+
+    /**
+     * Drain and release the workers (idempotent; the destructor
+     * calls it). After shutdown the stats snapshot is final —
+     * benches call this before computing utilization.
+     */
+    void shutdown();
+
+    /** Live (or, after shutdown, final) stage counters. */
+    StatsSnapshot stats() const { return stats_.snapshot(); }
+
+    const ServingOptions &options() const { return options_; }
+
+    /** The worker flavor Auto resolved to. */
+    WorkerMode resolvedMode() const { return mode_; }
+
+  private:
+    void onBatchFormed(Batch &&batch);
+    void shedBatch(const Batch &batch);
+
+    sim::Executor &executor_;
+    BatchInference &inference_;
+    ServingOptions options_;
+    WorkerMode mode_;
+    ServingStats stats_;
+    std::unique_ptr<WorkerPool> pool_;
+    std::unique_ptr<DynamicBatcher> batcher_;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_SERVING_SUT_H

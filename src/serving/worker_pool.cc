@@ -1,0 +1,144 @@
+#include "serving/worker_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mlperf {
+namespace serving {
+
+namespace {
+
+std::vector<loadgen::QuerySample>
+batchSamples(const Batch &batch)
+{
+    std::vector<loadgen::QuerySample> samples;
+    samples.reserve(batch.items.size());
+    for (const BatchItem &item : batch.items)
+        samples.push_back(item.sample);
+    return samples;
+}
+
+} // namespace
+
+// --------------------------------------------------- ThreadWorkerPool
+
+ThreadWorkerPool::ThreadWorkerPool(sim::Executor &executor,
+                                   BatchInference &inference,
+                                   ServingStats &stats, int64_t workers,
+                                   size_t queue_capacity)
+    : executor_(executor), inference_(inference), stats_(stats),
+      queue_(queue_capacity)
+{
+    workers = std::max<int64_t>(1, workers);
+    stats_.setWorkers(workers);
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int64_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadWorkerPool::~ThreadWorkerPool()
+{
+    shutdown();
+}
+
+bool
+ThreadWorkerPool::submit(Batch &batch)
+{
+    const uint64_t samples = batch.items.size();
+    if (!queue_.tryPush(batch))
+        return false;
+    queuedSamples_ += samples;
+    return true;
+}
+
+void
+ThreadWorkerPool::shutdown()
+{
+    if (stopped_.exchange(true))
+        return;
+    queue_.close();
+    for (std::thread &thread : threads_) {
+        if (thread.joinable())
+            thread.join();
+    }
+}
+
+void
+ThreadWorkerPool::workerLoop()
+{
+    while (auto batch = queue_.pop())
+        process(std::move(*batch));
+}
+
+void
+ThreadWorkerPool::process(Batch &&batch)
+{
+    queuedSamples_ -= batch.items.size();
+    const sim::Tick start = executor_.now();
+    stats_.recordDispatch(batch, start);
+    const auto responses = inference_.runBatch(batchSamples(batch));
+    completeBatch(batch, responses);
+    const sim::Tick end = executor_.now();
+    stats_.recordBatchDone(batch.items.size(),
+                           end >= start ? end - start : 0);
+}
+
+// ---------------------------------------------------- EventWorkerPool
+
+EventWorkerPool::EventWorkerPool(sim::Executor &executor,
+                                 BatchInference &inference,
+                                 ServingStats &stats, int64_t workers,
+                                 size_t queue_capacity)
+    : executor_(executor), inference_(inference), stats_(stats),
+      workers_(std::max<int64_t>(1, workers)),
+      queueCapacity_(queue_capacity)
+{
+    stats_.setWorkers(workers_);
+}
+
+bool
+EventWorkerPool::submit(Batch &batch)
+{
+    if (queueCapacity_ != 0 && queue_.size() >= queueCapacity_)
+        return false;
+    queuedSamples_ += batch.items.size();
+    queue_.push_back(std::move(batch));
+    dispatch();
+    return true;
+}
+
+void
+EventWorkerPool::dispatch()
+{
+    while (busyWorkers_ < workers_ && !queue_.empty()) {
+        Batch batch = std::move(queue_.front());
+        queue_.pop_front();
+        queuedSamples_ -= batch.items.size();
+
+        const sim::Tick now = executor_.now();
+        stats_.recordDispatch(batch, now);
+        const sim::Tick service =
+            inference_.serviceTimeNs(batchSamples(batch), now);
+        ++busyWorkers_;
+        executor_.scheduleAfter(
+            service, [this, batch = std::move(batch), service] {
+                finishBatch(batch, service);
+            });
+    }
+}
+
+void
+EventWorkerPool::finishBatch(const Batch &batch, sim::Tick service_ns)
+{
+    // runBatch is instantaneous in host time; virtual time already
+    // advanced by the modeled service time.
+    const auto responses = inference_.runBatch(batchSamples(batch));
+    completeBatch(batch, responses);
+    stats_.recordBatchDone(batch.items.size(), service_ns);
+    --busyWorkers_;
+    dispatch();
+}
+
+} // namespace serving
+} // namespace mlperf

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Worker pools that execute formed batches concurrently.
+ *
+ * Two implementations behind one interface:
+ *
+ *  - ThreadWorkerPool: N OS threads pull batches from a bounded MPMC
+ *    queue and run real inference (RedisAI-style background
+ *    workers). Used with RealExecutor, where compute takes wall time.
+ *  - EventWorkerPool: N logical workers advance virtual time by the
+ *    inference functor's modeled service time. Used with
+ *    VirtualExecutor so full-scale server runs stay deterministic
+ *    and fast.
+ *
+ * Both report backpressure by failing submit(), leaving the shed
+ * policy to the caller (ServingSut fast-fails the batch and counts
+ * it).
+ */
+
+#ifndef MLPERF_SERVING_WORKER_POOL_H
+#define MLPERF_SERVING_WORKER_POOL_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "serving/batch.h"
+#include "serving/batch_inference.h"
+#include "serving/bounded_queue.h"
+#include "serving/serving_stats.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+class WorkerPool
+{
+  public:
+    virtual ~WorkerPool() = default;
+
+    /**
+     * Admit a batch. On success the batch is consumed (moved from)
+     * and true is returned; on backpressure the batch is left intact
+     * and false is returned.
+     */
+    virtual bool submit(Batch &batch) = 0;
+
+    /** Stop accepting work, drain what is queued, release workers. */
+    virtual void shutdown() = 0;
+
+    virtual int64_t workerCount() const = 0;
+
+    /** Samples admitted but not yet picked up by a worker. */
+    virtual uint64_t queuedSamples() const = 0;
+};
+
+/** N threads around a bounded queue; inference takes real time. */
+class ThreadWorkerPool : public WorkerPool
+{
+  public:
+    ThreadWorkerPool(sim::Executor &executor,
+                     BatchInference &inference, ServingStats &stats,
+                     int64_t workers, size_t queue_capacity);
+    ~ThreadWorkerPool() override;
+
+    bool submit(Batch &batch) override;
+    void shutdown() override;
+    int64_t
+    workerCount() const override
+    {
+        return static_cast<int64_t>(threads_.size());
+    }
+    uint64_t queuedSamples() const override { return queuedSamples_; }
+
+  private:
+    void workerLoop();
+    void process(Batch &&batch);
+
+    sim::Executor &executor_;
+    BatchInference &inference_;
+    ServingStats &stats_;
+    BoundedQueue<Batch> queue_;
+    std::atomic<uint64_t> queuedSamples_{0};
+    std::vector<std::thread> threads_;
+    std::atomic<bool> stopped_{false};
+};
+
+/**
+ * N logical workers driven entirely by executor events; inference
+ * cost comes from BatchInference::serviceTimeNs. Runs on the
+ * executor thread only (both executors fire events on the thread
+ * calling run()), so it needs no locking.
+ */
+class EventWorkerPool : public WorkerPool
+{
+  public:
+    EventWorkerPool(sim::Executor &executor,
+                    BatchInference &inference, ServingStats &stats,
+                    int64_t workers, size_t queue_capacity);
+
+    bool submit(Batch &batch) override;
+    void shutdown() override {}
+    int64_t workerCount() const override { return workers_; }
+    uint64_t queuedSamples() const override { return queuedSamples_; }
+
+  private:
+    void dispatch();
+    void finishBatch(const Batch &batch, sim::Tick service_ns);
+
+    sim::Executor &executor_;
+    BatchInference &inference_;
+    ServingStats &stats_;
+    const int64_t workers_;
+    const size_t queueCapacity_;  //!< batches; 0 = unbounded
+    std::deque<Batch> queue_;
+    uint64_t queuedSamples_ = 0;
+    int64_t busyWorkers_ = 0;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_WORKER_POOL_H

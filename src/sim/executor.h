@@ -51,6 +51,15 @@ class Executor
     virtual Tick now() const = 0;
 
     /**
+     * True when ticks are simulated rather than wall-clock. Lets
+     * time-agnostic components pick an execution strategy — e.g. the
+     * serving runtime uses event-driven workers under virtual time
+     * (real threads cannot advance a discrete-event clock) and OS
+     * threads under wall-clock time.
+     */
+    virtual bool virtualTime() const { return false; }
+
+    /**
      * Schedule @p task to run at absolute time @p when. Tasks scheduled
      * in the past (or at now()) run as soon as possible, in FIFO order
      * among equal times.

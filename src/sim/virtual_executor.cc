@@ -10,16 +10,17 @@ VirtualExecutor::schedule(Tick when, Task task)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     // Events "in the past" run now; virtual time never goes backwards.
-    if (when < now_)
-        when = now_;
+    const Tick current = now_.load(std::memory_order_relaxed);
+    if (when < current)
+        when = current;
     queue_.push(Event{when, nextSeq_++, std::move(task)});
 }
 
 void
 VirtualExecutor::run()
 {
-    stopped_ = false;
-    while (!stopped_) {
+    stopped_.store(false, std::memory_order_release);
+    while (!stopped_.load(std::memory_order_acquire)) {
         Task task;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -28,7 +29,7 @@ VirtualExecutor::run()
             // priority_queue::top() is const; the task must be moved
             // out, so we copy the POD fields and const_cast the task.
             const Event &top = queue_.top();
-            now_ = top.when;
+            now_.store(top.when, std::memory_order_release);
             task = std::move(const_cast<Event &>(top).task);
             queue_.pop();
         }

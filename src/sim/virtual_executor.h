@@ -6,6 +6,7 @@
 #ifndef MLPERF_SIM_VIRTUAL_EXECUTOR_H
 #define MLPERF_SIM_VIRTUAL_EXECUTOR_H
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <queue>
@@ -28,10 +29,11 @@ namespace sim {
 class VirtualExecutor : public Executor
 {
   public:
-    Tick now() const override { return now_; }
+    Tick now() const override { return now_.load(std::memory_order_acquire); }
+    bool virtualTime() const override { return true; }
     void schedule(Tick when, Task task) override;
     void run() override;
-    void stop() override { stopped_ = true; }
+    void stop() override { stopped_.store(true, std::memory_order_release); }
 
     /** Number of events executed so far (for tests/diagnostics). */
     uint64_t eventsProcessed() const { return eventsProcessed_; }
@@ -56,10 +58,13 @@ class VirtualExecutor : public Executor
 
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     std::mutex mutex_;
-    Tick now_ = 0;
+    // now_/stopped_ are atomic so foreign threads (SUT workers) may
+    // call now() and stop() without racing the event loop, matching
+    // the Executor contract.
+    std::atomic<Tick> now_{0};
     uint64_t nextSeq_ = 0;
     uint64_t eventsProcessed_ = 0;
-    bool stopped_ = false;
+    std::atomic<bool> stopped_{false};
 };
 
 } // namespace sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Adapters plugging this repository's two SUT families into the
+ * serving runtime (src/serving):
+ *
+ *  - ProfileBatchInference: a simulated hardware profile + model
+ *    cost, for event workers under virtual time. The same analytical
+ *    model as SimulatedSut (batch efficiency, DVFS warm-up, jitter),
+ *    but with queueing/batching/scheduling handled by ServingSut
+ *    instead of inline.
+ *  - ClassifierBatchInference: the real NN image classifier, for
+ *    thread workers under wall-clock time — the concurrent
+ *    counterpart of the inline ClassifierSut.
+ */
+
+#ifndef MLPERF_SUT_SERVING_ADAPTERS_H
+#define MLPERF_SUT_SERVING_ADAPTERS_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serving/batch_inference.h"
+#include "sut/hardware_profile.h"
+#include "sut/model_cost.h"
+#include "sut/nn_sut.h"
+
+namespace mlperf {
+namespace sut {
+
+/** Analytical service-time model over a HardwareProfile. */
+class ProfileBatchInference : public serving::BatchInference
+{
+  public:
+    ProfileBatchInference(HardwareProfile profile, ModelCost cost,
+                          uint64_t seed = 0xDEC0DE);
+
+    std::string name() const override { return profile_.systemName; }
+
+    /** No real compute: responses carry empty payloads. */
+    std::vector<loadgen::QuerySampleResponse> runBatch(
+        const std::vector<loadgen::QuerySample> &samples) override;
+
+    sim::Tick serviceTimeNs(
+        const std::vector<loadgen::QuerySample> &samples,
+        sim::Tick now) override;
+
+    const HardwareProfile &profile() const { return profile_; }
+
+  private:
+    HardwareProfile profile_;
+    ModelCost cost_;
+    Rng rng_;
+};
+
+/** Real classifier inference; thread-safe (models are stateless). */
+class ClassifierBatchInference : public serving::BatchInference
+{
+  public:
+    ClassifierBatchInference(const models::ImageClassifier &model,
+                             const ClassificationQsl &qsl)
+        : model_(model), qsl_(qsl)
+    {
+    }
+
+    std::string name() const override { return model_.name(); }
+
+    std::vector<loadgen::QuerySampleResponse> runBatch(
+        const std::vector<loadgen::QuerySample> &samples) override;
+
+  private:
+    const models::ImageClassifier &model_;
+    const ClassificationQsl &qsl_;
+};
+
+} // namespace sut
+} // namespace mlperf
+
+#endif // MLPERF_SUT_SERVING_ADAPTERS_H

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -64,6 +66,47 @@ TEST_F(LoggingTest, StreamFormatting)
     MLPERF_LOG(Error) << "qps=" << 12.5 << " valid=" << true;
     ASSERT_EQ(records_.size(), 1u);
     EXPECT_EQ(records_[0].second, "qps=12.5 valid=1");
+}
+
+/**
+ * Writers on several threads race against sink/level swaps on the
+ * main thread; under TSan this locks in the Logger fix (sink under a
+ * mutex, level atomic). Not a fixture test: the fixture's recording
+ * sink is irrelevant here and the counting sink below is atomic.
+ */
+TEST(LoggingConcurrency, ParallelWritersAndReconfiguration)
+{
+    std::atomic<uint64_t> delivered{0};
+    const Logger::Sink old = Logger::setSink(
+        [&delivered](LogLevel, const std::string &) { ++delivered; });
+    const LogLevel old_level = Logger::level();
+    Logger::setLevel(LogLevel::Debug);
+
+    constexpr int kWriters = 4;
+    constexpr int kMessagesPerWriter = 500;
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([w] {
+            for (int i = 0; i < kMessagesPerWriter; ++i)
+                MLPERF_LOG(Error) << "writer " << w << " msg " << i;
+        });
+    }
+    // Reconfigure concurrently: the historical data race was between
+    // setSink and write.
+    for (int i = 0; i < 100; ++i) {
+        Logger::setLevel(i % 2 ? LogLevel::Debug : LogLevel::Error);
+        Logger::setSink([&delivered](LogLevel, const std::string &) {
+            ++delivered;
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+
+    Logger::setSink(old);
+    Logger::setLevel(old_level);
+    // Error-level messages pass every filter level used above.
+    EXPECT_EQ(delivered.load(),
+              static_cast<uint64_t>(kWriters * kMessagesPerWriter));
 }
 
 } // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the bounded MPMC queue: capacity/backpressure, FIFO
+ * order, close semantics, and a multi-producer/multi-consumer
+ * stress run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serving/bounded_queue.h"
+
+namespace mlperf {
+namespace serving {
+namespace {
+
+TEST(BoundedQueue, TryPushRespectsCapacity)
+{
+    BoundedQueue<int> queue(2);
+    int a = 1, b = 2, c = 3;
+    EXPECT_TRUE(queue.tryPush(a));
+    EXPECT_TRUE(queue.tryPush(b));
+    EXPECT_FALSE(queue.tryPush(c));  // full: backpressure
+    EXPECT_EQ(c, 3);                 // rejected value left intact
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> queue(0);  // unbounded
+    for (int i = 0; i < 5; ++i) {
+        int v = i;
+        EXPECT_TRUE(queue.tryPush(v));
+    }
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(*queue.tryPop(), i);
+    EXPECT_FALSE(queue.tryPop().has_value());
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops)
+{
+    BoundedQueue<int> queue(4);
+    int a = 7;
+    ASSERT_TRUE(queue.tryPush(a));
+    queue.close();
+    int b = 8;
+    EXPECT_FALSE(queue.tryPush(b));     // closed: no new work
+    EXPECT_EQ(*queue.pop(), 7);         // queued work still drains
+    EXPECT_FALSE(queue.pop().has_value());  // then shutdown signal
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace)
+{
+    BoundedQueue<int> queue(1);
+    int a = 1;
+    ASSERT_TRUE(queue.tryPush(a));
+    std::thread producer([&queue] { EXPECT_TRUE(queue.push(2)); });
+    // The consumer frees the slot the producer is waiting on.
+    EXPECT_EQ(*queue.pop(), 1);
+    EXPECT_EQ(*queue.pop(), 2);
+    producer.join();
+}
+
+TEST(BoundedQueue, ConcurrentProducersAndConsumers)
+{
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 250;
+    BoundedQueue<int> queue(8);
+    std::vector<std::thread> threads;
+    std::mutex seen_mutex;
+    std::set<int> seen;
+
+    for (int c = 0; c < 3; ++c) {
+        threads.emplace_back([&] {
+            while (auto v = queue.pop()) {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                seen.insert(*v);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(queue.push(p * kPerProducer + i));
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    queue.close();
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(seen.size(),
+              static_cast<size_t>(kProducers * kPerProducer));
+}
+
+} // namespace
+} // namespace serving
+} // namespace mlperf
