@@ -4,7 +4,8 @@
 # directories and runs the suites that exercise real threads: the
 # serving runtime (worker pool, dynamic batcher, bounded queue), the
 # LoadGen (asynchronous completion / run teardown), the executors,
-# and the logging concurrency test.
+# the logging concurrency test, and the compute substrate (intra-op
+# thread pool, scratch arena, parallel GEMM/conv kernels).
 #
 # Usage: scripts/check.sh [tsan|asan|all]   (default: all)
 set -e
@@ -21,7 +22,7 @@ command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
 run_suite() {
     build_dir="$1"
     ctest --test-dir "$build_dir" --output-on-failure \
-          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging'
+          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8'
 }
 
 if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
@@ -31,7 +32,8 @@ if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
     cmake --build build-tsan --target \
-          test_serving test_loadgen test_sim test_common
+          test_serving test_loadgen test_sim test_common test_tensor \
+          test_quant
     TSAN_OPTIONS="halt_on_error=1" run_suite build-tsan
 fi
 
@@ -42,7 +44,8 @@ if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
     cmake --build build-asan --target \
-          test_serving test_loadgen test_sim test_common
+          test_serving test_loadgen test_sim test_common test_tensor \
+          test_quant
     run_suite build-asan
 fi
 

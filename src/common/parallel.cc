@@ -1,0 +1,188 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mlperf {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("MLPERF_INTRAOP_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::mutex g_pool_mutex;
+std::shared_ptr<ThreadPool> g_pool;
+
+} // namespace
+
+/**
+ * A fork-join job. Chunks are claimed with an atomic cursor so load
+ * imbalance between chunks self-corrects; `completed` releases the
+ * workers' writes to the caller, which acquires it while waiting.
+ */
+struct ThreadPool::Job
+{
+    std::function<void(int64_t, int64_t)> fn;
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t chunkCount = 0;
+    std::atomic<int64_t> nextChunk{0};
+    std::atomic<int64_t> completed{0};
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threadCount_(std::max(threads, 1))
+{
+    threads_.reserve(static_cast<size_t>(threadCount_ - 1));
+    for (int i = 0; i < threadCount_ - 1; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return t_in_worker;
+}
+
+void
+ThreadPool::runChunks(const std::shared_ptr<Job> &job)
+{
+    const bool was_in_worker = t_in_worker;
+    t_in_worker = true;
+    for (;;) {
+        const int64_t chunk =
+            job->nextChunk.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= job->chunkCount)
+            break;
+        const int64_t b = job->begin + chunk * job->grain;
+        const int64_t e = std::min(b + job->grain, job->end);
+        job->fn(b, e);
+        if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job->chunkCount) {
+            std::lock_guard<std::mutex> lock(job->doneMutex);
+            job->doneCv.notify_all();
+        }
+    }
+    t_in_worker = was_in_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_epoch = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+            job = job_;  // may be null if the job already finished
+        }
+        if (job)
+            runChunks(job);
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    const int64_t n = end - begin;
+    min_grain = std::max<int64_t>(min_grain, 1);
+    if (threadCount_ <= 1 || t_in_worker || n <= min_grain) {
+        fn(begin, end);
+        return;
+    }
+
+    // ~4 chunks per thread for load balance, but never below min_grain.
+    const int64_t target_chunks =
+        static_cast<int64_t>(threadCount_) * 4;
+    const int64_t grain =
+        std::max(min_grain, (n + target_chunks - 1) / target_chunks);
+
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->chunkCount = (n + grain - 1) / grain;
+
+    std::lock_guard<std::mutex> run_lock(runMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++epoch_;
+    }
+    cv_.notify_all();
+
+    runChunks(job);  // the caller is a worker too
+
+    {
+        std::unique_lock<std::mutex> lock(job->doneMutex);
+        job->doneCv.wait(lock, [&] {
+            return job->completed.load(std::memory_order_acquire) ==
+                   job->chunkCount;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_.reset();
+    }
+}
+
+std::shared_ptr<ThreadPool>
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_shared<ThreadPool>(defaultThreadCount());
+    return g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    auto pool = std::make_shared<ThreadPool>(threads);
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_pool = std::move(pool);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t min_grain,
+            const std::function<void(int64_t, int64_t)> &fn)
+{
+    ThreadPool::global()->parallelFor(begin, end, min_grain, fn);
+}
+
+} // namespace mlperf

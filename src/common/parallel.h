@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared intra-op thread pool.
+ *
+ * One process-wide pool parallelizes the compute kernels: GEMM over
+ * M panels, conv2d over the batch dimension, and any future data-
+ * parallel loop. The pool is fork-join — parallelFor() blocks until
+ * every chunk has run — and re-entrant calls from inside a worker
+ * execute inline, so kernels can nest (conv2d parallelizes the batch,
+ * the GEMM it calls stays serial on that worker) without
+ * oversubscribing cores. The serving runtime's workers get the same
+ * behaviour for free: model forwards they run use the pool only when
+ * called from a non-pool thread.
+ *
+ * Pool size comes from MLPERF_INTRAOP_THREADS, defaulting to the
+ * hardware concurrency; tests and SUTs may override it with
+ * setGlobalThreads().
+ */
+
+#ifndef MLPERF_COMMON_PARALLEL_H
+#define MLPERF_COMMON_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlperf {
+
+/** Fixed-size fork-join pool; one job in flight at a time. */
+class ThreadPool
+{
+  public:
+    /** @param threads total worker count including the caller;
+     *  a pool of size <= 1 runs everything inline. */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers plus the participating caller thread. */
+    int threadCount() const { return threadCount_; }
+
+    /**
+     * Run fn(chunk_begin, chunk_end) over [begin, end) split into
+     * contiguous chunks of at least min_grain iterations. Blocks
+     * until the whole range is done; the caller participates. Calls
+     * from inside a pool worker run the range inline.
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                     const std::function<void(int64_t, int64_t)> &fn);
+
+    /** True on a thread currently executing pool work. */
+    static bool inWorker();
+
+    /** Process-wide pool (created on first use). */
+    static std::shared_ptr<ThreadPool> global();
+
+    /** Replace the global pool; callers must be quiescent. */
+    static void setGlobalThreads(int threads);
+
+  private:
+    struct Job;
+
+    void workerLoop();
+    static void runChunks(const std::shared_ptr<Job> &job);
+
+    const int threadCount_;
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;              //!< guards job_/epoch_/stop_
+    std::condition_variable cv_;
+    std::shared_ptr<Job> job_;
+    uint64_t epoch_ = 0;
+    bool stop_ = false;
+    std::mutex runMutex_;           //!< serializes parallelFor callers
+};
+
+/** parallelFor on the global pool. */
+void parallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                 const std::function<void(int64_t, int64_t)> &fn);
+
+} // namespace mlperf
+
+#endif // MLPERF_COMMON_PARALLEL_H

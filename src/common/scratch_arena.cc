@@ -1,0 +1,83 @@
+#include "common/scratch_arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlperf {
+
+namespace {
+
+constexpr size_t kMinBlockBytes = 256 * 1024;
+
+size_t
+alignUp(size_t v, size_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+ScratchArena &
+ScratchArena::thread()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+ScratchArena::Block
+ScratchArena::makeBlock(size_t min_bytes)
+{
+    // Exponential growth bounds the number of blocks ever created;
+    // after the first few calls at the high-water shape the arena
+    // never allocates again.
+    size_t size = std::max(min_bytes, kMinBlockBytes);
+    size = std::max(size, capacity());
+    Block b;
+    b.storage.reset(new char[size + kAlignment]);
+    b.base = reinterpret_cast<char *>(
+        alignUp(reinterpret_cast<size_t>(b.storage.get()), kAlignment));
+    b.size = size;
+    ++blockAllocCount_;
+    return b;
+}
+
+void *
+ScratchArena::alloc(size_t bytes)
+{
+    bytes = alignUp(std::max<size_t>(bytes, 1), kAlignment);
+    // Advance through existing blocks (later blocks are empty after a
+    // rewind) before growing.
+    while (activeBlock_ < blocks_.size()) {
+        Block &b = blocks_[activeBlock_];
+        if (b.size - activeUsed_ >= bytes) {
+            void *p = b.base + activeUsed_;
+            activeUsed_ += bytes;
+            return p;
+        }
+        ++activeBlock_;
+        activeUsed_ = 0;
+    }
+    blocks_.push_back(makeBlock(bytes));
+    activeBlock_ = blocks_.size() - 1;
+    activeUsed_ = bytes;
+    return blocks_.back().base;
+}
+
+void
+ScratchArena::rewind(const Marker &m)
+{
+    assert(m.block <= activeBlock_);
+    activeBlock_ = m.block;
+    activeUsed_ = m.used;
+}
+
+size_t
+ScratchArena::capacity() const
+{
+    size_t total = 0;
+    for (const Block &b : blocks_)
+        total += b.size;
+    return total;
+}
+
+} // namespace mlperf

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Thread-local, grow-only scratch memory for kernel temporaries.
+ *
+ * The hot path (im2col columns, GEMM packing panels, quantized
+ * activation buffers) needs large short-lived buffers on every call.
+ * Allocating them per call dominates small-shape latency and poisons
+ * the allocator under concurrency, so each thread owns an arena that
+ * grows to the high-water mark once and is bump-allocated thereafter:
+ * steady-state inference performs zero heap allocations.
+ *
+ * Usage is strictly stack-like so nested kernels compose (conv2d
+ * takes a frame for its column buffer, the GEMM it calls takes an
+ * inner frame for packing panels):
+ *
+ *     auto &arena = ScratchArena::thread();
+ *     ScratchFrame frame(arena);          // rewinds on scope exit
+ *     float *col = arena.alloc<float>(n);
+ */
+
+#ifndef MLPERF_COMMON_SCRATCH_ARENA_H
+#define MLPERF_COMMON_SCRATCH_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mlperf {
+
+/** Bump allocator over a chain of cache-line-aligned blocks. */
+class ScratchArena
+{
+  public:
+    ScratchArena() = default;
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /** The calling thread's arena. */
+    static ScratchArena &thread();
+
+    /** Aligned raw allocation; valid until the enclosing frame ends. */
+    void *alloc(size_t bytes);
+
+    /** Typed allocation of n elements. */
+    template <typename T>
+    T *
+    alloc(int64_t n)
+    {
+        return static_cast<T *>(
+            alloc(static_cast<size_t>(n) * sizeof(T)));
+    }
+
+    /** Position marker for stack-like rewind. */
+    struct Marker
+    {
+        size_t block = 0;
+        size_t used = 0;
+    };
+
+    Marker mark() const { return {activeBlock_, activeUsed_}; }
+    void rewind(const Marker &m);
+
+    /** Total bytes owned (high-water capacity across blocks). */
+    size_t capacity() const;
+
+    /** Heap allocations performed so far (tests assert it plateaus). */
+    uint64_t blockAllocCount() const { return blockAllocCount_; }
+
+    static constexpr size_t kAlignment = 64;
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<char[]> storage; //!< raw, over-allocated
+        char *base = nullptr;            //!< aligned start
+        size_t size = 0;                 //!< usable bytes from base
+    };
+
+    Block makeBlock(size_t min_bytes);
+
+    std::vector<Block> blocks_;
+    size_t activeBlock_ = 0;
+    size_t activeUsed_ = 0;
+    uint64_t blockAllocCount_ = 0;
+};
+
+/** RAII frame: rewinds the arena to its construction point. */
+class ScratchFrame
+{
+  public:
+    explicit ScratchFrame(ScratchArena &arena)
+        : arena_(arena), marker_(arena.mark())
+    {
+    }
+    ~ScratchFrame() { arena_.rewind(marker_); }
+
+    ScratchFrame(const ScratchFrame &) = delete;
+    ScratchFrame &operator=(const ScratchFrame &) = delete;
+
+  private:
+    ScratchArena &arena_;
+    ScratchArena::Marker marker_;
+};
+
+} // namespace mlperf
+
+#endif // MLPERF_COMMON_SCRATCH_ARENA_H

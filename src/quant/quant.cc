@@ -5,6 +5,13 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/parallel.h"
+#include "common/scratch_arena.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MLPERF_QUANT_X86_DISPATCH 1
+#endif
+
 namespace mlperf {
 namespace quant {
 
@@ -170,8 +177,8 @@ castThroughFloat(float x, NumericFormat fmt)
 }
 
 void
-gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
-         int64_t m, int64_t n, int64_t k)
+gemmInt8Naive(const int8_t *a, const int8_t *b, int32_t *c,
+              int64_t m, int64_t n, int64_t k)
 {
     std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(int32_t));
     for (int64_t i = 0; i < m; ++i) {
@@ -185,6 +192,138 @@ gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
                 c_row[j] += a_ik * b_row[j];
         }
     }
+}
+
+namespace {
+
+/**
+ * Int8 micro-kernel geometry. A's rows are already k-contiguous so
+ * only B is repacked (k-major panels of kNr columns, zero-padded);
+ * the 4x8 register tile accumulates in int32.
+ */
+constexpr int64_t kMrI8 = 4;
+constexpr int64_t kNrI8 = 8;
+
+/** Below this many multiply-adds the packing overhead dominates. */
+constexpr int64_t kSmallMacsI8 = 32 * 32 * 32;
+
+/** Below this many multiply-adds fork-join overhead dominates. */
+constexpr int64_t kParallelMacsI8 = int64_t{1} << 21;
+
+/**
+ * Shared int8 micro-kernel body. Compiled twice: a portable baseline
+ * and (on x86-64) a clone vectorized for AVX2, selected at startup
+ * from CPUID. The widening int8 -> int32 multiply-accumulate is
+ * plain C so each clone auto-vectorizes for its target ISA; every
+ * thread uses the same clone, so int32 results stay bit-exact.
+ */
+inline __attribute__((always_inline)) void
+microKernelInt8Body(int64_t kc, const int8_t *const *a_rows,
+                    const int8_t *__restrict bp,
+                    int32_t *__restrict acc)
+{
+    for (int64_t kk = 0; kk < kc; ++kk) {
+        const int8_t *__restrict b_row = bp + kk * kNrI8;
+        for (int64_t r = 0; r < kMrI8; ++r) {
+            const int32_t a = a_rows[r][kk];
+            int32_t *acc_row = acc + r * kNrI8;
+            for (int64_t j = 0; j < kNrI8; ++j)
+                acc_row[j] += a * static_cast<int32_t>(b_row[j]);
+        }
+    }
+}
+
+using MicroKernelInt8Fn = void (*)(int64_t, const int8_t *const *,
+                                   const int8_t *, int32_t *);
+
+void
+microKernelInt8Generic(int64_t kc, const int8_t *const *a_rows,
+                       const int8_t *bp, int32_t *acc)
+{
+    microKernelInt8Body(kc, a_rows, bp, acc);
+}
+
+#if MLPERF_QUANT_X86_DISPATCH
+__attribute__((target("avx2"))) void
+microKernelInt8Avx2(int64_t kc, const int8_t *const *a_rows,
+                    const int8_t *bp, int32_t *acc)
+{
+    microKernelInt8Body(kc, a_rows, bp, acc);
+}
+#endif
+
+MicroKernelInt8Fn
+resolveMicroKernelInt8()
+{
+#if MLPERF_QUANT_X86_DISPATCH
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return microKernelInt8Avx2;
+#endif
+    return microKernelInt8Generic;
+}
+
+const MicroKernelInt8Fn kMicroKernelInt8 = resolveMicroKernelInt8();
+
+} // namespace
+
+void
+gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
+         int64_t m, int64_t n, int64_t k)
+{
+    if (m * n * k < kSmallMacsI8) {
+        gemmInt8Naive(a, b, c, m, n, k);
+        return;
+    }
+
+    // Pack all of B once: panel jp holds columns [jp*kNr, jp*kNr+kNr)
+    // k-major, padded with zeros past n.
+    ScratchArena &arena = ScratchArena::thread();
+    ScratchFrame frame(arena);
+    const int64_t n_panels = (n + kNrI8 - 1) / kNrI8;
+    int8_t *bpack = arena.alloc<int8_t>(n_panels * k * kNrI8);
+    for (int64_t jp = 0; jp < n_panels; ++jp) {
+        int8_t *dst = bpack + jp * k * kNrI8;
+        const int64_t j0 = jp * kNrI8;
+        const int64_t cols = std::min(kNrI8, n - j0);
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const int8_t *row = b + kk * n + j0;
+            for (int64_t jj = 0; jj < cols; ++jj)
+                dst[kk * kNrI8 + jj] = row[jj];
+            for (int64_t jj = cols; jj < kNrI8; ++jj)
+                dst[kk * kNrI8 + jj] = 0;
+        }
+    }
+
+    const int64_t m_blocks = (m + kMrI8 - 1) / kMrI8;
+    auto row_blocks = [&](int64_t begin, int64_t end) {
+        const int8_t *a_rows[kMrI8];
+        int32_t acc[kMrI8 * kNrI8];
+        for (int64_t bi = begin; bi < end; ++bi) {
+            const int64_t i0 = bi * kMrI8;
+            const int64_t rows = std::min(kMrI8, m - i0);
+            // Point padding rows at row 0: their products are
+            // computed but never stored.
+            for (int64_t r = 0; r < kMrI8; ++r)
+                a_rows[r] = a + (i0 + std::min(r, rows - 1)) * k;
+            for (int64_t jp = 0; jp < n_panels; ++jp) {
+                std::memset(acc, 0, sizeof(acc));
+                kMicroKernelInt8(k, a_rows,
+                                 bpack + jp * k * kNrI8, acc);
+                const int64_t j0 = jp * kNrI8;
+                const int64_t cols = std::min(kNrI8, n - j0);
+                for (int64_t r = 0; r < rows; ++r) {
+                    int32_t *c_row = c + (i0 + r) * n + j0;
+                    for (int64_t jj = 0; jj < cols; ++jj)
+                        c_row[jj] = acc[r * kNrI8 + jj];
+                }
+            }
+        }
+    };
+    if (m * n * k >= kParallelMacsI8 && !ThreadPool::inWorker())
+        parallelFor(0, m_blocks, 1, row_blocks);
+    else
+        row_blocks(0, m_blocks);
 }
 
 } // namespace quant

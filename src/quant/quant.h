@@ -85,10 +85,17 @@ float castThroughFloat(float x, NumericFormat fmt);
 
 /**
  * Int8 x int8 -> int32 matrix multiply: c[m][n] = sum_k a[m][k]*b[k][n].
- * The quantized conv and dense layers lower to this kernel.
+ * The quantized conv and dense layers lower to this kernel. The
+ * optimized path packs B into k-major micro-panels in the thread-local
+ * scratch arena and parallelizes row blocks on the shared intra-op
+ * pool, mirroring the FP32 SGEMM.
  */
 void gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
               int64_t m, int64_t n, int64_t k);
+
+/** Unoptimized reference the property tests compare gemmInt8 against. */
+void gemmInt8Naive(const int8_t *a, const int8_t *b, int32_t *c,
+                   int64_t m, int64_t n, int64_t k);
 
 } // namespace quant
 } // namespace mlperf

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/scratch_arena.h"
+
 namespace mlperf {
 namespace quant {
 
@@ -103,12 +105,14 @@ QuantizedDenseLayer::forward(const Tensor &input) const
     assert(input.shape().dim(1) == in_);
     const int64_t batch = input.shape().dim(0);
 
-    std::vector<int8_t> qx(static_cast<size_t>(input.numel()));
-    quantizeBuffer(input.data(), qx.data(), input.numel(), actParams_);
+    ScratchArena &arena = ScratchArena::thread();
+    ScratchFrame frame(arena);
+    int8_t *qx = arena.alloc<int8_t>(input.numel());
+    quantizeBuffer(input.data(), qx, input.numel(), actParams_);
 
     Tensor y(Shape{batch, out_});
     for (int64_t b = 0; b < batch; ++b) {
-        const int8_t *x_row = qx.data() + b * in_;
+        const int8_t *x_row = qx + b * in_;
         float *y_row = y.data() + b * out_;
         for (int64_t o = 0; o < out_; ++o) {
             const int8_t *w_row = weights_.data.data() + o * in_;
@@ -178,19 +182,20 @@ QuantizedConv2dLayer::forward(const Tensor &input) const
     const int64_t out_hw = out_h * out_w;
     const int64_t patch = inC_ * convParams_.kernelH * convParams_.kernelW;
 
-    std::vector<int8_t> qx(static_cast<size_t>(inC_ * h * w));
-    std::vector<int8_t> col(static_cast<size_t>(patch * out_hw));
-    std::vector<int32_t> acc(static_cast<size_t>(outC_ * out_hw));
+    ScratchArena &arena = ScratchArena::thread();
+    ScratchFrame frame(arena);
+    int8_t *qx = arena.alloc<int8_t>(inC_ * h * w);
+    int8_t *col = arena.alloc<int8_t>(patch * out_hw);
+    int32_t *acc = arena.alloc<int32_t>(outC_ * out_hw);
     const int8_t pad_code =
         static_cast<int8_t>(actParams_.quantize(0.0f));
 
     Tensor output(Shape{n, outC_, out_h, out_w});
     for (int64_t ni = 0; ni < n; ++ni) {
         const float *img = input.data() + ni * inC_ * h * w;
-        quantizeBuffer(img, qx.data(), inC_ * h * w, actParams_);
-        im2colInt8(qx.data(), inC_, h, w, convParams_, pad_code,
-                   col.data());
-        gemmInt8(weights_.data.data(), col.data(), acc.data(), outC_,
+        quantizeBuffer(img, qx, inC_ * h * w, actParams_);
+        im2colInt8(qx, inC_, h, w, convParams_, pad_code, col);
+        gemmInt8(weights_.data.data(), col, acc, outC_,
                  out_hw, patch);
         float *out = output.data() + ni * outC_ * out_hw;
         for (int64_t o = 0; o < outC_; ++o) {
@@ -203,7 +208,7 @@ QuantizedConv2dLayer::forward(const Tensor &input) const
             const float b =
                 bias_.empty() ? 0.0f : bias_[static_cast<size_t>(o)];
             float *row = out + o * out_hw;
-            const int32_t *acc_row = acc.data() + o * out_hw;
+            const int32_t *acc_row = acc + o * out_hw;
             for (int64_t i = 0; i < out_hw; ++i) {
                 float v =
                     scale * static_cast<float>(acc_row[i] - corr) + b;
@@ -327,13 +332,15 @@ QuantizedDepthwiseConv2dLayer::forward(const Tensor &input) const
     const int64_t kw = convParams_.kernelW;
     const int32_t zp = actParams_.zeroPoint;
 
-    std::vector<int8_t> qx(static_cast<size_t>(h * w));
+    ScratchArena &arena = ScratchArena::thread();
+    ScratchFrame frame(arena);
+    int8_t *qx = arena.alloc<int8_t>(h * w);
     Tensor output(Shape{n, channels_, out_h, out_w});
     for (int64_t ni = 0; ni < n; ++ni) {
         for (int64_t c = 0; c < channels_; ++c) {
             const float *chan =
                 input.data() + (ni * channels_ + c) * h * w;
-            quantizeBuffer(chan, qx.data(), h * w, actParams_);
+            quantizeBuffer(chan, qx, h * w, actParams_);
             const int8_t *filt =
                 weights_.data.data() + c * kh * kw;
             const float scale =

@@ -1,8 +1,9 @@
 #include "tensor/conv.h"
 
 #include <cassert>
-#include <vector>
 
+#include "common/parallel.h"
+#include "common/scratch_arena.h"
 #include "tensor/gemm.h"
 
 namespace mlperf {
@@ -62,21 +63,34 @@ conv2d(const Tensor &input, const Tensor &weight, const float *bias,
     const int64_t patch = c * p.kernelH * p.kernelW;
 
     Tensor output(Shape{n, o, out_h, out_w});
-    std::vector<float> col(static_cast<size_t>(patch * out_hw));
 
-    for (int64_t ni = 0; ni < n; ++ni) {
-        im2col(input.data() + ni * c * h * w, c, h, w, p, col.data());
-        float *out = output.data() + ni * o * out_hw;
-        // weight [O, patch] * col [patch, out_hw] -> out [O, out_hw]
-        gemm(weight.data(), col.data(), out, o, out_hw, patch);
-        if (bias) {
-            for (int64_t oi = 0; oi < o; ++oi) {
-                float *row = out + oi * out_hw;
-                for (int64_t i = 0; i < out_hw; ++i)
-                    row[i] += bias[oi];
+    // One image per task: each worker unfolds into its own
+    // thread-local arena (zero steady-state allocations) and runs the
+    // GEMM serially — batch-level parallelism already owns the cores.
+    // The n == 1 case takes the same code path inline, where the GEMM
+    // itself parallelizes over M panels instead.
+    auto image_range = [&](int64_t begin, int64_t end) {
+        ScratchArena &arena = ScratchArena::thread();
+        ScratchFrame frame(arena);
+        float *col = arena.alloc<float>(patch * out_hw);
+        for (int64_t ni = begin; ni < end; ++ni) {
+            im2col(input.data() + ni * c * h * w, c, h, w, p, col);
+            float *out = output.data() + ni * o * out_hw;
+            // weight [O, patch] * col [patch, out_hw] -> out [O, out_hw]
+            gemm(weight.data(), col, out, o, out_hw, patch);
+            if (bias) {
+                for (int64_t oi = 0; oi < o; ++oi) {
+                    float *row = out + oi * out_hw;
+                    for (int64_t i = 0; i < out_hw; ++i)
+                        row[i] += bias[oi];
+                }
             }
         }
-    }
+    };
+    if (n == 1)
+        image_range(0, 1);
+    else
+        parallelFor(0, n, 1, image_range);
     return output;
 }
 
@@ -96,12 +110,15 @@ depthwiseConv2d(const Tensor &input, const Tensor &weight,
     const int64_t out_w = p.outW(w);
     Tensor output(Shape{n, c, out_h, out_w});
 
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < c; ++ci) {
-            const float *chan = input.data() + (ni * c + ci) * h * w;
+    // Each (image, channel) pair is independent; flatten them into one
+    // range so small batches still fill the pool.
+    parallelFor(0, n * c, 4, [&](int64_t begin, int64_t end) {
+        for (int64_t nc = begin; nc < end; ++nc) {
+            const int64_t ci = nc % c;
+            const float *chan = input.data() + nc * h * w;
             const float *filt =
                 weight.data() + ci * p.kernelH * p.kernelW;
-            float *out = output.data() + (ni * c + ci) * out_h * out_w;
+            float *out = output.data() + nc * out_h * out_w;
             const float b = bias ? bias[ci] : 0.0f;
             for (int64_t oh = 0; oh < out_h; ++oh) {
                 for (int64_t ow = 0; ow < out_w; ++ow) {
@@ -123,7 +140,7 @@ depthwiseConv2d(const Tensor &input, const Tensor &weight,
                 }
             }
         }
-    }
+    });
     return output;
 }
 

@@ -4,8 +4,12 @@
  *
  * All dense and convolutional layers lower to this kernel (conv via
  * im2col), mirroring how production inference stacks structure their
- * compute. A register-blocked microkernel keeps the proxy models fast
- * enough for wall-clock LoadGen runs in the examples.
+ * compute. The optimized path is a packed, cache-blocked SGEMM: A and
+ * B are repacked into aligned, k-major micro-panels held in the
+ * thread-local scratch arena, a register-tiled 6x8 micro-kernel does
+ * the arithmetic, and large problems are parallelized over M panels
+ * on the shared intra-op thread pool (see DESIGN.md, "Compute
+ * substrate").
  */
 
 #ifndef MLPERF_TENSOR_GEMM_H
@@ -28,13 +32,22 @@ namespace tensor {
 void gemm(const float *a, const float *b, float *c,
           int64_t m, int64_t n, int64_t k, bool accumulate = false);
 
+/**
+ * Unoptimized reference with double accumulation: the ground truth
+ * the property tests and microbenchmarks compare the packed kernel
+ * against. Same contract as gemm().
+ */
+void gemmNaive(const float *a, const float *b, float *c,
+               int64_t m, int64_t n, int64_t k, bool accumulate = false);
+
 /** Tensor-level matmul for rank-2 tensors. */
 Tensor matmul(const Tensor &a, const Tensor &b);
 
 /**
  * y = W * x + bias for a dense layer: W is [out, in] row-major, x is
  * [batch, in], y is [batch, out]. Note the weight is used transposed
- * relative to gemm (x * W^T), matching typical framework layouts.
+ * relative to gemm (x * W^T), matching typical framework layouts;
+ * the packed kernel absorbs the transpose during B-panel packing.
  */
 void denseForward(const float *w, const float *bias, const float *x,
                   float *y, int64_t batch, int64_t in, int64_t out);

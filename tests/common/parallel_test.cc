@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the shared intra-op thread pool and the thread-local
+ * scratch arena. The ThreadPool cases run under the TSan gate
+ * (scripts/check.sh) because they exercise real cross-thread
+ * fork-join traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/scratch_arena.h"
+
+namespace mlperf {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, 1000, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(5, 5, 1, [&](int64_t, int64_t) {
+        sum.fetch_add(1);
+    });
+    EXPECT_EQ(sum.load(), 0);
+
+    pool.parallelFor(0, 1, 1, [&](int64_t b, int64_t e) {
+        sum.fetch_add(e - b);
+    });
+    EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPool, RespectsMinGrain)
+{
+    ThreadPool pool(8);
+    std::mutex m;
+    std::vector<int64_t> chunk_sizes;
+    pool.parallelFor(0, 100, 64, [&](int64_t b, int64_t e) {
+        std::lock_guard<std::mutex> lock(m);
+        chunk_sizes.push_back(e - b);
+    });
+    // 100 <= min_grain would run inline; 64-grain over 100 items can
+    // produce at most 2 chunks.
+    EXPECT_LE(chunk_sizes.size(), 2u);
+    EXPECT_EQ(std::accumulate(chunk_sizes.begin(), chunk_sizes.end(),
+                              int64_t{0}),
+              100);
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    pool.parallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+        EXPECT_TRUE(ThreadPool::inWorker());
+        for (int64_t i = b; i < e; ++i) {
+            // A nested parallelFor must not deadlock; it executes
+            // inline on this worker.
+            pool.parallelFor(0, 10, 1, [&](int64_t nb, int64_t ne) {
+                total.fetch_add(ne - nb);
+            });
+        }
+    });
+    EXPECT_FALSE(ThreadPool::inWorker());
+    EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i)
+                sum.fetch_add(i);
+        });
+        EXPECT_EQ(sum.load(), 64 * 63 / 2);
+    }
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeSafely)
+{
+    // Multiple external threads hammer the same pool; calls must
+    // serialize without losing chunks (exercised under TSan).
+    ThreadPool pool(3);
+    std::vector<std::thread> callers;
+    std::atomic<int64_t> grand_total{0};
+    for (int t = 0; t < 4; ++t) {
+        callers.emplace_back([&] {
+            for (int round = 0; round < 20; ++round) {
+                std::atomic<int64_t> local{0};
+                pool.parallelFor(0, 128, 1,
+                                 [&](int64_t b, int64_t e) {
+                                     local.fetch_add(e - b);
+                                 });
+                grand_total.fetch_add(local.load());
+            }
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    EXPECT_EQ(grand_total.load(), 4 * 20 * 128);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(0, 100, 1, [&](int64_t, int64_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, GlobalPoolResize)
+{
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::global()->threadCount(), 2);
+    std::atomic<int64_t> sum{0};
+    parallelFor(0, 256, 1, [&](int64_t b, int64_t e) {
+        sum.fetch_add(e - b);
+    });
+    EXPECT_EQ(sum.load(), 256);
+    ThreadPool::setGlobalThreads(4);
+    EXPECT_EQ(ThreadPool::global()->threadCount(), 4);
+}
+
+TEST(ScratchArena, AllocationsAreAligned)
+{
+    ScratchArena arena;
+    for (int i = 0; i < 10; ++i) {
+        void *p = arena.alloc(13);  // awkward size
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) %
+                      ScratchArena::kAlignment,
+                  0u);
+    }
+}
+
+TEST(ScratchArena, FrameRewindReusesMemory)
+{
+    ScratchArena arena;
+    void *first = nullptr;
+    {
+        ScratchFrame frame(arena);
+        first = arena.alloc(1024);
+    }
+    {
+        ScratchFrame frame(arena);
+        void *second = arena.alloc(1024);
+        EXPECT_EQ(first, second);
+    }
+}
+
+TEST(ScratchArena, SteadyStateDoesNotAllocate)
+{
+    ScratchArena arena;
+    // Warm up to the high-water mark.
+    {
+        ScratchFrame frame(arena);
+        arena.alloc(64 * 1024);
+        arena.alloc(512 * 1024);
+    }
+    const uint64_t blocks = arena.blockAllocCount();
+    for (int round = 0; round < 100; ++round) {
+        ScratchFrame frame(arena);
+        arena.alloc(64 * 1024);
+        arena.alloc(512 * 1024);
+    }
+    EXPECT_EQ(arena.blockAllocCount(), blocks);
+}
+
+TEST(ScratchArena, NestedFramesStack)
+{
+    ScratchArena arena;
+    ScratchFrame outer(arena);
+    float *a = arena.alloc<float>(16);
+    a[0] = 1.0f;
+    {
+        ScratchFrame inner(arena);
+        float *b = arena.alloc<float>(16);
+        EXPECT_NE(a, b);
+        b[0] = 2.0f;
+    }
+    // Outer allocation survives the inner frame.
+    EXPECT_EQ(a[0], 1.0f);
+    float *c = arena.alloc<float>(16);
+    EXPECT_NE(a, c);
+}
+
+TEST(ScratchArena, ThreadLocalInstancesAreDistinct)
+{
+    ScratchArena *main_arena = &ScratchArena::thread();
+    ScratchArena *other_arena = nullptr;
+    std::thread t([&] { other_arena = &ScratchArena::thread(); });
+    t.join();
+    EXPECT_NE(main_arena, other_arena);
+}
+
+TEST(ScratchArena, GrowsAcrossBlocksKeepingEarlierPointersValid)
+{
+    ScratchArena arena;
+    ScratchFrame frame(arena);
+    float *a = arena.alloc<float>(1024);
+    for (int64_t i = 0; i < 1024; ++i)
+        a[i] = static_cast<float>(i);
+    // Force a new block; the first allocation must stay intact.
+    arena.alloc(4 * 1024 * 1024);
+    for (int64_t i = 0; i < 1024; ++i)
+        ASSERT_EQ(a[i], static_cast<float>(i));
+}
+
+} // namespace
+} // namespace mlperf

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "quant/quant.h"
 
@@ -152,6 +153,53 @@ TEST(GemmInt8, MatchesWideArithmetic)
                        b[kk * n + j];
             EXPECT_EQ(c[i * n + j], ref);
         }
+    }
+}
+
+TEST(GemmInt8, PackedKernelMatchesNaiveOnOddShapes)
+{
+    // Shapes straddling the packed kernel's 4x8 tiles and the
+    // small-size cutoff; int32 arithmetic must agree bit-exactly.
+    const int64_t sizes[][3] = {{1, 1, 1},    {3, 17, 5},
+                                {17, 33, 63}, {32, 32, 32},
+                                {33, 65, 64}, {64, 64, 64},
+                                {70, 130, 90}};
+    for (const auto &s : sizes) {
+        const int64_t m = s[0], n = s[1], k = s[2];
+        Rng rng(static_cast<uint64_t>(m * 131 + n * 17 + k));
+        std::vector<int8_t> a(m * k), b(k * n);
+        for (auto &v : a)
+            v = static_cast<int8_t>(rng.nextInRange(-128, 127));
+        for (auto &v : b)
+            v = static_cast<int8_t>(rng.nextInRange(-128, 127));
+        std::vector<int32_t> c(m * n), ref(m * n);
+        gemmInt8(a.data(), b.data(), c.data(), m, n, k);
+        gemmInt8Naive(a.data(), b.data(), ref.data(), m, n, k);
+        for (int64_t i = 0; i < m * n; ++i)
+            ASSERT_EQ(c[i], ref[i])
+                << "m=" << m << " n=" << n << " k=" << k << " i=" << i;
+    }
+}
+
+TEST(GemmInt8, ParallelPathMatchesNaive)
+{
+    // Large enough to cross the parallel threshold.
+    const int64_t m = 130, n = 140, k = 150;
+    Rng rng(23);
+    std::vector<int8_t> a(m * k), b(k * n);
+    for (auto &v : a)
+        v = static_cast<int8_t>(rng.nextInRange(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int8_t>(rng.nextInRange(-128, 127));
+    std::vector<int32_t> ref(m * n);
+    gemmInt8Naive(a.data(), b.data(), ref.data(), m, n, k);
+    for (int threads : {1, 4}) {
+        ThreadPool::setGlobalThreads(threads);
+        std::vector<int32_t> c(m * n);
+        gemmInt8(a.data(), b.data(), c.data(), m, n, k);
+        for (int64_t i = 0; i < m * n; ++i)
+            ASSERT_EQ(c[i], ref[i])
+                << "threads=" << threads << " i=" << i;
     }
 }
 

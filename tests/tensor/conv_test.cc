@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/conv.h"
 
@@ -132,6 +133,51 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{1, 4, 6, 6, 8, 1, 1, 0},
                       ConvCase{1, 2, 12, 12, 3, 5, 2, 2},
                       ConvCase{2, 8, 7, 7, 16, 3, 2, 1}));
+
+TEST(ConvParallel, BatchResultsIndependentOfThreadCount)
+{
+    // Batched conv parallelizes over the batch dimension; every
+    // thread count must produce the single-threaded result, and each
+    // image must equal its own single-image convolution.
+    const ConvCase t{8, 3, 14, 14, 6, 3, 1, 1};
+    Tensor input = randomTensor(Shape{t.n, t.c, t.h, t.w}, 50);
+    Tensor weight = randomTensor(Shape{t.o, t.c, t.k, t.k}, 51);
+    Conv2dParams p{t.k, t.k, t.stride, t.stride, t.pad, t.pad};
+
+    mlperf::ThreadPool::setGlobalThreads(1);
+    Tensor serial = conv2d(input, weight, nullptr, p);
+    mlperf::ThreadPool::setGlobalThreads(4);
+    Tensor parallel = conv2d(input, weight, nullptr, p);
+    ASSERT_EQ(serial.shape(), parallel.shape());
+    for (int64_t i = 0; i < serial.numel(); ++i)
+        ASSERT_EQ(serial[i], parallel[i]) << "i=" << i;
+
+    const int64_t image = t.c * t.h * t.w;
+    const int64_t out_image = parallel.numel() / t.n;
+    for (int64_t ni = 0; ni < t.n; ++ni) {
+        Tensor one(Shape{1, t.c, t.h, t.w});
+        for (int64_t i = 0; i < image; ++i)
+            one[i] = input[ni * image + i];
+        Tensor ref = conv2d(one, weight, nullptr, p);
+        for (int64_t i = 0; i < out_image; ++i)
+            ASSERT_NEAR(parallel[ni * out_image + i], ref[i], 1e-5)
+                << "ni=" << ni << " i=" << i;
+    }
+}
+
+TEST(ConvParallel, DepthwiseIndependentOfThreadCount)
+{
+    Tensor input = randomTensor(Shape{4, 8, 10, 10}, 60);
+    Tensor weight = randomTensor(Shape{8, 1, 3, 3}, 61);
+    Conv2dParams p;
+    mlperf::ThreadPool::setGlobalThreads(1);
+    Tensor serial = depthwiseConv2d(input, weight, nullptr, p);
+    mlperf::ThreadPool::setGlobalThreads(4);
+    Tensor parallel = depthwiseConv2d(input, weight, nullptr, p);
+    ASSERT_EQ(serial.shape(), parallel.shape());
+    for (int64_t i = 0; i < serial.numel(); ++i)
+        ASSERT_EQ(serial[i], parallel[i]) << "i=" << i;
+}
 
 TEST(DepthwiseConv2d, MatchesPerChannelConv)
 {

@@ -1,14 +1,18 @@
 /**
  * @file
- * Tests for GEMM and dense-layer kernels, including a property sweep
- * against a naive reference across odd sizes (to exercise tile edges).
+ * Tests for GEMM and dense-layer kernels: property sweeps of the
+ * packed/parallel kernel against the gemmNaive reference across
+ * odd/non-tile-divisible shapes (tile edges), accumulate on/off,
+ * randomized shapes, and thread-count invariance.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/gemm.h"
 
@@ -16,18 +20,25 @@ namespace mlperf {
 namespace tensor {
 namespace {
 
+/** Max |c - ref| scaled by the magnitude of ref (1e-4 rel target). */
 void
-naiveGemm(const float *a, const float *b, float *c,
-          int64_t m, int64_t n, int64_t k)
+expectClose(const std::vector<float> &c, const std::vector<float> &ref)
 {
-    for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < n; ++j) {
-            double acc = 0.0;
-            for (int64_t kk = 0; kk < k; ++kk)
-                acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
-            c[i * n + j] = static_cast<float>(acc);
-        }
-    }
+    ASSERT_EQ(c.size(), ref.size());
+    float ref_mag = 1.0f;
+    for (float v : ref)
+        ref_mag = std::max(ref_mag, std::abs(v));
+    for (size_t i = 0; i < c.size(); ++i)
+        ASSERT_NEAR(c[i], ref[i], 1e-4f * ref_mag) << "i=" << i;
+}
+
+std::vector<float>
+randomVec(int64_t n, Rng &rng)
+{
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = static_cast<float>(rng.nextGaussian());
+    return v;
 }
 
 TEST(Gemm, TwoByTwoKnownResult)
@@ -66,37 +77,92 @@ TEST(Gemm, AccumulateAddsToExisting)
     EXPECT_FLOAT_EQ(c[3], 14);
 }
 
-/** Parameterized sweep over (m, n, k) including tile-boundary sizes. */
+/**
+ * Parameterized property sweep over (m, n, k, accumulate) including
+ * tile-boundary sizes: every dimension is drawn from odd /
+ * non-tile-divisible values around the micro-kernel and cache-block
+ * edges.
+ */
 class GemmSweep
-    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>>
 {
 };
 
 TEST_P(GemmSweep, MatchesNaiveReference)
 {
-    const auto [m, n, k] = GetParam();
-    Rng rng(static_cast<uint64_t>(m * 10007 + n * 101 + k));
-    std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
-    for (auto &v : a)
-        v = static_cast<float>(rng.nextGaussian());
-    for (auto &v : b)
-        v = static_cast<float>(rng.nextGaussian());
-    gemm(a.data(), b.data(), c.data(), m, n, k);
-    naiveGemm(a.data(), b.data(), ref.data(), m, n, k);
-    for (int64_t i = 0; i < m * n; ++i)
-        EXPECT_NEAR(c[i], ref[i], 1e-3) << "i=" << i;
+    const auto [m, n, k, accumulate] = GetParam();
+    Rng rng(static_cast<uint64_t>(m * 10007 + n * 101 + k +
+                                  (accumulate ? 1 : 0)));
+    std::vector<float> a = randomVec(m * k, rng);
+    std::vector<float> b = randomVec(k * n, rng);
+    std::vector<float> seed = randomVec(m * n, rng);
+    std::vector<float> c = seed, ref = seed;
+    gemm(a.data(), b.data(), c.data(), m, n, k, accumulate);
+    gemmNaive(a.data(), b.data(), ref.data(), m, n, k, accumulate);
+    expectClose(c, ref);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sizes, GemmSweep,
-    ::testing::Values(std::make_tuple(1, 1, 1),
-                      std::make_tuple(1, 65, 1),
-                      std::make_tuple(3, 5, 7),
-                      std::make_tuple(63, 64, 65),
-                      std::make_tuple(64, 64, 64),
-                      std::make_tuple(65, 63, 64),
-                      std::make_tuple(128, 1, 128),
-                      std::make_tuple(100, 130, 70)));
+    ::testing::Combine(::testing::Values(1, 3, 17, 63, 64, 65, 100),
+                       ::testing::Values(1, 17, 65, 130),
+                       ::testing::Values(1, 3, 64, 65, 70),
+                       ::testing::Bool()));
+
+TEST(GemmProperty, RandomizedShapesMatchNaive)
+{
+    Rng shape_rng(0xBEEF);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int64_t m = shape_rng.nextInRange(1, 150);
+        const int64_t n = shape_rng.nextInRange(1, 150);
+        const int64_t k = shape_rng.nextInRange(1, 150);
+        const bool accumulate = (trial % 2) == 0;
+        Rng rng(static_cast<uint64_t>(trial) * 7919 + 13);
+        std::vector<float> a = randomVec(m * k, rng);
+        std::vector<float> b = randomVec(k * n, rng);
+        std::vector<float> seed = randomVec(m * n, rng);
+        std::vector<float> c = seed, ref = seed;
+        gemm(a.data(), b.data(), c.data(), m, n, k, accumulate);
+        gemmNaive(a.data(), b.data(), ref.data(), m, n, k, accumulate);
+        SCOPED_TRACE(::testing::Message()
+                     << "m=" << m << " n=" << n << " k=" << k
+                     << " acc=" << accumulate);
+        expectClose(c, ref);
+    }
+}
+
+TEST(GemmParallel, ThreadCountDoesNotChangeResults)
+{
+    // Big enough to cross both the packing and the parallel
+    // thresholds; shape deliberately not tile-divisible.
+    const int64_t m = 197, n = 131, k = 173;
+    Rng rng(42);
+    std::vector<float> a = randomVec(m * k, rng);
+    std::vector<float> b = randomVec(k * n, rng);
+    std::vector<float> ref(static_cast<size_t>(m * n));
+    gemmNaive(a.data(), b.data(), ref.data(), m, n, k);
+    for (int threads : {1, 2, 4}) {
+        ThreadPool::setGlobalThreads(threads);
+        std::vector<float> c(static_cast<size_t>(m * n));
+        gemm(a.data(), b.data(), c.data(), m, n, k);
+        SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+        expectClose(c, ref);
+    }
+    ThreadPool::setGlobalThreads(4);
+}
+
+TEST(GemmParallel, LargeSquareMatchesNaive)
+{
+    const int64_t n = 256;
+    Rng rng(7);
+    std::vector<float> a = randomVec(n * n, rng);
+    std::vector<float> b = randomVec(n * n, rng);
+    std::vector<float> c(static_cast<size_t>(n * n));
+    std::vector<float> ref(static_cast<size_t>(n * n));
+    gemm(a.data(), b.data(), c.data(), n, n, n);
+    gemmNaive(a.data(), b.data(), ref.data(), n, n, n);
+    expectClose(c, ref);
+}
 
 TEST(Matmul, ShapesAndValues)
 {
@@ -122,6 +188,32 @@ TEST(DenseForward, MatchesManualComputation)
     EXPECT_FLOAT_EQ(y[1], 2 * 1 + 1 * 2 + 0 * 3 - 0.5f);
     EXPECT_FLOAT_EQ(y[2], 0.5f);
     EXPECT_FLOAT_EQ(y[3], 0.5f);
+}
+
+TEST(DenseForward, PackedTransBPathMatchesNaive)
+{
+    // Large enough to route through the packed B-transposed kernel;
+    // odd sizes exercise panel edges.
+    const int64_t batch = 37, in = 129, out = 83;
+    Rng rng(99);
+    std::vector<float> w = randomVec(out * in, rng);
+    std::vector<float> x = randomVec(batch * in, rng);
+    std::vector<float> bias = randomVec(out, rng);
+    std::vector<float> y(static_cast<size_t>(batch * out));
+    denseForward(w.data(), bias.data(), x.data(), y.data(), batch, in,
+                 out);
+    std::vector<float> ref(static_cast<size_t>(batch * out));
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t o = 0; o < out; ++o) {
+            double acc = bias[static_cast<size_t>(o)];
+            for (int64_t i = 0; i < in; ++i)
+                acc += static_cast<double>(x[b * in + i]) *
+                       w[o * in + i];
+            ref[static_cast<size_t>(b * out + o)] =
+                static_cast<float>(acc);
+        }
+    }
+    expectClose(y, ref);
 }
 
 TEST(DenseForward, NullBiasMeansZero)
