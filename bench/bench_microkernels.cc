@@ -16,18 +16,72 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/plan.h"
 #include "nn/rnn.h"
+#include "nn/sequential.h"
 #include "quant/quant.h"
 #include "tensor/conv.h"
 #include "tensor/gemm.h"
+
+// Binary-wide heap-allocation counter so the model-forward benchmarks
+// can report allocations-per-query — the compiled plan path's headline
+// claim is zero in steady state, the eager path allocates every
+// intermediate activation.
+static std::atomic<long> g_heap_allocs{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 using namespace mlperf;
 using tensor::Conv2dParams;
@@ -277,6 +331,105 @@ BM_LstmCellStep(benchmark::State &state)
     setFlops(state, static_cast<int64_t>(cell.flopsPerStep()));
 }
 BENCHMARK(BM_LstmCellStep)->Arg(32)->Arg(128);
+
+/** Small ResNet-class model for the eager-vs-compiled comparison. */
+nn::Sequential
+makeResnetish()
+{
+    using nn::Conv2dLayer;
+    auto conv = [](int64_t in_c, int64_t out_c, int64_t k,
+                   int64_t stride, bool relu, uint64_t seed) {
+        Rng rng(seed);
+        Conv2dParams p{k, k, stride, stride, k / 2, k / 2};
+        return std::make_unique<Conv2dLayer>(
+            nn::heNormal(Shape{out_c, in_c, k, k}, in_c * k * k, rng),
+            nn::zeroBias(out_c), p, relu);
+    };
+    nn::Sequential model("bench-resnetish");
+    model.add(conv(3, 16, 3, 1, true, 1));
+    model.add(std::make_unique<nn::ResidualBlock>(
+        conv(16, 32, 3, 2, true, 2), conv(32, 32, 3, 1, false, 3),
+        conv(16, 32, 1, 2, false, 4)));
+    model.add(std::make_unique<nn::ResidualBlock>(
+        conv(32, 32, 3, 1, true, 5), conv(32, 32, 3, 1, false, 6),
+        nullptr));
+    model.add(std::make_unique<nn::GlobalAvgPoolLayer>());
+    model.add(std::make_unique<nn::FlattenLayer>());
+    Rng rng(7);
+    model.add(std::make_unique<nn::DenseLayer>(
+        nn::heNormal(Shape{10, 32}, 32, rng), nn::zeroBias(10)));
+    return model;
+}
+
+constexpr int64_t kModelC = 3, kModelH = 32, kModelW = 32;
+
+void
+BM_ModelForwardEager(benchmark::State &state)
+{
+    const int64_t batch = state.range(0);
+    ThreadPool::setGlobalThreads(1);
+    const nn::Sequential model = makeResnetish();
+    const Tensor input = randomTensor(
+        Shape{batch, kModelC, kModelH, kModelW}, 20);
+    long allocs = 0;
+    for (auto _ : state) {
+        const long before =
+            g_heap_allocs.load(std::memory_order_relaxed);
+        Tensor out = model.forward(input);
+        benchmark::DoNotOptimize(out.data());
+        allocs += g_heap_allocs.load(std::memory_order_relaxed) -
+                  before;
+    }
+    state.counters["allocs_per_query"] = benchmark::Counter(
+        static_cast<double>(allocs) /
+        static_cast<double>(state.iterations()));
+    setFlops(state,
+             static_cast<int64_t>(model.flops(input.shape())));
+}
+BENCHMARK(BM_ModelForwardEager)->Arg(1)->Arg(8)->ArgName("batch");
+
+void
+BM_ModelForwardCompiled(benchmark::State &state)
+{
+    const int64_t batch = state.range(0);
+    ThreadPool::setGlobalThreads(1);
+    const nn::Sequential model = makeResnetish();
+    const nn::CompiledModel compiled(
+        model, Shape{kModelC, kModelH, kModelW});
+    const Tensor input = randomTensor(
+        Shape{batch, kModelC, kModelH, kModelW}, 20);
+    nn::ExecutionInstance &instance = nn::ExecutionInstance::thread();
+    // Warm up: builds the plan, grows the arena and kernel scratch.
+    for (int i = 0; i < 2; ++i) {
+        float *staged = instance.stageInput(compiled, batch);
+        std::memcpy(staged, input.data(),
+                    static_cast<size_t>(input.numel()) * sizeof(float));
+        instance.run(compiled, batch);
+    }
+    long allocs = 0;
+    for (auto _ : state) {
+        const long before =
+            g_heap_allocs.load(std::memory_order_relaxed);
+        float *staged = instance.stageInput(compiled, batch);
+        std::memcpy(staged, input.data(),
+                    static_cast<size_t>(input.numel()) * sizeof(float));
+        const float *out = instance.run(compiled, batch);
+        benchmark::DoNotOptimize(out);
+        allocs += g_heap_allocs.load(std::memory_order_relaxed) -
+                  before;
+    }
+    const nn::Plan &plan = compiled.planFor(batch);
+    state.counters["allocs_per_query"] = benchmark::Counter(
+        static_cast<double>(allocs) /
+        static_cast<double>(state.iterations()));
+    state.counters["plan_kb"] = benchmark::Counter(
+        static_cast<double>(plan.arenaFloats) * 4.0 / 1024.0);
+    state.counters["naive_kb"] = benchmark::Counter(
+        static_cast<double>(plan.naiveFloats) * 4.0 / 1024.0);
+    setFlops(state,
+             static_cast<int64_t>(model.flops(input.shape())));
+}
+BENCHMARK(BM_ModelForwardCompiled)->Arg(1)->Arg(8)->ArgName("batch");
 
 void
 BM_QuantizeBuffer(benchmark::State &state)

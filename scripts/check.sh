@@ -4,17 +4,23 @@
 # directories and runs the suites that exercise real threads: the
 # serving runtime (worker pool, dynamic batcher, bounded queue), the
 # LoadGen (asynchronous completion / run teardown), the executors,
-# the logging concurrency test, and the compute substrate (intra-op
-# thread pool, scratch arena, parallel GEMM/conv kernels).
+# the logging concurrency test, the compute substrate (intra-op
+# thread pool, scratch arena, parallel GEMM/conv kernels), and the
+# compiled execution runtime (concurrent ExecutionInstances sharing
+# one CompiledModel, plan cache, graph passes, memory planner).
 #
-# Usage: scripts/check.sh [tsan|asan|all]   (default: all)
+# `scripts/check.sh tier1` is the fast feedback path instead: a plain
+# build plus `ctest -L tier1`, skipping the expensive model and
+# end-to-end suites.
+#
+# Usage: scripts/check.sh [tsan|asan|all|tier1]   (default: all)
 set -e
 cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
 case "$MODE" in
-    tsan|asan|all) ;;
-    *) echo "usage: scripts/check.sh [tsan|asan|all]" >&2; exit 2 ;;
+    tsan|asan|all|tier1) ;;
+    *) echo "usage: scripts/check.sh [tsan|asan|all|tier1]" >&2; exit 2 ;;
 esac
 GENERATOR=""
 command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
@@ -22,8 +28,17 @@ command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
 run_suite() {
     build_dir="$1"
     ctest --test-dir "$build_dir" --output-on-failure \
-          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8'
+          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|CompiledModel|ModelGraph|MemoryPlanner'
 }
+
+if [ "$MODE" = "tier1" ]; then
+    echo "==> tier1 fast path"
+    cmake -B build $GENERATOR
+    cmake --build build -j
+    ctest --test-dir build --output-on-failure -L tier1
+    echo "check.sh: OK (tier1)"
+    exit 0
+fi
 
 if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
     echo "==> ThreadSanitizer build"
@@ -33,7 +48,7 @@ if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
     cmake --build build-tsan --target \
           test_serving test_loadgen test_sim test_common test_tensor \
-          test_quant
+          test_quant test_nn
     TSAN_OPTIONS="halt_on_error=1" run_suite build-tsan
 fi
 
@@ -45,7 +60,7 @@ if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
     cmake --build build-asan --target \
           test_serving test_loadgen test_sim test_common test_tensor \
-          test_quant
+          test_quant test_nn
     run_suite build-asan
 fi
 

@@ -178,11 +178,4 @@ ThreadPool::setGlobalThreads(int threads)
     g_pool = std::move(pool);
 }
 
-void
-parallelFor(int64_t begin, int64_t end, int64_t min_grain,
-            const std::function<void(int64_t, int64_t)> &fn)
-{
-    ThreadPool::global()->parallelFor(begin, end, min_grain, fn);
-}
-
 } // namespace mlperf

@@ -20,6 +20,7 @@
 #ifndef MLPERF_COMMON_PARALLEL_H
 #define MLPERF_COMMON_PARALLEL_H
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -27,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mlperf {
@@ -80,9 +82,30 @@ class ThreadPool
     std::mutex runMutex_;           //!< serializes parallelFor callers
 };
 
-/** parallelFor on the global pool. */
-void parallelFor(int64_t begin, int64_t end, int64_t min_grain,
-                 const std::function<void(int64_t, int64_t)> &fn);
+/**
+ * parallelFor on the global pool. A template so that ranges which run
+ * inline (single-thread pool, nested call from a worker, or range no
+ * larger than one grain) invoke the callable directly without the
+ * std::function type-erasure heap allocation — the compiled-plan
+ * executor relies on this for its zero-allocations-per-query
+ * steady state.
+ */
+template <typename Fn>
+inline void
+parallelFor(int64_t begin, int64_t end, int64_t min_grain, Fn &&fn)
+{
+    if (end <= begin)
+        return;
+    const std::shared_ptr<ThreadPool> pool = ThreadPool::global();
+    if (pool->threadCount() <= 1 || ThreadPool::inWorker() ||
+        end - begin <= std::max<int64_t>(min_grain, 1)) {
+        fn(begin, end);
+        return;
+    }
+    pool->parallelFor(
+        begin, end, min_grain,
+        std::function<void(int64_t, int64_t)>(std::forward<Fn>(fn)));
+}
 
 } // namespace mlperf
 

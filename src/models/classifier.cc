@@ -1,5 +1,6 @@
 #include "models/classifier.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -201,6 +202,17 @@ ImageClassifier::ImageClassifier(
     }
     network_.add(std::make_unique<nn::DenseLayer>(
         std::move(head_w), std::move(head_b), /*fuse_relu=*/false));
+
+    rebuildCompiled();
+}
+
+void
+ImageClassifier::rebuildCompiled()
+{
+    tensor::Shape sample{inputShape_.dim(1), inputShape_.dim(2),
+                         inputShape_.dim(3)};
+    compiled_ = std::make_unique<nn::CompiledModel>(network_,
+                                                    std::move(sample));
 }
 
 ImageClassifier
@@ -251,7 +263,33 @@ ImageClassifier::classify(const Tensor &image) const
 std::vector<int64_t>
 ImageClassifier::classifyBatch(const Tensor &batch) const
 {
-    return nn::argmaxRows(network_.forward(batch));
+    const int64_t n = batch.shape().dim(0);
+    auto &instance = nn::ExecutionInstance::thread();
+    float *staged = instance.stageInput(*compiled_, n);
+    std::copy(batch.data(), batch.data() + batch.numel(), staged);
+    const float *logits = instance.run(*compiled_, n);
+    const nn::Plan &plan = compiled_->planFor(n);
+    return nn::argmaxRows(logits, n, plan.outputNumel / n);
+}
+
+std::vector<int64_t>
+ImageClassifier::classifyBatch(
+    const std::vector<const Tensor *> &images) const
+{
+    const int64_t n = static_cast<int64_t>(images.size());
+    assert(n > 0);
+    auto &instance = nn::ExecutionInstance::thread();
+    float *staged = instance.stageInput(*compiled_, n);
+    const int64_t sample_numel = images[0]->numel();
+    for (int64_t i = 0; i < n; ++i) {
+        const Tensor &img = *images[static_cast<size_t>(i)];
+        assert(img.numel() == sample_numel);
+        std::copy(img.data(), img.data() + sample_numel,
+                  staged + i * sample_numel);
+    }
+    const float *logits = instance.run(*compiled_, n);
+    const nn::Plan &plan = compiled_->planFor(n);
+    return nn::argmaxRows(logits, n, plan.outputNumel / n);
 }
 
 double
@@ -271,8 +309,12 @@ int
 ImageClassifier::quantize(const data::ClassificationDataset &dataset,
                           const quant::QuantizeOptions &options)
 {
-    return quant::quantizeSequential(network_, dataset.calibrationSet(),
-                                     options);
+    const int swapped = quant::quantizeSequential(
+        network_, dataset.calibrationSet(), options);
+    // The graph holds non-owning pointers into network_'s layers, so
+    // any swap invalidates it wholesale; re-lower from scratch.
+    rebuildCompiled();
+    return swapped;
 }
 
 uint64_t

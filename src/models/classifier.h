@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "data/classification.h"
+#include "nn/plan.h"
 #include "nn/sequential.h"
 #include "quant/quantize_model.h"
 
@@ -75,6 +76,15 @@ class ImageClassifier
     /** Predicted classes for a [N, C, H, W] batch. */
     std::vector<int64_t> classifyBatch(const tensor::Tensor &batch) const;
 
+    /**
+     * Predicted classes for N single-sample [1, C, H, W] images,
+     * stacked directly into the compiled plan's input buffer — the
+     * batching SUTs use this to avoid an intermediate batch tensor.
+     */
+    std::vector<int64_t>
+    classifyBatch(const std::vector<const tensor::Tensor *> &images)
+        const;
+
     /** Top-1 accuracy over dataset indices [0, count). */
     double evaluateAccuracy(const data::ClassificationDataset &dataset,
                             int64_t count) const;
@@ -91,9 +101,20 @@ class ImageClassifier
     uint64_t flopsPerInput() const;
     nn::Sequential &network() { return network_; }
 
+    /**
+     * The fused, memory-planned form every query runs through.
+     * Rebuilt by quantize(); network_ stays the eager differential-
+     * testing reference.
+     */
+    const nn::CompiledModel &compiled() const { return *compiled_; }
+
   private:
+    /** Re-lower network_ after construction or layer swaps. */
+    void rebuildCompiled();
+
     nn::Sequential network_;
     tensor::Shape inputShape_;
+    std::unique_ptr<nn::CompiledModel> compiled_;
 };
 
 } // namespace models

@@ -105,6 +105,17 @@ ObjectDetector::ObjectDetector(const DetectorArch &arch,
     Conv2dParams p{k, k, 1, 1, 0, 0};  // valid convolution
     network_.add(std::make_unique<nn::Conv2dLayer>(
         std::move(head), std::move(bias), p, /*fuse_relu=*/false));
+
+    rebuildCompiled();
+}
+
+void
+ObjectDetector::rebuildCompiled()
+{
+    tensor::Shape sample{inputShape_.dim(1), inputShape_.dim(2),
+                         inputShape_.dim(3)};
+    compiled_ = std::make_unique<nn::CompiledModel>(network_,
+                                                    std::move(sample));
 }
 
 ObjectDetector
@@ -132,7 +143,8 @@ ObjectDetector::ssdMobilenetProxy(const data::DetectionDataset &dataset)
 std::vector<metrics::Detection>
 ObjectDetector::detect(const Tensor &image, int64_t image_id) const
 {
-    const Tensor maps = network_.forward(image);
+    const Tensor maps =
+        nn::ExecutionInstance::thread().forward(*compiled_, image);
     assert(maps.shape().rank() == 4);
     const int64_t classes = maps.shape().dim(1);
     const int64_t oh = maps.shape().dim(2);
@@ -214,8 +226,10 @@ int
 ObjectDetector::quantize(const data::DetectionDataset &dataset,
                          const quant::QuantizeOptions &options)
 {
-    return quant::quantizeSequential(network_, dataset.calibrationSet(),
-                                     options);
+    const int swapped = quant::quantizeSequential(
+        network_, dataset.calibrationSet(), options);
+    rebuildCompiled();  // the graph referenced the swapped-out layers
+    return swapped;
 }
 
 uint64_t

@@ -21,6 +21,7 @@
 
 #include "data/detection.h"
 #include "metrics/map.h"
+#include "nn/plan.h"
 #include "nn/sequential.h"
 #include "quant/quantize_model.h"
 
@@ -70,9 +71,13 @@ class ObjectDetector
     uint64_t paramCount() const { return network_.paramCount(); }
     uint64_t flopsPerInput() const;
     nn::Sequential &network() { return network_; }
+    const nn::CompiledModel &compiled() const { return *compiled_; }
 
   private:
+    void rebuildCompiled();
+
     nn::Sequential network_;
+    std::unique_ptr<nn::CompiledModel> compiled_;
     tensor::Shape inputShape_;
     DetectorArch arch_;
     int64_t numClasses_;

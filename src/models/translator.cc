@@ -99,6 +99,15 @@ Translator::Translator(const TranslatorArch &arch,
     }
     outputProj_.add(std::make_unique<nn::DenseLayer>(
         std::move(w), std::move(bias), /*fuse_relu=*/false));
+
+    rebuildCompiled();
+}
+
+void
+Translator::rebuildCompiled()
+{
+    compiledProj_ = std::make_unique<nn::CompiledModel>(
+        outputProj_, Shape{arch_.embedDim});
 }
 
 Translator
@@ -147,7 +156,9 @@ Translator::translateInternal(const std::vector<int64_t> &source,
         Tensor ctx = nn::dotAttention(enc_states, query);
         if (contexts)
             contexts->push_back(ctx);
-        const Tensor logits = outputProj_.forward(ctx);
+        const Tensor logits =
+            nn::ExecutionInstance::thread().forward(*compiledProj_,
+                                                    ctx);
         const int64_t token = nn::argmaxRows(logits)[0];
         output.push_back(token);
         if (token == data::kEosToken)
@@ -192,8 +203,10 @@ Translator::quantize(const data::TranslationDataset &dataset,
     // keep-last default does not apply here.
     quant::QuantizeOptions proj_options = options;
     proj_options.keepLastLayerFp32 = false;
-    return quant::quantizeSequential(outputProj_, contexts,
-                                     proj_options);
+    const int swapped =
+        quant::quantizeSequential(outputProj_, contexts, proj_options);
+    rebuildCompiled();  // the graph referenced the swapped-out layer
+    return swapped;
 }
 
 uint64_t

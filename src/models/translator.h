@@ -19,10 +19,12 @@
 #define MLPERF_MODELS_TRANSLATOR_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/translation.h"
+#include "nn/plan.h"
 #include "nn/rnn.h"
 #include "nn/sequential.h"
 #include "quant/quantize_model.h"
@@ -66,6 +68,18 @@ class Translator
     const std::string &name() const { return arch_.name; }
     uint64_t paramCount() const;
 
+    /** Compiled form of the output projection (the per-step GEMM). */
+    const nn::CompiledModel &compiledProjection() const
+    {
+        return *compiledProj_;
+    }
+
+    /** Eager reference for the projection (differential testing). */
+    const nn::Sequential &outputProjection() const
+    {
+        return outputProj_;
+    }
+
     /** Per-sentence FLOPs for a source of the given length. */
     uint64_t flopsPerSentence(int64_t source_length) const;
 
@@ -75,6 +89,8 @@ class Translator
         const std::vector<int64_t> &source,
         std::vector<tensor::Tensor> *contexts) const;
 
+    void rebuildCompiled();
+
     TranslatorArch arch_;
     int64_t vocab_;
     nn::Embedding embed_;
@@ -82,6 +98,7 @@ class Translator
     nn::LSTMCell encoderCell_;
     nn::LSTMCell decoderCell_;
     nn::Sequential outputProj_; //!< single DenseLayer, quantizable
+    std::unique_ptr<nn::CompiledModel> compiledProj_;
     int64_t maxSteps_;
 };
 

@@ -59,22 +59,26 @@ softmax(const tensor::Tensor &logits)
 }
 
 std::vector<int64_t>
-argmaxRows(const tensor::Tensor &t)
+argmaxRows(const float *data, int64_t rows, int64_t cols)
 {
-    assert(t.shape().rank() == 2);
-    const int64_t batch = t.shape().dim(0);
-    const int64_t classes = t.shape().dim(1);
-    std::vector<int64_t> out(static_cast<size_t>(batch));
-    for (int64_t b = 0; b < batch; ++b) {
-        const float *row = t.data() + b * classes;
+    std::vector<int64_t> out(static_cast<size_t>(rows));
+    for (int64_t b = 0; b < rows; ++b) {
+        const float *row = data + b * cols;
         int64_t best = 0;
-        for (int64_t c = 1; c < classes; ++c) {
+        for (int64_t c = 1; c < cols; ++c) {
             if (row[c] > row[best])
                 best = c;
         }
         out[static_cast<size_t>(b)] = best;
     }
     return out;
+}
+
+std::vector<int64_t>
+argmaxRows(const tensor::Tensor &t)
+{
+    assert(t.shape().rank() == 2);
+    return argmaxRows(t.data(), t.shape().dim(0), t.shape().dim(1));
 }
 
 } // namespace nn

@@ -29,6 +29,10 @@ tensor::Tensor softmax(const tensor::Tensor &logits);
 /** Index of the maximum element in each row of [batch, classes]. */
 std::vector<int64_t> argmaxRows(const tensor::Tensor &t);
 
+/** Raw-buffer overload used by the compiled-plan output path. */
+std::vector<int64_t> argmaxRows(const float *data, int64_t rows,
+                                int64_t cols);
+
 } // namespace nn
 } // namespace mlperf
 

@@ -1,0 +1,344 @@
+#include "nn/graph.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "nn/layers.h"
+
+namespace mlperf {
+namespace nn {
+
+using tensor::Shape;
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::Conv2d:
+        return "conv2d";
+    case OpKind::DepthwiseConv2d:
+        return "dwconv2d";
+    case OpKind::Dense:
+        return "dense";
+    case OpKind::MaxPool:
+        return "maxpool";
+    case OpKind::AvgPool:
+        return "avgpool";
+    case OpKind::GlobalAvgPool:
+        return "gap";
+    case OpKind::Flatten:
+        return "flatten";
+    case OpKind::Relu:
+        return "relu";
+    case OpKind::BatchNorm:
+        return "batchnorm";
+    case OpKind::Add:
+        return "add";
+    case OpKind::QConv2d:
+        return "qconv2d";
+    case OpKind::QDepthwiseConv2d:
+        return "qdwconv2d";
+    case OpKind::QDense:
+        return "qdense";
+    case OpKind::Opaque:
+        return "opaque";
+    }
+    return "unknown";
+}
+
+ModelGraph
+ModelGraph::fromSequential(const Sequential &model)
+{
+    ModelGraph graph;
+    graph.setName(model.name());
+    int cur = kGraphInput;
+    for (size_t i = 0; i < model.layerCount(); ++i) {
+        const Layer &layer = model.layer(i);
+        if (const auto *comp =
+                dynamic_cast<const CompositeLowering *>(&layer)) {
+            cur = comp->lower(graph, cur);
+            continue;
+        }
+        GraphNode node;
+        node.kind = layer.opKind();
+        node.layer = &layer;
+        node.inputs = {cur};
+        node.label = layer.name();
+        cur = graph.addNode(std::move(node));
+    }
+    assert(graph.nodeCount() > 0 && "cannot lower an empty Sequential");
+    graph.setOutput(cur);
+    return graph;
+}
+
+int
+ModelGraph::addNode(GraphNode node)
+{
+    assert(node.kind == OpKind::Add ? node.inputs.size() == 2
+                                    : node.inputs.size() == 1);
+    for (const int in : node.inputs) {
+        assert(in >= kGraphInput && in < nodeCount());
+        (void)in;
+    }
+    nodes_.push_back(std::move(node));
+    return nodeCount() - 1;
+}
+
+const Layer *
+ModelGraph::ownLayer(std::unique_ptr<Layer> layer)
+{
+    owned_.push_back(std::move(layer));
+    return owned_.back().get();
+}
+
+void
+ModelGraph::replaceNodeLayer(int id, std::unique_ptr<Layer> layer,
+                             OpKind kind)
+{
+    GraphNode &n = node(id);
+    n.layer = ownLayer(std::move(layer));
+    n.kind = kind;
+}
+
+namespace {
+
+/** Redirect every read of node @p from to node @p to. */
+void
+rewire(std::vector<GraphNode> &nodes, int &output, int from, int to)
+{
+    for (GraphNode &n : nodes) {
+        for (int &in : n.inputs) {
+            if (in == from)
+                in = to;
+        }
+    }
+    if (output == from)
+        output = to;
+}
+
+/** Scale conv/dense weights by per-output-channel BN scale/shift. */
+std::unique_ptr<Layer>
+foldIntoWeights(const GraphNode &prod, const BatchNormLayer &bn)
+{
+    const auto fold = [&bn](const tensor::Tensor &weight,
+                            const std::vector<float> &bias,
+                            tensor::Tensor &w_out,
+                            std::vector<float> &b_out) {
+        const int64_t out_c = weight.shape().dim(0);
+        const int64_t per_c = weight.numel() / out_c;
+        w_out = tensor::Tensor(weight.shape());
+        b_out.assign(static_cast<size_t>(out_c), 0.0f);
+        const std::vector<float> &scale = bn.scale();
+        const std::vector<float> &shift = bn.shift();
+        for (int64_t o = 0; o < out_c; ++o) {
+            const float s = scale[static_cast<size_t>(o)];
+            const float *src = weight.data() + o * per_c;
+            float *dst = w_out.data() + o * per_c;
+            for (int64_t i = 0; i < per_c; ++i)
+                dst[i] = src[i] * s;
+            const float b = bias.empty()
+                                ? 0.0f
+                                : bias[static_cast<size_t>(o)];
+            b_out[static_cast<size_t>(o)] =
+                b * s + shift[static_cast<size_t>(o)];
+        }
+    };
+
+    tensor::Tensor w;
+    std::vector<float> b;
+    if (prod.kind == OpKind::Conv2d) {
+        const auto *conv = dynamic_cast<const Conv2dLayer *>(prod.layer);
+        if (conv == nullptr || conv->fusedRelu() ||
+            conv->weight().shape().dim(0) != bn.channels())
+            return nullptr;
+        fold(conv->weight(), conv->bias(), w, b);
+        return std::make_unique<Conv2dLayer>(std::move(w), std::move(b),
+                                             conv->params(), false);
+    }
+    if (prod.kind == OpKind::DepthwiseConv2d) {
+        const auto *conv =
+            dynamic_cast<const DepthwiseConv2dLayer *>(prod.layer);
+        if (conv == nullptr || conv->fusedRelu() ||
+            conv->weight().shape().dim(0) != bn.channels())
+            return nullptr;
+        fold(conv->weight(), conv->bias(), w, b);
+        return std::make_unique<DepthwiseConv2dLayer>(
+            std::move(w), std::move(b), conv->params(), false);
+    }
+    if (prod.kind == OpKind::Dense) {
+        const auto *dense = dynamic_cast<const DenseLayer *>(prod.layer);
+        if (dense == nullptr || dense->fusedRelu() ||
+            dense->weight().shape().dim(0) != bn.channels())
+            return nullptr;
+        fold(dense->weight(), dense->bias(), w, b);
+        return std::make_unique<DenseLayer>(std::move(w), std::move(b),
+                                            false);
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+ModelGraph::foldBatchNorm()
+{
+    int folds = 0;
+    for (int id = 0; id < nodeCount(); ++id) {
+        const GraphNode &bn_node = node(id);
+        if (bn_node.kind != OpKind::BatchNorm || bn_node.postRelu)
+            continue;
+        const auto *bn =
+            dynamic_cast<const BatchNormLayer *>(bn_node.layer);
+        if (bn == nullptr)
+            continue;
+        const int pid = bn_node.inputs[0];
+        if (pid == kGraphInput || pid == output_)
+            continue;
+        const std::vector<int> consumers = consumerCounts();
+        if (consumers[static_cast<size_t>(pid)] != 1)
+            continue;
+        GraphNode &prod = node(pid);
+        if (prod.postRelu)
+            continue;  // ReLU before BN is not linear-foldable
+        std::unique_ptr<Layer> folded = foldIntoWeights(prod, *bn);
+        if (!folded)
+            continue;
+        prod.layer = ownLayer(std::move(folded));
+        prod.label += "+bn";
+        rewire(nodes_, output_, id, pid);
+        // Detach the dead BN so it no longer counts as a consumer of
+        // the conv — later passes must see true consumer counts even
+        // before DCE compacts the graph.
+        node(id).inputs = {kGraphInput};
+        ++folds;
+    }
+    return folds;
+}
+
+int
+ModelGraph::fuseRelu()
+{
+    int fused = 0;
+    for (int id = 0; id < nodeCount(); ++id) {
+        const GraphNode &relu = node(id);
+        if (relu.kind != OpKind::Relu)
+            continue;
+        const int pid = relu.inputs[0];
+        if (pid == kGraphInput || pid == output_)
+            continue;
+        const std::vector<int> consumers = consumerCounts();
+        if (consumers[static_cast<size_t>(pid)] != 1)
+            continue;
+        GraphNode &prod = node(pid);
+        if (prod.kind == OpKind::Relu || prod.kind == OpKind::Flatten ||
+            prod.kind == OpKind::Opaque)
+            continue;  // flatten aliases; opaque has no post-op slot
+        prod.postRelu = true;
+        rewire(nodes_, output_, id, pid);
+        // Detach the dead ReLU (see foldBatchNorm).
+        node(id).inputs = {kGraphInput};
+        ++fused;
+    }
+    return fused;
+}
+
+int
+ModelGraph::eliminateDeadNodes()
+{
+    if (output_ < 0)
+        return 0;
+    std::vector<bool> live(nodes_.size(), false);
+    std::vector<int> stack = {output_};
+    while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        if (live[static_cast<size_t>(id)])
+            continue;
+        live[static_cast<size_t>(id)] = true;
+        for (const int in : nodes_[static_cast<size_t>(id)].inputs) {
+            if (in != kGraphInput)
+                stack.push_back(in);
+        }
+    }
+
+    std::vector<int> remap(nodes_.size(), -1);
+    std::vector<GraphNode> kept;
+    kept.reserve(nodes_.size());
+    for (size_t id = 0; id < nodes_.size(); ++id) {
+        if (!live[id])
+            continue;
+        remap[id] = static_cast<int>(kept.size());
+        kept.push_back(std::move(nodes_[id]));
+    }
+    const int removed = nodeCount() - static_cast<int>(kept.size());
+    for (GraphNode &n : kept) {
+        for (int &in : n.inputs) {
+            if (in != kGraphInput)
+                in = remap[static_cast<size_t>(in)];
+        }
+    }
+    nodes_ = std::move(kept);
+    output_ = remap[static_cast<size_t>(output_)];
+    return removed;
+}
+
+void
+ModelGraph::runDefaultPasses()
+{
+    foldBatchNorm();
+    fuseRelu();
+    eliminateDeadNodes();
+}
+
+std::vector<Shape>
+ModelGraph::inferShapes(const Shape &input) const
+{
+    std::vector<Shape> shapes;
+    shapes.reserve(nodes_.size());
+    for (const GraphNode &n : nodes_) {
+        const Shape &in0 = n.inputs[0] == kGraphInput
+                               ? input
+                               : shapes[static_cast<size_t>(n.inputs[0])];
+        if (n.kind == OpKind::Add) {
+            const Shape &in1 =
+                n.inputs[1] == kGraphInput
+                    ? input
+                    : shapes[static_cast<size_t>(n.inputs[1])];
+            assert(in0 == in1 && "Add operand shapes must match");
+            (void)in1;
+            shapes.push_back(in0);
+        } else {
+            assert(n.layer != nullptr);
+            shapes.push_back(n.layer->outputShape(in0));
+        }
+    }
+    return shapes;
+}
+
+std::vector<int>
+ModelGraph::consumerCounts() const
+{
+    std::vector<int> counts(nodes_.size(), 0);
+    for (const GraphNode &n : nodes_) {
+        for (const int in : n.inputs) {
+            if (in != kGraphInput)
+                ++counts[static_cast<size_t>(in)];
+        }
+    }
+    return counts;
+}
+
+uint64_t
+ModelGraph::paramCount() const
+{
+    uint64_t total = 0;
+    std::unordered_set<const Layer *> seen;
+    for (const GraphNode &n : nodes_) {
+        if (n.layer != nullptr && seen.insert(n.layer).second)
+            total += n.layer->paramCount();
+    }
+    return total;
+}
+
+} // namespace nn
+} // namespace mlperf

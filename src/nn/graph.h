@@ -1,0 +1,158 @@
+/**
+ * @file
+ * ModelGraph: the compiler IR between the eager layer zoo and the
+ * compiled execution plan (nn/plan.h).
+ *
+ * A Sequential is lowered into a flat DAG of single-output nodes:
+ * composite layers (ResidualBlock and its quantized twin) are
+ * flattened into their convolutions plus an explicit Add node with a
+ * skip edge, so every activation the model materializes is visible to
+ * the optimization passes and the memory planner. The pass pipeline
+ * mirrors what production graph compilers run before codegen:
+ *
+ *   1. foldBatchNorm  — Conv/Dense + BatchNorm -> folded weights
+ *   2. fuseRelu       — producer + ReLU -> producer with post-op
+ *   3. eliminateDeadNodes — drop nodes unreachable from the output
+ *
+ * Nodes reference layers non-owningly: either layers owned by the
+ * source Sequential (which must outlive the graph) or layers created
+ * by passes and owned by the graph itself. Layer::forward stays the
+ * eager reference semantics every compiled plan is differential-
+ * tested against.
+ */
+
+#ifndef MLPERF_NN_GRAPH_H
+#define MLPERF_NN_GRAPH_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/sequential.h"
+
+namespace mlperf {
+namespace nn {
+
+const char *opKindName(OpKind kind);
+
+/** Node operand id naming the graph input rather than another node. */
+constexpr int kGraphInput = -1;
+
+class ModelGraph;
+
+/**
+ * Implemented by composite layers (ResidualBlock and its quantized
+ * twin) so the lowering can flatten them into primitive nodes without
+ * the graph module depending on the modules that define them.
+ */
+class CompositeLowering
+{
+  public:
+    virtual ~CompositeLowering() = default;
+
+    /**
+     * Append nodes implementing this layer to @p graph; @p input is
+     * the operand id feeding the layer. Returns the id of the node
+     * producing the layer's output.
+     */
+    virtual int lower(ModelGraph &graph, int input) const = 0;
+};
+
+struct GraphNode
+{
+    OpKind kind = OpKind::Opaque;
+    /** Implementing layer; null only for Add. Non-owning. */
+    const Layer *layer = nullptr;
+    /** Producer node ids (or kGraphInput). Add has two, rest one. */
+    std::vector<int> inputs;
+    /** Apply ReLU to the output buffer after the op (fusion post-op). */
+    bool postRelu = false;
+    std::string label;
+};
+
+class ModelGraph
+{
+  public:
+    ModelGraph() = default;
+    ModelGraph(ModelGraph &&) = default;
+    ModelGraph &operator=(ModelGraph &&) = default;
+    ModelGraph(const ModelGraph &) = delete;
+    ModelGraph &operator=(const ModelGraph &) = delete;
+
+    /**
+     * Lower a Sequential into graph form. Residual blocks (FP32 and
+     * quantized) become conv1 -> conv2 -> Add(conv2, skip) with an
+     * optional projection on the skip edge. The Sequential must
+     * outlive the graph.
+     */
+    static ModelGraph fromSequential(const Sequential &model);
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    int nodeCount() const { return static_cast<int>(nodes_.size()); }
+    const GraphNode &node(int id) const
+    {
+        return nodes_[static_cast<size_t>(id)];
+    }
+    GraphNode &node(int id) { return nodes_[static_cast<size_t>(id)]; }
+    const std::vector<GraphNode> &nodes() const { return nodes_; }
+
+    int outputNode() const { return output_; }
+    void setOutput(int id) { output_ = id; }
+
+    /** Append a node; returns its id. Nodes must stay topological. */
+    int addNode(GraphNode node);
+
+    /** Transfer ownership of a pass- or builder-created layer. */
+    const Layer *ownLayer(std::unique_ptr<Layer> layer);
+
+    /**
+     * Swap the implementing layer of node @p id (quantization uses
+     * this to retarget individual graph nodes); the graph takes
+     * ownership of the replacement.
+     */
+    void replaceNodeLayer(int id, std::unique_ptr<Layer> layer,
+                          OpKind kind);
+
+    // ---------------------------------------------------- passes
+
+    /** Fold BatchNorm into preceding Conv/Depthwise/Dense weights. */
+    int foldBatchNorm();
+
+    /** Fuse single-consumer ReLU nodes into their producer. */
+    int fuseRelu();
+
+    /** Remove nodes unreachable from the output; returns count. */
+    int eliminateDeadNodes();
+
+    /** The standard pipeline: fold BN, fuse ReLU, then DCE. */
+    void runDefaultPasses();
+
+    // ------------------------------------------------ shape query
+
+    /**
+     * Static shape inference: per-node output shapes for a full
+     * input shape (batch included). Index i is node i's output.
+     */
+    std::vector<tensor::Shape>
+    inferShapes(const tensor::Shape &input) const;
+
+    /** Consumer count per node id (reads of each node's output). */
+    std::vector<int> consumerCounts() const;
+
+    /** Sum of paramCount over distinct node layers. */
+    uint64_t paramCount() const;
+
+  private:
+    std::string name_;
+    std::vector<GraphNode> nodes_;
+    int output_ = -1;
+    std::vector<std::unique_ptr<Layer>> owned_;
+};
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_GRAPH_H

@@ -10,6 +10,7 @@
 #ifndef MLPERF_NN_LAYER_H
 #define MLPERF_NN_LAYER_H
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -18,13 +19,62 @@
 namespace mlperf {
 namespace nn {
 
+/**
+ * Graph-compiler operator kind (see nn/graph.h). Lives here so any
+ * layer — including ones in higher-level modules like quant — can
+ * declare how it lowers without the graph depending on those modules.
+ */
+enum class OpKind
+{
+    Conv2d,
+    DepthwiseConv2d,
+    Dense,
+    MaxPool,
+    AvgPool,
+    GlobalAvgPool,
+    Flatten,   //!< reshape; aliases its input buffer in the plan
+    Relu,
+    BatchNorm,
+    Add,       //!< elementwise skip-add; the only two-input node
+    QConv2d,
+    QDepthwiseConv2d,
+    QDense,
+    Opaque,    //!< any other layer; executes via Layer::forwardInto
+};
+
 class Layer
 {
   public:
     virtual ~Layer() = default;
 
+    /**
+     * How the graph compiler classifies this layer. Opaque layers
+     * still compile (the executor falls back to forwardInto) but are
+     * invisible to the fusion passes.
+     */
+    virtual OpKind opKind() const { return OpKind::Opaque; }
+
     /** Run inference on a batch; input layout is layer specific. */
     virtual tensor::Tensor forward(const tensor::Tensor &input) const = 0;
+
+    /**
+     * Run inference from/into caller-provided buffers: @p input holds
+     * a tensor of @p in_shape, @p out receives outputShape(in_shape)
+     * elements. The compiled-plan executor (nn/plan.h) runs entirely
+     * on this entry point with arena-planned buffers; hot layers
+     * override it to be allocation-free, and this default keeps any
+     * layer correct (eager forward plus a copy) so compilation is
+     * total over the zoo.
+     */
+    virtual void
+    forwardInto(const float *input, const tensor::Shape &in_shape,
+                float *out) const
+    {
+        tensor::Tensor x(in_shape);
+        std::copy(input, input + x.numel(), x.data());
+        const tensor::Tensor y = forward(x);
+        std::copy(y.data(), y.data() + y.numel(), out);
+    }
 
     /** Shape produced for a given input shape (used for FLOP chains). */
     virtual tensor::Shape

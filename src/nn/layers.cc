@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "nn/activations.h"
 #include "tensor/gemm.h"
@@ -26,11 +27,20 @@ Conv2dLayer::Conv2dLayer(Tensor weight, std::vector<float> bias,
 Tensor
 Conv2dLayer::forward(const Tensor &input) const
 {
-    Tensor out = tensor::conv2d(
-        input, weight_, bias_.empty() ? nullptr : bias_.data(), params_);
-    if (fuseRelu_)
-        reluInplace(out);
+    Tensor out(outputShape(input.shape()));
+    forwardInto(input.data(), input.shape(), out.data());
     return out;
+}
+
+void
+Conv2dLayer::forwardInto(const float *input, const Shape &in_shape,
+                         float *out) const
+{
+    assert(in_shape.rank() == 4);
+    tensor::conv2dInto(input, in_shape.dim(0), in_shape.dim(1),
+                       in_shape.dim(2), in_shape.dim(3), weight_,
+                       bias_.empty() ? nullptr : bias_.data(), params_,
+                       fuseRelu_, out);
 }
 
 Shape
@@ -72,11 +82,22 @@ DepthwiseConv2dLayer::DepthwiseConv2dLayer(Tensor weight,
 Tensor
 DepthwiseConv2dLayer::forward(const Tensor &input) const
 {
-    Tensor out = tensor::depthwiseConv2d(
-        input, weight_, bias_.empty() ? nullptr : bias_.data(), params_);
-    if (fuseRelu_)
-        reluInplace(out);
+    Tensor out(outputShape(input.shape()));
+    forwardInto(input.data(), input.shape(), out.data());
     return out;
+}
+
+void
+DepthwiseConv2dLayer::forwardInto(const float *input,
+                                  const Shape &in_shape,
+                                  float *out) const
+{
+    assert(in_shape.rank() == 4);
+    tensor::depthwiseConv2dInto(
+        input, in_shape.dim(0), in_shape.dim(1), in_shape.dim(2),
+        in_shape.dim(3), weight_,
+        bias_.empty() ? nullptr : bias_.data(), params_, fuseRelu_,
+        out);
 }
 
 Shape
@@ -116,17 +137,30 @@ Tensor
 DenseLayer::forward(const Tensor &input) const
 {
     assert(input.shape().rank() == 2);
-    const int64_t batch = input.shape().dim(0);
-    const int64_t in = input.shape().dim(1);
-    const int64_t out = weight_.shape().dim(0);
-    assert(weight_.shape().dim(1) == in);
-    Tensor y(Shape{batch, out});
-    tensor::denseForward(weight_.data(),
-                         bias_.empty() ? nullptr : bias_.data(),
-                         input.data(), y.data(), batch, in, out);
-    if (fuseRelu_)
-        reluInplace(y);
+    Tensor y(outputShape(input.shape()));
+    forwardInto(input.data(), input.shape(), y.data());
     return y;
+}
+
+void
+DenseLayer::forwardInto(const float *input, const Shape &in_shape,
+                        float *out) const
+{
+    assert(in_shape.rank() == 2);
+    const int64_t batch = in_shape.dim(0);
+    const int64_t in = in_shape.dim(1);
+    const int64_t out_dim = weight_.shape().dim(0);
+    assert(weight_.shape().dim(1) == in);
+    tensor::denseForward(weight_.data(),
+                         bias_.empty() ? nullptr : bias_.data(), input,
+                         out, batch, in, out_dim);
+    if (fuseRelu_) {
+        const int64_t n = batch * out_dim;
+        for (int64_t i = 0; i < n; ++i) {
+            if (out[i] < 0.0f)
+                out[i] = 0.0f;
+        }
+    }
 }
 
 Shape
@@ -156,6 +190,16 @@ MaxPoolLayer::forward(const Tensor &input) const
     return tensor::maxPool2d(input, kernel_, stride_);
 }
 
+void
+MaxPoolLayer::forwardInto(const float *input, const Shape &in_shape,
+                          float *out) const
+{
+    assert(in_shape.rank() == 4);
+    tensor::maxPool2dInto(input, in_shape.dim(0), in_shape.dim(1),
+                          in_shape.dim(2), in_shape.dim(3), kernel_,
+                          stride_, out);
+}
+
 Shape
 MaxPoolLayer::outputShape(const Shape &input) const
 {
@@ -167,37 +211,17 @@ MaxPoolLayer::outputShape(const Shape &input) const
 Tensor
 AvgPoolLayer::forward(const Tensor &input) const
 {
-    assert(input.shape().rank() == 4);
-    const int64_t n = input.shape().dim(0);
-    const int64_t c = input.shape().dim(1);
-    const int64_t h = input.shape().dim(2);
-    const int64_t w = input.shape().dim(3);
-    const Shape out_shape = outputShape(input.shape());
-    const int64_t out_h = out_shape.dim(2);
-    const int64_t out_w = out_shape.dim(3);
-    const float inv =
-        1.0f / static_cast<float>(kernel_ * kernel_);
-    Tensor output(out_shape);
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < c; ++ci) {
-            const float *chan = input.data() + (ni * c + ci) * h * w;
-            float *out =
-                output.data() + (ni * c + ci) * out_h * out_w;
-            for (int64_t oh = 0; oh < out_h; ++oh) {
-                for (int64_t ow = 0; ow < out_w; ++ow) {
-                    float sum = 0.0f;
-                    for (int64_t kh = 0; kh < kernel_; ++kh) {
-                        for (int64_t kw = 0; kw < kernel_; ++kw) {
-                            sum += chan[(oh * stride_ + kh) * w +
-                                        ow * stride_ + kw];
-                        }
-                    }
-                    out[oh * out_w + ow] = sum * inv;
-                }
-            }
-        }
-    }
-    return output;
+    return tensor::avgPool2d(input, kernel_, stride_);
+}
+
+void
+AvgPoolLayer::forwardInto(const float *input, const Shape &in_shape,
+                          float *out) const
+{
+    assert(in_shape.rank() == 4);
+    tensor::avgPool2dInto(input, in_shape.dim(0), in_shape.dim(1),
+                          in_shape.dim(2), in_shape.dim(3), kernel_,
+                          stride_, out);
 }
 
 Shape
@@ -214,6 +238,16 @@ GlobalAvgPoolLayer::forward(const Tensor &input) const
     return tensor::globalAvgPool(input);
 }
 
+void
+GlobalAvgPoolLayer::forwardInto(const float *input,
+                                const Shape &in_shape,
+                                float *out) const
+{
+    assert(in_shape.rank() == 4);
+    tensor::globalAvgPoolInto(input, in_shape.dim(0), in_shape.dim(1),
+                              in_shape.dim(2), in_shape.dim(3), out);
+}
+
 Shape
 GlobalAvgPoolLayer::outputShape(const Shape &input) const
 {
@@ -226,6 +260,13 @@ FlattenLayer::forward(const Tensor &input) const
     return input.reshaped(outputShape(input.shape()));
 }
 
+void
+FlattenLayer::forwardInto(const float *input, const Shape &in_shape,
+                          float *out) const
+{
+    std::copy(input, input + in_shape.numel(), out);
+}
+
 Shape
 FlattenLayer::outputShape(const Shape &input) const
 {
@@ -233,6 +274,70 @@ FlattenLayer::outputShape(const Shape &input) const
     for (int64_t i = 1; i < input.rank(); ++i)
         rest *= input.dim(i);
     return Shape{input.dim(0), rest};
+}
+
+// ------------------------------------------------------- Relu / BN
+
+Tensor
+ReluLayer::forward(const Tensor &input) const
+{
+    Tensor out = input;
+    reluInplace(out);
+    return out;
+}
+
+void
+ReluLayer::forwardInto(const float *input, const Shape &in_shape,
+                       float *out) const
+{
+    const int64_t n = in_shape.numel();
+    for (int64_t i = 0; i < n; ++i)
+        out[i] = input[i] < 0.0f ? 0.0f : input[i];
+}
+
+BatchNormLayer::BatchNormLayer(std::vector<float> gamma,
+                               std::vector<float> beta,
+                               std::vector<float> mean,
+                               std::vector<float> var, float eps)
+{
+    assert(gamma.size() == beta.size() &&
+           gamma.size() == mean.size() && gamma.size() == var.size());
+    scale_.resize(gamma.size());
+    shift_.resize(gamma.size());
+    for (size_t c = 0; c < gamma.size(); ++c) {
+        const float inv_std =
+            1.0f / std::sqrt(var[c] + eps);
+        scale_[c] = gamma[c] * inv_std;
+        shift_[c] = beta[c] - mean[c] * scale_[c];
+    }
+}
+
+Tensor
+BatchNormLayer::forward(const Tensor &input) const
+{
+    Tensor out(input.shape());
+    forwardInto(input.data(), input.shape(), out.data());
+    return out;
+}
+
+void
+BatchNormLayer::forwardInto(const float *input, const Shape &in_shape,
+                            float *out) const
+{
+    assert(in_shape.rank() >= 2);
+    const int64_t n = in_shape.dim(0);
+    const int64_t c = in_shape.dim(1);
+    assert(c == channels());
+    const int64_t inner = in_shape.numel() / (n * c);
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+        const int64_t ci = nc % c;
+        const float s = scale_[static_cast<size_t>(ci)];
+        const float b = shift_[static_cast<size_t>(ci)];
+        const float *src = input + nc * inner;
+        float *dst = out + nc * inner;
+        for (int64_t i = 0; i < inner; ++i)
+            dst[i] = s * src[i] + b;
+    }
 }
 
 // -------------------------------------------------------- ResidualBlock
@@ -286,6 +391,41 @@ ResidualBlock::flops(const Shape &input) const
     if (projection_)
         n += projection_->flops(input);
     return n;
+}
+
+int
+ResidualBlock::lower(ModelGraph &graph, int input) const
+{
+    GraphNode c1;
+    c1.kind = OpKind::Conv2d;
+    c1.layer = conv1_.get();
+    c1.inputs = {input};
+    c1.label = "residual/conv1";
+    const int c1_id = graph.addNode(std::move(c1));
+
+    GraphNode c2;
+    c2.kind = OpKind::Conv2d;
+    c2.layer = conv2_.get();
+    c2.inputs = {c1_id};
+    c2.label = "residual/conv2";
+    const int c2_id = graph.addNode(std::move(c2));
+
+    int skip = input;
+    if (projection_) {
+        GraphNode proj;
+        proj.kind = OpKind::Conv2d;
+        proj.layer = projection_.get();
+        proj.inputs = {input};
+        proj.label = "residual/proj";
+        skip = graph.addNode(std::move(proj));
+    }
+
+    GraphNode add;
+    add.kind = OpKind::Add;
+    add.inputs = {c2_id, skip};
+    add.postRelu = true;  // the block's post-add ReLU
+    add.label = "residual/add";
+    return graph.addNode(std::move(add));
 }
 
 } // namespace nn

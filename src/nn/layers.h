@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/graph.h"
 #include "nn/layer.h"
 #include "tensor/conv.h"
 
@@ -28,9 +29,12 @@ class Conv2dLayer : public Layer
                 tensor::Conv2dParams params, bool fuse_relu = true);
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    OpKind opKind() const override { return OpKind::Conv2d; }
     std::string name() const override { return "conv2d"; }
 
     const tensor::Tensor &weight() const { return weight_; }
@@ -55,9 +59,12 @@ class DepthwiseConv2dLayer : public Layer
                          bool fuse_relu = true);
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    OpKind opKind() const override { return OpKind::DepthwiseConv2d; }
     std::string name() const override { return "dwconv2d"; }
 
     const tensor::Tensor &weight() const { return weight_; }
@@ -81,9 +88,12 @@ class DenseLayer : public Layer
                bool fuse_relu = false);
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    OpKind opKind() const override { return OpKind::Dense; }
     std::string name() const override { return "dense"; }
 
     const tensor::Tensor &weight() const { return weight_; }
@@ -106,7 +116,10 @@ class MaxPoolLayer : public Layer
     }
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
+    OpKind opKind() const override { return OpKind::MaxPool; }
     std::string name() const override { return "maxpool"; }
 
   private:
@@ -124,7 +137,10 @@ class AvgPoolLayer : public Layer
     }
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
+    OpKind opKind() const override { return OpKind::AvgPool; }
     std::string name() const override { return "avgpool"; }
 
   private:
@@ -137,7 +153,10 @@ class GlobalAvgPoolLayer : public Layer
 {
   public:
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
+    OpKind opKind() const override { return OpKind::GlobalAvgPool; }
     std::string name() const override { return "gap"; }
 };
 
@@ -146,8 +165,67 @@ class FlattenLayer : public Layer
 {
   public:
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
+    OpKind opKind() const override { return OpKind::Flatten; }
     std::string name() const override { return "flatten"; }
+};
+
+/** Standalone ReLU; graph compilation fuses it into the producer. */
+class ReluLayer : public Layer
+{
+  public:
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override
+    {
+        return input;
+    }
+    OpKind opKind() const override { return OpKind::Relu; }
+    std::string name() const override { return "relu"; }
+};
+
+/**
+ * Inference-mode batch normalization over the channel dimension
+ * (dim 1 of [N, C, ...] inputs): y = gamma * (x - mean) / sqrt(var +
+ * eps) + beta with frozen statistics. Kept in the zoo so the graph
+ * compiler's Conv+BN folding pass has a real pattern to fold; folded
+ * graphs never execute it.
+ */
+class BatchNormLayer : public Layer
+{
+  public:
+    BatchNormLayer(std::vector<float> gamma, std::vector<float> beta,
+                   std::vector<float> mean, std::vector<float> var,
+                   float eps = 1e-5f);
+
+    tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
+    tensor::Shape outputShape(const tensor::Shape &input) const override
+    {
+        return input;
+    }
+    uint64_t paramCount() const override
+    {
+        return 2 * scale_.size();  // gamma + beta
+    }
+    OpKind opKind() const override { return OpKind::BatchNorm; }
+    std::string name() const override { return "batchnorm"; }
+
+    /** Per-channel folded affine form: y = scale * x + shift. */
+    const std::vector<float> &scale() const { return scale_; }
+    const std::vector<float> &shift() const { return shift_; }
+    int64_t channels() const
+    {
+        return static_cast<int64_t>(scale_.size());
+    }
+
+  private:
+    std::vector<float> scale_;
+    std::vector<float> shift_;
 };
 
 /**
@@ -156,7 +234,7 @@ class FlattenLayer : public Layer
  * path when shape changes (stride-on-the-3x3 is specifically the v1.5
  * variant the paper standardizes on).
  */
-class ResidualBlock : public Layer
+class ResidualBlock : public Layer, public CompositeLowering
 {
   public:
     ResidualBlock(std::unique_ptr<Conv2dLayer> conv1,
@@ -167,6 +245,7 @@ class ResidualBlock : public Layer
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    int lower(ModelGraph &graph, int input) const override;
     std::string name() const override { return "residual"; }
 
     /** Sub-layer access for the quantization pass. */

@@ -1,0 +1,132 @@
+#include "nn/memory_planner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlperf {
+namespace nn {
+
+namespace {
+
+struct FreeBlock
+{
+    int64_t offset;
+    int64_t size;
+};
+
+/** Insert into the offset-sorted free list, merging neighbors. */
+void
+release(std::vector<FreeBlock> &free_list, int64_t offset, int64_t size)
+{
+    auto it = std::lower_bound(
+        free_list.begin(), free_list.end(), offset,
+        [](const FreeBlock &b, int64_t off) { return b.offset < off; });
+    it = free_list.insert(it, FreeBlock{offset, size});
+    // Merge with successor.
+    const auto next = it + 1;
+    if (next != free_list.end() && it->offset + it->size == next->offset) {
+        it->size += next->size;
+        free_list.erase(next);
+    }
+    // Merge with predecessor.
+    if (it != free_list.begin()) {
+        const auto prev = it - 1;
+        if (prev->offset + prev->size == it->offset) {
+            prev->size += it->size;
+            free_list.erase(it);
+        }
+    }
+}
+
+} // namespace
+
+MemoryPlan
+planBuffers(const std::vector<BufferRequest> &requests, int64_t alignment)
+{
+    assert(alignment > 0 && (alignment & (alignment - 1)) == 0);
+    MemoryPlan plan;
+    plan.offsets.assign(requests.size(), 0);
+
+    const auto alignUp = [alignment](int64_t v) {
+        return (v + alignment - 1) & ~(alignment - 1);
+    };
+    for (const BufferRequest &r : requests) {
+        assert(r.lastUse >= r.def);
+        plan.naiveBytes += alignUp(r.bytes);
+    }
+
+    // Placement order: by definition step; within a step, larger
+    // buffers first so the big tensors claim the best-fitting holes.
+    std::vector<size_t> order(requests.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (requests[a].def != requests[b].def)
+            return requests[a].def < requests[b].def;
+        if (requests[a].bytes != requests[b].bytes)
+            return requests[a].bytes > requests[b].bytes;
+        return a < b;
+    });
+
+    std::vector<FreeBlock> free_list;  // sorted by offset
+    struct Active
+    {
+        size_t request;
+        int64_t offset;
+        int64_t size;
+    };
+    std::vector<Active> active;
+
+    for (const size_t idx : order) {
+        const BufferRequest &req = requests[idx];
+
+        // Free every buffer whose last reader ran before this step.
+        for (size_t i = 0; i < active.size();) {
+            if (requests[active[i].request].lastUse < req.def) {
+                release(free_list, active[i].offset, active[i].size);
+                active[i] = active.back();
+                active.pop_back();
+            } else {
+                ++i;
+            }
+        }
+
+        const int64_t need = alignUp(req.bytes);
+        if (need == 0)
+            continue;
+
+        // Best fit: the smallest free block that still holds `need`.
+        auto best = free_list.end();
+        for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+            if (it->size >= need &&
+                (best == free_list.end() || it->size < best->size))
+                best = it;
+        }
+
+        int64_t offset;
+        if (best != free_list.end()) {
+            offset = best->offset;
+            best->offset += need;
+            best->size -= need;
+            if (best->size == 0)
+                free_list.erase(best);
+        } else if (!free_list.empty() &&
+                   free_list.back().offset + free_list.back().size ==
+                       plan.arenaBytes) {
+            // Grow the arena, absorbing the trailing free block so the
+            // extension only covers the shortfall.
+            offset = free_list.back().offset;
+            free_list.pop_back();
+            plan.arenaBytes = offset + need;
+        } else {
+            offset = plan.arenaBytes;
+            plan.arenaBytes += need;
+        }
+        plan.offsets[idx] = offset;
+        active.push_back(Active{idx, offset, need});
+    }
+    return plan;
+}
+
+} // namespace nn
+} // namespace mlperf

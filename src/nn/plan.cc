@@ -1,0 +1,257 @@
+#include "nn/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "nn/memory_planner.h"
+
+namespace mlperf {
+namespace nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+CompiledModel::CompiledModel(const Sequential &model,
+                             Shape sample_shape, CompileOptions options)
+    : graph_(ModelGraph::fromSequential(model)),
+      sampleShape_(std::move(sample_shape))
+{
+    if (options.foldBatchNorm)
+        graph_.foldBatchNorm();
+    if (options.fuseRelu)
+        graph_.fuseRelu();
+    if (options.eliminateDeadNodes)
+        graph_.eliminateDeadNodes();
+}
+
+CompiledModel::CompiledModel(ModelGraph graph, Shape sample_shape)
+    : graph_(std::move(graph)), sampleShape_(std::move(sample_shape))
+{
+}
+
+void
+CompiledModel::invalidatePlans()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plans_.clear();
+}
+
+const Plan &
+CompiledModel::planFor(int64_t batch) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = plans_.find(batch);
+    if (it == plans_.end()) {
+        it = plans_
+                 .emplace(batch,
+                          std::make_unique<Plan>(buildPlan(batch)))
+                 .first;
+    }
+    return *it->second;
+}
+
+Plan
+CompiledModel::buildPlan(int64_t batch) const
+{
+    assert(batch > 0);
+    assert(graph_.outputNode() >= 0);
+
+    std::vector<int64_t> dims;
+    dims.reserve(static_cast<size_t>(sampleShape_.rank()) + 1);
+    dims.push_back(batch);
+    for (int64_t i = 0; i < sampleShape_.rank(); ++i)
+        dims.push_back(sampleShape_.dim(i));
+    const Shape input_shape(std::move(dims));
+
+    const std::vector<Shape> shapes = graph_.inferShapes(input_shape);
+
+    // Value slots: one materialized buffer per graph value. Slot 0 is
+    // the graph input; Flatten nodes alias their producer's slot (a
+    // reshape moves no data), everything else gets its own.
+    struct SlotInfo
+    {
+        int64_t numel;
+        int def;
+        int lastUse;
+    };
+    std::vector<SlotInfo> slots;
+    slots.push_back(SlotInfo{input_shape.numel(), 0, 0});
+
+    std::vector<int> node_slot(
+        static_cast<size_t>(graph_.nodeCount()), -1);
+    const auto slotFor = [&](int operand) {
+        return operand == kGraphInput
+                   ? 0
+                   : node_slot[static_cast<size_t>(operand)];
+    };
+    const auto shapeFor = [&](int operand) -> const Shape & {
+        return operand == kGraphInput
+                   ? input_shape
+                   : shapes[static_cast<size_t>(operand)];
+    };
+
+    Plan plan;
+    plan.batch = batch;
+    plan.inputShape = input_shape;
+    plan.inputNumel = input_shape.numel();
+
+    // Step slot ids, resolved to offsets once the planner has run.
+    struct StepSlots
+    {
+        int in0;
+        int in1;
+        int out;
+    };
+    std::vector<StepSlots> step_slots;
+
+    for (int id = 0; id < graph_.nodeCount(); ++id) {
+        const GraphNode &n = graph_.node(id);
+        if (n.kind == OpKind::Flatten) {
+            assert(!n.postRelu);
+            node_slot[static_cast<size_t>(id)] = slotFor(n.inputs[0]);
+            continue;
+        }
+        const int step_index = static_cast<int>(plan.steps.size()) + 1;
+
+        PlanStep step;
+        step.kind = n.kind;
+        step.layer = n.layer;
+        step.postRelu = n.postRelu;
+        step.inShape = shapeFor(n.inputs[0]);
+        step.outShape = shapes[static_cast<size_t>(id)];
+        step.label = n.label;
+
+        StepSlots ss{slotFor(n.inputs[0]), -1, -1};
+        slots[static_cast<size_t>(ss.in0)].lastUse = step_index;
+        if (n.kind == OpKind::Add) {
+            ss.in1 = slotFor(n.inputs[1]);
+            slots[static_cast<size_t>(ss.in1)].lastUse = step_index;
+        }
+        ss.out = static_cast<int>(slots.size());
+        slots.push_back(SlotInfo{step.outShape.numel(), step_index,
+                                 step_index});
+        node_slot[static_cast<size_t>(id)] = ss.out;
+
+        plan.steps.push_back(std::move(step));
+        step_slots.push_back(ss);
+    }
+
+    // Pin the output value past the last step so no later op reuses it
+    // before the caller has read the result.
+    const int out_slot = slotFor(graph_.outputNode());
+    slots[static_cast<size_t>(out_slot)].lastUse =
+        static_cast<int>(plan.steps.size()) + 1;
+
+    std::vector<BufferRequest> requests;
+    requests.reserve(slots.size());
+    for (const SlotInfo &s : slots)
+        requests.push_back(BufferRequest{s.numel * 4, s.def, s.lastUse});
+    const MemoryPlan memory = planBuffers(requests, /*alignment=*/64);
+
+    std::vector<int64_t> slot_offset(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i)
+        slot_offset[i] = memory.offsets[i] / 4;
+
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+        plan.steps[i].in0 =
+            slot_offset[static_cast<size_t>(step_slots[i].in0)];
+        plan.steps[i].in1 =
+            step_slots[i].in1 < 0
+                ? -1
+                : slot_offset[static_cast<size_t>(step_slots[i].in1)];
+        plan.steps[i].out =
+            slot_offset[static_cast<size_t>(step_slots[i].out)];
+    }
+
+    plan.arenaFloats = memory.arenaBytes / 4;
+    plan.naiveFloats = memory.naiveBytes / 4;
+    plan.inputOffset = slot_offset[0];
+    plan.outputOffset = slot_offset[static_cast<size_t>(out_slot)];
+    plan.outputShape = shapes[static_cast<size_t>(graph_.outputNode())];
+    plan.outputNumel = plan.outputShape.numel();
+    return plan;
+}
+
+// ------------------------------------------------- ExecutionInstance
+
+ExecutionInstance &
+ExecutionInstance::thread()
+{
+    static thread_local ExecutionInstance instance;
+    return instance;
+}
+
+void
+ExecutionInstance::ensureCapacity(int64_t floats)
+{
+    if (floats <= capacityFloats_)
+        return;
+    const size_t bytes =
+        (static_cast<size_t>(floats) * 4 + 63) / 64 * 64;
+    float *raw = static_cast<float *>(std::aligned_alloc(64, bytes));
+    assert(raw != nullptr);
+    buffer_ = std::unique_ptr<float, void (*)(void *)>(raw, std::free);
+    capacityFloats_ = static_cast<int64_t>(bytes / 4);
+}
+
+float *
+ExecutionInstance::stageInput(const CompiledModel &model, int64_t batch)
+{
+    const Plan &plan = model.planFor(batch);
+    ensureCapacity(plan.arenaFloats);
+    return buffer_.get() + plan.inputOffset;
+}
+
+const float *
+ExecutionInstance::run(const CompiledModel &model, int64_t batch)
+{
+    const Plan &plan = model.planFor(batch);
+    ensureCapacity(plan.arenaFloats);
+    float *base = buffer_.get();
+
+    for (const PlanStep &step : plan.steps) {
+        const float *in0 = base + step.in0;
+        float *out = base + step.out;
+        const int64_t out_n = step.outShape.numel();
+        if (step.kind == OpKind::Add) {
+            const float *in1 = base + step.in1;
+            if (step.postRelu) {
+                for (int64_t i = 0; i < out_n; ++i) {
+                    const float v = in0[i] + in1[i];
+                    out[i] = v < 0.0f ? 0.0f : v;
+                }
+            } else {
+                for (int64_t i = 0; i < out_n; ++i)
+                    out[i] = in0[i] + in1[i];
+            }
+            continue;
+        }
+        step.layer->forwardInto(in0, step.inShape, out);
+        if (step.postRelu) {
+            for (int64_t i = 0; i < out_n; ++i) {
+                if (out[i] < 0.0f)
+                    out[i] = 0.0f;
+            }
+        }
+    }
+    return base + plan.outputOffset;
+}
+
+Tensor
+ExecutionInstance::forward(const CompiledModel &model,
+                           const Tensor &input)
+{
+    const int64_t batch = input.shape().dim(0);
+    const Plan &plan = model.planFor(batch);
+    assert(input.shape() == plan.inputShape);
+    float *staged = stageInput(model, batch);
+    std::copy(input.data(), input.data() + plan.inputNumel, staged);
+    const float *result = run(model, batch);
+    Tensor out(plan.outputShape);
+    std::copy(result, result + plan.outputNumel, out.data());
+    return out;
+}
+
+} // namespace nn
+} // namespace mlperf

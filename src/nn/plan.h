@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Compile-then-execute runtime: CompiledModel turns a ModelGraph into
+ * per-batch-size ExecutionPlans (fused ops + static buffer offsets
+ * from the liveness memory planner), and ExecutionInstance executes a
+ * plan out of one thread-local grow-only arena.
+ *
+ * Threading model: a CompiledModel is immutable after construction
+ * apart from its internal plan cache, which is mutex-guarded, so any
+ * number of serving workers may share one CompiledModel. Each worker
+ * runs its own ExecutionInstance (one per thread via thread()), so
+ * query execution touches no shared mutable state and performs zero
+ * heap allocations in steady state.
+ *
+ * Correctness contract: for every model and batch size, running the
+ * compiled plan must match the eager Sequential::forward reference
+ * (exactly for int8 paths, to ~1e-4 for fp32 where fusion reorders
+ * float math). tests/nn/plan_test.cc and
+ * tests/models/compiled_parity_test.cc enforce this differentially.
+ */
+
+#ifndef MLPERF_NN_PLAN_H
+#define MLPERF_NN_PLAN_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/sequential.h"
+
+namespace mlperf {
+namespace nn {
+
+struct CompileOptions
+{
+    bool foldBatchNorm = true;
+    bool fuseRelu = true;
+    bool eliminateDeadNodes = true;
+};
+
+/** One executable op with resolved arena offsets (in floats). */
+struct PlanStep
+{
+    OpKind kind = OpKind::Opaque;
+    const Layer *layer = nullptr;  //!< null only for Add
+    bool postRelu = false;
+    tensor::Shape inShape;   //!< shape of operand 0
+    tensor::Shape outShape;
+    int64_t in0 = 0;
+    int64_t in1 = -1;        //!< second Add operand, else -1
+    int64_t out = 0;
+    std::string label;
+};
+
+/** An execution schedule specialized to one batch size. */
+struct Plan
+{
+    int64_t batch = 0;
+    std::vector<PlanStep> steps;
+    /** Arena size after liveness-based reuse, in floats. */
+    int64_t arenaFloats = 0;
+    /** Sum of all value buffers without reuse, in floats. */
+    int64_t naiveFloats = 0;
+    int64_t inputOffset = 0;
+    int64_t inputNumel = 0;
+    int64_t outputOffset = 0;
+    int64_t outputNumel = 0;
+    tensor::Shape inputShape;
+    tensor::Shape outputShape;
+};
+
+/**
+ * An optimized graph plus a lazily built, cached Plan per batch size.
+ * Construction runs the pass pipeline once; planFor() is safe to call
+ * concurrently.
+ */
+class CompiledModel
+{
+  public:
+    /**
+     * Compile a Sequential for inputs of @p sample_shape (one sample,
+     * no batch dimension). The Sequential must outlive the model.
+     */
+    CompiledModel(const Sequential &model, tensor::Shape sample_shape,
+                  CompileOptions options = {});
+
+    /** Adopt an already-lowered (and typically optimized) graph. */
+    CompiledModel(ModelGraph graph, tensor::Shape sample_shape);
+
+    CompiledModel(const CompiledModel &) = delete;
+    CompiledModel &operator=(const CompiledModel &) = delete;
+
+    const std::string &name() const { return graph_.name(); }
+    const ModelGraph &graph() const { return graph_; }
+    ModelGraph &graph() { return graph_; }
+    const tensor::Shape &sampleShape() const { return sampleShape_; }
+
+    /** Drop cached plans (after the graph is mutated, e.g. quantized). */
+    void invalidatePlans();
+
+    /** The plan for @p batch, built on first use. Thread-safe. */
+    const Plan &planFor(int64_t batch) const;
+
+  private:
+    Plan buildPlan(int64_t batch) const;
+
+    ModelGraph graph_;
+    tensor::Shape sampleShape_;
+    mutable std::mutex mutex_;
+    mutable std::map<int64_t, std::unique_ptr<Plan>> plans_;
+};
+
+/**
+ * Per-thread executor state: one grow-only, 64-byte-aligned arena
+ * sized to the largest plan it has run. Not thread-safe; use one
+ * instance per thread (thread() hands out exactly that).
+ */
+class ExecutionInstance
+{
+  public:
+    ExecutionInstance() = default;
+    ExecutionInstance(const ExecutionInstance &) = delete;
+    ExecutionInstance &operator=(const ExecutionInstance &) = delete;
+
+    /** The calling thread's instance. */
+    static ExecutionInstance &thread();
+
+    /**
+     * Make room for @p model at @p batch and return the input buffer
+     * (inputNumel floats) for the caller to fill — batch stacking
+     * writes samples straight into the arena, no staging copy.
+     */
+    float *stageInput(const CompiledModel &model, int64_t batch);
+
+    /**
+     * Execute the staged input; returns the output buffer
+     * (outputNumel floats), valid until the next stage/run/forward
+     * on this instance.
+     */
+    const float *run(const CompiledModel &model, int64_t batch);
+
+    /** Convenience eager-style entry: copy in, run, copy out. */
+    tensor::Tensor forward(const CompiledModel &model,
+                           const tensor::Tensor &input);
+
+    /** Current arena footprint in bytes. */
+    int64_t bufferBytes() const { return capacityFloats_ * 4; }
+
+  private:
+    void ensureCapacity(int64_t floats);
+
+    std::unique_ptr<float, void (*)(void *)> buffer_{nullptr, nullptr};
+    int64_t capacityFloats_ = 0;
+};
+
+} // namespace nn
+} // namespace mlperf
+
+#endif // MLPERF_NN_PLAN_H

@@ -1,11 +1,31 @@
 #include "quant/quantize_model.h"
 
 #include <memory>
+#include <stdexcept>
 
 #include "quant/quantized_layers.h"
 
 namespace mlperf {
 namespace quant {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+void
+verifySwapShapeContract(const nn::Layer &original,
+                        const nn::Layer &replacement,
+                        const Shape &in_shape, const std::string &context)
+{
+    const Shape expected = original.outputShape(in_shape);
+    const Shape got = replacement.outputShape(in_shape);
+    if (expected != got) {
+        throw std::runtime_error(
+            "quantization swap for layer '" + original.name() + "' (" +
+            context + ") changed the output shape for input " +
+            in_shape.str() + ": expected " + expected.str() + ", got " +
+            got.str());
+    }
+}
 
 int
 quantizeSequential(nn::Sequential &model,
@@ -19,12 +39,18 @@ quantizeSequential(nn::Sequential &model,
     // Residual blocks need the range of conv1's output as well.
     std::vector<RangeTracker> mid_range(
         n_layers, RangeTracker(options.method));
+    // Per-layer input shapes, captured during calibration so the swap
+    // contract can be checked against real geometry.
+    std::vector<Shape> in_shapes(n_layers);
+    bool shapes_known = false;
 
     if (options.calibrate) {
         for (const auto &input : calibration_inputs) {
             tensor::Tensor x = input;
             for (size_t i = 0; i < n_layers; ++i) {
                 input_range[i].observe(x);
+                if (!shapes_known)
+                    in_shapes[i] = x.shape();
                 if (auto *block =
                         dynamic_cast<const nn::ResidualBlock *>(
                             &model.layer(i))) {
@@ -32,6 +58,7 @@ quantizeSequential(nn::Sequential &model,
                 }
                 x = model.layer(i).forward(x);
             }
+            shapes_known = true;
         }
     }
 
@@ -53,6 +80,14 @@ quantizeSequential(nn::Sequential &model,
         }
     }
 
+    const auto swap = [&](size_t i, std::unique_ptr<nn::Layer> repl) {
+        if (shapes_known) {
+            verifySwapShapeContract(model.layer(i), *repl, in_shapes[i],
+                                    model.name());
+        }
+        model.replaceLayer(i, std::move(repl));
+    };
+
     int quantized = 0;
     for (size_t i = 0; i < n_layers; ++i) {
         if (options.keepFirstLayerFp32 && i == first_eligible)
@@ -69,23 +104,22 @@ quantizeSequential(nn::Sequential &model,
         }
         if (auto *conv =
                 dynamic_cast<const nn::Conv2dLayer *>(&model.layer(i))) {
-            model.replaceLayer(i, std::make_unique<QuantizedConv2dLayer>(
-                                      *conv, lo, hi, options.bits,
-                                      options.perChannelWeights));
+            swap(i, std::make_unique<QuantizedConv2dLayer>(
+                        *conv, lo, hi, options.bits,
+                        options.perChannelWeights));
             ++quantized;
         } else if (auto *dense = dynamic_cast<const nn::DenseLayer *>(
                        &model.layer(i))) {
-            model.replaceLayer(i, std::make_unique<QuantizedDenseLayer>(
-                                      *dense, lo, hi, options.bits,
-                                      options.perChannelWeights));
+            swap(i, std::make_unique<QuantizedDenseLayer>(
+                        *dense, lo, hi, options.bits,
+                        options.perChannelWeights));
             ++quantized;
         } else if (auto *dw =
                        dynamic_cast<const nn::DepthwiseConv2dLayer *>(
                            &model.layer(i))) {
-            model.replaceLayer(
-                i, std::make_unique<QuantizedDepthwiseConv2dLayer>(
-                       *dw, lo, hi, options.bits,
-                       options.perChannelWeights));
+            swap(i, std::make_unique<QuantizedDepthwiseConv2dLayer>(
+                        *dw, lo, hi, options.bits,
+                        options.perChannelWeights));
             ++quantized;
         } else if (auto *block =
                        dynamic_cast<const nn::ResidualBlock *>(
@@ -98,12 +132,137 @@ quantizeSequential(nn::Sequential &model,
                 mid_lo = -options.nominalRange;
                 mid_hi = options.nominalRange;
             }
-            model.replaceLayer(
-                i, std::make_unique<QuantizedResidualBlock>(
-                       *block, lo, hi, mid_lo, mid_hi, options.bits,
-                       options.perChannelWeights));
+            swap(i, std::make_unique<QuantizedResidualBlock>(
+                        *block, lo, hi, mid_lo, mid_hi, options.bits,
+                        options.perChannelWeights));
             ++quantized;
         }
+    }
+    return quantized;
+}
+
+int
+quantizeGraph(nn::ModelGraph &graph, const Shape &sample_shape,
+              const std::vector<Tensor> &calibration_inputs,
+              const QuantizeOptions &options)
+{
+    const int n = graph.nodeCount();
+    std::vector<RangeTracker> in_range(
+        static_cast<size_t>(n), RangeTracker(options.method));
+
+    if (options.calibrate) {
+        for (const Tensor &input : calibration_inputs) {
+            // Eager graph walk: every node's input edge is observed
+            // with exactly the values it will carry at inference time.
+            std::vector<Tensor> values(static_cast<size_t>(n));
+            const auto operand = [&](int id) -> const Tensor & {
+                return id == nn::kGraphInput
+                           ? input
+                           : values[static_cast<size_t>(id)];
+            };
+            for (int id = 0; id < n; ++id) {
+                const nn::GraphNode &node = graph.node(id);
+                const Tensor &in0 = operand(node.inputs[0]);
+                in_range[static_cast<size_t>(id)].observe(in0);
+                Tensor out;
+                if (node.kind == nn::OpKind::Add) {
+                    out = in0;
+                    const Tensor &in1 = operand(node.inputs[1]);
+                    float *p = out.data();
+                    const float *s = in1.data();
+                    for (int64_t i = 0; i < out.numel(); ++i)
+                        p[i] += s[i];
+                } else {
+                    out = node.layer->forward(in0);
+                }
+                if (node.postRelu) {
+                    float *p = out.data();
+                    for (int64_t i = 0; i < out.numel(); ++i) {
+                        if (p[i] < 0.0f)
+                            p[i] = 0.0f;
+                    }
+                }
+                values[static_cast<size_t>(id)] = std::move(out);
+            }
+        }
+    }
+
+    std::vector<int64_t> dims;
+    dims.push_back(1);
+    for (int64_t i = 0; i < sample_shape.rank(); ++i)
+        dims.push_back(sample_shape.dim(i));
+    const Shape input_shape(std::move(dims));
+    const std::vector<Shape> shapes = graph.inferShapes(input_shape);
+    const auto nodeInShape = [&](int id) -> const Shape & {
+        const int src = graph.node(id).inputs[0];
+        return src == nn::kGraphInput
+                   ? input_shape
+                   : shapes[static_cast<size_t>(src)];
+    };
+
+    const auto eligible = [&](int id) {
+        const nn::OpKind kind = graph.node(id).kind;
+        return kind == nn::OpKind::Conv2d ||
+               kind == nn::OpKind::DepthwiseConv2d ||
+               kind == nn::OpKind::Dense;
+    };
+    int first_eligible = n, last_eligible = n;
+    for (int id = 0; id < n; ++id) {
+        if (eligible(id)) {
+            if (first_eligible == n)
+                first_eligible = id;
+            last_eligible = id;
+        }
+    }
+
+    int quantized = 0;
+    for (int id = 0; id < n; ++id) {
+        if (!eligible(id))
+            continue;
+        if (options.keepFirstLayerFp32 && id == first_eligible)
+            continue;
+        if (options.keepLastLayerFp32 && id == last_eligible)
+            continue;
+        float lo, hi;
+        if (options.calibrate &&
+            in_range[static_cast<size_t>(id)].hasObservations()) {
+            lo = in_range[static_cast<size_t>(id)].calibratedMin();
+            hi = in_range[static_cast<size_t>(id)].calibratedMax();
+        } else {
+            lo = -options.nominalRange;
+            hi = options.nominalRange;
+        }
+
+        const nn::GraphNode &node = graph.node(id);
+        const std::string context = graph.name() + "/" + node.label;
+        std::unique_ptr<nn::Layer> repl;
+        nn::OpKind new_kind = node.kind;
+        if (const auto *conv =
+                dynamic_cast<const nn::Conv2dLayer *>(node.layer)) {
+            repl = std::make_unique<QuantizedConv2dLayer>(
+                *conv, lo, hi, options.bits,
+                options.perChannelWeights);
+            new_kind = nn::OpKind::QConv2d;
+        } else if (const auto *dw =
+                       dynamic_cast<const nn::DepthwiseConv2dLayer *>(
+                           node.layer)) {
+            repl = std::make_unique<QuantizedDepthwiseConv2dLayer>(
+                *dw, lo, hi, options.bits, options.perChannelWeights);
+            new_kind = nn::OpKind::QDepthwiseConv2d;
+        } else if (const auto *dense =
+                       dynamic_cast<const nn::DenseLayer *>(
+                           node.layer)) {
+            repl = std::make_unique<QuantizedDenseLayer>(
+                *dense, lo, hi, options.bits,
+                options.perChannelWeights);
+            new_kind = nn::OpKind::QDense;
+        } else {
+            continue;  // kind/layer mismatch; leave in FP32
+        }
+        verifySwapShapeContract(*node.layer, *repl, nodeInShape(id),
+                                context);
+        graph.replaceNodeLayer(id, std::move(repl), new_kind);
+        ++quantized;
     }
     return quantized;
 }

@@ -11,8 +11,10 @@
 #ifndef MLPERF_QUANT_QUANTIZE_MODEL_H
 #define MLPERF_QUANT_QUANTIZE_MODEL_H
 
+#include <string>
 #include <vector>
 
+#include "nn/graph.h"
 #include "nn/sequential.h"
 #include "quant/calibration.h"
 
@@ -58,6 +60,35 @@ int quantizeSequential(nn::Sequential &model,
                        const std::vector<tensor::Tensor>
                            &calibration_inputs,
                        const QuantizeOptions &options = {});
+
+/**
+ * Quantize eligible Conv2d/DepthwiseConv2d/Dense graph nodes in
+ * place, calibrating each node from the activations its input edge
+ * actually carries. The graph-compiler analogue of
+ * quantizeSequential(): on a graph lowered from the same Sequential
+ * it chooses identical quantization parameters, so compiled INT8
+ * execution stays bit-comparable with the eager INT8 reference.
+ *
+ * @param sample_shape shape of one sample (no batch dimension);
+ *        calibration inputs must match it with a leading batch dim.
+ * @return number of nodes quantized.
+ */
+int quantizeGraph(nn::ModelGraph &graph,
+                  const tensor::Shape &sample_shape,
+                  const std::vector<tensor::Tensor> &calibration_inputs,
+                  const QuantizeOptions &options = {});
+
+/**
+ * Enforce the swap contract: @p replacement must produce the same
+ * output shape as @p original for @p in_shape. Throws
+ * std::runtime_error naming the layer (and @p context) on violation —
+ * a quantized layer that silently changes geometry would corrupt
+ * every downstream buffer offset in a compiled plan.
+ */
+void verifySwapShapeContract(const nn::Layer &original,
+                             const nn::Layer &replacement,
+                             const tensor::Shape &in_shape,
+                             const std::string &context);
 
 } // namespace quant
 } // namespace mlperf

@@ -101,19 +101,29 @@ QuantizedDenseLayer::QuantizedDenseLayer(const nn::DenseLayer &fp32,
 Tensor
 QuantizedDenseLayer::forward(const Tensor &input) const
 {
-    assert(input.shape().rank() == 2);
-    assert(input.shape().dim(1) == in_);
-    const int64_t batch = input.shape().dim(0);
+    Tensor y(outputShape(input.shape()));
+    forwardInto(input.data(), input.shape(), y.data());
+    return y;
+}
+
+void
+QuantizedDenseLayer::forwardInto(const float *input,
+                                 const Shape &in_shape,
+                                 float *out) const
+{
+    assert(in_shape.rank() == 2);
+    assert(in_shape.dim(1) == in_);
+    const int64_t batch = in_shape.dim(0);
+    const int64_t numel = in_shape.numel();
 
     ScratchArena &arena = ScratchArena::thread();
     ScratchFrame frame(arena);
-    int8_t *qx = arena.alloc<int8_t>(input.numel());
-    quantizeBuffer(input.data(), qx, input.numel(), actParams_);
+    int8_t *qx = arena.alloc<int8_t>(numel);
+    quantizeBuffer(input, qx, numel, actParams_);
 
-    Tensor y(Shape{batch, out_});
     for (int64_t b = 0; b < batch; ++b) {
         const int8_t *x_row = qx + b * in_;
-        float *y_row = y.data() + b * out_;
+        float *y_row = out + b * out_;
         for (int64_t o = 0; o < out_; ++o) {
             const int8_t *w_row = weights_.data.data() + o * in_;
             int32_t acc = 0;
@@ -130,7 +140,6 @@ QuantizedDenseLayer::forward(const Tensor &input) const
             y_row[o] = v;
         }
     }
-    return y;
 }
 
 Shape
@@ -172,11 +181,21 @@ QuantizedConv2dLayer::QuantizedConv2dLayer(const nn::Conv2dLayer &fp32,
 Tensor
 QuantizedConv2dLayer::forward(const Tensor &input) const
 {
-    assert(input.shape().rank() == 4);
-    assert(input.shape().dim(1) == inC_);
-    const int64_t n = input.shape().dim(0);
-    const int64_t h = input.shape().dim(2);
-    const int64_t w = input.shape().dim(3);
+    Tensor output(outputShape(input.shape()));
+    forwardInto(input.data(), input.shape(), output.data());
+    return output;
+}
+
+void
+QuantizedConv2dLayer::forwardInto(const float *input,
+                                  const Shape &in_shape,
+                                  float *out_buf) const
+{
+    assert(in_shape.rank() == 4);
+    assert(in_shape.dim(1) == inC_);
+    const int64_t n = in_shape.dim(0);
+    const int64_t h = in_shape.dim(2);
+    const int64_t w = in_shape.dim(3);
     const int64_t out_h = convParams_.outH(h);
     const int64_t out_w = convParams_.outW(w);
     const int64_t out_hw = out_h * out_w;
@@ -190,14 +209,13 @@ QuantizedConv2dLayer::forward(const Tensor &input) const
     const int8_t pad_code =
         static_cast<int8_t>(actParams_.quantize(0.0f));
 
-    Tensor output(Shape{n, outC_, out_h, out_w});
     for (int64_t ni = 0; ni < n; ++ni) {
-        const float *img = input.data() + ni * inC_ * h * w;
+        const float *img = input + ni * inC_ * h * w;
         quantizeBuffer(img, qx, inC_ * h * w, actParams_);
         im2colInt8(qx, inC_, h, w, convParams_, pad_code, col);
         gemmInt8(weights_.data.data(), col, acc, outC_,
                  out_hw, patch);
-        float *out = output.data() + ni * outC_ * out_hw;
+        float *out = out_buf + ni * outC_ * out_hw;
         for (int64_t o = 0; o < outC_; ++o) {
             const float scale =
                 weights_.scales[static_cast<size_t>(o)] *
@@ -218,7 +236,6 @@ QuantizedConv2dLayer::forward(const Tensor &input) const
             }
         }
     }
-    return output;
 }
 
 Shape
@@ -302,6 +319,41 @@ QuantizedResidualBlock::flops(const Shape &input) const
     return n;
 }
 
+int
+QuantizedResidualBlock::lower(nn::ModelGraph &graph, int input) const
+{
+    nn::GraphNode c1;
+    c1.kind = nn::OpKind::QConv2d;
+    c1.layer = &conv1_;
+    c1.inputs = {input};
+    c1.label = "q_residual/conv1";
+    const int c1_id = graph.addNode(std::move(c1));
+
+    nn::GraphNode c2;
+    c2.kind = nn::OpKind::QConv2d;
+    c2.layer = &conv2_;
+    c2.inputs = {c1_id};
+    c2.label = "q_residual/conv2";
+    const int c2_id = graph.addNode(std::move(c2));
+
+    int skip = input;
+    if (projection_) {
+        nn::GraphNode proj;
+        proj.kind = nn::OpKind::QConv2d;
+        proj.layer = projection_.get();
+        proj.inputs = {input};
+        proj.label = "q_residual/proj";
+        skip = graph.addNode(std::move(proj));
+    }
+
+    nn::GraphNode add;
+    add.kind = nn::OpKind::Add;
+    add.inputs = {c2_id, skip};
+    add.postRelu = true;  // skip-add and its ReLU stay in float
+    add.label = "q_residual/add";
+    return graph.addNode(std::move(add));
+}
+
 // -------------------------------------------- QuantizedDepthwiseConv2d
 
 QuantizedDepthwiseConv2dLayer::QuantizedDepthwiseConv2dLayer(
@@ -321,11 +373,21 @@ QuantizedDepthwiseConv2dLayer::QuantizedDepthwiseConv2dLayer(
 Tensor
 QuantizedDepthwiseConv2dLayer::forward(const Tensor &input) const
 {
-    assert(input.shape().rank() == 4);
-    assert(input.shape().dim(1) == channels_);
-    const int64_t n = input.shape().dim(0);
-    const int64_t h = input.shape().dim(2);
-    const int64_t w = input.shape().dim(3);
+    Tensor output(outputShape(input.shape()));
+    forwardInto(input.data(), input.shape(), output.data());
+    return output;
+}
+
+void
+QuantizedDepthwiseConv2dLayer::forwardInto(const float *input,
+                                           const Shape &in_shape,
+                                           float *out_buf) const
+{
+    assert(in_shape.rank() == 4);
+    assert(in_shape.dim(1) == channels_);
+    const int64_t n = in_shape.dim(0);
+    const int64_t h = in_shape.dim(2);
+    const int64_t w = in_shape.dim(3);
     const int64_t out_h = convParams_.outH(h);
     const int64_t out_w = convParams_.outW(w);
     const int64_t kh = convParams_.kernelH;
@@ -335,11 +397,9 @@ QuantizedDepthwiseConv2dLayer::forward(const Tensor &input) const
     ScratchArena &arena = ScratchArena::thread();
     ScratchFrame frame(arena);
     int8_t *qx = arena.alloc<int8_t>(h * w);
-    Tensor output(Shape{n, channels_, out_h, out_w});
     for (int64_t ni = 0; ni < n; ++ni) {
         for (int64_t c = 0; c < channels_; ++c) {
-            const float *chan =
-                input.data() + (ni * channels_ + c) * h * w;
+            const float *chan = input + (ni * channels_ + c) * h * w;
             quantizeBuffer(chan, qx, h * w, actParams_);
             const int8_t *filt =
                 weights_.data.data() + c * kh * kw;
@@ -349,7 +409,7 @@ QuantizedDepthwiseConv2dLayer::forward(const Tensor &input) const
             const float b =
                 bias_.empty() ? 0.0f : bias_[static_cast<size_t>(c)];
             float *out =
-                output.data() + (ni * channels_ + c) * out_h * out_w;
+                out_buf + (ni * channels_ + c) * out_h * out_w;
             for (int64_t oh = 0; oh < out_h; ++oh) {
                 for (int64_t ow = 0; ow < out_w; ++ow) {
                     int32_t acc = 0;
@@ -379,7 +439,6 @@ QuantizedDepthwiseConv2dLayer::forward(const Tensor &input) const
             }
         }
     }
-    return output;
 }
 
 Shape

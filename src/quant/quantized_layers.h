@@ -48,9 +48,12 @@ class QuantizedDenseLayer : public nn::Layer
                         bool per_channel = true);
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    nn::OpKind opKind() const override { return nn::OpKind::QDense; }
     std::string name() const override { return "q_dense"; }
 
   private:
@@ -71,9 +74,12 @@ class QuantizedConv2dLayer : public nn::Layer
                          bool per_channel = true);
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    nn::OpKind opKind() const override { return nn::OpKind::QConv2d; }
     std::string name() const override { return "q_conv2d"; }
 
   private:
@@ -91,7 +97,8 @@ class QuantizedConv2dLayer : public nn::Layer
  * post-add ReLU stay in float, as real INT8 residual deployments keep
  * a higher-precision accumulation path for the skip connection.
  */
-class QuantizedResidualBlock : public nn::Layer
+class QuantizedResidualBlock : public nn::Layer,
+                               public nn::CompositeLowering
 {
   public:
     /**
@@ -109,7 +116,16 @@ class QuantizedResidualBlock : public nn::Layer
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    int lower(nn::ModelGraph &graph, int input) const override;
     std::string name() const override { return "q_residual"; }
+
+    /** Sub-layer access for graph lowering and tests. */
+    const QuantizedConv2dLayer &conv1() const { return conv1_; }
+    const QuantizedConv2dLayer &conv2() const { return conv2_; }
+    const QuantizedConv2dLayer *projection() const
+    {
+        return projection_.get();
+    }
 
   private:
     QuantizedConv2dLayer conv1_;
@@ -127,9 +143,15 @@ class QuantizedDepthwiseConv2dLayer : public nn::Layer
                                   bool per_channel = true);
 
     tensor::Tensor forward(const tensor::Tensor &input) const override;
+    void forwardInto(const float *input, const tensor::Shape &in_shape,
+                     float *out) const override;
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     uint64_t paramCount() const override;
     uint64_t flops(const tensor::Shape &input) const override;
+    nn::OpKind opKind() const override
+    {
+        return nn::OpKind::QDepthwiseConv2d;
+    }
     std::string name() const override { return "q_dwconv2d"; }
 
   private:

@@ -220,36 +220,19 @@ ClassifierSut::issueQuery(
 {
     std::vector<loadgen::QuerySampleResponse> responses;
     responses.reserve(samples.size());
-    if (samples.size() > 1) {
-        // Stack the query into one [N, C, H, W] batch so the conv
-        // kernels parallelize over the batch dimension — this is how
-        // offline/server queries reach the intra-op thread pool.
-        const tensor::Tensor &first = qsl_.sample(samples[0].index);
-        const int64_t c = first.shape().dim(1);
-        const int64_t h = first.shape().dim(2);
-        const int64_t w = first.shape().dim(3);
-        const int64_t image = c * h * w;
-        tensor::Tensor batch(tensor::Shape{
-            static_cast<int64_t>(samples.size()), c, h, w});
-        for (size_t i = 0; i < samples.size(); ++i) {
-            const tensor::Tensor &img = qsl_.sample(samples[i].index);
-            assert(img.numel() == image);
-            std::copy(img.data(), img.data() + image,
-                      batch.data() + static_cast<int64_t>(i) * image);
-        }
-        const std::vector<int64_t> predicted =
-            model_.classifyBatch(batch);
-        for (size_t i = 0; i < samples.size(); ++i) {
-            responses.push_back(
-                {samples[i].id, encodeClassification(predicted[i])});
-        }
-    } else {
-        for (const auto &sample : samples) {
-            const int64_t predicted =
-                model_.classify(qsl_.sample(sample.index));
-            responses.push_back({sample.id,
-                                 encodeClassification(predicted)});
-        }
+    // Stack the query into one [N, C, H, W] batch so the conv kernels
+    // parallelize over the batch dimension — this is how offline /
+    // server queries reach the intra-op thread pool. The pointer
+    // overload stages samples straight into the compiled plan's input
+    // buffer, so there is no intermediate batch tensor.
+    std::vector<const tensor::Tensor *> images;
+    images.reserve(samples.size());
+    for (const auto &sample : samples)
+        images.push_back(&qsl_.sample(sample.index));
+    const std::vector<int64_t> predicted = model_.classifyBatch(images);
+    for (size_t i = 0; i < samples.size(); ++i) {
+        responses.push_back(
+            {samples[i].id, encodeClassification(predicted[i])});
     }
     delegate.querySamplesComplete(responses);
 }

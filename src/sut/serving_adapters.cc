@@ -63,11 +63,16 @@ ClassifierBatchInference::runBatch(
 {
     std::vector<loadgen::QuerySampleResponse> responses;
     responses.reserve(samples.size());
-    for (const auto &sample : samples) {
-        const int64_t predicted =
-            model_.classify(qsl_.sample(sample.index));
+    // One compiled-plan execution per dynamic batch: the batcher's
+    // whole point is that the worker runs these samples together.
+    std::vector<const tensor::Tensor *> images;
+    images.reserve(samples.size());
+    for (const auto &sample : samples)
+        images.push_back(&qsl_.sample(sample.index));
+    const std::vector<int64_t> predicted = model_.classifyBatch(images);
+    for (size_t i = 0; i < samples.size(); ++i) {
         responses.push_back(
-            {sample.id, encodeClassification(predicted)});
+            {samples[i].id, encodeClassification(predicted[i])});
     }
     return responses;
 }

@@ -42,16 +42,12 @@ im2col(const float *input, int64_t channels, int64_t h, int64_t w,
     }
 }
 
-Tensor
-conv2d(const Tensor &input, const Tensor &weight, const float *bias,
-       const Conv2dParams &p)
+void
+conv2dInto(const float *input, int64_t n, int64_t c, int64_t h,
+           int64_t w, const Tensor &weight, const float *bias,
+           const Conv2dParams &p, bool relu, float *out)
 {
-    assert(input.shape().rank() == 4);
     assert(weight.shape().rank() == 4);
-    const int64_t n = input.shape().dim(0);
-    const int64_t c = input.shape().dim(1);
-    const int64_t h = input.shape().dim(2);
-    const int64_t w = input.shape().dim(3);
     const int64_t o = weight.shape().dim(0);
     assert(weight.shape().dim(1) == c);
     assert(weight.shape().dim(2) == p.kernelH);
@@ -61,8 +57,6 @@ conv2d(const Tensor &input, const Tensor &weight, const float *bias,
     const int64_t out_w = p.outW(w);
     const int64_t out_hw = out_h * out_w;
     const int64_t patch = c * p.kernelH * p.kernelW;
-
-    Tensor output(Shape{n, o, out_h, out_w});
 
     // One image per task: each worker unfolds into its own
     // thread-local arena (zero steady-state allocations) and runs the
@@ -74,15 +68,22 @@ conv2d(const Tensor &input, const Tensor &weight, const float *bias,
         ScratchFrame frame(arena);
         float *col = arena.alloc<float>(patch * out_hw);
         for (int64_t ni = begin; ni < end; ++ni) {
-            im2col(input.data() + ni * c * h * w, c, h, w, p, col);
-            float *out = output.data() + ni * o * out_hw;
-            // weight [O, patch] * col [patch, out_hw] -> out [O, out_hw]
-            gemm(weight.data(), col, out, o, out_hw, patch);
-            if (bias) {
-                for (int64_t oi = 0; oi < o; ++oi) {
-                    float *row = out + oi * out_hw;
+            im2col(input + ni * c * h * w, c, h, w, p, col);
+            float *img_out = out + ni * o * out_hw;
+            // weight [O, patch] * col [patch, out_hw] -> [O, out_hw]
+            gemm(weight.data(), col, img_out, o, out_hw, patch);
+            for (int64_t oi = 0; oi < o; ++oi) {
+                float *row = img_out + oi * out_hw;
+                const float b = bias ? bias[oi] : 0.0f;
+                if (bias) {
                     for (int64_t i = 0; i < out_hw; ++i)
-                        row[i] += bias[oi];
+                        row[i] += b;
+                }
+                if (relu) {
+                    for (int64_t i = 0; i < out_hw; ++i) {
+                        if (row[i] < 0.0f)
+                            row[i] = 0.0f;
+                    }
                 }
             }
         }
@@ -91,34 +92,42 @@ conv2d(const Tensor &input, const Tensor &weight, const float *bias,
         image_range(0, 1);
     else
         parallelFor(0, n, 1, image_range);
-    return output;
 }
 
 Tensor
-depthwiseConv2d(const Tensor &input, const Tensor &weight,
-                const float *bias, const Conv2dParams &p)
+conv2d(const Tensor &input, const Tensor &weight, const float *bias,
+       const Conv2dParams &p)
 {
     assert(input.shape().rank() == 4);
     const int64_t n = input.shape().dim(0);
     const int64_t c = input.shape().dim(1);
     const int64_t h = input.shape().dim(2);
     const int64_t w = input.shape().dim(3);
+    Tensor output(Shape{n, weight.shape().dim(0), p.outH(h), p.outW(w)});
+    conv2dInto(input.data(), n, c, h, w, weight, bias, p,
+               /*relu=*/false, output.data());
+    return output;
+}
+
+void
+depthwiseConv2dInto(const float *input, int64_t n, int64_t c, int64_t h,
+                    int64_t w, const Tensor &weight, const float *bias,
+                    const Conv2dParams &p, bool relu, float *out)
+{
     assert(weight.shape().dim(0) == c);
     assert(weight.shape().dim(1) == 1);
-
     const int64_t out_h = p.outH(h);
     const int64_t out_w = p.outW(w);
-    Tensor output(Shape{n, c, out_h, out_w});
 
     // Each (image, channel) pair is independent; flatten them into one
     // range so small batches still fill the pool.
     parallelFor(0, n * c, 4, [&](int64_t begin, int64_t end) {
         for (int64_t nc = begin; nc < end; ++nc) {
             const int64_t ci = nc % c;
-            const float *chan = input.data() + nc * h * w;
+            const float *chan = input + nc * h * w;
             const float *filt =
                 weight.data() + ci * p.kernelH * p.kernelW;
-            float *out = output.data() + nc * out_h * out_w;
+            float *chan_out = out + nc * out_h * out_w;
             const float b = bias ? bias[ci] : 0.0f;
             for (int64_t oh = 0; oh < out_h; ++oh) {
                 for (int64_t ow = 0; ow < out_w; ++ow) {
@@ -136,12 +145,55 @@ depthwiseConv2d(const Tensor &input, const Tensor &weight,
                                    filt[kh * p.kernelW + kw];
                         }
                     }
-                    out[oh * out_w + ow] = acc;
+                    if (relu && acc < 0.0f)
+                        acc = 0.0f;
+                    chan_out[oh * out_w + ow] = acc;
                 }
             }
         }
     });
+}
+
+Tensor
+depthwiseConv2d(const Tensor &input, const Tensor &weight,
+                const float *bias, const Conv2dParams &p)
+{
+    assert(input.shape().rank() == 4);
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    Tensor output(Shape{n, c, p.outH(h), p.outW(w)});
+    depthwiseConv2dInto(input.data(), n, c, h, w, weight, bias, p,
+                        /*relu=*/false, output.data());
     return output;
+}
+
+void
+maxPool2dInto(const float *input, int64_t n, int64_t c, int64_t h,
+              int64_t w, int64_t kernel, int64_t stride, float *out)
+{
+    const int64_t out_h = (h - kernel) / stride + 1;
+    const int64_t out_w = (w - kernel) / stride + 1;
+    assert(out_h > 0 && out_w > 0);
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+        const float *chan = input + nc * h * w;
+        float *chan_out = out + nc * out_h * out_w;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+                float best = chan[(oh * stride) * w + ow * stride];
+                for (int64_t kh = 0; kh < kernel; ++kh) {
+                    for (int64_t kw = 0; kw < kernel; ++kw) {
+                        const float v = chan[(oh * stride + kh) * w +
+                                             (ow * stride + kw)];
+                        if (v > best)
+                            best = v;
+                    }
+                }
+                chan_out[oh * out_w + ow] = best;
+            }
+        }
+    }
 }
 
 Tensor
@@ -152,33 +204,66 @@ maxPool2d(const Tensor &input, int64_t kernel, int64_t stride)
     const int64_t c = input.shape().dim(1);
     const int64_t h = input.shape().dim(2);
     const int64_t w = input.shape().dim(3);
+    Tensor output(Shape{n, c, (h - kernel) / stride + 1,
+                        (w - kernel) / stride + 1});
+    maxPool2dInto(input.data(), n, c, h, w, kernel, stride,
+                  output.data());
+    return output;
+}
+
+void
+avgPool2dInto(const float *input, int64_t n, int64_t c, int64_t h,
+              int64_t w, int64_t kernel, int64_t stride, float *out)
+{
     const int64_t out_h = (h - kernel) / stride + 1;
     const int64_t out_w = (w - kernel) / stride + 1;
     assert(out_h > 0 && out_w > 0);
-
-    Tensor output(Shape{n, c, out_h, out_w});
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < c; ++ci) {
-            const float *chan = input.data() + (ni * c + ci) * h * w;
-            float *out = output.data() + (ni * c + ci) * out_h * out_w;
-            for (int64_t oh = 0; oh < out_h; ++oh) {
-                for (int64_t ow = 0; ow < out_w; ++ow) {
-                    float best = chan[(oh * stride) * w + ow * stride];
-                    for (int64_t kh = 0; kh < kernel; ++kh) {
-                        for (int64_t kw = 0; kw < kernel; ++kw) {
-                            const float v =
-                                chan[(oh * stride + kh) * w +
-                                     (ow * stride + kw)];
-                            if (v > best)
-                                best = v;
-                        }
+    const float inv = 1.0f / static_cast<float>(kernel * kernel);
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+        const float *chan = input + nc * h * w;
+        float *chan_out = out + nc * out_h * out_w;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+                float sum = 0.0f;
+                for (int64_t kh = 0; kh < kernel; ++kh) {
+                    for (int64_t kw = 0; kw < kernel; ++kw) {
+                        sum += chan[(oh * stride + kh) * w +
+                                    ow * stride + kw];
                     }
-                    out[oh * out_w + ow] = best;
                 }
+                chan_out[oh * out_w + ow] = sum * inv;
             }
         }
     }
+}
+
+Tensor
+avgPool2d(const Tensor &input, int64_t kernel, int64_t stride)
+{
+    assert(input.shape().rank() == 4);
+    const int64_t n = input.shape().dim(0);
+    const int64_t c = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    Tensor output(Shape{n, c, (h - kernel) / stride + 1,
+                        (w - kernel) / stride + 1});
+    avgPool2dInto(input.data(), n, c, h, w, kernel, stride,
+                  output.data());
     return output;
+}
+
+void
+globalAvgPoolInto(const float *input, int64_t n, int64_t c, int64_t h,
+                  int64_t w, float *out)
+{
+    const int64_t hw = h * w;
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+        const float *chan = input + nc * hw;
+        double sum = 0.0;
+        for (int64_t i = 0; i < hw; ++i)
+            sum += chan[i];
+        out[nc] = static_cast<float>(sum / static_cast<double>(hw));
+    }
 }
 
 Tensor
@@ -187,18 +272,9 @@ globalAvgPool(const Tensor &input)
     assert(input.shape().rank() == 4);
     const int64_t n = input.shape().dim(0);
     const int64_t c = input.shape().dim(1);
-    const int64_t hw = input.shape().dim(2) * input.shape().dim(3);
     Tensor output(Shape{n, c});
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < c; ++ci) {
-            const float *chan = input.data() + (ni * c + ci) * hw;
-            double sum = 0.0;
-            for (int64_t i = 0; i < hw; ++i)
-                sum += chan[i];
-            output.at(ni, ci) =
-                static_cast<float>(sum / static_cast<double>(hw));
-        }
-    }
+    globalAvgPoolInto(input.data(), n, c, input.shape().dim(2),
+                      input.shape().dim(3), output.data());
     return output;
 }
 

@@ -57,17 +57,50 @@ Tensor conv2d(const Tensor &input, const Tensor &weight,
               const float *bias, const Conv2dParams &p);
 
 /**
+ * conv2d into a caller-provided output buffer of N*O*outH*outW
+ * floats, optionally applying a fused ReLU — the allocation-free
+ * primitive the compiled-plan executor runs on. @p input points at
+ * NCHW data of the given dims.
+ */
+void conv2dInto(const float *input, int64_t n, int64_t c, int64_t h,
+                int64_t w, const Tensor &weight, const float *bias,
+                const Conv2dParams &p, bool relu, float *out);
+
+/**
  * Depthwise convolution: one filter per channel. weight [C, 1, kh, kw].
  * Returns [N, C, outH, outW].
  */
 Tensor depthwiseConv2d(const Tensor &input, const Tensor &weight,
                        const float *bias, const Conv2dParams &p);
 
+/** depthwiseConv2d into a caller-provided buffer, optional ReLU. */
+void depthwiseConv2dInto(const float *input, int64_t n, int64_t c,
+                         int64_t h, int64_t w, const Tensor &weight,
+                         const float *bias, const Conv2dParams &p,
+                         bool relu, float *out);
+
 /** 2x2/3x3/... max pooling with stride; no padding. */
 Tensor maxPool2d(const Tensor &input, int64_t kernel, int64_t stride);
 
+/** maxPool2d into a caller-provided buffer. */
+void maxPool2dInto(const float *input, int64_t n, int64_t c, int64_t h,
+                   int64_t w, int64_t kernel, int64_t stride,
+                   float *out);
+
+/** Average pooling, square kernel, no padding. */
+Tensor avgPool2d(const Tensor &input, int64_t kernel, int64_t stride);
+
+/** avgPool2d into a caller-provided buffer. */
+void avgPool2dInto(const float *input, int64_t n, int64_t c, int64_t h,
+                   int64_t w, int64_t kernel, int64_t stride,
+                   float *out);
+
 /** Global average pooling: [N, C, H, W] -> [N, C]. */
 Tensor globalAvgPool(const Tensor &input);
+
+/** globalAvgPool into a caller-provided buffer of N*C floats. */
+void globalAvgPoolInto(const float *input, int64_t n, int64_t c,
+                       int64_t h, int64_t w, float *out);
 
 } // namespace tensor
 } // namespace mlperf

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/rng.h"
@@ -104,6 +105,46 @@ TEST(ResidualBlock, ProjectionHandlesShapeChange)
     // Post-add ReLU: no negatives.
     for (int64_t i = 0; i < out.numel(); ++i)
         EXPECT_GE(out[i], 0.0f);
+}
+
+TEST(ResidualBlock, ComposesParamAndFlopCounts)
+{
+    auto conv1 = makeConv(2, 4, 3, 2, true, 20);
+    auto conv2 = makeConv(4, 4, 3, 1, false, 21);
+    auto proj = makeConv(2, 4, 1, 2, false, 22);
+    const Shape in{1, 2, 8, 8};
+    const uint64_t p1 = conv1->paramCount();
+    const uint64_t p2 = conv2->paramCount();
+    const uint64_t pp = proj->paramCount();
+    const uint64_t f1 = conv1->flops(in);
+    const uint64_t f2 = conv2->flops(conv1->outputShape(in));
+    const uint64_t fp = proj->flops(in);
+    ResidualBlock block(std::move(conv1), std::move(conv2),
+                        std::move(proj));
+    EXPECT_EQ(block.outputShape(in), Shape({1, 4, 4, 4}));
+    EXPECT_EQ(block.paramCount(), p1 + p2 + pp);
+    EXPECT_EQ(block.flops(in), f1 + f2 + fp);
+}
+
+TEST(ResidualBlock, SkipPathMatchesManualComposition)
+{
+    // Same seeds -> identical weights for the block and the manual
+    // reference branch.
+    auto conv1 = makeConv(3, 3, 3, 1, true, 30);
+    auto conv2 = makeConv(3, 3, 3, 1, false, 31);
+    auto ref1 = makeConv(3, 3, 3, 1, true, 30);
+    auto ref2 = makeConv(3, 3, 3, 1, false, 31);
+    ResidualBlock block(std::move(conv1), std::move(conv2), nullptr);
+
+    Rng rng(32);
+    const Tensor input = heNormal(Shape{1, 3, 6, 6}, 4, rng);
+    const Tensor branch = ref2->forward(ref1->forward(input));
+    const Tensor out = block.forward(input);
+    ASSERT_EQ(out.shape(), input.shape());
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        const float expected = std::max(branch[i] + input[i], 0.0f);
+        EXPECT_NEAR(out[i], expected, 1e-5f) << "index " << i;
+    }
 }
 
 TEST(Sequential, ChainsLayersAndShapes)

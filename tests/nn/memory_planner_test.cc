@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the liveness-based arena planner, including the property
+ * test over random interference graphs: no two buffers whose live
+ * intervals overlap may share bytes, and reuse must never exceed the
+ * naive no-reuse footprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/memory_planner.h"
+
+namespace mlperf {
+namespace nn {
+namespace {
+
+/** Two requests are simultaneously live (the planner frees a buffer
+ *  only once lastUse precedes the def being placed). */
+bool
+livesOverlap(const BufferRequest &a, const BufferRequest &b)
+{
+    return a.def <= b.lastUse && b.def <= a.lastUse;
+}
+
+bool
+bytesOverlap(int64_t off_a, int64_t size_a, int64_t off_b,
+             int64_t size_b)
+{
+    return off_a < off_b + size_b && off_b < off_a + size_a;
+}
+
+void
+checkPlanIsValid(const std::vector<BufferRequest> &requests,
+                 const MemoryPlan &plan, int64_t alignment)
+{
+    ASSERT_EQ(plan.offsets.size(), requests.size());
+    EXPECT_LE(plan.arenaBytes, plan.naiveBytes);
+    int64_t max_end = 0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(plan.offsets[i] % alignment, 0)
+            << "offset " << i << " unaligned";
+        max_end = std::max(max_end, plan.offsets[i] + requests[i].bytes);
+        for (size_t j = i + 1; j < requests.size(); ++j) {
+            if (!livesOverlap(requests[i], requests[j]))
+                continue;
+            EXPECT_FALSE(bytesOverlap(plan.offsets[i],
+                                      requests[i].bytes,
+                                      plan.offsets[j],
+                                      requests[j].bytes))
+                << "buffers " << i << " and " << j
+                << " are live together but overlap";
+        }
+    }
+    EXPECT_GE(plan.arenaBytes, max_end);
+}
+
+TEST(MemoryPlanner, EmptyRequestListYieldsEmptyArena)
+{
+    const MemoryPlan plan = planBuffers({});
+    EXPECT_EQ(plan.arenaBytes, 0);
+    EXPECT_EQ(plan.naiveBytes, 0);
+}
+
+TEST(MemoryPlanner, DisjointLifetimesShareMemory)
+{
+    // A dies before B is defined: classic ping-pong, one slot reused.
+    const std::vector<BufferRequest> requests = {
+        {256, 0, 1},  // A: live steps 0..1
+        {256, 2, 3},  // B: live steps 2..3
+    };
+    const MemoryPlan plan = planBuffers(requests);
+    EXPECT_EQ(plan.naiveBytes, 512);
+    EXPECT_EQ(plan.arenaBytes, 256);
+    EXPECT_EQ(plan.offsets[0], plan.offsets[1]);
+}
+
+TEST(MemoryPlanner, OverlappingLifetimesDoNotAlias)
+{
+    const std::vector<BufferRequest> requests = {
+        {128, 0, 2},
+        {128, 1, 3},
+        {128, 2, 4},
+    };
+    const MemoryPlan plan = planBuffers(requests);
+    checkPlanIsValid(requests, plan, 64);
+    // All three are pairwise live-overlapping: no sharing possible.
+    EXPECT_EQ(plan.arenaBytes, plan.naiveBytes);
+}
+
+TEST(MemoryPlanner, AlignmentRoundsSizesAndOffsets)
+{
+    const std::vector<BufferRequest> requests = {
+        {100, 0, 1},
+        {60, 0, 2},
+    };
+    const MemoryPlan plan = planBuffers(requests, 64);
+    checkPlanIsValid(requests, plan, 64);
+    // 100 -> 128, 60 -> 64 once aligned.
+    EXPECT_EQ(plan.naiveBytes, 192);
+}
+
+TEST(MemoryPlanner, ChainReusesPingPongBuffers)
+{
+    // A simple layer chain: value i is produced at step i+1 and read
+    // at step i+2. The planner should keep the footprint near the two
+    // largest neighbours, far below the naive sum.
+    std::vector<BufferRequest> requests;
+    for (int i = 0; i < 16; ++i)
+        requests.push_back({1024, i, i + 1});
+    const MemoryPlan plan = planBuffers(requests);
+    checkPlanIsValid(requests, plan, 64);
+    EXPECT_EQ(plan.naiveBytes, 16 * 1024);
+    EXPECT_LE(plan.arenaBytes, 2 * 1024);
+}
+
+TEST(MemoryPlanner, RandomIntervalGraphsStaySound)
+{
+    // Property test: random sizes and random live intervals (a
+    // superset of the interval patterns real model graphs produce,
+    // skip edges included) must always plan without aliasing live
+    // pairs and never beat zero / exceed naive.
+    Rng rng(0xA11C);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int n = 1 + static_cast<int>(rng.nextBelow(24));
+        std::vector<BufferRequest> requests;
+        for (int i = 0; i < n; ++i) {
+            BufferRequest r;
+            r.bytes = 4 * (1 + static_cast<int64_t>(rng.nextBelow(4096)));
+            r.def = static_cast<int>(rng.nextBelow(32));
+            r.lastUse =
+                r.def + static_cast<int>(rng.nextBelow(12));
+            requests.push_back(r);
+        }
+        const MemoryPlan plan = planBuffers(requests);
+        checkPlanIsValid(requests, plan, 64);
+    }
+}
+
+TEST(MemoryPlanner, SkipEdgePatternBeatsNaive)
+{
+    // Residual-style pattern: the block input stays live across the
+    // two convs (skip edge) but intermediates still ping-pong.
+    std::vector<BufferRequest> requests;
+    int step = 0;
+    for (int block = 0; block < 4; ++block) {
+        // block input produced at `step`, read by conv1 and the add.
+        requests.push_back({4096, step, step + 3});
+        requests.push_back({4096, step + 1, step + 2});  // conv1 out
+        requests.push_back({4096, step + 2, step + 3});  // conv2 out
+        step += 3;
+    }
+    const MemoryPlan plan = planBuffers(requests);
+    checkPlanIsValid(requests, plan, 64);
+    EXPECT_LT(plan.arenaBytes, plan.naiveBytes);
+}
+
+} // namespace
+} // namespace nn
+} // namespace mlperf

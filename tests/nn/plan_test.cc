@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the compile-then-execute runtime: differential parity of
+ * compiled plans against the eager Sequential reference (FP32 to
+ * 1e-4, INT8 bit-exact), memory-planner wins on residual graphs,
+ * zero-heap-allocation steady state, and concurrent ExecutionInstances
+ * sharing one CompiledModel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/plan.h"
+#include "nn/sequential.h"
+#include "quant/quantize_model.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MLPERF_UNDER_SANITIZER 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MLPERF_UNDER_SANITIZER 1
+#endif
+#endif
+
+// Binary-wide allocation counter: the zero-alloc steady-state test
+// needs to observe every operator-new on the query path.
+static std::atomic<long> g_heap_allocs{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace mlperf {
+namespace nn {
+namespace {
+
+using tensor::Conv2dParams;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::unique_ptr<Conv2dLayer>
+makeConv(int64_t in_c, int64_t out_c, int64_t k, int64_t stride,
+         bool relu, uint64_t seed)
+{
+    Rng rng(seed);
+    Conv2dParams p{k, k, stride, stride, k / 2, k / 2};
+    return std::make_unique<Conv2dLayer>(
+        heNormal(Shape{out_c, in_c, k, k}, in_c * k * k, rng),
+        zeroBias(out_c), p, relu);
+}
+
+/** A small ResNet-class model: stem, projection block, identity
+ *  block, pooled dense head. Deterministic for a given call. */
+Sequential
+makeResnetish()
+{
+    Sequential model("resnetish");
+    model.add(makeConv(2, 4, 3, 1, true, 100));
+    model.add(std::make_unique<ResidualBlock>(
+        makeConv(4, 8, 3, 2, true, 101),
+        makeConv(8, 8, 3, 1, false, 102),
+        makeConv(4, 8, 1, 2, false, 103)));
+    model.add(std::make_unique<ResidualBlock>(
+        makeConv(8, 8, 3, 1, true, 104),
+        makeConv(8, 8, 3, 1, false, 105), nullptr));
+    model.add(std::make_unique<GlobalAvgPoolLayer>());
+    model.add(std::make_unique<FlattenLayer>());
+    Rng rng(106);
+    model.add(std::make_unique<DenseLayer>(
+        heNormal(Shape{5, 8}, 8, rng), zeroBias(5)));
+    return model;
+}
+
+constexpr int64_t kSampleC = 2, kSampleH = 8, kSampleW = 8;
+
+Tensor
+randomInput(int64_t batch, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(Shape{batch, kSampleC, kSampleH, kSampleW});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
+std::vector<Tensor>
+calibrationInputs()
+{
+    std::vector<Tensor> inputs;
+    for (uint64_t s = 0; s < 4; ++s)
+        inputs.push_back(randomInput(1, 500 + s));
+    return inputs;
+}
+
+void
+expectNear(const Tensor &a, const Tensor &b, float tol)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a[i], b[i], tol) << "index " << i;
+}
+
+TEST(CompiledModel, Fp32MatchesEagerAtBatchOneAndEight)
+{
+    const Sequential model = makeResnetish();
+    const CompiledModel compiled(model,
+                                 Shape{kSampleC, kSampleH, kSampleW});
+    for (int64_t batch : {int64_t{1}, int64_t{8}}) {
+        const Tensor input = randomInput(batch, 600 + batch);
+        const Tensor eager = model.forward(input);
+        const Tensor planned =
+            ExecutionInstance::thread().forward(compiled, input);
+        expectNear(planned, eager, 1e-4f);
+    }
+}
+
+TEST(CompiledModel, PlansAreCachedPerBatchSize)
+{
+    const Sequential model = makeResnetish();
+    const CompiledModel compiled(model,
+                                 Shape{kSampleC, kSampleH, kSampleW});
+    const Plan &p1 = compiled.planFor(1);
+    const Plan &p1_again = compiled.planFor(1);
+    const Plan &p8 = compiled.planFor(8);
+    EXPECT_EQ(&p1, &p1_again);
+    EXPECT_NE(&p1, &p8);
+    EXPECT_EQ(p1.batch, 1);
+    EXPECT_EQ(p8.batch, 8);
+    EXPECT_EQ(p8.inputNumel, 8 * kSampleC * kSampleH * kSampleW);
+}
+
+TEST(CompiledModel, PlannerBeatsNaiveFootprintOnResidualGraph)
+{
+    const Sequential model = makeResnetish();
+    const CompiledModel compiled(model,
+                                 Shape{kSampleC, kSampleH, kSampleW});
+    for (int64_t batch : {int64_t{1}, int64_t{8}}) {
+        const Plan &plan = compiled.planFor(batch);
+        EXPECT_LT(plan.arenaFloats, plan.naiveFloats)
+            << "no reuse at batch " << batch;
+        EXPECT_GT(plan.arenaFloats, 0);
+    }
+}
+
+TEST(CompiledModel, StageInputStacksSamplesZeroCopy)
+{
+    const Sequential model = makeResnetish();
+    const CompiledModel compiled(model,
+                                 Shape{kSampleC, kSampleH, kSampleW});
+    const int64_t batch = 3;
+    std::vector<Tensor> samples;
+    for (int64_t i = 0; i < batch; ++i)
+        samples.push_back(randomInput(1, 700 + static_cast<uint64_t>(i)));
+
+    ExecutionInstance &instance = ExecutionInstance::thread();
+    float *staged = instance.stageInput(compiled, batch);
+    const int64_t sample_numel = kSampleC * kSampleH * kSampleW;
+    for (int64_t i = 0; i < batch; ++i) {
+        for (int64_t j = 0; j < sample_numel; ++j)
+            staged[i * sample_numel + j] = samples[static_cast<size_t>(i)][j];
+    }
+    const float *out = instance.run(compiled, batch);
+
+    Tensor stacked(Shape{batch, kSampleC, kSampleH, kSampleW});
+    for (int64_t i = 0; i < batch; ++i) {
+        for (int64_t j = 0; j < sample_numel; ++j)
+            stacked[i * sample_numel + j] =
+                samples[static_cast<size_t>(i)][j];
+    }
+    const Tensor eager = model.forward(stacked);
+    for (int64_t i = 0; i < eager.numel(); ++i)
+        ASSERT_NEAR(out[i], eager[i], 1e-4f) << "index " << i;
+}
+
+TEST(CompiledModel, Int8GraphQuantizationMatchesEagerBitExact)
+{
+    // Quantize one copy eagerly (Sequential path) and an identical
+    // copy on the graph (compiled path); both must agree bit-for-bit.
+    Sequential eager_model = makeResnetish();
+    const Sequential graph_model = makeResnetish();
+    const std::vector<Tensor> calib = calibrationInputs();
+
+    const int eager_swaps =
+        quant::quantizeSequential(eager_model, calib);
+    EXPECT_GT(eager_swaps, 0);
+
+    CompiledModel compiled(graph_model,
+                           Shape{kSampleC, kSampleH, kSampleW});
+    const int node_swaps = quant::quantizeGraph(
+        compiled.graph(), Shape{kSampleC, kSampleH, kSampleW}, calib);
+    EXPECT_GT(node_swaps, 0);
+    compiled.invalidatePlans();
+
+    for (int64_t batch : {int64_t{1}, int64_t{8}}) {
+        const Tensor input = randomInput(batch, 800 + batch);
+        const Tensor eager = eager_model.forward(input);
+        const Tensor planned =
+            ExecutionInstance::thread().forward(compiled, input);
+        ASSERT_EQ(planned.shape(), eager.shape());
+        for (int64_t i = 0; i < planned.numel(); ++i)
+            ASSERT_EQ(planned[i], eager[i]) << "index " << i;
+    }
+}
+
+TEST(CompiledModel, SteadyStateQueryMakesNoHeapAllocations)
+{
+#ifdef MLPERF_UNDER_SANITIZER
+    GTEST_SKIP() << "allocation counting is not meaningful under "
+                    "sanitizers";
+#endif
+    const int restore_threads = ThreadPool::global()->threadCount();
+    ThreadPool::setGlobalThreads(1);
+
+    const Sequential model = makeResnetish();
+    const CompiledModel compiled(model,
+                                 Shape{kSampleC, kSampleH, kSampleW});
+    const Tensor input = randomInput(4, 900);
+    ExecutionInstance &instance = ExecutionInstance::thread();
+
+    // Warm up: builds the plan, grows the arena and kernel scratch.
+    for (int round = 0; round < 2; ++round) {
+        float *staged = instance.stageInput(compiled, 4);
+        for (int64_t i = 0; i < input.numel(); ++i)
+            staged[i] = input[i];
+        instance.run(compiled, 4);
+    }
+
+    const long before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (int round = 0; round < 8; ++round) {
+        float *staged = instance.stageInput(compiled, 4);
+        for (int64_t i = 0; i < input.numel(); ++i)
+            staged[i] = input[i];
+        instance.run(compiled, 4);
+    }
+    const long after = g_heap_allocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before)
+        << (after - before) << " allocations across 8 steady-state "
+        << "queries";
+
+    ThreadPool::setGlobalThreads(restore_threads);
+}
+
+TEST(CompiledModel, ConcurrentInstancesShareOneModel)
+{
+    const Sequential model = makeResnetish();
+    const CompiledModel compiled(model,
+                                 Shape{kSampleC, kSampleH, kSampleW});
+    const Tensor input1 = randomInput(1, 1000);
+    const Tensor input8 = randomInput(8, 1001);
+    const Tensor ref1 = model.forward(input1);
+    const Tensor ref8 = model.forward(input8);
+
+    constexpr int kThreads = 4;
+    std::vector<float> worst(kThreads, 0.0f);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            float max_diff = 0.0f;
+            for (int iter = 0; iter < 8; ++iter) {
+                const Tensor out1 = ExecutionInstance::thread().forward(
+                    compiled, input1);
+                const Tensor out8 = ExecutionInstance::thread().forward(
+                    compiled, input8);
+                for (int64_t i = 0; i < out1.numel(); ++i)
+                    max_diff = std::max(
+                        max_diff, std::fabs(out1[i] - ref1[i]));
+                for (int64_t i = 0; i < out8.numel(); ++i)
+                    max_diff = std::max(
+                        max_diff, std::fabs(out8[i] - ref8[i]));
+            }
+            worst[static_cast<size_t>(t)] = max_diff;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_LT(worst[static_cast<size_t>(t)], 1e-4f)
+            << "thread " << t;
+}
+
+TEST(CompiledModel, ForwardRejectsNothingButComputesEveryBatch)
+{
+    // Plans for several batch sizes coexist; each stays correct.
+    const Sequential model = makeResnetish();
+    const CompiledModel compiled(model,
+                                 Shape{kSampleC, kSampleH, kSampleW});
+    for (int64_t batch : {int64_t{2}, int64_t{5}, int64_t{3}}) {
+        const Tensor input = randomInput(batch, 1100 + batch);
+        expectNear(ExecutionInstance::thread().forward(compiled, input),
+                   model.forward(input), 1e-4f);
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace mlperf

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the quantization swap shape contract: a replacement layer
+ * that changes output geometry must be rejected loudly (naming the
+ * layer), never silently swapped — a shape drift would corrupt every
+ * buffer offset in a compiled plan downstream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "nn/layers.h"
+#include "quant/quantize_model.h"
+#include "quant/quantized_layers.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace quant {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+nn::DenseLayer
+makeDense(int64_t out, int64_t in)
+{
+    Tensor w(Shape{out, in});
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w[i] = 0.01f * static_cast<float>(i + 1);
+    return nn::DenseLayer(std::move(w),
+                          std::vector<float>(static_cast<size_t>(out),
+                                             0.0f));
+}
+
+TEST(SwapShapeContract, AcceptsShapePreservingReplacement)
+{
+    const nn::DenseLayer original = makeDense(3, 4);
+    const nn::DenseLayer replacement = makeDense(3, 4);
+    EXPECT_NO_THROW(verifySwapShapeContract(
+        original, replacement, Shape{1, 4}, "test-model"));
+}
+
+TEST(SwapShapeContract, RejectsShapeChangingReplacementByName)
+{
+    const nn::DenseLayer original = makeDense(3, 4);
+    const nn::DenseLayer narrower = makeDense(2, 4);
+    try {
+        verifySwapShapeContract(original, narrower, Shape{1, 4},
+                                "test-model");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &err) {
+        const std::string what = err.what();
+        // The error must name the offending layer and the context so
+        // a failed quantization run is debuggable from the message.
+        EXPECT_NE(what.find(original.name()), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("test-model"), std::string::npos) << what;
+    }
+}
+
+TEST(SwapShapeContract, QuantizedSwapsPreserveShapesInPractice)
+{
+    // The real quantized layers honour the contract: a quantized
+    // dense layer built from an FP32 layer reports the same geometry.
+    const nn::DenseLayer fp32 = makeDense(5, 7);
+    const QuantizedDenseLayer q(fp32, -1.0f, 1.0f, 8, true);
+    EXPECT_NO_THROW(verifySwapShapeContract(fp32, q, Shape{2, 7},
+                                            "roundtrip"));
+}
+
+} // namespace
+} // namespace quant
+} // namespace mlperf
