@@ -64,6 +64,8 @@ settingsForTask(models::TaskType task, loadgen::Scenario scenario,
     }
     settings.targetLatencyNs = static_cast<uint64_t>(
         info.serverQosMs * static_cast<double>(sim::kNsPerMs));
+    if (scenario == loadgen::Scenario::Server)
+        settings.serverQueryDeadlineNs = options.serverQueryDeadlineNs;
     settings.multiStreamArrivalNs = static_cast<uint64_t>(
         info.multistreamArrivalMs * static_cast<double>(sim::kNsPerMs));
 
@@ -178,6 +180,10 @@ runServerServing(const sut::HardwareProfile &profile,
         serving_options.maxBatch =
             std::max<int64_t>(1, profile.maxBatch);
     serving_options.mode = serving::WorkerMode::Events;
+    // The LoadGen-side deadline and the SUT-side one are the same
+    // setting; a caller-provided serving option wins.
+    if (serving_options.queryDeadlineNs == 0)
+        serving_options.queryDeadlineNs = options.serverQueryDeadlineNs;
 
     sim::VirtualExecutor executor;
     sut::ProfileBatchInference inference(

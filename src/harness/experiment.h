@@ -33,6 +33,14 @@ struct ExperimentOptions
     uint64_t sutSeed = 0xDEC0DE;
     /** Dynamic batching window for the server scenario (SUT-side). */
     sim::Tick serverBatchWindowNs = 2 * sim::kNsPerMs;
+    /**
+     * Per-query completion deadline for the server scenario; 0 = off.
+     * Flows into TestSettings::serverQueryDeadlineNs and (through
+     * runServerServing) ServingOptions::queryDeadlineNs, so queries a
+     * faulty SUT would lose are completed with Timeout status instead
+     * of hanging the run.
+     */
+    sim::Tick serverQueryDeadlineNs = 0;
 };
 
 /**

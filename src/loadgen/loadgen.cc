@@ -68,6 +68,15 @@ class Run : public ResponseDelegate
             const uint64_t q = responseQuery_[response.id];
             QueryState &query = queries_[q];
             assert(query.remaining > 0);
+            switch (response.status) {
+              case ResponseStatus::Ok: break;
+              case ResponseStatus::Degraded: ++degradedSamples_; break;
+              case ResponseStatus::Shed:     ++shedSamples_; break;
+              case ResponseStatus::Timeout:  ++timeoutSamples_; break;
+              case ResponseStatus::Failed:   ++failedSamples_; break;
+            }
+            if (responseIsError(response.status))
+                query.errored = true;
             if (shouldLogResponse(response.id)) {
                 accuracyLog_.push_back(
                     {responseIndex_[response.id], response.data});
@@ -91,6 +100,7 @@ class Run : public ResponseDelegate
         uint64_t remaining = 0;     //!< samples not yet completed
         uint64_t sampleCount = 0;
         bool causedSkip = false;    //!< multistream interval spill
+        bool errored = false;       //!< any sample completed with error
     };
 
     /**
@@ -461,11 +471,17 @@ class Run : public ResponseDelegate
         result.queryCount = issuedQueries_;
         result.sampleCount = completedSamples_;
         result.samplesPerQuery = samplesPerQuery();
+        result.degradedSamples = degradedSamples_;
+        result.shedSamples = shedSamples_;
+        result.timeoutSamples = timeoutSamples_;
+        result.failedSamples = failedSamples_;
         result.scheduledQps = settings_.serverTargetQps;
         result.queriesWithSkippedIntervals = 0;
 
         std::vector<uint64_t> latencies;
         latencies.reserve(queries_.size());
+        std::vector<bool> erroredByLatency;
+        erroredByLatency.reserve(queries_.size());
         sim::Tick first_issue = 0, last_completion = 0;
         bool any = false;
         for (const auto &query : queries_) {
@@ -478,6 +494,9 @@ class Run : public ResponseDelegate
                     ? query.scheduled
                     : query.issued;
             latencies.push_back(query.completed - reference);
+            erroredByLatency.push_back(query.errored);
+            if (query.errored)
+                ++result.erroredQueries;
             if (!any || query.issued < first_issue)
                 first_issue = query.issued;
             last_completion =
@@ -499,10 +518,16 @@ class Run : public ResponseDelegate
                       static_cast<double>(result.durationNs)
                 : 0.0;
 
+        // A query completed with an error status (shed, timed out,
+        // failed) did not produce a timely answer no matter how fast
+        // the error response arrived; count it against the latency
+        // bound so fault handling cannot game validity.
         uint64_t over = 0;
-        for (uint64_t latency : latencies) {
-            if (latency > settings_.targetLatencyNs)
+        for (size_t i = 0; i < latencies.size(); ++i) {
+            if (latencies[i] > settings_.targetLatencyNs ||
+                erroredByLatency[i]) {
                 ++over;
+            }
         }
         result.overLatencyCount = over;
         result.overLatencyFraction =
@@ -551,6 +576,11 @@ class Run : public ResponseDelegate
     std::atomic<uint64_t> issuedQueries_{0};
     std::atomic<uint64_t> outstandingQueries_{0};
     std::atomic<uint64_t> completedSamples_{0};
+    // Fault accounting (guarded by mutex_ like queries_).
+    uint64_t degradedSamples_ = 0;
+    uint64_t shedSamples_ = 0;
+    uint64_t timeoutSamples_ = 0;
+    uint64_t failedSamples_ = 0;
     uint64_t pendingArrivals_ = 0;
     uint64_t arrivalBatches_ = 0;
     sim::Tick lastArrival_ = 0;

@@ -102,6 +102,23 @@ TestResult::summary() const
         out += strprintf("Over-latency fraction : %.4f\n",
                          overLatencyFraction);
     }
+    if (errorSamples() > 0 || degradedSamples > 0) {
+        out += "Fault accounting\n";
+        if (shedSamples > 0)
+            out += strprintf("  Shed samples     : %s\n",
+                             withThousands(shedSamples).c_str());
+        if (timeoutSamples > 0)
+            out += strprintf("  Timed-out samples: %s\n",
+                             withThousands(timeoutSamples).c_str());
+        if (failedSamples > 0)
+            out += strprintf("  Failed samples   : %s\n",
+                             withThousands(failedSamples).c_str());
+        if (degradedSamples > 0)
+            out += strprintf("  Degraded serves  : %s\n",
+                             withThousands(degradedSamples).c_str());
+        out += strprintf("  Errored queries  : %s\n",
+                         withThousands(erroredQueries).c_str());
+    }
     return out;
 }
 

@@ -65,6 +65,25 @@ struct TestResult
     /** Multistream: queries whose processing spilled past >=1 interval. */
     uint64_t queriesWithSkippedIntervals = 0;
 
+    // ---- Fault accounting (ResponseStatus of completed samples).
+    // A fault-tolerant SUT completes every sample even when it cannot
+    // serve it; these counters make the failure modes visible in the
+    // report instead of hiding them as fast empty answers or hanging
+    // the run. Queries containing any error-status sample count as
+    // over-latency in validity determination.
+    uint64_t degradedSamples = 0;  //!< served by a fallback path
+    uint64_t shedSamples = 0;      //!< rejected by admission/backpressure
+    uint64_t timeoutSamples = 0;   //!< deadline-reaped
+    uint64_t failedSamples = 0;    //!< inference faults
+    /** Queries with >= 1 error-status sample. */
+    uint64_t erroredQueries = 0;
+
+    uint64_t
+    errorSamples() const
+    {
+        return shedSamples + timeoutSamples + failedSamples;
+    }
+
     // ---- Validity determination.
     bool minQueriesMet = false;
     bool minDurationMet = false;

@@ -27,6 +27,19 @@ testModeName(TestMode mode)
                                              : "AccuracyOnly";
 }
 
+std::string
+responseStatusName(ResponseStatus status)
+{
+    switch (status) {
+      case ResponseStatus::Ok:       return "Ok";
+      case ResponseStatus::Degraded: return "Degraded";
+      case ResponseStatus::Shed:     return "Shed";
+      case ResponseStatus::Timeout:  return "Timeout";
+      case ResponseStatus::Failed:   return "Failed";
+    }
+    return "?";
+}
+
 TestSettings
 TestSettings::forScenario(Scenario scenario)
 {
@@ -120,6 +133,9 @@ TestSettings::applyConfig(const std::string &config)
                 std::stod(value) * static_cast<double>(sim::kNsPerMs));
         } else if (key == "target_latency_ms") {
             targetLatencyNs = static_cast<uint64_t>(
+                std::stod(value) * static_cast<double>(sim::kNsPerMs));
+        } else if (key == "server_query_deadline_ms") {
+            serverQueryDeadlineNs = static_cast<uint64_t>(
                 std::stod(value) * static_cast<double>(sim::kNsPerMs));
         } else if (key == "tail_percentile") {
             tailPercentile = std::stod(value);

@@ -44,6 +44,16 @@ struct TestSettings
     /** Fixed arrival interval (Table III, also the latency bound). */
     uint64_t multiStreamArrivalNs = 50 * sim::kNsPerMs;
 
+    /**
+     * Server scenario: per-query completion deadline the SUT is asked
+     * to honor (propagated into the serving runtime, which sheds
+     * queries that expire in queue and reaps ones a worker never
+     * answers). 0 disables deadlines. Distinct from targetLatencyNs:
+     * the target bounds what counts as a *good* answer, the deadline
+     * bounds how long the SUT may hold a query at all.
+     */
+    uint64_t serverQueryDeadlineNs = 0;
+
     // ---- Latency constraint (server: Table III QoS bound).
     uint64_t targetLatencyNs = 15 * sim::kNsPerMs;
     /** Tail percentile the bound applies to (0.99 vision, 0.97 NMT). */
@@ -87,7 +97,8 @@ struct TestSettings
      * Parse user.conf-style overrides: one "key = value" per line,
      * '#' comments. Unknown keys throw std::invalid_argument. Known
      * keys: scenario, mode, server_target_qps, samples_per_query,
-     * multistream_arrival_ms, target_latency_ms, tail_percentile,
+     * multistream_arrival_ms, target_latency_ms,
+     * server_query_deadline_ms, tail_percentile,
      * max_over_latency_fraction, min_query_count, min_duration_ms,
      * offline_sample_count, max_query_count, sample_index_seed,
      * schedule_seed, server_burst_factor,

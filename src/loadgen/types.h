@@ -53,15 +53,45 @@ struct QuerySample
 };
 
 /**
+ * How a sample completed. Fault-tolerant SUTs never leave the LoadGen
+ * hanging: a sample that cannot be served is still completed, carrying
+ * one of the error statuses so the run finishes and the failure is
+ * visible in the result counters instead of as a wedged run.
+ */
+enum class ResponseStatus : uint8_t
+{
+    Ok,        //!< served normally
+    Degraded,  //!< served by a degraded/fallback path (still an answer)
+    Shed,      //!< rejected by admission control / backpressure
+    Timeout,   //!< missed its deadline; completed by the reaper
+    Failed,    //!< inference fault (after retries / breaker fast-fail)
+};
+
+/** True for statuses that carry no usable answer. */
+inline bool
+responseIsError(ResponseStatus status)
+{
+    return status == ResponseStatus::Shed ||
+           status == ResponseStatus::Timeout ||
+           status == ResponseStatus::Failed;
+}
+
+/** Status name, e.g. "Timeout". */
+std::string responseStatusName(ResponseStatus status);
+
+/**
  * Completion record the SUT returns. @c data carries the inference
  * result opaquely; it is logged in accuracy mode and handed to the
  * accuracy script, never interpreted by the LoadGen itself (the
- * benchmark/metric decoupling of Sec. IV-B).
+ * benchmark/metric decoupling of Sec. IV-B). @c status reports how
+ * the sample was served; error statuses count against the query in
+ * validity determination.
  */
 struct QuerySampleResponse
 {
     ResponseId id = 0;
     std::string data;
+    ResponseStatus status = ResponseStatus::Ok;
 };
 
 } // namespace loadgen

@@ -27,6 +27,31 @@ histogramRow(const std::string &label,
             histogram.count() ? value(histogram.max()) : "-"};
 }
 
+const char *
+breakerStateName(serving::BreakerState state)
+{
+    switch (state) {
+      case serving::BreakerState::Closed: return "closed";
+      case serving::BreakerState::Open: return "open";
+      case serving::BreakerState::HalfOpen: return "half-open";
+    }
+    return "closed";
+}
+
+/** Any resilience machinery fired during the run? */
+bool
+hasResilienceActivity(const serving::StatsSnapshot &snapshot)
+{
+    return snapshot.admissionShedSamples != 0 ||
+           snapshot.expiredSamples != 0 ||
+           snapshot.timeoutSamples != 0 ||
+           snapshot.droppedCompletions != 0 ||
+           snapshot.failedSamples != 0 || snapshot.retries != 0 ||
+           snapshot.breakerOpens != 0 ||
+           snapshot.breakerFastFailSamples != 0 ||
+           snapshot.degradedSamples != 0;
+}
+
 std::string
 histogramJson(const stats::LogHistogram &histogram)
 {
@@ -70,6 +95,36 @@ renderServingSummary(const serving::StatsSnapshot &snapshot,
         static_cast<long long>(snapshot.workers),
         100.0 * snapshot.utilization(elapsed_ns),
         formatDuration(elapsed_ns).c_str());
+    if (hasResilienceActivity(snapshot)) {
+        out += strprintf(
+            "  resilience: shed-rate %.2f%% (admission %s, "
+            "backpressure %s, expired %s)\n",
+            100.0 * snapshot.shedRate(),
+            withThousands(snapshot.admissionShedSamples).c_str(),
+            withThousands(snapshot.samplesShed).c_str(),
+            withThousands(snapshot.expiredSamples).c_str());
+        out += strprintf(
+            "    timed out %s, dropped completions %s, failed %s "
+            "(%s batches)\n",
+            withThousands(snapshot.timeoutSamples).c_str(),
+            withThousands(snapshot.droppedCompletions).c_str(),
+            withThousands(snapshot.failedSamples).c_str(),
+            withThousands(snapshot.batchesFailed).c_str());
+        out += strprintf(
+            "    retries %s (saved %s, exhausted %s); breaker %s "
+            "(opens %s, fast-failed %s samples)\n",
+            withThousands(snapshot.retries).c_str(),
+            withThousands(snapshot.retrySuccesses).c_str(),
+            withThousands(snapshot.retriesExhausted).c_str(),
+            breakerStateName(snapshot.breakerState),
+            withThousands(snapshot.breakerOpens).c_str(),
+            withThousands(snapshot.breakerFastFailSamples).c_str());
+        out += strprintf(
+            "    degraded serves %s (mode entered %s, exited %s)\n",
+            withThousands(snapshot.degradedSamples).c_str(),
+            withThousands(snapshot.degradeEntries).c_str(),
+            withThousands(snapshot.degradeExits).c_str());
+    }
 
     Table table({"Stage", "Count", "Mean", "p50", "p90", "p99", "Max"});
     table.addRow(histogramRow("Queue depth (samples)",
@@ -107,6 +162,32 @@ servingSnapshotJson(const serving::StatsSnapshot &snapshot,
         static_cast<long long>(snapshot.workers),
         snapshot.utilization(elapsed_ns),
         static_cast<unsigned long long>(elapsed_ns));
+    out += strprintf(
+        "\"shed_rate\":%.5f,\"admission_shed\":%llu,"
+        "\"expired\":%llu,\"timed_out\":%llu,"
+        "\"dropped_completions\":%llu,\"failed\":%llu,"
+        "\"batches_failed\":%llu,\"retries\":%llu,"
+        "\"retry_successes\":%llu,\"retries_exhausted\":%llu,"
+        "\"breaker_state\":\"%s\",\"breaker_opens\":%llu,"
+        "\"breaker_fast_fail\":%llu,\"degraded\":%llu,"
+        "\"degrade_entries\":%llu,\"degrade_exits\":%llu,",
+        snapshot.shedRate(),
+        static_cast<unsigned long long>(snapshot.admissionShedSamples),
+        static_cast<unsigned long long>(snapshot.expiredSamples),
+        static_cast<unsigned long long>(snapshot.timeoutSamples),
+        static_cast<unsigned long long>(snapshot.droppedCompletions),
+        static_cast<unsigned long long>(snapshot.failedSamples),
+        static_cast<unsigned long long>(snapshot.batchesFailed),
+        static_cast<unsigned long long>(snapshot.retries),
+        static_cast<unsigned long long>(snapshot.retrySuccesses),
+        static_cast<unsigned long long>(snapshot.retriesExhausted),
+        breakerStateName(snapshot.breakerState),
+        static_cast<unsigned long long>(snapshot.breakerOpens),
+        static_cast<unsigned long long>(
+            snapshot.breakerFastFailSamples),
+        static_cast<unsigned long long>(snapshot.degradedSamples),
+        static_cast<unsigned long long>(snapshot.degradeEntries),
+        static_cast<unsigned long long>(snapshot.degradeExits));
     out += "\"queue_depth\":" + histogramJson(snapshot.queueDepth);
     out += ",\"batch_size\":" + histogramJson(snapshot.batchSize);
     out += ",\"time_in_queue_ns\":" +

@@ -27,5 +27,26 @@ completeBatch(const Batch &batch,
         delegate->querySamplesComplete(group);
 }
 
+std::vector<loadgen::QuerySampleResponse>
+errorResponses(const std::vector<loadgen::QuerySample> &samples,
+               loadgen::ResponseStatus status)
+{
+    std::vector<loadgen::QuerySampleResponse> responses;
+    responses.reserve(samples.size());
+    for (const auto &sample : samples)
+        responses.push_back({sample.id, "", status});
+    return responses;
+}
+
+std::vector<loadgen::QuerySampleResponse>
+errorResponses(const Batch &batch, loadgen::ResponseStatus status)
+{
+    std::vector<loadgen::QuerySampleResponse> responses;
+    responses.reserve(batch.items.size());
+    for (const BatchItem &item : batch.items)
+        responses.push_back({item.sample.id, "", status});
+    return responses;
+}
+
 } // namespace serving
 } // namespace mlperf

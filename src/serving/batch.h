@@ -28,6 +28,13 @@ struct BatchItem
     loadgen::QuerySample sample;
     loadgen::ResponseDelegate *delegate = nullptr;
     sim::Tick enqueuedAt = 0;  //!< when issueQuery handed it over
+    /**
+     * Absolute completion deadline; 0 = none. Propagated from
+     * TestSettings::serverQueryDeadlineNs through the batcher so
+     * worker pools can shed already-expired items at dispatch instead
+     * of wasting a worker slot on an answer nobody will accept.
+     */
+    sim::Tick deadline = 0;
 };
 
 /** Why the batcher emitted a batch. */
@@ -55,6 +62,18 @@ struct Batch
 void completeBatch(
     const Batch &batch,
     const std::vector<loadgen::QuerySampleResponse> &responses);
+
+/**
+ * One empty-payload response per sample, all carrying @p status —
+ * the fast-fail payload of the shed/timeout/failure paths.
+ */
+std::vector<loadgen::QuerySampleResponse> errorResponses(
+    const std::vector<loadgen::QuerySample> &samples,
+    loadgen::ResponseStatus status);
+
+/** Same, drawn from a formed batch's items. */
+std::vector<loadgen::QuerySampleResponse> errorResponses(
+    const Batch &batch, loadgen::ResponseStatus status);
 
 } // namespace serving
 } // namespace mlperf

@@ -12,6 +12,7 @@
 #ifndef MLPERF_SERVING_BATCH_INFERENCE_H
 #define MLPERF_SERVING_BATCH_INFERENCE_H
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,42 @@
 
 namespace mlperf {
 namespace serving {
+
+/** How an inference fault should be handled by the resilience layer. */
+enum class FaultKind
+{
+    /** Worth retrying: a transient worker hiccup. */
+    Transient,
+    /** Not worth retrying: fail (or degrade) immediately. */
+    Permanent,
+    /**
+     * Chaos-only: the worker "completes" but the response is lost.
+     * The worker pool deliberately does not answer; the deadline
+     * reaper must complete the samples. Simulates a crashed completer.
+     */
+    DropCompletion,
+};
+
+/**
+ * The error channel of BatchInference::runBatch. Implementations
+ * throw this to signal a worker fault; ResilientInference retries
+ * Transient faults, trips its circuit breaker on persistent ones,
+ * and worker pools convert uncaught faults into error-flagged
+ * responses so the LoadGen never hangs.
+ */
+class InferenceFault : public std::runtime_error
+{
+  public:
+    InferenceFault(FaultKind kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {
+    }
+
+    FaultKind kind() const { return kind_; }
+
+  private:
+    FaultKind kind_;
+};
 
 class BatchInference
 {
@@ -31,7 +68,9 @@ class BatchInference
     /**
      * Run inference on one batch and return one response per sample,
      * aligned with @p samples. MUST be thread-safe: thread workers
-     * call this concurrently from multiple pool threads.
+     * call this concurrently from multiple pool threads. May throw
+     * InferenceFault to signal a worker fault; any other exception is
+     * treated as FaultKind::Permanent by the worker pools.
      */
     virtual std::vector<loadgen::QuerySampleResponse> runBatch(
         const std::vector<loadgen::QuerySample> &samples) = 0;

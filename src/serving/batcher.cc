@@ -50,14 +50,15 @@ DynamicBatcher::armDeadline(sim::Tick now)
 
 void
 DynamicBatcher::enqueue(const std::vector<loadgen::QuerySample> &samples,
-                        loadgen::ResponseDelegate &delegate)
+                        loadgen::ResponseDelegate &delegate,
+                        sim::Tick deadline)
 {
     std::vector<Batch> formed;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const sim::Tick now = executor_.now();
         for (const auto &sample : samples)
-            pending_.push_back({sample, &delegate, now});
+            pending_.push_back({sample, &delegate, now, deadline});
 
         while (static_cast<int64_t>(pending_.size()) >= maxBatch_) {
             formed.push_back(takeBatch(

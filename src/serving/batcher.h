@@ -42,9 +42,14 @@ class DynamicBatcher
     DynamicBatcher(sim::Executor &executor, int64_t max_batch,
                    sim::Tick timeout_ns, EmitFn emit);
 
-    /** Add a query's samples; may emit one or more full batches. */
+    /**
+     * Add a query's samples; may emit one or more full batches.
+     * @p deadline (absolute tick, 0 = none) is stamped on every item
+     * so worker pools can shed expired work at dispatch.
+     */
     void enqueue(const std::vector<loadgen::QuerySample> &samples,
-                 loadgen::ResponseDelegate &delegate);
+                 loadgen::ResponseDelegate &delegate,
+                 sim::Tick deadline = 0);
 
     /** Emit everything pending immediately (FlushReason::Drain). */
     void flush();

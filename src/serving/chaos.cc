@@ -1,0 +1,158 @@
+#include "serving/chaos.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mlperf {
+namespace serving {
+
+FaultInjectingInference::FaultAction
+FaultInjectingInference::draw()
+{
+    // One uniform draw partitioned by cumulative probability, so the
+    // fault mix is exactly the configured rates and adding one fault
+    // type does not perturb the stream consumed by the others.
+    double u = rng_.nextDouble();
+    double edge = options_.latencySpikeProb;
+    if (u < edge)
+        return FaultAction::LatencySpike;
+    edge += options_.transientFaultProb;
+    if (u < edge)
+        return FaultAction::Transient;
+    edge += options_.permanentFaultProb;
+    if (u < edge)
+        return FaultAction::Permanent;
+    edge += options_.dropCompletionProb;
+    if (u < edge)
+        return FaultAction::DropCompletion;
+    edge += options_.wedgeProb;
+    if (u < edge)
+        return FaultAction::Wedge;
+    return FaultAction::None;
+}
+
+sim::Tick
+FaultInjectingInference::serviceTimeNs(
+    const std::vector<loadgen::QuerySample> &samples, sim::Tick now)
+{
+    sim::Tick base = inner_.serviceTimeNs(samples, now);
+    if (samples.empty())
+        return base;
+    FaultAction action;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        action = draw();
+        // runBatch (a later event) must see the same decision; key by
+        // the batch's first sample id, unique per in-flight batch.
+        planned_[samples.front().id] = action;
+    }
+    switch (action) {
+      case FaultAction::LatencySpike:
+        return base + options_.latencySpikeNs;
+      case FaultAction::Wedge:
+        return base + options_.wedgeNs;
+      case FaultAction::Transient:
+      case FaultAction::Permanent:
+        // The worker burns the service time, then fails.
+        return base;
+      case FaultAction::DropCompletion:
+      case FaultAction::None:
+        return base;
+    }
+    return base;
+}
+
+FaultInjectingInference::FaultAction
+FaultInjectingInference::takePlanned(loadgen::ResponseId firstId,
+                                     bool &found)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = planned_.find(firstId);
+    if (it == planned_.end()) {
+        found = false;
+        // Thread mode: no dispatch-time plan exists; decide here.
+        return draw();
+    }
+    found = true;
+    FaultAction action = it->second;
+    planned_.erase(it);
+    return action;
+}
+
+std::vector<loadgen::QuerySampleResponse>
+FaultInjectingInference::apply(
+    FaultAction action, const std::vector<loadgen::QuerySample> &samples,
+    bool modeled)
+{
+    switch (action) {
+      case FaultAction::None:
+        break;
+      case FaultAction::LatencySpike: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.latencySpikes;
+        break;
+      }
+      case FaultAction::Transient: {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.transientFaults;
+        }
+        throw InferenceFault(FaultKind::Transient,
+                             "injected transient fault");
+      }
+      case FaultAction::Permanent: {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.permanentFaults;
+        }
+        throw InferenceFault(FaultKind::Permanent,
+                             "injected permanent fault");
+      }
+      case FaultAction::DropCompletion: {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.droppedCompletions;
+        }
+        throw InferenceFault(FaultKind::DropCompletion,
+                             "injected dropped completion");
+      }
+      case FaultAction::Wedge: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.wedges;
+        break;
+      }
+    }
+
+    if (!modeled) {
+        // Thread mode: stalls happen in real time on the worker.
+        if (action == FaultAction::LatencySpike) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(options_.latencySpikeNs));
+        } else if (action == FaultAction::Wedge) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(options_.wedgeNs));
+        }
+    }
+    return inner_.runBatch(samples);
+}
+
+std::vector<loadgen::QuerySampleResponse>
+FaultInjectingInference::runBatch(
+    const std::vector<loadgen::QuerySample> &samples)
+{
+    if (samples.empty())
+        return inner_.runBatch(samples);
+    bool modeled = false;
+    FaultAction action = takePlanned(samples.front().id, modeled);
+    return apply(action, samples, modeled);
+}
+
+ChaosCounters
+FaultInjectingInference::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace serving
+} // namespace mlperf

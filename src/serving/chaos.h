@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Chaos-injection harness for the serving runtime.
+ *
+ * Resilience code that is only exercised by real outages is untested
+ * code. FaultInjectingInference wraps any BatchInference and injects
+ * faults from a seeded deterministic RNG — latency spikes, transient
+ * errors, dropped completions, wedged workers — so tests can drive
+ * every state transition of the resilience layer (shed, retry,
+ * breaker open/half-open/close, degrade, timeout-complete) and assert
+ * exact counter values, and benches can measure tail latency under a
+ * known fault rate.
+ *
+ * Determinism under event workers needs care: serviceTimeNs runs at
+ * dispatch (executor thread) and runBatch at completion, as separate
+ * events. The fault decision for a batch is drawn once in
+ * serviceTimeNs, stored keyed by the batch's first sample id, and
+ * consumed by runBatch, so both the modeled service time and the
+ * fault outcome come from a single draw. Under thread workers
+ * (serviceTimeNs never called) runBatch draws inline.
+ */
+
+#ifndef MLPERF_SERVING_CHAOS_H
+#define MLPERF_SERVING_CHAOS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "serving/batch_inference.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+/** Fault mix injected by FaultInjectingInference. */
+struct ChaosOptions
+{
+    uint64_t seed = Rng::kDefaultSeed;
+
+    /** P(batch takes an extra latencySpikeNs) — a slow worker. */
+    double latencySpikeProb = 0.0;
+    sim::Tick latencySpikeNs = 20 * sim::kNsPerMs;
+
+    /** P(batch throws FaultKind::Transient) — retryable hiccup. */
+    double transientFaultProb = 0.0;
+
+    /** P(batch throws FaultKind::Permanent) — hard failure. */
+    double permanentFaultProb = 0.0;
+
+    /** P(batch's completion is silently lost) — crashed completer. */
+    double dropCompletionProb = 0.0;
+
+    /** P(batch wedges for wedgeNs) — a stuck worker holding a slot. */
+    double wedgeProb = 0.0;
+    sim::Tick wedgeNs = 500 * sim::kNsPerMs;
+};
+
+/** Counters of faults actually injected (for test assertions). */
+struct ChaosCounters
+{
+    uint64_t latencySpikes = 0;
+    uint64_t transientFaults = 0;
+    uint64_t permanentFaults = 0;
+    uint64_t droppedCompletions = 0;
+    uint64_t wedges = 0;
+
+    uint64_t
+    total() const
+    {
+        return latencySpikes + transientFaults + permanentFaults +
+               droppedCompletions + wedges;
+    }
+};
+
+/**
+ * BatchInference decorator injecting faults per ChaosOptions.
+ * Thread-safe; the RNG is mutex-guarded so thread workers draw from
+ * one deterministic stream (outcome totals are seed-stable, the
+ * batch-to-fault assignment is only deterministic under event
+ * workers, where a single thread draws).
+ *
+ * Layering: ResilientInference wraps FaultInjectingInference wraps
+ * the real engine — faults pass through the retry/breaker machinery
+ * exactly like real ones.
+ */
+class FaultInjectingInference : public BatchInference
+{
+  public:
+    FaultInjectingInference(BatchInference &inner, ChaosOptions options)
+        : inner_(inner), options_(options), rng_(options.seed)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "chaos(" + inner_.name() + ")";
+    }
+
+    std::vector<loadgen::QuerySampleResponse> runBatch(
+        const std::vector<loadgen::QuerySample> &samples) override;
+
+    sim::Tick serviceTimeNs(
+        const std::vector<loadgen::QuerySample> &samples,
+        sim::Tick now) override;
+
+    ChaosCounters counters() const;
+
+  private:
+    /** What happens to one batch; a single RNG draw decides. */
+    enum class FaultAction
+    {
+        None,
+        LatencySpike, // thread mode: real sleep; event mode: extra ticks
+        Transient,
+        Permanent,
+        DropCompletion,
+        Wedge,
+    };
+
+    FaultAction draw();
+    FaultAction takePlanned(loadgen::ResponseId firstId, bool &found);
+    std::vector<loadgen::QuerySampleResponse> apply(
+        FaultAction action,
+        const std::vector<loadgen::QuerySample> &samples, bool modeled);
+
+    BatchInference &inner_;
+    const ChaosOptions options_;
+    mutable std::mutex mutex_;
+    Rng rng_;
+    ChaosCounters counters_;
+    /** Event-mode fault plan: first sample id -> decided action. */
+    std::unordered_map<loadgen::ResponseId, FaultAction> planned_;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_CHAOS_H

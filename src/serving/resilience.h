@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The fault-tolerance layer of the serving runtime: admission
+ * control, retry with capped exponential backoff, a circuit breaker,
+ * and graceful degradation onto a fallback inference engine.
+ *
+ * The paper's server scenario is defined by tail-latency bounds under
+ * Poisson traffic (Tables II/III); production serving work shows that
+ * what actually dominates the measured tail is how the system behaves
+ * when things go wrong — overload, slow workers, transient faults.
+ * This layer gives ServingSut an explicit answer for each failure
+ * mode, with every decision counted in ServingStats:
+ *
+ *   admission      issueQuery-side budget: queries beyond the
+ *                  in-flight / queue-depth budget are shed instantly
+ *                  (Shed status) instead of growing the queue tail.
+ *   retry          transient InferenceFaults are retried up to
+ *                  maxAttempts with capped exponential backoff.
+ *   breaker        persistent faults trip Closed -> Open; while Open
+ *                  every batch fast-fails (or degrades) without
+ *                  touching the faulty engine; after a cooldown the
+ *                  breaker admits limited Half-Open probes and closes
+ *                  again on success.
+ *   degrade        when the breaker is open or the shed-rate monitor
+ *                  trips, batches are served by a cheaper fallback
+ *                  engine (e.g. the int8 compiled plan instead of
+ *                  fp32), marked Degraded per response.
+ */
+
+#ifndef MLPERF_SERVING_RESILIENCE_H
+#define MLPERF_SERVING_RESILIENCE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serving/batch_inference.h"
+#include "serving/serving_stats.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+// ------------------------------------------------- admission control
+
+struct AdmissionOptions
+{
+    /**
+     * Budget of samples admitted but not yet completed; 0 = no
+     * budget. Requires the completion tracker (ServingSut wires it)
+     * so completions release budget.
+     */
+    uint64_t maxInFlightSamples = 0;
+    /**
+     * Load-shedding bound on samples waiting in the batcher + worker
+     * queue at admission time; 0 = unbounded.
+     */
+    uint64_t maxQueuedSamples = 0;
+
+    bool
+    enabled() const
+    {
+        return maxInFlightSamples > 0 || maxQueuedSamples > 0;
+    }
+};
+
+/**
+ * Thread-safe in-flight budget + queue-depth load shedding in front
+ * of the batcher/MPMC queue. A rejected query is completed at once
+ * with Shed status — the bounded-latency alternative to letting the
+ * queue tail grow without limit.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionOptions options)
+        : options_(options)
+    {
+    }
+
+    /**
+     * Try to admit @p samples given @p queuedSamples already waiting.
+     * On success the in-flight budget is charged.
+     */
+    bool
+    tryAdmit(uint64_t samples, uint64_t queuedSamples)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (options_.maxInFlightSamples != 0 &&
+            inFlight_ + samples > options_.maxInFlightSamples) {
+            return false;
+        }
+        if (options_.maxQueuedSamples != 0 &&
+            queuedSamples + samples > options_.maxQueuedSamples) {
+            return false;
+        }
+        inFlight_ += samples;
+        return true;
+    }
+
+    /** @p samples completed (any path); release their budget. */
+    void
+    release(uint64_t samples)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inFlight_ = inFlight_ >= samples ? inFlight_ - samples : 0;
+    }
+
+    uint64_t
+    inFlight() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return inFlight_;
+    }
+
+  private:
+    const AdmissionOptions options_;
+    mutable std::mutex mutex_;
+    uint64_t inFlight_ = 0;
+};
+
+// --------------------------------------------------- circuit breaker
+
+struct BreakerOptions
+{
+    bool enabled = false;
+    /** Consecutive batch failures that trip Closed -> Open. */
+    int failureThreshold = 5;
+    /** How long the breaker stays Open before probing. */
+    sim::Tick cooldownNs = 50 * sim::kNsPerMs;
+    /** Probe batches admitted while Half-Open. */
+    int halfOpenProbes = 1;
+};
+
+/**
+ * Classic three-state circuit breaker, thread-safe. Time comes from
+ * the caller (Executor ticks) so it works identically under virtual
+ * and wall-clock time.
+ */
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(BreakerOptions options,
+                            ServingStats *stats = nullptr)
+        : options_(options), stats_(stats)
+    {
+    }
+
+    /**
+     * May a batch proceed at @p now? Open -> false until the cooldown
+     * elapses, then Half-Open with up to halfOpenProbes concurrent
+     * probes.
+     */
+    bool
+    allow(sim::Tick now)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        switch (state_) {
+          case BreakerState::Closed:
+            return true;
+          case BreakerState::Open:
+            if (now < openUntil_)
+                return false;
+            transition(BreakerState::HalfOpen);
+            probesInFlight_ = 1;
+            return true;
+          case BreakerState::HalfOpen:
+            if (probesInFlight_ >= options_.halfOpenProbes)
+                return false;
+            ++probesInFlight_;
+            return true;
+        }
+        return true;
+    }
+
+    /** A batch (or Half-Open probe) succeeded. */
+    void
+    onSuccess(sim::Tick now)
+    {
+        (void)now;
+        std::lock_guard<std::mutex> lock(mutex_);
+        consecutiveFailures_ = 0;
+        if (state_ == BreakerState::HalfOpen) {
+            probesInFlight_ = 0;
+            transition(BreakerState::Closed);
+        }
+    }
+
+    /** A batch failed terminally (retries exhausted or permanent). */
+    void
+    onFailure(sim::Tick now)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (state_ == BreakerState::HalfOpen) {
+            // A failed probe re-opens immediately.
+            probesInFlight_ = 0;
+            openUntil_ = now + options_.cooldownNs;
+            transition(BreakerState::Open);
+            return;
+        }
+        if (state_ == BreakerState::Closed &&
+            ++consecutiveFailures_ >= options_.failureThreshold) {
+            openUntil_ = now + options_.cooldownNs;
+            transition(BreakerState::Open);
+        }
+    }
+
+    BreakerState
+    state() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return state_;
+    }
+
+  private:
+    void
+    transition(BreakerState next)
+    {
+        state_ = next;
+        if (state_ == BreakerState::Closed)
+            consecutiveFailures_ = 0;
+        if (stats_)
+            stats_->recordBreakerTransition(next);
+    }
+
+    const BreakerOptions options_;
+    ServingStats *stats_;
+    mutable std::mutex mutex_;
+    BreakerState state_ = BreakerState::Closed;
+    int consecutiveFailures_ = 0;
+    int probesInFlight_ = 0;
+    sim::Tick openUntil_ = 0;
+};
+
+// --------------------------------------------------------- retries
+
+struct RetryOptions
+{
+    /** Total attempts per batch (1 = no retries). */
+    int maxAttempts = 1;
+    /** Backoff before retry k is base * 2^(k-1), capped at max. */
+    sim::Tick backoffBaseNs = sim::kNsPerMs;
+    sim::Tick backoffMaxNs = 8 * sim::kNsPerMs;
+
+    bool enabled() const { return maxAttempts > 1; }
+};
+
+/**
+ * BatchInference decorator implementing retry, circuit breaking, and
+ * graceful degradation around a primary engine. Thread-safe (worker
+ * pools call runBatch concurrently).
+ *
+ * Failure flow per batch:
+ *   degraded mode or breaker open  -> fallback (Degraded) or, without
+ *                                     a fallback, a Permanent fault
+ *   transient fault, attempts left -> backoff, retry
+ *   otherwise                      -> breaker.onFailure; fallback
+ *                                     (Degraded) or a Permanent fault
+ *
+ * Terminal failures without a fallback are rethrown as Permanent
+ * InferenceFaults so the worker pool does the error accounting and
+ * Failed-status completion in exactly one place.
+ *
+ * Backoff sleeps wall-clock time only under a real executor; under
+ * virtual time a retry is instantaneous (a worker event cannot
+ * advance the discrete-event clock mid-callback) but still counted.
+ * FaultKind::DropCompletion is rethrown untouched — losing the
+ * completion is the fault being simulated, so the pool must see it.
+ */
+class ResilientInference : public BatchInference
+{
+  public:
+    ResilientInference(sim::Executor &executor, BatchInference &primary,
+                       BatchInference *fallback, RetryOptions retry,
+                       BreakerOptions breaker, ServingStats &stats);
+
+    std::string name() const override;
+
+    std::vector<loadgen::QuerySampleResponse> runBatch(
+        const std::vector<loadgen::QuerySample> &samples) override;
+
+    sim::Tick serviceTimeNs(
+        const std::vector<loadgen::QuerySample> &samples,
+        sim::Tick now) override;
+
+    /**
+     * Force/clear degraded mode (the shed-rate monitor's lever).
+     * No-op without a fallback engine.
+     */
+    void
+    setDegraded(bool degraded)
+    {
+        degraded_.store(degraded, std::memory_order_relaxed);
+    }
+
+    bool
+    degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    CircuitBreaker *breaker() { return breaker_ ? &*breaker_ : nullptr; }
+
+  private:
+    std::vector<loadgen::QuerySampleResponse> runFallback(
+        const std::vector<loadgen::QuerySample> &samples);
+    void backoff(int attempt);
+
+    sim::Executor &executor_;
+    BatchInference &primary_;
+    BatchInference *fallback_;
+    const RetryOptions retry_;
+    ServingStats &stats_;
+    std::optional<CircuitBreaker> breaker_;
+    std::atomic<bool> degraded_{false};
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_RESILIENCE_H

@@ -53,6 +53,101 @@ ServingStats::recordShed(uint64_t samples)
 }
 
 void
+ServingStats::recordAdmissionShed(uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.admissionShedSamples += samples;
+}
+
+void
+ServingStats::recordExpired(uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.expiredSamples += samples;
+}
+
+void
+ServingStats::recordTimeout(uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.timeoutSamples += samples;
+}
+
+void
+ServingStats::recordDroppedCompletion(uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.droppedCompletions += samples;
+}
+
+void
+ServingStats::recordBatchFailed(uint64_t samples, sim::Tick busyNs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.batchesFailed;
+    counters_.failedSamples += samples;
+    counters_.workerBusyNs += busyNs;
+    counters_.serviceTimeNs.record(busyNs);
+}
+
+void
+ServingStats::recordRetry()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.retries;
+}
+
+void
+ServingStats::recordRetrySuccess()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.retrySuccesses;
+}
+
+void
+ServingStats::recordRetriesExhausted()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.retriesExhausted;
+}
+
+void
+ServingStats::recordBreakerTransition(BreakerState state)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.breakerState = state;
+    switch (state) {
+      case BreakerState::Open:     ++counters_.breakerOpens; break;
+      case BreakerState::HalfOpen: ++counters_.breakerHalfOpens; break;
+      case BreakerState::Closed:   ++counters_.breakerCloses; break;
+    }
+}
+
+void
+ServingStats::recordBreakerFastFail(uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.breakerFastFailSamples += samples;
+}
+
+void
+ServingStats::recordDegraded(uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.degradedSamples += samples;
+}
+
+void
+ServingStats::recordDegradeMode(bool entered)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entered)
+        ++counters_.degradeEntries;
+    else
+        ++counters_.degradeExits;
+}
+
+void
 ServingStats::setWorkers(int64_t workers)
 {
     std::lock_guard<std::mutex> lock(mutex_);

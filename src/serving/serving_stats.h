@@ -21,6 +21,14 @@
 namespace mlperf {
 namespace serving {
 
+/** Circuit-breaker state, exported as a gauge in StatsSnapshot. */
+enum class BreakerState : uint8_t
+{
+    Closed,    //!< normal operation
+    Open,      //!< fast-failing until the cooldown elapses
+    HalfOpen,  //!< letting limited probes through
+};
+
 /** Point-in-time copy of all serving-runtime counters. */
 struct StatsSnapshot
 {
@@ -34,6 +42,28 @@ struct StatsSnapshot
     uint64_t sizeFlushes = 0;     //!< batches closed by max size
     uint64_t timeoutFlushes = 0;  //!< batches closed by the deadline
     uint64_t drainFlushes = 0;    //!< batches closed by flush()
+
+    // ---- Resilience counters (0 unless the features are enabled).
+    uint64_t admissionShedSamples = 0;  //!< rejected at issueQuery
+    uint64_t expiredSamples = 0;    //!< deadline passed before dispatch
+    uint64_t timeoutSamples = 0;    //!< completed by the deadline reaper
+    uint64_t droppedCompletions = 0;  //!< responses lost by the worker
+    uint64_t failedSamples = 0;     //!< completed with Failed status
+    uint64_t batchesFailed = 0;     //!< batches ending in a fault
+
+    uint64_t retries = 0;           //!< retry attempts issued
+    uint64_t retrySuccesses = 0;    //!< batches saved by a retry
+    uint64_t retriesExhausted = 0;  //!< batches failing every attempt
+
+    uint64_t breakerOpens = 0;
+    uint64_t breakerHalfOpens = 0;
+    uint64_t breakerCloses = 0;
+    uint64_t breakerFastFailSamples = 0;
+    BreakerState breakerState = BreakerState::Closed;
+
+    uint64_t degradedSamples = 0;   //!< served through the fallback
+    uint64_t degradeEntries = 0;    //!< shed-rate monitor engagements
+    uint64_t degradeExits = 0;
 
     int64_t workers = 0;        //!< pool size (for utilization)
     uint64_t workerBusyNs = 0;  //!< busy time summed over workers
@@ -62,6 +92,22 @@ struct StatsSnapshot
                (static_cast<double>(workers) *
                 static_cast<double>(elapsedNs));
     }
+
+    /**
+     * Fraction of issued samples rejected without service — by
+     * admission control, queue backpressure, or dispatch-time
+     * deadline expiry. The overload health signal driving graceful
+     * degradation.
+     */
+    double
+    shedRate() const
+    {
+        if (samplesIssued == 0)
+            return 0.0;
+        return static_cast<double>(admissionShedSamples + samplesShed +
+                                   expiredSamples) /
+               static_cast<double>(samplesIssued);
+    }
 };
 
 class ServingStats
@@ -81,6 +127,26 @@ class ServingStats
 
     /** Backpressure rejected a whole batch of @p samples. */
     void recordShed(uint64_t samples);
+
+    // ---- Resilience events.
+    /** Admission control rejected @p samples at issueQuery. */
+    void recordAdmissionShed(uint64_t samples);
+    /** @p samples expired in queue; shed at dispatch. */
+    void recordExpired(uint64_t samples);
+    /** The deadline reaper completed @p samples with Timeout. */
+    void recordTimeout(uint64_t samples);
+    /** A worker dropped the completion of @p samples (chaos). */
+    void recordDroppedCompletion(uint64_t samples);
+    /** A batch of @p samples failed after @p busyNs of worker time. */
+    void recordBatchFailed(uint64_t samples, sim::Tick busyNs);
+    void recordRetry();
+    void recordRetrySuccess();
+    void recordRetriesExhausted();
+    void recordBreakerTransition(BreakerState state);
+    void recordBreakerFastFail(uint64_t samples);
+    /** @p samples were served through the degraded/fallback path. */
+    void recordDegraded(uint64_t samples);
+    void recordDegradeMode(bool entered);
 
     void setWorkers(int64_t workers);
 

@@ -7,6 +7,13 @@
 namespace mlperf {
 namespace serving {
 
+namespace {
+
+/** Per-observation weight of the shed-rate EWMA. */
+constexpr double kShedEwmaAlpha = 0.1;
+
+} // namespace
+
 ServingSut::ServingSut(sim::Executor &executor,
                        BatchInference &inference, ServingOptions options)
     : executor_(executor), inference_(inference), options_(options)
@@ -16,14 +23,36 @@ ServingSut::ServingSut(sim::Executor &executor,
         mode_ = executor_.virtualTime() ? WorkerMode::Events
                                         : WorkerMode::Threads;
     }
+
+    if (options_.admission.enabled()) {
+        admission_ =
+            std::make_unique<AdmissionController>(options_.admission);
+    }
+    // The tracker is needed whenever completions must be observed:
+    // deadlines (reaper) or admission (budget release).
+    if (options_.queryDeadlineNs != 0 || admission_) {
+        tracker_ = std::make_shared<CompletionTracker>(
+            executor_, stats_, admission_.get());
+    }
+
+    BatchInference *engine = &inference_;
+    if (options_.retry.enabled() || options_.breaker.enabled ||
+        options_.fallback != nullptr) {
+        resilient_ = std::make_unique<ResilientInference>(
+            executor_, inference_, options_.fallback, options_.retry,
+            options_.breaker, stats_);
+        engine = resilient_.get();
+    }
+
+    const bool trackerActive = tracker_ != nullptr;
     if (mode_ == WorkerMode::Threads) {
         pool_ = std::make_unique<ThreadWorkerPool>(
-            executor_, inference_, stats_, options_.workers,
-            options_.queueCapacityBatches);
+            executor_, *engine, stats_, options_.workers,
+            options_.queueCapacityBatches, trackerActive);
     } else {
         pool_ = std::make_unique<EventWorkerPool>(
-            executor_, inference_, stats_, options_.workers,
-            options_.queueCapacityBatches);
+            executor_, *engine, stats_, options_.workers,
+            options_.queueCapacityBatches, trackerActive);
     }
     batcher_ = std::make_unique<DynamicBatcher>(
         executor_, options_.maxBatch, options_.batchTimeoutNs,
@@ -42,13 +71,66 @@ ServingSut::name() const
 }
 
 void
+ServingSut::noteShedSignal(uint64_t samples, bool shed)
+{
+    if (options_.degradeShedRateThreshold <= 0.0 || !resilient_ ||
+        options_.fallback == nullptr) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(degradeMutex_);
+    const double target = shed ? 1.0 : 0.0;
+    for (uint64_t i = 0; i < samples; ++i)
+        shedEwma_ += kShedEwmaAlpha * (target - shedEwma_);
+    // Hysteresis: engage at the threshold, release at half of it, so
+    // the SUT does not flap between fp32 and the fallback on noise.
+    if (!degradeEngaged_ &&
+        shedEwma_ >= options_.degradeShedRateThreshold) {
+        degradeEngaged_ = true;
+        resilient_->setDegraded(true);
+        stats_.recordDegradeMode(true);
+        MLPERF_LOG(Warn) << name() << ": shed-rate EWMA " << shedEwma_
+                         << " crossed "
+                         << options_.degradeShedRateThreshold
+                         << ", entering degraded mode";
+    } else if (degradeEngaged_ &&
+               shedEwma_ <= options_.degradeShedRateThreshold / 2.0) {
+        degradeEngaged_ = false;
+        resilient_->setDegraded(false);
+        stats_.recordDegradeMode(false);
+        MLPERF_LOG(Info) << name()
+                         << ": shed-rate recovered, leaving degraded "
+                            "mode";
+    }
+}
+
+void
 ServingSut::issueQuery(const std::vector<loadgen::QuerySample> &samples,
                        loadgen::ResponseDelegate &delegate)
 {
     const uint64_t depth = batcher_->pending() +
                            pool_->queuedSamples() + samples.size();
     stats_.recordIssued(samples.size(), depth);
-    batcher_->enqueue(samples, delegate);
+
+    if (admission_ &&
+        !admission_->tryAdmit(samples.size(), depth - samples.size())) {
+        stats_.recordAdmissionShed(samples.size());
+        noteShedSignal(samples.size(), true);
+        delegate.querySamplesComplete(
+            errorResponses(samples, loadgen::ResponseStatus::Shed));
+        return;
+    }
+    noteShedSignal(samples.size(), false);
+
+    sim::Tick deadline = 0;
+    if (options_.queryDeadlineNs != 0)
+        deadline = executor_.now() + options_.queryDeadlineNs;
+
+    loadgen::ResponseDelegate *target = &delegate;
+    if (tracker_) {
+        tracker_->track(samples, delegate, deadline);
+        target = tracker_.get();
+    }
+    batcher_->enqueue(samples, *target, deadline);
 }
 
 void
@@ -60,8 +142,17 @@ ServingSut::flushQueries()
 void
 ServingSut::shutdown()
 {
+    if (shutdownDone_)
+        return;
+    shutdownDone_ = true;
+    // Flush-then-drain: emit held batches, join/drain the workers so
+    // no completion is in flight, then time out whatever the tracker
+    // still holds (lost completions). After this no code path touches
+    // the LoadGen's delegate again.
     batcher_->flush();
     pool_->shutdown();
+    if (tracker_)
+        tracker_->drain();
 }
 
 void
@@ -76,13 +167,11 @@ void
 ServingSut::shedBatch(const Batch &batch)
 {
     stats_.recordShed(batch.items.size());
+    noteShedSignal(batch.items.size(), true);
     MLPERF_LOG(Warn) << name() << ": worker queue full, shedding "
                      << batch.items.size() << " sample(s)";
-    std::vector<loadgen::QuerySampleResponse> responses;
-    responses.reserve(batch.items.size());
-    for (const BatchItem &item : batch.items)
-        responses.push_back({item.sample.id, ""});
-    completeBatch(batch, responses);
+    completeBatch(batch, errorResponses(
+                             batch, loadgen::ResponseStatus::Shed));
 }
 
 } // namespace serving

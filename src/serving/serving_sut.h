@@ -3,8 +3,9 @@
  * ServingSut: the concurrent serving runtime packaged as a
  * loadgen::SystemUnderTest.
  *
- * Pipeline:  issueQuery -> DynamicBatcher -> bounded queue ->
- * WorkerPool -> BatchInference -> ResponseDelegate (async).
+ * Pipeline:  issueQuery -> admission control -> DynamicBatcher ->
+ * bounded queue -> WorkerPool -> [ResilientInference ->]
+ * BatchInference -> [CompletionTracker ->] ResponseDelegate (async).
  *
  * The paper's server scenario measures how a SUT copes with
  * "multiple users submitting concurrent, independent queries"
@@ -16,12 +17,26 @@
  * every stage (queue depth, time-in-queue, batch size, utilization,
  * shed queries).
  *
+ * Fault tolerance (all off by default; see ServingOptions):
+ *
+ *  - admission control sheds queries beyond an in-flight/queue budget
+ *    at issueQuery (Shed status) — bounded queueing delay;
+ *  - per-query deadlines: expired samples are shed at dispatch, and a
+ *    CompletionTracker reaper completes anything still outstanding at
+ *    the deadline with Timeout status, so a wedged worker or dropped
+ *    completion can never hang the run;
+ *  - retries + circuit breaker around the inference functor
+ *    (ResilientInference);
+ *  - graceful degradation: a fallback engine (e.g. an int8 plan)
+ *    serves batches, marked Degraded, while the breaker is open or
+ *    the shed-rate monitor is tripped.
+ *
  * Overload policy: when the worker queue is full the whole batch is
- * *shed* — each sample is completed immediately with an empty
- * payload (a fast-fail, like an HTTP 503). Shed samples count as
- * wrong answers in accuracy mode and as suspiciously-fast responses
- * in performance mode, and are surfaced in StatsSnapshot; they never
- * leave the LoadGen waiting on a response that will not come.
+ * *shed* — each sample is completed immediately with an empty payload
+ * and Shed status (a fast-fail, like an HTTP 503). Error-status
+ * samples count against their query in validity determination and are
+ * surfaced in StatsSnapshot; they never leave the LoadGen waiting on
+ * a response that will not come.
  */
 
 #ifndef MLPERF_SERVING_SERVING_SUT_H
@@ -33,6 +48,8 @@
 #include "loadgen/sut.h"
 #include "serving/batch_inference.h"
 #include "serving/batcher.h"
+#include "serving/completion_tracker.h"
+#include "serving/resilience.h"
 #include "serving/serving_stats.h"
 #include "serving/worker_pool.h"
 #include "sim/executor.h"
@@ -66,6 +83,34 @@ struct ServingOptions
      */
     size_t queueCapacityBatches = 64;
     WorkerMode mode = WorkerMode::Auto;
+
+    // ---- Resilience (defaults disable every feature).
+    /**
+     * Per-query completion deadline relative to issue; 0 = none.
+     * Enables the CompletionTracker: expired samples are shed at
+     * dispatch, and samples not completed by the deadline (wedged
+     * worker, dropped completion) are completed with Timeout status.
+     * Wired from TestSettings::serverQueryDeadlineNs by the harness.
+     */
+    sim::Tick queryDeadlineNs = 0;
+    /** In-flight / queue-depth budgets; zeros = no admission control. */
+    AdmissionOptions admission;
+    /** Retry policy for transient faults; maxAttempts=1 = off. */
+    RetryOptions retry;
+    /** Circuit breaker; enabled=false = off. */
+    BreakerOptions breaker;
+    /**
+     * Optional degraded-path engine (not owned; must outlive the
+     * SUT). Serves batches — marked Degraded — when the breaker is
+     * open, after retries are exhausted, or while the shed-rate
+     * monitor is tripped.
+     */
+    BatchInference *fallback = nullptr;
+    /**
+     * EWMA shed-rate at which degraded mode engages (exit at half of
+     * it — hysteresis); 0 disables the monitor. Needs `fallback`.
+     */
+    double degradeShedRateThreshold = 0.0;
 };
 
 class ServingSut : public loadgen::SystemUnderTest
@@ -82,8 +127,11 @@ class ServingSut : public loadgen::SystemUnderTest
 
     /**
      * Drain and release the workers (idempotent; the destructor
-     * calls it). After shutdown the stats snapshot is final —
-     * benches call this before computing utilization.
+     * calls it). Ordering matters for teardown safety: flush the
+     * batcher, join/drain the worker pool, then complete any samples
+     * the tracker still holds (Timeout) — after that no late worker
+     * or reaper event can reach the LoadGen's delegate. After
+     * shutdown the stats snapshot is final.
      */
     void shutdown();
 
@@ -95,17 +143,36 @@ class ServingSut : public loadgen::SystemUnderTest
     /** The worker flavor Auto resolved to. */
     WorkerMode resolvedMode() const { return mode_; }
 
+    /** Resilience wrapper, if any feature enabled it (else null). */
+    ResilientInference *resilient() { return resilient_.get(); }
+
+    /** Samples registered with the tracker but not yet completed. */
+    uint64_t outstandingTracked() const
+    {
+        return tracker_ ? tracker_->outstanding() : 0;
+    }
+
   private:
     void onBatchFormed(Batch &&batch);
     void shedBatch(const Batch &batch);
+    /** Feed the shed-rate EWMA and flip degraded mode (hysteresis). */
+    void noteShedSignal(uint64_t samples, bool shed);
 
     sim::Executor &executor_;
     BatchInference &inference_;
     ServingOptions options_;
     WorkerMode mode_;
     ServingStats stats_;
+    std::unique_ptr<AdmissionController> admission_;
+    std::shared_ptr<CompletionTracker> tracker_;
+    std::unique_ptr<ResilientInference> resilient_;
     std::unique_ptr<WorkerPool> pool_;
     std::unique_ptr<DynamicBatcher> batcher_;
+
+    std::mutex degradeMutex_;
+    double shedEwma_ = 0.0;
+    bool degradeEngaged_ = false;
+    bool shutdownDone_ = false;
 };
 
 } // namespace serving

@@ -19,6 +19,63 @@ batchSamples(const Batch &batch)
     return samples;
 }
 
+/**
+ * Shed items whose deadline passed while queued: complete them with
+ * Timeout status instead of wasting a worker slot on an answer nobody
+ * will accept. Mutates @p batch to hold only live items; returns the
+ * count shed.
+ */
+uint64_t
+shedExpired(Batch &batch, sim::Tick now, ServingStats &stats)
+{
+    bool anyExpired = false;
+    for (const BatchItem &item : batch.items) {
+        if (item.deadline != 0 && item.deadline <= now) {
+            anyExpired = true;
+            break;
+        }
+    }
+    if (!anyExpired)
+        return 0;
+    Batch expired;
+    expired.formedAt = batch.formedAt;
+    expired.reason = batch.reason;
+    std::vector<BatchItem> live;
+    live.reserve(batch.items.size());
+    for (BatchItem &item : batch.items) {
+        if (item.deadline != 0 && item.deadline <= now)
+            expired.items.push_back(std::move(item));
+        else
+            live.push_back(std::move(item));
+    }
+    batch.items = std::move(live);
+    stats.recordExpired(expired.items.size());
+    completeBatch(expired, errorResponses(
+                               expired, loadgen::ResponseStatus::Timeout));
+    return expired.items.size();
+}
+
+/**
+ * Convert a batch-level fault into completions + accounting. A
+ * DropCompletion fault with a tracker in place is the one case where
+ * deliberately not answering is correct — the deadline reaper (or the
+ * shutdown drain) completes the samples, which is the failure being
+ * simulated. Everything else completes with Failed status so the
+ * LoadGen never hangs on a faulty SUT.
+ */
+void
+handleBatchFault(FaultKind kind, const Batch &batch, sim::Tick busy_ns,
+                 ServingStats &stats, bool tracker_active)
+{
+    if (kind == FaultKind::DropCompletion && tracker_active) {
+        stats.recordDroppedCompletion(batch.items.size());
+        return;
+    }
+    stats.recordBatchFailed(batch.items.size(), busy_ns);
+    completeBatch(batch, errorResponses(
+                             batch, loadgen::ResponseStatus::Failed));
+}
+
 } // namespace
 
 // --------------------------------------------------- ThreadWorkerPool
@@ -26,9 +83,10 @@ batchSamples(const Batch &batch)
 ThreadWorkerPool::ThreadWorkerPool(sim::Executor &executor,
                                    BatchInference &inference,
                                    ServingStats &stats, int64_t workers,
-                                   size_t queue_capacity)
+                                   size_t queue_capacity,
+                                   bool tracker_active)
     : executor_(executor), inference_(inference), stats_(stats),
-      queue_(queue_capacity)
+      trackerActive_(tracker_active), queue_(queue_capacity)
 {
     workers = std::max<int64_t>(1, workers);
     stats_.setWorkers(workers);
@@ -76,12 +134,27 @@ ThreadWorkerPool::process(Batch &&batch)
 {
     queuedSamples_ -= batch.items.size();
     const sim::Tick start = executor_.now();
+    shedExpired(batch, start, stats_);
+    if (batch.items.empty())
+        return;
     stats_.recordDispatch(batch, start);
-    const auto responses = inference_.runBatch(batchSamples(batch));
-    completeBatch(batch, responses);
-    const sim::Tick end = executor_.now();
-    stats_.recordBatchDone(batch.items.size(),
-                           end >= start ? end - start : 0);
+    try {
+        const auto responses = inference_.runBatch(batchSamples(batch));
+        completeBatch(batch, responses);
+        const sim::Tick end = executor_.now();
+        stats_.recordBatchDone(batch.items.size(),
+                               end >= start ? end - start : 0);
+    } catch (const InferenceFault &fault) {
+        const sim::Tick end = executor_.now();
+        handleBatchFault(fault.kind(), batch,
+                         end >= start ? end - start : 0, stats_,
+                         trackerActive_);
+    } catch (const std::exception &) {
+        const sim::Tick end = executor_.now();
+        handleBatchFault(FaultKind::Permanent, batch,
+                         end >= start ? end - start : 0, stats_,
+                         trackerActive_);
+    }
 }
 
 // ---------------------------------------------------- EventWorkerPool
@@ -89,8 +162,10 @@ ThreadWorkerPool::process(Batch &&batch)
 EventWorkerPool::EventWorkerPool(sim::Executor &executor,
                                  BatchInference &inference,
                                  ServingStats &stats, int64_t workers,
-                                 size_t queue_capacity)
+                                 size_t queue_capacity,
+                                 bool tracker_active)
     : executor_(executor), inference_(inference), stats_(stats),
+      trackerActive_(tracker_active),
       workers_(std::max<int64_t>(1, workers)),
       queueCapacity_(queue_capacity)
 {
@@ -117,6 +192,11 @@ EventWorkerPool::dispatch()
         queuedSamples_ -= batch.items.size();
 
         const sim::Tick now = executor_.now();
+        // Shed before serviceTimeNs so the inference functor (and any
+        // chaos plan keyed off the batch) only ever sees live items.
+        shedExpired(batch, now, stats_);
+        if (batch.items.empty())
+            continue;
         stats_.recordDispatch(batch, now);
         const sim::Tick service =
             inference_.serviceTimeNs(batchSamples(batch), now);
@@ -133,9 +213,17 @@ EventWorkerPool::finishBatch(const Batch &batch, sim::Tick service_ns)
 {
     // runBatch is instantaneous in host time; virtual time already
     // advanced by the modeled service time.
-    const auto responses = inference_.runBatch(batchSamples(batch));
-    completeBatch(batch, responses);
-    stats_.recordBatchDone(batch.items.size(), service_ns);
+    try {
+        const auto responses = inference_.runBatch(batchSamples(batch));
+        completeBatch(batch, responses);
+        stats_.recordBatchDone(batch.items.size(), service_ns);
+    } catch (const InferenceFault &fault) {
+        handleBatchFault(fault.kind(), batch, service_ns, stats_,
+                         trackerActive_);
+    } catch (const std::exception &) {
+        handleBatchFault(FaultKind::Permanent, batch, service_ns,
+                         stats_, trackerActive_);
+    }
     --busyWorkers_;
     dispatch();
 }

@@ -60,9 +60,17 @@ class WorkerPool
 class ThreadWorkerPool : public WorkerPool
 {
   public:
+    /**
+     * @param tracker_active true when a CompletionTracker stands
+     *        between the pool and the LoadGen: a DropCompletion fault
+     *        may then be swallowed (the reaper completes the samples);
+     *        without a tracker it is completed as Failed so the run
+     *        never hangs.
+     */
     ThreadWorkerPool(sim::Executor &executor,
                      BatchInference &inference, ServingStats &stats,
-                     int64_t workers, size_t queue_capacity);
+                     int64_t workers, size_t queue_capacity,
+                     bool tracker_active = false);
     ~ThreadWorkerPool() override;
 
     bool submit(Batch &batch) override;
@@ -81,6 +89,7 @@ class ThreadWorkerPool : public WorkerPool
     sim::Executor &executor_;
     BatchInference &inference_;
     ServingStats &stats_;
+    const bool trackerActive_;
     BoundedQueue<Batch> queue_;
     std::atomic<uint64_t> queuedSamples_{0};
     std::vector<std::thread> threads_;
@@ -96,9 +105,11 @@ class ThreadWorkerPool : public WorkerPool
 class EventWorkerPool : public WorkerPool
 {
   public:
+    /** @param tracker_active see ThreadWorkerPool. */
     EventWorkerPool(sim::Executor &executor,
                     BatchInference &inference, ServingStats &stats,
-                    int64_t workers, size_t queue_capacity);
+                    int64_t workers, size_t queue_capacity,
+                    bool tracker_active = false);
 
     bool submit(Batch &batch) override;
     void shutdown() override {}
@@ -112,6 +123,7 @@ class EventWorkerPool : public WorkerPool
     sim::Executor &executor_;
     BatchInference &inference_;
     ServingStats &stats_;
+    const bool trackerActive_;
     const int64_t workers_;
     const size_t queueCapacity_;  //!< batches; 0 = unbounded
     std::deque<Batch> queue_;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -63,6 +64,65 @@ TEST(BoundedQueue, BlockingPushWaitsForSpace)
     EXPECT_EQ(*queue.pop(), 1);
     EXPECT_EQ(*queue.pop(), 2);
     producer.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducersPromptly)
+{
+    // Shutdown regression: producers blocked in push() on a full
+    // queue must observe close() promptly — a missed notification on
+    // the producer CV would leave worker shutdown hanging forever.
+    BoundedQueue<int> queue(1);
+    int a = 1;
+    ASSERT_TRUE(queue.tryPush(a));
+
+    constexpr int kBlocked = 3;
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kBlocked; ++p) {
+        producers.emplace_back([&queue, &rejected, p] {
+            if (!queue.push(100 + p))  // blocks: queue stays full
+                rejected.fetch_add(1);
+        });
+    }
+    // Give the producers time to block on the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    const auto close_start = std::chrono::steady_clock::now();
+    queue.close();
+    for (auto &t : producers)
+        t.join();
+    const auto waited =
+        std::chrono::steady_clock::now() - close_start;
+
+    EXPECT_EQ(rejected.load(), kBlocked);
+    EXPECT_LT(waited, std::chrono::milliseconds(100));
+    EXPECT_EQ(*queue.pop(), 1);  // pre-close item still drains
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumersPromptly)
+{
+    BoundedQueue<int> queue(4);
+    constexpr int kBlocked = 3;
+    std::atomic<int> woke{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kBlocked; ++c) {
+        consumers.emplace_back([&queue, &woke] {
+            if (!queue.pop().has_value())  // blocks: queue is empty
+                woke.fetch_add(1);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    const auto close_start = std::chrono::steady_clock::now();
+    queue.close();
+    for (auto &t : consumers)
+        t.join();
+    const auto waited =
+        std::chrono::steady_clock::now() - close_start;
+
+    EXPECT_EQ(woke.load(), kBlocked);
+    EXPECT_LT(waited, std::chrono::milliseconds(100));
 }
 
 TEST(BoundedQueue, ConcurrentProducersAndConsumers)
