@@ -8,15 +8,20 @@
  * in production models" (Sec. VIII's discussion of DeepBench).
  *
  * Every kernel benchmark reports a GFLOPS counter so the kernel-perf
- * trajectory is comparable across PRs. Set MLPERF_BENCH_JSON=<path>
- * (or pass --benchmark_out=... yourself) to additionally emit the
- * full google-benchmark JSON for the BENCH_* tracking harness.
+ * trajectory is comparable across PRs. The prepacked-constant
+ * benchmarks additionally report pack_fraction (share of a repacking
+ * GEMM call spent packing B) and saved_ns_per_call (per-query ns won
+ * by compile-time packing / epilogue fusion). Set
+ * MLPERF_BENCH_JSON=<path> (or pass --benchmark_out=... yourself) to
+ * additionally emit the full google-benchmark JSON for the BENCH_*
+ * tracking harness.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -192,6 +197,100 @@ BM_GemmNaive(benchmark::State &state)
 }
 BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
 
+/** Median-free ns/call of @p fn over @p reps calls (after 1 warmup). */
+template <typename Fn>
+double
+timeNsPerCall(int reps, Fn &&fn)
+{
+    fn();
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   stop - start)
+                   .count()) /
+           reps;
+}
+
+void
+BM_GemmPrepackedFp32(benchmark::State &state)
+{
+    // Steady-state serving shape: B (the weights) was packed once at
+    // compile time; only A streams per call. Compared inline against
+    // gemm(), which repacks B every call, to report how much of each
+    // query the pack step was costing.
+    const int64_t n = state.range(0);
+    ThreadPool::setGlobalThreads(1);
+    Tensor a = randomTensor(Shape{n, n}, 1);
+    Tensor b = randomTensor(Shape{n, n}, 2);
+    const tensor::PackedMatrix packed =
+        tensor::packMatrixB(b.data(), n, n, /*b_trans=*/false);
+    Tensor c(Shape{n, n});
+    for (auto _ : state) {
+        tensor::gemmPrepacked(a.data(), packed, c.data(), n, n, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    const int reps = 10;
+    const double repack_ns = timeNsPerCall(reps, [&] {
+        tensor::gemm(a.data(), b.data(), c.data(), n, n, n);
+    });
+    const double prepacked_ns = timeNsPerCall(reps, [&] {
+        tensor::gemmPrepacked(a.data(), packed, c.data(), n, n, n);
+    });
+    const double saved = repack_ns - prepacked_ns;
+    state.counters["pack_fraction"] = benchmark::Counter(
+        repack_ns > 0.0 ? std::max(0.0, saved / repack_ns) : 0.0);
+    state.counters["saved_ns_per_call"] = benchmark::Counter(saved);
+    setFlops(state, 2 * n * n * n);
+}
+BENCHMARK(BM_GemmPrepackedFp32)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_GemmEpilogueFused(benchmark::State &state)
+{
+    // Bias+ReLU folded into the micro-kernel tail while the C tile is
+    // hot, vs the same prepacked GEMM followed by a separate
+    // elementwise pass that re-streams C through memory.
+    const int64_t n = state.range(0);
+    ThreadPool::setGlobalThreads(1);
+    Tensor a = randomTensor(Shape{n, n}, 1);
+    Tensor b = randomTensor(Shape{n, n}, 2);
+    Tensor bias = randomTensor(Shape{n}, 3);
+    const tensor::PackedMatrix packed =
+        tensor::packMatrixB(b.data(), n, n, /*b_trans=*/false);
+    Tensor c(Shape{n, n});
+    tensor::GemmEpilogue ep;
+    ep.bias = bias.data();
+    ep.relu = true;
+    for (auto _ : state) {
+        tensor::gemmPrepacked(a.data(), packed, c.data(), n, n, n, ep);
+        benchmark::DoNotOptimize(c.data());
+    }
+    const auto separate = [&] {
+        tensor::gemmPrepacked(a.data(), packed, c.data(), n, n, n);
+        float *cd = c.data();
+        const float *bd = bias.data();
+        for (int64_t i = 0; i < n; ++i) {
+            float *row = cd + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+                const float v = row[j] + bd[j];
+                row[j] = v < 0.0f ? 0.0f : v;
+            }
+        }
+    };
+    const int reps = 10;
+    const double separate_ns = timeNsPerCall(reps, separate);
+    const double fused_ns = timeNsPerCall(reps, [&] {
+        tensor::gemmPrepacked(a.data(), packed, c.data(), n, n, n, ep);
+    });
+    state.counters["saved_ns_per_call"] =
+        benchmark::Counter(separate_ns - fused_ns);
+    setFlops(state, 2 * n * n * n);
+}
+BENCHMARK(BM_GemmEpilogueFused)->Arg(128)->Arg(256)->Arg(512);
+
 void
 BM_DenseForward(benchmark::State &state)
 {
@@ -252,6 +351,61 @@ BM_GemmInt8Naive(benchmark::State &state)
     setFlops(state, 2 * n * n * n);
 }
 BENCHMARK(BM_GemmInt8Naive)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmInt8Prepacked(benchmark::State &state)
+{
+    // Prepacked int8 weights + fused requantize epilogue (the
+    // quantized layers' steady-state path), compared inline against
+    // gemmInt8 (which packs per call) plus a separate requant pass.
+    const int64_t n = state.range(0);
+    ThreadPool::setGlobalThreads(1);
+    std::vector<int8_t> a(n * n), b(n * n);
+    Rng rng(3);
+    for (auto &v : a)
+        v = static_cast<int8_t>(rng.nextInRange(-127, 127));
+    for (auto &v : b)
+        v = static_cast<int8_t>(rng.nextInRange(-127, 127));
+    std::vector<float> scale(n, 0.05f), bias(n, 0.1f), c(n * n);
+    std::vector<int32_t> corr(n, 3), acc(n * n);
+    const quant::PackedInt8 packed =
+        quant::packInt8A(a.data(), n, n);
+    quant::QuantEpilogue ep;
+    ep.scale = scale.data();
+    ep.corr = corr.data();
+    ep.bias = bias.data();
+    ep.perRow = true;
+    ep.relu = true;
+    for (auto _ : state) {
+        quant::gemmInt8PrepackedA(packed, b.data(), c.data(), n, n, n,
+                                  ep);
+        benchmark::DoNotOptimize(c.data());
+    }
+    const auto separate = [&] {
+        quant::gemmInt8(a.data(), b.data(), acc.data(), n, n, n);
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+                float v = scale[i] *
+                              static_cast<float>(acc[i * n + j] -
+                                                 corr[i]) +
+                          bias[i];
+                c[i * n + j] = v < 0.0f ? 0.0f : v;
+            }
+        }
+    };
+    const int reps = 10;
+    const double separate_ns = timeNsPerCall(reps, separate);
+    const double prepacked_ns = timeNsPerCall(reps, [&] {
+        quant::gemmInt8PrepackedA(packed, b.data(), c.data(), n, n, n,
+                                  ep);
+    });
+    const double saved = separate_ns - prepacked_ns;
+    state.counters["pack_fraction"] = benchmark::Counter(
+        separate_ns > 0.0 ? std::max(0.0, saved / separate_ns) : 0.0);
+    state.counters["saved_ns_per_call"] = benchmark::Counter(saved);
+    setFlops(state, 2 * n * n * n);
+}
+BENCHMARK(BM_GemmInt8Prepacked)->Arg(64)->Arg(128)->Arg(256);
 
 void
 BM_Conv2d(benchmark::State &state)
@@ -388,16 +542,48 @@ BM_ModelForwardEager(benchmark::State &state)
 }
 BENCHMARK(BM_ModelForwardEager)->Arg(1)->Arg(8)->ArgName("batch");
 
+/**
+ * A dense-heavy MLP (all GEMMs clear the packed-kernel threshold at
+ * batch 1): the counterpart model for the prepack A/B comparison,
+ * since conv-heavy and dense-heavy models stress different operand
+ * sides of the prepacked GEMM.
+ */
+nn::Sequential
+makeMlp()
+{
+    nn::Sequential model("bench-mlp");
+    auto dense = [](int64_t in, int64_t out, bool relu,
+                    uint64_t seed) {
+        Rng rng(seed);
+        return std::make_unique<nn::DenseLayer>(
+            nn::heNormal(Shape{out, in}, in, rng), nn::zeroBias(out),
+            relu);
+    };
+    model.add(dense(kModelC * kModelH * kModelW, 512, true, 30));
+    model.add(dense(512, 512, true, 31));
+    model.add(dense(512, 256, true, 32));
+    model.add(dense(256, 10, false, 33));
+    return model;
+}
+
+/**
+ * Shared body for the compiled-model benches: runs @p model with the
+ * constant section on or off (state.range(1)), reporting per-query
+ * allocations, arena/constant footprints, and GFLOPS. The prepack=0
+ * rows are the A/B baseline the prepack=1 per-query ns delta is read
+ * against.
+ */
 void
-BM_ModelForwardCompiled(benchmark::State &state)
+benchCompiledForward(benchmark::State &state,
+                     const nn::Sequential &model, Shape sample_shape,
+                     const Tensor &input)
 {
     const int64_t batch = state.range(0);
     ThreadPool::setGlobalThreads(1);
-    const nn::Sequential model = makeResnetish();
-    const nn::CompiledModel compiled(
-        model, Shape{kModelC, kModelH, kModelW});
-    const Tensor input = randomTensor(
-        Shape{batch, kModelC, kModelH, kModelW}, 20);
+    nn::CompileOptions options;
+    options.prepackConstants = state.range(1) != 0;
+    const nn::CompiledModel compiled(model, std::move(sample_shape),
+                                     options);
     nn::ExecutionInstance &instance = nn::ExecutionInstance::thread();
     // Warm up: builds the plan, grows the arena and kernel scratch.
     for (int i = 0; i < 2; ++i) {
@@ -426,10 +612,39 @@ BM_ModelForwardCompiled(benchmark::State &state)
         static_cast<double>(plan.arenaFloats) * 4.0 / 1024.0);
     state.counters["naive_kb"] = benchmark::Counter(
         static_cast<double>(plan.naiveFloats) * 4.0 / 1024.0);
+    state.counters["const_kb"] = benchmark::Counter(
+        static_cast<double>(plan.constantBytes) / 1024.0);
     setFlops(state,
              static_cast<int64_t>(model.flops(input.shape())));
 }
-BENCHMARK(BM_ModelForwardCompiled)->Arg(1)->Arg(8)->ArgName("batch");
+
+void
+BM_ModelForwardCompiled(benchmark::State &state)
+{
+    const int64_t batch = state.range(0);
+    const nn::Sequential model = makeResnetish();
+    const Tensor input = randomTensor(
+        Shape{batch, kModelC, kModelH, kModelW}, 20);
+    benchCompiledForward(state, model,
+                         Shape{kModelC, kModelH, kModelW}, input);
+}
+BENCHMARK(BM_ModelForwardCompiled)
+    ->ArgsProduct({{1, 8}, {0, 1}})
+    ->ArgNames({"batch", "prepack"});
+
+void
+BM_MlpForwardCompiled(benchmark::State &state)
+{
+    const int64_t batch = state.range(0);
+    const nn::Sequential model = makeMlp();
+    const Tensor input = randomTensor(
+        Shape{batch, kModelC * kModelH * kModelW}, 21);
+    benchCompiledForward(state, model,
+                         Shape{kModelC * kModelH * kModelW}, input);
+}
+BENCHMARK(BM_MlpForwardCompiled)
+    ->ArgsProduct({{1, 8}, {0, 1}})
+    ->ArgNames({"batch", "prepack"});
 
 void
 BM_QuantizeBuffer(benchmark::State &state)

@@ -7,7 +7,8 @@
 # the logging concurrency test, the compute substrate (intra-op
 # thread pool, scratch arena, parallel GEMM/conv kernels), and the
 # compiled execution runtime (concurrent ExecutionInstances sharing
-# one CompiledModel, plan cache, graph passes, memory planner).
+# one CompiledModel, plan cache, graph passes, memory planner, and
+# concurrent readers streaming the shared prepacked constant section).
 #
 # `scripts/check.sh tier1` is the fast feedback path instead: a plain
 # build plus `ctest -L tier1`, skipping the expensive model and
@@ -28,7 +29,7 @@ command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
 run_suite() {
     build_dir="$1"
     ctest --test-dir "$build_dir" --output-on-failure \
-          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|CompiledModel|ModelGraph|MemoryPlanner'
+          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|GemmPrepacked|Int8Prepacked|CompiledModel|ModelGraph|MemoryPlanner'
 }
 
 if [ "$MODE" = "tier1" ]; then

@@ -46,6 +46,20 @@ opKindName(OpKind kind)
     return "unknown";
 }
 
+bool
+opSupportsFusedEpilogue(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::Conv2d:
+    case OpKind::Dense:
+    case OpKind::QConv2d:
+    case OpKind::QDense:
+        return true;
+    default:
+        return false;
+    }
+}
+
 ModelGraph
 ModelGraph::fromSequential(const Sequential &model)
 {
@@ -98,6 +112,7 @@ ModelGraph::replaceNodeLayer(int id, std::unique_ptr<Layer> layer,
     GraphNode &n = node(id);
     n.layer = ownLayer(std::move(layer));
     n.kind = kind;
+    n.fusableEpilogue = opSupportsFusedEpilogue(kind);
 }
 
 namespace {
@@ -282,12 +297,26 @@ ModelGraph::eliminateDeadNodes()
     return removed;
 }
 
+int
+ModelGraph::markFusableEpilogues()
+{
+    int marked = 0;
+    for (GraphNode &n : nodes_) {
+        n.fusableEpilogue =
+            n.layer != nullptr && opSupportsFusedEpilogue(n.kind);
+        if (n.fusableEpilogue)
+            ++marked;
+    }
+    return marked;
+}
+
 void
 ModelGraph::runDefaultPasses()
 {
     foldBatchNorm();
     fuseRelu();
     eliminateDeadNodes();
+    markFusableEpilogues();
 }
 
 std::vector<Shape>

@@ -36,6 +36,14 @@ namespace nn {
 
 const char *opKindName(OpKind kind);
 
+/**
+ * True for op kinds whose layers can pre-pack their weights at
+ * compile time and fuse the bias/ReLU/requantize epilogue into the
+ * GEMM tail (see Layer::prepare). Depthwise convs are excluded: the
+ * direct kernel already fuses its post-ops and has nothing to pack.
+ */
+bool opSupportsFusedEpilogue(OpKind kind);
+
 /** Node operand id naming the graph input rather than another node. */
 constexpr int kGraphInput = -1;
 
@@ -68,6 +76,12 @@ struct GraphNode
     std::vector<int> inputs;
     /** Apply ReLU to the output buffer after the op (fusion post-op). */
     bool postRelu = false;
+    /**
+     * Marked by markFusableEpilogues(): the plan builder may prepack
+     * this node's weights and fuse its epilogue (bias/postRelu/
+     * requantize) into the kernel tail.
+     */
+    bool fusableEpilogue = false;
     std::string label;
 };
 
@@ -127,7 +141,16 @@ class ModelGraph
     /** Remove nodes unreachable from the output; returns count. */
     int eliminateDeadNodes();
 
-    /** The standard pipeline: fold BN, fuse ReLU, then DCE. */
+    /**
+     * Mark nodes whose kind supports compile-time weight prepacking
+     * with a fused epilogue (see opSupportsFusedEpilogue); returns the
+     * number marked. Runs after the other passes so fused post-ReLUs
+     * are visible; replaceNodeLayer keeps the mark current when
+     * quantization retargets a node.
+     */
+    int markFusableEpilogues();
+
+    /** The standard pipeline: fold BN, fuse ReLU, DCE, mark fusable. */
     void runDefaultPasses();
 
     // ------------------------------------------------ shape query

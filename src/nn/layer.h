@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "tensor/tensor.h"
@@ -40,6 +41,35 @@ enum class OpKind
     QDepthwiseConv2d,
     QDense,
     Opaque,    //!< any other layer; executes via Layer::forwardInto
+};
+
+/**
+ * A layer's compile-time-prepared execution state: weights packed once
+ * into the micro-kernel's panel layout (the plan's constant-data
+ * section) plus a fused epilogue — bias, ReLU, int8 requantize —
+ * applied while each output tile is still cache-hot. Built by
+ * Layer::prepare() when a CompiledModel constructs a plan; immutable
+ * afterwards and shared read-only across all worker threads running
+ * that model.
+ */
+class PreparedKernel
+{
+  public:
+    virtual ~PreparedKernel() = default;
+
+    /**
+     * Execute the layer from/into caller buffers, same contract as
+     * Layer::forwardInto, except any post-op fused at prepare() time
+     * (including a graph-level post-ReLU) is already applied — the
+     * executor must not re-run it. Heap-allocation-free in steady
+     * state: scratch comes from the thread-local arena, constants
+     * from the prepack done at build time.
+     */
+    virtual void run(const float *input, const tensor::Shape &in_shape,
+                     float *out) const = 0;
+
+    /** Bytes of prepacked constant data this kernel owns. */
+    virtual int64_t constantBytes() const = 0;
 };
 
 class Layer
@@ -74,6 +104,20 @@ class Layer
         std::copy(input, input + x.numel(), x.data());
         const tensor::Tensor y = forward(x);
         std::copy(y.data(), y.data() + y.numel(), out);
+    }
+
+    /**
+     * Build this layer's prepacked compile-time form, folding
+     * @p post_relu (a graph-level fused ReLU on the node) into the
+     * epilogue. Returns null when the layer has no prepacked path —
+     * the compiled executor then falls back to forwardInto plus a
+     * separate post-ReLU pass. Called once per (layer, post_relu)
+     * at plan-build time, never on the query path.
+     */
+    virtual std::unique_ptr<PreparedKernel> prepare(bool post_relu) const
+    {
+        (void)post_relu;
+        return nullptr;
     }
 
     /** Shape produced for a given input shape (used for FLOP chains). */

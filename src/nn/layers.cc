@@ -12,6 +12,111 @@ namespace nn {
 using tensor::Shape;
 using tensor::Tensor;
 
+namespace {
+
+/** Conv weights packed as the A operand of the im2col GEMM, with
+ *  bias + ReLU fused into the kernel epilogue. */
+class PreparedConv2d final : public PreparedKernel
+{
+  public:
+    PreparedConv2d(const Tensor &weight, const std::vector<float> &bias,
+                   const tensor::Conv2dParams &params, bool relu)
+        : weights_(tensor::packMatrixA(
+              weight.data(), weight.shape().dim(0),
+              weight.numel() / weight.shape().dim(0))),
+          raw_(weight), bias_(bias), params_(params), relu_(relu)
+    {
+    }
+
+    void
+    run(const float *input, const Shape &in_shape,
+        float *out) const override
+    {
+        const int64_t out_hw = params_.outH(in_shape.dim(2)) *
+                               params_.outW(in_shape.dim(3));
+        // Mirror the eager kernel's small-shape dispatch so compiled
+        // results stay bit-identical to Layer::forward at every shape;
+        // there is no pack step to skip below the threshold anyway.
+        if (tensor::gemmUsesSmallPath(weights_.rows(), out_hw,
+                                      weights_.cols())) {
+            tensor::conv2dInto(input, in_shape.dim(0), in_shape.dim(1),
+                               in_shape.dim(2), in_shape.dim(3), raw_,
+                               bias_.empty() ? nullptr : bias_.data(),
+                               params_, relu_, out);
+            return;
+        }
+        tensor::conv2dPrepackedInto(
+            input, in_shape.dim(0), in_shape.dim(1), in_shape.dim(2),
+            in_shape.dim(3), weights_,
+            bias_.empty() ? nullptr : bias_.data(), params_, relu_,
+            out);
+    }
+
+    int64_t constantBytes() const override { return weights_.bytes(); }
+
+  private:
+    tensor::PackedMatrix weights_;
+    const Tensor &raw_;               //!< owned by the layer
+    const std::vector<float> &bias_;  //!< owned by the layer
+    tensor::Conv2dParams params_;
+    bool relu_;
+};
+
+/** Dense weights packed (transpose absorbed) as the B operand, with
+ *  bias + ReLU fused into the kernel epilogue. */
+class PreparedDense final : public PreparedKernel
+{
+  public:
+    PreparedDense(const Tensor &weight, const std::vector<float> &bias,
+                  bool relu)
+        : weights_(tensor::packMatrixB(
+              weight.data(), weight.shape().dim(1),
+              weight.shape().dim(0), /*b_trans=*/true)),
+          raw_(weight), bias_(bias), relu_(relu)
+    {
+    }
+
+    void
+    run(const float *input, const Shape &in_shape,
+        float *out) const override
+    {
+        const int64_t batch = in_shape.dim(0);
+        const int64_t in = in_shape.dim(1);
+        const int64_t features = weights_.cols();
+        // Mirror the eager kernel's small-shape dispatch so compiled
+        // results stay bit-identical to Layer::forward at every shape;
+        // there is no pack step to skip below the threshold anyway.
+        if (tensor::gemmUsesSmallPath(batch, features, in)) {
+            tensor::denseForward(raw_.data(),
+                                 bias_.empty() ? nullptr : bias_.data(),
+                                 input, out, batch, in, features);
+            if (relu_) {
+                for (int64_t i = 0; i < batch * features; ++i) {
+                    if (out[i] < 0.0f)
+                        out[i] = 0.0f;
+                }
+            }
+            return;
+        }
+        tensor::GemmEpilogue epilogue;
+        epilogue.bias = bias_.empty() ? nullptr : bias_.data();
+        epilogue.biasPerRow = false;  // C columns are output features
+        epilogue.relu = relu_;
+        tensor::gemmPrepacked(input, weights_, out, batch, features, in,
+                              epilogue);
+    }
+
+    int64_t constantBytes() const override { return weights_.bytes(); }
+
+  private:
+    tensor::PackedMatrix weights_;
+    const Tensor &raw_;               //!< owned by the layer
+    const std::vector<float> &bias_;  //!< owned by the layer
+    bool relu_;
+};
+
+} // namespace
+
 // ---------------------------------------------------------------- Conv2d
 
 Conv2dLayer::Conv2dLayer(Tensor weight, std::vector<float> bias,
@@ -54,6 +159,13 @@ uint64_t
 Conv2dLayer::paramCount() const
 {
     return static_cast<uint64_t>(weight_.numel()) + bias_.size();
+}
+
+std::unique_ptr<PreparedKernel>
+Conv2dLayer::prepare(bool post_relu) const
+{
+    return std::make_unique<PreparedConv2d>(weight_, bias_, params_,
+                                            fuseRelu_ || post_relu);
 }
 
 uint64_t
@@ -173,6 +285,13 @@ uint64_t
 DenseLayer::paramCount() const
 {
     return static_cast<uint64_t>(weight_.numel()) + bias_.size();
+}
+
+std::unique_ptr<PreparedKernel>
+DenseLayer::prepare(bool post_relu) const
+{
+    return std::make_unique<PreparedDense>(weight_, bias_,
+                                           fuseRelu_ || post_relu);
 }
 
 uint64_t

@@ -37,6 +37,10 @@ class Conv2dLayer : public Layer
     OpKind opKind() const override { return OpKind::Conv2d; }
     std::string name() const override { return "conv2d"; }
 
+    /** Prepacked weights + fused bias/ReLU epilogue (tensor::conv). */
+    std::unique_ptr<PreparedKernel> prepare(bool post_relu) const
+        override;
+
     const tensor::Tensor &weight() const { return weight_; }
     const std::vector<float> &bias() const { return bias_; }
     const tensor::Conv2dParams &params() const { return params_; }
@@ -95,6 +99,10 @@ class DenseLayer : public Layer
     uint64_t flops(const tensor::Shape &input) const override;
     OpKind opKind() const override { return OpKind::Dense; }
     std::string name() const override { return "dense"; }
+
+    /** Prepacked W^T panels + fused bias/ReLU epilogue. */
+    std::unique_ptr<PreparedKernel> prepare(bool post_relu) const
+        override;
 
     const tensor::Tensor &weight() const { return weight_; }
     const std::vector<float> &bias() const { return bias_; }

@@ -15,7 +15,7 @@ using tensor::Tensor;
 CompiledModel::CompiledModel(const Sequential &model,
                              Shape sample_shape, CompileOptions options)
     : graph_(ModelGraph::fromSequential(model)),
-      sampleShape_(std::move(sample_shape))
+      sampleShape_(std::move(sample_shape)), options_(options)
 {
     if (options.foldBatchNorm)
         graph_.foldBatchNorm();
@@ -23,32 +23,83 @@ CompiledModel::CompiledModel(const Sequential &model,
         graph_.fuseRelu();
     if (options.eliminateDeadNodes)
         graph_.eliminateDeadNodes();
+    graph_.markFusableEpilogues();
 }
 
-CompiledModel::CompiledModel(ModelGraph graph, Shape sample_shape)
-    : graph_(std::move(graph)), sampleShape_(std::move(sample_shape))
+CompiledModel::CompiledModel(ModelGraph graph, Shape sample_shape,
+                             CompileOptions options)
+    : graph_(std::move(graph)), sampleShape_(std::move(sample_shape)),
+      options_(options)
 {
+    graph_.markFusableEpilogues();
 }
 
 void
 CompiledModel::invalidatePlans()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     plans_.clear();
+    // The packed constants were built from the graph's previous
+    // layers; after a mutation (e.g. quantizeGraph swapped fp32 convs
+    // for int8 ones) they would execute the old weights. Drop them so
+    // the next planFor() re-prepares from the current layers.
+    constants_.clear();
+    graph_.markFusableEpilogues();
 }
 
 const Plan &
 CompiledModel::planFor(int64_t batch) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = plans_.find(batch);
+        if (it != plans_.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     auto it = plans_.find(batch);
     if (it == plans_.end()) {
-        it = plans_
-                 .emplace(batch,
-                          std::make_unique<Plan>(buildPlan(batch)))
-                 .first;
+        auto plan = std::make_unique<Plan>(buildPlan(batch));
+        if (options_.prepackConstants)
+            attachConstants(*plan);
+        it = plans_.emplace(batch, std::move(plan)).first;
     }
     return *it->second;
+}
+
+int64_t
+CompiledModel::constantBytes() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    int64_t total = 0;
+    for (const auto &entry : constants_)
+        total += entry.second->constantBytes();
+    return total;
+}
+
+void
+CompiledModel::attachConstants(Plan &plan) const
+{
+    for (PlanStep &step : plan.steps) {
+        // Only nodes the graph pass marked may prepack; the mark is
+        // kept current by replaceNodeLayer and invalidatePlans.
+        if (step.layer == nullptr || !step.fusableEpilogue)
+            continue;
+        const auto key = std::make_pair(step.layer, step.postRelu);
+        auto it = constants_.find(key);
+        if (it == constants_.end()) {
+            std::unique_ptr<PreparedKernel> kernel =
+                step.layer->prepare(step.postRelu);
+            if (kernel == nullptr)
+                continue;
+            it = constants_.emplace(key, std::move(kernel)).first;
+        }
+        step.prepared = it->second.get();
+    }
+    int64_t total = 0;
+    for (const auto &entry : constants_)
+        total += entry.second->constantBytes();
+    plan.constantBytes = total;
 }
 
 Plan
@@ -118,6 +169,7 @@ CompiledModel::buildPlan(int64_t batch) const
         step.kind = n.kind;
         step.layer = n.layer;
         step.postRelu = n.postRelu;
+        step.fusableEpilogue = n.fusableEpilogue;
         step.inShape = shapeFor(n.inputs[0]);
         step.outShape = shapes[static_cast<size_t>(id)];
         step.label = n.label;
@@ -225,6 +277,13 @@ ExecutionInstance::run(const CompiledModel &model, int64_t batch)
                 for (int64_t i = 0; i < out_n; ++i)
                     out[i] = in0[i] + in1[i];
             }
+            continue;
+        }
+        if (step.prepared != nullptr) {
+            // Prepacked fast path: weights stream from the constant
+            // section and the epilogue (bias/postRelu/requantize) is
+            // fused into the kernel tail — no separate pass.
+            step.prepared->run(in0, step.inShape, out);
             continue;
         }
         step.layer->forwardInto(in0, step.inShape, out);

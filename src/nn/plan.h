@@ -6,11 +6,13 @@
  * plan out of one thread-local grow-only arena.
  *
  * Threading model: a CompiledModel is immutable after construction
- * apart from its internal plan cache, which is mutex-guarded, so any
- * number of serving workers may share one CompiledModel. Each worker
- * runs its own ExecutionInstance (one per thread via thread()), so
- * query execution touches no shared mutable state and performs zero
- * heap allocations in steady state.
+ * apart from its internal plan cache and prepacked constant section,
+ * which are guarded by a shared_mutex (readers take only the shared
+ * lock, so steady-state lookups never serialize), so any number of
+ * serving workers may share one CompiledModel. Each worker runs its
+ * own ExecutionInstance (one per thread via thread()), so query
+ * execution touches no shared mutable state beyond the read-only
+ * constants and performs zero heap allocations in steady state.
  *
  * Correctness contract: for every model and batch size, running the
  * compiled plan must match the eager Sequential::forward reference
@@ -25,7 +27,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/graph.h"
@@ -39,6 +43,14 @@ struct CompileOptions
     bool foldBatchNorm = true;
     bool fuseRelu = true;
     bool eliminateDeadNodes = true;
+    /**
+     * Pack conv/dense/int8 weights once at plan-build time into the
+     * micro-kernel panel layout (the plan's constant-data section)
+     * and fuse bias/ReLU/requantize epilogues into the kernel tail,
+     * so the steady-state query path never repacks a weight or runs
+     * a separate elementwise pass. Off only for A/B benchmarking.
+     */
+    bool prepackConstants = true;
 };
 
 /** One executable op with resolved arena offsets (in floats). */
@@ -46,7 +58,17 @@ struct PlanStep
 {
     OpKind kind = OpKind::Opaque;
     const Layer *layer = nullptr;  //!< null only for Add
+    /**
+     * Prepacked fast path for this step, owned by the CompiledModel's
+     * constant section and shared read-only across threads; null when
+     * the layer has none (executor falls back to forwardInto). When
+     * set, the kernel's fused epilogue already covers postRelu.
+     */
+    const PreparedKernel *prepared = nullptr;
     bool postRelu = false;
+    /** Copied from the graph node's markFusableEpilogues() mark; only
+     *  marked steps are eligible for a prepared kernel. */
+    bool fusableEpilogue = false;
     tensor::Shape inShape;   //!< shape of operand 0
     tensor::Shape outShape;
     int64_t in0 = 0;
@@ -68,6 +90,8 @@ struct Plan
     int64_t inputNumel = 0;
     int64_t outputOffset = 0;
     int64_t outputNumel = 0;
+    /** Bytes of prepacked constants referenced by this plan's steps. */
+    int64_t constantBytes = 0;
     tensor::Shape inputShape;
     tensor::Shape outputShape;
 };
@@ -88,7 +112,8 @@ class CompiledModel
                   CompileOptions options = {});
 
     /** Adopt an already-lowered (and typically optimized) graph. */
-    CompiledModel(ModelGraph graph, tensor::Shape sample_shape);
+    CompiledModel(ModelGraph graph, tensor::Shape sample_shape,
+                  CompileOptions options = {});
 
     CompiledModel(const CompiledModel &) = delete;
     CompiledModel &operator=(const CompiledModel &) = delete;
@@ -98,19 +123,48 @@ class CompiledModel
     ModelGraph &graph() { return graph_; }
     const tensor::Shape &sampleShape() const { return sampleShape_; }
 
-    /** Drop cached plans (after the graph is mutated, e.g. quantized). */
+    /**
+     * Drop cached plans AND the prepacked constant section (after the
+     * graph is mutated, e.g. by quantizeGraph) — stale packed weights
+     * must never outlive the layers they were packed from. The next
+     * planFor() rebuilds both from the current graph.
+     */
     void invalidatePlans();
 
-    /** The plan for @p batch, built on first use. Thread-safe. */
+    /**
+     * The plan for @p batch, built on first use. Thread-safe: steady-
+     * state lookups take only a shared (reader) lock, so concurrent
+     * workers never serialize on this hot read-only path; the
+     * exclusive lock is taken once per new batch size to build.
+     */
     const Plan &planFor(int64_t batch) const;
+
+    /** Total bytes in the prepacked constant section. */
+    int64_t constantBytes() const;
 
   private:
     Plan buildPlan(int64_t batch) const;
 
+    /**
+     * Resolve each step's prepared kernel from the constant cache,
+     * building missing entries via Layer::prepare. Caller must hold
+     * the exclusive lock.
+     */
+    void attachConstants(Plan &plan) const;
+
     ModelGraph graph_;
     tensor::Shape sampleShape_;
-    mutable std::mutex mutex_;
+    CompileOptions options_;
+    mutable std::shared_mutex mutex_;
     mutable std::map<int64_t, std::unique_ptr<Plan>> plans_;
+    /**
+     * Constant-data section: one prepacked kernel per (layer,
+     * postRelu) pair, shared by every plan (all batch sizes) and
+     * read-only once published by planFor's exclusive section.
+     */
+    mutable std::map<std::pair<const Layer *, bool>,
+                     std::unique_ptr<PreparedKernel>>
+        constants_;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/parallel.h"
@@ -265,6 +266,100 @@ resolveMicroKernelInt8()
 
 const MicroKernelInt8Fn kMicroKernelInt8 = resolveMicroKernelInt8();
 
+/**
+ * Variant consuming a packed A micro-panel (kMrI8 rows, k-major,
+ * zero-padded — the compile-time weight layout) instead of raw row
+ * pointers. Same generic/AVX2 clone scheme as microKernelInt8Body.
+ */
+inline __attribute__((always_inline)) void
+microKernelInt8PackedBody(int64_t kc, const int8_t *__restrict ap,
+                          const int8_t *__restrict bp,
+                          int32_t *__restrict acc)
+{
+    for (int64_t kk = 0; kk < kc; ++kk) {
+        const int8_t *__restrict a_col = ap + kk * kMrI8;
+        const int8_t *__restrict b_row = bp + kk * kNrI8;
+        for (int64_t r = 0; r < kMrI8; ++r) {
+            const int32_t a = a_col[r];
+            int32_t *acc_row = acc + r * kNrI8;
+            for (int64_t j = 0; j < kNrI8; ++j)
+                acc_row[j] += a * static_cast<int32_t>(b_row[j]);
+        }
+    }
+}
+
+using MicroKernelInt8PackedFn = void (*)(int64_t, const int8_t *,
+                                         const int8_t *, int32_t *);
+
+void
+microKernelInt8PackedGeneric(int64_t kc, const int8_t *ap,
+                             const int8_t *bp, int32_t *acc)
+{
+    microKernelInt8PackedBody(kc, ap, bp, acc);
+}
+
+#if MLPERF_QUANT_X86_DISPATCH
+__attribute__((target("avx2"))) void
+microKernelInt8PackedAvx2(int64_t kc, const int8_t *ap,
+                          const int8_t *bp, int32_t *acc)
+{
+    microKernelInt8PackedBody(kc, ap, bp, acc);
+}
+#endif
+
+MicroKernelInt8PackedFn
+resolveMicroKernelInt8Packed()
+{
+#if MLPERF_QUANT_X86_DISPATCH
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return microKernelInt8PackedAvx2;
+#endif
+    return microKernelInt8PackedGeneric;
+}
+
+const MicroKernelInt8PackedFn kMicroKernelInt8Packed =
+    resolveMicroKernelInt8Packed();
+
+/**
+ * Requantize the valid rows x cols corner of one finished int32
+ * accumulator tile (kMrI8 x kNrI8) straight into the float output.
+ * The expression mirrors the eager quantized layers exactly so int8
+ * results stay bit-exact.
+ */
+void
+applyQuantEpilogue(const int32_t *acc, float *c, int64_t ldc,
+                   int64_t rows, int64_t cols, int64_t row0,
+                   int64_t col0, const QuantEpilogue &ep)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        float *c_row = c + r * ldc;
+        const int32_t *acc_row = acc + r * kNrI8;
+        for (int64_t j = 0; j < cols; ++j) {
+            const int64_t o = ep.perRow ? row0 + r : col0 + j;
+            const int32_t corr =
+                ep.corr == nullptr ? 0 : ep.corr[o];
+            float v = ep.scale[o] *
+                          static_cast<float>(acc_row[j] - corr) +
+                      (ep.bias == nullptr ? 0.0f : ep.bias[o]);
+            if (ep.relu && v < 0.0f)
+                v = 0.0f;
+            c_row[j] = v;
+        }
+    }
+}
+
+/** 64-byte-aligned allocation for a PackedInt8 of @p count codes. */
+int8_t *
+allocPackedInt8(int64_t count, int64_t *bytes_out)
+{
+    const size_t bytes = (static_cast<size_t>(count) + 63) / 64 * 64;
+    int8_t *raw = static_cast<int8_t *>(std::aligned_alloc(64, bytes));
+    assert(raw != nullptr);
+    *bytes_out = static_cast<int64_t>(bytes);
+    return raw;
+}
+
 } // namespace
 
 void
@@ -317,6 +412,155 @@ gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
                     for (int64_t jj = 0; jj < cols; ++jj)
                         c_row[jj] = acc[r * kNrI8 + jj];
                 }
+            }
+        }
+    };
+    if (m * n * k >= kParallelMacsI8 && !ThreadPool::inWorker())
+        parallelFor(0, m_blocks, 1, row_blocks);
+    else
+        row_blocks(0, m_blocks);
+}
+
+// ------------------------------------------------ prepacked constants
+
+PackedInt8
+packInt8A(const int8_t *a, int64_t m, int64_t k)
+{
+    PackedInt8 p;
+    p.rows_ = m;
+    p.cols_ = k;
+    p.aSide_ = true;
+    const int64_t m_panels = (m + kMrI8 - 1) / kMrI8;
+    int8_t *raw = allocPackedInt8(m_panels * k * kMrI8, &p.bytes_);
+    p.data_ = std::unique_ptr<int8_t, void (*)(void *)>(raw, std::free);
+
+    for (int64_t ip = 0; ip < m_panels; ++ip) {
+        int8_t *dst = raw + ip * k * kMrI8;
+        const int64_t i0 = ip * kMrI8;
+        const int64_t rows = std::min(kMrI8, m - i0);
+        for (int64_t kk = 0; kk < k; ++kk) {
+            for (int64_t r = 0; r < rows; ++r)
+                dst[kk * kMrI8 + r] = a[(i0 + r) * k + kk];
+            for (int64_t r = rows; r < kMrI8; ++r)
+                dst[kk * kMrI8 + r] = 0;
+        }
+    }
+    return p;
+}
+
+PackedInt8
+packInt8B(const int8_t *b, int64_t k, int64_t n, bool b_trans)
+{
+    PackedInt8 p;
+    p.rows_ = k;
+    p.cols_ = n;
+    p.aSide_ = false;
+    const int64_t n_panels = (n + kNrI8 - 1) / kNrI8;
+    int8_t *raw = allocPackedInt8(n_panels * k * kNrI8, &p.bytes_);
+    p.data_ = std::unique_ptr<int8_t, void (*)(void *)>(raw, std::free);
+
+    for (int64_t jp = 0; jp < n_panels; ++jp) {
+        int8_t *dst = raw + jp * k * kNrI8;
+        const int64_t j0 = jp * kNrI8;
+        const int64_t cols = std::min(kNrI8, n - j0);
+        for (int64_t kk = 0; kk < k; ++kk) {
+            if (b_trans) {
+                for (int64_t jj = 0; jj < cols; ++jj)
+                    dst[kk * kNrI8 + jj] = b[(j0 + jj) * k + kk];
+            } else {
+                const int8_t *row = b + kk * n + j0;
+                for (int64_t jj = 0; jj < cols; ++jj)
+                    dst[kk * kNrI8 + jj] = row[jj];
+            }
+            for (int64_t jj = cols; jj < kNrI8; ++jj)
+                dst[kk * kNrI8 + jj] = 0;
+        }
+    }
+    return p;
+}
+
+void
+gemmInt8PrepackedA(const PackedInt8 &a, const int8_t *b, float *c,
+                   int64_t m, int64_t n, int64_t k,
+                   const QuantEpilogue &epilogue)
+{
+    assert(a.aSide_ && a.rows_ == m && a.cols_ == k);
+    assert(epilogue.scale != nullptr);
+
+    // Pack the per-query activation matrix B into kNr panels in the
+    // scratch arena; the weight panels stream from the constant
+    // section with zero packing work.
+    ScratchArena &arena = ScratchArena::thread();
+    ScratchFrame frame(arena);
+    const int64_t n_panels = (n + kNrI8 - 1) / kNrI8;
+    int8_t *bpack = arena.alloc<int8_t>(n_panels * k * kNrI8);
+    for (int64_t jp = 0; jp < n_panels; ++jp) {
+        int8_t *dst = bpack + jp * k * kNrI8;
+        const int64_t j0 = jp * kNrI8;
+        const int64_t cols = std::min(kNrI8, n - j0);
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const int8_t *row = b + kk * n + j0;
+            for (int64_t jj = 0; jj < cols; ++jj)
+                dst[kk * kNrI8 + jj] = row[jj];
+            for (int64_t jj = cols; jj < kNrI8; ++jj)
+                dst[kk * kNrI8 + jj] = 0;
+        }
+    }
+
+    const int8_t *adata = a.data_.get();
+    const int64_t m_blocks = (m + kMrI8 - 1) / kMrI8;
+    auto row_blocks = [&](int64_t begin, int64_t end) {
+        int32_t acc[kMrI8 * kNrI8];
+        for (int64_t bi = begin; bi < end; ++bi) {
+            const int64_t i0 = bi * kMrI8;
+            const int64_t rows = std::min(kMrI8, m - i0);
+            const int8_t *ap = adata + bi * k * kMrI8;
+            for (int64_t jp = 0; jp < n_panels; ++jp) {
+                std::memset(acc, 0, sizeof(acc));
+                kMicroKernelInt8Packed(k, ap,
+                                       bpack + jp * k * kNrI8, acc);
+                const int64_t j0 = jp * kNrI8;
+                const int64_t cols = std::min(kNrI8, n - j0);
+                applyQuantEpilogue(acc, c + i0 * n + j0, n, rows,
+                                   cols, i0, j0, epilogue);
+            }
+        }
+    };
+    if (m * n * k >= kParallelMacsI8 && !ThreadPool::inWorker())
+        parallelFor(0, m_blocks, 1, row_blocks);
+    else
+        row_blocks(0, m_blocks);
+}
+
+void
+gemmInt8PrepackedB(const int8_t *a, const PackedInt8 &b, float *c,
+                   int64_t m, int64_t n, int64_t k,
+                   const QuantEpilogue &epilogue)
+{
+    assert(!b.aSide_ && b.rows_ == k && b.cols_ == n);
+    assert(epilogue.scale != nullptr);
+
+    const int8_t *bdata = b.data_.get();
+    const int64_t n_panels = (n + kNrI8 - 1) / kNrI8;
+    const int64_t m_blocks = (m + kMrI8 - 1) / kMrI8;
+    auto row_blocks = [&](int64_t begin, int64_t end) {
+        const int8_t *a_rows[kMrI8];
+        int32_t acc[kMrI8 * kNrI8];
+        for (int64_t bi = begin; bi < end; ++bi) {
+            const int64_t i0 = bi * kMrI8;
+            const int64_t rows = std::min(kMrI8, m - i0);
+            // Point padding rows at row 0 (see gemmInt8): their
+            // products are computed but never requantized.
+            for (int64_t r = 0; r < kMrI8; ++r)
+                a_rows[r] = a + (i0 + std::min(r, rows - 1)) * k;
+            for (int64_t jp = 0; jp < n_panels; ++jp) {
+                std::memset(acc, 0, sizeof(acc));
+                kMicroKernelInt8(k, a_rows, bdata + jp * k * kNrI8,
+                                 acc);
+                const int64_t j0 = jp * kNrI8;
+                const int64_t cols = std::min(kNrI8, n - j0);
+                applyQuantEpilogue(acc, c + i0 * n + j0, n, rows,
+                                   cols, i0, j0, epilogue);
             }
         }
     };

@@ -14,6 +14,7 @@
 #define MLPERF_QUANT_QUANT_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,105 @@ void gemmInt8(const int8_t *a, const int8_t *b, int32_t *c,
 /** Unoptimized reference the property tests compare gemmInt8 against. */
 void gemmInt8Naive(const int8_t *a, const int8_t *b, int32_t *c,
                    int64_t m, int64_t n, int64_t k);
+
+/**
+ * Fused requantize epilogue for the prepacked int8 kernels: each
+ * int32 accumulator tile is converted straight to float output while
+ * still in L1 — v = scale[o] * float(acc - corr[o]) + bias[o], then
+ * an optional ReLU clamp — so no int32 intermediate matrix is ever
+ * written to memory. The per-output-channel index o is the C row
+ * (conv's [O, outHW] layout) when perRow, else the C column (dense's
+ * [batch, out] layout). Accumulation is exact in int32 and the float
+ * expression matches the eager layers term for term, so results stay
+ * bit-exact against the eager reference.
+ */
+struct QuantEpilogue
+{
+    const float *scale = nullptr;  //!< combined weight x act scale
+    const int32_t *corr = nullptr; //!< act zero-point correction
+    const float *bias = nullptr;   //!< may be null (adds 0.0f)
+    bool perRow = true;
+    bool relu = false;
+};
+
+class PackedInt8;
+
+/**
+ * Pack the left (A, m x k) int8 operand — a quantized conv weight —
+ * once into kMr-row k-major micro-panels, zero-padded past m.
+ */
+PackedInt8 packInt8A(const int8_t *a, int64_t m, int64_t k);
+
+/**
+ * Pack the right (B, k x n) int8 operand — a quantized dense weight —
+ * once into kNr-column k-major micro-panels. When @p b_trans, @p b is
+ * stored [n x k] row-major and the pack absorbs the transpose.
+ */
+PackedInt8 packInt8B(const int8_t *b, int64_t k, int64_t n,
+                     bool b_trans);
+
+/**
+ * C(float) = requant(packedA * B): int8 GEMM over compile-time-packed
+ * weights with the requantize epilogue fused into the kernel tail.
+ * B (the im2col activation matrix) is packed per-call into the
+ * scratch arena. The quantized conv layers run on this.
+ */
+void gemmInt8PrepackedA(const PackedInt8 &a, const int8_t *b, float *c,
+                        int64_t m, int64_t n, int64_t k,
+                        const QuantEpilogue &epilogue);
+
+/**
+ * C(float) = requant(A * packedB): the dense twin of
+ * gemmInt8PrepackedA — activations on the A side are consumed row-
+ * major in place, the prepacked weight panels stream from the
+ * constant section.
+ */
+void gemmInt8PrepackedB(const int8_t *a, const PackedInt8 &b, float *c,
+                        int64_t m, int64_t n, int64_t k,
+                        const QuantEpilogue &epilogue);
+
+/**
+ * An int8 operand packed once at model compile time into the int8
+ * micro-kernel's full-k panel layout. 64-byte-aligned, immutable,
+ * shared read-only across worker threads. Move-only.
+ */
+class PackedInt8
+{
+  public:
+    PackedInt8() = default;
+    PackedInt8(PackedInt8 &&) = default;
+    PackedInt8 &operator=(PackedInt8 &&) = default;
+    PackedInt8(const PackedInt8 &) = delete;
+    PackedInt8 &operator=(const PackedInt8 &) = delete;
+
+    /** Logical dims: m x k (A side) or k x n (B side). */
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    bool aSide() const { return aSide_; }
+
+    /** Footprint of the packed constant data in bytes. */
+    int64_t bytes() const { return bytes_; }
+    bool empty() const { return data_ == nullptr; }
+
+  private:
+    friend PackedInt8 packInt8A(const int8_t *a, int64_t m, int64_t k);
+    friend PackedInt8 packInt8B(const int8_t *b, int64_t k, int64_t n,
+                                bool b_trans);
+    friend void gemmInt8PrepackedA(const PackedInt8 &a, const int8_t *b,
+                                   float *c, int64_t m, int64_t n,
+                                   int64_t k,
+                                   const QuantEpilogue &epilogue);
+    friend void gemmInt8PrepackedB(const int8_t *a, const PackedInt8 &b,
+                                   float *c, int64_t m, int64_t n,
+                                   int64_t k,
+                                   const QuantEpilogue &epilogue);
+
+    std::unique_ptr<int8_t, void (*)(void *)> data_{nullptr, nullptr};
+    int64_t rows_ = 0;
+    int64_t cols_ = 0;
+    int64_t bytes_ = 0;
+    bool aSide_ = false;
+};
 
 } // namespace quant
 } // namespace mlperf

@@ -80,6 +80,152 @@ im2colInt8(const int8_t *input, int64_t channels, int64_t h, int64_t w,
     }
 }
 
+/**
+ * Combined per-channel requantize constants: scale[o] = weightScale[o]
+ * * actScale and corr[o] = actZeroPoint * rowSums[o], precomputed once
+ * at prepare() time exactly as the eager layers compute them per call,
+ * so the fused epilogue stays bit-exact.
+ */
+struct RequantConstants
+{
+    std::vector<float> scale;
+    std::vector<int32_t> corr;
+
+    RequantConstants(const QuantizedWeights &w, const QuantParams &act)
+        : scale(w.scales.size()), corr(w.rowSums.size())
+    {
+        for (size_t o = 0; o < w.scales.size(); ++o) {
+            scale[o] = w.scales[o] * act.scale;
+            corr[o] = act.zeroPoint * w.rowSums[o];
+        }
+    }
+
+    int64_t bytes() const
+    {
+        return static_cast<int64_t>(scale.size() * sizeof(float) +
+                                    corr.size() * sizeof(int32_t));
+    }
+};
+
+/** Int8 conv weights packed as the A operand of the im2col GEMM; the
+ *  requantize + bias + ReLU epilogue runs in the kernel tail, so the
+ *  int32 accumulator never round-trips through memory. */
+class PreparedQuantConv2d final : public nn::PreparedKernel
+{
+  public:
+    PreparedQuantConv2d(const QuantizedWeights &w,
+                        const std::vector<float> &bias,
+                        const QuantParams &act,
+                        const tensor::Conv2dParams &conv, int64_t in_c,
+                        bool relu)
+        : weights_(packInt8A(w.data.data(), w.channels, w.perChannel)),
+          requant_(w, act), bias_(bias), actParams_(act),
+          convParams_(conv), inC_(in_c), outC_(w.channels), relu_(relu)
+    {
+    }
+
+    void
+    run(const float *input, const Shape &in_shape,
+        float *out_buf) const override
+    {
+        const int64_t n = in_shape.dim(0);
+        const int64_t h = in_shape.dim(2);
+        const int64_t w = in_shape.dim(3);
+        const int64_t out_hw =
+            convParams_.outH(h) * convParams_.outW(w);
+        const int64_t patch = weights_.cols();
+        const int8_t pad_code =
+            static_cast<int8_t>(actParams_.quantize(0.0f));
+
+        QuantEpilogue epilogue;
+        epilogue.scale = requant_.scale.data();
+        epilogue.corr = requant_.corr.data();
+        epilogue.bias = bias_.empty() ? nullptr : bias_.data();
+        epilogue.perRow = true;  // C rows are output channels
+        epilogue.relu = relu_;
+
+        ScratchArena &arena = ScratchArena::thread();
+        ScratchFrame frame(arena);
+        int8_t *qx = arena.alloc<int8_t>(inC_ * h * w);
+        int8_t *col = arena.alloc<int8_t>(patch * out_hw);
+        for (int64_t ni = 0; ni < n; ++ni) {
+            const float *img = input + ni * inC_ * h * w;
+            quantizeBuffer(img, qx, inC_ * h * w, actParams_);
+            im2colInt8(qx, inC_, h, w, convParams_, pad_code, col);
+            gemmInt8PrepackedA(weights_, col,
+                               out_buf + ni * outC_ * out_hw, outC_,
+                               out_hw, patch, epilogue);
+        }
+    }
+
+    int64_t constantBytes() const override
+    {
+        return weights_.bytes() + requant_.bytes();
+    }
+
+  private:
+    PackedInt8 weights_;
+    RequantConstants requant_;
+    const std::vector<float> &bias_;  //!< owned by the layer
+    QuantParams actParams_;
+    tensor::Conv2dParams convParams_;
+    int64_t inC_;
+    int64_t outC_;
+    bool relu_;
+};
+
+/** Int8 dense weights packed (transpose absorbed) as the B operand
+ *  with the fused requantize epilogue. */
+class PreparedQuantDense final : public nn::PreparedKernel
+{
+  public:
+    PreparedQuantDense(const QuantizedWeights &w,
+                       const std::vector<float> &bias,
+                       const QuantParams &act, int64_t in, int64_t out,
+                       bool relu)
+        : weights_(packInt8B(w.data.data(), in, out, /*b_trans=*/true)),
+          requant_(w, act), bias_(bias), actParams_(act), in_(in),
+          out_(out), relu_(relu)
+    {
+    }
+
+    void
+    run(const float *input, const Shape &in_shape,
+        float *out_buf) const override
+    {
+        const int64_t batch = in_shape.dim(0);
+        const int64_t numel = in_shape.numel();
+
+        QuantEpilogue epilogue;
+        epilogue.scale = requant_.scale.data();
+        epilogue.corr = requant_.corr.data();
+        epilogue.bias = bias_.empty() ? nullptr : bias_.data();
+        epilogue.perRow = false;  // C columns are output features
+        epilogue.relu = relu_;
+
+        ScratchArena &arena = ScratchArena::thread();
+        ScratchFrame frame(arena);
+        int8_t *qx = arena.alloc<int8_t>(numel);
+        quantizeBuffer(input, qx, numel, actParams_);
+        gemmInt8PrepackedB(qx, weights_, out_buf, batch, out_, in_,
+                           epilogue);
+    }
+
+    int64_t constantBytes() const override
+    {
+        return weights_.bytes() + requant_.bytes();
+    }
+
+  private:
+    PackedInt8 weights_;
+    RequantConstants requant_;
+    const std::vector<float> &bias_;  //!< owned by the layer
+    QuantParams actParams_;
+    int64_t in_;
+    int64_t out_;
+    bool relu_;
+};
+
 } // namespace
 
 // ------------------------------------------------------ QuantizedDense
@@ -140,6 +286,14 @@ QuantizedDenseLayer::forwardInto(const float *input,
             y_row[o] = v;
         }
     }
+}
+
+std::unique_ptr<nn::PreparedKernel>
+QuantizedDenseLayer::prepare(bool post_relu) const
+{
+    return std::make_unique<PreparedQuantDense>(
+        weights_, bias_, actParams_, in_, out_,
+        fuseRelu_ || post_relu);
 }
 
 Shape
@@ -236,6 +390,14 @@ QuantizedConv2dLayer::forwardInto(const float *input,
             }
         }
     }
+}
+
+std::unique_ptr<nn::PreparedKernel>
+QuantizedConv2dLayer::prepare(bool post_relu) const
+{
+    return std::make_unique<PreparedQuantConv2d>(
+        weights_, bias_, actParams_, convParams_, inC_,
+        fuseRelu_ || post_relu);
 }
 
 Shape

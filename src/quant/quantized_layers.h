@@ -56,6 +56,10 @@ class QuantizedDenseLayer : public nn::Layer
     nn::OpKind opKind() const override { return nn::OpKind::QDense; }
     std::string name() const override { return "q_dense"; }
 
+    /** Prepacked int8 W^T panels + fused requantize epilogue. */
+    std::unique_ptr<nn::PreparedKernel> prepare(bool post_relu) const
+        override;
+
   private:
     QuantizedWeights weights_;
     std::vector<float> bias_;
@@ -81,6 +85,10 @@ class QuantizedConv2dLayer : public nn::Layer
     uint64_t flops(const tensor::Shape &input) const override;
     nn::OpKind opKind() const override { return nn::OpKind::QConv2d; }
     std::string name() const override { return "q_conv2d"; }
+
+    /** Prepacked int8 weight panels + fused requantize epilogue. */
+    std::unique_ptr<nn::PreparedKernel> prepare(bool post_relu) const
+        override;
 
   private:
     QuantizedWeights weights_;

@@ -94,6 +94,43 @@ conv2dInto(const float *input, int64_t n, int64_t c, int64_t h,
         parallelFor(0, n, 1, image_range);
 }
 
+void
+conv2dPrepackedInto(const float *input, int64_t n, int64_t c, int64_t h,
+                    int64_t w, const PackedMatrix &weights,
+                    const float *bias, const Conv2dParams &p, bool relu,
+                    float *out)
+{
+    const int64_t o = weights.rows();
+    const int64_t patch = weights.cols();
+    assert(patch == c * p.kernelH * p.kernelW);
+
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    const int64_t out_hw = out_h * out_w;
+
+    GemmEpilogue epilogue;
+    epilogue.bias = bias;
+    epilogue.biasPerRow = true;  // C rows are output channels
+    epilogue.relu = relu;
+
+    // Same parallel structure as conv2dInto: one image per task, the
+    // GEMM itself parallelizes over M panels when n == 1.
+    auto image_range = [&](int64_t begin, int64_t end) {
+        ScratchArena &arena = ScratchArena::thread();
+        ScratchFrame frame(arena);
+        float *col = arena.alloc<float>(patch * out_hw);
+        for (int64_t ni = begin; ni < end; ++ni) {
+            im2col(input + ni * c * h * w, c, h, w, p, col);
+            gemmPrepackedA(weights, col, out + ni * o * out_hw, o,
+                           out_hw, patch, epilogue);
+        }
+    };
+    if (n == 1)
+        image_range(0, 1);
+    else
+        parallelFor(0, n, 1, image_range);
+}
+
 Tensor
 conv2d(const Tensor &input, const Tensor &weight, const float *bias,
        const Conv2dParams &p)

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace mlperf {
@@ -65,6 +66,18 @@ Tensor conv2d(const Tensor &input, const Tensor &weight,
 void conv2dInto(const float *input, int64_t n, int64_t c, int64_t h,
                 int64_t w, const Tensor &weight, const float *bias,
                 const Conv2dParams &p, bool relu, float *out);
+
+/**
+ * conv2dInto over weights prepacked at model compile time: the
+ * [O, C*kh*kw] weight view sits on the A side of the im2col GEMM, so
+ * @p weights must come from packMatrixA. Bias-add and ReLU are fused
+ * into the GEMM epilogue — no separate elementwise pass touches the
+ * output. This is the compiled-plan executor's conv primitive.
+ */
+void conv2dPrepackedInto(const float *input, int64_t n, int64_t c,
+                         int64_t h, int64_t w,
+                         const PackedMatrix &weights, const float *bias,
+                         const Conv2dParams &p, bool relu, float *out);
 
 /**
  * Depthwise convolution: one filter per channel. weight [C, 1, kh, kw].

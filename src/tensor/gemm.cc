@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/parallel.h"
@@ -272,6 +273,47 @@ gemmPacked(const float *a, const float *b, float *c,
     }
 }
 
+/**
+ * Apply the fused epilogue to the valid mr x nr corner of a just-
+ * completed C tile (row stride ldc). Runs right after the last
+ * k-block's micro-kernel call, so the tile is still in L1.
+ */
+void
+applyEpilogueTile(float *c, int64_t ldc, int64_t mr, int64_t nr,
+                  int64_t row0, int64_t col0, const GemmEpilogue &ep)
+{
+    for (int64_t r = 0; r < mr; ++r) {
+        float *row = c + r * ldc;
+        if (ep.bias != nullptr) {
+            if (ep.biasPerRow) {
+                const float b = ep.bias[row0 + r];
+                for (int64_t j = 0; j < nr; ++j)
+                    row[j] += b;
+            } else {
+                const float *b = ep.bias + col0;
+                for (int64_t j = 0; j < nr; ++j)
+                    row[j] += b[j];
+            }
+        }
+        if (ep.relu) {
+            for (int64_t j = 0; j < nr; ++j)
+                row[j] = row[j] < 0.0f ? 0.0f : row[j];
+        }
+    }
+}
+
+/** 64-byte-aligned allocation for a PackedMatrix of @p floats. */
+float *
+allocPacked(int64_t floats, int64_t *bytes_out)
+{
+    const size_t bytes =
+        (static_cast<size_t>(floats) * sizeof(float) + 63) / 64 * 64;
+    float *raw = static_cast<float *>(std::aligned_alloc(64, bytes));
+    assert(raw != nullptr);
+    *bytes_out = static_cast<int64_t>(bytes);
+    return raw;
+}
+
 /** Dispatch: zero C unless accumulating, then small or packed path. */
 void
 gemmImpl(const float *a, const float *b, float *c,
@@ -292,6 +334,12 @@ gemm(const float *a, const float *b, float *c,
      int64_t m, int64_t n, int64_t k, bool accumulate)
 {
     gemmImpl(a, b, c, m, n, k, accumulate, /*b_trans=*/false);
+}
+
+bool
+gemmUsesSmallPath(int64_t m, int64_t n, int64_t k)
+{
+    return m * n * k < kSmallMacs;
 }
 
 void
@@ -341,6 +389,200 @@ denseForward(const float *w, const float *bias, const float *x,
             float *y_row = y + bi * out;
             for (int64_t o = 0; o < out; ++o)
                 y_row[o] += bias[o];
+        }
+    }
+}
+
+// ------------------------------------------------ prepacked constants
+
+PackedMatrix
+packMatrixA(const float *a, int64_t m, int64_t k)
+{
+    PackedMatrix p;
+    p.rows_ = m;
+    p.cols_ = k;
+    p.aSide_ = true;
+
+    // Blocks laid out in the consume order of gemmPrepackedA's k loop:
+    // pc-major, then ic. Each block holds packA's micro-panels.
+    int64_t floats = 0;
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+        const int64_t kc = std::min(kKc, k - pc);
+        for (int64_t ic = 0; ic < m; ic += kMc) {
+            const int64_t mc = std::min(kMc, m - ic);
+            p.blockOffsets_.push_back(floats);
+            floats += roundUp(mc, kMr) * kc;
+        }
+    }
+    float *raw = allocPacked(floats, &p.bytes_);
+    p.data_ = std::unique_ptr<float, void (*)(void *)>(raw, std::free);
+
+    size_t block = 0;
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+        const int64_t kc = std::min(kKc, k - pc);
+        for (int64_t ic = 0; ic < m; ic += kMc) {
+            const int64_t mc = std::min(kMc, m - ic);
+            packA(a + ic * k + pc, k, mc, kc,
+                  raw + p.blockOffsets_[block++]);
+        }
+    }
+    return p;
+}
+
+PackedMatrix
+packMatrixB(const float *b, int64_t k, int64_t n, bool b_trans)
+{
+    PackedMatrix p;
+    p.rows_ = k;
+    p.cols_ = n;
+    p.aSide_ = false;
+    const int64_t ldb = b_trans ? k : n;
+
+    // Blocks in the consume order of gemmPrepacked: jc-major, then pc.
+    int64_t floats = 0;
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t nc = std::min(kNc, n - jc);
+        for (int64_t pc = 0; pc < k; pc += kKc) {
+            const int64_t kc = std::min(kKc, k - pc);
+            p.blockOffsets_.push_back(floats);
+            floats += roundUp(nc, kNr) * kc;
+        }
+    }
+    float *raw = allocPacked(floats, &p.bytes_);
+    p.data_ = std::unique_ptr<float, void (*)(void *)>(raw, std::free);
+
+    size_t block = 0;
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t nc = std::min(kNc, n - jc);
+        for (int64_t pc = 0; pc < k; pc += kKc) {
+            const int64_t kc = std::min(kKc, k - pc);
+            const float *b_block =
+                b_trans ? b + jc * ldb + pc : b + pc * ldb + jc;
+            packB(b_block, ldb, kc, nc, b_trans,
+                  raw + p.blockOffsets_[block++]);
+        }
+    }
+    return p;
+}
+
+void
+gemmPrepacked(const float *a, const PackedMatrix &b, float *c,
+              int64_t m, int64_t n, int64_t k,
+              const GemmEpilogue &epilogue)
+{
+    assert(!b.aSide_ && b.rows_ == k && b.cols_ == n);
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    const bool parallel =
+        m * n * k >= kParallelMacs && !ThreadPool::inWorker();
+    const MicroKernelFn kernel = kMicroKernel;
+    const float *bdata = b.data_.get();
+
+    size_t block = 0;
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t nc = std::min(kNc, n - jc);
+        for (int64_t pc = 0; pc < k; pc += kKc) {
+            const int64_t kc = std::min(kKc, k - pc);
+            const float *bpack = bdata + b.blockOffsets_[block++];
+            const bool last_k = pc + kc == k;
+
+            auto m_block = [&](int64_t block_begin, int64_t block_end) {
+                ScratchArena &worker_arena = ScratchArena::thread();
+                ScratchFrame worker_frame(worker_arena);
+                float *apack = worker_arena.alloc<float>(
+                    roundUp(std::min(kMc, m), kMr) * kc);
+                for (int64_t bi = block_begin; bi < block_end; ++bi) {
+                    const int64_t ic = bi * kMc;
+                    const int64_t mc = std::min(kMc, m - ic);
+                    packA(a + ic * k + pc, k, mc, kc, apack);
+                    for (int64_t jr = 0; jr < nc; jr += kNr) {
+                        const float *bp = bpack + jr * kc;
+                        const int64_t nr = std::min(kNr, nc - jr);
+                        for (int64_t ir = 0; ir < mc; ir += kMr) {
+                            const float *ap = apack + ir * kc;
+                            float *c_tile =
+                                c + (ic + ir) * n + jc + jr;
+                            const int64_t mr = std::min(kMr, mc - ir);
+                            if (mr == kMr && nr == kNr)
+                                kernel(kc, ap, bp, c_tile, n);
+                            else
+                                microKernelEdge(kc, ap, bp, c_tile,
+                                                n, mr, nr);
+                            if (last_k && !epilogue.empty())
+                                applyEpilogueTile(c_tile, n, mr, nr,
+                                                  ic + ir, jc + jr,
+                                                  epilogue);
+                        }
+                    }
+                }
+            };
+
+            const int64_t m_blocks = (m + kMc - 1) / kMc;
+            if (parallel)
+                parallelFor(0, m_blocks, 1, m_block);
+            else
+                m_block(0, m_blocks);
+        }
+    }
+}
+
+void
+gemmPrepackedA(const PackedMatrix &a, const float *b, float *c,
+               int64_t m, int64_t n, int64_t k,
+               const GemmEpilogue &epilogue)
+{
+    assert(a.aSide_ && a.rows_ == m && a.cols_ == k);
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    const bool parallel =
+        m * n * k >= kParallelMacs && !ThreadPool::inWorker();
+    const MicroKernelFn kernel = kMicroKernel;
+    const float *adata = a.data_.get();
+    const int64_t num_ic = (m + kMc - 1) / kMc;
+
+    ScratchArena &arena = ScratchArena::thread();
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t nc = std::min(kNc, n - jc);
+        int64_t pc_idx = 0;
+        for (int64_t pc = 0; pc < k; pc += kKc, ++pc_idx) {
+            const int64_t kc = std::min(kKc, k - pc);
+            ScratchFrame frame(arena);
+            float *bpack = arena.alloc<float>(roundUp(nc, kNr) * kc);
+            packB(b + pc * n + jc, n, kc, nc, /*b_trans=*/false,
+                  bpack);
+            const bool last_k = pc + kc == k;
+
+            auto m_block = [&](int64_t block_begin, int64_t block_end) {
+                for (int64_t bi = block_begin; bi < block_end; ++bi) {
+                    const int64_t ic = bi * kMc;
+                    const int64_t mc = std::min(kMc, m - ic);
+                    const float *apack =
+                        adata + a.blockOffsets_[static_cast<size_t>(
+                                    pc_idx * num_ic + bi)];
+                    for (int64_t jr = 0; jr < nc; jr += kNr) {
+                        const float *bp = bpack + jr * kc;
+                        const int64_t nr = std::min(kNr, nc - jr);
+                        for (int64_t ir = 0; ir < mc; ir += kMr) {
+                            const float *ap = apack + ir * kc;
+                            float *c_tile =
+                                c + (ic + ir) * n + jc + jr;
+                            const int64_t mr = std::min(kMr, mc - ir);
+                            if (mr == kMr && nr == kNr)
+                                kernel(kc, ap, bp, c_tile, n);
+                            else
+                                microKernelEdge(kc, ap, bp, c_tile,
+                                                n, mr, nr);
+                            if (last_k && !epilogue.empty())
+                                applyEpilogueTile(c_tile, n, mr, nr,
+                                                  ic + ir, jc + jr,
+                                                  epilogue);
+                        }
+                    }
+                }
+            };
+
+            if (parallel)
+                parallelFor(0, num_ic, 1, m_block);
+            else
+                m_block(0, num_ic);
         }
     }
 }

@@ -123,6 +123,43 @@ makeResnetish()
 
 constexpr int64_t kSampleC = 2, kSampleH = 8, kSampleW = 8;
 
+/**
+ * A model whose conv and dense GEMMs all clear the packed-kernel
+ * threshold, so compiled queries actually stream weights from the
+ * prepacked constant section instead of the small-shape fallback.
+ * (makeResnetish is deliberately tiny; its GEMMs take the unpacked
+ * small path.) The final dense stays below the threshold on purpose,
+ * covering the prepared kernels' shape dispatch in one model.
+ */
+Sequential
+makePrepackHeavy()
+{
+    Sequential model("prepack_heavy");
+    model.add(makeConv(4, 24, 3, 1, true, 200));
+    model.add(makeConv(24, 24, 3, 1, true, 201));
+    model.add(std::make_unique<FlattenLayer>());
+    Rng rng(202);
+    model.add(std::make_unique<DenseLayer>(
+        heNormal(Shape{32, 24 * 16 * 16}, 24 * 16 * 16, rng),
+        zeroBias(32), /*fuse_relu=*/true));
+    Rng rng2(203);
+    model.add(std::make_unique<DenseLayer>(
+        heNormal(Shape{10, 32}, 32, rng2), zeroBias(10)));
+    return model;
+}
+
+constexpr int64_t kHeavyC = 4, kHeavyH = 16, kHeavyW = 16;
+
+Tensor
+randomHeavyInput(int64_t batch, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(Shape{batch, kHeavyC, kHeavyH, kHeavyW});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
 Tensor
 randomInput(int64_t batch, uint64_t seed)
 {
@@ -326,6 +363,163 @@ TEST(CompiledModel, ConcurrentInstancesShareOneModel)
     for (int t = 0; t < kThreads; ++t)
         EXPECT_LT(worst[static_cast<size_t>(t)], 1e-4f)
             << "thread " << t;
+}
+
+TEST(CompiledModel, PrepackedConstantsMatchUnpackedBitExact)
+{
+    // The prepacked fast path must be a pure layout/fusion change:
+    // same float operations in the same order as the unpacked compiled
+    // path, so the two agree bit for bit (and both match eager).
+    const Sequential model = makePrepackHeavy();
+    const Shape sample{kHeavyC, kHeavyH, kHeavyW};
+    const CompiledModel prepacked(model, sample);
+    CompileOptions no_prepack;
+    no_prepack.prepackConstants = false;
+    const CompiledModel unpacked(model, sample, no_prepack);
+
+    for (int64_t batch : {int64_t{1}, int64_t{8}}) {
+        const Tensor input = randomHeavyInput(batch, 1200 + batch);
+        const Tensor fast =
+            ExecutionInstance::thread().forward(prepacked, input);
+        const Tensor slow =
+            ExecutionInstance::thread().forward(unpacked, input);
+        ASSERT_EQ(fast.shape(), slow.shape());
+        for (int64_t i = 0; i < fast.numel(); ++i)
+            ASSERT_EQ(fast[i], slow[i]) << "index " << i;
+        expectNear(fast, model.forward(input), 1e-4f);
+    }
+
+    // The constant section exists exactly when prepacking is on, and
+    // each plan reports the bytes its steps reference.
+    EXPECT_GT(prepacked.constantBytes(), 0);
+    EXPECT_GT(prepacked.planFor(1).constantBytes, 0);
+    EXPECT_EQ(unpacked.constantBytes(), 0);
+    EXPECT_EQ(unpacked.planFor(1).constantBytes, 0);
+}
+
+TEST(CompiledModel, QuantizeAfterCompileRebuildsPrepackedConstants)
+{
+    // Regression for the constant-invalidation contract: plans AND
+    // prepacked weights built before a graph mutation must not
+    // survive it. Serve fp32 first (populating the constant section),
+    // quantize the graph, invalidate, and verify the served results
+    // are bit-exact against an eagerly quantized twin.
+    Sequential eager_model = makeResnetish();
+    const Sequential graph_model = makeResnetish();
+    const std::vector<Tensor> calib = calibrationInputs();
+
+    CompiledModel compiled(graph_model,
+                           Shape{kSampleC, kSampleH, kSampleW});
+    // Populate plans and fp32 prepacked constants before mutating.
+    const Tensor warm = randomInput(2, 1300);
+    expectNear(ExecutionInstance::thread().forward(compiled, warm),
+               graph_model.forward(warm), 1e-4f);
+    const int64_t fp32_bytes = compiled.constantBytes();
+    EXPECT_GT(fp32_bytes, 0);
+
+    ASSERT_GT(quant::quantizeSequential(eager_model, calib), 0);
+    ASSERT_GT(quant::quantizeGraph(compiled.graph(),
+                                   Shape{kSampleC, kSampleH, kSampleW},
+                                   calib),
+              0);
+    compiled.invalidatePlans();
+    // Stale fp32 packed weights must be gone, not reused.
+    EXPECT_EQ(compiled.constantBytes(), 0);
+
+    for (int64_t batch : {int64_t{1}, int64_t{8}}) {
+        const Tensor input = randomInput(batch, 1400 + batch);
+        const Tensor eager = eager_model.forward(input);
+        const Tensor planned =
+            ExecutionInstance::thread().forward(compiled, input);
+        ASSERT_EQ(planned.shape(), eager.shape());
+        for (int64_t i = 0; i < planned.numel(); ++i)
+            ASSERT_EQ(planned[i], eager[i]) << "index " << i;
+    }
+    // The section was rebuilt from the quantized layers.
+    EXPECT_GT(compiled.constantBytes(), 0);
+    EXPECT_NE(compiled.constantBytes(), fp32_bytes);
+}
+
+TEST(CompiledModel, ConcurrentReadersSharePrepackedConstants)
+{
+    // Many threads stream the same read-only packed weights; results
+    // must stay bit-identical to a single-threaded run. (This is the
+    // TSan target for the shared constant section.)
+    const Sequential model = makePrepackHeavy();
+    const CompiledModel compiled(model,
+                                 Shape{kHeavyC, kHeavyH, kHeavyW});
+    const Tensor input1 = randomHeavyInput(1, 1500);
+    const Tensor input4 = randomHeavyInput(4, 1501);
+    const Tensor ref1 =
+        ExecutionInstance::thread().forward(compiled, input1);
+    const Tensor ref4 =
+        ExecutionInstance::thread().forward(compiled, input4);
+
+    constexpr int kThreads = 4;
+    std::vector<int> mismatches(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            int bad = 0;
+            for (int iter = 0; iter < 6; ++iter) {
+                const Tensor out1 = ExecutionInstance::thread().forward(
+                    compiled, input1);
+                const Tensor out4 = ExecutionInstance::thread().forward(
+                    compiled, input4);
+                for (int64_t i = 0; i < out1.numel(); ++i)
+                    bad += out1[i] != ref1[i];
+                for (int64_t i = 0; i < out4.numel(); ++i)
+                    bad += out4[i] != ref4[i];
+            }
+            mismatches[static_cast<size_t>(t)] = bad;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0)
+            << "thread " << t;
+}
+
+TEST(CompiledModel, SteadyStatePrepackedQueryMakesNoHeapAllocations)
+{
+#ifdef MLPERF_UNDER_SANITIZER
+    GTEST_SKIP() << "allocation counting is not meaningful under "
+                    "sanitizers";
+#endif
+    // Same zero-alloc contract as the small model, but on a model
+    // whose queries actually run the prepacked kernels: packing
+    // happened once at plan build, so steady state touches only the
+    // arena and the read-only constant section.
+    const int restore_threads = ThreadPool::global()->threadCount();
+    ThreadPool::setGlobalThreads(1);
+
+    const Sequential model = makePrepackHeavy();
+    const CompiledModel compiled(model,
+                                 Shape{kHeavyC, kHeavyH, kHeavyW});
+    const Tensor input = randomHeavyInput(4, 1600);
+    ExecutionInstance &instance = ExecutionInstance::thread();
+
+    for (int round = 0; round < 2; ++round) {
+        float *staged = instance.stageInput(compiled, 4);
+        for (int64_t i = 0; i < input.numel(); ++i)
+            staged[i] = input[i];
+        instance.run(compiled, 4);
+    }
+
+    const long before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (int round = 0; round < 8; ++round) {
+        float *staged = instance.stageInput(compiled, 4);
+        for (int64_t i = 0; i < input.numel(); ++i)
+            staged[i] = input[i];
+        instance.run(compiled, 4);
+    }
+    const long after = g_heap_allocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before)
+        << (after - before) << " allocations across 8 steady-state "
+        << "prepacked queries";
+
+    ThreadPool::setGlobalThreads(restore_threads);
 }
 
 TEST(CompiledModel, ForwardRejectsNothingButComputesEveryBatch)

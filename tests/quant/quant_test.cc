@@ -203,6 +203,191 @@ TEST(GemmInt8, ParallelPathMatchesNaive)
     }
 }
 
+/**
+ * Reference requantization identical, term for term, to the fused
+ * epilogue: float(acc - corr) scaled per channel, bias added
+ * unconditionally (0 when absent), optional ReLU. Using the exact
+ * same float expression makes bit-equality a meaningful assertion.
+ */
+float
+requantRef(int32_t acc, int64_t o, const std::vector<float> &scale,
+           const std::vector<int32_t> &corr, const float *bias,
+           bool relu)
+{
+    float v = scale[static_cast<size_t>(o)] *
+                  static_cast<float>(acc - corr[static_cast<size_t>(o)]) +
+              (bias == nullptr ? 0.0f : bias[o]);
+    if (relu && v < 0.0f)
+        v = 0.0f;
+    return v;
+}
+
+void
+fillInt8(std::vector<int8_t> &v, Rng &rng)
+{
+    for (auto &x : v)
+        x = static_cast<int8_t>(rng.nextInRange(-128, 127));
+}
+
+/**
+ * Prepacked int8 kernels + fused requantize epilogue vs the naive
+ * int32 GEMM + a separate requant pass. int32 accumulation is exact,
+ * and the epilogue's float expression matches the reference term for
+ * term, so every output must be bit-identical.
+ */
+TEST(Int8Prepacked, PackedAMatchesNaivePlusRequantBitExact)
+{
+    // Conv case: weights on the A side, per-row (output channel)
+    // scales. Shapes straddle the 4x8 tiles and the parallel cutoff.
+    const int64_t sizes[][3] = {{1, 1, 1},    {3, 17, 5},
+                                {17, 33, 63}, {33, 65, 64},
+                                {70, 130, 90}, {130, 140, 150}};
+    for (const auto &s : sizes) {
+        const int64_t m = s[0], n = s[1], k = s[2];
+        for (int epi = 0; epi < 4; ++epi) {
+            const bool with_bias = (epi & 1) != 0;
+            const bool with_relu = (epi & 2) != 0;
+            Rng rng(static_cast<uint64_t>(m * 131 + n * 17 + k + epi));
+            std::vector<int8_t> a(static_cast<size_t>(m * k));
+            std::vector<int8_t> b(static_cast<size_t>(k * n));
+            fillInt8(a, rng);
+            fillInt8(b, rng);
+            std::vector<float> scale(static_cast<size_t>(m));
+            std::vector<int32_t> corr(static_cast<size_t>(m));
+            std::vector<float> bias(static_cast<size_t>(m));
+            for (int64_t o = 0; o < m; ++o) {
+                scale[static_cast<size_t>(o)] =
+                    0.01f + 0.05f * static_cast<float>(rng.nextDouble());
+                corr[static_cast<size_t>(o)] = static_cast<int32_t>(
+                    rng.nextInRange(-1000, 1000));
+                bias[static_cast<size_t>(o)] =
+                    static_cast<float>(rng.nextGaussian());
+            }
+            const PackedInt8 packed = packInt8A(a.data(), m, k);
+            EXPECT_EQ(packed.rows(), m);
+            EXPECT_EQ(packed.cols(), k);
+            EXPECT_GT(packed.bytes(), 0);
+
+            QuantEpilogue ep;
+            ep.scale = scale.data();
+            ep.corr = corr.data();
+            ep.bias = with_bias ? bias.data() : nullptr;
+            ep.perRow = true;
+            ep.relu = with_relu;
+            std::vector<float> c(static_cast<size_t>(m * n));
+            gemmInt8PrepackedA(packed, b.data(), c.data(), m, n, k, ep);
+
+            std::vector<int32_t> acc(static_cast<size_t>(m * n));
+            gemmInt8Naive(a.data(), b.data(), acc.data(), m, n, k);
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t j = 0; j < n; ++j) {
+                    const float ref = requantRef(
+                        acc[static_cast<size_t>(i * n + j)], i, scale,
+                        corr, ep.bias, with_relu);
+                    ASSERT_EQ(c[static_cast<size_t>(i * n + j)], ref)
+                        << "m=" << m << " n=" << n << " k=" << k
+                        << " epi=" << epi << " i=" << i << " j=" << j;
+                }
+            }
+        }
+    }
+}
+
+TEST(Int8Prepacked, PackedBMatchesNaivePlusRequantBitExact)
+{
+    // Dense case: weight stored [n, k] (transpose absorbed by the
+    // pack), per-column (output feature) scales.
+    const int64_t sizes[][3] = {{1, 1, 1},    {3, 17, 5},
+                                {17, 33, 63}, {33, 65, 64},
+                                {70, 130, 90}, {130, 140, 150}};
+    for (const auto &s : sizes) {
+        const int64_t m = s[0], n = s[1], k = s[2];
+        for (int epi = 0; epi < 4; ++epi) {
+            const bool with_bias = (epi & 1) != 0;
+            const bool with_relu = (epi & 2) != 0;
+            Rng rng(static_cast<uint64_t>(m * 7 + n * 311 + k + epi));
+            std::vector<int8_t> a(static_cast<size_t>(m * k));
+            std::vector<int8_t> wt(static_cast<size_t>(n * k));
+            fillInt8(a, rng);
+            fillInt8(wt, rng);
+            std::vector<float> scale(static_cast<size_t>(n));
+            std::vector<int32_t> corr(static_cast<size_t>(n));
+            std::vector<float> bias(static_cast<size_t>(n));
+            for (int64_t o = 0; o < n; ++o) {
+                scale[static_cast<size_t>(o)] =
+                    0.01f + 0.05f * static_cast<float>(rng.nextDouble());
+                corr[static_cast<size_t>(o)] = static_cast<int32_t>(
+                    rng.nextInRange(-1000, 1000));
+                bias[static_cast<size_t>(o)] =
+                    static_cast<float>(rng.nextGaussian());
+            }
+            const PackedInt8 packed =
+                packInt8B(wt.data(), k, n, /*b_trans=*/true);
+            EXPECT_EQ(packed.rows(), k);
+            EXPECT_EQ(packed.cols(), n);
+
+            QuantEpilogue ep;
+            ep.scale = scale.data();
+            ep.corr = corr.data();
+            ep.bias = with_bias ? bias.data() : nullptr;
+            ep.perRow = false;
+            ep.relu = with_relu;
+            std::vector<float> c(static_cast<size_t>(m * n));
+            gemmInt8PrepackedB(a.data(), packed, c.data(), m, n, k, ep);
+
+            std::vector<int8_t> b(static_cast<size_t>(k * n));
+            for (int64_t kk = 0; kk < k; ++kk)
+                for (int64_t j = 0; j < n; ++j)
+                    b[static_cast<size_t>(kk * n + j)] =
+                        wt[static_cast<size_t>(j * k + kk)];
+            std::vector<int32_t> acc(static_cast<size_t>(m * n));
+            gemmInt8Naive(a.data(), b.data(), acc.data(), m, n, k);
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t j = 0; j < n; ++j) {
+                    const float ref = requantRef(
+                        acc[static_cast<size_t>(i * n + j)], j, scale,
+                        corr, ep.bias, with_relu);
+                    ASSERT_EQ(c[static_cast<size_t>(i * n + j)], ref)
+                        << "m=" << m << " n=" << n << " k=" << k
+                        << " epi=" << epi << " i=" << i << " j=" << j;
+                }
+            }
+        }
+    }
+}
+
+TEST(Int8Prepacked, ThreadCountDoesNotChangeResults)
+{
+    const int64_t m = 130, n = 140, k = 150;
+    Rng rng(77);
+    std::vector<int8_t> a(static_cast<size_t>(m * k));
+    std::vector<int8_t> b(static_cast<size_t>(k * n));
+    fillInt8(a, rng);
+    fillInt8(b, rng);
+    std::vector<float> scale(static_cast<size_t>(m), 0.05f);
+    std::vector<int32_t> corr(static_cast<size_t>(m), 3);
+    QuantEpilogue ep;
+    ep.scale = scale.data();
+    ep.corr = corr.data();
+    ep.perRow = true;
+    const PackedInt8 packed = packInt8A(a.data(), m, k);
+    std::vector<float> ref(static_cast<size_t>(m * n));
+    {
+        ThreadPool::setGlobalThreads(1);
+        gemmInt8PrepackedA(packed, b.data(), ref.data(), m, n, k, ep);
+    }
+    for (int threads : {2, 4}) {
+        ThreadPool::setGlobalThreads(threads);
+        std::vector<float> c(static_cast<size_t>(m * n));
+        gemmInt8PrepackedA(packed, b.data(), c.data(), m, n, k, ep);
+        for (int64_t i = 0; i < m * n; ++i)
+            ASSERT_EQ(c[static_cast<size_t>(i)],
+                      ref[static_cast<size_t>(i)])
+                << "threads=" << threads << " i=" << i;
+    }
+    ThreadPool::setGlobalThreads(4);
+}
+
 } // namespace
 } // namespace quant
 } // namespace mlperf

@@ -164,6 +164,167 @@ TEST(GemmParallel, LargeSquareMatchesNaive)
     expectClose(c, ref);
 }
 
+/**
+ * Reference epilogue applied separately after gemmNaive, the way the
+ * eager layers do it: bias add over finished output, then ReLU.
+ */
+void
+applyEpilogueRef(std::vector<float> &c, int64_t m, int64_t n,
+                 const float *bias, bool bias_per_row, bool relu)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            float &v = c[static_cast<size_t>(i * n + j)];
+            if (bias != nullptr)
+                v += bias_per_row ? bias[i] : bias[j];
+            if (relu && v < 0.0f)
+                v = 0.0f;
+        }
+    }
+}
+
+/**
+ * Prepacked-kernel sweep: every (m, n, k) is drawn from values around
+ * the kMr/kNr micro-tile and kMc/kNc/kKc cache-block edges (including
+ * k > 256 and n > 512, which split the constant section into multiple
+ * blocks), crossed with all four epilogue combinations.
+ */
+class GemmPrepackedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(GemmPrepackedSweep, PackedBMatchesNaivePlusSeparateEpilogue)
+{
+    const auto [m, n, k, epi] = GetParam();
+    const bool with_bias = (epi & 1) != 0;
+    const bool with_relu = (epi & 2) != 0;
+    Rng rng(static_cast<uint64_t>(m * 7919 + n * 131 + k * 7 + epi));
+    // Dense layout: weight stored [n, k] row-major, transpose absorbed
+    // by the pack.
+    std::vector<float> wt = randomVec(n * k, rng);
+    std::vector<float> a = randomVec(m * k, rng);
+    std::vector<float> bias = randomVec(n, rng);
+    const PackedMatrix packed =
+        packMatrixB(wt.data(), k, n, /*b_trans=*/true);
+    EXPECT_EQ(packed.rows(), k);
+    EXPECT_EQ(packed.cols(), n);
+    EXPECT_GT(packed.bytes(), 0);
+
+    GemmEpilogue ep;
+    ep.bias = with_bias ? bias.data() : nullptr;
+    ep.biasPerRow = false;
+    ep.relu = with_relu;
+    std::vector<float> c(static_cast<size_t>(m * n));
+    gemmPrepacked(a.data(), packed, c.data(), m, n, k, ep);
+
+    std::vector<float> bmat(static_cast<size_t>(k * n));
+    for (int64_t kk = 0; kk < k; ++kk)
+        for (int64_t j = 0; j < n; ++j)
+            bmat[static_cast<size_t>(kk * n + j)] =
+                wt[static_cast<size_t>(j * k + kk)];
+    std::vector<float> ref(static_cast<size_t>(m * n));
+    gemmNaive(a.data(), bmat.data(), ref.data(), m, n, k);
+    applyEpilogueRef(ref, m, n, ep.bias, false, with_relu);
+    expectClose(c, ref);
+}
+
+TEST_P(GemmPrepackedSweep, PackedAMatchesNaivePlusSeparateEpilogue)
+{
+    const auto [m, n, k, epi] = GetParam();
+    const bool with_bias = (epi & 1) != 0;
+    const bool with_relu = (epi & 2) != 0;
+    Rng rng(static_cast<uint64_t>(m * 104729 + n * 17 + k * 3 + epi));
+    // Conv layout: weights [m, k] are the A operand, bias per C row.
+    std::vector<float> a = randomVec(m * k, rng);
+    std::vector<float> b = randomVec(k * n, rng);
+    std::vector<float> bias = randomVec(m, rng);
+    const PackedMatrix packed = packMatrixA(a.data(), m, k);
+    EXPECT_EQ(packed.rows(), m);
+    EXPECT_EQ(packed.cols(), k);
+
+    GemmEpilogue ep;
+    ep.bias = with_bias ? bias.data() : nullptr;
+    ep.biasPerRow = true;
+    ep.relu = with_relu;
+    std::vector<float> c(static_cast<size_t>(m * n));
+    gemmPrepackedA(packed, b.data(), c.data(), m, n, k, ep);
+
+    std::vector<float> ref(static_cast<size_t>(m * n));
+    gemmNaive(a.data(), b.data(), ref.data(), m, n, k);
+    applyEpilogueRef(ref, m, n, ep.bias, true, with_relu);
+    expectClose(c, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmPrepackedSweep,
+    ::testing::Combine(::testing::Values(1, 5, 7, 97),
+                       ::testing::Values(1, 15, 17, 513),
+                       ::testing::Values(1, 7, 257),
+                       ::testing::Range(0, 4)));
+
+TEST(GemmPrepacked, BitIdenticalToGemmOnPackedPathShapes)
+{
+    // Above the small-shape threshold the prepacked kernels run the
+    // exact loop nest of gemm()'s packed path, so results must match
+    // bit for bit — the property the compiled/eager differential
+    // tests lean on.
+    const int64_t m = 67, n = 70, k = 49;
+    ASSERT_FALSE(gemmUsesSmallPath(m, n, k));
+    Rng rng(0xC0FFEE);
+    std::vector<float> a = randomVec(m * k, rng);
+    std::vector<float> b = randomVec(k * n, rng);
+    std::vector<float> ref(static_cast<size_t>(m * n));
+    gemm(a.data(), b.data(), ref.data(), m, n, k);
+
+    const PackedMatrix pb = packMatrixB(b.data(), k, n, false);
+    std::vector<float> c(static_cast<size_t>(m * n));
+    gemmPrepacked(a.data(), pb, c.data(), m, n, k);
+    for (int64_t i = 0; i < m * n; ++i)
+        ASSERT_EQ(c[static_cast<size_t>(i)], ref[static_cast<size_t>(i)])
+            << "i=" << i;
+
+    const PackedMatrix pa = packMatrixA(a.data(), m, k);
+    gemmPrepackedA(pa, b.data(), c.data(), m, n, k);
+    for (int64_t i = 0; i < m * n; ++i)
+        ASSERT_EQ(c[static_cast<size_t>(i)], ref[static_cast<size_t>(i)])
+            << "i=" << i;
+}
+
+TEST(GemmPrepacked, ThreadCountDoesNotChangeResults)
+{
+    // Crosses the parallel threshold; the packed constants are shared
+    // read-only across the pool's workers.
+    const int64_t m = 197, n = 131, k = 173;
+    Rng rng(4242);
+    std::vector<float> a = randomVec(m * k, rng);
+    std::vector<float> b = randomVec(k * n, rng);
+    std::vector<float> bias = randomVec(n, rng);
+    const PackedMatrix packed = packMatrixB(b.data(), k, n, false);
+    GemmEpilogue ep;
+    ep.bias = bias.data();
+    ep.relu = true;
+    std::vector<float> ref(static_cast<size_t>(m * n));
+    gemmNaive(a.data(), b.data(), ref.data(), m, n, k);
+    applyEpilogueRef(ref, m, n, bias.data(), false, true);
+    for (int threads : {1, 2, 4}) {
+        ThreadPool::setGlobalThreads(threads);
+        std::vector<float> c(static_cast<size_t>(m * n));
+        gemmPrepacked(a.data(), packed, c.data(), m, n, k, ep);
+        SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+        expectClose(c, ref);
+    }
+    ThreadPool::setGlobalThreads(4);
+}
+
+TEST(GemmPrepacked, SmallPathThresholdIsConsistent)
+{
+    EXPECT_TRUE(gemmUsesSmallPath(1, 1, 1));
+    EXPECT_TRUE(gemmUsesSmallPath(47, 48, 48));
+    EXPECT_FALSE(gemmUsesSmallPath(48, 48, 48));
+    EXPECT_FALSE(gemmUsesSmallPath(512, 512, 512));
+}
+
 TEST(Matmul, ShapesAndValues)
 {
     Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
