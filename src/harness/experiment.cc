@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <map>
+#include <sstream>
 
 #include "sim/virtual_executor.h"
 #include "stats/sample_size.h"
@@ -205,6 +208,89 @@ runServerServing(const sut::HardwareProfile &profile,
     system.shutdown();
     out.serving = system.stats();
     out.elapsedNs = out.outcome.result.durationNs;
+    return out;
+}
+
+MultiTenantOutcome
+runMultiTenantServing(const sut::HardwareProfile &profile,
+                      const std::vector<TenantSpec> &tenants,
+                      const ExperimentOptions &options,
+                      serving::PlatformOptions platform_options)
+{
+    if (platform_options.workers <= 0)
+        platform_options.workers = profile.acceleratorCount;
+    if (platform_options.maxBatch <= 0)
+        platform_options.maxBatch =
+            std::max<int64_t>(1, profile.maxBatch);
+    platform_options.mode = serving::WorkerMode::Events;
+
+    sim::VirtualExecutor executor;
+    serving::ModelRegistry registry;
+    serving::ServingPlatform platform(executor, registry,
+                                      platform_options);
+
+    // One registry entry per distinct (task, costScale) variant —
+    // tenants sharing a model share the hot entry.
+    std::map<std::string, uint32_t> routes;
+    std::vector<std::string> tenantModels;
+    uint64_t seed_salt = 0;
+    for (const TenantSpec &spec : tenants) {
+        std::string model_name = models::taskModelName(spec.task);
+        if (spec.costScale != 1.0) {
+            std::ostringstream tag;
+            tag << model_name << "-x" << spec.costScale;
+            model_name = tag.str();
+        }
+        if (routes.find(model_name) == routes.end()) {
+            sut::ModelCost cost = sut::modelCostFor(spec.task);
+            cost.macsPerSample *= spec.costScale;
+            sut::publishProfileModel(
+                registry, model_name,
+                spec.costScale == 1.0 ? "fp32" : "variant", profile,
+                cost, options.sutSeed + seed_salt++);
+            routes[model_name] = platform.addModelRoute(model_name);
+        }
+        tenantModels.push_back(model_name);
+    }
+
+    std::deque<SyntheticQsl> qsls;
+    std::vector<loadgen::LoadGen::Tenant> lg_tenants;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        const TenantSpec &spec = tenants[i];
+        serving::TenantSut &sut =
+            platform.addTenant(spec.policy, routes[tenantModels[i]]);
+        qsls.emplace_back();
+        loadgen::TestSettings settings = settingsForTask(
+            spec.task, loadgen::Scenario::Server, options);
+        settings.serverTargetQps = spec.qps;
+        lg_tenants.push_back({&sut, &qsls.back(), settings});
+    }
+
+    loadgen::LoadGen lg(executor);
+    const std::vector<loadgen::TestResult> results =
+        lg.startMultiTenantTest(lg_tenants);
+    platform.shutdown();
+
+    MultiTenantOutcome out;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        serving::TenantSut &sut = platform.tenant(i);
+        TenantOutcome tenant;
+        tenant.name = sut.policy().name;
+        tenant.model = tenantModels[i];
+        tenant.slo = sut.policy().slo;
+        tenant.outcome.task = tenants[i].task;
+        tenant.outcome.scenario = loadgen::Scenario::Server;
+        tenant.outcome.systemName = sut.name();
+        tenant.outcome.result = results[i];
+        tenant.outcome.metric = results[i].scenarioMetric();
+        tenant.outcome.valid = results[i].valid;
+        tenant.stats = sut.stats();
+        out.tenants.push_back(std::move(tenant));
+        out.elapsedNs =
+            std::max(out.elapsedNs, results[i].durationNs);
+    }
+    out.platform = platform.stats();
+    out.registry = registry.snapshot();
     return out;
 }
 

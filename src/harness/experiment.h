@@ -14,6 +14,7 @@
 #include "loadgen/loadgen.h"
 #include "models/model_info.h"
 #include "serving/serving_sut.h"
+#include "serving/tenancy/platform.h"
 #include "sut/hardware_profile.h"
 #include "report/submission.h"
 #include "sut/simulated_sut.h"
@@ -112,6 +113,58 @@ ServingOutcome runServerServing(
     const sut::HardwareProfile &profile, models::TaskType task,
     double qps, const ExperimentOptions &options = {},
     serving::ServingOptions serving_options = {});
+
+/**
+ * One tenant of a multi-tenant platform run: which model it queries,
+ * at what rate, and under what policy (SLO class, budgets).
+ */
+struct TenantSpec
+{
+    serving::TenantPolicy policy;
+    models::TaskType task = models::TaskType::ImageClassificationHeavy;
+    /** Poisson arrival rate this tenant generates. */
+    double qps = 100.0;
+    /**
+     * Scales the task's Table I cost for this tenant's model variant
+     * (e.g. ~0.4 for an int8 variant); 1.0 publishes the stock model.
+     * Distinct scales of one task are distinct registry entries.
+     */
+    double costScale = 1.0;
+};
+
+/** One tenant's verdict plus its frontend counters. */
+struct TenantOutcome
+{
+    std::string name;
+    std::string model;
+    serving::SloClass slo = serving::SloClass::Standard;
+    ScenarioOutcome outcome;
+    serving::StatsSnapshot stats;
+};
+
+/** Outcome of a multi-tenant platform run. */
+struct MultiTenantOutcome
+{
+    std::vector<TenantOutcome> tenants;
+    /** Shared worker-pool counters. */
+    serving::StatsSnapshot platform;
+    serving::RegistrySnapshot registry;
+    sim::Tick elapsedNs = 0;
+};
+
+/**
+ * Run the Sec. IV-B multitenancy extension through the serving
+ * platform: publish each spec's model into one ModelRegistry, stand
+ * up a TenantSut per spec on one shared worker pool (event workers in
+ * virtual time), and drive all tenants concurrently with
+ * startMultiTenantTest. In @p platform_options, workers <= 0 and
+ * maxBatch <= 0 default from the profile like runServerServing.
+ */
+MultiTenantOutcome runMultiTenantServing(
+    const sut::HardwareProfile &profile,
+    const std::vector<TenantSpec> &tenants,
+    const ExperimentOptions &options = {},
+    serving::PlatformOptions platform_options = {});
 
 /**
  * A complete submission for one task on one system: all four

@@ -125,6 +125,20 @@ renderServingSummary(const serving::StatsSnapshot &snapshot,
             withThousands(snapshot.degradeEntries).c_str(),
             withThousands(snapshot.degradeExits).c_str());
     }
+    const uint64_t tracked =
+        snapshot.completedOk + snapshot.completedDegraded +
+        snapshot.completedShed + snapshot.completedTimeout +
+        snapshot.completedFailed;
+    if (tracked != 0) {
+        out += strprintf(
+            "  tracked completions: ok %s, degraded %s, shed %s, "
+            "timed out %s, failed %s\n",
+            withThousands(snapshot.completedOk).c_str(),
+            withThousands(snapshot.completedDegraded).c_str(),
+            withThousands(snapshot.completedShed).c_str(),
+            withThousands(snapshot.completedTimeout).c_str(),
+            withThousands(snapshot.completedFailed).c_str());
+    }
 
     Table table({"Stage", "Count", "Mean", "p50", "p90", "p99", "Max"});
     table.addRow(histogramRow("Queue depth (samples)",
@@ -188,12 +202,84 @@ servingSnapshotJson(const serving::StatsSnapshot &snapshot,
         static_cast<unsigned long long>(snapshot.degradedSamples),
         static_cast<unsigned long long>(snapshot.degradeEntries),
         static_cast<unsigned long long>(snapshot.degradeExits));
+    out += strprintf(
+        "\"completed_ok\":%llu,\"completed_degraded\":%llu,"
+        "\"completed_shed\":%llu,\"completed_timeout\":%llu,"
+        "\"completed_failed\":%llu,",
+        static_cast<unsigned long long>(snapshot.completedOk),
+        static_cast<unsigned long long>(snapshot.completedDegraded),
+        static_cast<unsigned long long>(snapshot.completedShed),
+        static_cast<unsigned long long>(snapshot.completedTimeout),
+        static_cast<unsigned long long>(snapshot.completedFailed));
     out += "\"queue_depth\":" + histogramJson(snapshot.queueDepth);
     out += ",\"batch_size\":" + histogramJson(snapshot.batchSize);
     out += ",\"time_in_queue_ns\":" +
            histogramJson(snapshot.timeInQueueNs);
     out += ",\"service_time_ns\":" +
            histogramJson(snapshot.serviceTimeNs);
+    out += "}";
+    return out;
+}
+
+std::string
+renderMultiTenantSummary(const std::vector<TenantReportRow> &tenants,
+                         const serving::StatsSnapshot &platform,
+                         const serving::RegistrySnapshot &registry,
+                         sim::Tick elapsed_ns)
+{
+    std::string out;
+    out += "Multi-tenant platform statistics\n";
+    out += strprintf(
+        "  registry: %lld models hot (%s publishes, %s swaps, "
+        "%s evictions), %s lookups (%s misses), constants %s bytes\n",
+        static_cast<long long>(registry.hotModels),
+        withThousands(registry.publishes).c_str(),
+        withThousands(registry.swaps).c_str(),
+        withThousands(registry.evictions).c_str(),
+        withThousands(registry.lookups).c_str(),
+        withThousands(registry.misses).c_str(),
+        withThousands(static_cast<uint64_t>(registry.constantBytes))
+            .c_str());
+    out += strprintf(
+        "  shared pool: %lld workers, utilization %.1f%%, "
+        "%s batches, avg size %.2f\n",
+        static_cast<long long>(platform.workers),
+        100.0 * platform.utilization(elapsed_ns),
+        withThousands(platform.batchesCompleted).c_str(),
+        platform.averageBatchSize());
+
+    Table table({"Tenant", "SLO", "Model", "Issued", "Ok", "Shed",
+                 "Timeout", "Shed rate", "p99 (ms)", "Valid"});
+    for (const TenantReportRow &tenant : tenants) {
+        // Queue sheds (samplesShed) also appear as tracked Shed
+        // completions; admission sheds bypass the tracker. Sum the
+        // disjoint pair.
+        const uint64_t shed = tenant.stats.admissionShedSamples +
+                              tenant.stats.samplesShed;
+        table.addRow(
+            {tenant.name, tenant.slo, tenant.model,
+             withThousands(tenant.stats.samplesIssued),
+             withThousands(tenant.stats.completedOk),
+             withThousands(shed),
+             withThousands(tenant.stats.completedTimeout),
+             strprintf("%.2f%%", 100.0 * tenant.stats.shedRate()),
+             fmt(tenant.p99Ms, 3), tenant.valid ? "yes" : "NO"});
+    }
+    out += table.str();
+    return out;
+}
+
+std::string
+tenantSnapshotJson(const TenantReportRow &tenant, sim::Tick elapsed_ns)
+{
+    std::string out = "{";
+    out += strprintf(
+        "\"tenant\":\"%s\",\"slo\":\"%s\",\"model\":\"%s\","
+        "\"p99_ms\":%.4f,\"valid\":%s,\"stats\":",
+        tenant.name.c_str(), tenant.slo.c_str(),
+        tenant.model.c_str(), tenant.p99Ms,
+        tenant.valid ? "true" : "false");
+    out += servingSnapshotJson(tenant.stats, elapsed_ns);
     out += "}";
     return out;
 }

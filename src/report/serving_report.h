@@ -12,8 +12,10 @@
 #define MLPERF_REPORT_SERVING_REPORT_H
 
 #include <string>
+#include <vector>
 
 #include "serving/serving_stats.h"
+#include "serving/tenancy/model_registry.h"
 #include "sim/executor.h"
 
 namespace mlperf {
@@ -32,6 +34,35 @@ std::string renderServingSummary(
  */
 std::string servingSnapshotJson(
     const serving::StatsSnapshot &snapshot, sim::Tick elapsed_ns);
+
+/**
+ * One tenant's row of a multi-tenant platform report. Latency fields
+ * come from the tenant's LoadGen TestResult (the platform does not
+ * measure per-query latency itself).
+ */
+struct TenantReportRow
+{
+    std::string name;
+    std::string slo;    //!< serving::sloClassName of the SLO class
+    std::string model;  //!< registry model the tenant routes to
+    serving::StatsSnapshot stats;
+    double p99Ms = 0.0;
+    bool valid = false;
+};
+
+/**
+ * Per-tenant table (issued / ok / shed / timed-out / shed-rate / p99)
+ * plus the shared-pool and registry counters — the multi-tenant
+ * counterpart of renderServingSummary.
+ */
+std::string renderMultiTenantSummary(
+    const std::vector<TenantReportRow> &tenants,
+    const serving::StatsSnapshot &platform,
+    const serving::RegistrySnapshot &registry, sim::Tick elapsed_ns);
+
+/** One tenant row as JSON (embeds the full stats snapshot). */
+std::string tenantSnapshotJson(const TenantReportRow &tenant,
+                               sim::Tick elapsed_ns);
 
 } // namespace report
 } // namespace mlperf

@@ -51,6 +51,13 @@ struct Batch
     std::vector<BatchItem> items;
     sim::Tick formedAt = 0;
     FlushReason reason = FlushReason::Size;
+    /**
+     * Which route (model or DAG pipeline) the batch is bound for.
+     * 0 for the single-model ServingSut; the multi-tenant platform
+     * stamps its tenants' route ids here so one shared worker pool
+     * can serve many models (see serving/tenancy/platform.h).
+     */
+    uint32_t route = 0;
 };
 
 /**

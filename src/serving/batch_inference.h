@@ -58,6 +58,24 @@ class InferenceFault : public std::runtime_error
     FaultKind kind_;
 };
 
+/**
+ * Batch-level metadata the worker pools hand to routed inference
+ * engines alongside the samples. Single-model engines ignore it;
+ * the multi-tenant platform's router uses `route` to pick the model
+ * (or DAG pipeline) and `deadline` to propagate per-stage deadline
+ * budgets into pipeline execution.
+ */
+struct BatchMeta
+{
+    /** Route id stamped on the batch (Batch::route); 0 = unrouted. */
+    uint32_t route = 0;
+    /**
+     * Tightest absolute completion deadline across the batch's items;
+     * 0 = none.
+     */
+    sim::Tick deadline = 0;
+};
+
 class BatchInference
 {
   public:
@@ -74,6 +92,20 @@ class BatchInference
      */
     virtual std::vector<loadgen::QuerySampleResponse> runBatch(
         const std::vector<loadgen::QuerySample> &samples) = 0;
+
+    /**
+     * Routed entry point the worker pools actually call. The default
+     * discards the metadata and forwards to the unrouted overload, so
+     * every existing single-model engine is unaffected; multi-model
+     * routers override this one instead.
+     */
+    virtual std::vector<loadgen::QuerySampleResponse>
+    runBatch(const std::vector<loadgen::QuerySample> &samples,
+             const BatchMeta &meta)
+    {
+        (void)meta;
+        return runBatch(samples);
+    }
 
     /**
      * Modeled service time of the batch, used by event workers to
@@ -93,6 +125,15 @@ class BatchInference
         (void)samples;
         (void)now;
         return 0;
+    }
+
+    /** Routed variant; see the routed runBatch overload. */
+    virtual sim::Tick
+    serviceTimeNs(const std::vector<loadgen::QuerySample> &samples,
+                  sim::Tick now, const BatchMeta &meta)
+    {
+        (void)meta;
+        return serviceTimeNs(samples, now);
     }
 };
 

@@ -76,6 +76,8 @@ CompletionTracker::querySamplesComplete(
     }
     if (fresh.empty())
         return;
+    for (const auto &response : fresh)
+        stats_.recordTrackedCompletion(response.status, 1);
     if (admission_)
         admission_->release(fresh.size());
     deliverGrouped(fresh, owners);
@@ -101,6 +103,8 @@ CompletionTracker::reap(const std::vector<loadgen::ResponseId> &ids)
     if (expired.empty())
         return;
     stats_.recordTimeout(expired.size());
+    stats_.recordTrackedCompletion(loadgen::ResponseStatus::Timeout,
+                                   expired.size());
     if (admission_)
         admission_->release(expired.size());
     deliverGrouped(expired, owners);
@@ -123,6 +127,8 @@ CompletionTracker::drain()
     if (leftovers.empty())
         return;
     stats_.recordTimeout(leftovers.size());
+    stats_.recordTrackedCompletion(loadgen::ResponseStatus::Timeout,
+                                   leftovers.size());
     if (admission_)
         admission_->release(leftovers.size());
     deliverGrouped(leftovers, owners);

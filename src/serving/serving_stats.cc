@@ -148,6 +148,30 @@ ServingStats::recordDegradeMode(bool entered)
 }
 
 void
+ServingStats::recordTrackedCompletion(loadgen::ResponseStatus status,
+                                      uint64_t samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (status) {
+      case loadgen::ResponseStatus::Ok:
+        counters_.completedOk += samples;
+        break;
+      case loadgen::ResponseStatus::Degraded:
+        counters_.completedDegraded += samples;
+        break;
+      case loadgen::ResponseStatus::Shed:
+        counters_.completedShed += samples;
+        break;
+      case loadgen::ResponseStatus::Timeout:
+        counters_.completedTimeout += samples;
+        break;
+      case loadgen::ResponseStatus::Failed:
+        counters_.completedFailed += samples;
+        break;
+    }
+}
+
+void
 ServingStats::setWorkers(int64_t workers)
 {
     std::lock_guard<std::mutex> lock(mutex_);

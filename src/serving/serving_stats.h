@@ -65,6 +65,16 @@ struct StatsSnapshot
     uint64_t degradeEntries = 0;    //!< shed-rate monitor engagements
     uint64_t degradeExits = 0;
 
+    // ---- Per-status completions as observed by the CompletionTracker
+    //      (deduplicated; 0 when no tracker is active). These are the
+    //      per-tenant counters of the multi-tenant platform, where
+    //      each tenant owns a tracker recording into its own stats.
+    uint64_t completedOk = 0;
+    uint64_t completedDegraded = 0;
+    uint64_t completedShed = 0;
+    uint64_t completedTimeout = 0;
+    uint64_t completedFailed = 0;
+
     int64_t workers = 0;        //!< pool size (for utilization)
     uint64_t workerBusyNs = 0;  //!< busy time summed over workers
 
@@ -147,6 +157,12 @@ class ServingStats
     /** @p samples were served through the degraded/fallback path. */
     void recordDegraded(uint64_t samples);
     void recordDegradeMode(bool entered);
+    /**
+     * The tracker forwarded @p samples completions carrying @p status
+     * (after first-completion-wins dedup).
+     */
+    void recordTrackedCompletion(loadgen::ResponseStatus status,
+                                 uint64_t samples);
 
     void setWorkers(int64_t workers);
 

@@ -1,0 +1,227 @@
+#include "serving/tenancy/dag.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mlperf {
+namespace serving {
+
+// ------------------------------------------------------- DagBuilder
+
+int
+DagBuilder::input()
+{
+    if (inputNode_ >= 0) {
+        throw std::invalid_argument(
+            "dag '" + name_ + "': input() declared twice");
+    }
+    DagPipeline::Node node;
+    node.name = "$input";
+    node.costWeight = 0.0;
+    inputNode_ = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    return inputNode_;
+}
+
+int
+DagBuilder::stage(std::string name, DagStageFn fn,
+                  std::vector<int> deps, double cost_weight)
+{
+    if (!fn) {
+        throw std::invalid_argument(
+            "dag '" + name_ + "': stage '" + name + "' has no functor");
+    }
+    if (cost_weight <= 0.0) {
+        throw std::invalid_argument(
+            "dag '" + name_ + "': stage '" + name +
+            "' needs a positive cost weight");
+    }
+    const int id = static_cast<int>(nodes_.size());
+    for (int dep : deps) {
+        if (dep < 0 || dep >= id) {
+            throw std::invalid_argument(
+                "dag '" + name_ + "': stage '" + name +
+                "' references unknown node " + std::to_string(dep));
+        }
+    }
+    DagPipeline::Node node;
+    node.name = std::move(name);
+    node.fn = std::move(fn);
+    node.deps = std::move(deps);
+    node.costWeight = cost_weight;
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
+DagPipeline
+DagBuilder::build(int output) const
+{
+    if (nodes_.empty() ||
+        (inputNode_ >= 0 && nodes_.size() == 1)) {
+        throw std::invalid_argument(
+            "dag '" + name_ + "': no stages declared");
+    }
+    if (output == -1)
+        output = static_cast<int>(nodes_.size()) - 1;
+    if (output < 0 || output >= static_cast<int>(nodes_.size()) ||
+        output == inputNode_) {
+        throw std::invalid_argument(
+            "dag '" + name_ + "': invalid output node " +
+            std::to_string(output));
+    }
+
+    // Mark the nodes the output depends on. Dependencies always point
+    // at lower ids, so a single reverse sweep finds the closure.
+    std::vector<bool> needed(nodes_.size(), false);
+    needed[static_cast<size_t>(output)] = true;
+    for (int id = output; id >= 0; --id) {
+        if (!needed[static_cast<size_t>(id)])
+            continue;
+        for (int dep : nodes_[static_cast<size_t>(id)].deps)
+            needed[static_cast<size_t>(dep)] = true;
+    }
+    for (size_t id = 0; id < nodes_.size(); ++id) {
+        if (!needed[id] && static_cast<int>(id) != inputNode_) {
+            throw std::invalid_argument(
+                "dag '" + name_ + "': stage '" + nodes_[id].name +
+                "' is unreachable from the output");
+        }
+    }
+
+    DagPipeline pipeline;
+    pipeline.name_ = name_;
+    pipeline.nodes_ = nodes_;
+    pipeline.output_ = output;
+    pipeline.inputNode_ = inputNode_;
+    // Insertion order is already topological (deps precede users).
+    double total_weight = 0.0;
+    for (size_t id = 0; id < nodes_.size(); ++id) {
+        if (!needed[id])
+            continue;
+        pipeline.order_.push_back(static_cast<int>(id));
+        total_weight += nodes_[id].costWeight;
+    }
+    double spent = 0.0;
+    for (int id : pipeline.order_) {
+        spent += nodes_[static_cast<size_t>(id)].costWeight;
+        pipeline.nodes_[static_cast<size_t>(id)].budgetFraction =
+            total_weight > 0.0 ? spent / total_weight : 1.0;
+    }
+    pipeline.stats_ = std::make_shared<DagPipeline::Stats>();
+    pipeline.stats_->stages.resize(nodes_.size());
+    return pipeline;
+}
+
+// ------------------------------------------------------ DagPipeline
+
+tensor::Tensor
+DagPipeline::run(const tensor::Tensor &input, const DagContext &ctx) const
+{
+    std::vector<tensor::Tensor> values(nodes_.size());
+    std::vector<const tensor::Tensor *> inputs;
+
+    const bool timed = ctx.executor != nullptr;
+    const sim::Tick start = timed ? ctx.executor->now() : 0;
+    const sim::Tick budget =
+        (timed && ctx.deadline > start) ? ctx.deadline - start : 0;
+
+    for (int id : order_) {
+        const Node &node = nodes_[static_cast<size_t>(id)];
+        if (id == inputNode_) {
+            values[static_cast<size_t>(id)] = input;
+            continue;
+        }
+        const sim::Tick now = timed ? ctx.executor->now() : 0;
+        if (timed && ctx.deadline != 0 && now >= ctx.deadline) {
+            std::lock_guard<std::mutex> lock(stats_->mutex);
+            ++stats_->stages[static_cast<size_t>(id)].deadlineAborts;
+            throw DagDeadlineExceeded(node.name);
+        }
+
+        inputs.clear();
+        if (node.deps.empty()) {
+            // Source stage: hand it the pipeline input if one exists.
+            if (inputNode_ >= 0)
+                inputs.push_back(&values[static_cast<size_t>(inputNode_)]);
+        } else {
+            for (int dep : node.deps)
+                inputs.push_back(&values[static_cast<size_t>(dep)]);
+        }
+
+        DagContext stage_ctx = ctx;
+        // Propagate the stage's share of the remaining budget: a slow
+        // upstream stage shrinks every downstream sub-deadline.
+        if (budget != 0) {
+            stage_ctx.stageDeadline =
+                start + static_cast<sim::Tick>(
+                            static_cast<double>(budget) *
+                            node.budgetFraction);
+        }
+        values[static_cast<size_t>(id)] = node.fn(inputs, stage_ctx);
+
+        if (timed) {
+            const sim::Tick elapsed = ctx.executor->now() - now;
+            std::lock_guard<std::mutex> lock(stats_->mutex);
+            StageCounters &c = stats_->stages[static_cast<size_t>(id)];
+            ++c.runs;
+            c.totalNs += elapsed;
+        } else {
+            std::lock_guard<std::mutex> lock(stats_->mutex);
+            ++stats_->stages[static_cast<size_t>(id)].runs;
+        }
+    }
+    return std::move(values[static_cast<size_t>(output_)]);
+}
+
+std::vector<DagStageStats>
+DagPipeline::stageStats() const
+{
+    std::vector<DagStageStats> out;
+    std::lock_guard<std::mutex> lock(stats_->mutex);
+    for (int id : order_) {
+        if (id == inputNode_)
+            continue;
+        const Node &node = nodes_[static_cast<size_t>(id)];
+        const StageCounters &c = stats_->stages[static_cast<size_t>(id)];
+        DagStageStats s;
+        s.name = node.name;
+        s.runs = c.runs;
+        s.deadlineAborts = c.deadlineAborts;
+        s.totalNs = c.totalNs;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+// ------------------------------------------------ registryModelStage
+
+DagStageFn
+registryModelStage(const ModelRegistry &registry,
+                   std::string model_name)
+{
+    return [&registry, model_name = std::move(model_name)](
+               const std::vector<const tensor::Tensor *> &inputs,
+               const DagContext &) -> tensor::Tensor {
+        if (inputs.size() != 1) {
+            throw InferenceFault(
+                FaultKind::Permanent,
+                "model stage '" + model_name + "' expects 1 input, got " +
+                    std::to_string(inputs.size()));
+        }
+        const ModelHandle handle = registry.acquire(model_name);
+        if (!handle) {
+            throw InferenceFault(FaultKind::Permanent,
+                                 "model '" + model_name +
+                                     "' is not hot in the registry");
+        }
+        if (!handle->forward) {
+            throw InferenceFault(FaultKind::Permanent,
+                                 "model '" + model_name +
+                                     "' has no tensor entry point");
+        }
+        return handle->forward(*inputs[0]);
+    };
+}
+
+} // namespace serving
+} // namespace mlperf

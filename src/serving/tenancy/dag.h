@@ -1,0 +1,207 @@
+/**
+ * @file
+ * DAG pipelines: one query runs a graph of stages — preprocess ->
+ * model -> postprocess chains, or fan-out across several models with
+ * a join — instead of a single model call (the RedisAI
+ * dag_builder/dag_execute idiom named in the roadmap).
+ *
+ * Structure:
+ *
+ *  - DagBuilder assembles the graph. Stages reference only
+ *    already-declared nodes as dependencies, so the graph is acyclic
+ *    by construction; build() additionally validates that the output
+ *    is reachable and prunes nothing silently (unreachable stages are
+ *    a build error — a pipeline that quietly skips work would
+ *    misreport coverage).
+ *  - DagPipeline is the immutable compiled form. run() executes the
+ *    needed stages in topological order on the calling thread — which
+ *    in serving is a shared worker-pool thread, so pipelines ride the
+ *    same workers, queues, and backpressure as plain model routes.
+ *  - Deadline propagation: the pipeline's absolute deadline is split
+ *    across stages proportional to their declared cost weights. Each
+ *    stage sees its own absolute sub-deadline in DagContext (model
+ *    stages can forward it into nested calls), and a stage that would
+ *    start after the whole-pipeline deadline throws
+ *    DagDeadlineExceeded — the platform router completes just that
+ *    sample with Timeout status.
+ *
+ * Thread-safety: run() is const and touches only per-run state plus a
+ * mutex-guarded stats block, so any number of workers execute one
+ * pipeline concurrently. Stage functors must be thread-safe (model
+ * stages acquire registry handles, which are).
+ */
+
+#ifndef MLPERF_SERVING_TENANCY_DAG_H
+#define MLPERF_SERVING_TENANCY_DAG_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "loadgen/types.h"
+#include "serving/batch_inference.h"
+#include "serving/tenancy/model_registry.h"
+#include "sim/executor.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace serving {
+
+/** Per-run context a stage executes under. */
+struct DagContext
+{
+    /** QSL index of the sample this run serves (source stages use it
+     *  to fetch their input instead of a caller-provided tensor). */
+    loadgen::QuerySampleIndex sampleIndex = 0;
+    /** Time source for deadline checks; null = no deadline checking. */
+    sim::Executor *executor = nullptr;
+    /** Whole-pipeline absolute deadline; 0 = none. */
+    sim::Tick deadline = 0;
+    /**
+     * Absolute deadline of the *current* stage: the pipeline budget
+     * split by cost weight, set by the runner before each stage.
+     * Stages may pass it on to nested calls.
+     */
+    sim::Tick stageDeadline = 0;
+};
+
+/**
+ * One stage: consumes its dependencies' outputs (in declaration
+ * order) and produces one tensor. Source stages (no dependencies)
+ * receive the pipeline input as their only entry when one was
+ * provided, else an empty inputs vector.
+ */
+using DagStageFn = std::function<tensor::Tensor(
+    const std::vector<const tensor::Tensor *> &inputs,
+    const DagContext &ctx)>;
+
+/** Thrown when a stage would start past the pipeline deadline. */
+class DagDeadlineExceeded : public InferenceFault
+{
+  public:
+    explicit DagDeadlineExceeded(const std::string &stage)
+        : InferenceFault(FaultKind::Permanent,
+                         "dag deadline exceeded before stage '" +
+                             stage + "'")
+    {
+    }
+};
+
+/** Cumulative per-stage execution counters (thread-safe snapshot). */
+struct DagStageStats
+{
+    std::string name;
+    uint64_t runs = 0;
+    uint64_t deadlineAborts = 0;  //!< runs cut short before this stage
+    sim::Tick totalNs = 0;        //!< summed wall/virtual stage time
+};
+
+class DagPipeline
+{
+  public:
+    const std::string &name() const { return name_; }
+    size_t stageCount() const { return nodes_.size(); }
+
+    /**
+     * Execute the pipeline for one sample and return the output
+     * stage's tensor. @p input feeds input-kind nodes (pass an empty
+     * tensor when every source stage fetches via ctx.sampleIndex).
+     * Throws DagDeadlineExceeded on deadline violation and propagates
+     * stage exceptions unchanged.
+     */
+    tensor::Tensor run(const tensor::Tensor &input,
+                       const DagContext &ctx = {}) const;
+
+    /** Per-stage cumulative counters across all runs so far. */
+    std::vector<DagStageStats> stageStats() const;
+
+  private:
+    friend class DagBuilder;
+
+    struct Node
+    {
+        std::string name;
+        DagStageFn fn;            //!< null for the input node
+        std::vector<int> deps;
+        double costWeight = 1.0;
+        /** Cumulative weight through this stage / total weight: the
+         *  fraction of the deadline budget spent when it finishes. */
+        double budgetFraction = 1.0;
+    };
+
+    struct StageCounters
+    {
+        uint64_t runs = 0;
+        uint64_t deadlineAborts = 0;
+        sim::Tick totalNs = 0;
+    };
+
+    /** Mutable run statistics, shared by copies of the pipeline. */
+    struct Stats
+    {
+        std::mutex mutex;
+        std::vector<StageCounters> stages;
+    };
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<int> order_;  //!< needed nodes, topological order
+    int output_ = -1;
+    int inputNode_ = -1;
+    std::shared_ptr<Stats> stats_;
+};
+
+/**
+ * Assembles a DagPipeline. Dependencies must name already-declared
+ * nodes, so cycles cannot be expressed; malformed graphs (bad dep
+ * ids, unreachable stages, empty pipeline) fail build() loudly with
+ * std::invalid_argument.
+ */
+class DagBuilder
+{
+  public:
+    explicit DagBuilder(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Declare the pipeline-input node (at most once). Returns its
+     * node id for use as a dependency.
+     */
+    int input();
+
+    /**
+     * Append a stage consuming @p deps (prior node ids; empty = a
+     * source stage fetching via ctx). @p cost_weight sets this
+     * stage's share of the deadline budget. Returns the node id.
+     */
+    int stage(std::string name, DagStageFn fn, std::vector<int> deps,
+              double cost_weight = 1.0);
+
+    /**
+     * Validate and produce the immutable pipeline. @p output is the
+     * node whose tensor run() returns; -1 = the last declared stage.
+     */
+    DagPipeline build(int output = -1) const;
+
+  private:
+    std::string name_;
+    std::vector<DagPipeline::Node> nodes_;
+    int inputNode_ = -1;
+};
+
+/**
+ * Stage functor running a registry model's tensor entry point —
+ * acquired per run, so hot-swaps are visible mid-stream and the
+ * handle keeps the model alive for exactly the stage's duration.
+ * Throws InferenceFault(Permanent) if the model is not hot or has no
+ * tensor form.
+ */
+DagStageFn registryModelStage(const ModelRegistry &registry,
+                              std::string model_name);
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_TENANCY_DAG_H

@@ -1,0 +1,115 @@
+#include "serving/tenancy/model_registry.h"
+
+#include <mutex>
+#include <set>
+#include <utility>
+
+namespace mlperf {
+namespace serving {
+
+uint64_t
+ModelRegistry::publish(const std::string &name,
+                       std::shared_ptr<ServableModel> model)
+{
+    model->name = name;
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    Entry &entry = entries_[name];
+    if (entry.model)
+        ++swaps_;
+    else
+        ++publishes_;
+    entry.model = std::move(model);
+    entry.generation = ++generationCounter_;
+    return entry.generation;
+}
+
+ModelHandle
+ModelRegistry::acquire(const std::string &name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    return it->second.model;
+}
+
+ModelHandle
+ModelRegistry::evict(const std::string &name)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return nullptr;
+    ModelHandle evicted = std::move(it->second.model);
+    entries_.erase(it);
+    ++evictions_;
+    return evicted;
+}
+
+uint64_t
+ModelRegistry::generation(const std::string &name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.generation;
+}
+
+std::vector<std::string>
+ModelRegistry::hotModels() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        names.push_back(name);
+    return names;
+}
+
+size_t
+ModelRegistry::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return entries_.size();
+}
+
+int64_t
+ModelRegistry::constantBytes() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    int64_t total = 0;
+    std::set<const void *> seen;
+    for (const auto &[name, entry] : entries_) {
+        const ServableModel &model = *entry.model;
+        if (model.constantBytes == 0)
+            continue;
+        // Aliased entries share one packed constant section; count it
+        // once. Entries without an identity are assumed unshared.
+        if (model.constantsId != nullptr &&
+            !seen.insert(model.constantsId).second) {
+            continue;
+        }
+        total += model.constantBytes;
+    }
+    return total;
+}
+
+RegistrySnapshot
+ModelRegistry::snapshot() const
+{
+    RegistrySnapshot snap;
+    snap.constantBytes = constantBytes();
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    snap.publishes = publishes_;
+    snap.swaps = swaps_;
+    snap.evictions = evictions_;
+    snap.lookups = lookups_.load(std::memory_order_relaxed);
+    snap.misses = misses_.load(std::memory_order_relaxed);
+    snap.hotModels = static_cast<int64_t>(entries_.size());
+    return snap;
+}
+
+} // namespace serving
+} // namespace mlperf

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * ModelRegistry: many models hot at once, behind reader-mostly
+ * reference-counted lookup.
+ *
+ * The paper's Sec. IV-B multitenancy extension has "the SUT
+ * continuously serve multiple models while maintaining QoS"; the
+ * serving runtime from PRs 1-5 serves exactly one compiled model per
+ * ServingSut. The registry is the platform piece that lifts that
+ * limit: classifier + detector + translator + their quantized
+ * variants all stay resident, each addressable by name.
+ *
+ * Lifetime rules (the part concurrency makes subtle):
+ *
+ *  - acquire() returns a shared_ptr handle under a shared (reader)
+ *    lock — the same shared_mutex idiom as CompiledModel's plan
+ *    cache, so steady-state lookups never serialize against each
+ *    other.
+ *  - publish()/evict() swap the map entry under the exclusive lock,
+ *    but never destroy a model that is still referenced: in-flight
+ *    batches hold their handle for the duration of runBatch, so a
+ *    model can be hot-swapped (same name, new generation) or evicted
+ *    while queries are executing on the outgoing instance. The old
+ *    instance dies when its last in-flight handle drops.
+ *  - generations are monotonic across the registry; a swap is
+ *    observable as generation(name) increasing.
+ *
+ * Prepacked-constant accounting: each ServableModel reports the byte
+ * size of its read-only constant section plus an identity token.
+ * Entries that share one underlying CompiledModel (e.g. one model
+ * published under two aliases, or a DAG stage reusing a serving
+ * model) share the packed constants, and constantBytes() dedupes by
+ * that identity so the footprint is not double-counted.
+ */
+
+#ifndef MLPERF_SERVING_TENANCY_MODEL_REGISTRY_H
+#define MLPERF_SERVING_TENANCY_MODEL_REGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "serving/batch_inference.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace serving {
+
+/**
+ * One servable entry: a batch-level engine for model routes, an
+ * optional tensor-level entry point for DAG stages, and the metadata
+ * the registry accounts for. Immutable once published (hot-swap
+ * replaces the whole entry rather than mutating it).
+ */
+struct ServableModel
+{
+    /** Registry key (stamped by publish()). */
+    std::string name;
+    /** Free-form variant tag, e.g. "fp32" or "int8". */
+    std::string version;
+    /**
+     * Batch entry point for model routes. Must be thread-safe (the
+     * shared worker pool calls it concurrently). May be null for
+     * models only ever used as DAG stages.
+     */
+    std::unique_ptr<BatchInference> engine;
+    /**
+     * Tensor-level entry point for DAG stages ([N,...] in -> out).
+     * Null when the model has no tensor form (e.g. analytical cost
+     * profiles). Must be thread-safe.
+     */
+    std::function<tensor::Tensor(const tensor::Tensor &)> forward;
+    /** Bytes of prepacked read-only constants this model references. */
+    int64_t constantBytes = 0;
+    /**
+     * Identity of the constant section (typically the CompiledModel
+     * address). Entries sharing it are counted once by
+     * ModelRegistry::constantBytes(). Null = unshared.
+     */
+    const void *constantsId = nullptr;
+};
+
+/**
+ * Reference-counted model handle. Holding one keeps the model (and
+ * its engine, forward functor, and packed constants) alive across
+ * concurrent swap/evict; copying never allocates, so the per-batch
+ * acquire on the serving hot path stays heap-silent.
+ */
+using ModelHandle = std::shared_ptr<const ServableModel>;
+
+/** Point-in-time registry counters. */
+struct RegistrySnapshot
+{
+    uint64_t publishes = 0;  //!< first-time publications
+    uint64_t swaps = 0;      //!< re-publications of a live name
+    uint64_t evictions = 0;
+    uint64_t lookups = 0;
+    uint64_t misses = 0;
+    int64_t hotModels = 0;
+    /** Deduped prepacked-constant footprint across hot models. */
+    int64_t constantBytes = 0;
+};
+
+class ModelRegistry
+{
+  public:
+    ModelRegistry() = default;
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * Insert @p model under @p name, replacing (hot-swapping) any
+     * existing entry. In-flight handles to the outgoing instance stay
+     * valid; new acquires see the new one. Returns the entry's new
+     * generation (monotonic across the registry, never 0).
+     */
+    uint64_t publish(const std::string &name,
+                     std::shared_ptr<ServableModel> model);
+
+    /**
+     * Look up @p name under the shared lock. Returns null if absent
+     * (callers fail loudly or shed; the registry never throws here —
+     * a miss is an expected race against evict).
+     */
+    ModelHandle acquire(const std::string &name) const;
+
+    /**
+     * Remove @p name. Returns the evicted handle (null if absent) so
+     * callers can observe destruction order; the model itself dies
+     * when the last in-flight handle drops.
+     */
+    ModelHandle evict(const std::string &name);
+
+    /** Current generation of @p name; 0 if absent. */
+    uint64_t generation(const std::string &name) const;
+
+    /** Names of all hot models, sorted. */
+    std::vector<std::string> hotModels() const;
+
+    size_t size() const;
+
+    /** Deduped (by constantsId) prepacked-constant bytes resident. */
+    int64_t constantBytes() const;
+
+    RegistrySnapshot snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<ServableModel> model;
+        uint64_t generation = 0;
+    };
+
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    uint64_t generationCounter_ = 0;  //!< under the exclusive lock
+    uint64_t publishes_ = 0;
+    uint64_t swaps_ = 0;
+    uint64_t evictions_ = 0;
+    /** Atomics: bumped under the shared lock on the lookup fast path. */
+    mutable std::atomic<uint64_t> lookups_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_TENANCY_MODEL_REGISTRY_H

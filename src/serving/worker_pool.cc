@@ -19,6 +19,21 @@ batchSamples(const Batch &batch)
     return samples;
 }
 
+/** Route + tightest item deadline, for the routed inference entry. */
+BatchMeta
+batchMeta(const Batch &batch)
+{
+    BatchMeta meta;
+    meta.route = batch.route;
+    for (const BatchItem &item : batch.items) {
+        if (item.deadline != 0 &&
+            (meta.deadline == 0 || item.deadline < meta.deadline)) {
+            meta.deadline = item.deadline;
+        }
+    }
+    return meta;
+}
+
 /**
  * Shed items whose deadline passed while queued: complete them with
  * Timeout status instead of wasting a worker slot on an answer nobody
@@ -139,7 +154,8 @@ ThreadWorkerPool::process(Batch &&batch)
         return;
     stats_.recordDispatch(batch, start);
     try {
-        const auto responses = inference_.runBatch(batchSamples(batch));
+        const auto responses =
+            inference_.runBatch(batchSamples(batch), batchMeta(batch));
         completeBatch(batch, responses);
         const sim::Tick end = executor_.now();
         stats_.recordBatchDone(batch.items.size(),
@@ -198,8 +214,8 @@ EventWorkerPool::dispatch()
         if (batch.items.empty())
             continue;
         stats_.recordDispatch(batch, now);
-        const sim::Tick service =
-            inference_.serviceTimeNs(batchSamples(batch), now);
+        const sim::Tick service = inference_.serviceTimeNs(
+            batchSamples(batch), now, batchMeta(batch));
         ++busyWorkers_;
         executor_.scheduleAfter(
             service, [this, batch = std::move(batch), service] {
@@ -214,7 +230,8 @@ EventWorkerPool::finishBatch(const Batch &batch, sim::Tick service_ns)
     // runBatch is instantaneous in host time; virtual time already
     // advanced by the modeled service time.
     try {
-        const auto responses = inference_.runBatch(batchSamples(batch));
+        const auto responses =
+            inference_.runBatch(batchSamples(batch), batchMeta(batch));
         completeBatch(batch, responses);
         stats_.recordBatchDone(batch.items.size(), service_ns);
     } catch (const InferenceFault &fault) {

@@ -77,5 +77,39 @@ ClassifierBatchInference::runBatch(
     return responses;
 }
 
+uint64_t
+publishProfileModel(serving::ModelRegistry &registry,
+                    const std::string &name, std::string version,
+                    const HardwareProfile &profile,
+                    const ModelCost &cost, uint64_t seed)
+{
+    auto servable = std::make_shared<serving::ServableModel>();
+    servable->version = std::move(version);
+    servable->engine =
+        std::make_unique<ProfileBatchInference>(profile, cost, seed);
+    // Analytical models have no tensor form and no packed constants.
+    return registry.publish(name, std::move(servable));
+}
+
+uint64_t
+publishClassifierModel(serving::ModelRegistry &registry,
+                       const std::string &name, std::string version,
+                       const models::ImageClassifier &model,
+                       const ClassificationQsl &qsl)
+{
+    auto servable = std::make_shared<serving::ServableModel>();
+    servable->version = std::move(version);
+    servable->engine =
+        std::make_unique<ClassifierBatchInference>(model, qsl);
+    servable->forward =
+        [&model](const tensor::Tensor &input) -> tensor::Tensor {
+        return nn::ExecutionInstance::thread().forward(model.compiled(),
+                                                       input);
+    };
+    servable->constantBytes = model.compiled().constantBytes();
+    servable->constantsId = &model.compiled();
+    return registry.publish(name, std::move(servable));
+}
+
 } // namespace sut
 } // namespace mlperf

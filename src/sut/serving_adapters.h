@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "serving/batch_inference.h"
+#include "serving/tenancy/model_registry.h"
 #include "sut/hardware_profile.h"
 #include "sut/model_cost.h"
 #include "sut/nn_sut.h"
@@ -72,6 +73,35 @@ class ClassifierBatchInference : public serving::BatchInference
     const models::ImageClassifier &model_;
     const ClassificationQsl &qsl_;
 };
+
+// ------------------------------------------- registry publish helpers
+
+/**
+ * Publish an analytical profile model into @p registry under
+ * @p name: a ProfileBatchInference engine for event workers under
+ * virtual time, no tensor entry point. Returns the entry's registry
+ * generation.
+ */
+uint64_t publishProfileModel(serving::ModelRegistry &registry,
+                             const std::string &name,
+                             std::string version,
+                             const HardwareProfile &profile,
+                             const ModelCost &cost,
+                             uint64_t seed = 0xDEC0DE);
+
+/**
+ * Publish the real classifier into @p registry under @p name: a
+ * ClassifierBatchInference engine for thread workers, a tensor-level
+ * forward through the compiled plan (for DAG stages), and
+ * prepacked-constant accounting keyed by the CompiledModel's address
+ * so aliases of one model are counted once. @p model and @p qsl must
+ * outlive the registry entry (and any in-flight handles to it).
+ */
+uint64_t publishClassifierModel(serving::ModelRegistry &registry,
+                                const std::string &name,
+                                std::string version,
+                                const models::ImageClassifier &model,
+                                const ClassificationQsl &qsl);
 
 } // namespace sut
 } // namespace mlperf
