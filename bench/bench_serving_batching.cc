@@ -220,6 +220,115 @@ main()
         json += report::servingSnapshotJson(stats, result.durationNs);
         json += "}";
     }
+
+    // Shard sweep: the sharded runtime (per-shard batcher/queue/
+    // workers + lock-free completion rings) against the single-shard
+    // baseline, on a synthetic busy-wait inference so the axis
+    // measures pure scheduler behaviour, not model compute. Two runs
+    // per shard count: a saturation run (offered load far above
+    // capacity; achieved qps = drain rate) and a fixed-load run at
+    // half the single-shard saturation rate for tail latency.
+    // Scaling efficiency is reported against the single-shard
+    // baseline and is honest about the host: on a single-CPU
+    // container the busy-wait workers serialize, so efficiency ~1/N
+    // is the expected reading there, while the lock counters prove
+    // the coordination costs sharding is designed to remove.
+    {
+        constexpr sim::Tick kSpinNsPerSample = 100 * 1000;  // 100 us
+        constexpr uint64_t kShardQueries = 256;
+        constexpr int64_t kTotalWorkers = 4;
+        sut::SyntheticBatchInference synthetic(kSpinNsPerSample);
+
+        const double capacityQps =
+            static_cast<double>(kTotalWorkers) *
+            (static_cast<double>(sim::kNsPerSec) /
+             static_cast<double>(kSpinNsPerSample));
+
+        report::Table shard_table(
+            {"Shards", "Saturated QPS", "Scaling", "p99 (ms) @ half",
+             "Steals", "Ring fallbacks", "Fast-path locks"});
+        json += ",\"shard_sweep\":[";
+        double shard1Qps = 0.0;
+        bool first_shard = true;
+        for (int64_t shards : {1, 2, 4}) {
+            const auto run = [&](double target_qps) {
+                sim::RealExecutor executor;
+                serving::ServingOptions options;
+                options.workers = kTotalWorkers;
+                options.shards = shards;
+                options.maxBatch = 1;      // per-sample: scheduler load
+                options.batchTimeoutNs = 0;
+                options.queueCapacityBatches = 0;  // measure drain rate
+                serving::ServingSut sut(executor, synthetic, options);
+                loadgen::LoadGen lg(executor);
+                loadgen::TestSettings settings =
+                    serverSettings(target_qps);
+                settings.maxQueryCount = kShardQueries;
+                const loadgen::TestResult result =
+                    lg.startTest(sut, qsl, settings);
+                sut.shutdown();
+                struct
+                {
+                    RunNumbers n;
+                    uint64_t steals = 0;
+                    uint64_t ringFallbacks = 0;
+                    uint64_t fastPathLocks = 0;
+                } out;
+                out.n = numbersFrom(result);
+                if (serving::ShardedWorkerPool *pool =
+                        sut.shardedPool()) {
+                    out.steals = pool->steals();
+                    out.ringFallbacks = pool->ringFallbacks();
+                    out.fastPathLocks =
+                        pool->fastPathLockAcquisitions();
+                }
+                return out;
+            };
+
+            // Saturation: offer 2x theoretical capacity.
+            const auto saturated = run(2.0 * capacityQps);
+            if (shards == 1)
+                shard1Qps = saturated.n.achievedQps;
+            const double scaling =
+                shard1Qps > 0.0 ? saturated.n.achievedQps / shard1Qps
+                                : 0.0;
+            // Tail latency at a load every config can carry.
+            const auto half = run(0.5 * shard1Qps);
+
+            shard_table.addRow(
+                {withThousands(shards),
+                 report::fmt(saturated.n.achievedQps, 1),
+                 report::fmt(scaling, 2), report::fmt(half.n.p99Ms, 2),
+                 withThousands(saturated.steals + half.steals),
+                 withThousands(saturated.ringFallbacks +
+                               half.ringFallbacks),
+                 withThousands(saturated.fastPathLocks +
+                               half.fastPathLocks)});
+            if (!first_shard)
+                json += ",";
+            first_shard = false;
+            json += strprintf(
+                "{\"shards\":%lld,\"workers\":%lld,"
+                "\"saturated_qps\":%.2f,\"scaling_vs_1\":%.3f,"
+                "\"p99_ms_at_half_load\":%.3f,\"steals\":%llu,"
+                "\"ring_fallbacks\":%llu,\"fast_path_locks\":%llu}",
+                static_cast<long long>(shards),
+                static_cast<long long>(kTotalWorkers),
+                saturated.n.achievedQps, scaling, half.n.p99Ms,
+                static_cast<unsigned long long>(saturated.steals +
+                                                half.steals),
+                static_cast<unsigned long long>(
+                    saturated.ringFallbacks + half.ringFallbacks),
+                static_cast<unsigned long long>(
+                    saturated.fastPathLocks + half.fastPathLocks));
+        }
+        json += "]";
+        std::printf("\nShard sweep (synthetic %.0f us/sample, %lld "
+                    "workers total, saturation + half-load runs):\n%s",
+                    static_cast<double>(kSpinNsPerSample) / 1000.0,
+                    static_cast<long long>(kTotalWorkers),
+                    shard_table.str().c_str());
+    }
     json += "}";
 
     std::printf("%s", table.str().c_str());
@@ -232,11 +341,14 @@ main()
 
     // Mirror bench_microkernels: MLPERF_BENCH_JSON=<path> writes the
     // machine-readable results for the BENCH_* tracking scripts.
-    if (const char *path = std::getenv("MLPERF_BENCH_JSON")) {
-        if (std::FILE *f = std::fopen(path, "w")) {
-            std::fprintf(f, "%s\n", json.c_str());
-            std::fclose(f);
-        }
+    // Default to the committed BENCH_serving.json so a plain run
+    // refreshes the tracked numbers.
+    const char *path = std::getenv("MLPERF_BENCH_JSON");
+    if (path == nullptr)
+        path = "BENCH_serving.json";
+    if (std::FILE *f = std::fopen(path, "w")) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
     }
     return 0;
 }

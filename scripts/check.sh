@@ -29,7 +29,7 @@ command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
 run_suite() {
     build_dir="$1"
     ctest --test-dir "$build_dir" --output-on-failure \
-          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|GemmPrepacked|Int8Prepacked|CompiledModel|ModelGraph|MemoryPlanner|ModelRegistry|DagPipeline|ServingPlatform|TenantSut|MultiTenantServing'
+          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|GemmPrepacked|Int8Prepacked|CompiledModel|ModelGraph|MemoryPlanner|ModelRegistry|DagPipeline|ServingPlatform|TenantSut|MultiTenantServing|MpscRing|ShardRouting|ShardedWorkerPool|ServingSutSharded|ShardedPlatform|ServingStats|BoundedQueuePopFor'
 }
 
 if [ "$MODE" = "tier1" ]; then
@@ -48,7 +48,7 @@ if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
     cmake --build build-tsan --target \
-          test_serving test_resilience test_tenancy test_loadgen test_sim test_common \
+          test_serving test_shard test_resilience test_tenancy test_loadgen test_sim test_common \
           test_tensor test_quant test_nn
     TSAN_OPTIONS="halt_on_error=1" run_suite build-tsan
 fi
@@ -60,7 +60,7 @@ if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
     cmake --build build-asan --target \
-          test_serving test_resilience test_tenancy test_loadgen test_sim test_common \
+          test_serving test_shard test_resilience test_tenancy test_loadgen test_sim test_common \
           test_tensor test_quant test_nn
     run_suite build-asan
 fi

@@ -182,6 +182,8 @@ runServerServing(const sut::HardwareProfile &profile,
     if (serving_options.maxBatch <= 0)
         serving_options.maxBatch =
             std::max<int64_t>(1, profile.maxBatch);
+    if (serving_options.shards <= 1)
+        serving_options.shards = options.servingShards;
     serving_options.mode = serving::WorkerMode::Events;
     // The LoadGen-side deadline and the SUT-side one are the same
     // setting; a caller-provided serving option wins.

@@ -42,6 +42,14 @@ struct ExperimentOptions
      * of hanging the run.
      */
     sim::Tick serverQueryDeadlineNs = 0;
+    /**
+     * Shards for the serving runtime (ServingOptions::shards) when
+     * the caller did not set them explicitly. Note runServerServing
+     * forces Events mode, where the runtime resolves shards to 1 —
+     * the knob matters for wall-clock (Threads) harness runs and for
+     * keeping one ExperimentOptions struct usable across both.
+     */
+    int64_t servingShards = 1;
 };
 
 /**

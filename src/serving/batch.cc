@@ -48,5 +48,57 @@ errorResponses(const Batch &batch, loadgen::ResponseStatus status)
     return responses;
 }
 
+std::vector<loadgen::QuerySample>
+batchSamples(const Batch &batch)
+{
+    std::vector<loadgen::QuerySample> samples;
+    samples.reserve(batch.items.size());
+    for (const BatchItem &item : batch.items)
+        samples.push_back(item.sample);
+    return samples;
+}
+
+BatchMeta
+batchMeta(const Batch &batch)
+{
+    BatchMeta meta;
+    meta.route = batch.route;
+    for (const BatchItem &item : batch.items) {
+        if (item.deadline != 0 &&
+            (meta.deadline == 0 || item.deadline < meta.deadline)) {
+            meta.deadline = item.deadline;
+        }
+    }
+    return meta;
+}
+
+Batch
+splitExpired(Batch &batch, sim::Tick now)
+{
+    Batch expired;
+    expired.formedAt = batch.formedAt;
+    expired.reason = batch.reason;
+    expired.route = batch.route;
+    bool anyExpired = false;
+    for (const BatchItem &item : batch.items) {
+        if (item.deadline != 0 && item.deadline <= now) {
+            anyExpired = true;
+            break;
+        }
+    }
+    if (!anyExpired)
+        return expired;
+    std::vector<BatchItem> live;
+    live.reserve(batch.items.size());
+    for (BatchItem &item : batch.items) {
+        if (item.deadline != 0 && item.deadline <= now)
+            expired.items.push_back(std::move(item));
+        else
+            live.push_back(std::move(item));
+    }
+    batch.items = std::move(live);
+    return expired;
+}
+
 } // namespace serving
 } // namespace mlperf

@@ -17,6 +17,7 @@
 
 #include "loadgen/sut.h"
 #include "loadgen/types.h"
+#include "serving/batch_inference.h"
 #include "sim/executor.h"
 
 namespace mlperf {
@@ -81,6 +82,21 @@ std::vector<loadgen::QuerySampleResponse> errorResponses(
 /** Same, drawn from a formed batch's items. */
 std::vector<loadgen::QuerySampleResponse> errorResponses(
     const Batch &batch, loadgen::ResponseStatus status);
+
+/** The batch's samples in issue order (runBatch's input contract). */
+std::vector<loadgen::QuerySample> batchSamples(const Batch &batch);
+
+/** Route + tightest item deadline, for the routed inference entry. */
+BatchMeta batchMeta(const Batch &batch);
+
+/**
+ * Remove the items of @p batch whose deadline passed at @p now and
+ * return them as their own batch (empty when none expired). The
+ * caller completes the expired batch with Timeout status and counts
+ * it; both worker-pool flavors and the sharded runtime share this
+ * dispatch-time shed logic.
+ */
+Batch splitExpired(Batch &batch, sim::Tick now);
 
 } // namespace serving
 } // namespace mlperf

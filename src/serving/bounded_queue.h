@@ -7,17 +7,26 @@
  * production serving stacks (RedisAI-style). A full queue is the
  * backpressure signal: tryPush() fails instead of growing without
  * bound, and the caller decides whether to shed or stall.
+ *
+ * The sharded runtime adds two consumer-side needs: popFor() bounds
+ * how long an idle worker sleeps before it looks at other shards'
+ * queues (work stealing), and drained() is the post-close exit test.
+ * Every lock acquisition notes itself with LockProbe so the zero-
+ * mutex fast-path assertion of the shard tests can see this queue.
  */
 
 #ifndef MLPERF_SERVING_BOUNDED_QUEUE_H
 #define MLPERF_SERVING_BOUNDED_QUEUE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "serving/lock_probe.h"
 
 namespace mlperf {
 namespace serving {
@@ -37,6 +46,7 @@ class BoundedQueue
     tryPush(T &value)
     {
         {
+            LockProbe::noteAcquire();
             std::lock_guard<std::mutex> lock(mutex_);
             if (closed_ || full())
                 return false;
@@ -54,6 +64,7 @@ class BoundedQueue
     push(T value)
     {
         {
+            LockProbe::noteAcquire();
             std::unique_lock<std::mutex> lock(mutex_);
             producerCv_.wait(lock,
                              [this] { return closed_ || !full(); });
@@ -75,9 +86,34 @@ class BoundedQueue
     {
         std::optional<T> out;
         {
+            LockProbe::noteAcquire();
             std::unique_lock<std::mutex> lock(mutex_);
             consumerCv_.wait(
                 lock, [this] { return closed_ || !items_.empty(); });
+            if (items_.empty())
+                return std::nullopt;
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        producerCv_.notify_one();
+        return out;
+    }
+
+    /**
+     * Dequeue, blocking up to @p timeout while the queue is empty.
+     * Returns nullopt on timeout or once closed and drained — callers
+     * distinguish the two with drained().
+     */
+    std::optional<T>
+    popFor(std::chrono::microseconds timeout)
+    {
+        std::optional<T> out;
+        {
+            LockProbe::noteAcquire();
+            std::unique_lock<std::mutex> lock(mutex_);
+            consumerCv_.wait_for(lock, timeout, [this] {
+                return closed_ || !items_.empty();
+            });
             if (items_.empty())
                 return std::nullopt;
             out.emplace(std::move(items_.front()));
@@ -93,6 +129,7 @@ class BoundedQueue
     {
         std::optional<T> out;
         {
+            LockProbe::noteAcquire();
             std::lock_guard<std::mutex> lock(mutex_);
             if (items_.empty())
                 return std::nullopt;
@@ -108,6 +145,7 @@ class BoundedQueue
     close()
     {
         {
+            LockProbe::noteAcquire();
             std::lock_guard<std::mutex> lock(mutex_);
             closed_ = true;
         }
@@ -118,6 +156,7 @@ class BoundedQueue
     size_t
     size() const
     {
+        LockProbe::noteAcquire();
         std::lock_guard<std::mutex> lock(mutex_);
         return items_.size();
     }
@@ -125,8 +164,18 @@ class BoundedQueue
     bool
     closed() const
     {
+        LockProbe::noteAcquire();
         std::lock_guard<std::mutex> lock(mutex_);
         return closed_;
+    }
+
+    /** Closed and empty: nothing left for a consumer to do. */
+    bool
+    drained() const
+    {
+        LockProbe::noteAcquire();
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_ && items_.empty();
     }
 
   private:

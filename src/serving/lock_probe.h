@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Thread-local mutex-acquisition probe for the serving fast path.
+ *
+ * The sharded runtime's contract is that a worker's completion fast
+ * path — from runBatch returning to the completion record landing in
+ * the shard's ring — acquires zero mutexes. Contracts rot unless they
+ * are checked: every instrumented lock site in src/serving (bounded
+ * queue, serving stats, completion tracker, dynamic batcher) bumps a
+ * thread-local counter, shard workers measure the delta across the
+ * publish step, and the shard tests assert the accumulated total
+ * stays zero. Because the counter is thread-local, the probe adds no
+ * shared write to the very paths it watches.
+ */
+
+#ifndef MLPERF_SERVING_LOCK_PROBE_H
+#define MLPERF_SERVING_LOCK_PROBE_H
+
+#include <cstdint>
+
+namespace mlperf {
+namespace serving {
+
+class LockProbe
+{
+  public:
+    /** Called by instrumented serving lock sites on each acquire. */
+    static void noteAcquire() { ++acquisitions_; }
+
+    /** Instrumented acquisitions by the calling thread so far. */
+    static uint64_t threadAcquisitions() { return acquisitions_; }
+
+  private:
+    inline static thread_local uint64_t acquisitions_ = 0;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_LOCK_PROBE_H

@@ -1,35 +1,52 @@
 #include "serving/serving_stats.h"
 
+#include "serving/lock_probe.h"
+
 namespace mlperf {
 namespace serving {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+} // namespace
 
 void
 ServingStats::recordIssued(uint64_t samples, uint64_t depth)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.samplesIssued += samples;
-    counters_.queueDepth.record(depth);
+    issue_.samplesIssued.fetch_add(samples, kRelaxed);
+    LockProbe::noteAcquire();
+    std::lock_guard<std::mutex> lock(issueHistMutex_);
+    queueDepth_.record(depth);
 }
 
 void
 ServingStats::recordBatchFormed(const Batch &batch)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.batchesFormed;
-    counters_.batchSize.record(batch.items.size());
+    issue_.batchesFormed.fetch_add(1, kRelaxed);
     switch (batch.reason) {
-      case FlushReason::Size: ++counters_.sizeFlushes; break;
-      case FlushReason::Timeout: ++counters_.timeoutFlushes; break;
-      case FlushReason::Drain: ++counters_.drainFlushes; break;
+      case FlushReason::Size:
+        issue_.sizeFlushes.fetch_add(1, kRelaxed);
+        break;
+      case FlushReason::Timeout:
+        issue_.timeoutFlushes.fetch_add(1, kRelaxed);
+        break;
+      case FlushReason::Drain:
+        issue_.drainFlushes.fetch_add(1, kRelaxed);
+        break;
     }
+    LockProbe::noteAcquire();
+    std::lock_guard<std::mutex> lock(issueHistMutex_);
+    batchSize_.record(batch.items.size());
 }
 
 void
 ServingStats::recordDispatch(const Batch &batch, sim::Tick now)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockProbe::noteAcquire();
+    std::lock_guard<std::mutex> lock(doneHistMutex_);
     for (const BatchItem &item : batch.items) {
-        counters_.timeInQueueNs.record(
+        timeInQueueNs_.record(
             now >= item.enqueuedAt ? now - item.enqueuedAt : 0);
     }
 }
@@ -37,136 +54,131 @@ ServingStats::recordDispatch(const Batch &batch, sim::Tick now)
 void
 ServingStats::recordBatchDone(uint64_t samples, sim::Tick busyNs)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.batchesCompleted;
-    counters_.samplesCompleted += samples;
-    counters_.workerBusyNs += busyNs;
-    counters_.serviceTimeNs.record(busyNs);
+    done_.batchesCompleted.fetch_add(1, kRelaxed);
+    done_.samplesCompleted.fetch_add(samples, kRelaxed);
+    done_.workerBusyNs.fetch_add(busyNs, kRelaxed);
+    LockProbe::noteAcquire();
+    std::lock_guard<std::mutex> lock(doneHistMutex_);
+    serviceTimeNs_.record(busyNs);
 }
 
 void
 ServingStats::recordShed(uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.batchesShed;
-    counters_.samplesShed += samples;
+    issue_.batchesShed.fetch_add(1, kRelaxed);
+    issue_.samplesShed.fetch_add(samples, kRelaxed);
 }
 
 void
 ServingStats::recordAdmissionShed(uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.admissionShedSamples += samples;
+    issue_.admissionShedSamples.fetch_add(samples, kRelaxed);
 }
 
 void
 ServingStats::recordExpired(uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.expiredSamples += samples;
+    done_.expiredSamples.fetch_add(samples, kRelaxed);
 }
 
 void
 ServingStats::recordTimeout(uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.timeoutSamples += samples;
+    done_.timeoutSamples.fetch_add(samples, kRelaxed);
 }
 
 void
 ServingStats::recordDroppedCompletion(uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.droppedCompletions += samples;
+    done_.droppedCompletions.fetch_add(samples, kRelaxed);
 }
 
 void
 ServingStats::recordBatchFailed(uint64_t samples, sim::Tick busyNs)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.batchesFailed;
-    counters_.failedSamples += samples;
-    counters_.workerBusyNs += busyNs;
-    counters_.serviceTimeNs.record(busyNs);
+    done_.batchesFailed.fetch_add(1, kRelaxed);
+    done_.failedSamples.fetch_add(samples, kRelaxed);
+    done_.workerBusyNs.fetch_add(busyNs, kRelaxed);
+    LockProbe::noteAcquire();
+    std::lock_guard<std::mutex> lock(doneHistMutex_);
+    serviceTimeNs_.record(busyNs);
 }
 
 void
 ServingStats::recordRetry()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.retries;
+    resilience_.retries.fetch_add(1, kRelaxed);
 }
 
 void
 ServingStats::recordRetrySuccess()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.retrySuccesses;
+    resilience_.retrySuccesses.fetch_add(1, kRelaxed);
 }
 
 void
 ServingStats::recordRetriesExhausted()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.retriesExhausted;
+    resilience_.retriesExhausted.fetch_add(1, kRelaxed);
 }
 
 void
 ServingStats::recordBreakerTransition(BreakerState state)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.breakerState = state;
+    resilience_.breakerState.store(state, kRelaxed);
     switch (state) {
-      case BreakerState::Open:     ++counters_.breakerOpens; break;
-      case BreakerState::HalfOpen: ++counters_.breakerHalfOpens; break;
-      case BreakerState::Closed:   ++counters_.breakerCloses; break;
+      case BreakerState::Open:
+        resilience_.breakerOpens.fetch_add(1, kRelaxed);
+        break;
+      case BreakerState::HalfOpen:
+        resilience_.breakerHalfOpens.fetch_add(1, kRelaxed);
+        break;
+      case BreakerState::Closed:
+        resilience_.breakerCloses.fetch_add(1, kRelaxed);
+        break;
     }
 }
 
 void
 ServingStats::recordBreakerFastFail(uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.breakerFastFailSamples += samples;
+    resilience_.breakerFastFailSamples.fetch_add(samples, kRelaxed);
 }
 
 void
 ServingStats::recordDegraded(uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.degradedSamples += samples;
+    tracked_.degradedSamples.fetch_add(samples, kRelaxed);
 }
 
 void
 ServingStats::recordDegradeMode(bool entered)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     if (entered)
-        ++counters_.degradeEntries;
+        tracked_.degradeEntries.fetch_add(1, kRelaxed);
     else
-        ++counters_.degradeExits;
+        tracked_.degradeExits.fetch_add(1, kRelaxed);
 }
 
 void
 ServingStats::recordTrackedCompletion(loadgen::ResponseStatus status,
                                       uint64_t samples)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     switch (status) {
       case loadgen::ResponseStatus::Ok:
-        counters_.completedOk += samples;
+        tracked_.completedOk.fetch_add(samples, kRelaxed);
         break;
       case loadgen::ResponseStatus::Degraded:
-        counters_.completedDegraded += samples;
+        tracked_.completedDegraded.fetch_add(samples, kRelaxed);
         break;
       case loadgen::ResponseStatus::Shed:
-        counters_.completedShed += samples;
+        tracked_.completedShed.fetch_add(samples, kRelaxed);
         break;
       case loadgen::ResponseStatus::Timeout:
-        counters_.completedTimeout += samples;
+        tracked_.completedTimeout.fetch_add(samples, kRelaxed);
         break;
       case loadgen::ResponseStatus::Failed:
-        counters_.completedFailed += samples;
+        tracked_.completedFailed.fetch_add(samples, kRelaxed);
         break;
     }
 }
@@ -174,15 +186,66 @@ ServingStats::recordTrackedCompletion(loadgen::ResponseStatus status,
 void
 ServingStats::setWorkers(int64_t workers)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.workers = workers;
+    workers_.store(workers, kRelaxed);
 }
 
 StatsSnapshot
 ServingStats::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return counters_;
+    StatsSnapshot s;
+
+    s.samplesIssued = issue_.samplesIssued.load(kRelaxed);
+    s.batchesFormed = issue_.batchesFormed.load(kRelaxed);
+    s.sizeFlushes = issue_.sizeFlushes.load(kRelaxed);
+    s.timeoutFlushes = issue_.timeoutFlushes.load(kRelaxed);
+    s.drainFlushes = issue_.drainFlushes.load(kRelaxed);
+    s.admissionShedSamples = issue_.admissionShedSamples.load(kRelaxed);
+    s.samplesShed = issue_.samplesShed.load(kRelaxed);
+    s.batchesShed = issue_.batchesShed.load(kRelaxed);
+
+    s.samplesCompleted = done_.samplesCompleted.load(kRelaxed);
+    s.batchesCompleted = done_.batchesCompleted.load(kRelaxed);
+    s.workerBusyNs = done_.workerBusyNs.load(kRelaxed);
+    s.expiredSamples = done_.expiredSamples.load(kRelaxed);
+    s.timeoutSamples = done_.timeoutSamples.load(kRelaxed);
+    s.droppedCompletions = done_.droppedCompletions.load(kRelaxed);
+    s.failedSamples = done_.failedSamples.load(kRelaxed);
+    s.batchesFailed = done_.batchesFailed.load(kRelaxed);
+
+    s.retries = resilience_.retries.load(kRelaxed);
+    s.retrySuccesses = resilience_.retrySuccesses.load(kRelaxed);
+    s.retriesExhausted = resilience_.retriesExhausted.load(kRelaxed);
+    s.breakerOpens = resilience_.breakerOpens.load(kRelaxed);
+    s.breakerHalfOpens = resilience_.breakerHalfOpens.load(kRelaxed);
+    s.breakerCloses = resilience_.breakerCloses.load(kRelaxed);
+    s.breakerFastFailSamples =
+        resilience_.breakerFastFailSamples.load(kRelaxed);
+    s.breakerState = resilience_.breakerState.load(kRelaxed);
+
+    s.completedOk = tracked_.completedOk.load(kRelaxed);
+    s.completedDegraded = tracked_.completedDegraded.load(kRelaxed);
+    s.completedShed = tracked_.completedShed.load(kRelaxed);
+    s.completedTimeout = tracked_.completedTimeout.load(kRelaxed);
+    s.completedFailed = tracked_.completedFailed.load(kRelaxed);
+    s.degradedSamples = tracked_.degradedSamples.load(kRelaxed);
+    s.degradeEntries = tracked_.degradeEntries.load(kRelaxed);
+    s.degradeExits = tracked_.degradeExits.load(kRelaxed);
+
+    s.workers = workers_.load(kRelaxed);
+
+    {
+        LockProbe::noteAcquire();
+        std::lock_guard<std::mutex> lock(issueHistMutex_);
+        s.queueDepth = queueDepth_;
+        s.batchSize = batchSize_;
+    }
+    {
+        LockProbe::noteAcquire();
+        std::lock_guard<std::mutex> lock(doneHistMutex_);
+        s.timeInQueueNs = timeInQueueNs_;
+        s.serviceTimeNs = serviceTimeNs_;
+    }
+    return s;
 }
 
 } // namespace serving

@@ -6,11 +6,23 @@
  * time, and shed counts — the counters batching ablations need to be
  * first-class experiments (surfaced through src/report). All record
  * methods are thread-safe; thread workers call them concurrently.
+ *
+ * Concurrency design: every monotonic counter is a relaxed atomic —
+ * no invariant spans two fields, and snapshot() tolerates a torn
+ * cross-field read (counts may disagree by the handful of events in
+ * flight at the instant of the copy; they are exact once the runtime
+ * is quiescent, which is when verdicts are read). The counters are
+ * grouped by writer into cache-line-aligned blocks so the issue
+ * thread, the worker/drainer side, and the resilience layer never
+ * false-share a line. Only the histograms stay behind mutexes, one
+ * per writer side; in the sharded runtime those are touched by the
+ * single drainer thread and the issue thread only, never by workers.
  */
 
 #ifndef MLPERF_SERVING_SERVING_STATS_H
 #define MLPERF_SERVING_SERVING_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 
@@ -129,7 +141,11 @@ class ServingStats
     /** The batcher emitted @p batch (before queue admission). */
     void recordBatchFormed(const Batch &batch);
 
-    /** A worker picked @p batch up at @p now. */
+    /**
+     * A worker picked @p batch up at @p now. In the sharded runtime
+     * the drainer replays this off the ring with the recorded
+     * dispatch tick, so the histogram sees identical values.
+     */
     void recordDispatch(const Batch &batch, sim::Tick now);
 
     /** A worker finished a batch of @p samples after @p busyNs. */
@@ -169,8 +185,76 @@ class ServingStats
     StatsSnapshot snapshot() const;
 
   private:
-    mutable std::mutex mutex_;
-    StatsSnapshot counters_;
+    using Counter = std::atomic<uint64_t>;
+
+    /** Written by the issue thread (and batcher emit callbacks). */
+    struct alignas(64) IssueCounters
+    {
+        Counter samplesIssued{0};
+        Counter batchesFormed{0};
+        Counter sizeFlushes{0};
+        Counter timeoutFlushes{0};
+        Counter drainFlushes{0};
+        Counter admissionShedSamples{0};
+        Counter samplesShed{0};
+        Counter batchesShed{0};
+    };
+
+    /** Written by workers (baseline pools) or the drainer (sharded). */
+    struct alignas(64) CompletionCounters
+    {
+        Counter samplesCompleted{0};
+        Counter batchesCompleted{0};
+        Counter workerBusyNs{0};
+        Counter expiredSamples{0};
+        Counter timeoutSamples{0};
+        Counter droppedCompletions{0};
+        Counter failedSamples{0};
+        Counter batchesFailed{0};
+    };
+
+    /** Written by the resilience layer (retry/breaker/degrade). */
+    struct alignas(64) ResilienceCounters
+    {
+        Counter retries{0};
+        Counter retrySuccesses{0};
+        Counter retriesExhausted{0};
+        Counter breakerOpens{0};
+        Counter breakerHalfOpens{0};
+        Counter breakerCloses{0};
+        Counter breakerFastFailSamples{0};
+        std::atomic<BreakerState> breakerState{BreakerState::Closed};
+    };
+
+    /** Written by the tracker (dedup'd per-status completions). */
+    struct alignas(64) TrackedCounters
+    {
+        Counter completedOk{0};
+        Counter completedDegraded{0};
+        Counter completedShed{0};
+        Counter completedTimeout{0};
+        Counter completedFailed{0};
+        Counter degradedSamples{0};
+        Counter degradeEntries{0};
+        Counter degradeExits{0};
+    };
+
+    IssueCounters issue_;
+    CompletionCounters done_;
+    ResilienceCounters resilience_;
+    TrackedCounters tracked_;
+    alignas(64) std::atomic<int64_t> workers_{0};
+
+    // Histograms are the one piece that cannot be a single atomic;
+    // each side keeps its own mutex so the issue thread (queue depth,
+    // batch size) never contends with the completion side (time in
+    // queue, service time).
+    mutable std::mutex issueHistMutex_;
+    stats::LogHistogram queueDepth_{1, 1 << 20, 64};
+    stats::LogHistogram batchSize_{1, 1 << 20, 64};
+    mutable std::mutex doneHistMutex_;
+    stats::LogHistogram timeInQueueNs_;
+    stats::LogHistogram serviceTimeNs_;
 };
 
 } // namespace serving

@@ -1,5 +1,6 @@
 #include "serving/serving_sut.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -45,7 +46,32 @@ ServingSut::ServingSut(sim::Executor &executor,
     }
 
     const bool trackerActive = tracker_ != nullptr;
-    if (mode_ == WorkerMode::Threads) {
+    int64_t shards = options_.shards;
+    if (mode_ != WorkerMode::Threads)
+        shards = 1;  // the event pool is single-threaded already
+    shards = std::max<int64_t>(
+        1, std::min<int64_t>(shards,
+                             std::max<int64_t>(1, options_.workers)));
+
+    if (shards > 1) {
+        ShardOptions sharding;
+        sharding.shards = shards;
+        sharding.workersPerShard =
+            std::max<int64_t>(1, options_.workers / shards);
+        sharding.queueCapacityBatches =
+            options_.queueCapacityBatches == 0
+                ? 0
+                : std::max<size_t>(
+                      1, options_.queueCapacityBatches /
+                             static_cast<size_t>(shards));
+        sharding.pinThreads = options_.pinThreads;
+        sharding.stealWhenIdle = options_.stealWhenIdle;
+        sharding.trackerActive = trackerActive;
+        auto sharded = std::make_unique<ShardedWorkerPool>(
+            executor_, *engine, stats_, sharding);
+        sharded_ = sharded.get();
+        pool_ = std::move(sharded);
+    } else if (mode_ == WorkerMode::Threads) {
         pool_ = std::make_unique<ThreadWorkerPool>(
             executor_, *engine, stats_, options_.workers,
             options_.queueCapacityBatches, trackerActive);
@@ -54,9 +80,16 @@ ServingSut::ServingSut(sim::Executor &executor,
             executor_, *engine, stats_, options_.workers,
             options_.queueCapacityBatches, trackerActive);
     }
-    batcher_ = std::make_unique<DynamicBatcher>(
-        executor_, options_.maxBatch, options_.batchTimeoutNs,
-        [this](Batch &&batch) { onBatchFormed(std::move(batch)); });
+
+    batchers_.reserve(static_cast<size_t>(shards));
+    for (int64_t s = 0; s < shards; ++s) {
+        const size_t shard = static_cast<size_t>(s);
+        batchers_.push_back(std::make_unique<DynamicBatcher>(
+            executor_, options_.maxBatch, options_.batchTimeoutNs,
+            [this, shard](Batch &&batch) {
+                onBatchFormed(shard, std::move(batch));
+            }));
+    }
 }
 
 ServingSut::~ServingSut()
@@ -107,8 +140,9 @@ void
 ServingSut::issueQuery(const std::vector<loadgen::QuerySample> &samples,
                        loadgen::ResponseDelegate &delegate)
 {
-    const uint64_t depth = batcher_->pending() +
-                           pool_->queuedSamples() + samples.size();
+    uint64_t depth = pool_->queuedSamples() + samples.size();
+    for (const auto &batcher : batchers_)
+        depth += batcher->pending();
     stats_.recordIssued(samples.size(), depth);
 
     if (admission_ &&
@@ -130,13 +164,29 @@ ServingSut::issueQuery(const std::vector<loadgen::QuerySample> &samples,
         tracker_->track(samples, delegate, deadline);
         target = tracker_.get();
     }
-    batcher_->enqueue(samples, *target, deadline);
+    if (batchers_.size() == 1) {
+        batchers_[0]->enqueue(samples, *target, deadline);
+        return;
+    }
+    // Hash-partition the query across shards: each sample lives its
+    // whole queued life (batcher, queue, worker) inside one shard.
+    const size_t shards = batchers_.size();
+    std::vector<std::vector<loadgen::QuerySample>> parts(shards);
+    for (const auto &sample : samples) {
+        parts[ShardedWorkerPool::shardFor(sample.id, shards)]
+            .push_back(sample);
+    }
+    for (size_t s = 0; s < shards; ++s) {
+        if (!parts[s].empty())
+            batchers_[s]->enqueue(parts[s], *target, deadline);
+    }
 }
 
 void
 ServingSut::flushQueries()
 {
-    batcher_->flush();
+    for (const auto &batcher : batchers_)
+        batcher->flush();
 }
 
 void
@@ -149,17 +199,20 @@ ServingSut::shutdown()
     // no completion is in flight, then time out whatever the tracker
     // still holds (lost completions). After this no code path touches
     // the LoadGen's delegate again.
-    batcher_->flush();
+    for (const auto &batcher : batchers_)
+        batcher->flush();
     pool_->shutdown();
     if (tracker_)
         tracker_->drain();
 }
 
 void
-ServingSut::onBatchFormed(Batch &&batch)
+ServingSut::onBatchFormed(size_t shard, Batch &&batch)
 {
     stats_.recordBatchFormed(batch);
-    if (!pool_->submit(batch))
+    const bool admitted =
+        sharded_ ? sharded_->submitTo(shard, batch) : pool_->submit(batch);
+    if (!admitted)
         shedBatch(batch);
 }
 

@@ -45,12 +45,15 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "loadgen/sut.h"
 #include "serving/batch_inference.h"
 #include "serving/batcher.h"
 #include "serving/completion_tracker.h"
 #include "serving/resilience.h"
 #include "serving/serving_stats.h"
+#include "serving/shard.h"
 #include "serving/worker_pool.h"
 #include "sim/executor.h"
 
@@ -83,6 +86,22 @@ struct ServingOptions
      */
     size_t queueCapacityBatches = 64;
     WorkerMode mode = WorkerMode::Auto;
+
+    // ---- Sharding (Threads mode only; Events resolves to 1 shard —
+    //      the event pool is single-threaded, so there is no lock
+    //      contention for shards to remove).
+    /**
+     * Split the runtime into this many independent shards, each with
+     * its own batcher, queue, and pinned workers; samples route to a
+     * shard by hash of their id and completions flow through lock-free
+     * per-shard rings (see serving/shard.h). Clamped to [1, workers];
+     * `workers` is divided evenly across shards.
+     */
+    int64_t shards = 1;
+    /** Pin each shard's workers to consecutive CPUs (Linux only). */
+    bool pinThreads = false;
+    /** Let idle workers pull from other shards' queues. */
+    bool stealWhenIdle = true;
 
     // ---- Resilience (defaults disable every feature).
     /**
@@ -152,8 +171,14 @@ class ServingSut : public loadgen::SystemUnderTest
         return tracker_ ? tracker_->outstanding() : 0;
     }
 
+    /** Shards the runtime resolved to (1 unless Threads mode). */
+    size_t shardCount() const { return batchers_.size(); }
+
+    /** The sharded pool when shardCount() > 1, else null. */
+    ShardedWorkerPool *shardedPool() { return sharded_; }
+
   private:
-    void onBatchFormed(Batch &&batch);
+    void onBatchFormed(size_t shard, Batch &&batch);
     void shedBatch(const Batch &batch);
     /** Feed the shed-rate EWMA and flip degraded mode (hysteresis). */
     void noteShedSignal(uint64_t samples, bool shed);
@@ -167,7 +192,10 @@ class ServingSut : public loadgen::SystemUnderTest
     std::shared_ptr<CompletionTracker> tracker_;
     std::unique_ptr<ResilientInference> resilient_;
     std::unique_ptr<WorkerPool> pool_;
-    std::unique_ptr<DynamicBatcher> batcher_;
+    ShardedWorkerPool *sharded_ = nullptr;  //!< pool_ view when sharded
+    /** One batcher per shard (a single one when unsharded), so batch
+     *  formation itself never crosses shards. */
+    std::vector<std::unique_ptr<DynamicBatcher>> batchers_;
 
     std::mutex degradeMutex_;
     double shedEwma_ = 0.0;

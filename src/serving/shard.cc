@@ -1,0 +1,395 @@
+#include "serving/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "serving/lock_probe.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace mlperf {
+namespace serving {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/** How long an idle worker parks on its own queue between steal
+ *  sweeps. Short enough that a burst landing on a neighbour shard is
+ *  picked up promptly; long enough that an idle pool does not spin. */
+constexpr std::chrono::microseconds kIdleParkUs{200};
+
+ShardOptions
+sanitized(ShardOptions options)
+{
+    options.shards = std::max<int64_t>(1, options.shards);
+    options.workersPerShard =
+        std::max<int64_t>(1, options.workersPerShard);
+    options.ringCapacity = std::max<size_t>(2, options.ringCapacity);
+    return options;
+}
+
+void
+pinToCpu(unsigned cpu)
+{
+#if defined(__linux__)
+    const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu % cpus, &set);
+    // Best effort: a restricted affinity mask (cgroups, taskset) can
+    // make this fail, and the runtime is correct unpinned.
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)cpu;
+#endif
+}
+
+} // namespace
+
+ShardedWorkerPool::ShardedWorkerPool(sim::Executor &executor,
+                                     BatchInference &inference,
+                                     ServingStats &stats,
+                                     ShardOptions options)
+    : executor_(executor), inference_(inference), stats_(stats),
+      options_(sanitized(std::move(options)))
+{
+    const size_t shards = static_cast<size_t>(options_.shards);
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+        shards_.push_back(std::make_unique<Shard>(
+            options_.queueCapacityBatches, options_.ringCapacity));
+    }
+    stats_.setWorkers(workerCount());
+
+    drainer_ = std::thread([this] { drainerLoop(); });
+
+    const size_t perShard =
+        static_cast<size_t>(options_.workersPerShard);
+    workers_.reserve(shards * perShard);
+    for (size_t s = 0; s < shards; ++s) {
+        for (size_t w = 0; w < perShard; ++w) {
+            workers_.emplace_back([this, s, w, perShard] {
+                if (options_.pinThreads)
+                    pinToCpu(static_cast<unsigned>(s * perShard + w));
+                workerLoop(s);
+            });
+        }
+    }
+}
+
+ShardedWorkerPool::~ShardedWorkerPool()
+{
+    shutdown();
+}
+
+size_t
+ShardedWorkerPool::shardFor(uint64_t key, size_t shards)
+{
+    if (shards <= 1)
+        return 0;
+    // splitmix64 finisher: sample ids and tenant routes are dense
+    // small integers, and `id % shards` would map a strided issue
+    // pattern onto one shard; the mix spreads any key distribution.
+    uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<size_t>(z % shards);
+}
+
+bool
+ShardedWorkerPool::submit(Batch &batch)
+{
+    const uint64_t first =
+        batch.items.empty() ? 0 : batch.items.front().sample.id;
+    const uint64_t key =
+        (static_cast<uint64_t>(batch.route) << 32) ^ first;
+    return submitTo(shardFor(key, shards_.size()), batch);
+}
+
+bool
+ShardedWorkerPool::submitTo(size_t shard_index, Batch &batch)
+{
+    Shard &shard = *shards_[shard_index];
+    const uint64_t samples = batch.items.size();
+    if (!shard.queue.tryPush(batch))
+        return false;
+    shard.queuedSamples.fetch_add(samples, kRelaxed);
+    return true;
+}
+
+void
+ShardedWorkerPool::shutdown()
+{
+    if (stopped_.exchange(true))
+        return;
+    for (auto &shard : shards_)
+        shard->queue.close();
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    // Workers are joined, so every record they will ever publish is
+    // already in a ring; the drainer's final sweep cannot miss any.
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        drainerStop_ = true;
+    }
+    wakeCv_.notify_one();
+    if (drainer_.joinable())
+        drainer_.join();
+}
+
+uint64_t
+ShardedWorkerPool::queuedSamples() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->queuedSamples.load(kRelaxed);
+    return total;
+}
+
+uint64_t
+ShardedWorkerPool::queuedSamplesOn(size_t shard) const
+{
+    return shards_[shard]->queuedSamples.load(kRelaxed);
+}
+
+uint64_t
+ShardedWorkerPool::steals() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->steals.load(kRelaxed);
+    return total;
+}
+
+void
+ShardedWorkerPool::workerLoop(size_t shard_index)
+{
+    Shard &own = *shards_[shard_index];
+    for (;;) {
+        // Own work first: a shard's workers are its dedicated service
+        // capacity, and stealing is strictly the idle fallback.
+        if (auto batch = own.queue.tryPop()) {
+            own.queuedSamples.fetch_sub(batch->items.size(), kRelaxed);
+            process(shard_index, std::move(*batch));
+            continue;
+        }
+        if (options_.stealWhenIdle) {
+            Batch stolen;
+            if (trySteal(shard_index, stolen)) {
+                process(shard_index, std::move(stolen));
+                continue;
+            }
+        }
+        if (auto batch = own.queue.popFor(kIdleParkUs)) {
+            own.queuedSamples.fetch_sub(batch->items.size(), kRelaxed);
+            process(shard_index, std::move(*batch));
+            continue;
+        }
+        if (own.queue.drained())
+            break;
+    }
+}
+
+bool
+ShardedWorkerPool::trySteal(size_t thief, Batch &out)
+{
+    const size_t shards = shards_.size();
+    for (size_t i = 1; i < shards; ++i) {
+        Shard &victim = *shards_[(thief + i) % shards];
+        if (auto batch = victim.queue.tryPop()) {
+            victim.queuedSamples.fetch_sub(batch->items.size(),
+                                           kRelaxed);
+            shards_[thief]->steals.fetch_add(1, kRelaxed);
+            out = std::move(*batch);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ShardedWorkerPool::process(size_t shard_index, Batch &&batch)
+{
+    Shard &shard = *shards_[shard_index];
+    const sim::Tick start = executor_.now();
+
+    Batch expired = splitExpired(batch, start);
+    if (!expired.items.empty()) {
+        const uint64_t locksBefore = LockProbe::threadAcquisitions();
+        CompletionRecord record;
+        record.kind = CompletionRecord::Kind::Expired;
+        record.responses = errorResponses(
+            expired, loadgen::ResponseStatus::Timeout);
+        record.batch = std::move(expired);
+        record.dispatchedAt = start;
+        publish(shard, std::move(record), locksBefore);
+    }
+    if (batch.items.empty())
+        return;
+
+    try {
+        auto responses =
+            inference_.runBatch(batchSamples(batch), batchMeta(batch));
+        const sim::Tick end = executor_.now();
+        const uint64_t locksBefore = LockProbe::threadAcquisitions();
+        CompletionRecord record;
+        record.kind = CompletionRecord::Kind::Done;
+        record.responses = std::move(responses);
+        record.batch = std::move(batch);
+        record.dispatchedAt = start;
+        record.busyNs = end >= start ? end - start : 0;
+        publish(shard, std::move(record), locksBefore);
+    } catch (const InferenceFault &fault) {
+        const sim::Tick end = executor_.now();
+        const uint64_t locksBefore = LockProbe::threadAcquisitions();
+        CompletionRecord record;
+        // Same policy as ThreadWorkerPool::handleBatchFault: drop the
+        // completion only when a tracker stands by to reap it.
+        if (fault.kind() == FaultKind::DropCompletion &&
+            options_.trackerActive) {
+            record.kind = CompletionRecord::Kind::Dropped;
+        } else {
+            record.kind = CompletionRecord::Kind::Failed;
+            record.responses = errorResponses(
+                batch, loadgen::ResponseStatus::Failed);
+        }
+        record.batch = std::move(batch);
+        record.dispatchedAt = start;
+        record.busyNs = end >= start ? end - start : 0;
+        publish(shard, std::move(record), locksBefore);
+    } catch (const std::exception &) {
+        const sim::Tick end = executor_.now();
+        const uint64_t locksBefore = LockProbe::threadAcquisitions();
+        CompletionRecord record;
+        record.kind = CompletionRecord::Kind::Failed;
+        record.responses =
+            errorResponses(batch, loadgen::ResponseStatus::Failed);
+        record.batch = std::move(batch);
+        record.dispatchedAt = start;
+        record.busyNs = end >= start ? end - start : 0;
+        publish(shard, std::move(record), locksBefore);
+    }
+}
+
+void
+ShardedWorkerPool::publish(Shard &shard, CompletionRecord &&record,
+                           uint64_t locks_before)
+{
+    if (shard.ring.tryPush(record)) {
+        // The zero-mutex contract is measured, not assumed: any
+        // instrumented lock taken between the locks_before snapshot
+        // (right after runBatch returned) and this point shows up in
+        // fastPathLockAcquisitions(), which the shard tests pin to 0.
+        const uint64_t delta =
+            LockProbe::threadAcquisitions() - locks_before;
+        if (delta != 0)
+            fastPathLocks_.fetch_add(delta, kRelaxed);
+        wakeDrainerIfIdle();
+        return;
+    }
+    // Ring full: the drainer is far behind (or the ring is test-tiny).
+    // Complete through the locked slow path rather than block or drop,
+    // and make the event visible — a nonzero fallback count at sane
+    // ring sizes means the drainer is the bottleneck.
+    ringFallbacks_.fetch_add(1, kRelaxed);
+    applyRecord(record);
+}
+
+void
+ShardedWorkerPool::wakeDrainerIfIdle()
+{
+    // Pairs with the fence in drainerLoop(): either this thread sees
+    // drainerIdle_ and rings the bell, or the drainer's post-idle
+    // ring recheck sees our push. The bounded wait covers the rest.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!drainerIdle_.load(kRelaxed))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+    }
+    wakeCv_.notify_one();
+}
+
+void
+ShardedWorkerPool::applyRecord(CompletionRecord &record)
+{
+    switch (record.kind) {
+      case CompletionRecord::Kind::Done:
+        stats_.recordDispatch(record.batch, record.dispatchedAt);
+        completeBatch(record.batch, record.responses);
+        stats_.recordBatchDone(record.batch.items.size(),
+                               record.busyNs);
+        break;
+      case CompletionRecord::Kind::Failed:
+        stats_.recordDispatch(record.batch, record.dispatchedAt);
+        stats_.recordBatchFailed(record.batch.items.size(),
+                                 record.busyNs);
+        completeBatch(record.batch, record.responses);
+        break;
+      case CompletionRecord::Kind::Expired:
+        stats_.recordExpired(record.batch.items.size());
+        completeBatch(record.batch, record.responses);
+        break;
+      case CompletionRecord::Kind::Dropped:
+        stats_.recordDispatch(record.batch, record.dispatchedAt);
+        stats_.recordDroppedCompletion(record.batch.items.size());
+        break;
+      case CompletionRecord::Kind::None:
+        break;
+    }
+}
+
+bool
+ShardedWorkerPool::drainRingsOnce()
+{
+    bool any = false;
+    CompletionRecord record;
+    for (auto &shard : shards_) {
+        while (shard->ring.tryPop(record)) {
+            applyRecord(record);
+            any = true;
+        }
+    }
+    return any;
+}
+
+void
+ShardedWorkerPool::drainerLoop()
+{
+    for (;;) {
+        if (drainRingsOnce())
+            continue;
+        std::unique_lock<std::mutex> lock(wakeMutex_);
+        if (drainerStop_) {
+            lock.unlock();
+            // Workers are joined before drainerStop_ is set, so one
+            // final sweep observes every published record.
+            while (drainRingsOnce()) {
+            }
+            return;
+        }
+        drainerIdle_.store(true, kRelaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        bool pending = false;
+        for (auto &shard : shards_) {
+            if (!shard->ring.empty()) {
+                pending = true;
+                break;
+            }
+        }
+        if (!pending)
+            wakeCv_.wait_for(lock, std::chrono::milliseconds(1));
+        drainerIdle_.store(false, kRelaxed);
+    }
+}
+
+} // namespace serving
+} // namespace mlperf

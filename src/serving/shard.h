@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Sharded serving runtime: N independent shards, each with its own
+ * bounded queue and pinned worker threads, publishing completions
+ * into per-shard lock-free rings drained by one drainer thread.
+ *
+ * Why: at high core counts the single-shard runtime tops out on
+ * shared locks — one batcher, one MPMC queue, and mutex-guarded
+ * stats/tracker sit on every sample's hot path (ROADMAP item 2).
+ * Sharding splits every shared structure: samples are routed to a
+ * shard by hash, live their whole queued life inside it, and the
+ * only cross-shard interaction is idle-only work stealing. The
+ * completion/stats path is replaced wholesale: a worker finishing a
+ * batch publishes one CompletionRecord into its shard's MpscRing —
+ * a CAS and a release store, no mutex — and returns to pulling work.
+ * The single drainer thread owns everything downstream: per-stage
+ * histogram merges, CompletionTracker dedup (it is the only
+ * steady-state caller; only the deadline reaper ever contends), and
+ * delegate delivery.
+ *
+ * Steady-state locking contract, checked by LockProbe in the shard
+ * tests: a worker's path from runBatch() returning to the record
+ * landing in the ring acquires zero mutexes. Two deliberate
+ * exceptions, neither on the steady-state path: (1) when a ring is
+ * full the worker completes the batch directly through the locked
+ * path (counted in ringFallbacks(), never silent); (2) when the
+ * drainer has gone idle, the first publisher after the lull takes
+ * the wake mutex to signal it — under saturating load the drainer
+ * never sleeps, so the fast path never pays it (a 1 ms wait bound
+ * on the drainer makes the wake-up race benign).
+ *
+ * Pinned workers give each shard cache/NUMA locality for free:
+ * per-thread ScratchArenas (PR 2) become per-shard arenas, and the
+ * prepacked constant section (PR 5) is shared read-only, so shards
+ * need no constant replication.
+ */
+
+#ifndef MLPERF_SERVING_SHARD_H
+#define MLPERF_SERVING_SHARD_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serving/batch.h"
+#include "serving/batch_inference.h"
+#include "serving/bounded_queue.h"
+#include "serving/mpsc_ring.h"
+#include "serving/serving_stats.h"
+#include "serving/worker_pool.h"
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace serving {
+
+struct ShardOptions
+{
+    /** Independent shards (>= 1). */
+    int64_t shards = 2;
+    /** Pinned worker threads per shard (>= 1). */
+    int64_t workersPerShard = 1;
+    /** Per-shard queue capacity in batches; 0 = unbounded. */
+    size_t queueCapacityBatches = 32;
+    /** Pin each shard's workers to consecutive CPUs (Linux only). */
+    bool pinThreads = false;
+    /** Let an idle worker (own queue empty) pull from other shards. */
+    bool stealWhenIdle = true;
+    /** Completion-ring slots per shard (rounded up to a power of 2). */
+    size_t ringCapacity = 1024;
+    /** See ThreadWorkerPool: tracker swallows DropCompletion faults. */
+    bool trackerActive = false;
+};
+
+/**
+ * What a worker publishes into its shard's ring when a batch leaves
+ * it, for the drainer to turn into stats + delegate completions.
+ */
+struct CompletionRecord
+{
+    enum class Kind : uint8_t
+    {
+        None,     //!< default-constructed ring slot
+        Done,     //!< inference succeeded; responses are real answers
+        Failed,   //!< batch fault; responses carry Failed status
+        Expired,  //!< deadline passed in queue; Timeout responses
+        Dropped,  //!< chaos DropCompletion; no responses on purpose
+    };
+
+    Kind kind = Kind::None;
+    Batch batch;
+    std::vector<loadgen::QuerySampleResponse> responses;
+    sim::Tick dispatchedAt = 0;  //!< worker pickup time (time-in-queue)
+    sim::Tick busyNs = 0;        //!< worker busy time (service time)
+};
+
+/**
+ * WorkerPool implementation backed by shards + completion rings.
+ * submit() routes whole batches by hash (route ^ first sample id) —
+ * the entry point of the multi-tenant platform, whose per-tenant
+ * batchers already formed single-tenant batches; tenant routing
+ * composes with shard routing because the hash spreads each tenant's
+ * batch stream across all shards. submitTo() pins a batch to a known
+ * shard — the entry point of ServingSut's per-shard batchers, where
+ * samples were already hash-routed at issue time.
+ */
+class ShardedWorkerPool : public WorkerPool
+{
+  public:
+    ShardedWorkerPool(sim::Executor &executor,
+                      BatchInference &inference, ServingStats &stats,
+                      ShardOptions options);
+    ~ShardedWorkerPool() override;
+
+    /** Route by hash of (route, first sample id); false = shard full. */
+    bool submit(Batch &batch) override;
+
+    /** Enqueue on a specific shard; false = that shard's queue full. */
+    bool submitTo(size_t shard, Batch &batch);
+
+    void shutdown() override;
+
+    int64_t
+    workerCount() const override
+    {
+        return static_cast<int64_t>(shards_.size()) *
+               options_.workersPerShard;
+    }
+
+    /** Lock-free: per-shard relaxed counters, summed on read. */
+    uint64_t queuedSamples() const override;
+
+    size_t shardCount() const { return shards_.size(); }
+
+    /** Samples queued on one shard (relaxed read). */
+    uint64_t queuedSamplesOn(size_t shard) const;
+
+    /** Stable shard for @p key: splitmix64 mix, then mod @p shards. */
+    static size_t shardFor(uint64_t key, size_t shards);
+
+    // ---- Runtime-contract counters (all relaxed reads).
+    /** Batches executed by a worker whose own queue was empty. */
+    uint64_t steals() const;
+    /** Mutex acquisitions measured on the publish fast path (want 0). */
+    uint64_t fastPathLockAcquisitions() const
+    {
+        return fastPathLocks_.load(std::memory_order_relaxed);
+    }
+    /** Completions that bypassed a full ring via the locked path. */
+    uint64_t ringFallbacks() const
+    {
+        return ringFallbacks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Shard
+    {
+        Shard(size_t queue_capacity, size_t ring_capacity)
+            : queue(queue_capacity), ring(ring_capacity)
+        {
+        }
+
+        BoundedQueue<Batch> queue;
+        MpscRing<CompletionRecord> ring;
+        /** Samples admitted but not yet picked up, on its own line. */
+        alignas(64) std::atomic<uint64_t> queuedSamples{0};
+        alignas(64) std::atomic<uint64_t> steals{0};
+    };
+
+    void workerLoop(size_t shard_index);
+    void drainerLoop();
+    /** Steal from another shard; called only with own queue empty. */
+    bool trySteal(size_t thief, Batch &out);
+    void process(size_t shard_index, Batch &&batch);
+    /** Publish @p record; full ring falls back to applyRecord. */
+    void publish(Shard &shard, CompletionRecord &&record,
+                 uint64_t locks_before);
+    /** Turn a record into stats + delegate completions (drainer). */
+    void applyRecord(CompletionRecord &record);
+    /** Drain every shard ring once; true if anything was applied. */
+    bool drainRingsOnce();
+    void wakeDrainerIfIdle();
+
+    sim::Executor &executor_;
+    BatchInference &inference_;
+    ServingStats &stats_;
+    const ShardOptions options_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> workers_;
+    std::thread drainer_;
+    std::atomic<bool> stopped_{false};
+
+    alignas(64) std::atomic<uint64_t> fastPathLocks_{0};
+    std::atomic<uint64_t> ringFallbacks_{0};
+
+    // Drainer wake protocol: publishers peek drainerIdle_ (relaxed
+    // load behind a seq_cst fence) and only touch the mutex when the
+    // drainer actually sleeps; the drainer re-checks the rings after
+    // raising the flag, and the bounded wait makes any lost wake-up
+    // a <=1 ms delay instead of a hang.
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+    std::atomic<bool> drainerIdle_{false};
+    bool drainerStop_ = false;  //!< guarded by wakeMutex_
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_SHARD_H

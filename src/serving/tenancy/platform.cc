@@ -237,7 +237,29 @@ ServingPlatform::ServingPlatform(sim::Executor &executor,
                                         : WorkerMode::Threads;
     }
     routing_ = std::make_unique<RoutingInference>(executor_, registry_);
-    if (mode_ == WorkerMode::Threads) {
+    int64_t shards = options_.shards;
+    if (mode_ != WorkerMode::Threads)
+        shards = 1;
+    shards = std::max<int64_t>(
+        1, std::min<int64_t>(shards,
+                             std::max<int64_t>(1, options_.workers)));
+    if (shards > 1) {
+        ShardOptions sharding;
+        sharding.shards = shards;
+        sharding.workersPerShard =
+            std::max<int64_t>(1, options_.workers / shards);
+        sharding.queueCapacityBatches =
+            options_.queueCapacityBatches == 0
+                ? 0
+                : std::max<size_t>(
+                      1, options_.queueCapacityBatches /
+                             static_cast<size_t>(shards));
+        sharding.pinThreads = options_.pinThreads;
+        sharding.stealWhenIdle = options_.stealWhenIdle;
+        sharding.trackerActive = true;
+        pool_ = std::make_unique<ShardedWorkerPool>(
+            executor_, *routing_, stats_, sharding);
+    } else if (mode_ == WorkerMode::Threads) {
         pool_ = std::make_unique<ThreadWorkerPool>(
             executor_, *routing_, stats_, options_.workers,
             options_.queueCapacityBatches, /*tracker_active=*/true);

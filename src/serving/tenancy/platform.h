@@ -105,6 +105,21 @@ struct PlatformOptions
     int64_t maxBatch = 8;
     sim::Tick batchTimeoutNs = 2 * sim::kNsPerMs;
     WorkerMode mode = WorkerMode::Auto;
+
+    // ---- Sharding of the shared pool (Threads mode only).
+    /**
+     * Shards for the shared worker pool (see serving/shard.h).
+     * Tenant routing composes with shard routing: each tenant's
+     * batcher forms single-tenant batches, and the sharded pool then
+     * hashes (route, first sample id) so every tenant's batch stream
+     * spreads across all shards — shards partition *capacity*, routes
+     * partition *models*; the two are orthogonal axes.
+     */
+    int64_t shards = 1;
+    /** Pin each shard's workers to consecutive CPUs (Linux only). */
+    bool pinThreads = false;
+    /** Let idle workers pull from other shards' queues. */
+    bool stealWhenIdle = true;
 };
 
 class ServingPlatform;

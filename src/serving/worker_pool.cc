@@ -9,61 +9,19 @@ namespace serving {
 
 namespace {
 
-std::vector<loadgen::QuerySample>
-batchSamples(const Batch &batch)
-{
-    std::vector<loadgen::QuerySample> samples;
-    samples.reserve(batch.items.size());
-    for (const BatchItem &item : batch.items)
-        samples.push_back(item.sample);
-    return samples;
-}
-
-/** Route + tightest item deadline, for the routed inference entry. */
-BatchMeta
-batchMeta(const Batch &batch)
-{
-    BatchMeta meta;
-    meta.route = batch.route;
-    for (const BatchItem &item : batch.items) {
-        if (item.deadline != 0 &&
-            (meta.deadline == 0 || item.deadline < meta.deadline)) {
-            meta.deadline = item.deadline;
-        }
-    }
-    return meta;
-}
-
 /**
  * Shed items whose deadline passed while queued: complete them with
  * Timeout status instead of wasting a worker slot on an answer nobody
  * will accept. Mutates @p batch to hold only live items; returns the
- * count shed.
+ * count shed. (The sharded runtime shares splitExpired but publishes
+ * the expired batch through its completion ring instead.)
  */
 uint64_t
 shedExpired(Batch &batch, sim::Tick now, ServingStats &stats)
 {
-    bool anyExpired = false;
-    for (const BatchItem &item : batch.items) {
-        if (item.deadline != 0 && item.deadline <= now) {
-            anyExpired = true;
-            break;
-        }
-    }
-    if (!anyExpired)
+    Batch expired = splitExpired(batch, now);
+    if (expired.items.empty())
         return 0;
-    Batch expired;
-    expired.formedAt = batch.formedAt;
-    expired.reason = batch.reason;
-    std::vector<BatchItem> live;
-    live.reserve(batch.items.size());
-    for (BatchItem &item : batch.items) {
-        if (item.deadline != 0 && item.deadline <= now)
-            expired.items.push_back(std::move(item));
-        else
-            live.push_back(std::move(item));
-    }
-    batch.items = std::move(live);
     stats.recordExpired(expired.items.size());
     completeBatch(expired, errorResponses(
                                expired, loadgen::ResponseStatus::Timeout));
@@ -121,7 +79,7 @@ ThreadWorkerPool::submit(Batch &batch)
     const uint64_t samples = batch.items.size();
     if (!queue_.tryPush(batch))
         return false;
-    queuedSamples_ += samples;
+    queuedSamples_.fetch_add(samples, std::memory_order_relaxed);
     return true;
 }
 
@@ -147,7 +105,8 @@ ThreadWorkerPool::workerLoop()
 void
 ThreadWorkerPool::process(Batch &&batch)
 {
-    queuedSamples_ -= batch.items.size();
+    queuedSamples_.fetch_sub(batch.items.size(),
+                             std::memory_order_relaxed);
     const sim::Tick start = executor_.now();
     shedExpired(batch, start, stats_);
     if (batch.items.empty())

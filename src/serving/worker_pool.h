@@ -80,7 +80,11 @@ class ThreadWorkerPool : public WorkerPool
     {
         return static_cast<int64_t>(threads_.size());
     }
-    uint64_t queuedSamples() const override { return queuedSamples_; }
+    uint64_t
+    queuedSamples() const override
+    {
+        return queuedSamples_.load(std::memory_order_relaxed);
+    }
 
   private:
     void workerLoop();
@@ -91,9 +95,12 @@ class ThreadWorkerPool : public WorkerPool
     ServingStats &stats_;
     const bool trackerActive_;
     BoundedQueue<Batch> queue_;
-    std::atomic<uint64_t> queuedSamples_{0};
+    /** Hot counters on their own cache lines: the submit side bumps
+     *  queuedSamples_ on every batch while workers decrement it, and
+     *  neither should false-share with the queue or thread bookkeeping. */
+    alignas(64) std::atomic<uint64_t> queuedSamples_{0};
+    alignas(64) std::atomic<bool> stopped_{false};
     std::vector<std::thread> threads_;
-    std::atomic<bool> stopped_{false};
 };
 
 /**

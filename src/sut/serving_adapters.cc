@@ -1,6 +1,7 @@
 #include "sut/serving_adapters.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace mlperf {
@@ -74,6 +75,26 @@ ClassifierBatchInference::runBatch(
         responses.push_back(
             {samples[i].id, encodeClassification(predicted[i])});
     }
+    return responses;
+}
+
+std::vector<loadgen::QuerySampleResponse>
+SyntheticBatchInference::runBatch(
+    const std::vector<loadgen::QuerySample> &samples)
+{
+    // Busy-wait, not sleep: the point is to occupy a worker the way
+    // real compute would, so scheduler overheads stay visible.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::nanoseconds(
+                           perSampleNs_ *
+                           static_cast<sim::Tick>(samples.size()));
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    batchesRun_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<loadgen::QuerySampleResponse> responses;
+    responses.reserve(samples.size());
+    for (const auto &sample : samples)
+        responses.push_back({sample.id, ""});
     return responses;
 }
 

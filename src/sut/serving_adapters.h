@@ -11,11 +11,16 @@
  *  - ClassifierBatchInference: the real NN image classifier, for
  *    thread workers under wall-clock time — the concurrent
  *    counterpart of the inline ClassifierSut.
+ *  - SyntheticBatchInference: a calibrated busy-wait, for scheduler
+ *    benchmarks that need service time decoupled from model compute
+ *    (e.g. the shard-scaling sweep in bench_serving_batching).
  */
 
 #ifndef MLPERF_SUT_SERVING_ADAPTERS_H
 #define MLPERF_SUT_SERVING_ADAPTERS_H
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -72,6 +77,44 @@ class ClassifierBatchInference : public serving::BatchInference
   private:
     const models::ImageClassifier &model_;
     const ClassificationQsl &qsl_;
+};
+
+/**
+ * Fixed per-sample service time burned as a busy-wait: the pure
+ * scheduler load for worker-pool/shard benchmarks, with zero model
+ * variance and no shared state between concurrent calls. Thread-safe.
+ * Under an event executor, serviceTimeNs models the same cost so one
+ * configuration works in both modes.
+ */
+class SyntheticBatchInference : public serving::BatchInference
+{
+  public:
+    explicit SyntheticBatchInference(sim::Tick per_sample_ns)
+        : perSampleNs_(per_sample_ns)
+    {
+    }
+
+    std::string name() const override { return "synthetic"; }
+
+    std::vector<loadgen::QuerySampleResponse> runBatch(
+        const std::vector<loadgen::QuerySample> &samples) override;
+
+    sim::Tick
+    serviceTimeNs(const std::vector<loadgen::QuerySample> &samples,
+                  sim::Tick /*now*/) override
+    {
+        return perSampleNs_ * static_cast<sim::Tick>(samples.size());
+    }
+
+    uint64_t
+    batchesRun() const
+    {
+        return batchesRun_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const sim::Tick perSampleNs_;
+    std::atomic<uint64_t> batchesRun_{0};
 };
 
 // ------------------------------------------- registry publish helpers
