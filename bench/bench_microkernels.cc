@@ -576,12 +576,14 @@ makeMlp()
 void
 benchCompiledForward(benchmark::State &state,
                      const nn::Sequential &model, Shape sample_shape,
-                     const Tensor &input)
+                     const Tensor &input,
+                     bool propagate_layout = true)
 {
     const int64_t batch = state.range(0);
     ThreadPool::setGlobalThreads(1);
     nn::CompileOptions options;
     options.prepackConstants = state.range(1) != 0;
+    options.propagateLayout = propagate_layout;
     const nn::CompiledModel compiled(model, std::move(sample_shape),
                                      options);
     nn::ExecutionInstance &instance = nn::ExecutionInstance::thread();
@@ -605,6 +607,11 @@ benchCompiledForward(benchmark::State &state,
                   before;
     }
     const nn::Plan &plan = compiled.planFor(batch);
+    int64_t nchwc_steps = 0;
+    for (const nn::PlanStep &step : plan.steps)
+        nchwc_steps += step.outLayout == nn::Layout::NCHWc ? 1 : 0;
+    state.counters["nchwc_steps"] =
+        benchmark::Counter(static_cast<double>(nchwc_steps));
     state.counters["allocs_per_query"] = benchmark::Counter(
         static_cast<double>(allocs) /
         static_cast<double>(state.iterations()));
@@ -621,16 +628,21 @@ benchCompiledForward(benchmark::State &state,
 void
 BM_ModelForwardCompiled(benchmark::State &state)
 {
+    // The layout axis is the direct-conv A/B: layout=0 pins the
+    // im2col reference plan, layout=1 is the NCHWc direct path the
+    // compiler now picks by default.
     const int64_t batch = state.range(0);
     const nn::Sequential model = makeResnetish();
     const Tensor input = randomTensor(
         Shape{batch, kModelC, kModelH, kModelW}, 20);
     benchCompiledForward(state, model,
-                         Shape{kModelC, kModelH, kModelW}, input);
+                         Shape{kModelC, kModelH, kModelW}, input,
+                         state.range(2) != 0);
 }
 BENCHMARK(BM_ModelForwardCompiled)
-    ->ArgsProduct({{1, 8}, {0, 1}})
-    ->ArgNames({"batch", "prepack"});
+    ->ArgsProduct({{1, 8}, {1}, {0, 1}})
+    ->ArgsProduct({{1, 8}, {0}, {0}})
+    ->ArgNames({"batch", "prepack", "layout"});
 
 void
 BM_MlpForwardCompiled(benchmark::State &state)
@@ -645,6 +657,99 @@ BM_MlpForwardCompiled(benchmark::State &state)
 BENCHMARK(BM_MlpForwardCompiled)
     ->ArgsProduct({{1, 8}, {0, 1}})
     ->ArgNames({"batch", "prepack"});
+
+/**
+ * Hard acceptance gate, run from main() before any benchmark: the
+ * default (NCHWc direct-conv) plan for the conv-heavy proxy must
+ * contain tiled steps, plan a strictly smaller arena than the im2col
+ * reference plan — the planner now charges im2col patch scratch to
+ * the arena, direct conv needs none — and keep the steady-state
+ * query path allocation-free. Aborting here keeps the BENCH_*
+ * tracking from ever recording numbers off a silently degraded
+ * configuration.
+ */
+void
+verifyDirectConvPlan()
+{
+    if (const char *force = std::getenv("MLPERF_FORCE_IM2COL")) {
+        if (force[0] != '\0' && std::strcmp(force, "0") != 0) {
+            std::printf("direct-conv plan check skipped: "
+                        "MLPERF_FORCE_IM2COL pins the im2col "
+                        "reference path\n");
+            return;
+        }
+    }
+    ThreadPool::setGlobalThreads(1);
+    const nn::Sequential model = makeResnetish();
+    const Shape sample{kModelC, kModelH, kModelW};
+    const nn::CompiledModel tiled(model, sample);
+    nn::CompileOptions reference_options;
+    reference_options.propagateLayout = false;
+    const nn::CompiledModel im2col(model, sample, reference_options);
+
+    for (int64_t batch : {int64_t{1}, int64_t{8}}) {
+        const nn::Plan &fast = tiled.planFor(batch);
+        const nn::Plan &slow = im2col.planFor(batch);
+        int64_t tiled_steps = 0;
+        for (const nn::PlanStep &step : fast.steps)
+            tiled_steps += step.outLayout == nn::Layout::NCHWc;
+        if (tiled_steps == 0) {
+            std::fprintf(stderr,
+                         "FATAL: layout propagation tiled no steps "
+                         "at batch %lld\n%s",
+                         static_cast<long long>(batch),
+                         nn::planDebugDump(fast).c_str());
+            std::abort();
+        }
+        if (fast.arenaFloats >= slow.arenaFloats) {
+            std::fprintf(
+                stderr,
+                "FATAL: direct-conv arena (%lld KB) did not beat "
+                "im2col arena (%lld KB) at batch %lld\n-- direct "
+                "plan --\n%s-- im2col plan --\n%s",
+                static_cast<long long>(fast.arenaFloats * 4 / 1024),
+                static_cast<long long>(slow.arenaFloats * 4 / 1024),
+                static_cast<long long>(batch),
+                nn::planDebugDump(fast).c_str(),
+                nn::planDebugDump(slow).c_str());
+            std::abort();
+        }
+        std::printf("direct-conv plan check: batch %lld arena %lld "
+                    "KB vs im2col %lld KB (%lld tiled step(s))\n",
+                    static_cast<long long>(batch),
+                    static_cast<long long>(fast.arenaFloats * 4 /
+                                           1024),
+                    static_cast<long long>(slow.arenaFloats * 4 /
+                                           1024),
+                    static_cast<long long>(tiled_steps));
+    }
+
+    // Steady state must stay allocation-free with the direct kernels
+    // drawing their scratch from the plan arena.
+    nn::ExecutionInstance &instance = nn::ExecutionInstance::thread();
+    const Tensor input =
+        randomTensor(Shape{8, kModelC, kModelH, kModelW}, 40);
+    const auto query = [&] {
+        float *staged = instance.stageInput(tiled, 8);
+        std::memcpy(staged, input.data(),
+                    static_cast<size_t>(input.numel()) *
+                        sizeof(float));
+        benchmark::DoNotOptimize(instance.run(tiled, 8));
+    };
+    for (int i = 0; i < 3; ++i)
+        query();
+    const long before = g_heap_allocs.load(std::memory_order_relaxed);
+    query();
+    const long delta =
+        g_heap_allocs.load(std::memory_order_relaxed) - before;
+    if (delta != 0) {
+        std::fprintf(stderr,
+                     "FATAL: direct-conv steady-state query made "
+                     "%ld heap allocation(s)\n",
+                     delta);
+        std::abort();
+    }
+}
 
 void
 BM_QuantizeBuffer(benchmark::State &state)
@@ -684,6 +789,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&n, args.data());
     if (benchmark::ReportUnrecognizedArguments(n, args.data()))
         return 1;
+    verifyDirectConvPlan();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -1,7 +1,9 @@
 #include "nn/graph.h"
 
 #include <cassert>
+#include <map>
 #include <unordered_set>
+#include <utility>
 
 #include "nn/layers.h"
 
@@ -40,6 +42,8 @@ opKindName(OpKind kind)
         return "qdwconv2d";
     case OpKind::QDense:
         return "qdense";
+    case OpKind::LayoutConvert:
+        return "layout_convert";
     case OpKind::Opaque:
         return "opaque";
     }
@@ -246,8 +250,10 @@ ModelGraph::fuseRelu()
             continue;
         GraphNode &prod = node(pid);
         if (prod.kind == OpKind::Relu || prod.kind == OpKind::Flatten ||
-            prod.kind == OpKind::Opaque)
-            continue;  // flatten aliases; opaque has no post-op slot
+            prod.kind == OpKind::Opaque ||
+            prod.kind == OpKind::LayoutConvert)
+            continue;  // flatten/convert alias or re-tile; opaque has
+                       // no post-op slot
         prod.postRelu = true;
         rewire(nodes_, output_, id, pid);
         // Detach the dead ReLU (see foldBatchNorm).
@@ -310,6 +316,141 @@ ModelGraph::markFusableEpilogues()
     return marked;
 }
 
+int
+ModelGraph::propagateLayout()
+{
+    if (output_ < 0)
+        return 0;
+
+    // A kept-fp32 conv inside a quantized graph must stay on the
+    // bit-identical im2col path: quantize boundaries downstream snap
+    // activations to codes, and a last-ulp fp32 difference can flip a
+    // code. Pure-fp32 graphs carry the documented 1e-4 tolerance, so
+    // there the fp32 direct kernel is fair game.
+    bool has_quantized = false;
+    for (const GraphNode &n : nodes_) {
+        if (n.kind == OpKind::QConv2d ||
+            n.kind == OpKind::QDepthwiseConv2d ||
+            n.kind == OpKind::QDense)
+            has_quantized = true;
+    }
+
+    // Rebuild the node vector from scratch: converts from a previous
+    // run dissolve (remapped to their source), fresh converts are
+    // interleaved right before the consumer that needs them. This
+    // makes the pass idempotent and safe to re-run after quantization
+    // retargets nodes.
+    std::vector<GraphNode> old = std::move(nodes_);
+    nodes_.clear();
+    nodes_.reserve(old.size());
+    std::vector<int> remap(old.size(), kGraphInput);
+
+    const auto layoutOf = [this](int id) {
+        return id == kGraphInput
+                   ? Layout::NCHW
+                   : nodes_[static_cast<size_t>(id)].layout;
+    };
+    // One convert per (producer, target layout), shared by every
+    // consumer that needs that form.
+    std::map<std::pair<int, int>, int> converts;
+    const auto converted = [&](int id, Layout want) {
+        if (layoutOf(id) == want)
+            return id;
+        const auto key = std::make_pair(id, static_cast<int>(want));
+        const auto it = converts.find(key);
+        if (it != converts.end())
+            return it->second;
+        GraphNode cv;
+        cv.kind = OpKind::LayoutConvert;
+        cv.inputs = {id};
+        cv.layout = want;
+        cv.label = want == Layout::NCHWc ? "to_nchwc" : "to_nchw";
+        nodes_.push_back(std::move(cv));
+        const int cid = nodeCount() - 1;
+        converts.emplace(key, cid);
+        return cid;
+    };
+
+    int tiled = 0;
+    for (size_t i = 0; i < old.size(); ++i) {
+        GraphNode n = std::move(old[i]);
+        if (n.kind == OpKind::LayoutConvert) {
+            remap[i] = n.inputs[0] == kGraphInput
+                           ? kGraphInput
+                           : remap[static_cast<size_t>(n.inputs[0])];
+            continue;
+        }
+        for (int &in : n.inputs) {
+            if (in != kGraphInput)
+                in = remap[static_cast<size_t>(in)];
+        }
+
+        Layout lay = Layout::NCHW;
+        switch (n.kind) {
+        case OpKind::Conv2d:
+        case OpKind::QConv2d:
+            if (n.layer != nullptr && n.layer->supportsNchwc() &&
+                (n.kind == OpKind::QConv2d || !has_quantized))
+                lay = Layout::NCHWc;
+            n.inputs[0] = converted(n.inputs[0], lay);
+            break;
+        case OpKind::MaxPool:
+        case OpKind::AvgPool:
+            // The NCHWc pool kernels need the layer's kernel/stride,
+            // which the plan builder recovers from the concrete pool
+            // layer types; anything else must see NCHW.
+            lay = layoutOf(n.inputs[0]);
+            if (lay == Layout::NCHWc &&
+                dynamic_cast<const MaxPoolLayer *>(n.layer) == nullptr &&
+                dynamic_cast<const AvgPoolLayer *>(n.layer) == nullptr) {
+                lay = Layout::NCHW;
+                n.inputs[0] = converted(n.inputs[0], lay);
+            }
+            break;
+        case OpKind::Relu:
+            // Elementwise: runs over the physical extent either way.
+            lay = layoutOf(n.inputs[0]);
+            break;
+        case OpKind::Add:
+            lay = (layoutOf(n.inputs[0]) == Layout::NCHWc ||
+                   layoutOf(n.inputs[1]) == Layout::NCHWc)
+                      ? Layout::NCHWc
+                      : Layout::NCHW;
+            n.inputs[0] = converted(n.inputs[0], lay);
+            n.inputs[1] = converted(n.inputs[1], lay);
+            break;
+        case OpKind::GlobalAvgPool:
+            // Layout-flexible consumer: reads NCHW or NCHWc directly
+            // and always emits the dense [N, C] head input, so a
+            // tiled chain ends here without an explicit convert (the
+            // executor needs the concrete layer type for nothing but
+            // sanity, so guard on it like the pools).
+            lay = Layout::NCHW;
+            if (layoutOf(n.inputs[0]) == Layout::NCHWc &&
+                dynamic_cast<const GlobalAvgPoolLayer *>(n.layer) ==
+                    nullptr)
+                n.inputs[0] = converted(n.inputs[0], Layout::NCHW);
+            break;
+        default:
+            // Every other op (dense, flatten, batchnorm, depthwise,
+            // quantized dense, opaque) speaks NCHW only.
+            n.inputs[0] = converted(n.inputs[0], Layout::NCHW);
+            break;
+        }
+        n.layout = lay;
+        if (lay == Layout::NCHWc)
+            ++tiled;
+        nodes_.push_back(std::move(n));
+        remap[i] = nodeCount() - 1;
+    }
+
+    int out = remap[static_cast<size_t>(output_)];
+    // The graph output contract is NCHW, whatever the last node is.
+    out = converted(out, Layout::NCHW);
+    output_ = out;
+    return tiled;
+}
+
 void
 ModelGraph::runDefaultPasses()
 {
@@ -335,6 +476,10 @@ ModelGraph::inferShapes(const Shape &input) const
                     : shapes[static_cast<size_t>(n.inputs[1])];
             assert(in0 == in1 && "Add operand shapes must match");
             (void)in1;
+            shapes.push_back(in0);
+        } else if (n.kind == OpKind::LayoutConvert) {
+            // Re-tiling changes the physical buffer, not the logical
+            // shape; the plan builder sizes NCHWc buffers physically.
             shapes.push_back(in0);
         } else {
             assert(n.layer != nullptr);

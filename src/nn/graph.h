@@ -82,6 +82,13 @@ struct GraphNode
      * requantize) into the kernel tail.
      */
     bool fusableEpilogue = false;
+    /**
+     * Activation layout of this node's OUTPUT, assigned by
+     * propagateLayout(). Logical shapes (inferShapes) stay NCHW; the
+     * plan builder sizes NCHWc buffers physically. LayoutConvert
+     * nodes (layer == null, like Add) re-tile between the two.
+     */
+    Layout layout = Layout::NCHW;
     std::string label;
 };
 
@@ -149,6 +156,27 @@ class ModelGraph
      * quantization retargets a node.
      */
     int markFusableEpilogues();
+
+    /**
+     * Layout propagation: assign the NCHWc tiled layout to chains the
+     * direct kernels can execute and insert explicit LayoutConvert
+     * nodes where layouts disagree (graph input and output are always
+     * NCHW). Composes with the other passes in any order and is
+     * idempotent: a re-run first dissolves every convert it inserted
+     * before, then re-propagates — CompiledModel re-runs it after
+     * quantizeGraph retargets nodes.
+     *
+     * Policy: Conv2d/QConv2d nodes whose layer supportsNchwc() anchor
+     * tiled chains; ReLU and pools follow their producer's layout;
+     * Add harmonizes its operands to NCHWc when either side is tiled;
+     * GlobalAvgPool consumes either layout directly. In a graph
+     * containing ANY quantized node, fp32 Conv2d stays NCHW so the
+     * fp32 path feeding quantize/dequantize boundaries remains
+     * bit-identical to the eager reference (the int8 direct kernel is
+     * exact, the fp32 one is only 1e-4-close). Returns the number of
+     * nodes assigned the tiled layout.
+     */
+    int propagateLayout();
 
     /** The standard pipeline: fold BN, fuse ReLU, DCE, mark fusable. */
     void runDefaultPasses();

@@ -40,7 +40,23 @@ enum class OpKind
     QConv2d,
     QDepthwiseConv2d,
     QDense,
+    LayoutConvert, //!< NCHW<->NCHWc re-tile; inserted by propagateLayout
     Opaque,    //!< any other layer; executes via Layer::forwardInto
+};
+
+/**
+ * Activation memory layout of a graph edge. NCHW is the default
+ * row-major form every layer understands; NCHWc is the
+ * channel-blocked tiling (tensor/conv_direct.h, c = 8) that the
+ * direct convolution kernels consume. The layout-propagation pass
+ * (ModelGraph::propagateLayout) assigns one per node and inserts
+ * explicit LayoutConvert nodes where producers and consumers
+ * disagree.
+ */
+enum class Layout
+{
+    NCHW,
+    NCHWc,
 };
 
 /**
@@ -66,10 +82,24 @@ class PreparedKernel
      * from the prepack done at build time.
      */
     virtual void run(const float *input, const tensor::Shape &in_shape,
-                     float *out) const = 0;
+                     float *out, float *scratch) const = 0;
 
     /** Bytes of prepacked constant data this kernel owns. */
     virtual int64_t constantBytes() const = 0;
+
+    /**
+     * Floats of per-invocation scratch run() needs for @p in_shape.
+     * Non-zero means the memory planner carves the scratch out of the
+     * plan arena (live only during this step, so the liveness planner
+     * overlaps it with dead activations) and passes it to run();
+     * kernels returning 0 receive null and must not touch it. Direct
+     * NCHWc convolution returns 0 — that is the whole point.
+     */
+    virtual int64_t scratchFloats(const tensor::Shape &in_shape) const
+    {
+        (void)in_shape;
+        return 0;
+    }
 };
 
 class Layer
@@ -115,6 +145,26 @@ class Layer
      * at plan-build time, never on the query path.
      */
     virtual std::unique_ptr<PreparedKernel> prepare(bool post_relu) const
+    {
+        (void)post_relu;
+        return nullptr;
+    }
+
+    /**
+     * Whether this layer has a direct NCHWc kernel (prepareDirect).
+     * The layout-propagation pass only assigns the tiled layout to
+     * nodes whose layer says yes.
+     */
+    virtual bool supportsNchwc() const { return false; }
+
+    /**
+     * Build the NCHWc direct-kernel form of this layer: run() then
+     * consumes and produces channel-blocked activations (logical
+     * shapes stay NCHW — the executor sizes buffers physically).
+     * Only called when supportsNchwc() is true.
+     */
+    virtual std::unique_ptr<PreparedKernel>
+    prepareDirect(bool post_relu) const
     {
         (void)post_relu;
         return nullptr;

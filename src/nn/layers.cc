@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/activations.h"
+#include "tensor/conv_direct.h"
 #include "tensor/gemm.h"
 
 namespace mlperf {
@@ -29,8 +30,8 @@ class PreparedConv2d final : public PreparedKernel
     }
 
     void
-    run(const float *input, const Shape &in_shape,
-        float *out) const override
+    run(const float *input, const Shape &in_shape, float *out,
+        float *scratch) const override
     {
         const int64_t out_hw = params_.outH(in_shape.dim(2)) *
                                params_.outW(in_shape.dim(3));
@@ -49,7 +50,22 @@ class PreparedConv2d final : public PreparedKernel
             input, in_shape.dim(0), in_shape.dim(1), in_shape.dim(2),
             in_shape.dim(3), weights_,
             bias_.empty() ? nullptr : bias_.data(), params_, relu_,
-            out);
+            out, scratch);
+    }
+
+    int64_t
+    scratchFloats(const Shape &in_shape) const override
+    {
+        const int64_t out_hw = params_.outH(in_shape.dim(2)) *
+                               params_.outW(in_shape.dim(3));
+        // The small-shape path runs the eager kernel out of the thread
+        // arena; above the threshold the im2col patch matrix (one
+        // slice per image, workers write disjoint slices) comes from
+        // the plan arena so its footprint is planner-visible.
+        if (tensor::gemmUsesSmallPath(weights_.rows(), out_hw,
+                                      weights_.cols()))
+            return 0;
+        return in_shape.dim(0) * weights_.cols() * out_hw;
     }
 
     int64_t constantBytes() const override { return weights_.bytes(); }
@@ -58,6 +74,39 @@ class PreparedConv2d final : public PreparedKernel
     tensor::PackedMatrix weights_;
     const Tensor &raw_;               //!< owned by the layer
     const std::vector<float> &bias_;  //!< owned by the layer
+    tensor::Conv2dParams params_;
+    bool relu_;
+};
+
+/** Conv weights blocked for the direct NCHWc kernel: no im2col, no
+ *  scratch, bias/ReLU fused while the output tile is register-hot. */
+class PreparedConv2dDirect final : public PreparedKernel
+{
+  public:
+    PreparedConv2dDirect(const Tensor &weight,
+                         const std::vector<float> &bias,
+                         const tensor::Conv2dParams &params, bool relu)
+        : weights_(tensor::packConvNchwc(
+              weight, bias.empty() ? nullptr : bias.data(),
+              static_cast<int64_t>(bias.size()))),
+          params_(params), relu_(relu)
+    {
+    }
+
+    void
+    run(const float *input, const Shape &in_shape, float *out,
+        float *scratch) const override
+    {
+        (void)scratch;  // the point of the direct kernel
+        tensor::convDirectNchwc(input, in_shape.dim(0), in_shape.dim(1),
+                                in_shape.dim(2), in_shape.dim(3),
+                                weights_, params_, relu_, out);
+    }
+
+    int64_t constantBytes() const override { return weights_.bytes(); }
+
+  private:
+    tensor::PackedConvNchwc weights_;
     tensor::Conv2dParams params_;
     bool relu_;
 };
@@ -77,9 +126,10 @@ class PreparedDense final : public PreparedKernel
     }
 
     void
-    run(const float *input, const Shape &in_shape,
-        float *out) const override
+    run(const float *input, const Shape &in_shape, float *out,
+        float *scratch) const override
     {
+        (void)scratch;  // GEMM packs into the thread arena
         const int64_t batch = in_shape.dim(0);
         const int64_t in = in_shape.dim(1);
         const int64_t features = weights_.cols();
@@ -166,6 +216,13 @@ Conv2dLayer::prepare(bool post_relu) const
 {
     return std::make_unique<PreparedConv2d>(weight_, bias_, params_,
                                             fuseRelu_ || post_relu);
+}
+
+std::unique_ptr<PreparedKernel>
+Conv2dLayer::prepareDirect(bool post_relu) const
+{
+    return std::make_unique<PreparedConv2dDirect>(
+        weight_, bias_, params_, fuseRelu_ || post_relu);
 }
 
 uint64_t

@@ -41,6 +41,12 @@ class Conv2dLayer : public Layer
     std::unique_ptr<PreparedKernel> prepare(bool post_relu) const
         override;
 
+    /** Direct NCHWc kernel (tensor/conv_direct): no im2col, no
+     *  scratch, weights blocked into the kernel's consume order. */
+    bool supportsNchwc() const override { return true; }
+    std::unique_ptr<PreparedKernel> prepareDirect(bool post_relu) const
+        override;
+
     const tensor::Tensor &weight() const { return weight_; }
     const std::vector<float> &bias() const { return bias_; }
     const tensor::Conv2dParams &params() const { return params_; }
@@ -130,6 +136,9 @@ class MaxPoolLayer : public Layer
     OpKind opKind() const override { return OpKind::MaxPool; }
     std::string name() const override { return "maxpool"; }
 
+    int64_t kernel() const { return kernel_; }
+    int64_t stride() const { return stride_; }
+
   private:
     int64_t kernel_;
     int64_t stride_;
@@ -150,6 +159,9 @@ class AvgPoolLayer : public Layer
     tensor::Shape outputShape(const tensor::Shape &input) const override;
     OpKind opKind() const override { return OpKind::AvgPool; }
     std::string name() const override { return "avgpool"; }
+
+    int64_t kernel() const { return kernel_; }
+    int64_t stride() const { return stride_; }
 
   private:
     int64_t kernel_;

@@ -3,14 +3,43 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <sstream>
 
+#include "nn/layers.h"
 #include "nn/memory_planner.h"
+#include "tensor/conv_direct.h"
 
 namespace mlperf {
 namespace nn {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+/** MLPERF_FORCE_IM2COL set to anything but "" / "0" pins every conv to
+ *  the NCHW im2col reference path (differential debugging knob). */
+bool
+forceIm2col()
+{
+    const char *env = std::getenv("MLPERF_FORCE_IM2COL");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+/** Physical buffer numel for a value of @p shape in @p layout. The
+ *  NCHWc form pads the channel dim to a multiple of the block. */
+int64_t
+physicalNumel(const Shape &shape, Layout layout)
+{
+    if (layout == Layout::NCHW)
+        return shape.numel();
+    assert(shape.rank() == 4);
+    return tensor::nchwcNumel(shape.dim(0), shape.dim(1), shape.dim(2),
+                              shape.dim(3));
+}
+
+} // namespace
 
 CompiledModel::CompiledModel(const Sequential &model,
                              Shape sample_shape, CompileOptions options)
@@ -23,6 +52,14 @@ CompiledModel::CompiledModel(const Sequential &model,
         graph_.fuseRelu();
     if (options.eliminateDeadNodes)
         graph_.eliminateDeadNodes();
+    // The direct kernels exist only in prepared (prepacked) form, so
+    // layout propagation is tied to prepackConstants; the env knob
+    // forces the im2col reference path for differential runs.
+    options_.propagateLayout = options.propagateLayout &&
+                               options.prepackConstants &&
+                               !forceIm2col();
+    if (options_.propagateLayout)
+        graph_.propagateLayout();
     graph_.markFusableEpilogues();
 }
 
@@ -31,6 +68,11 @@ CompiledModel::CompiledModel(ModelGraph graph, Shape sample_shape,
     : graph_(std::move(graph)), sampleShape_(std::move(sample_shape)),
       options_(options)
 {
+    options_.propagateLayout = options.propagateLayout &&
+                               options.prepackConstants &&
+                               !forceIm2col();
+    if (options_.propagateLayout)
+        graph_.propagateLayout();
     graph_.markFusableEpilogues();
 }
 
@@ -44,6 +86,11 @@ CompiledModel::invalidatePlans()
     // for int8 ones) they would execute the old weights. Drop them so
     // the next planFor() re-prepares from the current layers.
     constants_.clear();
+    // Re-run layout propagation: the mutation may have changed which
+    // chains tile (quantizeGraph flips the fp32-conv policy), and the
+    // pass is idempotent — it strips its own converts first.
+    if (options_.propagateLayout)
+        graph_.propagateLayout();
     graph_.markFusableEpilogues();
 }
 
@@ -60,8 +107,6 @@ CompiledModel::planFor(int64_t batch) const
     auto it = plans_.find(batch);
     if (it == plans_.end()) {
         auto plan = std::make_unique<Plan>(buildPlan(batch));
-        if (options_.prepackConstants)
-            attachConstants(*plan);
         it = plans_.emplace(batch, std::move(plan)).first;
     }
     return *it->second;
@@ -85,11 +130,16 @@ CompiledModel::attachConstants(Plan &plan) const
         // kept current by replaceNodeLayer and invalidatePlans.
         if (step.layer == nullptr || !step.fusableEpilogue)
             continue;
-        const auto key = std::make_pair(step.layer, step.postRelu);
+        // NCHWc-producing steps run the direct kernel; the layout
+        // pass only tiles nodes whose layer supports it.
+        const bool direct = step.outLayout == Layout::NCHWc;
+        const auto key =
+            std::make_tuple(step.layer, step.postRelu, direct);
         auto it = constants_.find(key);
         if (it == constants_.end()) {
             std::unique_ptr<PreparedKernel> kernel =
-                step.layer->prepare(step.postRelu);
+                direct ? step.layer->prepareDirect(step.postRelu)
+                       : step.layer->prepare(step.postRelu);
             if (kernel == nullptr)
                 continue;
             it = constants_.emplace(key, std::move(kernel)).first;
@@ -117,9 +167,17 @@ CompiledModel::buildPlan(int64_t batch) const
 
     const std::vector<Shape> shapes = graph_.inferShapes(input_shape);
 
-    // Value slots: one materialized buffer per graph value. Slot 0 is
-    // the graph input; Flatten nodes alias their producer's slot (a
-    // reshape moves no data), everything else gets its own.
+    const auto layoutOf = [&](int operand) {
+        return operand == kGraphInput
+                   ? Layout::NCHW
+                   : graph_.node(operand).layout;
+    };
+
+    // Value slots: one materialized buffer per graph value, sized to
+    // the PHYSICAL extent of its producer's layout (NCHWc pads the
+    // channel dim). Slot 0 is the graph input; Flatten nodes alias
+    // their producer's slot (a reshape moves no data), everything
+    // else gets its own.
     struct SlotInfo
     {
         int64_t numel;
@@ -160,6 +218,8 @@ CompiledModel::buildPlan(int64_t batch) const
         const GraphNode &n = graph_.node(id);
         if (n.kind == OpKind::Flatten) {
             assert(!n.postRelu);
+            // Reshape aliasing only works on the dense NCHW form.
+            assert(layoutOf(n.inputs[0]) == Layout::NCHW);
             node_slot[static_cast<size_t>(id)] = slotFor(n.inputs[0]);
             continue;
         }
@@ -172,7 +232,32 @@ CompiledModel::buildPlan(int64_t batch) const
         step.fusableEpilogue = n.fusableEpilogue;
         step.inShape = shapeFor(n.inputs[0]);
         step.outShape = shapes[static_cast<size_t>(id)];
+        step.inLayout = layoutOf(n.inputs[0]);
+        step.outLayout = n.layout;
         step.label = n.label;
+
+        if (n.kind == OpKind::Add) {
+            // The layout pass harmonizes Add operands; the elementwise
+            // loop then runs over the shared physical extent.
+            assert(layoutOf(n.inputs[1]) == step.inLayout);
+        }
+        if (step.inLayout == Layout::NCHWc &&
+            (n.kind == OpKind::MaxPool || n.kind == OpKind::AvgPool)) {
+            // Resolve pool geometry now: the executor's direct NCHWc
+            // pool kernels bypass Layer::forwardInto.
+            if (const auto *mp =
+                    dynamic_cast<const MaxPoolLayer *>(n.layer)) {
+                step.poolKernel = mp->kernel();
+                step.poolStride = mp->stride();
+            } else if (const auto *ap =
+                           dynamic_cast<const AvgPoolLayer *>(
+                               n.layer)) {
+                step.poolKernel = ap->kernel();
+                step.poolStride = ap->stride();
+            } else {
+                assert(false && "NCHWc pool without pool layer");
+            }
+        }
 
         StepSlots ss{slotFor(n.inputs[0]), -1, -1};
         slots[static_cast<size_t>(ss.in0)].lastUse = step_index;
@@ -181,8 +266,9 @@ CompiledModel::buildPlan(int64_t batch) const
             slots[static_cast<size_t>(ss.in1)].lastUse = step_index;
         }
         ss.out = static_cast<int>(slots.size());
-        slots.push_back(SlotInfo{step.outShape.numel(), step_index,
-                                 step_index});
+        slots.push_back(
+            SlotInfo{physicalNumel(step.outShape, step.outLayout),
+                     step_index, step_index});
         node_slot[static_cast<size_t>(id)] = ss.out;
 
         plan.steps.push_back(std::move(step));
@@ -195,10 +281,34 @@ CompiledModel::buildPlan(int64_t batch) const
     slots[static_cast<size_t>(out_slot)].lastUse =
         static_cast<int>(plan.steps.size()) + 1;
 
+    // Resolve prepared kernels BEFORE planning buffers so each
+    // kernel's scratch footprint (im2col patch matrices; zero for the
+    // direct path) is liveness-planned into the same arena as the
+    // activations.
+    if (options_.prepackConstants)
+        attachConstants(plan);
+
     std::vector<BufferRequest> requests;
-    requests.reserve(slots.size());
+    requests.reserve(slots.size() + plan.steps.size());
     for (const SlotInfo &s : slots)
         requests.push_back(BufferRequest{s.numel * 4, s.def, s.lastUse});
+
+    // Kernel scratch lives only during its own step, so the planner
+    // overlaps it with dead activations.
+    std::vector<int> scratch_request(plan.steps.size(), -1);
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+        PlanStep &step = plan.steps[i];
+        if (step.prepared == nullptr)
+            continue;
+        step.scratchFloats = step.prepared->scratchFloats(step.inShape);
+        if (step.scratchFloats <= 0)
+            continue;
+        const int step_index = static_cast<int>(i) + 1;
+        scratch_request[i] = static_cast<int>(requests.size());
+        requests.push_back(BufferRequest{step.scratchFloats * 4,
+                                         step_index, step_index});
+    }
+
     const MemoryPlan memory = planBuffers(requests, /*alignment=*/64);
 
     std::vector<int64_t> slot_offset(slots.size());
@@ -214,6 +324,12 @@ CompiledModel::buildPlan(int64_t batch) const
                 : slot_offset[static_cast<size_t>(step_slots[i].in1)];
         plan.steps[i].out =
             slot_offset[static_cast<size_t>(step_slots[i].out)];
+        if (scratch_request[i] >= 0) {
+            plan.steps[i].scratch =
+                memory.offsets[static_cast<size_t>(
+                    scratch_request[i])] /
+                4;
+        }
     }
 
     plan.arenaFloats = memory.arenaBytes / 4;
@@ -223,6 +339,41 @@ CompiledModel::buildPlan(int64_t batch) const
     plan.outputShape = shapes[static_cast<size_t>(graph_.outputNode())];
     plan.outputNumel = plan.outputShape.numel();
     return plan;
+}
+
+std::string
+planDebugDump(const Plan &plan)
+{
+    std::ostringstream os;
+    os << "plan batch=" << plan.batch
+       << " arena_kb=" << plan.arenaFloats * 4 / 1024
+       << " naive_kb=" << plan.naiveFloats * 4 / 1024
+       << " constants_kb=" << plan.constantBytes / 1024 << "\n";
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+        const PlanStep &s = plan.steps[i];
+        os << "  #" << i << " " << opKindName(s.kind);
+        if (!s.label.empty())
+            os << " [" << s.label << "]";
+        os << " " << (s.inLayout == Layout::NCHWc ? "nchwc" : "nchw")
+           << "->"
+           << (s.outLayout == Layout::NCHWc ? "nchwc" : "nchw");
+        os << " in0@" << s.in0;
+        if (s.in1 >= 0)
+            os << " in1@" << s.in1;
+        os << " out@" << s.out;
+        if (s.kind == OpKind::Conv2d || s.kind == OpKind::QConv2d ||
+            s.kind == OpKind::DepthwiseConv2d) {
+            // Per-conv scratch footprint: the direct path reports 0,
+            // an im2col step its liveness-planned patch matrix.
+            os << " scratch_kb=" << s.scratchFloats * 4 / 1024;
+        }
+        if (s.postRelu)
+            os << " +relu";
+        if (s.prepared != nullptr)
+            os << " prepacked";
+        os << "\n";
+    }
+    return os.str();
 }
 
 // ------------------------------------------------- ExecutionInstance
@@ -265,7 +416,10 @@ ExecutionInstance::run(const CompiledModel &model, int64_t batch)
     for (const PlanStep &step : plan.steps) {
         const float *in0 = base + step.in0;
         float *out = base + step.out;
-        const int64_t out_n = step.outShape.numel();
+        // Elementwise loops cover the physical extent; NCHWc tail
+        // lanes are zero on both operands, so they stay zero.
+        const int64_t out_n =
+            physicalNumel(step.outShape, step.outLayout);
         if (step.kind == OpKind::Add) {
             const float *in1 = base + step.in1;
             if (step.postRelu) {
@@ -279,11 +433,61 @@ ExecutionInstance::run(const CompiledModel &model, int64_t batch)
             }
             continue;
         }
+        if (step.kind == OpKind::LayoutConvert) {
+            const Shape &s = step.inShape;
+            if (step.outLayout == Layout::NCHWc)
+                tensor::nchwcFromNchw(in0, s.dim(0), s.dim(1),
+                                      s.dim(2), s.dim(3), out);
+            else
+                tensor::nchwFromNchwc(in0, s.dim(0), s.dim(1),
+                                      s.dim(2), s.dim(3), out);
+            continue;
+        }
         if (step.prepared != nullptr) {
             // Prepacked fast path: weights stream from the constant
             // section and the epilogue (bias/postRelu/requantize) is
-            // fused into the kernel tail — no separate pass.
-            step.prepared->run(in0, step.inShape, out);
+            // fused into the kernel tail — no separate pass. Scratch,
+            // when the kernel wants any, comes liveness-planned from
+            // the same arena.
+            step.prepared->run(
+                in0, step.inShape, out,
+                step.scratch >= 0 ? base + step.scratch : nullptr);
+            continue;
+        }
+        if (step.inLayout == Layout::NCHWc) {
+            // Layer-less direct kernels for the ops the layout pass
+            // lets ride through the tiled form.
+            const Shape &s = step.inShape;
+            switch (step.kind) {
+            case OpKind::MaxPool:
+                tensor::maxPool2dNchwcInto(
+                    in0, s.dim(0), s.dim(1), s.dim(2), s.dim(3),
+                    step.poolKernel, step.poolStride, out);
+                break;
+            case OpKind::AvgPool:
+                tensor::avgPool2dNchwcInto(
+                    in0, s.dim(0), s.dim(1), s.dim(2), s.dim(3),
+                    step.poolKernel, step.poolStride, out);
+                break;
+            case OpKind::GlobalAvgPool:
+                tensor::globalAvgPoolNchwcInto(in0, s.dim(0), s.dim(1),
+                                               s.dim(2), s.dim(3),
+                                               out);
+                break;
+            case OpKind::Relu:
+                for (int64_t i = 0; i < out_n; ++i)
+                    out[i] = in0[i] < 0.0f ? 0.0f : in0[i];
+                break;
+            default:
+                assert(false && "NCHWc step without a direct kernel");
+                break;
+            }
+            if (step.postRelu) {
+                for (int64_t i = 0; i < out_n; ++i) {
+                    if (out[i] < 0.0f)
+                        out[i] = 0.0f;
+                }
+            }
             continue;
         }
         step.layer->forwardInto(in0, step.inShape, out);

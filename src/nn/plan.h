@@ -29,6 +29,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -51,13 +52,23 @@ struct CompileOptions
      * a separate elementwise pass. Off only for A/B benchmarking.
      */
     bool prepackConstants = true;
+    /**
+     * Run ModelGraph::propagateLayout so convolution chains execute
+     * in the NCHWc tiled layout through the direct kernels instead of
+     * im2col + GEMM. Requires prepackConstants (the direct kernels
+     * exist only in prepared form); the MLPERF_FORCE_IM2COL
+     * environment variable (any non-"0" value) overrides this to
+     * false at CompiledModel construction, forcing the im2col
+     * reference path for differential debugging.
+     */
+    bool propagateLayout = true;
 };
 
 /** One executable op with resolved arena offsets (in floats). */
 struct PlanStep
 {
     OpKind kind = OpKind::Opaque;
-    const Layer *layer = nullptr;  //!< null only for Add
+    const Layer *layer = nullptr;  //!< null for Add and LayoutConvert
     /**
      * Prepacked fast path for this step, owned by the CompiledModel's
      * constant section and shared read-only across threads; null when
@@ -69,11 +80,29 @@ struct PlanStep
     /** Copied from the graph node's markFusableEpilogues() mark; only
      *  marked steps are eligible for a prepared kernel. */
     bool fusableEpilogue = false;
-    tensor::Shape inShape;   //!< shape of operand 0
-    tensor::Shape outShape;
+    tensor::Shape inShape;   //!< LOGICAL shape of operand 0 (NCHW)
+    tensor::Shape outShape;  //!< LOGICAL output shape (NCHW)
+    /** Physical layout of the operand-0 / output buffers. Shapes stay
+     *  logical; NCHWc buffers are sized to the padded physical extent
+     *  by the plan builder. */
+    Layout inLayout = Layout::NCHW;
+    Layout outLayout = Layout::NCHW;
     int64_t in0 = 0;
     int64_t in1 = -1;        //!< second Add operand, else -1
     int64_t out = 0;
+    /**
+     * Arena offset (floats) of this step's kernel scratch, -1 when the
+     * kernel needs none. Carved from the same liveness-planned arena
+     * as the activations — live only during this step, so the planner
+     * overlaps it with dead values. Direct-conv steps need none;
+     * im2col steps put their patch matrix here.
+     */
+    int64_t scratch = -1;
+    int64_t scratchFloats = 0;
+    /** Resolved pool geometry for NCHWc pool steps (the direct pool
+     *  kernels bypass Layer::forwardInto). */
+    int64_t poolKernel = 0;
+    int64_t poolStride = 0;
     std::string label;
 };
 
@@ -147,7 +176,10 @@ class CompiledModel
 
     /**
      * Resolve each step's prepared kernel from the constant cache,
-     * building missing entries via Layer::prepare. Caller must hold
+     * building missing entries via Layer::prepare (NCHW steps) or
+     * Layer::prepareDirect (NCHWc steps). Called from inside
+     * buildPlan BEFORE buffers are planned, so kernel scratch
+     * footprints are visible to the memory planner. Caller must hold
      * the exclusive lock.
      */
     void attachConstants(Plan &plan) const;
@@ -159,13 +191,23 @@ class CompiledModel
     mutable std::map<int64_t, std::unique_ptr<Plan>> plans_;
     /**
      * Constant-data section: one prepacked kernel per (layer,
-     * postRelu) pair, shared by every plan (all batch sizes) and
-     * read-only once published by planFor's exclusive section.
+     * postRelu, direct-NCHWc) triple, shared by every plan (all batch
+     * sizes) and read-only once published by planFor's exclusive
+     * section.
      */
-    mutable std::map<std::pair<const Layer *, bool>,
+    mutable std::map<std::tuple<const Layer *, bool, bool>,
                      std::unique_ptr<PreparedKernel>>
         constants_;
 };
+
+/**
+ * Human-readable plan listing for debugging the layout and memory
+ * passes: one line per step with kind, layouts, arena offsets, and —
+ * for convolution steps — the kernel scratch footprint (scratch_kb),
+ * which is how you see the direct path's zero-scratch win next to an
+ * im2col step's patch matrix.
+ */
+std::string planDebugDump(const Plan &plan);
 
 /**
  * Per-thread executor state: one grow-only, 64-byte-aligned arena

@@ -172,6 +172,10 @@ quantizeGraph(nn::ModelGraph &graph, const Shape &sample_shape,
                     const float *s = in1.data();
                     for (int64_t i = 0; i < out.numel(); ++i)
                         p[i] += s[i];
+                } else if (node.kind == nn::OpKind::LayoutConvert) {
+                    // Physical re-tile only; calibration tracks the
+                    // logical values, which pass through unchanged.
+                    out = in0;
                 } else {
                     out = node.layer->forward(in0);
                 }

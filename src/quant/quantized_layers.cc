@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/scratch_arena.h"
+#include "tensor/conv_direct.h"
 
 namespace mlperf {
 namespace quant {
@@ -125,8 +126,8 @@ class PreparedQuantConv2d final : public nn::PreparedKernel
     }
 
     void
-    run(const float *input, const Shape &in_shape,
-        float *out_buf) const override
+    run(const float *input, const Shape &in_shape, float *out_buf,
+        float *scratch) const override
     {
         const int64_t n = in_shape.dim(0);
         const int64_t h = in_shape.dim(2);
@@ -144,10 +145,20 @@ class PreparedQuantConv2d final : public nn::PreparedKernel
         epilogue.perRow = true;  // C rows are output channels
         epilogue.relu = relu_;
 
+        // Plan-arena scratch when provided (liveness-planned), else
+        // the thread-local arena; images run serially, so one qx/col
+        // pair is reused across the batch either way.
         ScratchArena &arena = ScratchArena::thread();
         ScratchFrame frame(arena);
-        int8_t *qx = arena.alloc<int8_t>(inC_ * h * w);
-        int8_t *col = arena.alloc<int8_t>(patch * out_hw);
+        int8_t *qx;
+        int8_t *col;
+        if (scratch != nullptr) {
+            qx = reinterpret_cast<int8_t *>(scratch);
+            col = qx + inC_ * h * w;
+        } else {
+            qx = arena.alloc<int8_t>(inC_ * h * w);
+            col = arena.alloc<int8_t>(patch * out_hw);
+        }
         for (int64_t ni = 0; ni < n; ++ni) {
             const float *img = input + ni * inC_ * h * w;
             quantizeBuffer(img, qx, inC_ * h * w, actParams_);
@@ -158,6 +169,17 @@ class PreparedQuantConv2d final : public nn::PreparedKernel
         }
     }
 
+    int64_t scratchFloats(const Shape &in_shape) const override
+    {
+        const int64_t h = in_shape.dim(2);
+        const int64_t w = in_shape.dim(3);
+        const int64_t out_hw =
+            convParams_.outH(h) * convParams_.outW(w);
+        const int64_t bytes =
+            inC_ * h * w + weights_.cols() * out_hw;
+        return (bytes + 3) / 4;
+    }
+
     int64_t constantBytes() const override
     {
         return weights_.bytes() + requant_.bytes();
@@ -165,6 +187,129 @@ class PreparedQuantConv2d final : public nn::PreparedKernel
 
   private:
     PackedInt8 weights_;
+    RequantConstants requant_;
+    const std::vector<float> &bias_;  //!< owned by the layer
+    QuantParams actParams_;
+    tensor::Conv2dParams convParams_;
+    int64_t inC_;
+    int64_t outC_;
+    bool relu_;
+};
+
+/**
+ * Direct NCHWc int8 convolution: quantize the tiled activation in
+ * place of im2colInt8, accumulate exactly in int32 through the blocked
+ * kernel, then requantize per output channel with the same expression
+ * the eager layer uses (same translation unit, so the float math
+ * compiles identically and the path stays bit-exact). Tail output
+ * lanes are written as 0.0f to keep the NCHWc zero-tail invariant.
+ */
+class PreparedQuantConv2dDirect final : public nn::PreparedKernel
+{
+  public:
+    PreparedQuantConv2dDirect(const QuantizedWeights &w,
+                              const std::vector<float> &bias,
+                              const QuantParams &act,
+                              const tensor::Conv2dParams &conv,
+                              int64_t in_c, bool relu)
+        : weights_(tensor::packConvNchwcInt8(w.data.data(), w.channels,
+                                             in_c, conv.kernelH,
+                                             conv.kernelW)),
+          requant_(w, act), bias_(bias), actParams_(act),
+          convParams_(conv), inC_(in_c), outC_(w.channels), relu_(relu)
+    {
+    }
+
+    void
+    run(const float *input, const Shape &in_shape, float *out_buf,
+        float *scratch) const override
+    {
+        constexpr int64_t kC = tensor::kNchwcBlock;
+        const int64_t n = in_shape.dim(0);
+        const int64_t h = in_shape.dim(2);
+        const int64_t w = in_shape.dim(3);
+        const int64_t out_hw =
+            convParams_.outH(h) * convParams_.outW(w);
+        const int64_t ob = tensor::nchwcBlocks(outC_);
+        const int64_t phys_in =
+            tensor::nchwcBlocks(inC_) * kC * h * w;
+        const int64_t acc_n = ob * kC * out_hw;
+        const int8_t pad_code =
+            static_cast<int8_t>(actParams_.quantize(0.0f));
+
+        ScratchArena &arena = ScratchArena::thread();
+        ScratchFrame frame(arena);
+        int32_t *acc;
+        int8_t *qx;
+        if (scratch != nullptr) {
+            acc = reinterpret_cast<int32_t *>(scratch);
+            qx = reinterpret_cast<int8_t *>(scratch + acc_n);
+        } else {
+            acc = arena.alloc<int32_t>(acc_n);
+            qx = arena.alloc<int8_t>(phys_in);
+        }
+
+        for (int64_t ni = 0; ni < n; ++ni) {
+            // Tail input lanes hold 0.0f and quantize to the zero
+            // point, but their weight lanes are zero-packed, so they
+            // contribute nothing to the exact int32 accumulation.
+            quantizeBuffer(input + ni * phys_in, qx, phys_in,
+                           actParams_);
+            tensor::convDirectNchwcInt8(qx, inC_, h, w, weights_,
+                                        convParams_, pad_code, acc);
+            float *out_img = out_buf + ni * acc_n;
+            for (int64_t ocb = 0; ocb < ob; ++ocb) {
+                for (int64_t lane = 0; lane < kC; ++lane) {
+                    const int64_t o = ocb * kC + lane;
+                    float *dst = out_img + ocb * out_hw * kC + lane;
+                    if (o >= outC_) {
+                        for (int64_t i = 0; i < out_hw; ++i)
+                            dst[i * kC] = 0.0f;
+                        continue;
+                    }
+                    const float scale =
+                        requant_.scale[static_cast<size_t>(o)];
+                    const int32_t corr =
+                        requant_.corr[static_cast<size_t>(o)];
+                    const float b =
+                        bias_.empty()
+                            ? 0.0f
+                            : bias_[static_cast<size_t>(o)];
+                    const int32_t *acc_row =
+                        acc + ocb * out_hw * kC + lane;
+                    for (int64_t i = 0; i < out_hw; ++i) {
+                        float v = scale * static_cast<float>(
+                                              acc_row[i * kC] - corr) +
+                                  b;
+                        if (relu_ && v < 0.0f)
+                            v = 0.0f;
+                        dst[i * kC] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    int64_t scratchFloats(const Shape &in_shape) const override
+    {
+        const int64_t h = in_shape.dim(2);
+        const int64_t w = in_shape.dim(3);
+        const int64_t out_hw =
+            convParams_.outH(h) * convParams_.outW(w);
+        const int64_t phys_in =
+            tensor::nchwcBlocks(inC_) * tensor::kNchwcBlock * h * w;
+        const int64_t acc_n =
+            tensor::nchwcBlocks(outC_) * tensor::kNchwcBlock * out_hw;
+        return acc_n + (phys_in + 3) / 4;
+    }
+
+    int64_t constantBytes() const override
+    {
+        return weights_.bytes() + requant_.bytes();
+    }
+
+  private:
+    tensor::PackedConvNchwcInt8 weights_;
     RequantConstants requant_;
     const std::vector<float> &bias_;  //!< owned by the layer
     QuantParams actParams_;
@@ -190,8 +335,8 @@ class PreparedQuantDense final : public nn::PreparedKernel
     }
 
     void
-    run(const float *input, const Shape &in_shape,
-        float *out_buf) const override
+    run(const float *input, const Shape &in_shape, float *out_buf,
+        float *scratch) const override
     {
         const int64_t batch = in_shape.dim(0);
         const int64_t numel = in_shape.numel();
@@ -205,10 +350,17 @@ class PreparedQuantDense final : public nn::PreparedKernel
 
         ScratchArena &arena = ScratchArena::thread();
         ScratchFrame frame(arena);
-        int8_t *qx = arena.alloc<int8_t>(numel);
+        int8_t *qx = scratch != nullptr
+                         ? reinterpret_cast<int8_t *>(scratch)
+                         : arena.alloc<int8_t>(numel);
         quantizeBuffer(input, qx, numel, actParams_);
         gemmInt8PrepackedB(qx, weights_, out_buf, batch, out_, in_,
                            epilogue);
+    }
+
+    int64_t scratchFloats(const Shape &in_shape) const override
+    {
+        return (in_shape.numel() + 3) / 4;
     }
 
     int64_t constantBytes() const override
@@ -396,6 +548,14 @@ std::unique_ptr<nn::PreparedKernel>
 QuantizedConv2dLayer::prepare(bool post_relu) const
 {
     return std::make_unique<PreparedQuantConv2d>(
+        weights_, bias_, actParams_, convParams_, inC_,
+        fuseRelu_ || post_relu);
+}
+
+std::unique_ptr<nn::PreparedKernel>
+QuantizedConv2dLayer::prepareDirect(bool post_relu) const
+{
+    return std::make_unique<PreparedQuantConv2dDirect>(
         weights_, bias_, actParams_, convParams_, inC_,
         fuseRelu_ || post_relu);
 }

@@ -90,6 +90,12 @@ class QuantizedConv2dLayer : public nn::Layer
     std::unique_ptr<nn::PreparedKernel> prepare(bool post_relu) const
         override;
 
+    /** Direct NCHWc int8 kernel: no im2colInt8, exact int32
+     *  accumulation, so it stays bit-exact against the eager path. */
+    bool supportsNchwc() const override { return true; }
+    std::unique_ptr<nn::PreparedKernel> prepareDirect(
+        bool post_relu) const override;
+
   private:
     QuantizedWeights weights_;
     std::vector<float> bias_;

@@ -98,7 +98,7 @@ void
 conv2dPrepackedInto(const float *input, int64_t n, int64_t c, int64_t h,
                     int64_t w, const PackedMatrix &weights,
                     const float *bias, const Conv2dParams &p, bool relu,
-                    float *out)
+                    float *out, float *col_scratch)
 {
     const int64_t o = weights.rows();
     const int64_t patch = weights.cols();
@@ -114,14 +114,22 @@ conv2dPrepackedInto(const float *input, int64_t n, int64_t c, int64_t h,
     epilogue.relu = relu;
 
     // Same parallel structure as conv2dInto: one image per task, the
-    // GEMM itself parallelizes over M panels when n == 1.
+    // GEMM itself parallelizes over M panels when n == 1. With a
+    // caller-provided (plan-arena) patch buffer each image unfolds
+    // into its own slice so parallel workers never overlap; without
+    // one, each worker reuses a thread-arena buffer across its range.
     auto image_range = [&](int64_t begin, int64_t end) {
         ScratchArena &arena = ScratchArena::thread();
         ScratchFrame frame(arena);
-        float *col = arena.alloc<float>(patch * out_hw);
+        float *col = col_scratch != nullptr
+                         ? nullptr
+                         : arena.alloc<float>(patch * out_hw);
         for (int64_t ni = begin; ni < end; ++ni) {
-            im2col(input + ni * c * h * w, c, h, w, p, col);
-            gemmPrepackedA(weights, col, out + ni * o * out_hw, o,
+            float *img_col = col_scratch != nullptr
+                                 ? col_scratch + ni * patch * out_hw
+                                 : col;
+            im2col(input + ni * c * h * w, c, h, w, p, img_col);
+            gemmPrepackedA(weights, img_col, out + ni * o * out_hw, o,
                            out_hw, patch, epilogue);
         }
     };

@@ -72,12 +72,19 @@ void conv2dInto(const float *input, int64_t n, int64_t c, int64_t h,
  * [O, C*kh*kw] weight view sits on the A side of the im2col GEMM, so
  * @p weights must come from packMatrixA. Bias-add and ReLU are fused
  * into the GEMM epilogue — no separate elementwise pass touches the
- * output. This is the compiled-plan executor's conv primitive.
+ * output. This is the compiled-plan executor's im2col conv primitive.
+ *
+ * @p col_scratch is the im2col patch buffer: n * C*kh*kw * outH*outW
+ * floats, one slice per image so parallel workers stay disjoint.
+ * Normally the plan arena provides it (liveness-planned, so the
+ * planner can overlap it with dead activations); pass null to fall
+ * back to the thread-local scratch arena.
  */
 void conv2dPrepackedInto(const float *input, int64_t n, int64_t c,
                          int64_t h, int64_t w,
                          const PackedMatrix &weights, const float *bias,
-                         const Conv2dParams &p, bool relu, float *out);
+                         const Conv2dParams &p, bool relu, float *out,
+                         float *col_scratch = nullptr);
 
 /**
  * Depthwise convolution: one filter per channel. weight [C, 1, kh, kw].

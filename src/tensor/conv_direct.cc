@@ -1,0 +1,521 @@
+#include "tensor/conv_direct.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/parallel.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MLPERF_CONV_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace mlperf {
+namespace tensor {
+
+namespace {
+
+constexpr int64_t kB = kNchwcBlock;
+
+/** Shared all-zero channel block; out-of-image taps read from here so
+ *  the kernel stays branch-free in the ic/oc loops. */
+alignas(64) constexpr float kZeroBlock[kB] = {};
+
+int64_t
+roundUp(int64_t v, int64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+/**
+ * One output row for one (image, output-channel block): out_row holds
+ * out_w blocked pixels. wrow points at the ocb slab of the packed
+ * weights, laid out [icb][kh][kw][ic][oc] so the kernel walks it with
+ * unit stride; bias8 is that block's padded bias lanes.
+ */
+using ConvRowFn = void (*)(const float *img, int64_t cb, int64_t h,
+                           int64_t w, const float *wrow,
+                           const float *bias8, const Conv2dParams &p,
+                           int64_t oh, int64_t out_w, bool relu,
+                           float *out_row);
+
+void
+convRowGeneric(const float *img, int64_t cb, int64_t h, int64_t w,
+               const float *wrow, const float *bias8,
+               const Conv2dParams &p, int64_t oh, int64_t out_w,
+               bool relu, float *out_row)
+{
+    for (int64_t ow = 0; ow < out_w; ++ow) {
+        float acc[kB] = {};
+        const float *w_tap = wrow;
+        for (int64_t icb = 0; icb < cb; ++icb) {
+            const float *plane = img + icb * h * w * kB;
+            for (int64_t kh = 0; kh < p.kernelH; ++kh) {
+                const int64_t ih = oh * p.strideH - p.padH + kh;
+                const bool row_ok = ih >= 0 && ih < h;
+                const float *in_row = plane + ih * w * kB;
+                for (int64_t kw = 0; kw < p.kernelW;
+                     ++kw, w_tap += kB * kB) {
+                    const int64_t iw = ow * p.strideW - p.padW + kw;
+                    if (!row_ok || iw < 0 || iw >= w)
+                        continue;
+                    const float *s = in_row + iw * kB;
+                    for (int64_t ic = 0; ic < kB; ++ic) {
+                        const float a = s[ic];
+                        const float *wv = w_tap + ic * kB;
+                        for (int64_t oc = 0; oc < kB; ++oc)
+                            acc[oc] += a * wv[oc];
+                    }
+                }
+            }
+        }
+        for (int64_t oc = 0; oc < kB; ++oc) {
+            float v = acc[oc] + bias8[oc];
+            if (relu && v < 0.0f)
+                v = 0.0f;
+            out_row[ow * kB + oc] = v;
+        }
+    }
+}
+
+#if MLPERF_CONV_X86_DISPATCH
+/**
+ * AVX2 register tile: TW output pixels x one 8-lane output-channel
+ * block. Per (ic, tap) step: one 8-wide weight load, then TW
+ * broadcast+FMA — TW accumulators plus the weight vector stay in ymm
+ * registers for the whole reduction (TW = 8 -> 10 of 16 in use), and
+ * the loads/FMA ratio of (TW+1)/TW keeps the FMA ports busy. TW is a
+ * template parameter so every inner loop fully unrolls and the
+ * accumulators never spill.
+ */
+template <int TW>
+__attribute__((target("avx2,fma"))) void
+convTileAvx2(const float *img, int64_t cb, int64_t h, int64_t w,
+             const float *wrow, const float *bias8,
+             const Conv2dParams &p, int64_t oh, int64_t ow0, bool relu,
+             float *out_row)
+{
+    __m256 acc[TW];
+    for (int t = 0; t < TW; ++t)
+        acc[t] = _mm256_setzero_ps();
+    const float *src[TW];
+    const float *w_tap = wrow;
+    for (int64_t icb = 0; icb < cb; ++icb) {
+        const float *plane = img + icb * h * w * kB;
+        for (int64_t kh = 0; kh < p.kernelH; ++kh) {
+            const int64_t ih = oh * p.strideH - p.padH + kh;
+            const bool row_ok = ih >= 0 && ih < h;
+            const float *in_row = plane + ih * w * kB;
+            for (int64_t kw = 0; kw < p.kernelW;
+                 ++kw, w_tap += kB * kB) {
+                for (int t = 0; t < TW; ++t) {
+                    const int64_t iw =
+                        (ow0 + t) * p.strideW - p.padW + kw;
+                    src[t] = (row_ok && iw >= 0 && iw < w)
+                                 ? in_row + iw * kB
+                                 : kZeroBlock;
+                }
+                for (int ic = 0; ic < kB; ++ic) {
+                    const __m256 wv = _mm256_loadu_ps(w_tap + ic * kB);
+                    for (int t = 0; t < TW; ++t)
+                        acc[t] = _mm256_fmadd_ps(
+                            _mm256_broadcast_ss(src[t] + ic), wv,
+                            acc[t]);
+                }
+            }
+        }
+    }
+    const __m256 bv = _mm256_loadu_ps(bias8);
+    const __m256 zero = _mm256_setzero_ps();
+    for (int t = 0; t < TW; ++t) {
+        __m256 v = _mm256_add_ps(acc[t], bv);
+        if (relu)
+            v = _mm256_max_ps(v, zero);
+        _mm256_storeu_ps(out_row + (ow0 + t) * kB, v);
+    }
+}
+
+__attribute__((target("avx2,fma"))) void
+convRowAvx2(const float *img, int64_t cb, int64_t h, int64_t w,
+            const float *wrow, const float *bias8,
+            const Conv2dParams &p, int64_t oh, int64_t out_w, bool relu,
+            float *out_row)
+{
+    constexpr int kTile = 8;
+    int64_t ow = 0;
+    for (; ow + kTile <= out_w; ow += kTile)
+        convTileAvx2<kTile>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                            out_row);
+    switch (out_w - ow) {
+    case 7:
+        convTileAvx2<7>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                        out_row);
+        break;
+    case 6:
+        convTileAvx2<6>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                        out_row);
+        break;
+    case 5:
+        convTileAvx2<5>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                        out_row);
+        break;
+    case 4:
+        convTileAvx2<4>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                        out_row);
+        break;
+    case 3:
+        convTileAvx2<3>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                        out_row);
+        break;
+    case 2:
+        convTileAvx2<2>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                        out_row);
+        break;
+    case 1:
+        convTileAvx2<1>(img, cb, h, w, wrow, bias8, p, oh, ow, relu,
+                        out_row);
+        break;
+    default:
+        break;
+    }
+}
+#endif
+
+/** Resolved once at startup from CPUID, like gemm.cc's micro-kernel:
+ *  one kernel per process, so results are bit-reproducible across
+ *  thread counts and runs. */
+ConvRowFn
+resolveConvRow()
+{
+#if MLPERF_CONV_X86_DISPATCH
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return convRowAvx2;
+#endif
+    return convRowGeneric;
+}
+
+const ConvRowFn kConvRow = resolveConvRow();
+
+} // namespace
+
+void
+nchwcFromNchw(const float *src, int64_t n, int64_t c, int64_t h,
+              int64_t w, float *dst)
+{
+    const int64_t cb = nchwcBlocks(c);
+    const int64_t hw = h * w;
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t blk = 0; blk < cb; ++blk) {
+            float *dplane = dst + (ni * cb + blk) * hw * kB;
+            const int64_t lanes = std::min(kB, c - blk * kB);
+            for (int64_t l = 0; l < lanes; ++l) {
+                const float *chan = src + (ni * c + blk * kB + l) * hw;
+                for (int64_t i = 0; i < hw; ++i)
+                    dplane[i * kB + l] = chan[i];
+            }
+            for (int64_t l = lanes; l < kB; ++l)
+                for (int64_t i = 0; i < hw; ++i)
+                    dplane[i * kB + l] = 0.0f;
+        }
+    }
+}
+
+void
+nchwFromNchwc(const float *src, int64_t n, int64_t c, int64_t h,
+              int64_t w, float *dst)
+{
+    const int64_t cb = nchwcBlocks(c);
+    const int64_t hw = h * w;
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t blk = 0; blk < cb; ++blk) {
+            const float *splane = src + (ni * cb + blk) * hw * kB;
+            const int64_t lanes = std::min(kB, c - blk * kB);
+            for (int64_t l = 0; l < lanes; ++l) {
+                float *chan = dst + (ni * c + blk * kB + l) * hw;
+                for (int64_t i = 0; i < hw; ++i)
+                    chan[i] = splane[i * kB + l];
+            }
+        }
+    }
+}
+
+PackedConvNchwc
+packConvNchwc(const Tensor &weight, const float *bias, int64_t bias_len)
+{
+    assert(weight.shape().rank() == 4);
+    const int64_t o = weight.shape().dim(0);
+    const int64_t c = weight.shape().dim(1);
+    const int64_t kh = weight.shape().dim(2);
+    const int64_t kw = weight.shape().dim(3);
+    const int64_t ob = nchwcBlocks(o);
+    const int64_t cbk = nchwcBlocks(c);
+
+    PackedConvNchwc pk;
+    pk.outC_ = o;
+    pk.inC_ = c;
+    pk.kh_ = kh;
+    pk.kw_ = kw;
+    pk.bytes_ = roundUp(ob * cbk * kh * kw * kB * kB *
+                            static_cast<int64_t>(sizeof(float)),
+                        64);
+    float *data = static_cast<float *>(
+        std::aligned_alloc(64, static_cast<size_t>(pk.bytes_)));
+    assert(data != nullptr);
+    pk.data_ = std::unique_ptr<float, void (*)(void *)>(data, std::free);
+
+    const float *src = weight.data();
+    float *dst = data;
+    for (int64_t ocb = 0; ocb < ob; ++ocb) {
+        for (int64_t icb = 0; icb < cbk; ++icb) {
+            for (int64_t khi = 0; khi < kh; ++khi) {
+                for (int64_t kwi = 0; kwi < kw; ++kwi) {
+                    for (int64_t ic = 0; ic < kB; ++ic) {
+                        const int64_t cc = icb * kB + ic;
+                        for (int64_t oc = 0; oc < kB; ++oc) {
+                            const int64_t oo = ocb * kB + oc;
+                            *dst++ =
+                                (oo < o && cc < c)
+                                    ? src[((oo * c + cc) * kh + khi) *
+                                              kw +
+                                          kwi]
+                                    : 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Tail output lanes keep a zero bias so the epilogue writes exact
+    // zeros there — the NCHWc tail invariant downstream kernels rely
+    // on (ReLU, pools, and Add all preserve zero).
+    pk.bias_.assign(static_cast<size_t>(ob * kB), 0.0f);
+    for (int64_t i = 0; i < bias_len && bias != nullptr; ++i)
+        pk.bias_[static_cast<size_t>(i)] = bias[i];
+    return pk;
+}
+
+void
+convDirectNchwc(const float *input, int64_t n, int64_t c, int64_t h,
+                int64_t w, const PackedConvNchwc &wp,
+                const Conv2dParams &p, bool relu, float *out)
+{
+    assert(wp.inChannels() == c);
+    assert(p.kernelH > 0 && p.kernelW > 0);
+    const int64_t cb = nchwcBlocks(c);
+    const int64_t ob = nchwcBlocks(wp.outChannels());
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    const int64_t slab = cb * p.kernelH * p.kernelW * kB * kB;
+    const ConvRowFn row_fn = kConvRow;
+
+    // Flatten (image, output-channel block, output row) into one range
+    // so batch-1 graphs still fill the pool; each output element is
+    // written by exactly one task, so any thread count produces
+    // bit-identical results. Grain keeps ~4K output floats per chunk.
+    const int64_t grain =
+        std::max<int64_t>(1, 4096 / std::max<int64_t>(1, out_w * kB));
+    parallelFor(0, n * ob * out_h, grain,
+                [&](int64_t begin, int64_t end) {
+                    for (int64_t r = begin; r < end; ++r) {
+                        const int64_t oh = r % out_h;
+                        const int64_t nob = r / out_h;
+                        const int64_t ocb = nob % ob;
+                        const int64_t ni = nob / ob;
+                        const float *img = input + ni * cb * h * w * kB;
+                        float *out_row =
+                            out + ((ni * ob + ocb) * out_h + oh) *
+                                      out_w * kB;
+                        row_fn(img, cb, h, w, wp.data() + ocb * slab,
+                               wp.bias() + ocb * kB, p, oh, out_w, relu,
+                               out_row);
+                    }
+                });
+}
+
+PackedConvNchwcInt8
+packConvNchwcInt8(const int8_t *codes, int64_t out_c, int64_t in_c,
+                  int64_t kh, int64_t kw)
+{
+    const int64_t ob = nchwcBlocks(out_c);
+    const int64_t cbk = nchwcBlocks(in_c);
+    PackedConvNchwcInt8 pk;
+    pk.outC = out_c;
+    pk.inC = in_c;
+    pk.kh = kh;
+    pk.kw = kw;
+    pk.data.assign(static_cast<size_t>(ob * cbk * kh * kw * kB * kB), 0);
+    int8_t *dst = pk.data.data();
+    for (int64_t ocb = 0; ocb < ob; ++ocb) {
+        for (int64_t icb = 0; icb < cbk; ++icb) {
+            for (int64_t khi = 0; khi < kh; ++khi) {
+                for (int64_t kwi = 0; kwi < kw; ++kwi) {
+                    for (int64_t ic = 0; ic < kB; ++ic) {
+                        const int64_t cc = icb * kB + ic;
+                        for (int64_t oc = 0; oc < kB; ++oc) {
+                            const int64_t oo = ocb * kB + oc;
+                            *dst++ =
+                                (oo < out_c && cc < in_c)
+                                    ? codes[(oo * in_c + cc) * kh * kw +
+                                            khi * kw + kwi]
+                                    : static_cast<int8_t>(0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return pk;
+}
+
+void
+convDirectNchwcInt8(const int8_t *input, int64_t c, int64_t h, int64_t w,
+                    const PackedConvNchwcInt8 &wp, const Conv2dParams &p,
+                    int8_t pad_code, int32_t *acc)
+{
+    const int64_t cb = nchwcBlocks(c);
+    const int64_t ob = nchwcBlocks(wp.outC);
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    const int64_t slab = cb * wp.kh * wp.kw * kB * kB;
+    int8_t pad_block[kB];
+    std::memset(pad_block, pad_code, sizeof(pad_block));
+
+    // Pure int32 accumulation: order-independent, so the plain loop is
+    // already bit-exact against the eager im2colInt8 + GEMM reference.
+    // Padded taps contribute pad_code in the real input lanes and
+    // multiply against zero weights in the tail lanes, matching the
+    // eager pad handling term for term.
+    for (int64_t ocb = 0; ocb < ob; ++ocb) {
+        const int8_t *wslab = wp.data.data() + ocb * slab;
+        int32_t *ablk = acc + ocb * out_h * out_w * kB;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+                int32_t a[kB] = {};
+                const int8_t *w_tap = wslab;
+                for (int64_t icb = 0; icb < cb; ++icb) {
+                    const int8_t *plane = input + icb * h * w * kB;
+                    for (int64_t kh = 0; kh < wp.kh; ++kh) {
+                        const int64_t ih = oh * p.strideH - p.padH + kh;
+                        const bool row_ok = ih >= 0 && ih < h;
+                        const int8_t *in_row = plane + ih * w * kB;
+                        for (int64_t kw = 0; kw < wp.kw;
+                             ++kw, w_tap += kB * kB) {
+                            const int64_t iw =
+                                ow * p.strideW - p.padW + kw;
+                            const int8_t *s =
+                                (row_ok && iw >= 0 && iw < w)
+                                    ? in_row + iw * kB
+                                    : pad_block;
+                            for (int64_t ic = 0; ic < kB; ++ic) {
+                                const int32_t x = s[ic];
+                                const int8_t *wv = w_tap + ic * kB;
+                                for (int64_t oc = 0; oc < kB; ++oc)
+                                    a[oc] += x * wv[oc];
+                            }
+                        }
+                    }
+                }
+                int32_t *dst = ablk + (oh * out_w + ow) * kB;
+                for (int64_t oc = 0; oc < kB; ++oc)
+                    dst[oc] = a[oc];
+            }
+        }
+    }
+}
+
+void
+maxPool2dNchwcInto(const float *input, int64_t n, int64_t c, int64_t h,
+                   int64_t w, int64_t kernel, int64_t stride, float *out)
+{
+    const int64_t cb = nchwcBlocks(c);
+    const int64_t out_h = (h - kernel) / stride + 1;
+    const int64_t out_w = (w - kernel) / stride + 1;
+    assert(out_h > 0 && out_w > 0);
+    for (int64_t ncb = 0; ncb < n * cb; ++ncb) {
+        const float *plane = input + ncb * h * w * kB;
+        float *oplane = out + ncb * out_h * out_w * kB;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+                float best[kB];
+                const float *first =
+                    plane + ((oh * stride) * w + ow * stride) * kB;
+                for (int64_t l = 0; l < kB; ++l)
+                    best[l] = first[l];
+                for (int64_t kh = 0; kh < kernel; ++kh) {
+                    for (int64_t kw = 0; kw < kernel; ++kw) {
+                        const float *v =
+                            plane + ((oh * stride + kh) * w +
+                                     ow * stride + kw) *
+                                        kB;
+                        for (int64_t l = 0; l < kB; ++l)
+                            if (v[l] > best[l])
+                                best[l] = v[l];
+                    }
+                }
+                float *dst = oplane + (oh * out_w + ow) * kB;
+                for (int64_t l = 0; l < kB; ++l)
+                    dst[l] = best[l];
+            }
+        }
+    }
+}
+
+void
+avgPool2dNchwcInto(const float *input, int64_t n, int64_t c, int64_t h,
+                   int64_t w, int64_t kernel, int64_t stride, float *out)
+{
+    const int64_t cb = nchwcBlocks(c);
+    const int64_t out_h = (h - kernel) / stride + 1;
+    const int64_t out_w = (w - kernel) / stride + 1;
+    assert(out_h > 0 && out_w > 0);
+    const float inv = 1.0f / static_cast<float>(kernel * kernel);
+    for (int64_t ncb = 0; ncb < n * cb; ++ncb) {
+        const float *plane = input + ncb * h * w * kB;
+        float *oplane = out + ncb * out_h * out_w * kB;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+                float sum[kB] = {};
+                for (int64_t kh = 0; kh < kernel; ++kh) {
+                    for (int64_t kw = 0; kw < kernel; ++kw) {
+                        const float *v =
+                            plane + ((oh * stride + kh) * w +
+                                     ow * stride + kw) *
+                                        kB;
+                        for (int64_t l = 0; l < kB; ++l)
+                            sum[l] += v[l];
+                    }
+                }
+                float *dst = oplane + (oh * out_w + ow) * kB;
+                for (int64_t l = 0; l < kB; ++l)
+                    dst[l] = sum[l] * inv;
+            }
+        }
+    }
+}
+
+void
+globalAvgPoolNchwcInto(const float *input, int64_t n, int64_t c,
+                       int64_t h, int64_t w, float *out)
+{
+    const int64_t cb = nchwcBlocks(c);
+    const int64_t hw = h * w;
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            const int64_t blk = cc / kB;
+            const int64_t lane = cc % kB;
+            const float *plane = input + (ni * cb + blk) * hw * kB;
+            double sum = 0.0;
+            for (int64_t i = 0; i < hw; ++i)
+                sum += plane[i * kB + lane];
+            out[ni * c + cc] =
+                static_cast<float>(sum / static_cast<double>(hw));
+        }
+    }
+}
+
+} // namespace tensor
+} // namespace mlperf

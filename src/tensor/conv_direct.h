@@ -1,0 +1,189 @@
+/**
+ * @file
+ * NCHWc-tiled direct convolution: the im2col killer.
+ *
+ * Standard convolution through im2col materializes a [C*kh*kw, oH*oW]
+ * patch matrix per image — with GEMM prepacked (PR 5) that
+ * materialization plus the per-call B-pack is the dominant per-query
+ * cost on conv-heavy proxies. The direct kernel removes both: the
+ * activation tensor is blocked channel-innermost (NCHWc, c = 8
+ * matching one fp32 AVX2 vector), weights are prepacked once at plan
+ * build into the kernel's consume order, and each output tile is
+ * accumulated straight from the input with the bias/ReLU epilogue
+ * applied while it is register-hot. No scratch buffer is touched at
+ * all, which the liveness memory planner exploits (see nn/plan.h).
+ *
+ * Layout definitions (C channels, c = kNchwcBlock):
+ *   NCHWc activation: [N][ceil(C/c)][H][W][c], tail channel lanes
+ *     (C % c != 0) zero-filled — every producer keeps that invariant
+ *     so elementwise consumers can run over the physical extent.
+ *   Packed weight:    [Ob][Cb][kh][kw][c_in][c_out] — for one
+ *     (icb, kh, kw) tap the kernel broadcasts c_in input scalars and
+ *     FMAs each against one contiguous c_out-lane weight vector.
+ *
+ * The int8 twin packs quantized weight codes in the same order and
+ * accumulates exactly (int32), with out-of-image taps contributing
+ * the activation pad code just like the eager im2colInt8 — so the
+ * quantized direct path stays bit-exact against the eager reference.
+ */
+
+#ifndef MLPERF_TENSOR_CONV_DIRECT_H
+#define MLPERF_TENSOR_CONV_DIRECT_H
+
+#include <cstdint>
+#include <memory>
+
+#include "tensor/conv.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace tensor {
+
+/** Channel block width of the NCHWc layout (fp32 lanes per vector). */
+constexpr int64_t kNchwcBlock = 8;
+
+/** Number of channel blocks covering @p c channels. */
+inline int64_t
+nchwcBlocks(int64_t c)
+{
+    return (c + kNchwcBlock - 1) / kNchwcBlock;
+}
+
+/** Physical element count of an NCHWc activation (tail lanes padded). */
+inline int64_t
+nchwcNumel(int64_t n, int64_t c, int64_t h, int64_t w)
+{
+    return n * nchwcBlocks(c) * kNchwcBlock * h * w;
+}
+
+/**
+ * Re-tile NCHW -> NCHWc. @p dst receives nchwcNumel(n,c,h,w) floats;
+ * tail channel lanes are zero-filled (the layout invariant every
+ * NCHWc producer maintains).
+ */
+void nchwcFromNchw(const float *src, int64_t n, int64_t c, int64_t h,
+                   int64_t w, float *dst);
+
+/** Re-tile NCHWc -> NCHW (drops the zero tail lanes). */
+void nchwFromNchwc(const float *src, int64_t n, int64_t c, int64_t h,
+                   int64_t w, float *dst);
+
+/**
+ * Conv weights prepacked for the direct NCHWc kernel:
+ * [Ob][Cb][kh][kw][c_in][c_out] with tail input lanes and tail output
+ * lanes zero-filled, plus the bias padded to Ob * c_out lanes (zero
+ * tail, so tail output lanes stay exactly 0 through the epilogue).
+ * 64-byte aligned, immutable after construction, shared read-only
+ * across worker threads. Move-only.
+ */
+class PackedConvNchwc
+{
+  public:
+    PackedConvNchwc() = default;
+    PackedConvNchwc(PackedConvNchwc &&) = default;
+    PackedConvNchwc &operator=(PackedConvNchwc &&) = default;
+    PackedConvNchwc(const PackedConvNchwc &) = delete;
+    PackedConvNchwc &operator=(const PackedConvNchwc &) = delete;
+
+    int64_t outChannels() const { return outC_; }
+    int64_t inChannels() const { return inC_; }
+    int64_t bytes() const { return bytes_; }
+    const float *data() const { return data_.get(); }
+    const float *bias() const { return bias_.data(); }
+
+  private:
+    friend PackedConvNchwc packConvNchwc(const Tensor &weight,
+                                         const float *bias,
+                                         int64_t bias_len);
+
+    std::unique_ptr<float, void (*)(void *)> data_{nullptr, nullptr};
+    std::vector<float> bias_;  //!< padded to blocks * kNchwcBlock
+    int64_t outC_ = 0;
+    int64_t inC_ = 0;
+    int64_t kh_ = 0;
+    int64_t kw_ = 0;
+    int64_t bytes_ = 0;
+};
+
+/**
+ * Pack [O, C, kh, kw] conv weights (plus bias[bias_len], may be null)
+ * into the direct kernel's blocked layout. Done once at plan-build
+ * time, never on the query path.
+ */
+PackedConvNchwc packConvNchwc(const Tensor &weight, const float *bias,
+                              int64_t bias_len);
+
+/**
+ * Direct convolution over NCHWc activations: input is the blocked
+ * form of an [N, C, H, W] tensor, output the blocked form of
+ * [N, O, outH, outW], with bias and optional ReLU fused while each
+ * output tile is register-hot. AVX2+FMA micro-kernel (broadcast-FMA
+ * register tile, CPUID-dispatched once at startup) with a portable
+ * fallback; zero scratch, deterministic for any thread count.
+ */
+void convDirectNchwc(const float *input, int64_t n, int64_t c,
+                     int64_t h, int64_t w, const PackedConvNchwc &wp,
+                     const Conv2dParams &p, bool relu, float *out);
+
+/**
+ * Int8 weight codes packed in the same blocked order (tail lanes 0).
+ * Plain storage: int8 accumulation is exact, so the portable loop is
+ * already bit-reproducible.
+ */
+struct PackedConvNchwcInt8
+{
+    std::vector<int8_t> data;
+    int64_t outC = 0;
+    int64_t inC = 0;
+    int64_t kh = 0;
+    int64_t kw = 0;
+
+    int64_t bytes() const
+    {
+        return static_cast<int64_t>(data.size());
+    }
+};
+
+/** Pack int8 conv weight codes laid out [O][C*kh*kw] row-major. */
+PackedConvNchwcInt8 packConvNchwcInt8(const int8_t *codes, int64_t out_c,
+                                      int64_t in_c, int64_t kh,
+                                      int64_t kw);
+
+/**
+ * Int8 direct convolution accumulate for ONE image: @p input holds
+ * quantized codes in NCHWc form, @p acc receives the raw int32
+ * accumulators in blocked [Ob][outH][outW][c] order. Out-of-image
+ * taps contribute @p pad_code exactly as the eager im2colInt8 pads,
+ * so downstream requantization stays bit-exact against the eager
+ * reference (int32 accumulation is order-independent).
+ */
+void convDirectNchwcInt8(const int8_t *input, int64_t c, int64_t h,
+                         int64_t w, const PackedConvNchwcInt8 &wp,
+                         const Conv2dParams &p, int8_t pad_code,
+                         int32_t *acc);
+
+/** maxPool2dInto over NCHWc activations (same windows per lane). */
+void maxPool2dNchwcInto(const float *input, int64_t n, int64_t c,
+                        int64_t h, int64_t w, int64_t kernel,
+                        int64_t stride, float *out);
+
+/** avgPool2dInto over NCHWc activations; float summation runs in the
+ *  same (kh, kw) order as the NCHW kernel, so results are
+ *  bit-identical per element. */
+void avgPool2dNchwcInto(const float *input, int64_t n, int64_t c,
+                        int64_t h, int64_t w, int64_t kernel,
+                        int64_t stride, float *out);
+
+/**
+ * Global average pooling straight out of NCHWc into the dense [N, C]
+ * output (no layout conversion needed at the conv->head boundary).
+ * Double accumulation in the same (h, w) order as globalAvgPoolInto,
+ * so results are bit-identical per element.
+ */
+void globalAvgPoolNchwcInto(const float *input, int64_t n, int64_t c,
+                            int64_t h, int64_t w, float *out);
+
+} // namespace tensor
+} // namespace mlperf
+
+#endif // MLPERF_TENSOR_CONV_DIRECT_H

@@ -3,12 +3,15 @@
  * Differential parity suite for the compiled execution path: every
  * proxy model in models/* must produce the same outputs through its
  * fused, memory-planned CompiledModel as through the eager
- * Layer::forward reference — FP32 within 1e-4 (fusion reorders float
- * math), INT8 bit-exact — at batch 1 and batch 8.
+ * Layer::forward reference — FP32 within 1e-4 relative (fusion and
+ * the NCHWc direct kernels reorder float math; large logits make an
+ * absolute bound sub-ulp), INT8 bit-exact — at batch 1 and batch 8.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "models/classifier.h"
@@ -40,8 +43,11 @@ void
 expectNear(const Tensor &a, const Tensor &b, float tol)
 {
     ASSERT_EQ(a.shape(), b.shape());
-    for (int64_t i = 0; i < a.numel(); ++i)
-        ASSERT_NEAR(a[i], b[i], tol) << "index " << i;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const float bound =
+            tol * std::max(1.0f, std::fabs(b[i]));
+        ASSERT_NEAR(a[i], b[i], bound) << "index " << i;
+    }
 }
 
 void

@@ -276,6 +276,98 @@ TEST(ModelGraph, DefaultPassesPreserveSemantics)
         EXPECT_NEAR(planned[i], eager[i], 1e-4f) << "index " << i;
 }
 
+TEST(LayoutPropagation, ComposesWithFoldAndFusePasses)
+{
+    // The layout pass must run cleanly AFTER Conv+BN folding and ReLU
+    // fusion and leave a semantically identical, shape-consistent
+    // graph: converts only at real layout boundaries, logical shapes
+    // untouched.
+    Sequential model("layout-pipeline");
+    model.add(makeConv(2, 6, 3, 1, /*relu=*/false, 44));
+    model.add(makeBatchNorm(6, 45));
+    model.add(std::make_unique<ReluLayer>());
+    model.add(std::make_unique<ResidualBlock>(
+        makeConv(6, 6, 3, 1, true, 46),
+        makeConv(6, 6, 3, 1, false, 47), nullptr));
+    model.add(std::make_unique<MaxPoolLayer>(2, 2));
+    model.add(std::make_unique<GlobalAvgPoolLayer>());
+    model.add(std::make_unique<FlattenLayer>());
+    Rng rng(48);
+    model.add(std::make_unique<DenseLayer>(
+        heNormal(Shape{4, 6}, 6, rng), zeroBias(4)));
+
+    ModelGraph graph = ModelGraph::fromSequential(model);
+    graph.foldBatchNorm();
+    graph.fuseRelu();
+    graph.eliminateDeadNodes();
+    const int tiled = graph.propagateLayout();
+    EXPECT_GT(tiled, 0) << "no node took the NCHWc layout";
+    EXPECT_GT(countKind(graph, OpKind::LayoutConvert), 0);
+
+    // Every conv in this pure-fp32 graph tiles; the convert sits at
+    // the graph input, and the GAP node drains the tiled chain back
+    // to the dense [N, C] head with no output convert.
+    for (const auto &node : graph.nodes()) {
+        if (node.kind == OpKind::Conv2d) {
+            EXPECT_EQ(node.layout, Layout::NCHWc) << node.label;
+        }
+        if (node.kind == OpKind::Dense ||
+            node.kind == OpKind::GlobalAvgPool) {
+            EXPECT_EQ(node.layout, Layout::NCHW) << node.label;
+        }
+    }
+
+    // Logical shape inference is layout-blind: converts pass shapes
+    // through, so the output shape matches the eager model.
+    const Shape input_shape{2, 2, 6, 6};
+    const auto shapes = graph.inferShapes(input_shape);
+    EXPECT_EQ(shapes[static_cast<size_t>(graph.outputNode())],
+              model.outputShape(input_shape));
+
+    // And the composed pipeline still computes the same function.
+    Rng in_rng(49);
+    const Tensor input = heNormal(input_shape, 4, in_rng);
+    const Tensor eager = model.forward(input);
+    CompiledModel compiled(std::move(graph), Shape{2, 6, 6});
+    const Tensor planned =
+        ExecutionInstance::thread().forward(compiled, input);
+    ASSERT_EQ(planned.shape(), eager.shape());
+    for (int64_t i = 0; i < planned.numel(); ++i)
+        EXPECT_NEAR(planned[i], eager[i], 1e-4f) << "index " << i;
+}
+
+TEST(LayoutPropagation, IsIdempotentAcrossReruns)
+{
+    // invalidatePlans re-runs the pass after graph mutations; running
+    // it twice must not stack converts or change any assignment.
+    Sequential model("layout-rerun");
+    model.add(makeConv(2, 6, 3, 1, true, 54));
+    model.add(makeConv(6, 6, 3, 1, true, 55));
+    model.add(std::make_unique<GlobalAvgPoolLayer>());
+    model.add(std::make_unique<FlattenLayer>());
+    Rng rng(56);
+    model.add(std::make_unique<DenseLayer>(
+        heNormal(Shape{3, 6}, 6, rng), zeroBias(3)));
+
+    ModelGraph graph = ModelGraph::fromSequential(model);
+    graph.runDefaultPasses();
+    const int tiled_first = graph.propagateLayout();
+    const int nodes_first = graph.nodeCount();
+    const int converts_first = countKind(graph, OpKind::LayoutConvert);
+    std::vector<Layout> layouts_first;
+    for (const auto &node : graph.nodes())
+        layouts_first.push_back(node.layout);
+
+    const int tiled_second = graph.propagateLayout();
+    EXPECT_EQ(tiled_second, tiled_first);
+    EXPECT_EQ(graph.nodeCount(), nodes_first);
+    EXPECT_EQ(countKind(graph, OpKind::LayoutConvert), converts_first);
+    for (int i = 0; i < graph.nodeCount(); ++i)
+        EXPECT_EQ(graph.node(i).layout,
+                  layouts_first[static_cast<size_t>(i)])
+            << "node " << i;
+}
+
 } // namespace
 } // namespace nn
 } // namespace mlperf

@@ -9,11 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -370,9 +372,14 @@ TEST(CompiledModel, PrepackedConstantsMatchUnpackedBitExact)
     // The prepacked fast path must be a pure layout/fusion change:
     // same float operations in the same order as the unpacked compiled
     // path, so the two agree bit for bit (and both match eager).
+    // Layout propagation is pinned off here — the NCHWc direct kernels
+    // deliberately reorder the conv accumulation and have their own
+    // differential suite.
     const Sequential model = makePrepackHeavy();
     const Shape sample{kHeavyC, kHeavyH, kHeavyW};
-    const CompiledModel prepacked(model, sample);
+    CompileOptions im2col_only;
+    im2col_only.propagateLayout = false;
+    const CompiledModel prepacked(model, sample, im2col_only);
     CompileOptions no_prepack;
     no_prepack.prepackConstants = false;
     const CompiledModel unpacked(model, sample, no_prepack);
@@ -520,6 +527,146 @@ TEST(CompiledModel, SteadyStatePrepackedQueryMakesNoHeapAllocations)
         << "prepacked queries";
 
     ThreadPool::setGlobalThreads(restore_threads);
+}
+
+int
+countNchwcSteps(const Plan &plan)
+{
+    int n = 0;
+    for (const PlanStep &step : plan.steps)
+        n += step.outLayout == Layout::NCHWc ? 1 : 0;
+    return n;
+}
+
+TEST(LayoutPropagation, CompiledMatchesIm2colReferenceWithinTolerance)
+{
+    // The tiled path is an accuracy-neutral layout change: against
+    // the im2col reference plan the only differences are accumulation
+    // order, so outputs agree to 1e-4 relative.
+    const Sequential model = makePrepackHeavy();
+    const Shape sample{kHeavyC, kHeavyH, kHeavyW};
+    const CompiledModel tiled(model, sample);
+    CompileOptions im2col_only;
+    im2col_only.propagateLayout = false;
+    const CompiledModel reference(model, sample, im2col_only);
+
+    for (int64_t batch : {int64_t{1}, int64_t{4}}) {
+        EXPECT_GT(countNchwcSteps(tiled.planFor(batch)), 0)
+            << "layout propagation did not tile any step";
+        EXPECT_EQ(countNchwcSteps(reference.planFor(batch)), 0);
+        const Tensor input = randomHeavyInput(batch, 2000 + batch);
+        const Tensor fast =
+            ExecutionInstance::thread().forward(tiled, input);
+        const Tensor slow =
+            ExecutionInstance::thread().forward(reference, input);
+        ASSERT_EQ(fast.shape(), slow.shape());
+        for (int64_t i = 0; i < fast.numel(); ++i) {
+            const float bound =
+                1e-4f * std::max(1.0f, std::fabs(slow[i]));
+            ASSERT_NEAR(fast[i], slow[i], bound) << "index " << i;
+        }
+    }
+}
+
+TEST(LayoutPropagation, DirectConvPlanShrinksArena)
+{
+    // The headline memory win: direct conv needs no im2col patch
+    // matrix, so the liveness-planned arena (which includes kernel
+    // scratch) shrinks versus the im2col plan even though NCHWc pads
+    // channel tails.
+    const Sequential model = makePrepackHeavy();
+    const Shape sample{kHeavyC, kHeavyH, kHeavyW};
+    const CompiledModel tiled(model, sample);
+    CompileOptions im2col_only;
+    im2col_only.propagateLayout = false;
+    const CompiledModel reference(model, sample, im2col_only);
+
+    for (int64_t batch : {int64_t{1}, int64_t{8}}) {
+        const Plan &fast = tiled.planFor(batch);
+        const Plan &slow = reference.planFor(batch);
+        EXPECT_LT(fast.arenaFloats, slow.arenaFloats)
+            << "batch " << batch;
+        // Direct conv steps report zero scratch in the debug dump;
+        // the im2col reference must show its patch matrices.
+        for (const PlanStep &step : fast.steps) {
+            if (step.kind == OpKind::Conv2d &&
+                step.outLayout == Layout::NCHWc) {
+                EXPECT_EQ(step.scratchFloats, 0) << step.label;
+            }
+        }
+        int64_t ref_scratch = 0;
+        for (const PlanStep &step : slow.steps) {
+            if (step.kind == OpKind::Conv2d)
+                ref_scratch += step.scratchFloats;
+        }
+        EXPECT_GT(ref_scratch, 0);
+        EXPECT_NE(planDebugDump(fast).find("scratch_kb=0"),
+                  std::string::npos);
+    }
+}
+
+TEST(LayoutPropagation, ForceIm2colEnvPinsReferencePath)
+{
+    // MLPERF_FORCE_IM2COL is the README-documented escape hatch: with
+    // it set, compilation never tiles, and the resulting plans run
+    // the exact same prepacked im2col kernels as propagateLayout =
+    // false — bit for bit.
+    ASSERT_EQ(setenv("MLPERF_FORCE_IM2COL", "1", 1), 0);
+    const Sequential model = makePrepackHeavy();
+    const Shape sample{kHeavyC, kHeavyH, kHeavyW};
+    const CompiledModel forced(model, sample);
+    unsetenv("MLPERF_FORCE_IM2COL");
+    const CompiledModel tiled(model, sample);
+    CompileOptions im2col_only;
+    im2col_only.propagateLayout = false;
+    const CompiledModel reference(model, sample, im2col_only);
+
+    EXPECT_EQ(countNchwcSteps(forced.planFor(2)), 0);
+    EXPECT_GT(countNchwcSteps(tiled.planFor(2)), 0);
+
+    const Tensor input = randomHeavyInput(2, 2100);
+    const Tensor a =
+        ExecutionInstance::thread().forward(forced, input);
+    const Tensor b =
+        ExecutionInstance::thread().forward(reference, input);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "index " << i;
+}
+
+TEST(LayoutPropagation, QuantizedGraphTilesQuantConvsOnly)
+{
+    // Mixed-precision policy: in a graph with int8 nodes, QConv2d
+    // steps tile (their direct kernel is bit-exact), while kept-fp32
+    // convs stay on the bit-identical NCHW im2col path so quantize
+    // boundaries never see a reordered-float ulp.
+    const Sequential graph_model = makeResnetish();
+    const std::vector<Tensor> calib = calibrationInputs();
+
+    CompiledModel compiled(graph_model,
+                           Shape{kSampleC, kSampleH, kSampleW});
+    quant::QuantizeOptions options;
+    options.keepFirstLayerFp32 = true;  // leaves a fp32 conv behind
+    const int swaps = quant::quantizeGraph(
+        compiled.graph(), Shape{kSampleC, kSampleH, kSampleW}, calib,
+        options);
+    ASSERT_GT(swaps, 0);
+    compiled.invalidatePlans();
+
+    const Plan &plan = compiled.planFor(2);
+    int qconv_tiled = 0, conv_nchw = 0;
+    for (const PlanStep &step : plan.steps) {
+        if (step.kind == OpKind::QConv2d) {
+            EXPECT_EQ(step.outLayout, Layout::NCHWc) << step.label;
+            ++qconv_tiled;
+        }
+        if (step.kind == OpKind::Conv2d) {
+            EXPECT_EQ(step.outLayout, Layout::NCHW) << step.label;
+            ++conv_nchw;
+        }
+    }
+    EXPECT_GT(qconv_tiled, 0);
+    EXPECT_GT(conv_nchw, 0);
 }
 
 TEST(CompiledModel, ForwardRejectsNothingButComputesEveryBatch)

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the NCHWc direct convolution path: layout round-trips
+ * (including C % c != 0 tails), randomized differential sweeps of the
+ * direct fp32 kernel against the im2col reference, exactness of the
+ * int8 accumulate, and the NCHWc pooling kernels' bit parity with
+ * their NCHW twins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/conv.h"
+#include "tensor/conv_direct.h"
+#include "tensor/tensor.h"
+
+namespace mlperf {
+namespace tensor {
+namespace {
+
+Tensor
+randomTensor(const Shape &shape, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(shape);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
+TEST(NchwcLayout, RoundTripIsLosslessForOddChannelCounts)
+{
+    // Property: for any channel count — especially ones that leave a
+    // partial tail block — NCHW -> NCHWc -> NCHW is the identity.
+    uint64_t seed = 42;
+    for (int64_t c : {int64_t{1}, int64_t{3}, int64_t{5}, int64_t{7},
+                      int64_t{8}, int64_t{9}, int64_t{11}, int64_t{16},
+                      int64_t{17}, int64_t{24}}) {
+        const int64_t n = 2, h = 5, w = 3;
+        const Tensor src = randomTensor(Shape{n, c, h, w}, seed++);
+        std::vector<float> tiled(
+            static_cast<size_t>(nchwcNumel(n, c, h, w)), -1.0f);
+        nchwcFromNchw(src.data(), n, c, h, w, tiled.data());
+
+        // Tail lanes must be exactly zero — the layout invariant the
+        // direct kernels and elementwise steps rely on.
+        const int64_t blocks = nchwcBlocks(c);
+        for (int64_t ni = 0; ni < n; ++ni) {
+            for (int64_t b = 0; b < blocks; ++b) {
+                for (int64_t i = 0; i < h * w; ++i) {
+                    for (int64_t lane = 0; lane < kNchwcBlock;
+                         ++lane) {
+                        const int64_t cc = b * kNchwcBlock + lane;
+                        const float v = tiled[static_cast<size_t>(
+                            ((ni * blocks + b) * h * w + i) *
+                                kNchwcBlock +
+                            lane)];
+                        if (cc >= c) {
+                            ASSERT_EQ(v, 0.0f)
+                                << "tail lane c=" << c << " cc=" << cc;
+                        } else {
+                            ASSERT_EQ(v,
+                                      src[(ni * c + cc) * h * w + i]);
+                        }
+                    }
+                }
+            }
+        }
+
+        std::vector<float> back(static_cast<size_t>(src.numel()),
+                                -2.0f);
+        nchwFromNchwc(tiled.data(), n, c, h, w, back.data());
+        for (int64_t i = 0; i < src.numel(); ++i)
+            ASSERT_EQ(back[static_cast<size_t>(i)], src[i])
+                << "c=" << c << " index " << i;
+    }
+}
+
+struct ConvCase
+{
+    int64_t n, in_c, out_c, h, w, k, stride, pad;
+    bool bias, relu;
+};
+
+TEST(ConvDirect, MatchesIm2colAcrossRandomizedShapes)
+{
+    // Differential sweep: odd channel counts (tail blocks on both
+    // sides), 1x1 and 5x5 kernels, strides, zero and nonzero padding,
+    // with and without fused bias/ReLU.
+    const ConvCase cases[] = {
+        {1, 3, 8, 9, 9, 3, 1, 1, true, true},
+        {2, 5, 7, 8, 6, 3, 1, 1, true, false},
+        {1, 1, 1, 7, 7, 3, 2, 1, false, true},
+        {3, 8, 16, 8, 8, 1, 1, 0, true, true},
+        {2, 9, 13, 10, 10, 5, 2, 2, true, true},
+        {1, 16, 24, 6, 6, 3, 1, 0, false, false},
+        {2, 7, 8, 5, 9, 3, 2, 1, true, true},
+        {1, 12, 3, 8, 8, 3, 1, 1, true, false},
+    };
+    uint64_t seed = 7;
+    for (const ConvCase &tc : cases) {
+        const Tensor input =
+            randomTensor(Shape{tc.n, tc.in_c, tc.h, tc.w}, seed++);
+        const Tensor weight = randomTensor(
+            Shape{tc.out_c, tc.in_c, tc.k, tc.k}, seed++);
+        std::vector<float> bias;
+        if (tc.bias) {
+            Rng rng(seed++);
+            for (int64_t o = 0; o < tc.out_c; ++o)
+                bias.push_back(
+                    static_cast<float>(rng.nextGaussian()));
+        }
+        const Conv2dParams p{tc.k,      tc.k,   tc.stride, tc.stride,
+                             tc.pad,    tc.pad};
+        const int64_t out_h = p.outH(tc.h);
+        const int64_t out_w = p.outW(tc.w);
+        ASSERT_GT(out_h, 0);
+        ASSERT_GT(out_w, 0);
+
+        // Reference: eager im2col + GEMM path.
+        std::vector<float> ref(static_cast<size_t>(
+            tc.n * tc.out_c * out_h * out_w));
+        conv2dInto(input.data(), tc.n, tc.in_c, tc.h, tc.w, weight,
+                   bias.empty() ? nullptr : bias.data(), p, tc.relu,
+                   ref.data());
+
+        // Direct: tile input, run, untile output.
+        std::vector<float> tiled(static_cast<size_t>(
+            nchwcNumel(tc.n, tc.in_c, tc.h, tc.w)));
+        nchwcFromNchw(input.data(), tc.n, tc.in_c, tc.h, tc.w,
+                      tiled.data());
+        const PackedConvNchwc packed = packConvNchwc(
+            weight, bias.empty() ? nullptr : bias.data(),
+            static_cast<int64_t>(bias.size()));
+        std::vector<float> tiled_out(static_cast<size_t>(
+            nchwcNumel(tc.n, tc.out_c, out_h, out_w)));
+        convDirectNchwc(tiled.data(), tc.n, tc.in_c, tc.h, tc.w,
+                        packed, p, tc.relu, tiled_out.data());
+        std::vector<float> got(ref.size());
+        nchwFromNchwc(tiled_out.data(), tc.n, tc.out_c, out_h, out_w,
+                      got.data());
+
+        for (size_t i = 0; i < ref.size(); ++i) {
+            const float bound =
+                1e-5f * std::max(1.0f, std::fabs(ref[i]));
+            ASSERT_NEAR(got[i], ref[i], bound)
+                << "in_c=" << tc.in_c << " out_c=" << tc.out_c
+                << " k=" << tc.k << " stride=" << tc.stride
+                << " index " << i;
+        }
+
+        // Tail output lanes must come out exactly zero (bias for a
+        // padded output channel is packed as zero and ReLU keeps it).
+        const int64_t ob = nchwcBlocks(tc.out_c);
+        for (int64_t ni = 0; ni < tc.n; ++ni) {
+            for (int64_t b = 0; b < ob; ++b) {
+                for (int64_t i = 0; i < out_h * out_w; ++i) {
+                    for (int64_t lane = 0; lane < kNchwcBlock;
+                         ++lane) {
+                        if (b * kNchwcBlock + lane < tc.out_c)
+                            continue;
+                        ASSERT_EQ(
+                            tiled_out[static_cast<size_t>(
+                                ((ni * ob + b) * out_h * out_w + i) *
+                                    kNchwcBlock +
+                                lane)],
+                            0.0f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ConvDirect, Int8AccumulateIsBitExactAgainstScalarReference)
+{
+    // The int8 direct kernel must reproduce the eager im2colInt8 +
+    // gemmInt8 accumulators exactly: int32 accumulation is order-
+    // independent, out-of-image taps contribute the pad code, tail
+    // lanes contribute zero weights.
+    Rng rng(99);
+    const int64_t in_c = 5, out_c = 11, h = 7, w = 6, k = 3;
+    const Conv2dParams p{k, k, 2, 2, 1, 1};
+    const int64_t out_h = p.outH(h);
+    const int64_t out_w = p.outW(w);
+    const int8_t pad_code = -3;
+
+    std::vector<int8_t> codes(
+        static_cast<size_t>(out_c * in_c * k * k));
+    for (auto &c : codes)
+        c = static_cast<int8_t>(
+            static_cast<int>(rng.nextBelow(255)) - 127);
+    std::vector<int8_t> img(static_cast<size_t>(in_c * h * w));
+    for (auto &c : img)
+        c = static_cast<int8_t>(
+            static_cast<int>(rng.nextBelow(255)) - 127);
+
+    // Scalar reference straight off the convolution definition.
+    std::vector<int32_t> ref(
+        static_cast<size_t>(out_c * out_h * out_w), 0);
+    for (int64_t o = 0; o < out_c; ++o) {
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+                int32_t acc = 0;
+                for (int64_t c = 0; c < in_c; ++c) {
+                    for (int64_t kh = 0; kh < k; ++kh) {
+                        for (int64_t kw = 0; kw < k; ++kw) {
+                            const int64_t ih =
+                                oh * p.strideH - p.padH + kh;
+                            const int64_t iw =
+                                ow * p.strideW - p.padW + kw;
+                            const int32_t x =
+                                (ih < 0 || ih >= h || iw < 0 ||
+                                 iw >= w)
+                                    ? pad_code
+                                    : img[static_cast<size_t>(
+                                          (c * h + ih) * w + iw)];
+                            acc += x *
+                                   codes[static_cast<size_t>(
+                                       ((o * in_c + c) * k + kh) * k +
+                                       kw)];
+                        }
+                    }
+                }
+                ref[static_cast<size_t>((o * out_h + oh) * out_w +
+                                        ow)] = acc;
+            }
+        }
+    }
+
+    // Tile the codes into NCHWc (tail lanes hold arbitrary codes to
+    // prove the zero-packed weights mask them out).
+    const int64_t cb = nchwcBlocks(in_c);
+    std::vector<int8_t> tiled(
+        static_cast<size_t>(cb * kNchwcBlock * h * w),
+        static_cast<int8_t>(55));
+    for (int64_t c = 0; c < in_c; ++c) {
+        const int64_t b = c / kNchwcBlock, lane = c % kNchwcBlock;
+        for (int64_t i = 0; i < h * w; ++i)
+            tiled[static_cast<size_t>((b * h * w + i) * kNchwcBlock +
+                                      lane)] =
+                img[static_cast<size_t>(c * h * w + i)];
+    }
+
+    const PackedConvNchwcInt8 packed =
+        packConvNchwcInt8(codes.data(), out_c, in_c, k, k);
+    const int64_t ob = nchwcBlocks(out_c);
+    std::vector<int32_t> acc(
+        static_cast<size_t>(ob * kNchwcBlock * out_h * out_w), -1);
+    convDirectNchwcInt8(tiled.data(), in_c, h, w, packed, p, pad_code,
+                        acc.data());
+
+    for (int64_t o = 0; o < out_c; ++o) {
+        const int64_t b = o / kNchwcBlock, lane = o % kNchwcBlock;
+        for (int64_t i = 0; i < out_h * out_w; ++i) {
+            ASSERT_EQ(acc[static_cast<size_t>(
+                          (b * out_h * out_w + i) * kNchwcBlock +
+                          lane)],
+                      ref[static_cast<size_t>(o * out_h * out_w + i)])
+                << "o=" << o << " pixel " << i;
+        }
+    }
+}
+
+TEST(NchwcLayout, PoolingAndGapMatchNchwKernelsBitExact)
+{
+    // The NCHWc pool/GAP kernels replicate the NCHW kernels'
+    // per-element arithmetic order, so agreement is exact, not
+    // approximate — required for the int8 graph's bit-exactness.
+    uint64_t seed = 1234;
+    for (int64_t c : {int64_t{3}, int64_t{8}, int64_t{11}}) {
+        const int64_t n = 2, h = 8, w = 8, kernel = 2, stride = 2;
+        const Tensor input = randomTensor(Shape{n, c, h, w}, seed++);
+        std::vector<float> tiled(
+            static_cast<size_t>(nchwcNumel(n, c, h, w)));
+        nchwcFromNchw(input.data(), n, c, h, w, tiled.data());
+
+        const int64_t out_h = (h - kernel) / stride + 1;
+        const int64_t out_w = (w - kernel) / stride + 1;
+
+        // Max pool.
+        std::vector<float> ref(
+            static_cast<size_t>(n * c * out_h * out_w));
+        maxPool2dInto(input.data(), n, c, h, w, kernel, stride,
+                      ref.data());
+        std::vector<float> tiled_out(
+            static_cast<size_t>(nchwcNumel(n, c, out_h, out_w)));
+        maxPool2dNchwcInto(tiled.data(), n, c, h, w, kernel, stride,
+                           tiled_out.data());
+        std::vector<float> got(ref.size());
+        nchwFromNchwc(tiled_out.data(), n, c, out_h, out_w,
+                      got.data());
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(got[i], ref[i]) << "maxpool c=" << c;
+
+        // Avg pool.
+        avgPool2dInto(input.data(), n, c, h, w, kernel, stride,
+                      ref.data());
+        avgPool2dNchwcInto(tiled.data(), n, c, h, w, kernel, stride,
+                           tiled_out.data());
+        nchwFromNchwc(tiled_out.data(), n, c, out_h, out_w,
+                      got.data());
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(got[i], ref[i]) << "avgpool c=" << c;
+
+        // Global average pool reads NCHWc, emits dense [N, C].
+        std::vector<float> gap_ref(static_cast<size_t>(n * c));
+        globalAvgPoolInto(input.data(), n, c, h, w, gap_ref.data());
+        std::vector<float> gap_got(gap_ref.size(), -1.0f);
+        globalAvgPoolNchwcInto(tiled.data(), n, c, h, w,
+                               gap_got.data());
+        for (size_t i = 0; i < gap_ref.size(); ++i)
+            ASSERT_EQ(gap_got[i], gap_ref[i]) << "gap c=" << c;
+    }
+}
+
+TEST(ConvDirect, PackedWeightsPadTailLanesWithZeros)
+{
+    // Packing geometry: bytes cover Ob*Cb*k*k*c*c floats, the bias is
+    // padded to the block multiple, and a bias-less pack yields zeros.
+    const Tensor weight = randomTensor(Shape{5, 3, 3, 3}, 77);
+    std::vector<float> bias{0.5f, -1.0f, 2.0f, 0.25f, -0.75f};
+    const PackedConvNchwc packed = packConvNchwc(
+        weight, bias.data(), static_cast<int64_t>(bias.size()));
+    EXPECT_EQ(packed.outChannels(), 5);
+    EXPECT_EQ(packed.inChannels(), 3);
+    const int64_t expect_floats =
+        nchwcBlocks(5) * nchwcBlocks(3) * 3 * 3 * kNchwcBlock *
+        kNchwcBlock;
+    EXPECT_EQ(packed.bytes(),
+              expect_floats * static_cast<int64_t>(sizeof(float)));
+    for (int64_t o = 0; o < nchwcBlocks(5) * kNchwcBlock; ++o) {
+        if (o < 5)
+            EXPECT_EQ(packed.bias()[o], bias[static_cast<size_t>(o)]);
+        else
+            EXPECT_EQ(packed.bias()[o], 0.0f) << "tail bias " << o;
+    }
+
+    const PackedConvNchwc no_bias =
+        packConvNchwc(weight, nullptr, 0);
+    for (int64_t o = 0; o < nchwcBlocks(5) * kNchwcBlock; ++o)
+        EXPECT_EQ(no_bias.bias()[o], 0.0f);
+}
+
+} // namespace
+} // namespace tensor
+} // namespace mlperf
