@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "nn/init.h"
@@ -779,7 +780,7 @@ main(int argc, char **argv)
 {
     std::vector<char *> args(argv, argv + argc);
     std::string out_flag, fmt_flag;
-    if (const char *path = std::getenv("MLPERF_BENCH_JSON")) {
+    if (const char *path = mlperf::bench::benchJsonPath(nullptr)) {
         out_flag = std::string("--benchmark_out=") + path;
         fmt_flag = "--benchmark_out_format=json";
         args.push_back(out_flag.data());

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_json.h"
 #include "data/classification.h"
 #include "harness/experiment.h"
 #include "models/classifier.h"
@@ -438,12 +439,7 @@ main()
 
     // MLPERF_BENCH_JSON=<path> writes the machine-readable results
     // for the BENCH_* tracking scripts.
-    if (const char *path = std::getenv("MLPERF_BENCH_JSON")) {
-        if (std::FILE *f = std::fopen(path, "w")) {
-            std::fprintf(f, "%s\n", json.c_str());
-            std::fclose(f);
-        }
-    }
+    mlperf::bench::writeBenchJson(json, nullptr);
 
     return (profile && chain_exact && fan_exact && steady_allocs == 0 &&
             isolated)

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bench_json.h"
 #include "common/string_util.h"
 #include "loadgen/loadgen.h"
 #include "report/serving_report.h"
@@ -368,16 +369,8 @@ main()
                 "efficiency, the Sec. VI-B dynamic-batching "
                 "tension.\n\nJSON: %s\n", json.c_str());
 
-    // Mirror bench_microkernels: MLPERF_BENCH_JSON=<path> writes the
-    // machine-readable results for the BENCH_* tracking scripts.
-    // Default to the committed BENCH_serving.json so a plain run
-    // refreshes the tracked numbers.
-    const char *path = std::getenv("MLPERF_BENCH_JSON");
-    if (path == nullptr)
-        path = "BENCH_serving.json";
-    if (std::FILE *f = std::fopen(path, "w")) {
-        std::fprintf(f, "%s\n", json.c_str());
-        std::fclose(f);
-    }
+    // MLPERF_BENCH_JSON=<path> overrides the committed default so
+    // the BENCH_* tracking scripts get machine-readable results.
+    mlperf::bench::writeBenchJson(json, "BENCH_serving.json");
     return 0;
 }

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared MLPERF_BENCH_JSON plumbing for the bench binaries.
+ *
+ * Every bench that tracks machine-readable results used to hand-roll
+ * the same dozen lines: read MLPERF_BENCH_JSON from the environment,
+ * fall back to a committed BENCH_*.json default, fopen/fprintf/fclose.
+ * One copy lives here instead. Header-only so benches that do not
+ * link bench_common (e.g. the google-benchmark microkernels) can use
+ * it too.
+ */
+
+#ifndef MLPERF_BENCH_COMMON_BENCH_JSON_H
+#define MLPERF_BENCH_COMMON_BENCH_JSON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mlperf {
+namespace bench {
+
+/**
+ * Where this bench's JSON should go: $MLPERF_BENCH_JSON when set,
+ * else @p default_path (pass nullptr for "env only" benches — the
+ * result is then nullptr when the variable is unset).
+ */
+inline const char *
+benchJsonPath(const char *default_path)
+{
+    if (const char *path = std::getenv("MLPERF_BENCH_JSON"))
+        return path;
+    return default_path;
+}
+
+/**
+ * Write @p json (plus a trailing newline) to benchJsonPath(). A null
+ * resolved path is a silent no-op; an unwritable one returns false so
+ * CI can notice. Defaulted paths are the committed BENCH_*.json files
+ * — a plain run refreshes the tracked numbers.
+ */
+inline bool
+writeBenchJson(const std::string &json, const char *default_path)
+{
+    const char *path = benchJsonPath(default_path);
+    if (path == nullptr)
+        return true;
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    return true;
+}
+
+} // namespace bench
+} // namespace mlperf
+
+#endif // MLPERF_BENCH_COMMON_BENCH_JSON_H

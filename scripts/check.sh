@@ -10,7 +10,9 @@
 # one CompiledModel, plan cache, graph passes, memory planner, and
 # concurrent readers streaming the shared prepacked constant section),
 # plus the NCHWc direct-convolution kernels and the layout-propagation
-# pass that routes compiled convs onto them.
+# pass that routes compiled convs onto them, the SLO autoscaler's
+# elastic grow/shrink paths, the trace-driven arrival generators, and
+# the measurement audits (coordinated omission / warm-up).
 #
 # `scripts/check.sh tier1` is the fast feedback path instead: a plain
 # build plus `ctest -L tier1`, skipping the expensive model and
@@ -31,7 +33,7 @@ command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
 run_suite() {
     build_dir="$1"
     ctest --test-dir "$build_dir" --output-on-failure \
-          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|GemmPrepacked|Int8Prepacked|CompiledModel|ModelGraph|MemoryPlanner|ModelRegistry|DagPipeline|ServingPlatform|TenantSut|MultiTenantServing|MpscRing|ShardRouting|ShardedWorkerPool|ServingSutSharded|ShardedPlatform|ServingStats|BoundedQueuePopFor|ConvDirect|NchwcLayout|LayoutPropagation'
+          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|GemmPrepacked|Int8Prepacked|CompiledModel|ModelGraph|MemoryPlanner|ModelRegistry|DagPipeline|ServingPlatform|TenantSut|MultiTenantServing|MpscRing|ShardRouting|ShardedWorkerPool|ServingSutSharded|ShardedPlatform|ServingStats|BoundedQueuePopFor|ConvDirect|NchwcLayout|LayoutPropagation|Ewma|HysteresisLatch|ShardAutoscaler|ElasticShards|AutoscaledServingSut|TraceArrivals|BurstyArrivalProperties|MeasurementAudit'
 }
 
 if [ "$MODE" = "tier1" ]; then
@@ -50,7 +52,7 @@ if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
     cmake --build build-tsan --target \
-          test_serving test_shard test_resilience test_tenancy test_loadgen test_sim test_common \
+          test_serving test_shard test_resilience test_tenancy test_loadgen test_audit test_sim test_common \
           test_tensor test_quant test_nn
     TSAN_OPTIONS="halt_on_error=1" run_suite build-tsan
 fi
@@ -62,7 +64,7 @@ if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
     cmake --build build-asan --target \
-          test_serving test_shard test_resilience test_tenancy test_loadgen test_sim test_common \
+          test_serving test_shard test_resilience test_tenancy test_loadgen test_audit test_sim test_common \
           test_tensor test_quant test_nn
     run_suite build-asan
 fi

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <map>
+#include <vector>
 
+#include "audit/measurement_audit.h"
 #include "common/string_util.h"
 
 namespace mlperf {
@@ -178,10 +180,17 @@ runAllAudits(const Runner &runner,
     AuditVerdict combined;
     combined.testName = "AllAudits";
     combined.pass = true;
-    for (const AuditVerdict &verdict :
-         {accuracyVerificationTest(runner, settings),
-          cachingDetectionTest(runner, settings),
-          alternateSeedTest(runner, settings)}) {
+    std::vector<AuditVerdict> verdicts = {
+        accuracyVerificationTest(runner, settings),
+        cachingDetectionTest(runner, settings),
+        alternateSeedTest(runner, settings)};
+    // The measurement audits only have teeth where latencies are
+    // referenced against a schedule the SUT does not control.
+    if (settings.scenario == loadgen::Scenario::Server) {
+        verdicts.push_back(coordinatedOmissionTest(runner, settings));
+        verdicts.push_back(warmupContaminationTest(runner, settings));
+    }
+    for (const AuditVerdict &verdict : verdicts) {
         combined.pass = combined.pass && verdict.pass;
         if (!combined.detail.empty())
             combined.detail += "; ";

@@ -1,0 +1,210 @@
+#include "audit/measurement_audit.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+#include "stats/percentile.h"
+
+namespace mlperf {
+namespace audit {
+
+namespace {
+
+/** Timeline entries sorted by issue time (completed queries only). */
+std::vector<loadgen::QueryTiming>
+completedByIssue(const loadgen::TestResult &result)
+{
+    std::vector<loadgen::QueryTiming> timeline;
+    timeline.reserve(result.timeline.size());
+    for (const auto &timing : result.timeline) {
+        if (timing.completed != 0)
+            timeline.push_back(timing);
+    }
+    std::sort(timeline.begin(), timeline.end(),
+              [](const loadgen::QueryTiming &a,
+                 const loadgen::QueryTiming &b) {
+                  return a.issued < b.issued;
+              });
+    return timeline;
+}
+
+} // namespace
+
+OmissionAnalysis
+analyzeCoordinatedOmission(const loadgen::TestResult &result,
+                           double tail_percentile,
+                           double drift_tolerance,
+                           double inflation_tolerance)
+{
+    OmissionAnalysis analysis;
+    const auto timeline = completedByIssue(result);
+    analysis.queries = timeline.size();
+    if (timeline.empty())
+        return analysis;
+
+    std::vector<uint64_t> issued_latencies, corrected_latencies;
+    std::vector<uint64_t> scheduled;
+    issued_latencies.reserve(timeline.size());
+    corrected_latencies.reserve(timeline.size());
+    scheduled.reserve(timeline.size());
+    uint64_t drift_sum = 0;
+    for (const auto &timing : timeline) {
+        const uint64_t drift = timing.issued >= timing.scheduled
+                                   ? timing.issued - timing.scheduled
+                                   : 0;
+        drift_sum += drift;
+        analysis.maxDriftNs = std::max(analysis.maxDriftNs, drift);
+        issued_latencies.push_back(timing.completed - timing.issued);
+        corrected_latencies.push_back(timing.completed -
+                                      timing.scheduled);
+        scheduled.push_back(timing.scheduled);
+    }
+    analysis.meanDriftNs = drift_sum / timeline.size();
+    std::sort(scheduled.begin(), scheduled.end());
+    if (timeline.size() > 1) {
+        analysis.meanInterarrivalNs =
+            (scheduled.back() - scheduled.front()) /
+            (timeline.size() - 1);
+    }
+    analysis.issuedTailNs =
+        stats::percentile(issued_latencies, tail_percentile);
+    analysis.correctedTailNs =
+        stats::percentile(corrected_latencies, tail_percentile);
+    if (analysis.issuedTailNs > 0) {
+        analysis.tailInflation =
+            static_cast<double>(analysis.correctedTailNs) /
+            static_cast<double>(analysis.issuedTailNs);
+    }
+
+    const bool drifting =
+        analysis.meanInterarrivalNs > 0 &&
+        static_cast<double>(analysis.meanDriftNs) >
+            drift_tolerance *
+                static_cast<double>(analysis.meanInterarrivalNs);
+    const bool inflated =
+        analysis.tailInflation > inflation_tolerance;
+    analysis.flagged = drifting || inflated;
+    return analysis;
+}
+
+WarmupAnalysis
+analyzeWarmupContamination(const loadgen::TestResult &result,
+                           double tail_percentile,
+                           double warmup_fraction,
+                           double shift_tolerance)
+{
+    WarmupAnalysis analysis;
+    const auto timeline = completedByIssue(result);
+    analysis.queries = timeline.size();
+    if (timeline.size() < 2)
+        return analysis;
+
+    // The same latency reference as the scenario's own metric, so the
+    // audit judges the number the report actually prints.
+    const bool from_scheduled =
+        result.scenario == loadgen::Scenario::Server;
+    std::vector<uint64_t> latencies;
+    latencies.reserve(timeline.size());
+    for (const auto &timing : timeline) {
+        const sim::Tick reference =
+            from_scheduled ? timing.scheduled : timing.issued;
+        latencies.push_back(timing.completed - reference);
+    }
+
+    warmup_fraction = std::min(0.9, std::max(0.0, warmup_fraction));
+    const size_t warmup = std::max<size_t>(
+        1, static_cast<size_t>(warmup_fraction *
+                               static_cast<double>(latencies.size())));
+    analysis.warmupQueries = warmup;
+    const std::vector<uint64_t> head(latencies.begin(),
+                                     latencies.begin() +
+                                         static_cast<int64_t>(warmup));
+    const std::vector<uint64_t> tail(latencies.begin() +
+                                         static_cast<int64_t>(warmup),
+                                     latencies.end());
+    analysis.fullTailNs = stats::percentile(latencies, tail_percentile);
+    analysis.warmupTailNs = stats::percentile(head, tail_percentile);
+    if (!tail.empty()) {
+        analysis.steadyTailNs =
+            stats::percentile(tail, tail_percentile);
+    }
+    if (analysis.steadyTailNs > 0) {
+        analysis.tailShift =
+            static_cast<double>(analysis.fullTailNs) /
+            static_cast<double>(analysis.steadyTailNs);
+    }
+    analysis.flagged = analysis.tailShift > shift_tolerance;
+    return analysis;
+}
+
+AuditVerdict
+coordinatedOmissionTest(const Runner &runner,
+                        loadgen::TestSettings settings,
+                        double drift_tolerance,
+                        double inflation_tolerance)
+{
+    AuditVerdict verdict;
+    verdict.testName = "TEST06-CoordinatedOmission";
+
+    settings.mode = loadgen::TestMode::PerformanceOnly;
+    settings.recordTimeline = true;
+    const loadgen::TestResult result = runner(settings);
+    if (result.timeline.empty()) {
+        verdict.pass = false;
+        verdict.detail = "run recorded no timeline; cannot audit "
+                         "issue-timestamp drift";
+        return verdict;
+    }
+
+    const OmissionAnalysis analysis = analyzeCoordinatedOmission(
+        result, settings.tailPercentile, drift_tolerance,
+        inflation_tolerance);
+    verdict.pass = !analysis.flagged;
+    verdict.detail = strprintf(
+        "issue drift mean %s / max %s against a %s mean interarrival; "
+        "tail %s issued-ref vs %s corrected (inflation %.2fx, "
+        "tolerance %.2fx)",
+        formatDuration(analysis.meanDriftNs).c_str(),
+        formatDuration(analysis.maxDriftNs).c_str(),
+        formatDuration(analysis.meanInterarrivalNs).c_str(),
+        formatDuration(analysis.issuedTailNs).c_str(),
+        formatDuration(analysis.correctedTailNs).c_str(),
+        analysis.tailInflation, inflation_tolerance);
+    return verdict;
+}
+
+AuditVerdict
+warmupContaminationTest(const Runner &runner,
+                        loadgen::TestSettings settings,
+                        double warmup_fraction, double shift_tolerance)
+{
+    AuditVerdict verdict;
+    verdict.testName = "TEST07-WarmupContamination";
+
+    settings.mode = loadgen::TestMode::PerformanceOnly;
+    settings.recordTimeline = true;
+    const loadgen::TestResult result = runner(settings);
+    if (result.timeline.empty()) {
+        verdict.pass = false;
+        verdict.detail = "run recorded no timeline; cannot audit "
+                         "warm-up contamination";
+        return verdict;
+    }
+
+    const WarmupAnalysis analysis = analyzeWarmupContamination(
+        result, settings.tailPercentile, warmup_fraction,
+        shift_tolerance);
+    verdict.pass = !analysis.flagged;
+    verdict.detail = strprintf(
+        "full-run tail %s vs steady-state tail %s after dropping "
+        "%llu warm-up queries (shift %.2fx, tolerance %.2fx)",
+        formatDuration(analysis.fullTailNs).c_str(),
+        formatDuration(analysis.steadyTailNs).c_str(),
+        static_cast<unsigned long long>(analysis.warmupQueries),
+        analysis.tailShift, shift_tolerance);
+    return verdict;
+}
+
+} // namespace audit
+} // namespace mlperf

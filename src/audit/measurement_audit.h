@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Measurement audits: do the *reported latencies* mean what they
+ * claim? (TEST0x-style extensions to the Sec. V-B suite, after the
+ * LLM measurement-bias paper in PAPERS.md.)
+ *
+ * TEST06 coordinated omission: a closed-loop harness only issues the
+ * next query after the previous one returns, so every stall in the
+ * SUT silently deletes the queries that *would* have arrived during
+ * the stall — the reported tail measures the survivors. The detector
+ * compares each query's issued timestamp against its scheduled
+ * arrival tick: drift that grows with backpressure is the smoking
+ * gun, and the corrected percentile (completed - scheduled) is what
+ * the tail would have been had the load stayed open-loop.
+ *
+ * TEST07 warm-up contamination: cold caches, first-touch page faults,
+ * and JIT'd dispatch make a run's earliest latencies unrepresentative.
+ * If dropping the warm-up window moves the reported tail by more than
+ * the tolerance, the run length is hiding a warm-up effect inside the
+ * steady-state claim.
+ *
+ * Both audits run through the same Runner interface as TEST01/04/05,
+ * so they apply unchanged to simulated and real SUTs. The analysis
+ * functions are pure (TestResult in, verdict data out) and exposed
+ * for direct unit testing on synthetic timelines.
+ */
+
+#ifndef MLPERF_AUDIT_MEASUREMENT_AUDIT_H
+#define MLPERF_AUDIT_MEASUREMENT_AUDIT_H
+
+#include <cstdint>
+
+#include "audit/audit.h"
+#include "loadgen/results.h"
+#include "loadgen/test_settings.h"
+
+namespace mlperf {
+namespace audit {
+
+/** What analyzeCoordinatedOmission found in one run's timeline. */
+struct OmissionAnalysis
+{
+    uint64_t queries = 0;
+    /** issued - scheduled drift over the timeline. */
+    uint64_t maxDriftNs = 0;
+    uint64_t meanDriftNs = 0;
+    /** Mean gap between consecutive scheduled arrivals. */
+    uint64_t meanInterarrivalNs = 0;
+    /** Tail of (completed - issued): the omission-blind number. */
+    uint64_t issuedTailNs = 0;
+    /** Tail of (completed - scheduled): the corrected number. */
+    uint64_t correctedTailNs = 0;
+    /** correctedTail / issuedTail (1.0 when no inflation). */
+    double tailInflation = 1.0;
+    bool flagged = false;
+};
+
+/**
+ * Inspect a recorded timeline for coordinated omission. Flags when
+ * the mean issue drift exceeds @p drift_tolerance mean interarrival
+ * gaps (issue timestamps are sliding under backpressure) or the
+ * corrected tail exceeds @p inflation_tolerance x the issued-
+ * referenced tail. Requires TestSettings::recordTimeline.
+ */
+OmissionAnalysis analyzeCoordinatedOmission(
+    const loadgen::TestResult &result, double tail_percentile,
+    double drift_tolerance = 0.5, double inflation_tolerance = 1.10);
+
+/** What analyzeWarmupContamination found in one run's timeline. */
+struct WarmupAnalysis
+{
+    uint64_t queries = 0;
+    uint64_t warmupQueries = 0;  //!< size of the analyzed window
+    /** Tail over the whole run — the number a report would print. */
+    uint64_t fullTailNs = 0;
+    /** Tail excluding the warm-up window. */
+    uint64_t steadyTailNs = 0;
+    /** Tail within the warm-up window alone. */
+    uint64_t warmupTailNs = 0;
+    /** fullTail / steadyTail (> 1 when early samples shift the tail). */
+    double tailShift = 1.0;
+    bool flagged = false;
+};
+
+/**
+ * Split the timeline (in issue order) into the first
+ * @p warmup_fraction of queries and the remainder; flags when the
+ * full-run tail exceeds @p shift_tolerance x the steady-state tail,
+ * i.e. the reported tail is contaminated by warm-up latencies.
+ */
+WarmupAnalysis analyzeWarmupContamination(
+    const loadgen::TestResult &result, double tail_percentile,
+    double warmup_fraction = 0.10, double shift_tolerance = 1.05);
+
+/**
+ * TEST06: run performance mode with the timeline recorded and apply
+ * analyzeCoordinatedOmission. An open-loop harness passes by
+ * construction; a closed-loop one is flagged as soon as the SUT
+ * cannot keep up.
+ */
+AuditVerdict coordinatedOmissionTest(const Runner &runner,
+                                     loadgen::TestSettings settings,
+                                     double drift_tolerance = 0.5,
+                                     double inflation_tolerance = 1.10);
+
+/**
+ * TEST07: run performance mode with the timeline recorded and apply
+ * analyzeWarmupContamination.
+ */
+AuditVerdict warmupContaminationTest(const Runner &runner,
+                                     loadgen::TestSettings settings,
+                                     double warmup_fraction = 0.10,
+                                     double shift_tolerance = 1.05);
+
+} // namespace audit
+} // namespace mlperf
+
+#endif // MLPERF_AUDIT_MEASUREMENT_AUDIT_H

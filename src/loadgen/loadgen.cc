@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "loadgen/schedule.h"
+#include "loadgen/trace.h"
 
 namespace mlperf {
 namespace loadgen {
@@ -267,15 +268,15 @@ class Run : public ResponseDelegate
     void
     scheduleServerArrivals(uint64_t count, sim::Tick base)
     {
-        const auto offsets =
-            settings_.serverBurstFactor > 1.0
-                ? generateBurstyArrivals(
-                      count, settings_.serverTargetQps,
-                      settings_.serverBurstFactor,
-                      settings_.scheduleSeed + arrivalBatches_++)
-                : generatePoissonArrivals(
-                      count, settings_.serverTargetQps,
-                      settings_.scheduleSeed + arrivalBatches_++);
+        // All arrivals are planned here, before any of them issues:
+        // the schedule is a pure function of the settings and seed,
+        // so SUT backpressure can delay *completions* but never an
+        // issue timestamp (open-loop load; see loadgen/trace.h).
+        // Min-duration extensions re-enter with a bumped seed, and a
+        // recorded trace restarts from its beginning at the new base.
+        const auto offsets = generateServerArrivals(
+            settings_, count,
+            settings_.scheduleSeed + arrivalBatches_++);
         for (sim::Tick offset : offsets) {
             const sim::Tick when = base + offset;
             ++pendingArrivals_;
@@ -480,9 +481,14 @@ class Run : public ResponseDelegate
 
         std::vector<uint64_t> latencies;
         latencies.reserve(queries_.size());
+        std::vector<uint64_t> scheduledLatencies;
+        scheduledLatencies.reserve(queries_.size());
+        std::vector<uint64_t> issuedLatencies;
+        issuedLatencies.reserve(queries_.size());
         std::vector<bool> erroredByLatency;
         erroredByLatency.reserve(queries_.size());
         sim::Tick first_issue = 0, last_completion = 0;
+        uint64_t driftSum = 0;
         bool any = false;
         for (const auto &query : queries_) {
             if (query.remaining != 0) {
@@ -494,6 +500,16 @@ class Run : public ResponseDelegate
                     ? query.scheduled
                     : query.issued;
             latencies.push_back(query.completed - reference);
+            scheduledLatencies.push_back(query.completed -
+                                         query.scheduled);
+            issuedLatencies.push_back(query.completed - query.issued);
+            const uint64_t drift =
+                query.issued >= query.scheduled
+                    ? query.issued - query.scheduled
+                    : 0;
+            driftSum += drift;
+            result.maxIssueDriftNs =
+                std::max(result.maxIssueDriftNs, drift);
             erroredByLatency.push_back(query.errored);
             if (query.errored)
                 ++result.erroredQueries;
@@ -510,6 +526,12 @@ class Run : public ResponseDelegate
         if (!latencies.empty()) {
             result.tailLatencyNs = stats::percentile(
                 latencies, settings_.tailPercentile);
+            result.correctedTailLatencyNs = stats::percentile(
+                scheduledLatencies, settings_.tailPercentile);
+            result.issuedTailLatencyNs = stats::percentile(
+                issuedLatencies, settings_.tailPercentile);
+            result.meanIssueDriftNs =
+                driftSum / latencies.size();
         }
         result.completedQps =
             result.durationNs > 0

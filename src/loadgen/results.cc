@@ -102,6 +102,18 @@ TestResult::summary() const
         out += strprintf("Over-latency fraction : %.4f\n",
                          overLatencyFraction);
     }
+    if (scenario == Scenario::Server && latency.count > 0) {
+        out += strprintf(
+            "Corrected tail latency (sched-ref) : %s\n",
+            formatDuration(correctedTailLatencyNs).c_str());
+        out += strprintf(
+            "Issued-referenced tail latency     : %s\n",
+            formatDuration(issuedTailLatencyNs).c_str());
+        out += strprintf(
+            "Issue drift (mean/max) : %s / %s\n",
+            formatDuration(meanIssueDriftNs).c_str(),
+            formatDuration(maxIssueDriftNs).c_str());
+    }
     if (errorSamples() > 0 || degradedSamples > 0) {
         out += "Fault accounting\n";
         if (shedSamples > 0)

@@ -54,6 +54,22 @@ struct TestResult
     stats::LatencySummary latency;  //!< per-query latency statistics
     uint64_t tailLatencyNs = 0;     //!< latency at settings percentile
 
+    // ---- Measurement-honesty accounting (see src/audit's
+    //      coordinated-omission detector). The server scenario's
+    //      official latency is measured from the *scheduled* arrival
+    //      tick, so a stalled issue path cannot hide queueing delay;
+    //      the issued-referenced tail is what an omission-blind
+    //      harness would report, and the drift between the two issue
+    //      timestamps is the omission signal itself.
+    /** Tail of (completed - scheduled) at the settings percentile. */
+    uint64_t correctedTailLatencyNs = 0;
+    /** Tail of (completed - issued) at the settings percentile. */
+    uint64_t issuedTailLatencyNs = 0;
+    /** Largest issued - scheduled gap over completed queries. */
+    uint64_t maxIssueDriftNs = 0;
+    /** Mean issued - scheduled gap over completed queries. */
+    uint64_t meanIssueDriftNs = 0;
+
     // ---- Scenario metrics.
     double completedQps = 0.0;      //!< samples per second completed
     double scheduledQps = 0.0;      //!< server: the Poisson parameter

@@ -1,5 +1,6 @@
 #include "loadgen/test_settings.h"
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -93,6 +94,22 @@ parseScenario(const std::string &value)
     throw std::invalid_argument("unknown scenario: " + value);
 }
 
+ArrivalPattern
+parseArrivalPattern(const std::string &value)
+{
+    if (value == "poisson")
+        return ArrivalPattern::Poisson;
+    if (value == "bursty")
+        return ArrivalPattern::Bursty;
+    if (value == "diurnal")
+        return ArrivalPattern::Diurnal;
+    if (value == "sessions")
+        return ArrivalPattern::SessionBurst;
+    if (value == "recorded")
+        return ArrivalPattern::Recorded;
+    throw std::invalid_argument("unknown arrival_pattern: " + value);
+}
+
 } // namespace
 
 void
@@ -126,6 +143,32 @@ TestSettings::applyConfig(const std::string &config)
             serverTargetQps = std::stod(value);
         } else if (key == "server_burst_factor") {
             serverBurstFactor = std::stod(value);
+        } else if (key == "arrival_pattern") {
+            serverTrace.pattern = parseArrivalPattern(value);
+        } else if (key == "diurnal_amplitude") {
+            serverTrace.diurnalAmplitude = std::stod(value);
+        } else if (key == "diurnal_period_s") {
+            serverTrace.diurnalPeriodNs = static_cast<sim::Tick>(
+                std::stod(value) * static_cast<double>(sim::kNsPerSec));
+        } else if (key == "session_mean_size") {
+            serverTrace.sessionMeanSize = std::stod(value);
+        } else if (key == "session_pareto_alpha") {
+            serverTrace.sessionParetoAlpha = std::stod(value);
+        } else if (key == "session_gap_ms") {
+            serverTrace.sessionGapNs = static_cast<sim::Tick>(
+                std::stod(value) * static_cast<double>(sim::kNsPerMs));
+        } else if (key == "session_gap_sigma") {
+            serverTrace.sessionGapSigma = std::stod(value);
+        } else if (key == "trace_file") {
+            std::ifstream file(value);
+            if (!file) {
+                throw std::invalid_argument(
+                    "trace_file not readable: " + value);
+            }
+            std::ostringstream contents;
+            contents << file.rdbuf();
+            serverTrace.recorded = parseRecordedTrace(contents.str());
+            serverTrace.pattern = ArrivalPattern::Recorded;
         } else if (key == "samples_per_query") {
             multiStreamSamplesPerQuery = std::stoull(value);
         } else if (key == "multistream_arrival_ms") {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "loadgen/trace.h"
 #include "loadgen/types.h"
 #include "sim/executor.h"
 
@@ -37,6 +38,14 @@ struct TestSettings
      * burst duty cycle is fixed at 25%).
      */
     double serverBurstFactor = 1.0;
+    /**
+     * Arrival-trace shape beyond Poisson/burst: diurnal rate ramps,
+     * heavy-tailed session bursts, or replay of a recorded arrival
+     * file (see loadgen/trace.h). All patterns are seeded by
+     * scheduleSeed and pre-scheduled before the first issue, so the
+     * load stays strictly open-loop regardless of SUT backpressure.
+     */
+    TraceSpec serverTrace;
 
     // ---- MultiStream scenario.
     /** Samples per query (N, the metric under search). */
@@ -102,6 +111,11 @@ struct TestSettings
      * max_over_latency_fraction, min_query_count, min_duration_ms,
      * offline_sample_count, max_query_count, sample_index_seed,
      * schedule_seed, server_burst_factor,
+     * arrival_pattern (poisson|bursty|diurnal|sessions|recorded),
+     * diurnal_amplitude, diurnal_period_s, session_mean_size,
+     * session_pareto_alpha, session_gap_ms, session_gap_sigma,
+     * trace_file (path to a recorded arrival file; implies
+     * arrival_pattern = recorded),
      * sample_index_mode (random|unique|same),
      * accuracy_log_fraction, record_timeline.
      */

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Trace-driven arrival generation for the server scenario.
+ *
+ * The paper's server scenario models "multiple users submitting
+ * concurrent, independent queries" with a Poisson process (Sec. III),
+ * but production traffic is diurnal, bursty, and session-heavy (the
+ * Meta load-testing paper in PAPERS.md). TraceSpec extends the
+ * schedule generators with three non-Poisson shapes, all seeded and
+ * deterministic like the rest of the traffic machinery (Sec. IV-A):
+ *
+ *  - Diurnal: a nonhomogeneous Poisson process whose rate follows a
+ *    sinusoidal day curve, sampled exactly by Lewis-Shedler thinning.
+ *  - SessionBurst: sessions arrive as a Poisson process; each session
+ *    fires a Pareto-distributed (heavy-tailed) number of queries with
+ *    lognormal think-time gaps — the "one user, many rapid requests"
+ *    shape that a mean-rate Poisson model cannot produce.
+ *  - Recorded: replay an arrival file captured from a real system,
+ *    wrapping deterministically when the run outlives the recording.
+ *
+ * Every generator returns *scheduled* offsets that the LoadGen turns
+ * into pre-planned executor events before the first query is issued;
+ * issue timestamps are never derived from completions, so the load
+ * stays strictly open-loop and backpressure cannot delay arrivals
+ * (the coordinated-omission trap audited by src/audit).
+ */
+
+#ifndef MLPERF_LOADGEN_TRACE_H
+#define MLPERF_LOADGEN_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+
+namespace mlperf {
+namespace loadgen {
+
+struct TestSettings;
+
+/** Which arrival-schedule shape the server scenario generates. */
+enum class ArrivalPattern
+{
+    Poisson,       //!< homogeneous Poisson (the paper's default)
+    Bursty,        //!< MMPP burst/quiet phases (schedule.h)
+    Diurnal,       //!< sinusoidal rate ramp (thinned Poisson)
+    SessionBurst,  //!< Poisson sessions x Pareto size x lognormal gaps
+    Recorded,      //!< replay of a recorded arrival file
+};
+
+std::string arrivalPatternName(ArrivalPattern pattern);
+
+/**
+ * Everything that parameterizes one arrival trace beyond the mean
+ * rate (TestSettings::serverTargetQps) and the schedule seed. Only
+ * the fields of the selected pattern are read.
+ */
+struct TraceSpec
+{
+    ArrivalPattern pattern = ArrivalPattern::Poisson;
+
+    // ---- Bursty (MMPP): burst rate = burstFactor x qps, 25% duty.
+    double burstFactor = 2.0;
+
+    // ---- Diurnal: rate(t) = qps * (1 + amplitude*sin(2*pi*t/period)).
+    /** Peak-to-mean rate swing, clamped to [0, 0.95]. */
+    double diurnalAmplitude = 0.5;
+    /** Length of one full rate cycle. */
+    sim::Tick diurnalPeriodNs = 60 * sim::kNsPerSec;
+
+    // ---- SessionBurst. Sessions arrive Poisson at qps/meanSize so
+    //      the long-run mean stays at qps.
+    /** Mean queries per session (Pareto mean; >= 1). */
+    double sessionMeanSize = 8.0;
+    /** Pareto tail index; smaller = heavier tail (clamped >= 1.1). */
+    double sessionParetoAlpha = 1.5;
+    /** Median think-time gap between a session's queries. */
+    sim::Tick sessionGapNs = 2 * sim::kNsPerMs;
+    /** Lognormal sigma of the gap (log-space spread). */
+    double sessionGapSigma = 1.0;
+
+    // ---- Recorded: absolute offsets (ns from trace start), sorted.
+    std::vector<sim::Tick> recorded;
+};
+
+/**
+ * Diurnal arrivals via Lewis-Shedler thinning: draw a homogeneous
+ * Poisson stream at the peak rate and accept each point with
+ * probability rate(t)/rate_max — an exact sample of the
+ * nonhomogeneous process, bit-stable for a given seed.
+ */
+std::vector<sim::Tick> generateDiurnalArrivals(uint64_t count,
+                                               double qps,
+                                               double amplitude,
+                                               sim::Tick period_ns,
+                                               uint64_t seed);
+
+/**
+ * Heavy-tailed session bursts: session starts are Poisson at
+ * qps/meanSize; each session's query count is Pareto(alpha) with mean
+ * sessionMeanSize (capped at 64x the mean so one draw cannot swallow
+ * the run), and in-session gaps are lognormal around sessionGapNs.
+ * Overlapping sessions are merged into one sorted schedule.
+ */
+std::vector<sim::Tick> generateSessionArrivals(uint64_t count,
+                                               double qps,
+                                               const TraceSpec &spec,
+                                               uint64_t seed);
+
+/**
+ * Replay @p recorded arrivals, wrapping with a constant period offset
+ * (recording span + one mean gap) when @p count exceeds the
+ * recording. Throws std::invalid_argument when the recording is
+ * empty.
+ */
+std::vector<sim::Tick> replayRecordedArrivals(
+    const std::vector<sim::Tick> &recorded, uint64_t count);
+
+/**
+ * Parse a recorded arrival file: one arrival offset in nanoseconds
+ * per line, '#' comments, blank lines ignored. Offsets are sorted on
+ * return, so captures need not be pre-sorted.
+ */
+std::vector<sim::Tick> parseRecordedTrace(const std::string &text);
+
+/** Dispatch on @p spec.pattern (seed is ignored for Recorded). */
+std::vector<sim::Tick> generateTraceArrivals(const TraceSpec &spec,
+                                             uint64_t count, double qps,
+                                             uint64_t seed);
+
+/**
+ * The server scenario's entry point: apply @p settings (pattern from
+ * serverTrace; the legacy serverBurstFactor > 1 knob still selects
+ * Bursty when the pattern is Poisson, and overrides the spec's
+ * burstFactor whenever it is set).
+ */
+std::vector<sim::Tick> generateServerArrivals(
+    const TestSettings &settings, uint64_t count, uint64_t seed);
+
+} // namespace loadgen
+} // namespace mlperf
+
+#endif // MLPERF_LOADGEN_TRACE_H

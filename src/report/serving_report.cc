@@ -72,7 +72,8 @@ histogramJson(const stats::LogHistogram &histogram)
 
 std::string
 renderServingSummary(const serving::StatsSnapshot &snapshot,
-                     sim::Tick elapsed_ns)
+                     sim::Tick elapsed_ns,
+                     const loadgen::TestResult *result)
 {
     std::string out;
     out += "Serving runtime statistics\n";
@@ -125,6 +126,29 @@ renderServingSummary(const serving::StatsSnapshot &snapshot,
             withThousands(snapshot.degradeEntries).c_str(),
             withThousands(snapshot.degradeExits).c_str());
     }
+    if (snapshot.activeShards != 0 || snapshot.scaleUps != 0 ||
+        snapshot.scaleDowns != 0 || snapshot.sloSamples != 0) {
+        out += strprintf(
+            "  autoscaler: %lld shard(s) active, scaled up %s / "
+            "down %s; SLO violations %s of %s judged (%.2f%%)\n",
+            static_cast<long long>(snapshot.activeShards),
+            withThousands(snapshot.scaleUps).c_str(),
+            withThousands(snapshot.scaleDowns).c_str(),
+            withThousands(snapshot.sloViolations).c_str(),
+            withThousands(snapshot.sloSamples).c_str(),
+            100.0 * snapshot.sloViolationRate());
+    }
+    if (result != nullptr &&
+        result->scenario == loadgen::Scenario::Server &&
+        result->latency.count > 0) {
+        out += strprintf(
+            "  latency audit: corrected tail %s (sched-ref) vs "
+            "issued-ref %s; issue drift mean %s / max %s\n",
+            formatDuration(result->correctedTailLatencyNs).c_str(),
+            formatDuration(result->issuedTailLatencyNs).c_str(),
+            formatDuration(result->meanIssueDriftNs).c_str(),
+            formatDuration(result->maxIssueDriftNs).c_str());
+    }
     const uint64_t tracked =
         snapshot.completedOk + snapshot.completedDegraded +
         snapshot.completedShed + snapshot.completedTimeout +
@@ -154,7 +178,8 @@ renderServingSummary(const serving::StatsSnapshot &snapshot,
 
 std::string
 servingSnapshotJson(const serving::StatsSnapshot &snapshot,
-                    sim::Tick elapsed_ns)
+                    sim::Tick elapsed_ns,
+                    const loadgen::TestResult *result)
 {
     std::string out = "{";
     out += strprintf(
@@ -211,6 +236,28 @@ servingSnapshotJson(const serving::StatsSnapshot &snapshot,
         static_cast<unsigned long long>(snapshot.completedShed),
         static_cast<unsigned long long>(snapshot.completedTimeout),
         static_cast<unsigned long long>(snapshot.completedFailed));
+    out += strprintf(
+        "\"active_shards\":%lld,\"scale_ups\":%llu,"
+        "\"scale_downs\":%llu,\"slo_samples\":%llu,"
+        "\"slo_violations\":%llu,\"slo_violation_rate\":%.5f,",
+        static_cast<long long>(snapshot.activeShards),
+        static_cast<unsigned long long>(snapshot.scaleUps),
+        static_cast<unsigned long long>(snapshot.scaleDowns),
+        static_cast<unsigned long long>(snapshot.sloSamples),
+        static_cast<unsigned long long>(snapshot.sloViolations),
+        snapshot.sloViolationRate());
+    if (result != nullptr) {
+        out += strprintf(
+            "\"latency_audit\":{\"corrected_tail_ns\":%llu,"
+            "\"issued_tail_ns\":%llu,\"mean_issue_drift_ns\":%llu,"
+            "\"max_issue_drift_ns\":%llu},",
+            static_cast<unsigned long long>(
+                result->correctedTailLatencyNs),
+            static_cast<unsigned long long>(
+                result->issuedTailLatencyNs),
+            static_cast<unsigned long long>(result->meanIssueDriftNs),
+            static_cast<unsigned long long>(result->maxIssueDriftNs));
+    }
     out += "\"queue_depth\":" + histogramJson(snapshot.queueDepth);
     out += ",\"batch_size\":" + histogramJson(snapshot.batchSize);
     out += ",\"time_in_queue_ns\":" +

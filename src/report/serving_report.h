@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "loadgen/results.h"
 #include "serving/serving_stats.h"
 #include "serving/tenancy/model_registry.h"
 #include "sim/executor.h"
@@ -24,16 +25,26 @@ namespace report {
 /**
  * mlperf_log_summary-style block of the serving counters.
  * @param elapsed_ns run duration used for worker utilization.
+ * @param result optional LoadGen result for the same run; when given
+ *        (and it carries a Server-scenario timeline) the summary adds
+ *        the measurement-honesty line — corrected vs issued-referenced
+ *        tail latency and the issue-drift that separates them.
+ * Autoscaler activity (active shards, scale events, SLO outcomes) is
+ * rendered whenever the snapshot carries it.
  */
 std::string renderServingSummary(
-    const serving::StatsSnapshot &snapshot, sim::Tick elapsed_ns);
+    const serving::StatsSnapshot &snapshot, sim::Tick elapsed_ns,
+    const loadgen::TestResult *result = nullptr);
 
 /**
  * The same counters as a single JSON object (machine-readable bench
- * output). Histograms are reduced to mean/p50/p90/p99/max.
+ * output). Histograms are reduced to mean/p50/p90/p99/max. When
+ * @p result is given, a "latency_audit" object (corrected/issued tail,
+ * drift) is embedded alongside the counters.
  */
 std::string servingSnapshotJson(
-    const serving::StatsSnapshot &snapshot, sim::Tick elapsed_ns);
+    const serving::StatsSnapshot &snapshot, sim::Tick elapsed_ns,
+    const loadgen::TestResult *result = nullptr);
 
 /**
  * One tenant's row of a multi-tenant platform report. Latency fields

@@ -1,0 +1,161 @@
+#include "serving/autoscaler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace mlperf {
+namespace serving {
+
+namespace {
+
+AutoscaleOptions
+sanitized(AutoscaleOptions options)
+{
+    options.minShards = std::max<int64_t>(1, options.minShards);
+    options.maxShards =
+        std::max<int64_t>(options.minShards, options.maxShards);
+    options.ewmaAlpha =
+        std::min(1.0, std::max(0.01, options.ewmaAlpha));
+    options.growThreshold = std::max(0.0, options.growThreshold);
+    options.shrinkThreshold = std::min(
+        options.growThreshold, std::max(0.0, options.shrinkThreshold));
+    options.shrinkHoldIntervals =
+        std::max(1, options.shrinkHoldIntervals);
+    return options;
+}
+
+} // namespace
+
+ShardAutoscaler::ShardAutoscaler(ShardedWorkerPool &pool,
+                                 ServingStats &stats,
+                                 AutoscaleOptions options)
+    : pool_(pool), stats_(stats), options_(sanitized(options)),
+      error_(options_.ewmaAlpha)
+{
+    if (options_.intervalNs != 0)
+        controller_ = std::thread([this] { controllerLoop(); });
+}
+
+ShardAutoscaler::~ShardAutoscaler()
+{
+    stop();
+}
+
+void
+ShardAutoscaler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        if (stopRequested_)
+            return;
+        stopRequested_ = true;
+    }
+    cv_.notify_one();
+    if (controller_.joinable())
+        controller_.join();
+}
+
+void
+ShardAutoscaler::step(const StatsSnapshot &snapshot)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Interval deltas: the snapshot counters are monotonic, so the
+    // difference against the previous step is this interval's traffic.
+    const uint64_t sheds = snapshot.admissionShedSamples +
+                           snapshot.samplesShed +
+                           snapshot.expiredSamples;
+    const uint64_t judged = snapshot.sloSamples - lastSloSamples_;
+    const uint64_t violated =
+        snapshot.sloViolations - lastSloViolations_;
+    const uint64_t shed = sheds - lastSheds_;
+    lastSloSamples_ = snapshot.sloSamples;
+    lastSloViolations_ = snapshot.sloViolations;
+    lastSheds_ = sheds;
+
+    // Demand the interval asked the runtime to serve. A shed sample
+    // never reaches the SLO judge, so it counts as both demand and
+    // error: shedding your way out of violations must not look like
+    // health.
+    const uint64_t demand = judged + shed;
+    const double error =
+        demand == 0 ? 0.0
+                    : static_cast<double>(violated + shed) /
+                          static_cast<double>(demand);
+    error_.observe(error);
+
+    const auto active =
+        static_cast<int64_t>(pool_.activeShardCount());
+    if (error_.value() >= options_.growThreshold &&
+        active < options_.maxShards) {
+        quietIntervals_ = 0;
+        if (pool_.growOneShard()) {
+            ++ups_;
+            MLPERF_LOG(Info)
+                << "autoscaler: error EWMA " << error_.value()
+                << " >= " << options_.growThreshold << ", grew to "
+                << pool_.activeShardCount() << " shard(s)";
+        }
+        return;
+    }
+    if (error_.value() <= options_.shrinkThreshold) {
+        if (++quietIntervals_ >= options_.shrinkHoldIntervals &&
+            active > options_.minShards) {
+            quietIntervals_ = 0;
+            if (pool_.shrinkOneShard()) {
+                ++downs_;
+                MLPERF_LOG(Info)
+                    << "autoscaler: error EWMA " << error_.value()
+                    << " quiet for " << options_.shrinkHoldIntervals
+                    << " interval(s), shrank to "
+                    << pool_.activeShardCount() << " shard(s)";
+            }
+        }
+        return;
+    }
+    // In the dead band between the thresholds: hold steady, and make
+    // the shrink clock start over.
+    quietIntervals_ = 0;
+}
+
+double
+ShardAutoscaler::errorEwma() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_.value();
+}
+
+uint64_t
+ShardAutoscaler::scaleUps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ups_;
+}
+
+uint64_t
+ShardAutoscaler::scaleDowns() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return downs_;
+}
+
+void
+ShardAutoscaler::controllerLoop()
+{
+    std::unique_lock<std::mutex> lock(cvMutex_);
+    for (;;) {
+        cv_.wait_for(lock,
+                     std::chrono::nanoseconds(options_.intervalNs),
+                     [this] { return stopRequested_; });
+        if (stopRequested_)
+            return;
+        lock.unlock();
+        step(stats_.snapshot());
+        lock.lock();
+    }
+}
+
+} // namespace serving
+} // namespace mlperf

@@ -153,6 +153,21 @@ class BoundedQueue
         consumerCv_.notify_all();
     }
 
+    /**
+     * Accept work again after close(). The shard autoscaler's grow
+     * path: a drained shard's queue is closed while the shard is
+     * inactive and reopened before its workers are respawned. Safe
+     * only once every consumer that observed the close has exited —
+     * the pool's scale lock guarantees that ordering.
+     */
+    void
+    reopen()
+    {
+        LockProbe::noteAcquire();
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = false;
+    }
+
     size_t
     size() const
     {

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Control-loop primitives shared by the serving runtime's adaptive
+ * machinery: an exponentially weighted moving average and a two-
+ * threshold hysteresis latch.
+ *
+ * Both the graceful-degradation monitor (ServingSut::noteShedSignal)
+ * and the SLO shard autoscaler make the same shape of decision: smooth
+ * a noisy binary/ratio signal, then flip a mode bit with separated
+ * engage/release thresholds so the controller does not flap on noise.
+ * Extracted here so the two controllers share one tested
+ * implementation instead of two hand-rolled copies.
+ *
+ * Neither class is thread-safe on its own; callers serialize access
+ * (the degrade monitor under its mutex, the autoscaler on its
+ * controller thread).
+ */
+
+#ifndef MLPERF_SERVING_EWMA_H
+#define MLPERF_SERVING_EWMA_H
+
+namespace mlperf {
+namespace serving {
+
+/** EWMA with per-observation weight @c alpha. */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha = 0.1, double initial = 0.0)
+        : alpha_(alpha), value_(initial)
+    {
+    }
+
+    /** Fold one observation in; returns the updated average. */
+    double
+    observe(double sample)
+    {
+        value_ += alpha_ * (sample - value_);
+        return value_;
+    }
+
+    double value() const { return value_; }
+
+    void reset(double value = 0.0) { value_ = value; }
+
+  private:
+    double alpha_;
+    double value_;
+};
+
+/**
+ * Latch that engages when the signal reaches @c engage and releases
+ * only once it falls back to @c release (< engage). The gap between
+ * the thresholds is the hysteresis band: a signal hovering at the
+ * engage point cannot toggle the mode every observation.
+ */
+class HysteresisLatch
+{
+  public:
+    HysteresisLatch(double engage = 1.0, double release = 0.5)
+        : engage_(engage), release_(release)
+    {
+    }
+
+    /** Feed the smoothed signal; returns the (possibly new) state. */
+    bool
+    update(double signal)
+    {
+        if (!engaged_ && signal >= engage_)
+            engaged_ = true;
+        else if (engaged_ && signal <= release_)
+            engaged_ = false;
+        return engaged_;
+    }
+
+    bool engaged() const { return engaged_; }
+
+  private:
+    double engage_;
+    double release_;
+    bool engaged_ = false;
+};
+
+} // namespace serving
+} // namespace mlperf
+
+#endif // MLPERF_SERVING_EWMA_H

@@ -189,6 +189,29 @@ ServingStats::setWorkers(int64_t workers)
     workers_.store(workers, kRelaxed);
 }
 
+void
+ServingStats::recordSloOutcome(uint64_t samples, uint64_t violations)
+{
+    scale_.sloSamples.fetch_add(samples, kRelaxed);
+    if (violations != 0)
+        scale_.sloViolations.fetch_add(violations, kRelaxed);
+}
+
+void
+ServingStats::recordScaleEvent(bool up)
+{
+    if (up)
+        scale_.scaleUps.fetch_add(1, kRelaxed);
+    else
+        scale_.scaleDowns.fetch_add(1, kRelaxed);
+}
+
+void
+ServingStats::setActiveShards(int64_t shards)
+{
+    scale_.activeShards.store(shards, kRelaxed);
+}
+
 StatsSnapshot
 ServingStats::snapshot() const
 {
@@ -232,6 +255,12 @@ ServingStats::snapshot() const
     s.degradeExits = tracked_.degradeExits.load(kRelaxed);
 
     s.workers = workers_.load(kRelaxed);
+
+    s.sloSamples = scale_.sloSamples.load(kRelaxed);
+    s.sloViolations = scale_.sloViolations.load(kRelaxed);
+    s.scaleUps = scale_.scaleUps.load(kRelaxed);
+    s.scaleDowns = scale_.scaleDowns.load(kRelaxed);
+    s.activeShards = scale_.activeShards.load(kRelaxed);
 
     {
         LockProbe::noteAcquire();

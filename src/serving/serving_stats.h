@@ -90,6 +90,14 @@ struct StatsSnapshot
     int64_t workers = 0;        //!< pool size (for utilization)
     uint64_t workerBusyNs = 0;  //!< busy time summed over workers
 
+    // ---- SLO accounting and autoscaling (sharded runtime only;
+    //      zeros when no SLO target / autoscaler is configured).
+    uint64_t sloSamples = 0;     //!< completions judged against the SLO
+    uint64_t sloViolations = 0;  //!< of those, over target (or errored)
+    uint64_t scaleUps = 0;       //!< shards activated by the autoscaler
+    uint64_t scaleDowns = 0;     //!< shards drained by the autoscaler
+    int64_t activeShards = 0;    //!< live shard gauge (0 = unsharded)
+
     stats::LogHistogram queueDepth{1, 1 << 20, 64};
     stats::LogHistogram batchSize{1, 1 << 20, 64};
     stats::LogHistogram timeInQueueNs;  //!< enqueue -> worker start
@@ -129,6 +137,16 @@ struct StatsSnapshot
         return static_cast<double>(admissionShedSamples + samplesShed +
                                    expiredSamples) /
                static_cast<double>(samplesIssued);
+    }
+
+    /** Fraction of SLO-judged completions that missed the target. */
+    double
+    sloViolationRate() const
+    {
+        if (sloSamples == 0)
+            return 0.0;
+        return static_cast<double>(sloViolations) /
+               static_cast<double>(sloSamples);
     }
 };
 
@@ -181,6 +199,13 @@ class ServingStats
                                  uint64_t samples);
 
     void setWorkers(int64_t workers);
+
+    // ---- SLO / autoscaling events (sharded runtime).
+    /** @p samples were judged against the SLO; @p violations missed. */
+    void recordSloOutcome(uint64_t samples, uint64_t violations);
+    /** The autoscaler activated (@p up) or drained a shard. */
+    void recordScaleEvent(bool up);
+    void setActiveShards(int64_t shards);
 
     StatsSnapshot snapshot() const;
 
@@ -239,10 +264,26 @@ class ServingStats
         Counter degradeExits{0};
     };
 
+    /**
+     * SLO outcomes (written by the drainer alongside the completion
+     * counters) and scale events (written by the autoscaler's
+     * controller thread, a few times per second at most — the shared
+     * line costs nothing at that rate).
+     */
+    struct alignas(64) ScaleCounters
+    {
+        Counter sloSamples{0};
+        Counter sloViolations{0};
+        Counter scaleUps{0};
+        Counter scaleDowns{0};
+        std::atomic<int64_t> activeShards{0};
+    };
+
     IssueCounters issue_;
     CompletionCounters done_;
     ResilienceCounters resilience_;
     TrackedCounters tracked_;
+    ScaleCounters scale_;
     alignas(64) std::atomic<int64_t> workers_{0};
 
     // Histograms are the one piece that cannot be a single atomic;

@@ -17,7 +17,11 @@ constexpr double kShedEwmaAlpha = 0.1;
 
 ServingSut::ServingSut(sim::Executor &executor,
                        BatchInference &inference, ServingOptions options)
-    : executor_(executor), inference_(inference), options_(options)
+    : executor_(executor), inference_(inference), options_(options),
+      shedEwma_(kShedEwmaAlpha),
+      // Engage degraded mode at the threshold, release at half of it.
+      degradeLatch_(options.degradeShedRateThreshold,
+                    options.degradeShedRateThreshold / 2.0)
 {
     mode_ = options_.mode;
     if (mode_ == WorkerMode::Auto) {
@@ -46,6 +50,8 @@ ServingSut::ServingSut(sim::Executor &executor,
     }
 
     const bool trackerActive = tracker_ != nullptr;
+    const bool autoscaled =
+        options_.autoscale.enabled && mode_ == WorkerMode::Threads;
     int64_t shards = options_.shards;
     if (mode_ != WorkerMode::Threads)
         shards = 1;  // the event pool is single-threaded already
@@ -53,7 +59,38 @@ ServingSut::ServingSut(sim::Executor &executor,
         1, std::min<int64_t>(shards,
                              std::max<int64_t>(1, options_.workers)));
 
-    if (shards > 1) {
+    if (autoscaled) {
+        // The pool is built at the ceiling; `shards` (clamped into
+        // [min, max]) is only how many start active. Workers are
+        // provisioned per shard so capacity genuinely scales with the
+        // active count.
+        const int64_t maxShards =
+            std::max<int64_t>(1, options_.autoscale.maxShards);
+        const int64_t minShards = std::max<int64_t>(
+            1, std::min(options_.autoscale.minShards, maxShards));
+        const int64_t initial = std::max(
+            minShards, std::min<int64_t>(options_.shards, maxShards));
+        ShardOptions sharding;
+        sharding.shards = maxShards;
+        sharding.initialActiveShards = initial;
+        sharding.workersPerShard =
+            std::max<int64_t>(1, options_.workers / maxShards);
+        sharding.queueCapacityBatches =
+            options_.queueCapacityBatches == 0
+                ? 0
+                : std::max<size_t>(
+                      1, options_.queueCapacityBatches /
+                             static_cast<size_t>(maxShards));
+        sharding.pinThreads = options_.pinThreads;
+        sharding.stealWhenIdle = options_.stealWhenIdle;
+        sharding.trackerActive = trackerActive;
+        sharding.sloTargetNs = options_.autoscale.sloTargetNs;
+        auto sharded = std::make_unique<ShardedWorkerPool>(
+            executor_, *engine, stats_, sharding);
+        sharded_ = sharded.get();
+        pool_ = std::move(sharded);
+        shards = maxShards;
+    } else if (shards > 1) {
         ShardOptions sharding;
         sharding.shards = shards;
         sharding.workersPerShard =
@@ -67,6 +104,7 @@ ServingSut::ServingSut(sim::Executor &executor,
         sharding.pinThreads = options_.pinThreads;
         sharding.stealWhenIdle = options_.stealWhenIdle;
         sharding.trackerActive = trackerActive;
+        sharding.sloTargetNs = options_.autoscale.sloTargetNs;
         auto sharded = std::make_unique<ShardedWorkerPool>(
             executor_, *engine, stats_, sharding);
         sharded_ = sharded.get();
@@ -89,6 +127,30 @@ ServingSut::ServingSut(sim::Executor &executor,
             [this, shard](Batch &&batch) {
                 onBatchFormed(shard, std::move(batch));
             }));
+    }
+    activeBatchers_.store(
+        autoscaled ? sharded_->activeShardCount() : batchers_.size(),
+        std::memory_order_release);
+
+    if (autoscaled) {
+        // Keep the issue-side batcher fan-out in lockstep with the
+        // pool's active prefix. On shrink the victim's batcher is
+        // flushed *while its queue still accepts*, so held partial
+        // batches land ahead of the close; a straggler emitted later
+        // (timeout race) reroutes inside submitTo. Batchers are never
+        // destroyed, only un-routed, so no emission can dangle.
+        sharded_->setScaleHooks(
+            [this](size_t active) {
+                activeBatchers_.store(active,
+                                      std::memory_order_release);
+                batchers_[active]->flush();
+            },
+            [this](size_t active) {
+                activeBatchers_.store(active,
+                                      std::memory_order_release);
+            });
+        autoscaler_ = std::make_unique<ShardAutoscaler>(
+            *sharded_, stats_, options_.autoscale);
     }
 }
 
@@ -113,21 +175,20 @@ ServingSut::noteShedSignal(uint64_t samples, bool shed)
     std::lock_guard<std::mutex> lock(degradeMutex_);
     const double target = shed ? 1.0 : 0.0;
     for (uint64_t i = 0; i < samples; ++i)
-        shedEwma_ += kShedEwmaAlpha * (target - shedEwma_);
-    // Hysteresis: engage at the threshold, release at half of it, so
-    // the SUT does not flap between fp32 and the fallback on noise.
-    if (!degradeEngaged_ &&
-        shedEwma_ >= options_.degradeShedRateThreshold) {
-        degradeEngaged_ = true;
+        shedEwma_.observe(target);
+    // The latch is the hysteresis: the gap between its engage and
+    // release thresholds keeps the SUT from flapping between fp32 and
+    // the fallback on noise.
+    const bool was = degradeLatch_.engaged();
+    const bool engaged = degradeLatch_.update(shedEwma_.value());
+    if (engaged && !was) {
         resilient_->setDegraded(true);
         stats_.recordDegradeMode(true);
-        MLPERF_LOG(Warn) << name() << ": shed-rate EWMA " << shedEwma_
-                         << " crossed "
+        MLPERF_LOG(Warn) << name() << ": shed-rate EWMA "
+                         << shedEwma_.value() << " crossed "
                          << options_.degradeShedRateThreshold
                          << ", entering degraded mode";
-    } else if (degradeEngaged_ &&
-               shedEwma_ <= options_.degradeShedRateThreshold / 2.0) {
-        degradeEngaged_ = false;
+    } else if (!engaged && was) {
         resilient_->setDegraded(false);
         stats_.recordDegradeMode(false);
         MLPERF_LOG(Info) << name()
@@ -164,13 +225,17 @@ ServingSut::issueQuery(const std::vector<loadgen::QuerySample> &samples,
         tracker_->track(samples, delegate, deadline);
         target = tracker_.get();
     }
-    if (batchers_.size() == 1) {
+    // Hash-partition the query across the *active* shards: each
+    // sample lives its whole queued life (batcher, queue, worker)
+    // inside one shard. The active count is the autoscaler's routing
+    // surface; static configurations always see batchers_.size().
+    const size_t shards =
+        std::max<size_t>(1, activeBatchers_.load(
+                                std::memory_order_acquire));
+    if (shards == 1) {
         batchers_[0]->enqueue(samples, *target, deadline);
         return;
     }
-    // Hash-partition the query across shards: each sample lives its
-    // whole queued life (batcher, queue, worker) inside one shard.
-    const size_t shards = batchers_.size();
     std::vector<std::vector<loadgen::QuerySample>> parts(shards);
     for (const auto &sample : samples) {
         parts[ShardedWorkerPool::shardFor(sample.id, shards)]
@@ -195,6 +260,9 @@ ServingSut::shutdown()
     if (shutdownDone_)
         return;
     shutdownDone_ = true;
+    // Stop the controller first so no grow/shrink races the teardown.
+    if (autoscaler_)
+        autoscaler_->stop();
     // Flush-then-drain: emit held batches, join/drain the workers so
     // no completion is in flight, then time out whatever the tracker
     // still holds (lost completions). After this no code path touches

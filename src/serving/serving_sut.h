@@ -42,15 +42,18 @@
 #ifndef MLPERF_SERVING_SERVING_SUT_H
 #define MLPERF_SERVING_SERVING_SUT_H
 
+#include <atomic>
 #include <memory>
 #include <string>
 
 #include <vector>
 
 #include "loadgen/sut.h"
+#include "serving/autoscaler.h"
 #include "serving/batch_inference.h"
 #include "serving/batcher.h"
 #include "serving/completion_tracker.h"
+#include "serving/ewma.h"
 #include "serving/resilience.h"
 #include "serving/serving_stats.h"
 #include "serving/shard.h"
@@ -102,6 +105,15 @@ struct ServingOptions
     bool pinThreads = false;
     /** Let idle workers pull from other shards' queues. */
     bool stealWhenIdle = true;
+    /**
+     * SLO-driven elasticity (Threads mode only). When enabled the
+     * pool is built with autoscale.maxShards shards, `shards` above
+     * becomes the *initial* active count (clamped into [minShards,
+     * maxShards]), and a controller thread grows/shrinks the active
+     * set against the smoothed SLO error rate. See
+     * serving/autoscaler.h for the control law.
+     */
+    AutoscaleOptions autoscale;
 
     // ---- Resilience (defaults disable every feature).
     /**
@@ -171,11 +183,22 @@ class ServingSut : public loadgen::SystemUnderTest
         return tracker_ ? tracker_->outstanding() : 0;
     }
 
-    /** Shards the runtime resolved to (1 unless Threads mode). */
+    /** Shards the runtime resolved to (1 unless Threads mode). When
+     *  autoscaled this is the ceiling; see activeShardCount(). */
     size_t shardCount() const { return batchers_.size(); }
+
+    /** Shards currently routed to (== shardCount() when static). */
+    size_t
+    activeShardCount() const
+    {
+        return activeBatchers_.load(std::memory_order_acquire);
+    }
 
     /** The sharded pool when shardCount() > 1, else null. */
     ShardedWorkerPool *shardedPool() { return sharded_; }
+
+    /** The SLO autoscaler when options enabled it, else null. */
+    ShardAutoscaler *autoscaler() { return autoscaler_.get(); }
 
   private:
     void onBatchFormed(size_t shard, Batch &&batch);
@@ -196,10 +219,16 @@ class ServingSut : public loadgen::SystemUnderTest
     /** One batcher per shard (a single one when unsharded), so batch
      *  formation itself never crosses shards. */
     std::vector<std::unique_ptr<DynamicBatcher>> batchers_;
+    /** Batchers issueQuery partitions over: the pool's active-shard
+     *  prefix. Equal to batchers_.size() unless autoscaled. */
+    std::atomic<size_t> activeBatchers_{0};
+    /** Declared after pool_ so it is destroyed (controller joined)
+     *  before the pool it steers. */
+    std::unique_ptr<ShardAutoscaler> autoscaler_;
 
     std::mutex degradeMutex_;
-    double shedEwma_ = 0.0;
-    bool degradeEngaged_ = false;
+    Ewma shedEwma_;
+    HysteresisLatch degradeLatch_;
     bool shutdownDone_ = false;
 };
 

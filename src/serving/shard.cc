@@ -30,6 +30,10 @@ sanitized(ShardOptions options)
     options.workersPerShard =
         std::max<int64_t>(1, options.workersPerShard);
     options.ringCapacity = std::max<size_t>(2, options.ringCapacity);
+    if (options.initialActiveShards <= 0 ||
+        options.initialActiveShards > options.shards) {
+        options.initialActiveShards = options.shards;
+    }
     return options;
 }
 
@@ -59,26 +63,43 @@ ShardedWorkerPool::ShardedWorkerPool(sim::Executor &executor,
       options_(sanitized(std::move(options)))
 {
     const size_t shards = static_cast<size_t>(options_.shards);
+    const size_t active =
+        static_cast<size_t>(options_.initialActiveShards);
     shards_.reserve(shards);
     for (size_t i = 0; i < shards; ++i) {
         shards_.push_back(std::make_unique<Shard>(
             options_.queueCapacityBatches, options_.ringCapacity));
+        if (i >= active) {
+            // Held in reserve for the autoscaler: no workers, and a
+            // closed queue so a racing submitTo reroutes instead of
+            // queueing work nobody would pick up.
+            shards_[i]->accepting.store(false, kRelaxed);
+            shards_[i]->queue.close();
+        }
     }
+    activeShards_.store(active, std::memory_order_release);
     stats_.setWorkers(workerCount());
+    stats_.setActiveShards(static_cast<int64_t>(active));
 
     drainer_ = std::thread([this] { drainerLoop(); });
 
+    for (size_t s = 0; s < active; ++s)
+        spawnShardWorkers(s);
+}
+
+void
+ShardedWorkerPool::spawnShardWorkers(size_t index)
+{
     const size_t perShard =
         static_cast<size_t>(options_.workersPerShard);
-    workers_.reserve(shards * perShard);
-    for (size_t s = 0; s < shards; ++s) {
-        for (size_t w = 0; w < perShard; ++w) {
-            workers_.emplace_back([this, s, w, perShard] {
-                if (options_.pinThreads)
-                    pinToCpu(static_cast<unsigned>(s * perShard + w));
-                workerLoop(s);
-            });
-        }
+    Shard &shard = *shards_[index];
+    shard.workers.reserve(perShard);
+    for (size_t w = 0; w < perShard; ++w) {
+        shard.workers.emplace_back([this, index, w, perShard] {
+            if (options_.pinThreads)
+                pinToCpu(static_cast<unsigned>(index * perShard + w));
+            workerLoop(index);
+        });
     }
 }
 
@@ -109,7 +130,7 @@ ShardedWorkerPool::submit(Batch &batch)
         batch.items.empty() ? 0 : batch.items.front().sample.id;
     const uint64_t key =
         (static_cast<uint64_t>(batch.route) << 32) ^ first;
-    return submitTo(shardFor(key, shards_.size()), batch);
+    return submitTo(shardFor(key, activeShardCount()), batch);
 }
 
 bool
@@ -117,9 +138,80 @@ ShardedWorkerPool::submitTo(size_t shard_index, Batch &batch)
 {
     Shard &shard = *shards_[shard_index];
     const uint64_t samples = batch.items.size();
-    if (!shard.queue.tryPush(batch))
+    if (shard.queue.tryPush(batch)) {
+        shard.queuedSamples.fetch_add(samples, kRelaxed);
+        return true;
+    }
+    if (!shard.queue.closed())
+        return false;  // full: backpressure, the caller sheds
+    // The target shard closed under us (a concurrent shrink, or a
+    // batcher still aimed at it). Reroute across the other shards —
+    // the batch must not be lost to a scaling race; only genuine
+    // backpressure (every open queue full) may refuse it.
+    const size_t shards = shards_.size();
+    for (size_t i = 1; i < shards; ++i) {
+        Shard &other = *shards_[(shard_index + i) % shards];
+        if (other.queue.tryPush(batch)) {
+            other.queuedSamples.fetch_add(samples, kRelaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ShardedWorkerPool::growOneShard()
+{
+    std::lock_guard<std::mutex> lock(scaleMutex_);
+    if (stopped_.load(kRelaxed))
         return false;
-    shard.queuedSamples.fetch_add(samples, kRelaxed);
+    const size_t active = activeShards_.load(kRelaxed);
+    if (active >= shards_.size())
+        return false;
+    Shard &shard = *shards_[active];
+    // The previous shrink joined this shard's workers before closing
+    // the books, so reopening the queue races with no consumer.
+    shard.queue.reopen();
+    shard.accepting.store(true, kRelaxed);
+    spawnShardWorkers(active);
+    activeShards_.store(active + 1, std::memory_order_release);
+    stats_.setWorkers(workerCount());
+    stats_.setActiveShards(static_cast<int64_t>(active + 1));
+    stats_.recordScaleEvent(true);
+    if (afterGrow_)
+        afterGrow_(active + 1);
+    return true;
+}
+
+bool
+ShardedWorkerPool::shrinkOneShard()
+{
+    std::lock_guard<std::mutex> lock(scaleMutex_);
+    if (stopped_.load(kRelaxed))
+        return false;
+    const size_t active = activeShards_.load(kRelaxed);
+    if (active <= 1)
+        return false;
+    const size_t victim = active - 1;
+    // Unroute first: new submits hash over the smaller set before the
+    // victim stops accepting, so the close window only ever sees
+    // stragglers — and those reroute in submitTo.
+    activeShards_.store(victim, std::memory_order_release);
+    if (beforeShrink_)
+        beforeShrink_(victim);
+    Shard &shard = *shards_[victim];
+    shard.accepting.store(false, kRelaxed);
+    shard.queue.close();
+    // Workers drain everything already queued, then exit: drain-and-
+    // join, so a shrink can never lose a completion.
+    for (std::thread &worker : shard.workers) {
+        if (worker.joinable())
+            worker.join();
+    }
+    shard.workers.clear();
+    stats_.setWorkers(workerCount());
+    stats_.setActiveShards(static_cast<int64_t>(victim));
+    stats_.recordScaleEvent(false);
     return true;
 }
 
@@ -128,16 +220,22 @@ ShardedWorkerPool::shutdown()
 {
     if (stopped_.exchange(true))
         return;
+    // The scale lock orders shutdown after any in-flight grow/shrink;
+    // later calls see stopped_ and bail.
+    std::lock_guard<std::mutex> lock(scaleMutex_);
     for (auto &shard : shards_)
         shard->queue.close();
-    for (std::thread &worker : workers_) {
-        if (worker.joinable())
-            worker.join();
+    for (auto &shard : shards_) {
+        for (std::thread &worker : shard->workers) {
+            if (worker.joinable())
+                worker.join();
+        }
+        shard->workers.clear();
     }
     // Workers are joined, so every record they will ever publish is
     // already in a ring; the drainer's final sweep cannot miss any.
     {
-        std::lock_guard<std::mutex> lock(wakeMutex_);
+        std::lock_guard<std::mutex> wake(wakeMutex_);
         drainerStop_ = true;
     }
     wakeCv_.notify_one();
@@ -181,7 +279,9 @@ ShardedWorkerPool::workerLoop(size_t shard_index)
             process(shard_index, std::move(*batch));
             continue;
         }
-        if (options_.stealWhenIdle) {
+        // A draining shard's workers do not steal: their job is to
+        // empty their own queue and exit so the shrink join returns.
+        if (options_.stealWhenIdle && own.accepting.load(kRelaxed)) {
             Batch stolen;
             if (trySteal(shard_index, stolen)) {
                 process(shard_index, std::move(stolen));
@@ -327,20 +427,47 @@ ShardedWorkerPool::applyRecord(CompletionRecord &record)
         completeBatch(record.batch, record.responses);
         stats_.recordBatchDone(record.batch.items.size(),
                                record.busyNs);
+        if (options_.sloTargetNs != 0) {
+            // Enqueue-to-completion latency per sample, judged at the
+            // drainer so the worker fast path stays untouched.
+            const sim::Tick done = record.dispatchedAt + record.busyNs;
+            uint64_t violations = 0;
+            for (const BatchItem &item : record.batch.items) {
+                const sim::Tick latency =
+                    done >= item.enqueuedAt ? done - item.enqueuedAt
+                                            : 0;
+                if (latency > options_.sloTargetNs)
+                    ++violations;
+            }
+            stats_.recordSloOutcome(record.batch.items.size(),
+                                    violations);
+        }
         break;
       case CompletionRecord::Kind::Failed:
         stats_.recordDispatch(record.batch, record.dispatchedAt);
         stats_.recordBatchFailed(record.batch.items.size(),
                                  record.busyNs);
         completeBatch(record.batch, record.responses);
+        if (options_.sloTargetNs != 0) {
+            stats_.recordSloOutcome(record.batch.items.size(),
+                                    record.batch.items.size());
+        }
         break;
       case CompletionRecord::Kind::Expired:
         stats_.recordExpired(record.batch.items.size());
         completeBatch(record.batch, record.responses);
+        if (options_.sloTargetNs != 0) {
+            stats_.recordSloOutcome(record.batch.items.size(),
+                                    record.batch.items.size());
+        }
         break;
       case CompletionRecord::Kind::Dropped:
         stats_.recordDispatch(record.batch, record.dispatchedAt);
         stats_.recordDroppedCompletion(record.batch.items.size());
+        if (options_.sloTargetNs != 0) {
+            stats_.recordSloOutcome(record.batch.items.size(),
+                                    record.batch.items.size());
+        }
         break;
       case CompletionRecord::Kind::None:
         break;

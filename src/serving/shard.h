@@ -41,6 +41,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -73,6 +74,21 @@ struct ShardOptions
     size_t ringCapacity = 1024;
     /** See ThreadWorkerPool: tracker swallows DropCompletion faults. */
     bool trackerActive = false;
+
+    // ---- Elastic capacity (the SLO autoscaler, serving/autoscaler.h).
+    /**
+     * Shards live at construction; 0 = all of them. The remainder sit
+     * idle — queue closed, no workers — until growOneShard() activates
+     * them, so `shards` is the ceiling the autoscaler can grow into.
+     */
+    int64_t initialActiveShards = 0;
+    /**
+     * Per-sample completion-latency SLO (enqueue to completion); when
+     * nonzero the drainer judges every completed sample against it and
+     * feeds ServingStats::recordSloOutcome — the autoscaler's error
+     * signal. 0 disables the accounting.
+     */
+    sim::Tick sloTargetNs = 0;
 };
 
 /**
@@ -123,11 +139,57 @@ class ShardedWorkerPool : public WorkerPool
 
     void shutdown() override;
 
+    /** Workers on the currently active shards. */
     int64_t
     workerCount() const override
     {
-        return static_cast<int64_t>(shards_.size()) *
+        return static_cast<int64_t>(
+                   activeShards_.load(std::memory_order_relaxed)) *
                options_.workersPerShard;
+    }
+
+    // ---- Elastic capacity. Active shards always form the prefix
+    //      [0, activeShardCount()): grow activates the next index,
+    //      shrink drains the last. Both serialize on one scale mutex
+    //      and are safe against concurrent submit()/submitTo() — a
+    //      batch aimed at a shard that closed mid-flight reroutes to
+    //      a still-open shard instead of being lost or shed.
+
+    /** Shards currently accepting work. */
+    size_t
+    activeShardCount() const
+    {
+        return activeShards_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Activate the next inactive shard: reopen its queue, respawn its
+     * workers, publish the larger active set. False when already at
+     * the ceiling or shutting down.
+     */
+    bool growOneShard();
+
+    /**
+     * Drain the last active shard: unroute it, stop its queue, and
+     * join its workers — every batch already queued on it is still
+     * processed (workers exit only once the queue is drained), so no
+     * completion is lost. False at one shard or when shutting down.
+     */
+    bool shrinkOneShard();
+
+    /**
+     * Hooks into the batcher layer above: @p before_shrink runs while
+     * the victim shard still accepts work (the SUT narrows its batcher
+     * fan-out and flushes the victim's batcher into the queue);
+     * @p after_grow runs once the new shard accepts. Both receive the
+     * new active-shard count.
+     */
+    void
+    setScaleHooks(std::function<void(size_t)> before_shrink,
+                  std::function<void(size_t)> after_grow)
+    {
+        beforeShrink_ = std::move(before_shrink);
+        afterGrow_ = std::move(after_grow);
     }
 
     /** Lock-free: per-shard relaxed counters, summed on read. */
@@ -165,12 +227,19 @@ class ShardedWorkerPool : public WorkerPool
 
         BoundedQueue<Batch> queue;
         MpscRing<CompletionRecord> ring;
+        /** Pinned workers; owned per shard so shrink can join them. */
+        std::vector<std::thread> workers;
+        /** False while the shard is inactive or draining: its own
+         *  workers stop stealing so the shrink join stays prompt. */
+        std::atomic<bool> accepting{true};
         /** Samples admitted but not yet picked up, on its own line. */
         alignas(64) std::atomic<uint64_t> queuedSamples{0};
         alignas(64) std::atomic<uint64_t> steals{0};
     };
 
     void workerLoop(size_t shard_index);
+    /** Spawn options_.workersPerShard threads into shard @p index. */
+    void spawnShardWorkers(size_t index);
     void drainerLoop();
     /** Steal from another shard; called only with own queue empty. */
     bool trySteal(size_t thief, Batch &out);
@@ -189,9 +258,15 @@ class ShardedWorkerPool : public WorkerPool
     ServingStats &stats_;
     const ShardOptions options_;
     std::vector<std::unique_ptr<Shard>> shards_;
-    std::vector<std::thread> workers_;
     std::thread drainer_;
     std::atomic<bool> stopped_{false};
+
+    /** Active shards form the prefix [0, activeShards_). */
+    std::atomic<size_t> activeShards_{0};
+    /** Serializes grow/shrink/shutdown (never on the sample path). */
+    std::mutex scaleMutex_;
+    std::function<void(size_t)> beforeShrink_;
+    std::function<void(size_t)> afterGrow_;
 
     alignas(64) std::atomic<uint64_t> fastPathLocks_{0};
     std::atomic<uint64_t> ringFallbacks_{0};

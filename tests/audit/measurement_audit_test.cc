@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Measurement audits (TEST06 coordinated omission, TEST07 warm-up
+ * contamination): pure-analysis tests on synthetic timelines, plus
+ * end-to-end runs where a closed-loop harness is flagged and an
+ * open-loop one passes on the same offered load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "audit/measurement_audit.h"
+#include "loadgen/loadgen.h"
+#include "sim/virtual_executor.h"
+
+#include "../loadgen/test_doubles.h"
+
+namespace mlperf {
+namespace audit {
+namespace {
+
+using loadgen::QueryTiming;
+using loadgen::Scenario;
+using loadgen::TestResult;
+using loadgen::TestSettings;
+using sim::kNsPerMs;
+using sim::Tick;
+
+/** Build a Server-scenario result holding only a timeline. */
+TestResult
+resultWithTimeline(std::vector<QueryTiming> timeline)
+{
+    TestResult result;
+    result.scenario = Scenario::Server;
+    result.queryCount = timeline.size();
+    result.timeline = std::move(timeline);
+    return result;
+}
+
+// ---------------------------------------------------------------
+// analyzeCoordinatedOmission on synthetic timelines
+// ---------------------------------------------------------------
+
+TEST(MeasurementAudit, OpenLoopTimelineIsClean)
+{
+    // Arrivals every 1 ms, issued exactly on schedule, 2 ms service.
+    std::vector<QueryTiming> timeline;
+    for (Tick i = 0; i < 200; ++i) {
+        const Tick at = i * kNsPerMs;
+        timeline.push_back({at, at, at + 2 * kNsPerMs});
+    }
+    const OmissionAnalysis a =
+        analyzeCoordinatedOmission(resultWithTimeline(timeline), 0.99);
+    EXPECT_FALSE(a.flagged);
+    EXPECT_EQ(a.maxDriftNs, 0u);
+    EXPECT_EQ(a.meanDriftNs, 0u);
+    EXPECT_NEAR(a.tailInflation, 1.0, 1e-9);
+    EXPECT_EQ(a.meanInterarrivalNs, kNsPerMs);
+}
+
+TEST(MeasurementAudit, ClosedLoopDriftIsFlagged)
+{
+    // Scheduled every 1 ms but the harness serializes on a 3 ms
+    // service time: issue timestamps slide ever further behind
+    // schedule while completed - issued stays a flat 3 ms. The
+    // issued-referenced tail claims 3 ms; the corrected tail exposes
+    // the queueing delay.
+    std::vector<QueryTiming> timeline;
+    Tick busy_until = 0;
+    for (Tick i = 0; i < 200; ++i) {
+        const Tick scheduled = i * kNsPerMs;
+        const Tick issued = std::max(scheduled, busy_until);
+        const Tick completed = issued + 3 * kNsPerMs;
+        busy_until = completed;
+        timeline.push_back({scheduled, issued, completed});
+    }
+    const OmissionAnalysis a =
+        analyzeCoordinatedOmission(resultWithTimeline(timeline), 0.99);
+    EXPECT_TRUE(a.flagged);
+    EXPECT_GT(a.meanDriftNs, a.meanInterarrivalNs);
+    EXPECT_GT(a.tailInflation, 10.0);
+    EXPECT_EQ(a.issuedTailNs, 3 * kNsPerMs);
+    EXPECT_GT(a.correctedTailNs, 100 * kNsPerMs);
+}
+
+TEST(MeasurementAudit, EmptyTimelineDoesNotFlag)
+{
+    const OmissionAnalysis a =
+        analyzeCoordinatedOmission(resultWithTimeline({}), 0.99);
+    EXPECT_FALSE(a.flagged);
+    EXPECT_EQ(a.queries, 0u);
+}
+
+// ---------------------------------------------------------------
+// analyzeWarmupContamination on synthetic timelines
+// ---------------------------------------------------------------
+
+TEST(MeasurementAudit, ColdStartContaminatesTail)
+{
+    // First 5% of queries at 50 ms (cold caches), the rest at 2 ms:
+    // the full-run p99 is a warm-up artifact.
+    std::vector<QueryTiming> timeline;
+    for (Tick i = 0; i < 400; ++i) {
+        const Tick at = i * kNsPerMs;
+        const Tick latency =
+            i < 20 ? 50 * kNsPerMs : 2 * kNsPerMs;
+        timeline.push_back({at, at, at + latency});
+    }
+    const WarmupAnalysis a = analyzeWarmupContamination(
+        resultWithTimeline(timeline), 0.99, 0.10);
+    EXPECT_TRUE(a.flagged);
+    EXPECT_EQ(a.warmupQueries, 40u);
+    EXPECT_GT(a.tailShift, 1.05);
+    EXPECT_EQ(a.steadyTailNs, 2 * kNsPerMs);
+    EXPECT_EQ(a.fullTailNs, 50 * kNsPerMs);
+}
+
+TEST(MeasurementAudit, SteadyRunPassesWarmupAudit)
+{
+    std::vector<QueryTiming> timeline;
+    for (Tick i = 0; i < 400; ++i) {
+        const Tick at = i * kNsPerMs;
+        timeline.push_back({at, at, at + 2 * kNsPerMs});
+    }
+    const WarmupAnalysis a = analyzeWarmupContamination(
+        resultWithTimeline(timeline), 0.99, 0.10);
+    EXPECT_FALSE(a.flagged);
+    EXPECT_NEAR(a.tailShift, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------
+// End-to-end audits through the Runner interface (virtual time)
+// ---------------------------------------------------------------
+
+/**
+ * Closed-loop anti-pattern in virtual time: completes queries with a
+ * fixed service time but *serially*, and (the bug) reports issue
+ * timestamps that slide to completion-paced ticks. Modeled by the
+ * SerialSut, whose queueing shows up as issued==scheduled but
+ * completed stacking — so here we instead drive an overloaded serial
+ * server whose corrected tail inflates.
+ */
+TestSettings
+auditSettings()
+{
+    TestSettings s = TestSettings::forScenario(Scenario::Server);
+    s.maxQueryCount = 400;
+    s.serverTargetQps = 500.0;            // 2 ms interarrival
+    s.targetLatencyNs = 10 * sim::kNsPerSec;  // don't fail validity
+    return s;
+}
+
+TEST(MeasurementAudit, Test06PassesOpenLoopRunner)
+{
+    const AuditVerdict v = coordinatedOmissionTest(
+        [](const TestSettings &settings) {
+            sim::VirtualExecutor ex;
+            loadgen::testing::ParallelSut sut(ex, 5 * kNsPerMs);
+            loadgen::testing::FakeQsl qsl(512, 128);
+            loadgen::LoadGen lg(ex);
+            return lg.startTest(sut, qsl, settings);
+        },
+        auditSettings());
+    EXPECT_TRUE(v.pass) << v.detail;
+    EXPECT_EQ(v.testName, "TEST06-CoordinatedOmission");
+}
+
+TEST(MeasurementAudit, Test06FlagsClosedLoopRunner)
+{
+    // A "runner" that post-processes the honest open-loop result into
+    // what a closed-loop harness would have logged: each query issued
+    // only when the previous completed, schedule discarded. This is
+    // exactly the transformation the audit exists to catch.
+    const AuditVerdict v = coordinatedOmissionTest(
+        [](const TestSettings &settings) {
+            sim::VirtualExecutor ex;
+            loadgen::testing::SerialSut sut(ex, 5 * kNsPerMs);
+            loadgen::testing::FakeQsl qsl(512, 128);
+            loadgen::LoadGen lg(ex);
+            TestResult r = lg.startTest(sut, qsl, settings);
+            Tick busy_until = 0;
+            for (auto &q : r.timeline) {
+                q.issued = std::max(q.scheduled, busy_until);
+                q.completed = q.issued + 5 * kNsPerMs;
+                busy_until = q.completed;
+            }
+            return r;
+        },
+        auditSettings());
+    EXPECT_FALSE(v.pass);
+    EXPECT_NE(v.detail.find("drift"), std::string::npos) << v.detail;
+}
+
+TEST(MeasurementAudit, Test06FailsWithoutTimeline)
+{
+    const AuditVerdict v = coordinatedOmissionTest(
+        [](const TestSettings &settings) {
+            sim::VirtualExecutor ex;
+            loadgen::testing::ParallelSut sut(ex, kNsPerMs);
+            loadgen::testing::FakeQsl qsl(512, 128);
+            loadgen::LoadGen lg(ex);
+            TestSettings no_timeline = settings;
+            no_timeline.recordTimeline = false;
+            TestResult r = lg.startTest(sut, qsl, no_timeline);
+            r.timeline.clear();
+            return r;
+        },
+        auditSettings());
+    EXPECT_FALSE(v.pass);
+}
+
+TEST(MeasurementAudit, Test07FlagsWarmupContaminatedSut)
+{
+    // SUT whose first 30 queries are 20x slower than steady state.
+    class ColdStartSut : public loadgen::SystemUnderTest
+    {
+      public:
+        explicit ColdStartSut(sim::Executor &ex) : ex_(ex) {}
+        std::string name() const override { return "cold-start"; }
+        void
+        issueQuery(const std::vector<loadgen::QuerySample> &samples,
+                   loadgen::ResponseDelegate &delegate) override
+        {
+            const Tick latency =
+                served_++ < 30 ? 40 * kNsPerMs : 2 * kNsPerMs;
+            std::vector<loadgen::QuerySampleResponse> responses;
+            for (const auto &s : samples)
+                responses.push_back({s.id, ""});
+            ex_.scheduleAfter(latency, [&delegate, responses] {
+                delegate.querySamplesComplete(responses);
+            });
+        }
+        void flushQueries() override {}
+
+      private:
+        sim::Executor &ex_;
+        uint64_t served_ = 0;
+    };
+
+    auto runner = [](const TestSettings &settings) {
+        sim::VirtualExecutor ex;
+        ColdStartSut sut(ex);
+        loadgen::testing::FakeQsl qsl(512, 128);
+        loadgen::LoadGen lg(ex);
+        return lg.startTest(sut, qsl, settings);
+    };
+    const AuditVerdict flagged =
+        warmupContaminationTest(runner, auditSettings());
+    EXPECT_FALSE(flagged.pass);
+    EXPECT_EQ(flagged.testName, "TEST07-WarmupContamination");
+
+    // The same SUT shape with no cold start passes.
+    const AuditVerdict clean = warmupContaminationTest(
+        [](const TestSettings &settings) {
+            sim::VirtualExecutor ex;
+            loadgen::testing::ParallelSut sut(ex, 2 * kNsPerMs);
+            loadgen::testing::FakeQsl qsl(512, 128);
+            loadgen::LoadGen lg(ex);
+            return lg.startTest(sut, qsl, settings);
+        },
+        auditSettings());
+    EXPECT_TRUE(clean.pass) << clean.detail;
+}
+
+} // namespace
+} // namespace audit
+} // namespace mlperf

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "loadgen/loadgen.h"
+#include "loadgen/schedule.h"
 #include "sim/virtual_executor.h"
 #include "test_doubles.h"
 
@@ -162,6 +164,64 @@ INSTANTIATE_TEST_SUITE_P(AllScenarios, LoadGenDeterminism,
                                            Scenario::Offline),
                          [](const auto &info) {
                              return scenarioName(info.param);
+                         });
+
+/**
+ * MMPP generator properties, swept over seeds: identical seeds give
+ * bit-identical schedules, different seeds differ, and both Markov
+ * phases actually occur — the gap stream must contain a dense (burst)
+ * regime and a sparse (quiet) regime rather than one blended rate.
+ */
+class BurstyArrivalProperties
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BurstyArrivalProperties, DeterministicWithBothPhases)
+{
+    const uint64_t seed = GetParam();
+    const uint64_t count = 3000;
+    const double qps = 1000.0;
+    const double factor = 4.0;
+
+    const auto a = generateBurstyArrivals(count, qps, factor, seed);
+    const auto b = generateBurstyArrivals(count, qps, factor, seed);
+    ASSERT_EQ(a.size(), count);
+    EXPECT_EQ(a, b) << "same seed must be bit-identical";
+    EXPECT_NE(a, generateBurstyArrivals(count, qps, factor, seed + 1));
+    for (size_t i = 1; i < a.size(); ++i)
+        ASSERT_GE(a[i], a[i - 1]) << "schedule must be sorted";
+
+    // Both phases present: with burst rate 4x mean at 25% duty, the
+    // quiet rate is qps/2, so burst gaps cluster ~8x tighter than
+    // quiet gaps. Compare the mean of the tightest quartile of gaps
+    // against the loosest quartile; a homogeneous Poisson stream of
+    // the same size stays well under this separation.
+    std::vector<double> gaps;
+    gaps.reserve(a.size() - 1);
+    for (size_t i = 1; i < a.size(); ++i)
+        gaps.push_back(static_cast<double>(a[i] - a[i - 1]));
+    std::sort(gaps.begin(), gaps.end());
+    const size_t quartile = gaps.size() / 4;
+    double tight = 0.0, loose = 0.0;
+    for (size_t i = 0; i < quartile; ++i) {
+        tight += gaps[i];
+        loose += gaps[gaps.size() - 1 - i];
+    }
+    EXPECT_GT(loose, 6.0 * tight)
+        << "burst and quiet regimes must both appear in the gaps";
+
+    // Long-run mean rate stays at qps (within 20%).
+    const double span_s = static_cast<double>(a.back()) / 1e9;
+    const double achieved = static_cast<double>(count) / span_s;
+    EXPECT_NEAR(achieved, qps, 0.2 * qps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BurstyArrivalProperties,
+                         ::testing::Values(1u, 7u, 1234u, 998877u),
+                         [](const auto &info) {
+                             return "Seed" +
+                                    std::to_string(info.param);
                          });
 
 } // namespace

@@ -9,10 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "serving/chaos.h"
 #include "serving/resilience.h"
+#include "serving/shard.h"
+#include "sim/real_executor.h"
 #include "sim/virtual_executor.h"
 
 namespace mlperf {
@@ -176,6 +180,109 @@ TEST(FaultInjecting, SameSeedSameFaultSequence)
     EXPECT_LT(ca.total(), 300u);
     EXPECT_GT(ca.transientFaults, 0u);
     EXPECT_GT(ca.wedges, 0u);
+}
+
+TEST(FaultInjecting, WedgedWorkerRacingShrinkLosesNoSample)
+{
+    // The nastiest autoscaler race: the victim shard's worker is
+    // wedged inside runBatch (chaos wedge) with more work queued
+    // behind it when shrinkOneShard() starts the drain. The shrink
+    // must wait the wedge out, drain the backlog, and every sample —
+    // wedged, queued-behind, or submitted mid-shrink — must surface
+    // with exactly one terminal status.
+    class WedgeThenCountInference : public BatchInference
+    {
+      public:
+        std::string name() const override { return "wedge-once"; }
+
+        std::vector<loadgen::QuerySampleResponse>
+        runBatch(
+            const std::vector<loadgen::QuerySample> &samples) override
+        {
+            if (!wedged_.exchange(true))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(60));
+            std::vector<loadgen::QuerySampleResponse> responses;
+            responses.reserve(samples.size());
+            for (const auto &sample : samples)
+                responses.push_back({sample.id, "ok"});
+            return responses;
+        }
+
+      private:
+        std::atomic<bool> wedged_{false};
+    };
+
+    class CountingDelegate : public loadgen::ResponseDelegate
+    {
+      public:
+        void
+        querySamplesComplete(
+            const std::vector<loadgen::QuerySampleResponse>
+                &responses) override
+        {
+            total_.fetch_add(responses.size(),
+                             std::memory_order_relaxed);
+        }
+        uint64_t total() const { return total_.load(); }
+
+      private:
+        std::atomic<uint64_t> total_{0};
+    };
+
+    sim::RealExecutor executor;
+    WedgeThenCountInference inference;
+    ServingStats stats;
+    CountingDelegate delegate;
+
+    ShardOptions options;
+    options.shards = 2;
+    options.workersPerShard = 1;
+    options.queueCapacityBatches = 0;
+    options.stealWhenIdle = false;  // the backlog must ride the drain
+    ShardedWorkerPool pool(executor, inference, stats, options);
+
+    auto submitTo = [&delegate, &pool](size_t shard, uint64_t id) {
+        Batch batch;
+        BatchItem item;
+        item.sample = {id, id};
+        item.delegate = &delegate;
+        batch.items.push_back(item);
+        ASSERT_TRUE(pool.submitTo(shard, batch));
+    };
+
+    // Wedge shard 1 (the shrink victim) and stack a backlog behind
+    // the wedged batch.
+    constexpr uint64_t kBacklog = 30;
+    for (uint64_t i = 0; i < kBacklog; ++i)
+        submitTo(1, i);
+
+    // Race the shrink against the wedge, submitting to the victim's
+    // index the whole while — those must reroute to shard 0.
+    std::thread shrinker([&pool] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        EXPECT_TRUE(pool.shrinkOneShard());
+    });
+    constexpr uint64_t kDuringShrink = 100;
+    for (uint64_t i = 0; i < kDuringShrink; ++i) {
+        submitTo(1, 1000 + i);
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    shrinker.join();
+    EXPECT_EQ(pool.activeShardCount(), 1u);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (delegate.total() < kBacklog + kDuringShrink &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    pool.shutdown();
+
+    EXPECT_EQ(delegate.total(), kBacklog + kDuringShrink);
+    EXPECT_EQ(pool.fastPathLockAcquisitions(), 0u);
+    const StatsSnapshot snap = stats.snapshot();
+    EXPECT_EQ(snap.samplesCompleted, kBacklog + kDuringShrink);
 }
 
 TEST(FaultInjecting, LayersUnderResilientInference)
