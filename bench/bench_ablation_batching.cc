@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "harness/experiment.h"
 #include "report/table.h"
 #include "sut/system_zoo.h"
@@ -40,6 +41,12 @@ main()
 
     report::Table table({"Batch window", "Server QPS",
                          "Fraction of offline", ""});
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("benchmark", "ablation_batching")
+        .field("system", "dc-gpu-a")
+        .field("offline_samples_per_sec", offline.metric, 1);
+    json.beginArray("sweep");
     for (double window_ms : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
         harness::ExperimentOptions options = base;
         options.serverBatchWindowNs = static_cast<sim::Tick>(
@@ -51,7 +58,14 @@ main()
                       report::fmt(server.metric, 0),
                       report::fmt(frac, 2),
                       report::bar(frac, 1.0, 30)});
+        json.beginObject()
+            .field("window_ms", window_ms, 1)
+            .field("server_qps", server.metric, 1)
+            .field("fraction_of_offline", frac)
+            .endObject();
     }
+    json.endArray().endObject();
+    bench::writeBenchJson(json.str(), nullptr);
     std::printf("%s", table.str().c_str());
     std::printf("\nNo batching (window 0) leaves the wide MAC array "
                 "underutilized at batch ~1; widening\nthe window "

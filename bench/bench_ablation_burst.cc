@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "harness/experiment.h"
 #include "loadgen/loadgen.h"
 #include "report/table.h"
@@ -66,6 +67,13 @@ main()
 
     report::Table table({"Burst factor", "Over-latency fraction",
                          "Valid at 90% of Poisson capacity?"});
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("benchmark", "ablation_burst")
+        .field("system", "dc-cpu-a")
+        .field("poisson_capacity_qps", poisson_capacity.metric, 1)
+        .field("operating_qps", load, 1);
+    json.beginArray("sweep");
     for (double factor : {1.0, 1.5, 2.0, 2.5, 3.0}) {
         sim::VirtualExecutor ex;
         sut::SchedulerOptions sched;
@@ -82,7 +90,15 @@ main()
         table.addRow({report::fmt(factor, 1),
                       report::fmt(result.overLatencyFraction, 4),
                       result.valid ? "VALID" : "INVALID"});
+        json.beginObject()
+            .field("burst_factor", factor, 1)
+            .field("over_latency_fraction",
+                   result.overLatencyFraction)
+            .field("valid", result.valid)
+            .endObject();
     }
+    json.endArray().endObject();
+    bench::writeBenchJson(json.str(), nullptr);
     std::printf("%s", table.str().c_str());
     std::printf("\nThe same mean load that passes under Poisson "
                 "arrivals fails under bursts: the QoS\ntail breaks "

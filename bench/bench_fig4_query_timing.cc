@@ -109,6 +109,10 @@ main()
             std::printf("(a single query carrying every sample at "
                         "t=0)\n");
             break;
+          case Scenario::TokenStream:
+            std::printf("(Poisson arrivals; per-query latency is the "
+                        "time to first streamed token)\n");
+            break;
         }
     }
     return 0;

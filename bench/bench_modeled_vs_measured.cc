@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "harness/experiment.h"
 #include "report/table.h"
 #include "sut/system_zoo.h"
@@ -43,6 +44,11 @@ main()
 
     report::Table table({"System", "Offline ratio (light/heavy)",
                          "Ops ratio / measured"});
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("benchmark", "modeled_vs_measured")
+        .field("ops_ratio", ops_ratio, 1);
+    json.beginArray("systems");
     double sum_ratio = 0.0;
     int count = 0;
     for (const char *name : system_names) {
@@ -60,11 +66,21 @@ main()
             ++count;
             table.addRow({name, report::fmt(measured, 1) + "x",
                           report::fmt(ops_ratio / measured, 2) + "x"});
+            json.beginObject()
+                .field("system", name)
+                .field("measured_ratio", measured)
+                .field("structure_effect", ops_ratio / measured)
+                .endObject();
         }
     }
     std::printf("%s", table.str().c_str());
 
     const double mean_measured = sum_ratio / count;
+    json.endArray()
+        .field("mean_measured_ratio", mean_measured)
+        .field("mean_structure_effect", ops_ratio / mean_measured)
+        .endObject();
+    bench::writeBenchJson(json.str(), nullptr);
     std::printf("\nOperation-count ratio (Table I): %.0fx\n",
                 ops_ratio);
     std::printf("Mean measured throughput ratio:    %.0fx\n",

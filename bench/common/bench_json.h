@@ -7,15 +7,18 @@
  * fall back to a committed BENCH_*.json default, fopen/fprintf/fclose.
  * One copy lives here instead. Header-only so benches that do not
  * link bench_common (e.g. the google-benchmark microkernels) can use
- * it too.
+ * it too. JsonWriter replaces the other hand-rolled half: string
+ * concatenation with manual comma bookkeeping.
  */
 
 #ifndef MLPERF_BENCH_COMMON_BENCH_JSON_H
 #define MLPERF_BENCH_COMMON_BENCH_JSON_H
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace mlperf {
 namespace bench {
@@ -52,6 +55,143 @@ writeBenchJson(const std::string &json, const char *default_path)
     std::fclose(f);
     return true;
 }
+
+/**
+ * Append-only JSON builder with automatic comma placement. Benches
+ * emit flat objects and arrays of objects; this covers exactly that —
+ * no escaping beyond quotes (bench keys and values are ASCII
+ * identifiers and numbers), no reordering, output in insertion order.
+ *
+ *   JsonWriter w;
+ *   w.beginObject().field("benchmark", "decode");
+ *   w.beginArray("sweep");
+ *   w.beginObject().field("qps", 120.0).endObject();
+ *   w.endArray().endObject();
+ *   writeBenchJson(w.str(), nullptr);
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject(const char *key = nullptr)
+    {
+        open(key, '{');
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        close('}');
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray(const char *key = nullptr)
+    {
+        open(key, '[');
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        close(']');
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, const char *value)
+    {
+        prefix(key);
+        out_ += '"';
+        out_ += value;
+        out_ += '"';
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, const std::string &value)
+    {
+        return field(key, value.c_str());
+    }
+
+    JsonWriter &
+    field(const char *key, bool value)
+    {
+        prefix(key);
+        out_ += value ? "true" : "false";
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, uint64_t value)
+    {
+        prefix(key);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(value));
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, int value)
+    {
+        prefix(key);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%d", value);
+        out_ += buf;
+        return *this;
+    }
+
+    /** Doubles print with a fixed @p precision (default %.4f). */
+    JsonWriter &
+    field(const char *key, double value, int precision = 4)
+    {
+        prefix(key);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+        out_ += buf;
+        return *this;
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void
+    prefix(const char *key)
+    {
+        if (!first_.empty()) {
+            if (!first_.back())
+                out_ += ',';
+            first_.back() = false;
+        }
+        if (key != nullptr) {
+            out_ += '"';
+            out_ += key;
+            out_ += "\":";
+        }
+    }
+
+    void
+    open(const char *key, char bracket)
+    {
+        prefix(key);
+        out_ += bracket;
+        first_.push_back(true);
+    }
+
+    void
+    close(char bracket)
+    {
+        out_ += bracket;
+        first_.pop_back();
+    }
+
+    std::string out_;
+    std::vector<bool> first_;  //!< per open scope: no member emitted yet
+};
 
 } // namespace bench
 } // namespace mlperf

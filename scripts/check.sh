@@ -11,8 +11,10 @@
 # concurrent readers streaming the shared prepacked constant section),
 # plus the NCHWc direct-convolution kernels and the layout-propagation
 # pass that routes compiled convs onto them, the SLO autoscaler's
-# elastic grow/shrink paths, the trace-driven arrival generators, and
-# the measurement audits (coordinated omission / warm-up).
+# elastic grow/shrink paths, the trace-driven arrival generators, the
+# measurement audits (coordinated omission / warm-up), and the
+# continuous batcher's decode loop (lock-free admission ring, threaded
+# churn, lane routing) with the streaming TokenStream scenario.
 #
 # `scripts/check.sh tier1` is the fast feedback path instead: a plain
 # build plus `ctest -L tier1`, skipping the expensive model and
@@ -33,7 +35,7 @@ command -v ninja > /dev/null 2>&1 && GENERATOR="-G Ninja"
 run_suite() {
     build_dir="$1"
     ctest --test-dir "$build_dir" --output-on-failure \
-          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|GemmPrepacked|Int8Prepacked|CompiledModel|ModelGraph|MemoryPlanner|ModelRegistry|DagPipeline|ServingPlatform|TenantSut|MultiTenantServing|MpscRing|ShardRouting|ShardedWorkerPool|ServingSutSharded|ShardedPlatform|ServingStats|BoundedQueuePopFor|ConvDirect|NchwcLayout|LayoutPropagation|Ewma|HysteresisLatch|ShardAutoscaler|ElasticShards|AutoscaledServingSut|TraceArrivals|BurstyArrivalProperties|MeasurementAudit'
+          -R 'BoundedQueue|DynamicBatcher|ThreadWorkerPool|EventWorkerPool|ServingSut|HarnessServing|ProfileBatchInference|CircuitBreaker|AdmissionController|ResilientInference|CompletionTracker|FaultInjecting|LoadGen|Scenario|Server|Offline|RealExecutor|VirtualExecutor|Logging|ThreadPool|ScratchArena|GemmParallel|ConvParallel|GemmInt8|GemmPrepacked|Int8Prepacked|CompiledModel|ModelGraph|MemoryPlanner|ModelRegistry|DagPipeline|ServingPlatform|TenantSut|MultiTenantServing|MpscRing|ShardRouting|ShardedWorkerPool|ServingSutSharded|ShardedPlatform|ServingStats|BoundedQueuePopFor|ConvDirect|NchwcLayout|LayoutPropagation|Ewma|HysteresisLatch|ShardAutoscaler|ElasticShards|AutoscaledServingSut|TraceArrivals|BurstyArrivalProperties|MeasurementAudit|ParseRecordedTrace|ContinuousBatcher|DecoderEngine|DecoderModel|DecodeStatePool|TokenStream'
 }
 
 if [ "$MODE" = "tier1" ]; then
@@ -53,7 +55,7 @@ if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
     cmake --build build-tsan --target \
           test_serving test_shard test_resilience test_tenancy test_loadgen test_audit test_sim test_common \
-          test_tensor test_quant test_nn
+          test_tensor test_quant test_nn test_decode
     TSAN_OPTIONS="halt_on_error=1" run_suite build-tsan
 fi
 
@@ -65,7 +67,7 @@ if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
           -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
     cmake --build build-asan --target \
           test_serving test_shard test_resilience test_tenancy test_loadgen test_audit test_sim test_common \
-          test_tensor test_quant test_nn
+          test_tensor test_quant test_nn test_decode
     run_suite build-asan
 fi
 

@@ -185,8 +185,11 @@ runAllAudits(const Runner &runner,
         cachingDetectionTest(runner, settings),
         alternateSeedTest(runner, settings)};
     // The measurement audits only have teeth where latencies are
-    // referenced against a schedule the SUT does not control.
-    if (settings.scenario == loadgen::Scenario::Server) {
+    // referenced against a schedule the SUT does not control. For
+    // TokenStream the corrected/issued pair is computed on the TTFT
+    // series, so the same drift check audits the streaming metric.
+    if (settings.scenario == loadgen::Scenario::Server ||
+        settings.scenario == loadgen::Scenario::TokenStream) {
         verdicts.push_back(coordinatedOmissionTest(runner, settings));
         verdicts.push_back(warmupContaminationTest(runner, settings));
     }

@@ -103,7 +103,8 @@ analyzeWarmupContamination(const loadgen::TestResult &result,
     // The same latency reference as the scenario's own metric, so the
     // audit judges the number the report actually prints.
     const bool from_scheduled =
-        result.scenario == loadgen::Scenario::Server;
+        result.scenario == loadgen::Scenario::Server ||
+        result.scenario == loadgen::Scenario::TokenStream;
     std::vector<uint64_t> latencies;
     latencies.reserve(timeline.size());
     for (const auto &timing : timeline) {

@@ -395,6 +395,11 @@ runScenario(const sut::HardwareProfile &profile, models::TaskType task,
         return runServer(profile, task, options);
       case loadgen::Scenario::Offline:
         return runOffline(profile, task, options);
+      case loadgen::Scenario::TokenStream:
+        // The hardware-profile harness has no streaming SUT; the
+        // token-stream scenario is exercised by bench_decode and the
+        // continuous-batching runtime instead.
+        break;
     }
     return {};
 }

@@ -78,6 +78,7 @@ class Run : public ResponseDelegate
             }
             if (responseIsError(response.status))
                 query.errored = true;
+            query.tokens += response.tokenCount;
             if (shouldLogResponse(response.id)) {
                 accuracyLog_.push_back(
                     {responseIndex_[response.id], response.data});
@@ -92,12 +93,29 @@ class Run : public ResponseDelegate
         completedSamples_ += responses.size();
     }
 
+    void
+    querySampleFirstToken(ResponseId id) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const sim::Tick now = executor_.now();
+        assert(id < responseQuery_.size());
+        QueryState &query = queries_[responseQuery_[id]];
+        // A query's TTFT is stamped by whichever of its samples
+        // streams first; later first-token events don't move it.
+        // 0 means "never streamed", so a virtual-time token at tick 0
+        // is nudged to 1 ns rather than vanish.
+        if (query.firstToken == 0)
+            query.firstToken = std::max<sim::Tick>(now, 1);
+    }
+
   private:
     struct QueryState
     {
         sim::Tick scheduled = 0;
         sim::Tick issued = 0;
         sim::Tick completed = 0;
+        sim::Tick firstToken = 0;   //!< token-streaming: TTFT stamp
+        uint64_t tokens = 0;        //!< output tokens streamed
         uint64_t remaining = 0;     //!< samples not yet completed
         uint64_t sampleCount = 0;
         bool causedSkip = false;    //!< multistream interval spill
@@ -251,6 +269,9 @@ class Run : public ResponseDelegate
             issueQuery(createQuery(executor_.now(), 1));
             break;
           case Scenario::Server:
+          case Scenario::TokenStream:
+            // TokenStream shares the server's open-loop arrival
+            // machinery; only the latency bookkeeping differs.
             scheduleServerArrivals(targetQueryCount(), runStart_);
             break;
           case Scenario::MultiStream:
@@ -377,7 +398,8 @@ class Run : public ResponseDelegate
             }
             break;
           }
-          case Scenario::Server: {
+          case Scenario::Server:
+          case Scenario::TokenStream: {
             if (pendingArrivals_ == 0 && idle) {
                 if (serverFloorsMet()) {
                     finish();
@@ -487,6 +509,15 @@ class Run : public ResponseDelegate
         issuedLatencies.reserve(queries_.size());
         std::vector<bool> erroredByLatency;
         erroredByLatency.reserve(queries_.size());
+        const bool token_stream =
+            settings_.scenario == Scenario::TokenStream;
+        std::vector<uint64_t> ttfts;        //!< scheduled-referenced
+        std::vector<uint64_t> issuedTtfts;  //!< issued-referenced
+        std::vector<uint64_t> tpots;
+        // Per-completed-query constraint values, aligned with the
+        // latencies vector (entry 0 when the query never streamed).
+        std::vector<uint64_t> ttftByQuery;
+        std::vector<uint64_t> tpotByQuery;
         sim::Tick first_issue = 0, last_completion = 0;
         uint64_t driftSum = 0;
         bool any = false;
@@ -496,13 +527,32 @@ class Run : public ResponseDelegate
                 continue;
             }
             const sim::Tick reference =
-                settings_.scenario == Scenario::Server
+                settings_.scenario == Scenario::Server || token_stream
                     ? query.scheduled
                     : query.issued;
             latencies.push_back(query.completed - reference);
             scheduledLatencies.push_back(query.completed -
                                          query.scheduled);
             issuedLatencies.push_back(query.completed - query.issued);
+            if (token_stream) {
+                result.totalTokens += query.tokens;
+                uint64_t ttft = 0, tpot = 0;
+                if (query.firstToken != 0) {
+                    ttft = query.firstToken - query.scheduled;
+                    ttfts.push_back(ttft);
+                    issuedTtfts.push_back(
+                        query.firstToken >= query.issued
+                            ? query.firstToken - query.issued
+                            : 0);
+                    if (query.tokens > 1) {
+                        tpot = (query.completed - query.firstToken) /
+                               (query.tokens - 1);
+                        tpots.push_back(tpot);
+                    }
+                }
+                ttftByQuery.push_back(ttft);
+                tpotByQuery.push_back(tpot);
+            }
             const uint64_t drift =
                 query.issued >= query.scheduled
                     ? query.issued - query.scheduled
@@ -533,6 +583,31 @@ class Run : public ResponseDelegate
             result.meanIssueDriftNs =
                 driftSum / latencies.size();
         }
+        if (token_stream) {
+            result.ttft = stats::LatencySummary::from(ttfts);
+            result.tpot = stats::LatencySummary::from(tpots);
+            if (!ttfts.empty()) {
+                result.ttftTailNs = stats::percentile(
+                    ttfts, settings_.tailPercentile);
+                // The scenario's official latency *is* the TTFT, so
+                // the coordinated-omission pair (corrected vs issued
+                // tail, audited by TEST06) is computed on the
+                // first-token series here.
+                result.correctedTailLatencyNs = result.ttftTailNs;
+                result.issuedTailLatencyNs = stats::percentile(
+                    issuedTtfts, settings_.tailPercentile);
+            }
+            if (!tpots.empty()) {
+                result.tpotTailNs = stats::percentile(
+                    tpots, settings_.tailPercentile);
+            }
+            result.tokensPerSecond =
+                result.durationNs > 0
+                    ? static_cast<double>(result.totalTokens) *
+                          static_cast<double>(sim::kNsPerSec) /
+                          static_cast<double>(result.durationNs)
+                    : 0.0;
+        }
         result.completedQps =
             result.durationNs > 0
                 ? static_cast<double>(completedSamples_) *
@@ -546,8 +621,21 @@ class Run : public ResponseDelegate
         // bound so fault handling cannot game validity.
         uint64_t over = 0;
         for (size_t i = 0; i < latencies.size(); ++i) {
-            if (latencies[i] > settings_.targetLatencyNs ||
-                erroredByLatency[i]) {
+            if (token_stream) {
+                // The streaming constraint: first token on time and
+                // (optionally) sustained token cadence. A query that
+                // never streamed a token has no TTFT; unless it was
+                // completed as an explicit error, that is a dropped
+                // stream and counts over-latency too.
+                const bool no_stream = ttftByQuery[i] == 0;
+                if (erroredByLatency[i] || no_stream ||
+                    ttftByQuery[i] > settings_.ttftTargetNs ||
+                    (settings_.tpotTargetNs != 0 &&
+                     tpotByQuery[i] > settings_.tpotTargetNs)) {
+                    ++over;
+                }
+            } else if (latencies[i] > settings_.targetLatencyNs ||
+                       erroredByLatency[i]) {
                 ++over;
             }
         }

@@ -17,6 +17,8 @@ TestResult::scenarioMetric() const
         return scheduledQps;
       case Scenario::Offline:
         return completedQps;
+      case Scenario::TokenStream:
+        return tokensPerSecond;
     }
     return 0.0;
 }
@@ -33,6 +35,8 @@ TestResult::scenarioMetricLabel() const
         return "Scheduled samples per second";
       case Scenario::Offline:
         return "Samples per second";
+      case Scenario::TokenStream:
+        return "Output tokens per second";
     }
     return "?";
 }
@@ -98,11 +102,36 @@ TestResult::summary() const
                              .c_str());
     }
     if (scenario == Scenario::Server ||
-        scenario == Scenario::MultiStream) {
+        scenario == Scenario::MultiStream ||
+        scenario == Scenario::TokenStream) {
         out += strprintf("Over-latency fraction : %.4f\n",
                          overLatencyFraction);
     }
-    if (scenario == Scenario::Server && latency.count > 0) {
+    if (scenario == Scenario::TokenStream) {
+        out += strprintf("Output tokens : %s\n",
+                         withThousands(totalTokens).c_str());
+        if (ttft.count > 0) {
+            out += strprintf("TTFT mean      : %s\n",
+                             formatDuration(static_cast<uint64_t>(
+                                 ttft.meanNs)).c_str());
+            out += strprintf("TTFT 50.00 pct : %s\n",
+                             formatDuration(ttft.p50).c_str());
+            out += strprintf("TTFT 99.00 pct : %s\n",
+                             formatDuration(ttft.p99).c_str());
+            out += strprintf("TTFT tail      : %s\n",
+                             formatDuration(ttftTailNs).c_str());
+        }
+        if (tpot.count > 0) {
+            out += strprintf("TPOT mean      : %s\n",
+                             formatDuration(static_cast<uint64_t>(
+                                 tpot.meanNs)).c_str());
+            out += strprintf("TPOT 99.00 pct : %s\n",
+                             formatDuration(tpot.p99).c_str());
+        }
+    }
+    if ((scenario == Scenario::Server ||
+         scenario == Scenario::TokenStream) &&
+        latency.count > 0) {
         out += strprintf(
             "Corrected tail latency (sched-ref) : %s\n",
             formatDuration(correctedTailLatencyNs).c_str());
@@ -139,7 +168,8 @@ TestResult::timelineCsv() const
 {
     std::string out = "query,scheduled_ns,issued_ns,completed_ns,"
                       "latency_ns\n";
-    const bool from_scheduled = scenario == Scenario::Server;
+    const bool from_scheduled = scenario == Scenario::Server ||
+                                scenario == Scenario::TokenStream;
     for (size_t i = 0; i < timeline.size(); ++i) {
         const auto &q = timeline[i];
         const sim::Tick reference =
@@ -185,6 +215,10 @@ determineValidity(TestResult &result, const TestSettings &settings)
         result.latencyBoundMet = true;
         break;
       case Scenario::Server:
+      case Scenario::TokenStream:
+        // TokenStream counts a query over-latency when its TTFT (or
+        // TPOT, if bounded) exceeds the target; the allowance math is
+        // the server scenario's.
         result.latencyBoundMet =
             result.overLatencyFraction <=
             settings.maxOverLatencyFraction;

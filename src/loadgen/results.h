@@ -75,6 +75,19 @@ struct TestResult
     double scheduledQps = 0.0;      //!< server: the Poisson parameter
     uint64_t samplesPerQuery = 1;   //!< multistream N
 
+    // ---- TokenStream scenario (autoregressive streaming).
+    //      TTFT is measured from the *scheduled* arrival, like the
+    //      server scenario's corrected latency, so queueing delay in
+    //      front of the decoder is charged to the SUT. TPOT is the
+    //      mean inter-token gap of one response,
+    //      (completed - firstToken) / (tokens - 1).
+    stats::LatencySummary ttft;     //!< time-to-first-token stats
+    stats::LatencySummary tpot;     //!< per-output-token stats
+    uint64_t ttftTailNs = 0;        //!< TTFT at settings percentile
+    uint64_t tpotTailNs = 0;        //!< TPOT at settings percentile
+    uint64_t totalTokens = 0;       //!< output tokens across samples
+    double tokensPerSecond = 0.0;   //!< the scenario's headline metric
+
     // ---- Latency-constraint accounting.
     uint64_t overLatencyCount = 0;
     double overLatencyFraction = 0.0;
@@ -113,7 +126,8 @@ struct TestResult
     /**
      * The scenario's headline metric (Table II): 90th-percentile
      * latency in ns (single-stream), number of streams (multistream),
-     * scheduled QPS (server), or samples/s throughput (offline).
+     * scheduled QPS (server), samples/s throughput (offline), or
+     * sustained output tokens/s (token-stream).
      */
     double scenarioMetric() const;
 

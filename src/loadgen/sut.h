@@ -31,6 +31,14 @@ class ResponseDelegate
      */
     virtual void querySamplesComplete(
         const std::vector<QuerySampleResponse> &responses) = 0;
+
+    /**
+     * Token-streaming SUTs call this once per sample, the moment its
+     * first output token is produced — the TTFT timestamp of the
+     * TokenStream scenario. Thread-safe, same as completion. The
+     * default ignores it so request/response SUTs need no changes.
+     */
+    virtual void querySampleFirstToken(ResponseId id) { (void)id; }
 };
 
 class SystemUnderTest

@@ -17,6 +17,7 @@ scenarioName(Scenario scenario)
       case Scenario::MultiStream:  return "MultiStream";
       case Scenario::Server:       return "Server";
       case Scenario::Offline:      return "Offline";
+      case Scenario::TokenStream:  return "TokenStream";
     }
     return "?";
 }
@@ -60,6 +61,15 @@ TestSettings::forScenario(Scenario scenario)
             stats::queryRequirement(0.99).roundedQueries;
         s.tailPercentile = 0.99;
         break;
+      case Scenario::TokenStream:
+        // Open-loop like Server, but the tail constraint moves to the
+        // first token; generation workloads use the NMT-style 97th
+        // percentile with a 3% over-latency allowance.
+        s.minQueryCount =
+            stats::queryRequirement(0.97).roundedQueries;
+        s.tailPercentile = 0.97;
+        s.maxOverLatencyFraction = 0.03;
+        break;
       case Scenario::Offline:
         s.minQueryCount = 1;
         s.offlineSampleCount = stats::kOfflineMinSamples;
@@ -91,6 +101,8 @@ parseScenario(const std::string &value)
         return Scenario::Server;
     if (value == "Offline")
         return Scenario::Offline;
+    if (value == "TokenStream")
+        return Scenario::TokenStream;
     throw std::invalid_argument("unknown scenario: " + value);
 }
 
@@ -176,6 +188,12 @@ TestSettings::applyConfig(const std::string &config)
                 std::stod(value) * static_cast<double>(sim::kNsPerMs));
         } else if (key == "target_latency_ms") {
             targetLatencyNs = static_cast<uint64_t>(
+                std::stod(value) * static_cast<double>(sim::kNsPerMs));
+        } else if (key == "ttft_target_ms") {
+            ttftTargetNs = static_cast<uint64_t>(
+                std::stod(value) * static_cast<double>(sim::kNsPerMs));
+        } else if (key == "tpot_target_ms") {
+            tpotTargetNs = static_cast<uint64_t>(
                 std::stod(value) * static_cast<double>(sim::kNsPerMs));
         } else if (key == "server_query_deadline_ms") {
             serverQueryDeadlineNs = static_cast<uint64_t>(

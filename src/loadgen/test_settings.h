@@ -63,6 +63,21 @@ struct TestSettings
      */
     uint64_t serverQueryDeadlineNs = 0;
 
+    // ---- TokenStream scenario (autoregressive decode).
+    /**
+     * TTFT bound: time from a query's *scheduled* arrival to its
+     * first streamed token must stay under this at tailPercentile.
+     * The TokenStream validity check and its TEST06-style corrected
+     * tails judge TTFT, not completion latency.
+     */
+    uint64_t ttftTargetNs = 100 * sim::kNsPerMs;
+    /**
+     * Per-output-token bound: mean inter-token time of a response,
+     * (completion - first token) / (tokens - 1), must stay under this
+     * at tailPercentile. 0 disables the TPOT check.
+     */
+    uint64_t tpotTargetNs = 0;
+
     // ---- Latency constraint (server: Table III QoS bound).
     uint64_t targetLatencyNs = 15 * sim::kNsPerMs;
     /** Tail percentile the bound applies to (0.99 vision, 0.97 NMT). */
@@ -106,7 +121,8 @@ struct TestSettings
      * Parse user.conf-style overrides: one "key = value" per line,
      * '#' comments. Unknown keys throw std::invalid_argument. Known
      * keys: scenario, mode, server_target_qps, samples_per_query,
-     * multistream_arrival_ms, target_latency_ms,
+     * multistream_arrival_ms, target_latency_ms, ttft_target_ms,
+     * tpot_target_ms,
      * server_query_deadline_ms, tail_percentile,
      * max_over_latency_fraction, min_query_count, min_duration_ms,
      * offline_sample_count, max_query_count, sample_index_seed,

@@ -152,7 +152,9 @@ parseRecordedTrace(const std::string &text)
     std::vector<sim::Tick> out;
     std::istringstream stream(text);
     std::string line;
+    uint64_t line_no = 0;
     while (std::getline(stream, line)) {
+        ++line_no;
         const auto hash = line.find('#');
         if (hash != std::string::npos)
             line = line.substr(0, hash);
@@ -161,14 +163,41 @@ parseRecordedTrace(const std::string &text)
             continue;
         const auto last = line.find_last_not_of(" \t\r");
         const std::string token = line.substr(first, last - first + 1);
-        try {
-            out.push_back(static_cast<sim::Tick>(std::stoull(token)));
-        } catch (const std::exception &) {
-            throw std::invalid_argument(
-                "malformed trace line (want ns offset): " + token);
+        // Hand-rolled digit parse instead of std::stoull: a capture
+        // with "12x34", "-5", "1e9" or an offset past 2^64 must fail
+        // with a line-numbered message, not be half-consumed or wrap.
+        uint64_t value = 0;
+        bool ok = !token.empty();
+        for (const char c : token) {
+            if (c < '0' || c > '9') {
+                ok = false;
+                break;
+            }
+            const uint64_t digit = static_cast<uint64_t>(c - '0');
+            if (value > (UINT64_MAX - digit) / 10) {
+                throw std::invalid_argument(
+                    "trace line " + std::to_string(line_no) +
+                    ": offset out of range: " + token);
+            }
+            value = value * 10 + digit;
         }
+        if (!ok) {
+            throw std::invalid_argument(
+                "trace line " + std::to_string(line_no) +
+                ": malformed (want a non-negative integer ns "
+                "offset): " + token);
+        }
+        if (!out.empty() && value < out.back()) {
+            // A recording is a timeline; silently re-sorting one with
+            // interleaved or clock-skewed offsets would fabricate a
+            // different workload than was captured.
+            throw std::invalid_argument(
+                "trace line " + std::to_string(line_no) +
+                ": offsets must be non-decreasing (" + token +
+                " after " + std::to_string(out.back()) + ")");
+        }
+        out.push_back(static_cast<sim::Tick>(value));
     }
-    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -119,8 +119,11 @@ std::vector<sim::Tick> replayRecordedArrivals(
 
 /**
  * Parse a recorded arrival file: one arrival offset in nanoseconds
- * per line, '#' comments, blank lines ignored. Offsets are sorted on
- * return, so captures need not be pre-sorted.
+ * per line, '#' comments, blank lines ignored. Strict by design —
+ * throws std::invalid_argument with the offending line number for
+ * anything that is not a non-negative decimal integer fitting 64
+ * bits, and for offsets that go backwards (a capture is a timeline;
+ * re-sorting one would fabricate a workload that never ran).
  */
 std::vector<sim::Tick> parseRecordedTrace(const std::string &text);
 

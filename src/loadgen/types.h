@@ -18,13 +18,20 @@
 namespace mlperf {
 namespace loadgen {
 
-/** The four evaluation scenarios (paper Table II). */
+/**
+ * The four evaluation scenarios (paper Table II), plus TokenStream —
+ * the autoregressive token-streaming scenario MLPerf added after the
+ * paper: server-style open-loop arrivals, but each query's answer is
+ * a token stream and the latency constraint applies to the time to
+ * first token (TTFT) rather than whole-query completion.
+ */
 enum class Scenario
 {
     SingleStream,
     MultiStream,
     Server,
     Offline,
+    TokenStream,
 };
 
 /** Scenario name, e.g. "Server". */
@@ -92,6 +99,12 @@ struct QuerySampleResponse
     ResponseId id = 0;
     std::string data;
     ResponseStatus status = ResponseStatus::Ok;
+    /**
+     * Output tokens this sample's answer streamed (token-streaming
+     * SUTs only; 0 elsewhere). Feeds the TokenStream scenario's
+     * tokens/sec metric and its per-output-token latencies.
+     */
+    uint64_t tokenCount = 0;
 };
 
 } // namespace loadgen

@@ -1,0 +1,98 @@
+#include "models/stream_decoder.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace mlperf {
+namespace models {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/** Unit-variance random embedding table [vocab, dim] — the same
+    recipe (and Rng stream) as the Translator's. */
+Tensor
+makeEmbeddingTable(int64_t vocab, int64_t dim, Rng &rng)
+{
+    Tensor t(Shape{vocab, dim});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = scale * static_cast<float>(rng.nextGaussian());
+    for (int64_t v = 0; v < vocab; ++v) {
+        double norm = 0.0;
+        for (int64_t d = 0; d < dim; ++d)
+            norm += static_cast<double>(t.at(v, d)) * t.at(v, d);
+        const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+        for (int64_t d = 0; d < dim; ++d)
+            t.at(v, d) *= inv;
+    }
+    return t;
+}
+
+nn::LSTMCell
+makeCell(int64_t input, int64_t hidden, Rng &rng)
+{
+    return nn::LSTMCell(
+        nn::heNormal(Shape{4 * hidden, input}, input, rng),
+        nn::heNormal(Shape{4 * hidden, hidden}, hidden, rng),
+        nn::zeroBias(4 * hidden));
+}
+
+} // namespace
+
+nn::DecoderModel
+makeStreamDecoder(const data::TranslationDataset &dataset,
+                  const TranslatorArch &arch)
+{
+    const int64_t vocab = dataset.config().vocabSize;
+    const int64_t dim = arch.embedDim;
+    const int64_t max_steps = dataset.config().maxLength + 2;
+
+    Rng embed_rng(arch.weightSeed);
+    Tensor embed_table = makeEmbeddingTable(vocab, dim, embed_rng);
+    Rng pos_rng(arch.weightSeed + 1);
+    Tensor pos_enc = makeEmbeddingTable(max_steps, dim, pos_rng);
+    Rng enc_rng(arch.weightSeed + 2);
+    nn::LSTMCell encoder = makeCell(dim, dim, enc_rng);
+    Rng dec_rng(arch.weightSeed + 3);
+    nn::LSTMCell decoder = makeCell(dim, dim, dec_rng);
+
+    // Output projection: row v is the embedding of the source word
+    // whose lexicon image is v, so logits peak at the correct target;
+    // PAD/BOS can never be emitted.
+    Tensor w(Shape{vocab, dim});
+    std::vector<float> bias(static_cast<size_t>(vocab), 0.0f);
+    std::vector<int64_t> preimage(static_cast<size_t>(vocab), -1);
+    for (int64_t s = data::kFirstWordToken; s < vocab; ++s)
+        preimage[static_cast<size_t>(dataset.translateWord(s))] = s;
+    preimage[data::kEosToken] = data::kEosToken;
+    for (int64_t v = 0; v < vocab; ++v) {
+        const int64_t pre = preimage[static_cast<size_t>(v)];
+        if (pre < 0) {
+            bias[static_cast<size_t>(v)] = -100.0f;
+            continue;
+        }
+        for (int64_t d = 0; d < dim; ++d)
+            w.at(v, d) = embed_table.at(pre, d);
+    }
+
+    nn::DecoderArch decoder_arch;
+    decoder_arch.vocab = vocab;
+    decoder_arch.embedDim = dim;
+    decoder_arch.maxSrcSteps = max_steps;
+    decoder_arch.bosToken = data::kBosToken;
+    decoder_arch.eosToken = data::kEosToken;
+    decoder_arch.lstmMix = static_cast<float>(arch.lstmMix);
+    decoder_arch.queryGain = static_cast<float>(arch.queryGain);
+
+    return nn::DecoderModel(decoder_arch, std::move(embed_table),
+                            std::move(pos_enc), std::move(encoder),
+                            std::move(decoder), std::move(w),
+                            std::move(bias));
+}
+
+} // namespace models
+} // namespace mlperf

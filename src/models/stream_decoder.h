@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Closed-form streaming decoder over the synthetic translation task.
+ *
+ * Packages the Translator's GNMT-proxy construction (translator.h)
+ * for incremental, token-at-a-time decode: same weight seeds, same
+ * encoder-state recipe (embedding + position + mixed-in LSTM state),
+ * same position-queried attention and lexicon-preimage projection.
+ * Because the projection argmax recovers the hidden lexicon and the
+ * source ends with EOS, the decoder genuinely emits EOS when its
+ * positional query attends to the source's EOS slot — output length
+ * tracks source length through real compute, which is what gives the
+ * token-streaming benchmarks a controllable length-variance axis.
+ */
+
+#ifndef MLPERF_MODELS_STREAM_DECODER_H
+#define MLPERF_MODELS_STREAM_DECODER_H
+
+#include "data/translation.h"
+#include "models/translator.h"
+#include "nn/decoder.h"
+
+namespace mlperf {
+namespace models {
+
+/**
+ * Build the streaming GNMT proxy for @p dataset. With the default
+ * arch this is weight-for-weight the construction of
+ * Translator::gnmtProxy, so the streamed tokens match the batch
+ * translator's output for every source sentence.
+ */
+nn::DecoderModel makeStreamDecoder(
+    const data::TranslationDataset &dataset,
+    const TranslatorArch &arch = {});
+
+} // namespace models
+} // namespace mlperf
+
+#endif // MLPERF_MODELS_STREAM_DECODER_H

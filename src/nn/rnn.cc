@@ -23,13 +23,18 @@ Embedding::forward(const std::vector<int64_t> &tokens) const
     const int64_t dim = this->dim();
     Tensor out(Shape{static_cast<int64_t>(tokens.size()), dim});
     for (size_t i = 0; i < tokens.size(); ++i) {
-        const int64_t tok = tokens[i];
-        assert(tok >= 0 && tok < vocabSize());
-        std::memcpy(out.data() + static_cast<int64_t>(i) * dim,
-                    table_.data() + tok * dim,
-                    static_cast<size_t>(dim) * sizeof(float));
+        lookupInto(tokens[i],
+                   out.data() + static_cast<int64_t>(i) * dim);
     }
     return out;
+}
+
+void
+Embedding::lookupInto(int64_t token, float *out) const
+{
+    assert(token >= 0 && token < vocabSize());
+    std::memcpy(out, table_.data() + token * dim(),
+                static_cast<size_t>(dim()) * sizeof(float));
 }
 
 LSTMCell::LSTMCell(Tensor w_x, Tensor w_h, std::vector<float> bias)
@@ -52,32 +57,41 @@ void
 LSTMCell::step(const Tensor &x, State &state) const
 {
     const int64_t batch = x.shape().dim(0);
-    const int64_t hidden = hiddenSize();
     assert(x.shape().dim(1) == inputSize());
     assert(state.h.shape().dim(0) == batch);
 
+    Tensor gates(Shape{batch, 4 * hiddenSize()});
+    Tensor rec(Shape{batch, 4 * hiddenSize()});
+    stepInto(x.data(), batch, state.h.data(), state.c.data(),
+             gates.data(), rec.data());
+}
+
+void
+LSTMCell::stepInto(const float *x, int64_t batch, float *h, float *c,
+                   float *gates, float *rec) const
+{
+    const int64_t hidden = hiddenSize();
+
     // gates = W_x x + W_h h + b : [batch, 4*hidden]
-    Tensor gates(Shape{batch, 4 * hidden});
-    tensor::denseForward(wX_.data(), bias_.data(), x.data(),
-                         gates.data(), batch, inputSize(), 4 * hidden);
-    Tensor rec(Shape{batch, 4 * hidden});
-    tensor::denseForward(wH_.data(), nullptr, state.h.data(),
-                         rec.data(), batch, hidden, 4 * hidden);
-    for (int64_t i = 0; i < gates.numel(); ++i)
+    tensor::denseForward(wX_.data(), bias_.data(), x, gates, batch,
+                         inputSize(), 4 * hidden);
+    tensor::denseForward(wH_.data(), nullptr, h, rec, batch, hidden,
+                         4 * hidden);
+    for (int64_t i = 0; i < batch * 4 * hidden; ++i)
         gates[i] += rec[i];
 
     auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
     for (int64_t b = 0; b < batch; ++b) {
-        const float *g = gates.data() + b * 4 * hidden;
-        float *h = state.h.data() + b * hidden;
-        float *c = state.c.data() + b * hidden;
+        const float *g = gates + b * 4 * hidden;
+        float *hb = h + b * hidden;
+        float *cb = c + b * hidden;
         for (int64_t j = 0; j < hidden; ++j) {
             const float i_g = sigmoid(g[j]);
             const float f_g = sigmoid(g[hidden + j]);
             const float g_g = std::tanh(g[2 * hidden + j]);
             const float o_g = sigmoid(g[3 * hidden + j]);
-            c[j] = f_g * c[j] + i_g * g_g;
-            h[j] = o_g * std::tanh(c[j]);
+            cb[j] = f_g * cb[j] + i_g * g_g;
+            hb[j] = o_g * std::tanh(cb[j]);
         }
     }
 }
@@ -104,31 +118,41 @@ dotAttention(const Tensor &encoder_states, const Tensor &query)
     const int64_t hidden = encoder_states.shape().dim(1);
     assert(query.shape().dim(1) == hidden);
 
-    // Scores, max-stabilized softmax, and weighted sum.
     std::vector<double> scores(static_cast<size_t>(steps));
+    Tensor context(Shape{1, hidden});
+    dotAttentionInto(encoder_states.data(), steps, hidden,
+                     query.data(), context.data(), scores.data());
+    return context;
+}
+
+void
+dotAttentionInto(const float *encoder_states, int64_t steps,
+                 int64_t hidden, const float *query, float *context,
+                 double *scores_scratch)
+{
+    // Scores, max-stabilized softmax, and weighted sum.
     double max_score = -1e300;
     for (int64_t t = 0; t < steps; ++t) {
         double s = 0.0;
-        const float *enc = encoder_states.data() + t * hidden;
+        const float *enc = encoder_states + t * hidden;
         for (int64_t j = 0; j < hidden; ++j)
             s += static_cast<double>(enc[j]) * query[j];
-        scores[static_cast<size_t>(t)] = s;
+        scores_scratch[t] = s;
         max_score = std::max(max_score, s);
     }
     double denom = 0.0;
-    for (auto &s : scores) {
-        s = std::exp(s - max_score);
-        denom += s;
-    }
-    Tensor context(Shape{1, hidden});
     for (int64_t t = 0; t < steps; ++t) {
-        const float w =
-            static_cast<float>(scores[static_cast<size_t>(t)] / denom);
-        const float *enc = encoder_states.data() + t * hidden;
+        scores_scratch[t] = std::exp(scores_scratch[t] - max_score);
+        denom += scores_scratch[t];
+    }
+    for (int64_t j = 0; j < hidden; ++j)
+        context[j] = 0.0f;
+    for (int64_t t = 0; t < steps; ++t) {
+        const float w = static_cast<float>(scores_scratch[t] / denom);
+        const float *enc = encoder_states + t * hidden;
         for (int64_t j = 0; j < hidden; ++j)
             context[j] += w * enc[j];
     }
-    return context;
 }
 
 } // namespace nn

@@ -27,6 +27,14 @@ class Embedding
     /** Look up a batch of token ids -> [batch, dim]. */
     tensor::Tensor forward(const std::vector<int64_t> &tokens) const;
 
+    /**
+     * Non-allocating lookup of one token into caller storage (@p out
+     * holds dim() floats). forward() delegates here, so the two are
+     * bit-identical by construction — the invariant the autoregressive
+     * decode path relies on.
+     */
+    void lookupInto(int64_t token, float *out) const;
+
     int64_t vocabSize() const { return table_.shape().dim(0); }
     int64_t dim() const { return table_.shape().dim(1); }
     uint64_t paramCount() const
@@ -65,6 +73,18 @@ class LSTMCell
     /** One step: consumes x [batch, input], updates state in place. */
     void step(const tensor::Tensor &x, State &state) const;
 
+    /**
+     * Raw step over caller-owned buffers — the zero-alloc form used by
+     * the streaming decoder's per-sequence state pool. @p x is
+     * [batch, input], @p h / @p c are [batch, hidden] and are updated
+     * in place; @p gates and @p rec are scratch of [batch, 4*hidden]
+     * floats each. step() delegates here, so stepping a sequence
+     * through stepInto() is bit-identical to step() no matter how the
+     * calls interleave with other sequences' steps.
+     */
+    void stepInto(const float *x, int64_t batch, float *h, float *c,
+                  float *gates, float *rec) const;
+
     int64_t inputSize() const { return wX_.shape().dim(1); }
     int64_t hiddenSize() const { return wH_.shape().dim(1); }
     uint64_t paramCount() const;
@@ -88,6 +108,16 @@ class LSTMCell
  */
 tensor::Tensor dotAttention(const tensor::Tensor &encoder_states,
                             const tensor::Tensor &query);
+
+/**
+ * Non-allocating dotAttention over raw buffers: @p encoder_states is
+ * [steps, hidden] row-major, @p query and @p context are [hidden]
+ * (context is overwritten), and @p scores_scratch holds @p steps
+ * doubles. dotAttention() delegates here; bit-identical results.
+ */
+void dotAttentionInto(const float *encoder_states, int64_t steps,
+                      int64_t hidden, const float *query,
+                      float *context, double *scores_scratch);
 
 } // namespace nn
 } // namespace mlperf

@@ -1,0 +1,67 @@
+#include "sut/decode_adapters.h"
+
+#include <cassert>
+
+namespace mlperf {
+namespace sut {
+
+DecoderEngine::DecoderEngine(const nn::DecoderModel &model,
+                             const TranslationQsl &qsl, size_t slots)
+    : model_(model), qsl_(qsl),
+      pool_(slots, model.arch().maxSrcSteps, model.arch().embedDim),
+      scratch_(model.makeScratch()), states_(slots, nullptr)
+{
+    assert(slots > 0);
+}
+
+void
+DecoderEngine::prefill(size_t slot, loadgen::QuerySampleIndex index)
+{
+    assert(slot < states_.size() && states_[slot] == nullptr);
+    nn::DecodeState *state = pool_.acquire();
+    model_.encode(qsl_.sample(index), *state, scratch_);
+    states_[slot] = state;
+}
+
+serving::StepOutcome
+DecoderEngine::step(size_t slot)
+{
+    nn::DecodeState *state = states_[slot];
+    assert(state != nullptr && !state->finished());
+    serving::StepOutcome out;
+    out.token = model_.decodeStep(*state, scratch_);
+    out.finished = state->finished();
+    return out;
+}
+
+void
+DecoderEngine::padStep(size_t slot)
+{
+    assert(states_[slot] != nullptr);
+    model_.padStep(*states_[slot], scratch_);
+}
+
+std::string
+DecoderEngine::result(size_t slot) const
+{
+    assert(states_[slot] != nullptr);
+    return encodeTokens(states_[slot]->tokens());
+}
+
+uint64_t
+DecoderEngine::tokenCount(size_t slot) const
+{
+    assert(states_[slot] != nullptr);
+    return states_[slot]->tokens().size();
+}
+
+void
+DecoderEngine::release(size_t slot)
+{
+    assert(states_[slot] != nullptr);
+    pool_.release(states_[slot]);
+    states_[slot] = nullptr;
+}
+
+} // namespace sut
+} // namespace mlperf

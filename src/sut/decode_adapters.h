@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bridges the nn streaming decoder into the serving layer's
+ * SequenceDecoder slots.
+ *
+ * The serving layer schedules opaque sequence slots; this adapter
+ * binds each slot to a pooled nn::DecodeState and runs the real
+ * DecoderModel compute (prefill encoder pass, per-token decode step,
+ * equal-FLOPs pad step). One DecodeScratch serves the whole engine —
+ * the batcher drives all slots from a single decode thread.
+ *
+ * Zero-alloc contract: after each slot has been exercised once,
+ * prefill/step/padStep/release allocate nothing (pooled states,
+ * preallocated scratch); DecodeStatePool::growths() exposes any
+ * violation. result() builds the response string and is the one
+ * deliberate exception — it runs once per sequence, not per token.
+ */
+
+#ifndef MLPERF_SUT_DECODE_ADAPTERS_H
+#define MLPERF_SUT_DECODE_ADAPTERS_H
+
+#include <vector>
+
+#include "nn/decoder.h"
+#include "serving/continuous_batcher.h"
+#include "sut/nn_sut.h"
+
+namespace mlperf {
+namespace sut {
+
+class DecoderEngine : public serving::SequenceDecoder
+{
+  public:
+    /**
+     * @param slots decode batch width; the pool is sized to it, so
+     *        steady state never allocates states.
+     */
+    DecoderEngine(const nn::DecoderModel &model,
+                  const TranslationQsl &qsl, size_t slots);
+
+    // ---- serving::SequenceDecoder
+    size_t slotCount() const override { return states_.size(); }
+    void prefill(size_t slot,
+                 loadgen::QuerySampleIndex index) override;
+    serving::StepOutcome step(size_t slot) override;
+    void padStep(size_t slot) override;
+    std::string result(size_t slot) const override;
+    uint64_t tokenCount(size_t slot) const override;
+    void release(size_t slot) override;
+
+    /** Pool growths past capacity — 0 proves zero-alloc steady state. */
+    uint64_t poolGrowths() const { return pool_.growths(); }
+
+  private:
+    const nn::DecoderModel &model_;
+    const TranslationQsl &qsl_;
+    nn::DecodeStatePool pool_;
+    nn::DecodeScratch scratch_;
+    std::vector<nn::DecodeState *> states_;  //!< slot -> state (or null)
+};
+
+} // namespace sut
+} // namespace mlperf
+
+#endif // MLPERF_SUT_DECODE_ADAPTERS_H

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * TokenStream scenario tests: TTFT/TPOT measurement, the tokens/sec
+ * headline metric, first-token SLO judging in validity, and the
+ * corrected-tail (TEST06-style) pairing on the TTFT series — all in
+ * virtual time with a scripted streaming SUT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.h"
+#include "sim/virtual_executor.h"
+#include "test_doubles.h"
+
+namespace mlperf {
+namespace loadgen {
+namespace {
+
+using sim::kNsPerMs;
+using sim::kNsPerSec;
+using testing::FakeQsl;
+
+/**
+ * Streaming SUT with unlimited concurrency: each sample fires the
+ * first-token callback a fixed delay after issue, then streams the
+ * remaining tokens at a fixed per-token cadence before completing.
+ * Setting tokens to 0 models a SUT that answers without ever
+ * streaming (no first-token callback, tokenCount 0).
+ */
+class StreamingSut : public SystemUnderTest
+{
+  public:
+    StreamingSut(sim::Executor &executor, sim::Tick ttft_delay,
+                 sim::Tick per_token, uint64_t tokens)
+        : executor_(executor), ttftDelay_(ttft_delay),
+          perToken_(per_token), tokens_(tokens)
+    {
+    }
+
+    std::string name() const override { return "streaming-sut"; }
+
+    void
+    issueQuery(const std::vector<QuerySample> &samples,
+               ResponseDelegate &delegate) override
+    {
+        samplesSeen_ += samples.size();
+        for (const auto &s : samples) {
+            if (tokens_ > 0) {
+                executor_.scheduleAfter(ttftDelay_, [&delegate, s] {
+                    delegate.querySampleFirstToken(s.id);
+                });
+            }
+            const sim::Tick total =
+                ttftDelay_ +
+                (tokens_ > 1 ? (tokens_ - 1) * perToken_ : 0);
+            const uint64_t tokens = tokens_;
+            executor_.scheduleAfter(total, [&delegate, s, tokens] {
+                QuerySampleResponse response;
+                response.id = s.id;
+                response.data = std::to_string(s.index);
+                response.tokenCount = tokens;
+                delegate.querySamplesComplete({response});
+            });
+        }
+    }
+
+    void flushQueries() override {}
+
+    uint64_t samplesSeen_ = 0;
+
+  private:
+    sim::Executor &executor_;
+    sim::Tick ttftDelay_;
+    sim::Tick perToken_;
+    uint64_t tokens_;
+};
+
+TestSettings
+tokenStreamSettings()
+{
+    TestSettings s = TestSettings::forScenario(Scenario::TokenStream);
+    s.serverTargetQps = 1000.0;
+    s.maxQueryCount = 400;  // capped: exempt from duration floors
+    s.ttftTargetNs = 50 * kNsPerMs;
+    return s;
+}
+
+TEST(TokenStream, ForScenarioUsesServerStyleTails)
+{
+    const TestSettings s =
+        TestSettings::forScenario(Scenario::TokenStream);
+    EXPECT_DOUBLE_EQ(s.tailPercentile, 0.97);
+    EXPECT_DOUBLE_EQ(s.maxOverLatencyFraction, 0.03);
+    EXPECT_GT(s.minQueryCount, 0u);
+}
+
+TEST(TokenStream, MeasuresTtftTpotAndTokensPerSecond)
+{
+    // Unlimited concurrency and pre-scheduled arrivals: first token
+    // lands exactly ttft_delay after the scheduled arrival, and each
+    // of the remaining 7 tokens exactly per_token apart, so every
+    // percentile of both distributions is known in closed form.
+    sim::VirtualExecutor ex;
+    StreamingSut sut(ex, 4 * kNsPerMs, 2 * kNsPerMs, 8);
+    FakeQsl qsl(1000, 256);
+    TestSettings s = tokenStreamSettings();
+    LoadGen lg(ex);
+    const TestResult r = lg.startTest(sut, qsl, s);
+
+    EXPECT_EQ(r.queryCount, 400u);
+    EXPECT_EQ(r.totalTokens, 400u * 8u);
+    EXPECT_EQ(r.ttft.count, 400u);
+    EXPECT_EQ(r.ttft.p50, 4 * kNsPerMs);
+    EXPECT_EQ(r.ttft.p99, 4 * kNsPerMs);
+    EXPECT_EQ(r.tpot.p99, 2 * kNsPerMs);
+    EXPECT_EQ(r.ttftTailNs, 4 * kNsPerMs);
+    EXPECT_EQ(r.tpotTailNs, 2 * kNsPerMs);
+    // The corrected/issued audit pair is computed on the TTFT
+    // series; with no queueing delay the two agree.
+    EXPECT_EQ(r.correctedTailLatencyNs, r.ttftTailNs);
+    EXPECT_EQ(r.issuedTailLatencyNs, r.ttftTailNs);
+
+    EXPECT_EQ(r.scenarioMetricLabel(), "Output tokens per second");
+    const double expected_tps =
+        static_cast<double>(r.totalTokens) *
+        static_cast<double>(kNsPerSec) /
+        static_cast<double>(r.durationNs);
+    EXPECT_DOUBLE_EQ(r.scenarioMetric(), expected_tps);
+    EXPECT_GT(r.tokensPerSecond, 0.0);
+    EXPECT_TRUE(r.valid);
+    EXPECT_DOUBLE_EQ(r.overLatencyFraction, 0.0);
+}
+
+TEST(TokenStream, TtftOverTargetInvalidatesRun)
+{
+    // Every first token arrives 20 ms after a 10 ms target: 100%
+    // over-latency on TTFT, far past the 3% allowance — even though
+    // completions themselves are prompt and error-free.
+    sim::VirtualExecutor ex;
+    StreamingSut sut(ex, 20 * kNsPerMs, 1 * kNsPerMs, 4);
+    FakeQsl qsl(1000, 256);
+    TestSettings s = tokenStreamSettings();
+    s.ttftTargetNs = 10 * kNsPerMs;
+    LoadGen lg(ex);
+    const TestResult r = lg.startTest(sut, qsl, s);
+    EXPECT_DOUBLE_EQ(r.overLatencyFraction, 1.0);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(TokenStream, TpotTargetIsJudgedWhenSet)
+{
+    // TTFT is comfortably inside its target but the 5 ms token
+    // cadence violates a 2 ms TPOT target. The default (tpot target
+    // 0 = unset) must not judge cadence at all.
+    sim::VirtualExecutor ex;
+    StreamingSut sut(ex, 4 * kNsPerMs, 5 * kNsPerMs, 8);
+    FakeQsl qsl(1000, 256);
+    TestSettings s = tokenStreamSettings();
+    LoadGen lg(ex);
+    const TestResult unjudged = lg.startTest(sut, qsl, s);
+    EXPECT_TRUE(unjudged.valid);
+
+    s.tpotTargetNs = 2 * kNsPerMs;
+    StreamingSut slow(ex, 4 * kNsPerMs, 5 * kNsPerMs, 8);
+    LoadGen lg2(ex);
+    const TestResult judged = lg2.startTest(slow, qsl, s);
+    EXPECT_DOUBLE_EQ(judged.overLatencyFraction, 1.0);
+    EXPECT_FALSE(judged.valid);
+}
+
+TEST(TokenStream, NeverStreamingCountsAsOverLatency)
+{
+    // A SUT that completes without ever firing the first-token
+    // callback produced no user-visible stream: every query counts
+    // against the over-latency budget and the TTFT series is empty.
+    sim::VirtualExecutor ex;
+    StreamingSut sut(ex, 1 * kNsPerMs, 1 * kNsPerMs, 0);
+    FakeQsl qsl(1000, 256);
+    TestSettings s = tokenStreamSettings();
+    LoadGen lg(ex);
+    const TestResult r = lg.startTest(sut, qsl, s);
+    EXPECT_EQ(r.ttft.count, 0u);
+    EXPECT_EQ(r.totalTokens, 0u);
+    EXPECT_DOUBLE_EQ(r.overLatencyFraction, 1.0);
+    EXPECT_FALSE(r.valid);
+}
+
+} // namespace
+} // namespace loadgen
+} // namespace mlperf

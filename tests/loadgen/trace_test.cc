@@ -150,17 +150,65 @@ TEST(TraceArrivals, EmptyRecordingThrows)
                  std::invalid_argument);
 }
 
-TEST(TraceArrivals, ParseRecordedTraceSortsAndSkipsComments)
+TEST(TraceArrivals, ParseRecordedTraceSkipsCommentsAndBlanks)
 {
     const auto ticks = parseRecordedTrace("# capture\n"
-                                          "3000\n"
-                                          "\n"
                                           "1000\n"
-                                          "2000  # inline gap\n");
-    ASSERT_EQ(ticks.size(), 3u);
+                                          "\n"
+                                          "2000  # inline gap\n"
+                                          "  2000\n"
+                                          "3000\n");
+    ASSERT_EQ(ticks.size(), 4u);
     EXPECT_EQ(ticks[0], 1000u);
     EXPECT_EQ(ticks[1], 2000u);
-    EXPECT_EQ(ticks[2], 3000u);
+    EXPECT_EQ(ticks[2], 2000u) << "simultaneous arrivals are legal";
+    EXPECT_EQ(ticks[3], 3000u);
+}
+
+TEST(TraceArrivals, ParseRecordedTraceRejectsNonMonotonicOffsets)
+{
+    // A capture is a timeline: silently sorting "3000, 1000" would
+    // replay a workload that never ran. The error names the line.
+    try {
+        parseRecordedTrace("3000\n1000\n2000\n");
+        FAIL() << "non-monotonic trace must throw";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << "got: " << e.what();
+        EXPECT_NE(std::string(e.what()).find("non-decreasing"),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+TEST(TraceArrivals, ParseRecordedTraceRejectsMalformedValues)
+{
+    // Trailing junk: stoull would have silently accepted "12x34" as
+    // 12. Sign, exponent and hex notation are equally rejected.
+    for (const char *bad :
+         {"100\n12x34\n", "-5\n", "1e9\n", "0x10\n", "12 34\n"}) {
+        EXPECT_THROW(parseRecordedTrace(bad), std::invalid_argument)
+            << "accepted: " << bad;
+    }
+    try {
+        parseRecordedTrace("7\nnope\n");
+        FAIL() << "malformed trace line must throw";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+TEST(TraceArrivals, ParseRecordedTraceRejectsOutOfRangeOffsets)
+{
+    // 2^64 = 18446744073709551616 overflows; the max value parses.
+    EXPECT_THROW(parseRecordedTrace("18446744073709551616\n"),
+                 std::invalid_argument);
+    const auto max = parseRecordedTrace("18446744073709551615\n");
+    ASSERT_EQ(max.size(), 1u);
+    EXPECT_EQ(max[0], UINT64_MAX);
 }
 
 TEST(TraceArrivals, ApplyConfigSelectsPatternAndKnobs)

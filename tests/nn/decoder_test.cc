@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Streaming decoder: bit-exactness of the incremental path against
+ * the unrolled reference and the batch Translator, EOS-driven output
+ * lengths, interleaving invariance, pad-step inertness, and the
+ * zero-growth pool contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/translation.h"
+#include "models/stream_decoder.h"
+#include "models/translator.h"
+#include "nn/decoder.h"
+
+namespace mlperf {
+namespace nn {
+namespace {
+
+data::TranslationConfig
+smallConfig()
+{
+    data::TranslationConfig config;
+    config.sampleCount = 64;
+    return config;
+}
+
+TEST(DecoderModel, IncrementalDecodeMatchesUnrolledReferenceExactly)
+{
+    const data::TranslationDataset dataset(smallConfig());
+    const DecoderModel model = models::makeStreamDecoder(dataset);
+    DecodeScratch scratch = model.makeScratch();
+    DecodeState state(model.arch().maxSrcSteps, model.arch().embedDim);
+
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+        const std::vector<int64_t> source = dataset.source(i);
+        const std::vector<int64_t> expected =
+            model.referenceDecode(source);
+        model.encode(source, state, scratch);
+        while (!state.finished())
+            model.decodeStep(state, scratch);
+        ASSERT_EQ(state.tokens(), expected)
+            << "incremental decode diverged on sample " << i;
+    }
+}
+
+TEST(DecoderModel, StreamedTokensMatchBatchTranslator)
+{
+    // Same weights, same seeds: the token stream must agree with the
+    // batch Translator's whole-sentence output, so accuracy-mode
+    // checks can reuse the existing BLEU machinery unchanged.
+    const data::TranslationDataset dataset(smallConfig());
+    const models::Translator translator =
+        models::Translator::gnmtProxy(dataset);
+    const DecoderModel model = models::makeStreamDecoder(dataset);
+    DecodeScratch scratch = model.makeScratch();
+    DecodeState state(model.arch().maxSrcSteps, model.arch().embedDim);
+
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+        const std::vector<int64_t> source = dataset.source(i);
+        model.encode(source, state, scratch);
+        while (!state.finished())
+            model.decodeStep(state, scratch);
+        ASSERT_EQ(state.tokens(), translator.translate(source))
+            << "streamed tokens diverged from the batch translator "
+            << "on sample " << i;
+    }
+}
+
+TEST(DecoderModel, OutputLengthTracksSourceLengthRange)
+{
+    // The closed-form construction steers EOS toward the source's EOS
+    // slot, but attention spill can end a sentence early, so the
+    // guarantees are weaker and still sufficient for the benches:
+    // every stream terminates inside the source window (EOS or the
+    // step cap), lengths vary across samples, and the mean scales with
+    // the configured source-length range — the length-variance axis
+    // the batching comparisons lean on.
+    auto mean_length = [](const data::TranslationConfig &config,
+                          size_t *min_len, size_t *max_len) {
+        const data::TranslationDataset dataset(config);
+        const DecoderModel model = models::makeStreamDecoder(dataset);
+        DecodeScratch scratch = model.makeScratch();
+        DecodeState state(model.arch().maxSrcSteps,
+                          model.arch().embedDim);
+        size_t total = 0;
+        for (int64_t i = 0; i < dataset.size(); ++i) {
+            const std::vector<int64_t> source = dataset.source(i);
+            model.encode(source, state, scratch);
+            while (!state.finished())
+                model.decodeStep(state, scratch);
+            const std::vector<int64_t> &tokens = state.tokens();
+            EXPECT_GE(tokens.size(), 1u) << "sample " << i;
+            EXPECT_LE(tokens.size(), source.size()) << "sample " << i;
+            // A stream ends by emitting EOS or by exhausting the
+            // source window (the translator's step cap).
+            EXPECT_TRUE(tokens.back() == data::kEosToken ||
+                        tokens.size() == source.size())
+                << "sample " << i << " stopped early without EOS";
+            total += tokens.size();
+            *min_len = std::min(*min_len, tokens.size());
+            *max_len = std::max(*max_len, tokens.size());
+        }
+        return static_cast<double>(total) /
+               static_cast<double>(dataset.size());
+    };
+
+    data::TranslationConfig short_cfg = smallConfig();
+    short_cfg.minLength = 4;
+    short_cfg.maxLength = 8;
+    data::TranslationConfig long_cfg = smallConfig();
+    long_cfg.minLength = 16;
+    long_cfg.maxLength = 32;
+
+    size_t short_min = SIZE_MAX, short_max = 0;
+    size_t long_min = SIZE_MAX, long_max = 0;
+    const double short_mean =
+        mean_length(short_cfg, &short_min, &short_max);
+    const double long_mean =
+        mean_length(long_cfg, &long_min, &long_max);
+    EXPECT_LT(long_min, long_max)
+        << "no length variance: the batching benches' axis is gone";
+    EXPECT_GT(long_mean, short_mean)
+        << "output length must track the source-length range";
+}
+
+TEST(DecoderModel, InterleavingNeverChangesASequencesTokens)
+{
+    // Decode every sequence alone, then re-decode all of them with
+    // steps interleaved in random order through shared scratch — the
+    // continuous-batching safety property, at the model level.
+    const data::TranslationDataset dataset(smallConfig());
+    const DecoderModel model = models::makeStreamDecoder(dataset);
+    DecodeScratch scratch = model.makeScratch();
+
+    const size_t lanes = 5;
+    std::vector<std::vector<int64_t>> alone(lanes);
+    std::vector<DecodeState> states;
+    for (size_t s = 0; s < lanes; ++s) {
+        states.emplace_back(model.arch().maxSrcSteps,
+                            model.arch().embedDim);
+        model.encode(dataset.source(static_cast<int64_t>(s)),
+                     states[s], scratch);
+        while (!states[s].finished())
+            model.decodeStep(states[s], scratch);
+        alone[s] = states[s].tokens();
+        // Re-prefill for the interleaved pass.
+        model.encode(dataset.source(static_cast<int64_t>(s)),
+                     states[s], scratch);
+    }
+
+    Rng order(0x5EED);
+    size_t live = lanes;
+    while (live > 0) {
+        const size_t s = static_cast<size_t>(order.nextBelow(lanes));
+        if (states[s].finished())
+            continue;
+        model.decodeStep(states[s], scratch);
+        if (states[s].finished()) {
+            --live;
+            ASSERT_EQ(states[s].tokens(), alone[s])
+                << "sequence " << s << " depends on batch composition";
+        }
+    }
+}
+
+TEST(DecoderModel, PadStepLeavesStateUntouched)
+{
+    const data::TranslationDataset dataset(smallConfig());
+    const DecoderModel model = models::makeStreamDecoder(dataset);
+    DecodeScratch scratch = model.makeScratch();
+    DecodeState state(model.arch().maxSrcSteps, model.arch().embedDim);
+
+    const std::vector<int64_t> source = dataset.source(3);
+    model.encode(source, state, scratch);
+    model.decodeStep(state, scratch);
+    const std::vector<int64_t> tokens_before = state.tokens();
+    const int64_t step_before = state.stepsDone();
+    for (int i = 0; i < 4; ++i)
+        model.padStep(state, scratch);
+    EXPECT_EQ(state.tokens(), tokens_before);
+    EXPECT_EQ(state.stepsDone(), step_before);
+    EXPECT_FALSE(state.finished());
+
+    // And the sequence still finishes identically afterwards.
+    while (!state.finished())
+        model.decodeStep(state, scratch);
+    EXPECT_EQ(state.tokens(), model.referenceDecode(source));
+}
+
+TEST(DecodeStatePool, ReusesStatesWithoutGrowth)
+{
+    DecodeStatePool pool(4, 18, 32);
+    EXPECT_EQ(pool.size(), 4u);
+    EXPECT_EQ(pool.available(), 4u);
+
+    // Churn far past capacity with at most 4 concurrent states.
+    std::vector<DecodeState *> held;
+    for (int round = 0; round < 100; ++round) {
+        while (held.size() < 4)
+            held.push_back(pool.acquire());
+        while (held.size() > 1) {
+            pool.release(held.back());
+            held.pop_back();
+        }
+    }
+    while (!held.empty()) {
+        pool.release(held.back());
+        held.pop_back();
+    }
+    EXPECT_EQ(pool.growths(), 0u)
+        << "steady-state churn within capacity must never allocate";
+    EXPECT_EQ(pool.available(), 4u);
+
+    // A fifth concurrent state is a growth, and is counted as one.
+    DecodeState *extra[5];
+    for (auto &state : extra)
+        state = pool.acquire();
+    EXPECT_EQ(pool.growths(), 1u);
+    for (auto *state : extra)
+        pool.release(state);
+}
+
+TEST(DecoderModel, FlopsPerTokenScalesWithSourceLength)
+{
+    const data::TranslationDataset dataset(smallConfig());
+    const DecoderModel model = models::makeStreamDecoder(dataset);
+    const uint64_t short_flops = model.flopsPerToken(4);
+    const uint64_t long_flops = model.flopsPerToken(16);
+    EXPECT_GT(short_flops, 0u);
+    EXPECT_GT(long_flops, short_flops)
+        << "attention cost must grow with the source window";
+}
+
+} // namespace
+} // namespace nn
+} // namespace mlperf

@@ -127,6 +127,129 @@ TEST(DotAttention, StableForLargeScores)
     EXPECT_NEAR(ctx[0], 1000.0f, 1e-3);
 }
 
+// ---- Scratch-primitive properties.
+//
+// The streaming decoder steps many sequences through one cell with
+// per-sequence buffers, interleaved arbitrarily by the batcher. Its
+// bit-exactness story rests on two properties, proved here over
+// randomized inputs: the Into primitives match their allocating
+// forms exactly (no tolerance), and a sequence's trajectory is
+// unchanged by how its steps interleave with other sequences'.
+
+TEST(LSTMCell, StepIntoMatchesStepExactlyOverRandomSequences)
+{
+    const int64_t input = 9, hidden = 13, steps = 17;
+    const LSTMCell cell = makeCell(input, hidden, 0xFEED);
+    Rng rng(0xBEEF);
+
+    auto ref_state = cell.initialState(1);
+    std::vector<float> h(static_cast<size_t>(hidden), 0.0f);
+    std::vector<float> c(static_cast<size_t>(hidden), 0.0f);
+    std::vector<float> gates(static_cast<size_t>(4 * hidden));
+    std::vector<float> rec(static_cast<size_t>(4 * hidden));
+    for (int64_t t = 0; t < steps; ++t) {
+        Tensor x(Shape{1, input});
+        for (int64_t i = 0; i < input; ++i)
+            x[i] = static_cast<float>(rng.nextGaussian());
+        cell.step(x, ref_state);
+        cell.stepInto(x.data(), 1, h.data(), c.data(), gates.data(),
+                      rec.data());
+        for (int64_t i = 0; i < hidden; ++i) {
+            ASSERT_EQ(ref_state.h[i], h[static_cast<size_t>(i)])
+                << "h diverged at step " << t << " unit " << i;
+            ASSERT_EQ(ref_state.c[i], c[static_cast<size_t>(i)])
+                << "c diverged at step " << t << " unit " << i;
+        }
+    }
+}
+
+TEST(LSTMCell, InterleavedSequencesMatchIsolatedRuns)
+{
+    // Three sequences share one cell; their stepInto calls interleave
+    // in a random order. Each must reproduce, bit for bit, the states
+    // it reaches when stepped alone — i.e. per-sequence state really
+    // is the only carrier of information between steps.
+    const int64_t input = 8, hidden = 12, steps = 11;
+    const size_t seqs = 3;
+    const LSTMCell cell = makeCell(input, hidden, 0xC0DE);
+
+    std::vector<std::vector<Tensor>> inputs(seqs);
+    Rng rng(0xD1CE);
+    for (size_t s = 0; s < seqs; ++s) {
+        for (int64_t t = 0; t < steps; ++t) {
+            Tensor x(Shape{1, input});
+            for (int64_t i = 0; i < input; ++i)
+                x[i] = static_cast<float>(rng.nextGaussian());
+            inputs[s].push_back(std::move(x));
+        }
+    }
+
+    // Isolated reference trajectories via the allocating step().
+    std::vector<std::vector<Tensor>> ref_h(seqs);
+    for (size_t s = 0; s < seqs; ++s) {
+        auto state = cell.initialState(1);
+        for (int64_t t = 0; t < steps; ++t) {
+            cell.step(inputs[s][static_cast<size_t>(t)], state);
+            ref_h[s].push_back(state.h);
+        }
+    }
+
+    // Interleaved run: pick a random pending sequence each turn.
+    std::vector<std::vector<float>> h(
+        seqs, std::vector<float>(static_cast<size_t>(hidden), 0.0f));
+    std::vector<std::vector<float>> c = h;
+    std::vector<float> gates(static_cast<size_t>(4 * hidden));
+    std::vector<float> rec(static_cast<size_t>(4 * hidden));
+    std::vector<int64_t> done(seqs, 0);
+    Rng order(0xFACE);
+    uint64_t remaining = seqs * static_cast<uint64_t>(steps);
+    while (remaining > 0) {
+        const size_t s = static_cast<size_t>(order.nextBelow(seqs));
+        if (done[s] == steps)
+            continue;
+        const int64_t t = done[s]++;
+        --remaining;
+        cell.stepInto(inputs[s][static_cast<size_t>(t)].data(), 1,
+                      h[s].data(), c[s].data(), gates.data(),
+                      rec.data());
+        for (int64_t i = 0; i < hidden; ++i) {
+            ASSERT_EQ(ref_h[s][static_cast<size_t>(t)][i],
+                      h[s][static_cast<size_t>(i)])
+                << "seq " << s << " step " << t
+                << " depends on interleaving";
+        }
+    }
+}
+
+TEST(DotAttention, IntoFormMatchesAllocatingFormOverRandomInputs)
+{
+    Rng rng(0xAB5E);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int64_t steps = 1 + static_cast<int64_t>(
+                                      rng.nextBelow(24));
+        const int64_t hidden = 1 + static_cast<int64_t>(
+                                       rng.nextBelow(48));
+        Tensor enc(Shape{steps, hidden});
+        for (int64_t i = 0; i < enc.numel(); ++i)
+            enc[i] = static_cast<float>(3.0 * rng.nextGaussian());
+        Tensor query(Shape{1, hidden});
+        for (int64_t i = 0; i < hidden; ++i)
+            query[i] = static_cast<float>(3.0 * rng.nextGaussian());
+
+        const Tensor ref = dotAttention(enc, query);
+        std::vector<float> ctx(static_cast<size_t>(hidden),
+                               -777.0f);  // must be overwritten
+        std::vector<double> scores(static_cast<size_t>(steps));
+        dotAttentionInto(enc.data(), steps, hidden, query.data(),
+                         ctx.data(), scores.data());
+        for (int64_t i = 0; i < hidden; ++i) {
+            ASSERT_EQ(ref[i], ctx[static_cast<size_t>(i)])
+                << "trial " << trial << " [" << steps << "x" << hidden
+                << "] unit " << i;
+        }
+    }
+}
+
 } // namespace
 } // namespace nn
 } // namespace mlperf
